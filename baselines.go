@@ -1,0 +1,127 @@
+package eplog
+
+import (
+	"github.com/eplog/eplog/internal/paritylog"
+	"github.com/eplog/eplog/internal/raid"
+)
+
+// Store is the interface shared by EPLog and the two baseline schemes the
+// paper evaluates against, so applications and benchmarks can swap them.
+type Store interface {
+	Write(lba int64, p []byte) error
+	Read(lba int64, p []byte) error
+	Commit() error
+	Chunks() int64
+	ChunkSize() int
+}
+
+var (
+	_ Store = (*Array)(nil)
+	_ Store = (*RAIDArray)(nil)
+	_ Store = (*ParityLogArray)(nil)
+)
+
+// RAIDArray is conventional software RAID (the paper's MD baseline):
+// parity lives on the main array and every partial-stripe write updates it
+// immediately via read-modify-write (single parity) or reconstruct-write.
+type RAIDArray struct {
+	a *raid.Array
+}
+
+// NewRAID builds a conventional k-of-n RAID array over devs with the given
+// stripe count; n-k parity chunks per stripe.
+func NewRAID(devs []BlockDevice, k int, stripes int64) (*RAIDArray, error) {
+	a, err := raid.New(toInternal(devs), k, stripes)
+	if err != nil {
+		return nil, err
+	}
+	return &RAIDArray{a: a}, nil
+}
+
+// Write implements Store.
+func (r *RAIDArray) Write(lba int64, p []byte) error {
+	_, err := r.a.WriteChunks(0, lba, p)
+	return err
+}
+
+// WriteAt is Write with virtual-time accounting.
+func (r *RAIDArray) WriteAt(start float64, lba int64, p []byte) (float64, error) {
+	return r.a.WriteChunks(start, lba, p)
+}
+
+// Read implements Store.
+func (r *RAIDArray) Read(lba int64, p []byte) error {
+	_, err := r.a.ReadChunks(0, lba, p)
+	return err
+}
+
+// Commit implements Store (a no-op: parity is always current).
+func (r *RAIDArray) Commit() error { return r.a.Commit() }
+
+// Chunks implements Store.
+func (r *RAIDArray) Chunks() int64 { return r.a.Chunks() }
+
+// ChunkSize implements Store.
+func (r *RAIDArray) ChunkSize() int { return r.a.ChunkSize() }
+
+// Rebuild reconstructs failed device devIdx onto a replacement.
+func (r *RAIDArray) Rebuild(devIdx int, replacement BlockDevice) error {
+	return r.a.Rebuild(devIdx, replacement)
+}
+
+// Verify scrubs the array, returning the stripes whose parity does not
+// match their data.
+func (r *RAIDArray) Verify() ([]int64, error) { return r.a.Verify() }
+
+// ParityLogArray is the original parity-logging baseline (PL): in-place
+// data updates whose parity deltas are appended to per-region logs on
+// dedicated log devices, with pre-reads of the old data on every write.
+type ParityLogArray struct {
+	a *paritylog.Array
+}
+
+// NewParityLog builds a parity-logging array: k data chunks per stripe
+// across devs, one log device per parity dimension.
+func NewParityLog(devs, logDevs []BlockDevice, k int, stripes int64) (*ParityLogArray, error) {
+	a, err := paritylog.New(toInternal(devs), toInternal(logDevs), k, stripes)
+	if err != nil {
+		return nil, err
+	}
+	return &ParityLogArray{a: a}, nil
+}
+
+// Write implements Store.
+func (p *ParityLogArray) Write(lba int64, data []byte) error {
+	_, err := p.a.WriteChunks(0, lba, data)
+	return err
+}
+
+// WriteAt is Write with virtual-time accounting.
+func (p *ParityLogArray) WriteAt(start float64, lba int64, data []byte) (float64, error) {
+	return p.a.WriteChunks(start, lba, data)
+}
+
+// Read implements Store.
+func (p *ParityLogArray) Read(lba int64, data []byte) error {
+	_, err := p.a.ReadChunks(0, lba, data)
+	return err
+}
+
+// Commit implements Store: it reintegrates all logged parity deltas
+// (reading the log devices, unlike EPLog).
+func (p *ParityLogArray) Commit() error { return p.a.Commit() }
+
+// Chunks implements Store.
+func (p *ParityLogArray) Chunks() int64 { return p.a.Chunks() }
+
+// ChunkSize implements Store.
+func (p *ParityLogArray) ChunkSize() int { return p.a.ChunkSize() }
+
+// Rebuild reconstructs failed main-array device devIdx onto a replacement.
+func (p *ParityLogArray) Rebuild(devIdx int, replacement BlockDevice) error {
+	return p.a.Rebuild(devIdx, replacement)
+}
+
+// Verify scrubs the array against its effective parity (on-array parity
+// plus outstanding log deltas), returning the inconsistent stripes.
+func (p *ParityLogArray) Verify() ([]int64, error) { return p.a.Verify() }

@@ -1,0 +1,145 @@
+package eplog_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/eplog/eplog"
+)
+
+func newIOArray(t *testing.T) *eplog.IO {
+	t.Helper()
+	devs := make([]eplog.BlockDevice, 5)
+	for i := range devs {
+		devs[i] = eplog.NewMemDevice(96, chunk)
+	}
+	logs := []eplog.BlockDevice{eplog.NewMemDevice(4096, chunk)}
+	a, err := eplog.New(devs, logs, eplog.Config{K: 4, Stripes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eplog.NewIO(a)
+}
+
+func TestIOAlignedRoundTrip(t *testing.T) {
+	o := newIOArray(t)
+	data := make([]byte, 3*chunk)
+	rand.New(rand.NewSource(1)).Read(data)
+	if n, err := o.WriteAt(data, 2*chunk); err != nil || n != len(data) {
+		t.Fatalf("WriteAt = %d, %v", n, err)
+	}
+	got := make([]byte, len(data))
+	if n, err := o.ReadAt(got, 2*chunk); err != nil || n != len(got) {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("aligned round trip mismatch")
+	}
+}
+
+func TestIOUnalignedRoundTrip(t *testing.T) {
+	o := newIOArray(t)
+	// Background pattern so RMW preservation is observable.
+	bg := bytes.Repeat([]byte{0xBB}, int(o.Size()))
+	if _, err := o.WriteAt(bg, 0); err != nil {
+		t.Fatal(err)
+	}
+	// An awkward write: starts mid-chunk, ends mid-chunk, spans several.
+	data := make([]byte, 2*chunk+777)
+	rand.New(rand.NewSource(2)).Read(data)
+	off := int64(chunk + 123)
+	if n, err := o.WriteAt(data, off); err != nil || n != len(data) {
+		t.Fatalf("WriteAt = %d, %v", n, err)
+	}
+	// The write itself.
+	got := make([]byte, len(data))
+	if _, err := o.ReadAt(got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("unaligned round trip mismatch")
+	}
+	// The bytes around it are untouched.
+	edge := make([]byte, 123)
+	if _, err := o.ReadAt(edge, chunk); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(edge, bg[:123]) {
+		t.Fatal("RMW clobbered bytes before the write")
+	}
+	after := make([]byte, 99)
+	if _, err := o.ReadAt(after, off+int64(len(data))); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, bg[:99]) {
+		t.Fatal("RMW clobbered bytes after the write")
+	}
+}
+
+func TestIOBounds(t *testing.T) {
+	o := newIOArray(t)
+	buf := make([]byte, 10)
+	if _, err := o.ReadAt(buf, o.Size()-5); !errors.Is(err, eplog.ErrOutOfRange) {
+		t.Errorf("overflow read error = %v", err)
+	}
+	if _, err := o.WriteAt(buf, -1); !errors.Is(err, eplog.ErrOutOfRange) {
+		t.Errorf("negative write error = %v", err)
+	}
+}
+
+func TestIOSectionReader(t *testing.T) {
+	o := newIOArray(t)
+	msg := []byte("the quick brown fox jumps over the lazy dog")
+	if _, err := o.WriteAt(msg, 100); err != nil {
+		t.Fatal(err)
+	}
+	sr := io.NewSectionReader(o, 100, int64(len(msg)))
+	got, err := io.ReadAll(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("SectionReader read %q", got)
+	}
+}
+
+func TestIOConcurrent(t *testing.T) {
+	o := newIOArray(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			region := int64(g) * 3 * chunk
+			payload := bytes.Repeat([]byte{byte(g + 1)}, chunk+100)
+			for i := 0; i < 20; i++ {
+				if _, err := o.WriteAt(payload, region+int64(i%3)); err != nil {
+					errs <- err
+					return
+				}
+				got := make([]byte, len(payload))
+				if _, err := o.ReadAt(got, region+int64(i%3)); err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					errs <- errors.New("concurrent read mismatch")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := o.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,289 @@
+// Command eplogbench regenerates the tables and figures of the EPLog
+// paper's evaluation (Section V and Figure 6) using the trace-driven
+// harness in internal/experiments.
+//
+// Usage:
+//
+//	eplogbench [-exp all|1|2|3|4|5|6|fig6|table1|recovery] [-scale N]
+//
+// Scale divides the paper's request counts and working sets; -scale 1 is
+// paper scale (hours of runtime and tens of GB of RAM), the default keeps
+// the full suite to minutes on a laptop.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"github.com/eplog/eplog/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run: all, table1, 1, 2, 3, 4, 5, 6, fig6, recovery, ablations")
+		scale   = flag.Int64("scale", experiments.DefaultScale, "scale divisor versus the paper (1 = paper scale)")
+		csvPath = flag.String("csv", "", "also append machine-readable rows to this CSV file")
+	)
+	flag.Parse()
+	if err := run(*exp, *scale, *csvPath); err != nil {
+		fmt.Fprintln(os.Stderr, "eplogbench:", err)
+		os.Exit(1)
+	}
+}
+
+// csvSink accumulates experiment,workload,scheme,metric,value records.
+type csvSink struct {
+	w *csv.Writer
+}
+
+func newCSVSink(path string) (*csvSink, func() error, error) {
+	if path == "" {
+		return nil, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &csvSink{w: csv.NewWriter(f)}
+	if err := s.w.Write([]string{"experiment", "workload", "scheme", "metric", "value"}); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return s, func() error {
+		s.w.Flush()
+		if err := s.w.Error(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}, nil
+}
+
+func (s *csvSink) add(exp, workload, scheme, metric string, value float64) {
+	if s == nil {
+		return
+	}
+	_ = s.w.Write([]string{exp, workload, scheme, metric,
+		strconv.FormatFloat(value, 'g', -1, 64)})
+}
+
+// addRows flattens a scheme-comparison matrix.
+func (s *csvSink) addRows(exp string, rows []experiments.SchemeRow) {
+	if s == nil {
+		return
+	}
+	for _, r := range rows {
+		s.add(exp, r.Label, r.Scheme.String(), "ssd_write_bytes", float64(r.Result.SSDWriteBytes))
+		s.add(exp, r.Label, r.Scheme.String(), "ssd_read_bytes", float64(r.Result.SSDReadBytes))
+		s.add(exp, r.Label, r.Scheme.String(), "log_write_bytes", float64(r.Result.LogWriteBytes))
+		if r.Result.GCPerSSD > 0 {
+			s.add(exp, r.Label, r.Scheme.String(), "gc_per_ssd", r.Result.GCPerSSD)
+		}
+		if r.Result.KIOPS > 0 {
+			s.add(exp, r.Label, r.Scheme.String(), "kiops", r.Result.KIOPS)
+		}
+	}
+}
+
+func run(exp string, scale int64, csvPath string) error {
+	if scale < 1 {
+		return fmt.Errorf("scale must be >= 1, got %d", scale)
+	}
+	fmt.Printf("EPLog evaluation harness — scale 1/%d of the paper's workloads\n\n", scale)
+	sink, closeCSV, err := newCSVSink(csvPath)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := closeCSV(); err != nil {
+			fmt.Fprintln(os.Stderr, "eplogbench: csv:", err)
+		}
+	}()
+	want := func(name string) bool { return exp == "all" || exp == name }
+	ran := false
+
+	step := func(name string, f func() error) error {
+		if !want(name) {
+			return nil
+		}
+		ran = true
+		start := time.Now()
+		if err := f(); err != nil {
+			return fmt.Errorf("experiment %s: %w", name, err)
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if err := step("fig6", func() error {
+		series, err := experiments.Fig6()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig6(series))
+		for name, pts := range series {
+			for _, p := range pts {
+				label := fmt.Sprintf("%s/ratio=%.2f", name, p.Ratio)
+				sink.add("fig6", label, "EPLog", "mttdl_years", p.EPLog)
+				sink.add("fig6", label, "conventional", "mttdl_years", p.Conventional)
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := step("table1", func() error {
+		rows, err := experiments.TableI(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTableI(rows, scale))
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := step("1", func() error {
+		rows, err := experiments.Exp1Traces(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatWriteTraffic(
+			"Experiment 1 (Fig. 7a): SSD write traffic per trace, (6+2)-RAID-6", rows))
+		sink.addRows("exp1-traces", rows)
+		rows, err = experiments.Exp1Settings(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatWriteTraffic(
+			"Experiment 1 (Fig. 7b): SSD write traffic per setting, FIN", rows))
+		sink.addRows("exp1-settings", rows)
+		alpha := experiments.AlphaFromRows(rows)
+		sink.add("exp1-settings", "FIN", "EPLog", "alpha", alpha)
+		fmt.Printf("measured α (EPLog/MD write ratio, feeds Fig. 6): %.2f — the paper estimates 0.5\n", alpha)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := step("2", func() error {
+		rows, err := experiments.Exp2Traces(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatGC(
+			"Experiment 2 (Fig. 8a): GC per SSD per trace, (6+2)-RAID-6", rows))
+		sink.addRows("exp2-traces", rows)
+		rows, err = experiments.Exp2Settings(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatGC(
+			"Experiment 2 (Fig. 8b): GC per SSD per setting, FIN", rows))
+		sink.addRows("exp2-settings", rows)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := step("3", func() error {
+		rows, err := experiments.Exp3Caching(scale, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatExp3(rows))
+		for _, r := range rows {
+			label := fmt.Sprintf("%s/buf=%d", r.Trace, r.BufChunks)
+			sink.add("exp3", label, "EPLog", "ssd_write_bytes", float64(r.WriteBytes))
+			sink.add("exp3", label, "EPLog", "log_write_bytes", float64(r.LogBytes))
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := step("4", func() error {
+		rows, err := experiments.Exp4Commit(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatExp4(rows))
+		for _, r := range rows {
+			sink.add("exp4", r.Trace+"/"+r.Policy, "EPLog", "ssd_write_bytes", float64(r.Result.SSDWriteBytes))
+			sink.add("exp4", r.Trace+"/"+r.Policy, "EPLog", "gc_per_ssd", r.Result.GCPerSSD)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := step("5", func() error {
+		rows, err := experiments.Exp5Traces(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatThroughput(
+			"Experiment 5 (Fig. 11a): throughput per trace, (6+2)-RAID-6", rows))
+		sink.addRows("exp5-traces", rows)
+		rows, err = experiments.Exp5Settings(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatThroughput(
+			"Experiment 5 (Fig. 11b): throughput per setting, FIN", rows))
+		sink.addRows("exp5-settings", rows)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := step("6", func() error {
+		res, err := experiments.Exp6Metadata(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatExp6(res))
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := step("ablations", func() error {
+		rows, err := experiments.Ablations(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatAblations(rows))
+		for _, r := range rows {
+			sink.add("ablations", r.Name, "EPLog", "off", r.Off)
+			sink.add("ablations", r.Name, "EPLog", "on", r.On)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if err := step("recovery", func() error {
+		// The degraded sweep reads every chunk with QD=1 and HDD
+		// positioning on the critical path; run it at a reduced size.
+		rscale := scale * 8
+		res, err := experiments.ExpRecovery(rscale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatRecovery(res))
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want all, table1, 1-6, fig6, recovery, ablations)", exp)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run("nope", 64, ""); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run("all", 0, ""); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+func TestFastExperiments(t *testing.T) {
+	// fig6 and table1 are cheap enough for a unit test; the trace-driven
+	// experiments are covered by internal/experiments tests.
+	if err := run("fig6", 512, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("table1", 512, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOneTraceExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace-driven experiment")
+	}
+	if err := run("6", 512, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	path := t.TempDir() + "/out.csv"
+	if err := run("fig6", 512, path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "experiment,workload,scheme,metric,value\n") {
+		t.Error("CSV header missing")
+	}
+	if strings.Count(string(b), "\n") < 10 {
+		t.Error("CSV has too few rows")
+	}
+}

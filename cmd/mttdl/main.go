@@ -1,0 +1,67 @@
+// Command mttdl runs the reliability analysis of the EPLog paper (Section
+// IV, Figure 6): mean-time-to-data-loss of EPLog versus conventional RAID
+// from absorbing Markov chains.
+//
+// Usage:
+//
+//	mttdl [-n 10] [-m 2] [-lambda 0.25] [-mu 1e4] [-alpha 0.5] [-ratio 1.0]
+//	mttdl -sweep            # the full Figure 6 series
+//
+// Rates are per year; -ratio is λ_h/λ'_s.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/eplog/eplog/internal/experiments"
+	"github.com/eplog/eplog/internal/reliability"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 10, "number of SSDs in the main array")
+		m      = flag.Int("m", 2, "tolerable failures (parity chunks / log devices)")
+		lambda = flag.Float64("lambda", 0.25, "SSD failure rate per year under conventional RAID")
+		mu     = flag.Float64("mu", 1e4, "repair rate per year")
+		alpha  = flag.Float64("alpha", 0.5, "EPLog SSD failure scaling (write-reduction ratio)")
+		ratio  = flag.Float64("ratio", 1.0, "HDD failure rate as a multiple of the SSD rate")
+		sweep  = flag.Bool("sweep", false, "print the full Figure 6 series instead of one point")
+	)
+	flag.Parse()
+	if err := run(*n, *m, *lambda, *mu, *alpha, *ratio, *sweep); err != nil {
+		fmt.Fprintln(os.Stderr, "mttdl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, m int, lambda, mu, alpha, ratio float64, sweep bool) error {
+	if sweep {
+		series, err := experiments.Fig6()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig6(series))
+		return nil
+	}
+	p := reliability.Params{
+		N: n, M: m,
+		LambdaSSD: lambda, Alpha: alpha,
+		LambdaHDD: ratio * lambda,
+		MuSSD:     mu, MuHDD: mu,
+	}
+	ep, err := reliability.EPLogMTTDL(p)
+	if err != nil {
+		return err
+	}
+	conv, err := reliability.ConventionalMTTDL(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("n=%d m=%d λ's=%.3g/yr µ=%.3g/yr α=%.2f λh=%.3g/yr\n",
+		n, m, lambda, mu, alpha, ratio*lambda)
+	fmt.Printf("conventional RAID MTTDL: %.4g years\n", conv)
+	fmt.Printf("EPLog MTTDL:             %.4g years (%.2fx)\n", ep, ep/conv)
+	return nil
+}

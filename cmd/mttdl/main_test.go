@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestSinglePoint(t *testing.T) {
+	if err := run(10, 2, 0.25, 1e4, 0.5, 1.0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	if err := run(10, 2, 0.25, 1e4, 0.5, 1.0, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	if err := run(1, 2, 0.25, 1e4, 0.5, 1.0, false); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if err := run(10, 2, 0.25, 1e4, 0, 1.0, false); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+}

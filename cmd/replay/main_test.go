@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/eplog/eplog/internal/trace"
+)
+
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	p, err := trace.LookupProfile("FIN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := p.Scaled(2048).Generate(4096)
+	path := filepath.Join(t.TempDir(), "fin.spc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteSPC(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReplayAllSchemes(t *testing.T) {
+	path := writeTestTrace(t)
+	for _, scheme := range []string{"eplog", "md", "pl"} {
+		cfg := config{tracePath: path, format: "spc", scheme: scheme, k: 4, m: 1}
+		if err := run(cfg); err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+	}
+}
+
+func TestReplayWithOptions(t *testing.T) {
+	path := writeTestTrace(t)
+	cfg := config{
+		tracePath: path, format: "spc", scheme: "eplog", k: 4, m: 2,
+		buffers: 16, hotCold: true, commitEnd: true, trim: true,
+		ssdsim: true, timing: true, compact: true,
+	}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	if err := run(config{format: "spc", scheme: "eplog", k: 4, m: 1}); err == nil {
+		t.Error("missing trace accepted")
+	}
+	if err := run(config{tracePath: "/nonexistent", format: "spc", scheme: "eplog", k: 4, m: 1}); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeTestTrace(t)
+	if err := run(config{tracePath: path, format: "weird", scheme: "eplog", k: 4, m: 1}); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run(config{tracePath: path, format: "spc", scheme: "zfs", k: 4, m: 1}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}

@@ -1,0 +1,101 @@
+// Command tracegen works with the I/O workloads of the EPLog evaluation:
+// it generates the synthetic FIN/WEB/USR/MDS traces (calibrated to the
+// paper's Table I statistics), prints Table I statistics for generated or
+// real trace files, and applies the paper's address-space compaction.
+//
+// Usage:
+//
+//	tracegen -profile FIN [-scale 32] [-o fin.spc]   # generate (SPC format)
+//	tracegen -stats file.spc [-format spc|msr]        # Table I statistics
+//	tracegen -stats file.csv -format msr -compact     # compact, then stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/eplog/eplog/internal/trace"
+)
+
+func main() {
+	var (
+		profile   = flag.String("profile", "", "profile to generate: FIN, WEB, USR, or MDS")
+		scale     = flag.Int64("scale", 32, "scale divisor versus the paper (1 = paper scale)")
+		out       = flag.String("o", "", "output file for -profile (default stdout)")
+		statsFile = flag.String("stats", "", "trace file to print Table I statistics for")
+		format    = flag.String("format", "spc", "trace file format: spc or msr")
+		compact   = flag.Bool("compact", false, "apply 1MB-segment address compaction before stats")
+		chunk     = flag.Int("chunk", 4096, "chunk size in bytes for statistics")
+	)
+	flag.Parse()
+	if err := run(*profile, *scale, *out, *statsFile, *format, *compact, *chunk); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(profile string, scale int64, out, statsFile, format string, compact bool, chunk int) error {
+	switch {
+	case profile != "":
+		return generate(profile, scale, out, chunk)
+	case statsFile != "":
+		return stats(statsFile, format, compact, chunk)
+	default:
+		return fmt.Errorf("nothing to do: pass -profile or -stats (see -help)")
+	}
+}
+
+func generate(profile string, scale int64, out string, chunk int) error {
+	p, err := trace.LookupProfile(profile)
+	if err != nil {
+		return err
+	}
+	tr := p.Scaled(scale).Generate(chunk)
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteSPC(w); err != nil {
+		return err
+	}
+	s := tr.WriteStats(chunk)
+	fmt.Fprintf(os.Stderr, "%s (1/%d scale): %d writes, avg %.2fKB, %.2f%% random, WSS %.3fGB\n",
+		profile, scale, s.Writes, s.AvgWriteKB, s.RandomPct, s.WorkingSetGB)
+	return nil
+}
+
+func stats(path, format string, compact bool, chunk int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var tr *trace.Trace
+	switch format {
+	case "spc":
+		tr, err = trace.ParseSPC(path, f)
+	case "msr":
+		tr, err = trace.ParseMSR(path, f)
+	default:
+		return fmt.Errorf("unknown format %q (want spc or msr)", format)
+	}
+	if err != nil {
+		return err
+	}
+	if compact {
+		tr = tr.Compact(1 << 20)
+	}
+	s := tr.WriteStats(chunk)
+	fmt.Printf("%-20s %12s %10s %10s %9s\n", "Trace", "No. writes", "Avg KB", "Random %", "WSS GB")
+	fmt.Printf("%-20s %12d %10.2f %10.2f %9.3f\n", path, s.Writes, s.AvgWriteKB, s.RandomPct, s.WorkingSetGB)
+	fmt.Printf("address space: %.3f GB%s\n", float64(tr.MaxOffset())/1e9,
+		map[bool]string{true: " (compacted)", false: ""}[compact])
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateThenStats(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fin.spc")
+	if err := run("FIN", 2048, out, "", "spc", false, 4096); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("generated trace is empty")
+	}
+	if err := run("", 0, "", out, "spc", false, 4096); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if err := run("", 0, "", out, "spc", true, 4096); err != nil {
+		t.Fatalf("stats -compact: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run("", 0, "", "", "spc", false, 4096); err == nil {
+		t.Error("no action accepted")
+	}
+	if err := run("NOPE", 32, "", "", "spc", false, 4096); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if err := run("", 0, "", "/nonexistent/file", "spc", false, 4096); err == nil {
+		t.Error("missing stats file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.spc")
+	if err := os.WriteFile(bad, []byte("not,a,trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 0, "", bad, "spc", false, 4096); err == nil {
+		t.Error("malformed trace accepted")
+	}
+	if err := run("", 0, "", bad, "weird", false, 4096); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

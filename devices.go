@@ -1,0 +1,114 @@
+package eplog
+
+import (
+	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/hdd"
+	"github.com/eplog/eplog/internal/ssd"
+)
+
+// BlockDevice is the chunk-addressed device abstraction EPLog runs on.
+// Implementations must provide fixed-size chunk reads and writes; the *At
+// variants carry virtual-time accounting for simulation-driven setups and
+// may simply return start unchanged on real hardware.
+type BlockDevice interface {
+	// ReadChunk reads chunk idx into p (len(p) must equal ChunkSize()).
+	ReadChunk(idx int64, p []byte) error
+	// WriteChunk writes p to chunk idx.
+	WriteChunk(idx int64, p []byte) error
+	// ReadChunkAt is ReadChunk with virtual-time accounting.
+	ReadChunkAt(start float64, idx int64, p []byte) (float64, error)
+	// WriteChunkAt is WriteChunk with virtual-time accounting.
+	WriteChunkAt(start float64, idx int64, p []byte) (float64, error)
+	// Trim marks n chunks starting at idx as unused.
+	Trim(idx, n int64) error
+	// Chunks is the addressable capacity in chunks.
+	Chunks() int64
+	// ChunkSize is the chunk size in bytes.
+	ChunkSize() int
+}
+
+// The internal device interface has the identical method set, so any
+// BlockDevice converts directly.
+var _ BlockDevice = (device.Dev)(nil)
+
+// toInternal converts a public device slice for the internal packages.
+func toInternal(devs []BlockDevice) []device.Dev {
+	out := make([]device.Dev, len(devs))
+	for i, d := range devs {
+		out[i] = d
+	}
+	return out
+}
+
+// NewMemDevice returns a RAM-backed device, useful for tests, experiments
+// and examples.
+func NewMemDevice(chunks int64, chunkSize int) BlockDevice {
+	return device.NewMem(chunks, chunkSize)
+}
+
+// FileDevice is a file-backed device that persists across process
+// restarts.
+type FileDevice struct {
+	*device.File
+}
+
+// OpenFileDevice opens (creating and sizing if needed) a file-backed
+// device. Call Close when done.
+func OpenFileDevice(path string, chunks int64, chunkSize int) (*FileDevice, error) {
+	f, err := device.OpenFile(path, chunks, chunkSize)
+	if err != nil {
+		return nil, err
+	}
+	return &FileDevice{File: f}, nil
+}
+
+// NewSimulatedSSD returns a flash-translation-layer SSD simulator with the
+// given raw capacity: out-of-place page writes, greedy garbage collection,
+// wear accounting, and a latency model. Use SSDStats to read its counters.
+func NewSimulatedSSD(rawBytes int64) (BlockDevice, error) {
+	return ssd.New(ssd.DefaultParams(rawBytes))
+}
+
+// SSDStats reports the endurance counters of a device created by
+// NewSimulatedSSD: host writes, GC operations, pages moved, erases, and
+// write amplification. ok is false for other device types.
+func SSDStats(d BlockDevice) (hostWrites, gcOps, pagesMoved, erases int64, writeAmp float64, ok bool) {
+	s, isSSD := d.(*ssd.Device)
+	if !isSSD {
+		return 0, 0, 0, 0, 0, false
+	}
+	st := s.Stats()
+	return st.HostWrites, st.GCInvocations, st.PagesMoved, st.Erases, st.WriteAmplification(), true
+}
+
+// NewSimulatedHDD returns a mechanical-disk latency model suited for log
+// devices: sequential appends stream at media speed, discontinuous
+// accesses pay positioning costs.
+func NewSimulatedHDD(chunks int64, chunkSize int) (BlockDevice, error) {
+	return hdd.New(hdd.DefaultParams(chunks, chunkSize))
+}
+
+// HDDStats reports the activity counters of a device created by
+// NewSimulatedHDD: operation counts and how many were serviced from the
+// sequential stream versus after repositioning. ok is false for other
+// device types.
+func HDDStats(d BlockDevice) (reads, writes, streamed, positioned int64, ok bool) {
+	h, isHDD := d.(*hdd.Device)
+	if !isHDD {
+		return 0, 0, 0, 0, false
+	}
+	st := h.Stats()
+	return st.Reads, st.Writes, st.StreamedOps, st.PositionedOps, true
+}
+
+// NewFaultyDevice wraps a device with fail-stop fault injection for
+// recovery testing and demos.
+func NewFaultyDevice(inner BlockDevice) *FaultyDevice {
+	return &FaultyDevice{Faulty: device.NewFaulty(inner)}
+}
+
+// FaultyDevice is a fault-injection wrapper; Fail makes every operation
+// return an error until Repair.
+type FaultyDevice struct {
+	*device.Faulty
+}

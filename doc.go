@@ -1,0 +1,40 @@
+// Package eplog is a storage library implementing elastic parity logging
+// for SSD RAID arrays, after Li, Chan, Lee and Xu, "Elastic Parity Logging
+// for SSD RAID Arrays" (DSN 2016).
+//
+// An EPLog array stores data chunks on a main array of SSD-class devices
+// and redirects all parity traffic to separate log devices (HDD-class in
+// the paper). Log chunks are computed from newly written data only — the
+// write path never pre-reads — over "elastic" log stripes that may cover a
+// partial data stripe or span several. Updates are written out-of-place at
+// the system level so that old versions remain addressable; a background
+// parity commit folds the latest data into the on-array parity without
+// reading the log devices, then releases old versions and log space.
+//
+// The result, relative to conventional software RAID, is less write
+// traffic and garbage collection on the SSDs (endurance), tolerance of any
+// m device failures under arbitrary k-of-n erasure coding (reliability),
+// and higher small-write throughput (performance).
+//
+// # Quick start
+//
+//	devs := make([]eplog.BlockDevice, 8)
+//	for i := range devs {
+//		devs[i] = eplog.NewMemDevice(4096, 4096) // 16 MiB each
+//	}
+//	logs := []eplog.BlockDevice{
+//		eplog.NewMemDevice(16384, 4096),
+//		eplog.NewMemDevice(16384, 4096),
+//	}
+//	arr, err := eplog.New(devs, logs, eplog.Config{K: 6, Stripes: 2048})
+//	if err != nil { ... }
+//	err = arr.Write(0, data)     // any chunk-aligned span
+//	err = arr.Read(0, buf)
+//	err = arr.Commit()           // parity commit
+//
+// The internal packages additionally provide the paper's two baselines
+// (conventional RAID and original parity logging), an FTL/SSD simulator,
+// an HDD latency model, trace tooling, the MTTDL reliability analysis, and
+// a harness regenerating every table and figure of the paper's evaluation;
+// see DESIGN.md and EXPERIMENTS.md.
+package eplog

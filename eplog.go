@@ -1,0 +1,212 @@
+package eplog
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/eplog/eplog/internal/core"
+	"github.com/eplog/eplog/internal/metadata"
+)
+
+// Config parameterizes an EPLog array.
+type Config struct {
+	// K is the number of data chunks per stripe. With n devices in the
+	// main array, the array tolerates n-K device failures and needs n-K
+	// log devices.
+	K int
+	// Stripes is the number of data stripes. Each main-array device must
+	// have more than Stripes chunks; the excess is the no-overwrite
+	// update area.
+	Stripes int64
+	// DeviceBufferChunks enables the per-SSD update buffers when > 0.
+	DeviceBufferChunks int
+	// HotColdGrouping evicts the coldest buffered chunk first instead of
+	// FIFO, keeping write-hot chunks buffered longer.
+	HotColdGrouping bool
+	// StripeBufferStripes enables the new-write stripe buffer when > 0.
+	StripeBufferStripes int
+	// CommitEvery triggers an automatic parity commit after that many
+	// write requests when > 0.
+	CommitEvery int
+	// TrimOnCommit issues TRIM for chunks released by parity commit.
+	TrimOnCommit bool
+	// CommitGuardChunks forces a commit when a device's free update
+	// space falls to this many chunks; zero selects a default.
+	CommitGuardChunks int64
+	// CheckpointEvery writes an incremental metadata checkpoint after
+	// that many write requests when > 0 and a metadata volume is
+	// attached — the paper's "triggered regularly in the background".
+	CheckpointEvery int
+}
+
+// Stats mirrors the array's activity counters; see the field names for
+// semantics.
+type Stats = core.Stats
+
+// Array is an EPLog array: the public handle over the elastic parity
+// logging engine, with optional persistent metadata checkpointing. An
+// Array is not safe for concurrent use; wrap it in NewIO (which serializes
+// and adds byte addressing) or provide your own locking.
+type Array struct {
+	e          *core.EPLog
+	vol        *metadata.Volume
+	cfg        Config
+	csize      int
+	sinceChkpt int
+}
+
+// New creates a fresh EPLog array over the main-array devices and one log
+// device per parity dimension. All devices must share a chunk size.
+func New(devs, logDevs []BlockDevice, cfg Config) (*Array, error) {
+	e, err := core.New(toInternal(devs), toInternal(logDevs), coreConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return &Array{e: e, cfg: cfg, csize: e.ChunkSize()}, nil
+}
+
+func coreConfig(cfg Config) core.Config {
+	return core.Config{
+		K:                   cfg.K,
+		Stripes:             cfg.Stripes,
+		DeviceBufferChunks:  cfg.DeviceBufferChunks,
+		HotColdGrouping:     cfg.HotColdGrouping,
+		StripeBufferStripes: cfg.StripeBufferStripes,
+		CommitEvery:         cfg.CommitEvery,
+		TrimOnCommit:        cfg.TrimOnCommit,
+		CommitGuardChunks:   cfg.CommitGuardChunks,
+	}
+}
+
+// Chunks returns the logical capacity in chunks (Stripes x K).
+func (a *Array) Chunks() int64 { return a.e.Chunks() }
+
+// ChunkSize returns the chunk size in bytes.
+func (a *Array) ChunkSize() int { return a.csize }
+
+// Stats returns a snapshot of the activity counters.
+func (a *Array) Stats() Stats { return a.e.Stats() }
+
+// Write stores len(p)/ChunkSize chunks at logical chunk lba. p must be a
+// positive multiple of the chunk size.
+func (a *Array) Write(lba int64, p []byte) error {
+	_, err := a.WriteAt(0, lba, p)
+	return err
+}
+
+// WriteAt is Write with virtual-time accounting: the request starts no
+// earlier than start and the returned time is its completion.
+func (a *Array) WriteAt(start float64, lba int64, p []byte) (float64, error) {
+	end, err := a.e.WriteChunks(start, lba, p)
+	if err != nil {
+		return end, err
+	}
+	if a.cfg.CheckpointEvery > 0 && a.vol != nil {
+		a.sinceChkpt++
+		if a.sinceChkpt >= a.cfg.CheckpointEvery {
+			a.sinceChkpt = 0
+			if err := a.Checkpoint(false); err != nil {
+				return end, fmt.Errorf("eplog: auto checkpoint: %w", err)
+			}
+		}
+	}
+	return end, nil
+}
+
+// Read fills p with len(p)/ChunkSize chunks starting at lba, reconstructing
+// degraded chunks when devices have failed.
+func (a *Array) Read(lba int64, p []byte) error {
+	_, err := a.e.ReadChunks(0, lba, p)
+	return err
+}
+
+// ReadAt is Read with virtual-time accounting.
+func (a *Array) ReadAt(start float64, lba int64, p []byte) (float64, error) {
+	return a.e.ReadChunks(start, lba, p)
+}
+
+// Flush drains any buffered writes to the devices without committing
+// parity.
+func (a *Array) Flush() error { return a.e.Flush() }
+
+// Commit performs a parity commit: on-array parity is recomputed from the
+// latest data, superseded versions and all log space are released. Log
+// devices are not read.
+func (a *Array) Commit() error { return a.e.Commit() }
+
+// PendingLogStripes reports the number of log stripes awaiting commit.
+func (a *Array) PendingLogStripes() int { return a.e.PendingLogStripes() }
+
+// VerifyReport summarizes a consistency scrub; see Array.Verify.
+type VerifyReport = core.VerifyReport
+
+// Verify scrubs the array, checking every committed stripe's parity
+// against its data and every pending log stripe's log chunks against its
+// member versions. Nothing is modified. Call Flush first to include
+// buffered writes.
+func (a *Array) Verify() (*VerifyReport, error) { return a.e.Verify() }
+
+// Rebuild reconstructs the contents of failed main-array device devIdx
+// onto the replacement and swaps it in.
+func (a *Array) Rebuild(devIdx int, replacement BlockDevice) error {
+	return a.e.Rebuild(devIdx, replacement)
+}
+
+// RecoverLogDevice replaces failed log device dim: a parity commit makes
+// the lost log chunks unnecessary, then the replacement is swapped in.
+func (a *Array) RecoverLogDevice(dim int, replacement BlockDevice) error {
+	return a.e.RecoverLogDevice(dim, replacement)
+}
+
+// ErrNoMetadataVolume is returned by checkpoint operations before
+// AttachMetadataVolume.
+var ErrNoMetadataVolume = errors.New("eplog: no metadata volume attached")
+
+// FormatMetadataVolume initializes dev as a fresh metadata volume and
+// attaches it. fullAreaChunks sizes each of the two full-checkpoint
+// sub-areas; it must fit a complete metadata snapshot.
+func (a *Array) FormatMetadataVolume(dev BlockDevice, fullAreaChunks int64) error {
+	vol, err := metadata.Format(dev, fullAreaChunks)
+	if err != nil {
+		return err
+	}
+	a.vol = vol
+	return nil
+}
+
+// Checkpoint persists metadata to the attached volume: a full checkpoint
+// when full is true (written to the alternate sub-area, crash-safely), or
+// an incremental checkpoint holding only the metadata dirtied since the
+// previous checkpoint.
+func (a *Array) Checkpoint(full bool) error {
+	if a.vol == nil {
+		return ErrNoMetadataVolume
+	}
+	if full {
+		return a.vol.WriteFull(a.e.Snapshot())
+	}
+	if !a.vol.HasCheckpoint() {
+		return fmt.Errorf("eplog: incremental checkpoint requires a prior full checkpoint")
+	}
+	return a.vol.WriteIncremental(a.e.DirtyDelta())
+}
+
+// Open rebuilds an EPLog array from the newest checkpoint on a metadata
+// volume, over the same main-array and log devices the checkpoint
+// describes. Buffered state is not part of checkpoints, so cfg's buffers
+// start empty.
+func Open(devs, logDevs []BlockDevice, cfg Config, metaDev BlockDevice) (*Array, error) {
+	vol, err := metadata.Open(metaDev)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := vol.Load()
+	if err != nil {
+		return nil, err
+	}
+	e, err := core.Restore(toInternal(devs), toInternal(logDevs), coreConfig(cfg), snap)
+	if err != nil {
+		return nil, err
+	}
+	return &Array{e: e, vol: vol, cfg: cfg, csize: e.ChunkSize()}, nil
+}

@@ -1,0 +1,103 @@
+package eplog_test
+
+import (
+	"fmt"
+
+	"github.com/eplog/eplog"
+)
+
+// Build a (4+1)-RAID-5-style EPLog array over in-memory devices, write a
+// chunk through the elastic-logging path, and commit parity.
+func ExampleNew() {
+	devs := make([]eplog.BlockDevice, 5)
+	for i := range devs {
+		devs[i] = eplog.NewMemDevice(64, 4096)
+	}
+	logs := []eplog.BlockDevice{eplog.NewMemDevice(256, 4096)}
+	arr, err := eplog.New(devs, logs, eplog.Config{K: 4, Stripes: 16})
+	if err != nil {
+		panic(err)
+	}
+
+	data := make([]byte, 4096)
+	copy(data, "hello eplog")
+	if err := arr.Write(7, data); err != nil {
+		panic(err)
+	}
+	fmt.Println("pending log stripes:", arr.PendingLogStripes())
+	if err := arr.Commit(); err != nil {
+		panic(err)
+	}
+	fmt.Println("pending log stripes after commit:", arr.PendingLogStripes())
+	// Output:
+	// pending log stripes: 1
+	// pending log stripes after commit: 0
+}
+
+// Tolerate a device failure: degraded reads keep working, and Rebuild
+// restores full redundancy onto a replacement device.
+func ExampleArray_Rebuild() {
+	devs := make([]eplog.BlockDevice, 5)
+	faulty := make([]*eplog.FaultyDevice, 5)
+	for i := range devs {
+		f := eplog.NewFaultyDevice(eplog.NewMemDevice(64, 4096))
+		faulty[i] = f
+		devs[i] = f
+	}
+	logs := []eplog.BlockDevice{eplog.NewMemDevice(256, 4096)}
+	arr, err := eplog.New(devs, logs, eplog.Config{K: 4, Stripes: 16})
+	if err != nil {
+		panic(err)
+	}
+	data := make([]byte, 4096)
+	copy(data, "survives failures")
+	if err := arr.Write(3, data); err != nil {
+		panic(err)
+	}
+
+	faulty[0].Fail() // whichever device — the stripe decodes around it
+	got := make([]byte, 4096)
+	if err := arr.Read(3, got); err != nil {
+		panic(err)
+	}
+	fmt.Printf("degraded read: %s\n", got[:17])
+
+	if err := arr.Rebuild(0, eplog.NewMemDevice(64, 4096)); err != nil {
+		panic(err)
+	}
+	rep, err := arr.Verify()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("consistent after rebuild:", rep.OK())
+	// Output:
+	// degraded read: survives failures
+	// consistent after rebuild: true
+}
+
+// Use the byte-granular adapter when an upper layer wants io.ReaderAt /
+// io.WriterAt semantics instead of chunk addressing.
+func ExampleNewIO() {
+	devs := make([]eplog.BlockDevice, 5)
+	for i := range devs {
+		devs[i] = eplog.NewMemDevice(64, 4096)
+	}
+	logs := []eplog.BlockDevice{eplog.NewMemDevice(256, 4096)}
+	arr, err := eplog.New(devs, logs, eplog.Config{K: 4, Stripes: 16})
+	if err != nil {
+		panic(err)
+	}
+	bio := eplog.NewIO(arr)
+
+	msg := []byte("byte-addressed, unaligned, no problem")
+	if _, err := bio.WriteAt(msg, 5000); err != nil { // mid-chunk offset
+		panic(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := bio.ReadAt(got, 5000); err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s\n", got)
+	// Output:
+	// byte-addressed, unaligned, no problem
+}

@@ -1,0 +1,3 @@
+module github.com/eplog/eplog
+
+go 1.22

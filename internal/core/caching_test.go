@@ -1,0 +1,267 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/eplog/eplog/internal/device"
+)
+
+func TestDeviceBufferAbsorbsRepeatedUpdates(t *testing.T) {
+	ta := newTestArray(t, 5, 4, Config{DeviceBufferChunks: 8})
+	data := chunkData(1, int(ta.e.Chunks()))
+	ta.mustWrite(t, 0, data)
+	// Hammer the same chunk: all but the first insertion are absorbed.
+	for i := 0; i < 10; i++ {
+		upd := chunkData(2+i, 1)
+		ta.mustWrite(t, 5, upd)
+		copy(data[5*testChunk:], upd)
+	}
+	s := ta.e.Stats()
+	if s.AbsorbedChunks != 9 {
+		t.Errorf("absorbed = %d, want 9", s.AbsorbedChunks)
+	}
+	// Read-your-writes from the buffer.
+	ta.verify(t, data, "buffered state")
+	// Flush drains everything; contents must be durable on the array.
+	if err := ta.e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ta.verify(t, data, "after flush")
+}
+
+func TestDeviceBufferDrainFormsWideLogStripes(t *testing.T) {
+	// With buffers, a drain round pulls one chunk from each non-empty
+	// buffer: log stripes get wider (higher k'), cutting log chunks per
+	// data chunk — the Exp 3 log-size effect.
+	ta := newTestArray(t, 5, 4, Config{DeviceBufferChunks: 2})
+	data := chunkData(20, int(ta.e.Chunks()))
+	ta.mustWrite(t, 0, data)
+	// Touch chunks on all 4 data devices of stripe 0 and 1 repeatedly
+	// until buffers overflow and drain.
+	for i := 0; i < 16; i++ {
+		lba := int64(i % 8)
+		upd := chunkData(21+i, 1)
+		ta.mustWrite(t, lba, upd)
+		copy(data[lba*testChunk:], upd)
+	}
+	if err := ta.e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s := ta.e.Stats()
+	if s.LogStripes == 0 {
+		t.Fatal("no log stripes formed")
+	}
+	// Wide stripes: fewer log stripes than data chunk writes.
+	if s.LogChunkWrites >= s.DataWriteChunks {
+		t.Errorf("log chunks %d >= data chunks %d; buffering did not widen log stripes",
+			s.LogChunkWrites, s.DataWriteChunks)
+	}
+	ta.verify(t, data, "after buffered updates")
+}
+
+func TestBufferedStateSurvivesFailureAfterFlush(t *testing.T) {
+	ta := newTestArray(t, 6, 4, Config{DeviceBufferChunks: 4})
+	data := chunkData(30, int(ta.e.Chunks()))
+	ta.mustWrite(t, 0, data)
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 40; i++ {
+		nC := 1 + r.Intn(2)
+		lba := int64(r.Intn(int(ta.e.Chunks()) - nC))
+		upd := chunkData(100+i, nC)
+		ta.mustWrite(t, lba, upd)
+		copy(data[lba*testChunk:], upd)
+	}
+	if err := ta.e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ta.main[0].Fail()
+	ta.main[5].Fail()
+	ta.verify(t, data, "double failure after flush")
+}
+
+func TestCommitDrainsBuffers(t *testing.T) {
+	ta := newTestArray(t, 5, 4, Config{DeviceBufferChunks: 16})
+	data := chunkData(40, int(ta.e.Chunks()))
+	ta.mustWrite(t, 0, data)
+	upd := chunkData(41, 1)
+	ta.mustWrite(t, 3, upd)
+	copy(data[3*testChunk:], upd)
+	if err := ta.e.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// After commit everything is parity-protected on the array: fail any
+	// device without flushing.
+	for d := 0; d < 5; d++ {
+		ta.main[d].Fail()
+		ta.verify(t, data, "post-commit failure with buffers enabled")
+		ta.main[d].Repair()
+	}
+}
+
+func TestStripeBufferFormsFullStripes(t *testing.T) {
+	ta := newTestArray(t, 5, 4, Config{StripeBufferStripes: 4})
+	// Write stripe 0 chunk by chunk: chunks buffer until the stripe is
+	// complete, then one direct full-stripe write.
+	var want []byte
+	for j := 0; j < 4; j++ {
+		upd := chunkData(50+j, 1)
+		ta.mustWrite(t, int64(j), upd)
+		want = append(want, upd...)
+	}
+	s := ta.e.Stats()
+	if s.FullStripeWrites != 1 {
+		t.Errorf("full-stripe writes = %d, want 1", s.FullStripeWrites)
+	}
+	if s.LogChunkWrites != 0 {
+		t.Errorf("log chunks = %d, want 0 (stripe buffer should have assembled the stripe)", s.LogChunkWrites)
+	}
+	got := make([]byte, len(want))
+	if _, err := ta.e.ReadChunks(0, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("assembled stripe mismatched")
+	}
+}
+
+func TestStripeBufferReadYourWrites(t *testing.T) {
+	ta := newTestArray(t, 5, 4, Config{StripeBufferStripes: 4})
+	upd := chunkData(60, 2)
+	ta.mustWrite(t, 0, upd) // partial new write, buffered
+	got := make([]byte, 2*testChunk)
+	if _, err := ta.e.ReadChunks(0, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, upd) {
+		t.Fatal("buffered new write not visible to reads")
+	}
+}
+
+func TestStripeBufferEvictionGoesElastic(t *testing.T) {
+	// Overflow the stripe buffer with partial writes to many stripes:
+	// the oldest must be evicted through the elastic update path.
+	ta := newTestArray(t, 5, 4, Config{StripeBufferStripes: 2}) // 8 chunks
+	var want = make([]byte, ta.e.Chunks()*testChunk)
+	for s := 0; s < 6; s++ {
+		upd := chunkData(70+s, 2) // half of each stripe
+		lba := int64(s * 4)
+		ta.mustWrite(t, lba, upd)
+		copy(want[lba*testChunk:], upd)
+	}
+	s := ta.e.Stats()
+	if s.LogStripes == 0 {
+		t.Error("no evictions happened despite overflow")
+	}
+	if err := ta.e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ta.verify(t, want, "after stripe-buffer evictions")
+	// And the data survives a failure once flushed.
+	ta.main[2].Fail()
+	ta.verify(t, want, "degraded after evictions")
+}
+
+func TestFlushEmptyBuffersIsNoOp(t *testing.T) {
+	ta := newTestArray(t, 5, 4, Config{DeviceBufferChunks: 4, StripeBufferStripes: 2})
+	if err := ta.e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s := ta.e.Stats(); s.LogStripes != 0 || s.DataWriteChunks != 0 {
+		t.Error("flush of empty buffers performed writes")
+	}
+}
+
+// TestQuickConsistencyWithRandomConfig drives random workloads against
+// random configurations and checks contents plus single-failure recovery.
+func TestQuickConsistencyWithRandomConfig(t *testing.T) {
+	prop := func(seed int64, bufRaw, commitRaw uint8) bool {
+		cfg := Config{
+			DeviceBufferChunks: int(bufRaw % 5), // 0..4
+			CommitEvery:        int(commitRaw % 8),
+		}
+		n, k := 5, 4
+		devs := make([]device.Dev, n)
+		fmain := make([]*device.Faulty, n)
+		for i := range devs {
+			f := device.NewFaulty(device.NewMem(testDevChunks, testChunk))
+			fmain[i] = f
+			devs[i] = f
+		}
+		logs := []device.Dev{device.NewMem(testLogChunks, testChunk)}
+		cfg.K = k
+		cfg.Stripes = testStripes
+		e, err := New(devs, logs, cfg)
+		if err != nil {
+			return false
+		}
+		r := rand.New(rand.NewSource(seed))
+		want := make([]byte, e.Chunks()*int64(testChunk))
+		r.Read(want)
+		if _, err := e.WriteChunks(0, 0, want); err != nil {
+			return false
+		}
+		for i := 0; i < 40; i++ {
+			nC := 1 + r.Intn(3)
+			lba := int64(r.Intn(int(e.Chunks()) - nC))
+			upd := make([]byte, nC*testChunk)
+			r.Read(upd)
+			if _, err := e.WriteChunks(0, lba, upd); err != nil {
+				return false
+			}
+			copy(want[lba*int64(testChunk):], upd)
+		}
+		got := make([]byte, len(want))
+		if _, err := e.ReadChunks(0, 0, got); err != nil {
+			return false
+		}
+		if !bytes.Equal(got, want) {
+			return false
+		}
+		// Single failure must be tolerable after a flush.
+		if err := e.Flush(); err != nil {
+			return false
+		}
+		d := r.Intn(n)
+		fmain[d].Fail()
+		if _, err := e.ReadChunks(0, 0, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, want)
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(99))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHotColdGroupingKeepsHotChunks: with hot/cold grouping, a chunk that
+// keeps absorbing updates must survive buffer evictions that FIFO would
+// have applied to it.
+func TestHotColdGroupingKeepsHotChunks(t *testing.T) {
+	run := func(hotCold bool) int64 {
+		ta := newTestArray(t, 5, 4, Config{DeviceBufferChunks: 2, HotColdGrouping: hotCold})
+		data := chunkData(1, int(ta.e.Chunks()))
+		ta.mustWrite(t, 0, data)
+		// All these LBAs live on device 0 (data slot j of stripe s is on
+		// device (j+s)%5): 0 is the hot chunk, the others rotate as cold
+		// traffic that forces an eviction every round. The hot chunk
+		// absorbs a hit before each eviction decision, so coldest-first
+		// keeps it while FIFO throws it out.
+		hot := int64(0)
+		colds := []int64{11, 14, 17} // stripes 2,3,4 slots 3,2,1
+		for round := 0; round < 30; round++ {
+			ta.mustWrite(t, hot, chunkData(100+round, 1))
+			ta.mustWrite(t, hot, chunkData(150+round, 1))
+			ta.mustWrite(t, colds[round%3], chunkData(200+round, 1))
+		}
+		return ta.e.Stats().AbsorbedChunks
+	}
+	fifo := run(false)
+	hc := run(true)
+	if hc <= fifo {
+		t.Errorf("hot/cold grouping absorbed %d <= FIFO %d", hc, fifo)
+	}
+}

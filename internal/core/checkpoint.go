@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/metadata"
+)
+
+// Snapshot captures the complete metadata state as a full-checkpoint
+// payload and clears the dirty-metadata tracking.
+func (e *EPLog) Snapshot() *metadata.Snapshot {
+	s := &metadata.Snapshot{
+		K:         int32(e.geo.K),
+		N:         int32(e.geo.N),
+		Stripes:   e.geo.Stripes,
+		ChunkSize: int32(e.csize),
+		NextLogID: e.nextLogID,
+		LogCursor: e.logCursor,
+	}
+	s.StripeRecs = make([]metadata.StripeRecord, 0, e.geo.Stripes)
+	for st := int64(0); st < e.geo.Stripes; st++ {
+		s.StripeRecs = append(s.StripeRecs, e.stripeRecord(st))
+	}
+	s.LogStripes = e.logStripeRecords()
+	clear(e.metaDirty)
+	return s
+}
+
+// DirtyDelta captures the metadata dirtied since the last Snapshot or
+// DirtyDelta call as an incremental-checkpoint payload, then clears the
+// tracking.
+func (e *EPLog) DirtyDelta() *metadata.Delta {
+	d := &metadata.Delta{NextLogID: e.nextLogID, LogCursor: e.logCursor}
+	stripes := make([]int64, 0, len(e.metaDirty))
+	for s := range e.metaDirty {
+		stripes = append(stripes, s)
+	}
+	sort.Slice(stripes, func(i, j int) bool { return stripes[i] < stripes[j] })
+	for _, s := range stripes {
+		d.StripeRecs = append(d.StripeRecs, e.stripeRecord(s))
+	}
+	d.LogStripes = e.logStripeRecords()
+	clear(e.metaDirty)
+	return d
+}
+
+func (e *EPLog) stripeRecord(stripe int64) metadata.StripeRecord {
+	k := e.geo.K
+	rec := metadata.StripeRecord{
+		Stripe:    stripe,
+		Latest:    make([]metadata.Loc, k),
+		Prot:      make([]int64, k),
+		Committed: make([]metadata.Loc, k),
+		Virgin:    e.virgin[stripe],
+	}
+	_, rec.Dirty = e.dirty[stripe]
+	for j := 0; j < k; j++ {
+		lba := e.geo.LBA(stripe, j)
+		rec.Latest[j] = metadata.Loc{Dev: int32(e.latest[lba].Dev), Chunk: e.latest[lba].Chunk}
+		rec.Prot[j] = e.latestProt[lba]
+		rec.Committed[j] = metadata.Loc{Dev: int32(e.commLoc[lba].Dev), Chunk: e.commLoc[lba].Chunk}
+	}
+	return rec
+}
+
+func (e *EPLog) logStripeRecords() []metadata.LogStripeRecord {
+	ids := make([]int64, 0, len(e.logStripes))
+	for id := range e.logStripes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	recs := make([]metadata.LogStripeRecord, 0, len(ids))
+	for _, id := range ids {
+		ls := e.logStripes[id]
+		rec := metadata.LogStripeRecord{ID: ls.id, LogPos: ls.logPos}
+		for _, mb := range ls.members {
+			rec.Members = append(rec.Members, metadata.Member{
+				LBA: mb.lba,
+				Loc: metadata.Loc{Dev: int32(mb.loc.Dev), Chunk: mb.loc.Chunk},
+			})
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// Restore rebuilds an EPLog array from a metadata snapshot over the given
+// devices, reconstructing the location maps, log-stripe set, and per-device
+// allocators. Buffer contents are not part of persistent metadata (they
+// are RAM), so cfg's buffer settings start empty.
+func Restore(devs, logDevs []device.Dev, cfg Config, snap *metadata.Snapshot) (*EPLog, error) {
+	if snap.K != int32(cfg.K) || snap.Stripes != cfg.Stripes {
+		return nil, fmt.Errorf("core: snapshot geometry k=%d stripes=%d does not match config k=%d stripes=%d",
+			snap.K, snap.Stripes, cfg.K, cfg.Stripes)
+	}
+	if int(snap.N) != len(devs) {
+		return nil, fmt.Errorf("core: snapshot has %d devices, got %d", snap.N, len(devs))
+	}
+	e, err := New(devs, logDevs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if int32(e.csize) != snap.ChunkSize {
+		return nil, fmt.Errorf("core: snapshot chunk size %d != device chunk size %d", snap.ChunkSize, e.csize)
+	}
+
+	for _, rec := range snap.StripeRecs {
+		if rec.Stripe < 0 || rec.Stripe >= cfg.Stripes || len(rec.Latest) != cfg.K {
+			return nil, fmt.Errorf("core: malformed stripe record %d", rec.Stripe)
+		}
+		e.virgin[rec.Stripe] = rec.Virgin
+		if rec.Dirty {
+			e.dirty[rec.Stripe] = struct{}{}
+		}
+		for j := 0; j < cfg.K; j++ {
+			lba := e.geo.LBA(rec.Stripe, j)
+			e.latest[lba] = Loc{Dev: int(rec.Latest[j].Dev), Chunk: rec.Latest[j].Chunk}
+			e.latestProt[lba] = rec.Prot[j]
+			e.commLoc[lba] = Loc{Dev: int(rec.Committed[j].Dev), Chunk: rec.Committed[j].Chunk}
+		}
+	}
+	for _, rec := range snap.LogStripes {
+		ls := &logStripe{id: rec.ID, logPos: rec.LogPos}
+		for _, mb := range rec.Members {
+			ls.members = append(ls.members, member{
+				lba: mb.LBA,
+				loc: Loc{Dev: int(mb.Loc.Dev), Chunk: mb.Loc.Chunk},
+			})
+		}
+		e.logStripes[rec.ID] = ls
+	}
+	e.nextLogID = snap.NextLogID
+	e.logCursor = snap.LogCursor
+
+	// Rebuild the allocators: a chunk is in use iff something references
+	// it — a latest or committed version, a log-stripe member, or a
+	// parity home (parity always lives at its stripe's home chunk).
+	usedPer := make([][]bool, len(devs))
+	for d := range usedPer {
+		usedPer[d] = make([]bool, devs[d].Chunks())
+	}
+	for lba := int64(0); lba < e.geo.Chunks(); lba++ {
+		usedPer[e.latest[lba].Dev][e.latest[lba].Chunk] = true
+		usedPer[e.commLoc[lba].Dev][e.commLoc[lba].Chunk] = true
+	}
+	for _, ls := range e.logStripes {
+		for _, mb := range ls.members {
+			usedPer[mb.loc.Dev][mb.loc.Chunk] = true
+		}
+	}
+	for s := int64(0); s < e.geo.Stripes; s++ {
+		for i := 0; i < e.geo.M(); i++ {
+			usedPer[e.geo.ParityDev(s, i)][e.geo.HomeChunk(s)] = true
+		}
+	}
+	for d := range devs {
+		e.alloc[d] = newAllocatorFromUsed(usedPer[d])
+	}
+	return e, nil
+}

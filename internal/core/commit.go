@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"github.com/eplog/eplog/internal/device"
+)
+
+// Commit implements store.Store: the parity commit of Section III-C. For
+// every data stripe updated since the last commit it reads the latest data
+// chunks from the SSDs, recomputes the parity, and writes it back in
+// place; then it releases all superseded data versions and the entire log
+// space. In normal mode (no failed SSD) the log devices are never read.
+func (e *EPLog) Commit() error {
+	_, err := e.CommitAt(0)
+	return err
+}
+
+// CommitAt is Commit with virtual-time accounting; it returns the
+// completion time of the commit's device work.
+func (e *EPLog) CommitAt(start float64) (float64, error) {
+	span := device.NewSpan(start)
+	if e.inCommit {
+		return start, nil
+	}
+	// Drain RAM buffers first so the committed parity covers everything
+	// acknowledged so far.
+	if err := e.flush(span); err != nil {
+		return start, err
+	}
+	e.inCommit = true
+	defer func() { e.inCommit = false }()
+
+	// Deterministic stripe order keeps runs reproducible.
+	stripes := make([]int64, 0, len(e.dirty))
+	for s := range e.dirty {
+		stripes = append(stripes, s)
+	}
+	sort.Slice(stripes, func(i, j int) bool { return stripes[i] < stripes[j] })
+
+	k, m := e.geo.K, e.geo.M()
+	code, err := e.code(k)
+	if err != nil {
+		return start, err
+	}
+	for _, s := range stripes {
+		home := e.geo.HomeChunk(s)
+		shards := make([][]byte, k+m)
+		for j := 0; j < k; j++ {
+			data, err := e.readLatest(span, e.geo.LBA(s, j))
+			if err != nil {
+				return start, err
+			}
+			shards[j] = data
+			e.stats.CommitReadChunks++
+		}
+		for i := 0; i < m; i++ {
+			shards[k+i] = make([]byte, e.csize)
+		}
+		if err := code.Encode(shards); err != nil {
+			return start, err
+		}
+		for i := 0; i < m; i++ {
+			if err := span.Write(e.devs[e.geo.ParityDev(s, i)], home, shards[k+i]); err != nil {
+				if !errors.Is(err, device.ErrFailed) {
+					return start, err
+				}
+				span.ClearErr() // restored later by Rebuild
+			}
+			e.stats.ParityWriteChunks++
+			e.stats.CommitWriteChunks++
+		}
+	}
+
+	// Release superseded versions: every log-stripe member that is no
+	// longer the latest version of its LBA, and every committed location
+	// that was superseded by an update.
+	for _, ls := range e.logStripes {
+		for _, mb := range ls.members {
+			if e.latest[mb.lba] != mb.loc {
+				e.releaseLoc(mb.loc)
+			}
+		}
+	}
+	for _, s := range stripes {
+		for j := 0; j < k; j++ {
+			lba := e.geo.LBA(s, j)
+			if e.commLoc[lba] != e.latest[lba] {
+				e.releaseLoc(e.commLoc[lba])
+				e.commLoc[lba] = e.latest[lba]
+			}
+			e.latestProt[lba] = committed
+		}
+		e.metaDirty[s] = struct{}{}
+	}
+
+	// The log devices are now free end to end.
+	clear(e.logStripes)
+	e.logCursor = 0
+	clear(e.dirty)
+	e.reqSinceCommit = 0
+	e.stats.Commits++
+	return span.End(), nil
+}
+
+// releaseLoc returns a superseded chunk to its device's free pool,
+// optionally trimming it on the SSD.
+func (e *EPLog) releaseLoc(l Loc) {
+	e.alloc[l.Dev].release(l.Chunk)
+	if e.cfg.TrimOnCommit {
+		// Best effort: a failed device cannot be trimmed, which is fine
+		// because its contents are rebuilt wholesale.
+		_ = e.devs[l.Dev].Trim(l.Chunk, 1)
+	}
+}

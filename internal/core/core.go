@@ -1,0 +1,245 @@
+// Package core implements EPLog, the paper's elastic parity logging layer
+// for SSD RAID arrays. Data chunks live on a main array of SSDs; parity
+// traffic is redirected to separate log devices as "log chunks" computed
+// from newly written data only — no pre-reads — over elastic log stripes
+// that may span part of a data stripe or several. Updates are written
+// out-of-place at the system level (the no-overwrite policy), keeping old
+// versions addressable so both committed data stripes and pending log
+// stripes stay decodable. A background parity commit folds the latest data
+// into the on-array parity without ever reading the log devices, then
+// releases old versions and log space.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/erasure"
+	"github.com/eplog/eplog/internal/store"
+)
+
+// Errors returned by EPLog.
+var (
+	ErrTooManyFailures = errors.New("core: too many failed devices")
+	ErrLogDevices      = errors.New("core: need one log device per parity chunk")
+)
+
+// Loc addresses a chunk on the main array.
+type Loc struct {
+	// Dev is the SSD index within the main array.
+	Dev int
+	// Chunk is the device-local chunk index.
+	Chunk int64
+}
+
+// committed marks an LBA whose latest version is covered by its data
+// stripe's parity rather than by a log stripe.
+const committed = int64(-1)
+
+// Config parameterizes an EPLog array.
+type Config struct {
+	// K is the number of data chunks per stripe; the array tolerates
+	// len(devices)-K failures.
+	K int
+	// Stripes is the number of data stripes.
+	Stripes int64
+	// DeviceBufferChunks enables the per-SSD update buffers when > 0
+	// (Section III-D); each buffer holds that many chunks.
+	DeviceBufferChunks int
+	// HotColdGrouping changes the device buffers' eviction from FIFO to
+	// coldest-first (fewest absorbed re-writes), keeping hot chunks
+	// buffered longer — the hot/cold grouping extension the paper
+	// suggests adopting from flash-aware designs.
+	HotColdGrouping bool
+	// StripeBufferStripes enables the new-write stripe buffer when > 0,
+	// holding that many stripes' worth of chunks.
+	StripeBufferStripes int
+	// CommitEvery triggers an automatic parity commit after that many
+	// write requests when > 0 (Section III-C, scenario iv).
+	CommitEvery int
+	// TrimOnCommit issues TRIM for chunks released by parity commit,
+	// the paper's optional extension for further GC reduction.
+	TrimOnCommit bool
+	// CommitGuardChunks forces a parity commit whenever a device's free
+	// update space falls to this many chunks (the paper's scenario (ii),
+	// with a guard band so the underlying flash never reaches full
+	// logical utilization). Zero selects a default of one sixteenth of the
+	// device.
+	CommitGuardChunks int64
+}
+
+// Stats counts EPLog activity.
+type Stats struct {
+	// DataWriteChunks counts data chunks written to the main array.
+	DataWriteChunks int64
+	// ParityWriteChunks counts parity chunks written to the main array
+	// (full-stripe writes and parity commits).
+	ParityWriteChunks int64
+	// LogChunkWrites counts log chunks appended to the log devices.
+	LogChunkWrites int64
+	// LogBytes is the total log-device write traffic.
+	LogBytes int64
+	// LogStripes counts log stripes formed.
+	LogStripes int64
+	// LogStripeMembers counts data chunks across all log stripes, so
+	// LogStripeMembers/LogStripes is the mean elastic width k'.
+	LogStripeMembers int64
+	// AbsorbedChunks counts chunk writes absorbed by the device buffers.
+	AbsorbedChunks int64
+	// FullStripeWrites counts stripes written directly with parity.
+	FullStripeWrites int64
+	// Commits counts parity-commit operations.
+	Commits int64
+	// CommitReadChunks and CommitWriteChunks count parity-commit I/O on
+	// the main array.
+	CommitReadChunks  int64
+	CommitWriteChunks int64
+	// Requests counts user write requests.
+	Requests int64
+}
+
+// logStripe records an elastic log stripe: up to one member chunk per SSD
+// plus one log chunk per log device, all at the same log-device offset.
+type logStripe struct {
+	id      int64
+	members []member
+	logPos  int64 // chunk index on every log device
+}
+
+// member is one data chunk version protected by a log stripe.
+type member struct {
+	lba int64
+	loc Loc
+}
+
+// EPLog is an elastic-parity-logging array. It implements store.Store.
+type EPLog struct {
+	geo     store.Geometry
+	codes   *erasure.Cache
+	devs    []device.Dev // main array (SSDs)
+	logDevs []device.Dev // log devices (HDDs), one per parity dimension
+	csize   int
+	cfg     Config
+
+	latest     []Loc   // per-LBA latest version location
+	latestProt []int64 // per-LBA protector: committed or a log stripe id
+	commLoc    []Loc   // per-LBA committed version location
+	virgin     []bool  // per-stripe: never written (direct path eligible)
+	dirty      map[int64]struct{}
+	metaDirty  map[int64]struct{} // stripes whose metadata changed since the last checkpoint
+
+	alloc      []*allocator
+	logStripes map[int64]*logStripe
+	nextLogID  int64
+	logCursor  int64
+
+	devBufs   []*deviceBuffer
+	stripeBuf *stripeBuffer
+
+	reqSinceCommit int
+	inCommit       bool
+	stats          Stats
+}
+
+var _ store.Store = (*EPLog)(nil)
+
+// New builds an EPLog array over devs (the main array) and logDevs (one
+// per parity dimension). Each main-array device needs cfg.Stripes home
+// chunks plus headroom for no-overwrite updates; the headroom is whatever
+// capacity the devices have beyond the homes.
+func New(devs, logDevs []device.Dev, cfg Config) (*EPLog, error) {
+	if len(devs) < 2 {
+		return nil, fmt.Errorf("core: need at least 2 devices, got %d", len(devs))
+	}
+	geo, err := store.NewGeometry(len(devs), cfg.K, cfg.Stripes)
+	if err != nil {
+		return nil, err
+	}
+	if len(logDevs) != geo.M() {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrLogDevices, len(logDevs), geo.M())
+	}
+	csize := devs[0].ChunkSize()
+	for i, d := range devs {
+		if d.ChunkSize() != csize {
+			return nil, fmt.Errorf("core: device %d chunk size %d != %d", i, d.ChunkSize(), csize)
+		}
+		if d.Chunks() <= cfg.Stripes {
+			return nil, fmt.Errorf("core: device %d has %d chunks; need more than %d stripe homes for update headroom",
+				i, d.Chunks(), cfg.Stripes)
+		}
+	}
+	for i, d := range logDevs {
+		if d.ChunkSize() != csize {
+			return nil, fmt.Errorf("core: log device %d chunk size %d != %d", i, d.ChunkSize(), csize)
+		}
+	}
+
+	e := &EPLog{
+		geo:        geo,
+		codes:      erasure.NewCache(erasure.Cauchy),
+		devs:       devs,
+		logDevs:    logDevs,
+		csize:      csize,
+		cfg:        cfg,
+		latest:     make([]Loc, geo.Chunks()),
+		latestProt: make([]int64, geo.Chunks()),
+		commLoc:    make([]Loc, geo.Chunks()),
+		virgin:     make([]bool, cfg.Stripes),
+		dirty:      make(map[int64]struct{}),
+		metaDirty:  make(map[int64]struct{}),
+		alloc:      make([]*allocator, len(devs)),
+		logStripes: make(map[int64]*logStripe),
+	}
+	for lba := int64(0); lba < geo.Chunks(); lba++ {
+		s, j := geo.Stripe(lba)
+		home := Loc{Dev: geo.DataDev(s, j), Chunk: geo.HomeChunk(s)}
+		e.latest[lba] = home
+		e.latestProt[lba] = committed
+		e.commLoc[lba] = home
+	}
+	for i := range e.virgin {
+		e.virgin[i] = true
+	}
+	for i, d := range devs {
+		e.alloc[i] = newAllocator(d.Chunks(), cfg.Stripes)
+	}
+	if e.cfg.CommitGuardChunks == 0 {
+		e.cfg.CommitGuardChunks = devs[0].Chunks() / 16
+	}
+	if cfg.DeviceBufferChunks > 0 {
+		e.devBufs = make([]*deviceBuffer, len(devs))
+		for i := range e.devBufs {
+			e.devBufs[i] = newDeviceBuffer(cfg.DeviceBufferChunks)
+			e.devBufs[i].hotCold = cfg.HotColdGrouping
+		}
+	}
+	if cfg.StripeBufferStripes > 0 {
+		e.stripeBuf = newStripeBuffer(cfg.StripeBufferStripes * cfg.K)
+	}
+	return e, nil
+}
+
+// Chunks implements store.Store.
+func (e *EPLog) Chunks() int64 { return e.geo.Chunks() }
+
+// ChunkSize implements store.Store.
+func (e *EPLog) ChunkSize() int { return e.csize }
+
+// Stats returns a snapshot of the counters.
+func (e *EPLog) Stats() Stats { return e.stats }
+
+// Geometry exposes the array layout.
+func (e *EPLog) Geometry() store.Geometry { return e.geo }
+
+// PendingLogChunks returns the occupied log-device chunks across all log
+// devices.
+func (e *EPLog) PendingLogChunks() int64 { return e.logCursor * int64(e.geo.M()) }
+
+// PendingLogStripes returns the number of un-committed log stripes.
+func (e *EPLog) PendingLogStripes() int { return len(e.logStripes) }
+
+// code returns the memoized k'-of-(k'+m) code.
+func (e *EPLog) code(kPrime int) (*erasure.Code, error) {
+	return e.codes.Get(kPrime, e.geo.M())
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/eplog/eplog/internal/device"
+)
+
+// TestDegradedWriteRecoverable: writes issued while a device is failed
+// land only on the surviving devices, yet remain readable (via their log
+// stripes) and are fully restored by Rebuild.
+func TestDegradedWriteRecoverable(t *testing.T) {
+	ta := newTestArray(t, 5, 4, Config{})
+	data := chunkData(1, int(ta.e.Chunks()))
+	ta.mustWrite(t, 0, data)
+	if err := ta.e.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	ta.main[1].Fail()
+	// Update chunks across all devices, including ones whose current
+	// version lives on the failed device.
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 30; i++ {
+		nC := 1 + r.Intn(2)
+		lba := int64(r.Intn(int(ta.e.Chunks()) - nC))
+		upd := chunkData(10+i, nC)
+		ta.mustWrite(t, lba, upd)
+		copy(data[lba*testChunk:], upd)
+	}
+	// Degraded reads return the acknowledged data even though some new
+	// versions were never physically written.
+	ta.verify(t, data, "degraded read after degraded writes")
+
+	// Rebuild materializes the lost versions onto the replacement.
+	if err := ta.e.Rebuild(1, device.NewMem(testDevChunks, testChunk)); err != nil {
+		t.Fatal(err)
+	}
+	ta.verify(t, data, "after rebuilding degraded writes")
+
+	// And the array is again consistent and single-failure tolerant.
+	rep, err := ta.e.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("scrub after degraded-write rebuild: %+v", rep)
+	}
+	ta.main[3].Fail()
+	ta.verify(t, data, "fresh failure after rebuild")
+}
+
+// TestDegradedCommitThenRebuild: a parity commit executed while a device
+// is failed must produce correct parity (reading latest versions via
+// reconstruction) and skip writes to the dead device; Rebuild then
+// restores it.
+func TestDegradedCommitThenRebuild(t *testing.T) {
+	ta := newTestArray(t, 6, 4, Config{})
+	data := chunkData(3, int(ta.e.Chunks()))
+	ta.mustWrite(t, 0, data)
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 40; i++ {
+		nC := 1 + r.Intn(2)
+		lba := int64(r.Intn(int(ta.e.Chunks()) - nC))
+		upd := chunkData(50+i, nC)
+		ta.mustWrite(t, lba, upd)
+		copy(data[lba*testChunk:], upd)
+	}
+
+	ta.main[2].Fail()
+	if err := ta.e.Commit(); err != nil {
+		t.Fatalf("degraded commit: %v", err)
+	}
+	// Post-commit, log space is gone; the failed device plus one more
+	// failure must still be tolerable (RAID-6 budget).
+	ta.main[5].Fail()
+	ta.verify(t, data, "two failures after degraded commit")
+	ta.main[5].Repair()
+
+	if err := ta.e.Rebuild(2, device.NewMem(testDevChunks, testChunk)); err != nil {
+		t.Fatal(err)
+	}
+	ta.verify(t, data, "after post-degraded-commit rebuild")
+	rep, err := ta.e.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("scrub: bad data stripes %v, bad log stripes %v", rep.BadDataStripes, rep.BadLogStripes)
+	}
+}
+
+// TestMultiVersionDegradedRead: several pending versions of the same chunk
+// coexist; with a device failed, the read must return the newest one, and
+// every other member of every log stripe must still decode.
+func TestMultiVersionDegradedRead(t *testing.T) {
+	ta := newTestArray(t, 5, 4, Config{})
+	data := chunkData(5, int(ta.e.Chunks()))
+	ta.mustWrite(t, 0, data)
+
+	var last []byte
+	for v := 0; v < 6; v++ {
+		// Interleave the hot chunk with neighbours so the log stripes
+		// have multiple members.
+		last = chunkData(100+v, 1)
+		if _, err := ta.e.WriteChunks(0, 9, append(append([]byte{}, last...), chunkData(200+v, 1)...)); err != nil {
+			t.Fatal(err)
+		}
+		copy(data[9*testChunk:], last)
+		copy(data[10*testChunk:], chunkData(200+v, 1))
+	}
+	dev := ta.e.latest[9].Dev
+	ta.main[dev].Fail()
+	got := make([]byte, testChunk)
+	if _, err := ta.e.ReadChunks(0, 9, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, last) {
+		t.Fatal("degraded read did not return the newest version")
+	}
+	ta.verify(t, data, "full degraded read with version chains")
+}

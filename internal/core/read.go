@@ -1,0 +1,182 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/store"
+)
+
+// ReadChunks implements store.Store. Reads return the latest acknowledged
+// contents: buffered chunks come straight from memory, and chunks on
+// failed devices are reconstructed through whichever stripe protects their
+// latest version — the data stripe (committed) or a log stripe (pending).
+func (e *EPLog) ReadChunks(start float64, lba int64, p []byte) (float64, error) {
+	nChunks := int64(len(p) / e.csize)
+	if int(nChunks)*e.csize != len(p) || nChunks == 0 {
+		return start, fmt.Errorf("core: buffer length %d not a positive chunk multiple", len(p))
+	}
+	if lba < 0 || lba+nChunks > e.geo.Chunks() {
+		return start, fmt.Errorf("%w: [%d,%d) of %d", store.ErrWriteTooLarge, lba, lba+nChunks, e.geo.Chunks())
+	}
+	span := device.NewSpan(start)
+	for off := int64(0); off < nChunks; off++ {
+		buf := p[off*int64(e.csize) : (off+1)*int64(e.csize)]
+		if err := e.readLBA(span, lba+off, buf); err != nil {
+			return start, err
+		}
+	}
+	if span.Err() != nil {
+		return start, span.Err()
+	}
+	return span.End(), nil
+}
+
+// readLBA reads the latest contents of one logical chunk.
+func (e *EPLog) readLBA(span *device.Span, lba int64, out []byte) error {
+	// Pending writes in memory win.
+	if e.devBufs != nil {
+		dev := e.latest[lba].Dev
+		if data, ok := e.devBufs[dev].get(lba); ok {
+			copy(out, data)
+			return nil
+		}
+	}
+	if e.stripeBuf != nil {
+		s, _ := e.geo.Stripe(lba)
+		if data, ok := e.stripeBuf.peek(s, lba); ok {
+			copy(out, data)
+			return nil
+		}
+	}
+
+	loc := e.latest[lba]
+	err := span.Read(e.devs[loc.Dev], loc.Chunk, out)
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, device.ErrFailed) {
+		return err
+	}
+	span.ClearErr()
+	return e.degradedRead(span, lba, out)
+}
+
+// degradedRead reconstructs the latest version of an LBA whose device has
+// failed.
+func (e *EPLog) degradedRead(span *device.Span, lba int64, out []byte) error {
+	if prot := e.latestProt[lba]; prot != committed {
+		ls, ok := e.logStripes[prot]
+		if !ok {
+			return fmt.Errorf("core: protector log stripe %d missing for lba %d", prot, lba)
+		}
+		shard, err := e.decodeLogStripe(span, ls, lba)
+		if err != nil {
+			return err
+		}
+		copy(out, shard)
+		return nil
+	}
+	s, slot := e.geo.Stripe(lba)
+	data, err := e.decodeCommitted(span, s)
+	if err != nil {
+		return err
+	}
+	copy(out, data[slot])
+	return nil
+}
+
+// decodeLogStripe reconstructs the version of wantLBA protected by log
+// stripe ls, reading the surviving members from the SSDs and the log
+// chunks from the log devices.
+func (e *EPLog) decodeLogStripe(span *device.Span, ls *logStripe, wantLBA int64) ([]byte, error) {
+	kPrime, m := len(ls.members), e.geo.M()
+	shards := make([][]byte, kPrime+m)
+	want := -1
+	for i, mb := range ls.members {
+		if mb.lba == wantLBA {
+			want = i
+		}
+		buf := make([]byte, e.csize)
+		if err := span.Read(e.devs[mb.loc.Dev], mb.loc.Chunk, buf); err != nil {
+			if !errors.Is(err, device.ErrFailed) {
+				return nil, err
+			}
+			span.ClearErr()
+			continue
+		}
+		shards[i] = buf
+	}
+	if want < 0 {
+		return nil, fmt.Errorf("core: lba %d not a member of log stripe %d", wantLBA, ls.id)
+	}
+	for i := 0; i < m; i++ {
+		buf := make([]byte, e.csize)
+		if err := span.Read(e.logDevs[i], ls.logPos, buf); err != nil {
+			if !errors.Is(err, device.ErrFailed) {
+				return nil, err
+			}
+			span.ClearErr()
+			continue
+		}
+		shards[kPrime+i] = buf
+	}
+	code, err := e.code(kPrime)
+	if err != nil {
+		return nil, err
+	}
+	if err := code.ReconstructData(shards); err != nil {
+		return nil, fmt.Errorf("%w: log stripe %d: %v", ErrTooManyFailures, ls.id, err)
+	}
+	return shards[want], nil
+}
+
+// decodeCommitted reconstructs the committed contents of every data slot
+// of a stripe from the surviving committed chunks and parity.
+func (e *EPLog) decodeCommitted(span *device.Span, stripe int64) ([][]byte, error) {
+	k, m := e.geo.K, e.geo.M()
+	home := e.geo.HomeChunk(stripe)
+	shards := make([][]byte, k+m)
+	for j := 0; j < k; j++ {
+		loc := e.commLoc[e.geo.LBA(stripe, j)]
+		buf := make([]byte, e.csize)
+		if err := span.Read(e.devs[loc.Dev], loc.Chunk, buf); err != nil {
+			if !errors.Is(err, device.ErrFailed) {
+				return nil, err
+			}
+			span.ClearErr()
+			continue
+		}
+		shards[j] = buf
+	}
+	for i := 0; i < m; i++ {
+		buf := make([]byte, e.csize)
+		if err := span.Read(e.devs[e.geo.ParityDev(stripe, i)], home, buf); err != nil {
+			if !errors.Is(err, device.ErrFailed) {
+				return nil, err
+			}
+			span.ClearErr()
+			continue
+		}
+		shards[k+i] = buf
+	}
+	code, err := e.code(k)
+	if err != nil {
+		return nil, err
+	}
+	if err := code.ReconstructData(shards); err != nil {
+		return nil, fmt.Errorf("%w: stripe %d: %v", ErrTooManyFailures, stripe, err)
+	}
+	return shards[:k], nil
+}
+
+// readLatest returns the latest contents of an LBA using degraded
+// reconstruction when needed; it is the commit path's read primitive.
+func (e *EPLog) readLatest(span *device.Span, lba int64) ([]byte, error) {
+	buf := make([]byte, e.csize)
+	if err := e.readLBA(span, lba, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/eplog/eplog/internal/device"
+)
+
+// Rebuild reconstructs every chunk of a failed main-array SSD onto a
+// replacement device and swaps it in. Committed versions are decoded from
+// their data stripes; pending versions are decoded from their log stripes
+// (which reads the log devices — the only time EPLog does). All location
+// metadata stays valid because the replacement inherits the device index
+// and chunk numbering.
+func (e *EPLog) Rebuild(devIdx int, replacement device.Dev) error {
+	if devIdx < 0 || devIdx >= e.geo.N {
+		return fmt.Errorf("core: device index %d out of range", devIdx)
+	}
+	if replacement.ChunkSize() != e.csize || replacement.Chunks() < e.devs[devIdx].Chunks() {
+		return fmt.Errorf("core: replacement geometry mismatch")
+	}
+	span := device.NewSpan(0)
+	k, m := e.geo.K, e.geo.M()
+	code, err := e.code(k)
+	if err != nil {
+		return err
+	}
+
+	// Committed data and parity per stripe.
+	for s := int64(0); s < e.geo.Stripes; s++ {
+		home := e.geo.HomeChunk(s)
+
+		// The one data slot of this stripe on devIdx, if any.
+		dataSlot := -1
+		for j := 0; j < k; j++ {
+			if e.commLoc[e.geo.LBA(s, j)].Dev == devIdx {
+				dataSlot = j
+				break
+			}
+		}
+		paritySlot := -1
+		for i := 0; i < m; i++ {
+			if e.geo.ParityDev(s, i) == devIdx {
+				paritySlot = i
+				break
+			}
+		}
+		if dataSlot < 0 && paritySlot < 0 {
+			continue
+		}
+		if e.virgin[s] {
+			continue // all zeroes; nothing to restore
+		}
+		data, err := e.decodeCommitted(span, s)
+		if err != nil {
+			return err
+		}
+		if dataSlot >= 0 {
+			loc := e.commLoc[e.geo.LBA(s, dataSlot)]
+			if err := replacement.WriteChunk(loc.Chunk, data[dataSlot]); err != nil {
+				return err
+			}
+		}
+		if paritySlot >= 0 {
+			shards := make([][]byte, k+m)
+			copy(shards, data)
+			parity := make([][]byte, m)
+			for i := range parity {
+				parity[i] = make([]byte, e.csize)
+				shards[k+i] = parity[i]
+			}
+			if err := code.Encode(shards); err != nil {
+				return err
+			}
+			if err := replacement.WriteChunk(home, parity[paritySlot]); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Pending versions written since the last commit.
+	for _, ls := range e.logStripes {
+		for _, mb := range ls.members {
+			if mb.loc.Dev != devIdx {
+				continue
+			}
+			shard, err := e.decodeLogStripe(span, ls, mb.lba)
+			if err != nil {
+				return err
+			}
+			if err := replacement.WriteChunk(mb.loc.Chunk, shard); err != nil {
+				return err
+			}
+		}
+	}
+
+	e.devs[devIdx] = replacement
+	return nil
+}
+
+// RecoverLogDevice replaces a failed log device. Because parity commit
+// never reads the log devices, the recovery is simply a commit (making all
+// log chunks unnecessary) followed by the swap.
+func (e *EPLog) RecoverLogDevice(dim int, replacement device.Dev) error {
+	if dim < 0 || dim >= e.geo.M() {
+		return fmt.Errorf("core: log device index %d out of range", dim)
+	}
+	if replacement.ChunkSize() != e.csize {
+		return fmt.Errorf("core: replacement chunk size mismatch")
+	}
+	if err := e.Commit(); err != nil {
+		return err
+	}
+	e.logDevs[dim] = replacement
+	return nil
+}

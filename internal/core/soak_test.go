@@ -1,0 +1,195 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/metadata"
+)
+
+// TestSoak interleaves every operation the engine supports — writes of all
+// shapes, parity commits, checkpoints, restores, device failures, rebuilds,
+// log-device recoveries, and scrubs — over thousands of steps, continually
+// checking contents against a shadow copy. It is the closest thing to a
+// long-running deployment the test suite has.
+func TestSoak(t *testing.T) {
+	steps := 4000
+	if testing.Short() {
+		steps = 600
+	}
+	const (
+		n, k      = 6, 4
+		soakChunk = 64
+		stripes   = 32
+		devCap    = stripes * 4
+	)
+	r := rand.New(rand.NewSource(7))
+
+	inner := make([]*device.Mem, n)
+	faulty := make([]*device.Faulty, n)
+	devs := make([]device.Dev, n)
+	for i := range devs {
+		inner[i] = device.NewMem(devCap, soakChunk)
+		faulty[i] = device.NewFaulty(inner[i])
+		devs[i] = faulty[i]
+	}
+	logFaulty := make([]*device.Faulty, n-k)
+	logs := make([]device.Dev, n-k)
+	for i := range logs {
+		logFaulty[i] = device.NewFaulty(device.NewMem(8192, soakChunk))
+		logs[i] = logFaulty[i]
+	}
+	cfg := Config{K: k, Stripes: stripes, DeviceBufferChunks: 4}
+	e, err := New(devs, logs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, err := metadata.Format(device.NewMem(4096, 256), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shadow := make([]byte, e.Chunks()*soakChunk)
+	r.Read(shadow)
+	if _, err := e.WriteChunks(0, 0, shadow); err != nil {
+		t.Fatal(err)
+	}
+	if err := vol.WriteFull(e.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+
+	failedDev := -1  // currently failed SSD
+	failedLog := -1  // currently failed log device
+	checkEvery := 97 // periodic full-content check
+
+	verify := func(context string) {
+		t.Helper()
+		got := make([]byte, len(shadow))
+		if _, err := e.ReadChunks(0, 0, got); err != nil {
+			t.Fatalf("step context %s: read: %v", context, err)
+		}
+		if !bytes.Equal(got, shadow) {
+			t.Fatalf("step context %s: contents diverged", context)
+		}
+	}
+
+	for step := 0; step < steps; step++ {
+		switch op := r.Intn(20); {
+		case op < 12: // write (mixed sizes)
+			nC := 1 + r.Intn(4)
+			lba := int64(r.Intn(int(e.Chunks()) - nC))
+			upd := make([]byte, nC*soakChunk)
+			r.Read(upd)
+			if _, err := e.WriteChunks(0, lba, upd); err != nil {
+				t.Fatalf("step %d: write: %v", step, err)
+			}
+			copy(shadow[lba*soakChunk:], upd)
+
+		case op == 12: // parity commit
+			if err := e.Commit(); err != nil {
+				t.Fatalf("step %d: commit: %v", step, err)
+			}
+
+		case op == 13: // incremental checkpoint
+			if err := vol.WriteIncremental(e.DirtyDelta()); err != nil {
+				t.Fatalf("step %d: incr checkpoint: %v", step, err)
+			}
+
+		case op == 14: // full checkpoint, then restore from it
+			if err := e.Flush(); err != nil {
+				t.Fatalf("step %d: flush: %v", step, err)
+			}
+			if err := vol.WriteFull(e.Snapshot()); err != nil {
+				t.Fatalf("step %d: full checkpoint: %v", step, err)
+			}
+			snap, err := vol.Load()
+			if err != nil {
+				t.Fatalf("step %d: load: %v", step, err)
+			}
+			e, err = Restore(devs, logs, cfg, snap)
+			if err != nil {
+				t.Fatalf("step %d: restore: %v", step, err)
+			}
+			verify("after restore")
+
+		case op == 15: // fail an SSD (at most one at a time alongside a log failure: m=2 budget)
+			if failedDev < 0 {
+				failedDev = r.Intn(n)
+				faulty[failedDev].Fail()
+			}
+
+		case op == 16: // rebuild the failed SSD
+			if failedDev >= 0 {
+				repl := device.NewMem(devCap, soakChunk)
+				wrapper := device.NewFaulty(repl)
+				if err := e.Rebuild(failedDev, wrapper); err != nil {
+					t.Fatalf("step %d: rebuild: %v", step, err)
+				}
+				inner[failedDev] = repl
+				faulty[failedDev] = wrapper
+				devs[failedDev] = wrapper
+				failedDev = -1
+				verify("after rebuild")
+			}
+
+		case op == 17: // fail a log device
+			if failedLog < 0 {
+				failedLog = r.Intn(n - k)
+				logFaulty[failedLog].Fail()
+			}
+
+		case op == 18: // recover the failed log device
+			if failedLog >= 0 {
+				repl := device.NewFaulty(device.NewMem(8192, soakChunk))
+				if err := e.RecoverLogDevice(failedLog, repl); err != nil {
+					t.Fatalf("step %d: recover log: %v", step, err)
+				}
+				logFaulty[failedLog] = repl
+				logs[failedLog] = repl
+				failedLog = -1
+			}
+
+		case op == 19: // scrub (only meaningful with all devices healthy)
+			if failedDev < 0 && failedLog < 0 {
+				if err := e.Flush(); err != nil {
+					t.Fatalf("step %d: flush: %v", step, err)
+				}
+				rep, err := e.Verify()
+				if err != nil {
+					t.Fatalf("step %d: scrub: %v", step, err)
+				}
+				if !rep.OK() {
+					t.Fatalf("step %d: scrub failed: %+v", step, rep)
+				}
+			}
+		}
+
+		if step%checkEvery == 0 {
+			verify("periodic")
+		}
+	}
+	// Final sweep: repair everything and verify one last time.
+	if failedDev >= 0 {
+		if err := e.Rebuild(failedDev, device.NewMem(devCap, soakChunk)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if failedLog >= 0 {
+		if err := e.RecoverLogDevice(failedLog, device.NewMem(8192, soakChunk)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	verify("final")
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("final scrub: %+v", rep)
+	}
+}

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/store"
+)
+
+// WriteChunks implements store.Store. New writes that span a full stripe
+// are written directly with their parity (saving the later commit); all
+// other writes take the elastic-logging path: data chunks go out-of-place
+// to their SSDs while log chunks — computed from the new data only —
+// stream to the log devices in the same phase. There is no pre-read
+// anywhere on the write path.
+func (e *EPLog) WriteChunks(start float64, lba int64, data []byte) (float64, error) {
+	nChunks := int64(len(data) / e.csize)
+	if int(nChunks)*e.csize != len(data) || nChunks == 0 {
+		return start, fmt.Errorf("core: data length %d not a positive chunk multiple", len(data))
+	}
+	if lba < 0 || lba+nChunks > e.geo.Chunks() {
+		return start, fmt.Errorf("%w: [%d,%d) of %d", store.ErrWriteTooLarge, lba, lba+nChunks, e.geo.Chunks())
+	}
+	e.stats.Requests++
+	span := device.NewSpan(start)
+
+	// Split into per-stripe segments; chunks not eligible for the direct
+	// or stripe-buffer paths accumulate into one request-wide update set
+	// so elastic grouping can span stripes (Fig. 1(b)).
+	var updates []pendingChunk
+	for off := int64(0); off < nChunks; {
+		s, _ := e.geo.Stripe(lba + off)
+		var seg []pendingChunk
+		for ; off < nChunks; off++ {
+			s2, _ := e.geo.Stripe(lba + off)
+			if s2 != s {
+				break
+			}
+			seg = append(seg, pendingChunk{
+				lba:  lba + off,
+				data: data[off*int64(e.csize) : (off+1)*int64(e.csize)],
+			})
+		}
+		deferred, err := e.writeSegment(span, s, seg)
+		if err != nil {
+			return start, err
+		}
+		updates = append(updates, deferred...)
+	}
+	if len(updates) > 0 {
+		if err := e.updatePath(span, updates); err != nil {
+			return start, err
+		}
+	}
+
+	if e.cfg.CommitEvery > 0 {
+		e.reqSinceCommit++
+		if e.reqSinceCommit >= e.cfg.CommitEvery {
+			if err := e.Commit(); err != nil {
+				return start, err
+			}
+		}
+	}
+	return span.End(), nil
+}
+
+// writeSegment routes one stripe's worth of a request, returning any
+// chunks that should go through the shared update path instead.
+func (e *EPLog) writeSegment(span *device.Span, stripe int64, seg []pendingChunk) ([]pendingChunk, error) {
+	if e.virgin[stripe] {
+		if len(seg) == e.geo.K {
+			// New full-stripe write: straight to the main array.
+			return nil, e.directStripeWrite(span, stripe, seg)
+		}
+		if e.stripeBuf != nil {
+			return nil, e.bufferNewWrite(span, stripe, seg)
+		}
+	}
+	return seg, nil
+}
+
+// directStripeWrite writes a complete new stripe (data and parity) to the
+// stripe's home locations.
+func (e *EPLog) directStripeWrite(span *device.Span, stripe int64, seg []pendingChunk) error {
+	k, m := e.geo.K, e.geo.M()
+	home := e.geo.HomeChunk(stripe)
+	shards := make([][]byte, k+m)
+	for _, c := range seg {
+		_, slot := e.geo.Stripe(c.lba)
+		shards[slot] = c.data
+	}
+	parity := make([][]byte, m)
+	for i := range parity {
+		parity[i] = make([]byte, e.csize)
+		shards[k+i] = parity[i]
+	}
+	code, err := e.code(k)
+	if err != nil {
+		return err
+	}
+	if err := code.Encode(shards); err != nil {
+		return err
+	}
+	for _, c := range seg {
+		_, slot := e.geo.Stripe(c.lba)
+		if err := e.writeData(span, e.geo.DataDev(stripe, slot), home, c.data); err != nil {
+			return err
+		}
+	}
+	for i := range parity {
+		if err := e.writeParity(span, e.geo.ParityDev(stripe, i), home, parity[i]); err != nil {
+			return err
+		}
+	}
+	e.virgin[stripe] = false
+	e.metaDirty[stripe] = struct{}{}
+	e.stats.FullStripeWrites++
+	return nil
+}
+
+// bufferNewWrite stages new-write chunks in the stripe buffer, flushing
+// any stripe that becomes complete and evicting the oldest stripe when the
+// buffer overflows.
+func (e *EPLog) bufferNewWrite(span *device.Span, stripe int64, seg []pendingChunk) error {
+	for _, c := range seg {
+		cp := pendingChunk{lba: c.lba, data: append([]byte(nil), c.data...)}
+		if done := e.stripeBuf.put(stripe, cp, e.geo.K); done >= 0 {
+			full := e.stripeBuf.take(done)
+			if err := e.directStripeWrite(span, done, full); err != nil {
+				return err
+			}
+		}
+	}
+	for e.stripeBuf.overCap() {
+		oldest := e.stripeBuf.oldest()
+		if oldest < 0 {
+			break
+		}
+		evicted := e.stripeBuf.take(oldest)
+		if err := e.updatePath(span, evicted); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// updatePath handles updates (and new partial-stripe writes, which EPLog
+// treats as updates of zero-filled committed chunks). With device buffers
+// enabled the chunks are staged per destination SSD; otherwise they are
+// grouped into log stripes immediately.
+func (e *EPLog) updatePath(span *device.Span, chunks []pendingChunk) error {
+	if e.devBufs != nil {
+		for _, c := range chunks {
+			dev := e.latest[c.lba].Dev
+			if e.devBufs[dev].put(c.lba, c.data) {
+				e.stats.AbsorbedChunks++
+			}
+		}
+		for e.anyBufferFull() {
+			if err := e.drainRound(span); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Immediate grouping: rounds of at most one chunk per SSD.
+	byDev := make(map[int][]pendingChunk)
+	order := make([]int, 0, len(chunks))
+	for _, c := range chunks {
+		dev := e.latest[c.lba].Dev
+		if _, ok := byDev[dev]; !ok {
+			order = append(order, dev)
+		}
+		byDev[dev] = append(byDev[dev], c)
+	}
+	for {
+		var group []pendingChunk
+		for _, dev := range order {
+			if q := byDev[dev]; len(q) > 0 {
+				group = append(group, q[0])
+				byDev[dev] = q[1:]
+			}
+		}
+		if len(group) == 0 {
+			return nil
+		}
+		if err := e.flushGroup(span, group); err != nil {
+			return err
+		}
+	}
+}
+
+func (e *EPLog) anyBufferFull() bool {
+	for _, b := range e.devBufs {
+		if b.full() {
+			return true
+		}
+	}
+	return false
+}
+
+// drainRound extracts one pending chunk from the head of every non-empty
+// device buffer and emits them as one log stripe (Section III-D).
+func (e *EPLog) drainRound(span *device.Span) error {
+	var group []pendingChunk
+	for _, b := range e.devBufs {
+		if c, ok := b.pop(); ok {
+			group = append(group, c)
+		}
+	}
+	if len(group) == 0 {
+		return nil
+	}
+	return e.flushGroup(span, group)
+}
+
+// flushGroup writes one elastic log stripe: the group's chunks go
+// out-of-place to their (distinct) SSDs while the k'-of-(k'+m) log chunks
+// are appended to the log devices, all within the same span.
+func (e *EPLog) flushGroup(span *device.Span, group []pendingChunk) error {
+	kPrime, m := len(group), e.geo.M()
+
+	// Allocate a fresh location on each destination SSD (no-overwrite).
+	// Allocation may force a parity commit (the space guard), and a
+	// commit resets the log cursor — so the log position is claimed only
+	// after every operation that could commit has run.
+	ls := &logStripe{id: e.nextLogID, members: make([]member, 0, kPrime)}
+	for _, c := range group {
+		dev := e.latest[c.lba].Dev
+		chunk, err := e.allocOn(dev)
+		if err != nil {
+			return err
+		}
+		ls.members = append(ls.members, member{lba: c.lba, loc: Loc{Dev: dev, Chunk: chunk}})
+	}
+
+	// Make room on the log devices if needed, then claim the slot.
+	if e.logCursor >= e.logDevs[0].Chunks() {
+		if e.inCommit {
+			return fmt.Errorf("core: log devices full during commit")
+		}
+		if err := e.Commit(); err != nil {
+			return err
+		}
+	}
+	ls.logPos = e.logCursor
+
+	// Encode the log chunks from the new data only.
+	shards := make([][]byte, kPrime+m)
+	for i, c := range group {
+		shards[i] = c.data
+	}
+	logChunks := make([][]byte, m)
+	for i := range logChunks {
+		logChunks[i] = make([]byte, e.csize)
+		shards[kPrime+i] = logChunks[i]
+	}
+	code, err := e.code(kPrime)
+	if err != nil {
+		return err
+	}
+	if err := code.Encode(shards); err != nil {
+		return err
+	}
+
+	// One phase: data to SSDs, log chunks to log devices, in parallel.
+	for i, c := range group {
+		if err := e.writeData(span, ls.members[i].loc.Dev, ls.members[i].loc.Chunk, c.data); err != nil {
+			return err
+		}
+	}
+	for i := range logChunks {
+		if err := span.Write(e.logDevs[i], e.logCursor, logChunks[i]); err != nil {
+			if !errors.Is(err, device.ErrFailed) {
+				return err
+			}
+			span.ClearErr() // a failed log device costs one of m redundancy
+		}
+		e.stats.LogChunkWrites++
+		e.stats.LogBytes += int64(e.csize)
+	}
+	e.logCursor++
+	e.nextLogID++
+	e.logStripes[ls.id] = ls
+	e.stats.LogStripes++
+	e.stats.LogStripeMembers += int64(len(ls.members))
+
+	// Bookkeeping: new latest versions, dirty stripes.
+	for _, mb := range ls.members {
+		e.latest[mb.lba] = mb.loc
+		e.latestProt[mb.lba] = ls.id
+		s, _ := e.geo.Stripe(mb.lba)
+		e.dirty[s] = struct{}{}
+		e.metaDirty[s] = struct{}{}
+		e.virgin[s] = false
+	}
+	return nil
+}
+
+// allocOn allocates a chunk on an SSD, forcing a parity commit to reclaim
+// space when the device's free pool falls to the guard band (the paper's
+// commit scenario (ii)).
+func (e *EPLog) allocOn(dev int) (int64, error) {
+	if !e.inCommit && e.alloc[dev].freeCount() <= e.cfg.CommitGuardChunks {
+		if err := e.Commit(); err != nil {
+			return 0, err
+		}
+	}
+	chunk, err := e.alloc[dev].alloc()
+	if err == nil {
+		return chunk, nil
+	}
+	if !errors.Is(err, ErrNoSpace) || e.inCommit {
+		return 0, err
+	}
+	if cerr := e.Commit(); cerr != nil {
+		return 0, cerr
+	}
+	return e.alloc[dev].alloc()
+}
+
+// writeData writes a data chunk to the main array, tolerating a failed
+// device (the chunk remains recoverable through its protecting stripe).
+func (e *EPLog) writeData(span *device.Span, dev int, chunk int64, data []byte) error {
+	if err := span.Write(e.devs[dev], chunk, data); err != nil {
+		if !errors.Is(err, device.ErrFailed) {
+			return err
+		}
+		span.ClearErr()
+	}
+	e.stats.DataWriteChunks++
+	return nil
+}
+
+// writeParity writes a parity chunk to the main array, tolerating a failed
+// device.
+func (e *EPLog) writeParity(span *device.Span, dev int, chunk int64, data []byte) error {
+	if err := span.Write(e.devs[dev], chunk, data); err != nil {
+		if !errors.Is(err, device.ErrFailed) {
+			return err
+		}
+		span.ClearErr()
+	}
+	e.stats.ParityWriteChunks++
+	return nil
+}
+
+// Flush drains all buffered writes (device buffers and stripe buffer) to
+// the array without committing parity.
+func (e *EPLog) Flush() error {
+	span := device.NewSpan(0)
+	return e.flush(span)
+}
+
+func (e *EPLog) flush(span *device.Span) error {
+	if e.stripeBuf != nil {
+		for !e.stripeBuf.empty() {
+			s := e.stripeBuf.oldest()
+			if s < 0 {
+				break
+			}
+			seg := e.stripeBuf.take(s)
+			if err := e.updatePath(span, seg); err != nil {
+				return err
+			}
+		}
+	}
+	if e.devBufs != nil {
+		for {
+			empty := true
+			for _, b := range e.devBufs {
+				if !b.empty() {
+					empty = false
+					break
+				}
+			}
+			if empty {
+				break
+			}
+			if err := e.drainRound(span); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

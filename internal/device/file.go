@@ -1,0 +1,105 @@
+package device
+
+import (
+	"fmt"
+	"os"
+)
+
+// File is a device backed by a regular file (or a raw block device node on
+// platforms that expose one), used by the command-line tools to persist
+// arrays across runs. File has no latency model.
+type File struct {
+	chunkSize int
+	chunks    int64
+	f         *os.File
+}
+
+var _ Dev = (*File)(nil)
+
+// OpenFile opens (creating and sizing if necessary) a file-backed device at
+// path with the given geometry.
+func OpenFile(path string, chunks int64, chunkSize int) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("device: open %s: %w", path, err)
+	}
+	size := chunks * int64(chunkSize)
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("device: stat %s: %w", path, err)
+	}
+	if info.Size() < size {
+		if err := f.Truncate(size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("device: size %s: %w", path, err)
+		}
+	}
+	return &File{chunkSize: chunkSize, chunks: chunks, f: f}, nil
+}
+
+// ReadChunk implements Dev.
+func (d *File) ReadChunk(idx int64, p []byte) error {
+	if err := check(idx, d.chunks, p, d.chunkSize); err != nil {
+		return err
+	}
+	if d.f == nil {
+		return ErrClosed
+	}
+	_, err := d.f.ReadAt(p, idx*int64(d.chunkSize))
+	return err
+}
+
+// WriteChunk implements Dev.
+func (d *File) WriteChunk(idx int64, p []byte) error {
+	if err := check(idx, d.chunks, p, d.chunkSize); err != nil {
+		return err
+	}
+	if d.f == nil {
+		return ErrClosed
+	}
+	_, err := d.f.WriteAt(p, idx*int64(d.chunkSize))
+	return err
+}
+
+// ReadChunkAt implements Dev; File has no latency model.
+func (d *File) ReadChunkAt(start float64, idx int64, p []byte) (float64, error) {
+	return start, d.ReadChunk(idx, p)
+}
+
+// WriteChunkAt implements Dev; File has no latency model.
+func (d *File) WriteChunkAt(start float64, idx int64, p []byte) (float64, error) {
+	return start, d.WriteChunk(idx, p)
+}
+
+// Trim implements Dev as a no-op (regular files reclaim nothing).
+func (d *File) Trim(idx, n int64) error {
+	return checkRange(idx, n, d.chunks)
+}
+
+// Chunks implements Dev.
+func (d *File) Chunks() int64 { return d.chunks }
+
+// ChunkSize implements Dev.
+func (d *File) ChunkSize() int { return d.chunkSize }
+
+// Sync flushes the backing file.
+func (d *File) Sync() error {
+	if d.f == nil {
+		return ErrClosed
+	}
+	return d.f.Sync()
+}
+
+// Close syncs and closes the backing file.
+func (d *File) Close() error {
+	if d.f == nil {
+		return ErrClosed
+	}
+	err := d.f.Sync()
+	if cerr := d.f.Close(); err == nil {
+		err = cerr
+	}
+	d.f = nil
+	return err
+}

@@ -1,0 +1,65 @@
+package device
+
+// Latency wraps a Dev with a fixed-service-time model: every read costs
+// ReadTime and every write WriteTime, serialized on the device. It gives
+// latency-free devices (Mem, File) enough timing behaviour for experiments
+// and tests that exercise the virtual-time machinery without the full
+// SSD/HDD simulators.
+type Latency struct {
+	inner     Dev
+	readTime  float64
+	writeTime float64
+	free      float64
+}
+
+var _ Dev = (*Latency)(nil)
+
+// WithLatency wraps inner with fixed per-operation service times (virtual
+// seconds).
+func WithLatency(inner Dev, readTime, writeTime float64) *Latency {
+	return &Latency{inner: inner, readTime: readTime, writeTime: writeTime}
+}
+
+// ReadChunk implements Dev (untimed operations still advance the clock).
+func (l *Latency) ReadChunk(idx int64, p []byte) error {
+	_, err := l.ReadChunkAt(l.free, idx, p)
+	return err
+}
+
+// WriteChunk implements Dev.
+func (l *Latency) WriteChunk(idx int64, p []byte) error {
+	_, err := l.WriteChunkAt(l.free, idx, p)
+	return err
+}
+
+// ReadChunkAt implements Dev.
+func (l *Latency) ReadChunkAt(start float64, idx int64, p []byte) (float64, error) {
+	if err := l.inner.ReadChunk(idx, p); err != nil {
+		return start, err
+	}
+	begin := max(start, l.free)
+	l.free = begin + l.readTime
+	return l.free, nil
+}
+
+// WriteChunkAt implements Dev.
+func (l *Latency) WriteChunkAt(start float64, idx int64, p []byte) (float64, error) {
+	if err := l.inner.WriteChunk(idx, p); err != nil {
+		return start, err
+	}
+	begin := max(start, l.free)
+	l.free = begin + l.writeTime
+	return l.free, nil
+}
+
+// Trim implements Dev.
+func (l *Latency) Trim(idx, n int64) error { return l.inner.Trim(idx, n) }
+
+// Chunks implements Dev.
+func (l *Latency) Chunks() int64 { return l.inner.Chunks() }
+
+// ChunkSize implements Dev.
+func (l *Latency) ChunkSize() int { return l.inner.ChunkSize() }
+
+// Free returns the device's next-idle virtual time.
+func (l *Latency) Free() float64 { return l.free }

@@ -1,0 +1,77 @@
+package device
+
+// Span models one dependency phase of a request in virtual time: every
+// operation issued through the span starts no earlier than the span's start
+// time, operations on distinct devices proceed in parallel, and the span
+// ends when the slowest operation completes. RAID schemes chain spans to
+// express their phase structure (e.g. conventional RAID's pre-read phase
+// followed by its write phase).
+type Span struct {
+	start float64
+	end   float64
+	err   error
+}
+
+// NewSpan starts a phase at the given virtual time.
+func NewSpan(start float64) *Span {
+	return &Span{start: start, end: start}
+}
+
+// Read issues a chunk read within the span.
+func (s *Span) Read(d Dev, idx int64, p []byte) error {
+	if s.err != nil {
+		return s.err
+	}
+	end, err := d.ReadChunkAt(s.start, idx, p)
+	if err != nil {
+		s.err = err
+		return err
+	}
+	if end > s.end {
+		s.end = end
+	}
+	return nil
+}
+
+// Write issues a chunk write within the span.
+func (s *Span) Write(d Dev, idx int64, p []byte) error {
+	if s.err != nil {
+		return s.err
+	}
+	end, err := d.WriteChunkAt(s.start, idx, p)
+	if err != nil {
+		s.err = err
+		return err
+	}
+	if end > s.end {
+		s.end = end
+	}
+	return nil
+}
+
+// Extend folds an externally computed completion time into the span (used
+// when a sub-operation was timed outside the span helper).
+func (s *Span) Extend(end float64) {
+	if end > s.end {
+		s.end = end
+	}
+}
+
+// Start returns the span's start time.
+func (s *Span) Start() float64 { return s.start }
+
+// End returns the completion time of the slowest operation so far (the
+// start time if nothing was issued).
+func (s *Span) End() float64 { return s.end }
+
+// Err returns the first error encountered by the span, if any.
+func (s *Span) Err() error { return s.err }
+
+// ClearErr drops a recorded error so the caller can continue the phase
+// after handling a tolerated failure (e.g. a degraded read skipping a
+// failed device).
+func (s *Span) ClearErr() { s.err = nil }
+
+// Next returns a new span beginning when this one ends, expressing a
+// dependency between consecutive phases.
+func (s *Span) Next() *Span { return NewSpan(s.end) }

@@ -1,0 +1,292 @@
+package device
+
+import "fmt"
+
+// Counting wraps a Dev and counts operations and bytes. It is used to
+// measure per-device traffic in experiments (the paper's "total write size
+// to SSDs" and log-device footprints).
+type Counting struct {
+	inner Dev
+
+	readOps    int64
+	writeOps   int64
+	trimOps    int64
+	readBytes  int64
+	writeBytes int64
+}
+
+var _ Dev = (*Counting)(nil)
+
+// NewCounting wraps inner with operation counters.
+func NewCounting(inner Dev) *Counting { return &Counting{inner: inner} }
+
+// ReadChunk implements Dev.
+func (c *Counting) ReadChunk(idx int64, p []byte) error {
+	if err := c.inner.ReadChunk(idx, p); err != nil {
+		return err
+	}
+	c.readOps++
+	c.readBytes += int64(len(p))
+	return nil
+}
+
+// WriteChunk implements Dev.
+func (c *Counting) WriteChunk(idx int64, p []byte) error {
+	if err := c.inner.WriteChunk(idx, p); err != nil {
+		return err
+	}
+	c.writeOps++
+	c.writeBytes += int64(len(p))
+	return nil
+}
+
+// ReadChunkAt implements Dev.
+func (c *Counting) ReadChunkAt(start float64, idx int64, p []byte) (float64, error) {
+	end, err := c.inner.ReadChunkAt(start, idx, p)
+	if err != nil {
+		return end, err
+	}
+	c.readOps++
+	c.readBytes += int64(len(p))
+	return end, nil
+}
+
+// WriteChunkAt implements Dev.
+func (c *Counting) WriteChunkAt(start float64, idx int64, p []byte) (float64, error) {
+	end, err := c.inner.WriteChunkAt(start, idx, p)
+	if err != nil {
+		return end, err
+	}
+	c.writeOps++
+	c.writeBytes += int64(len(p))
+	return end, nil
+}
+
+// Trim implements Dev.
+func (c *Counting) Trim(idx, n int64) error {
+	if err := c.inner.Trim(idx, n); err != nil {
+		return err
+	}
+	c.trimOps++
+	return nil
+}
+
+// Chunks implements Dev.
+func (c *Counting) Chunks() int64 { return c.inner.Chunks() }
+
+// ChunkSize implements Dev.
+func (c *Counting) ChunkSize() int { return c.inner.ChunkSize() }
+
+// ReadOps returns the number of successful chunk reads.
+func (c *Counting) ReadOps() int64 { return c.readOps }
+
+// WriteOps returns the number of successful chunk writes.
+func (c *Counting) WriteOps() int64 { return c.writeOps }
+
+// TrimOps returns the number of successful trims.
+func (c *Counting) TrimOps() int64 { return c.trimOps }
+
+// ReadBytes returns the number of bytes read.
+func (c *Counting) ReadBytes() int64 { return c.readBytes }
+
+// WriteBytes returns the number of bytes written.
+func (c *Counting) WriteBytes() int64 { return c.writeBytes }
+
+// Reset zeroes all counters.
+func (c *Counting) Reset() {
+	c.readOps, c.writeOps, c.trimOps = 0, 0, 0
+	c.readBytes, c.writeBytes = 0, 0
+}
+
+// Faulty wraps a Dev with fail-stop fault injection: after Fail is called,
+// every operation returns ErrFailed until Repair. It models whole-device
+// failures for recovery tests and the reliability experiments.
+type Faulty struct {
+	inner  Dev
+	failed bool
+}
+
+var _ Dev = (*Faulty)(nil)
+
+// NewFaulty wraps inner with fault injection; the device starts healthy.
+func NewFaulty(inner Dev) *Faulty { return &Faulty{inner: inner} }
+
+// Fail makes every subsequent operation return ErrFailed.
+func (f *Faulty) Fail() { f.failed = true }
+
+// Repair clears the failure; the underlying contents are untouched (a
+// replacement/rebuild decision belongs to the caller).
+func (f *Faulty) Repair() { f.failed = false }
+
+// Failed reports whether the device is failed.
+func (f *Faulty) Failed() bool { return f.failed }
+
+// ReadChunk implements Dev.
+func (f *Faulty) ReadChunk(idx int64, p []byte) error {
+	if f.failed {
+		return ErrFailed
+	}
+	return f.inner.ReadChunk(idx, p)
+}
+
+// WriteChunk implements Dev.
+func (f *Faulty) WriteChunk(idx int64, p []byte) error {
+	if f.failed {
+		return ErrFailed
+	}
+	return f.inner.WriteChunk(idx, p)
+}
+
+// ReadChunkAt implements Dev.
+func (f *Faulty) ReadChunkAt(start float64, idx int64, p []byte) (float64, error) {
+	if f.failed {
+		return start, ErrFailed
+	}
+	return f.inner.ReadChunkAt(start, idx, p)
+}
+
+// WriteChunkAt implements Dev.
+func (f *Faulty) WriteChunkAt(start float64, idx int64, p []byte) (float64, error) {
+	if f.failed {
+		return start, ErrFailed
+	}
+	return f.inner.WriteChunkAt(start, idx, p)
+}
+
+// Trim implements Dev.
+func (f *Faulty) Trim(idx, n int64) error {
+	if f.failed {
+		return ErrFailed
+	}
+	return f.inner.Trim(idx, n)
+}
+
+// Chunks implements Dev.
+func (f *Faulty) Chunks() int64 { return f.inner.Chunks() }
+
+// ChunkSize implements Dev.
+func (f *Faulty) ChunkSize() int { return f.inner.ChunkSize() }
+
+// Mirror replicates writes across a set of equally sized replicas and reads
+// from the first healthy one. EPLog mounts its metadata volume as a mirror
+// over the metadata partitions of the SSDs (the paper uses a RAID-10 mdadm
+// volume for the same purpose).
+type Mirror struct {
+	replicas []Dev
+}
+
+var _ Dev = (*Mirror)(nil)
+
+// NewMirror builds a mirror over the given replicas, which must share
+// geometry.
+func NewMirror(replicas ...Dev) (*Mirror, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("device: mirror needs at least one replica")
+	}
+	for _, r := range replicas[1:] {
+		if r.Chunks() != replicas[0].Chunks() || r.ChunkSize() != replicas[0].ChunkSize() {
+			return nil, fmt.Errorf("device: mirror replicas differ in geometry")
+		}
+	}
+	return &Mirror{replicas: replicas}, nil
+}
+
+// ReadChunk reads from the first replica that succeeds.
+func (m *Mirror) ReadChunk(idx int64, p []byte) error {
+	var firstErr error
+	for _, r := range m.replicas {
+		err := r.ReadChunk(idx, p)
+		if err == nil {
+			return nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// WriteChunk writes to every healthy replica; it fails only if no replica
+// accepted the write.
+func (m *Mirror) WriteChunk(idx int64, p []byte) error {
+	ok := false
+	var firstErr error
+	for _, r := range m.replicas {
+		if err := r.WriteChunk(idx, p); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		ok = true
+	}
+	if !ok {
+		return firstErr
+	}
+	return nil
+}
+
+// ReadChunkAt implements Dev.
+func (m *Mirror) ReadChunkAt(start float64, idx int64, p []byte) (float64, error) {
+	var firstErr error
+	for _, r := range m.replicas {
+		end, err := r.ReadChunkAt(start, idx, p)
+		if err == nil {
+			return end, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return start, firstErr
+}
+
+// WriteChunkAt implements Dev; the write completes when the slowest healthy
+// replica finishes.
+func (m *Mirror) WriteChunkAt(start float64, idx int64, p []byte) (float64, error) {
+	ok := false
+	end := start
+	var firstErr error
+	for _, r := range m.replicas {
+		e, err := r.WriteChunkAt(start, idx, p)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		ok = true
+		if e > end {
+			end = e
+		}
+	}
+	if !ok {
+		return start, firstErr
+	}
+	return end, nil
+}
+
+// Trim implements Dev.
+func (m *Mirror) Trim(idx, n int64) error {
+	var firstErr error
+	ok := false
+	for _, r := range m.replicas {
+		if err := r.Trim(idx, n); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		ok = true
+	}
+	if !ok {
+		return firstErr
+	}
+	return nil
+}
+
+// Chunks implements Dev.
+func (m *Mirror) Chunks() int64 { return m.replicas[0].Chunks() }
+
+// ChunkSize implements Dev.
+func (m *Mirror) ChunkSize() int { return m.replicas[0].ChunkSize() }

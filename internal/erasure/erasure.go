@@ -1,0 +1,336 @@
+// Package erasure implements systematic k-of-n Reed-Solomon erasure coding
+// over GF(2^8), the coding module of EPLog. A stripe of k equal-size data
+// shards is encoded into m = n-k parity shards such that any k of the n
+// shards reconstruct the stripe. Both Cauchy and Vandermonde generator
+// constructions are provided; Cauchy is the default, matching the paper's
+// use of Cauchy Reed-Solomon codes via Jerasure.
+//
+// The package also provides incremental parity updates (the read-modify-write
+// primitive of conventional RAID) and a Cache for the per-k' codes that
+// EPLog's elastic log stripes require.
+package erasure
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/eplog/eplog/internal/gf"
+)
+
+// Construction selects how the generator matrix is built.
+type Construction int
+
+const (
+	// Cauchy builds the parity rows from a Cauchy matrix (default).
+	Cauchy Construction = iota + 1
+	// Vandermonde builds a systematic generator from an extended
+	// Vandermonde matrix.
+	Vandermonde
+)
+
+// Errors returned by coding operations.
+var (
+	ErrInvalidShardCount = errors.New("erasure: invalid shard count")
+	ErrShardSizeMismatch = errors.New("erasure: shards differ in size")
+	ErrTooFewShards      = errors.New("erasure: too few shards to reconstruct")
+	ErrShardSize         = errors.New("erasure: empty shard")
+)
+
+// Code is an immutable k-of-(k+m) systematic erasure code. It is safe for
+// concurrent use.
+type Code struct {
+	k int
+	m int
+	// parity is the m-by-k coefficient matrix: parity row j of a stripe
+	// equals sum_i parity[j][i] * data_i.
+	parity matrix
+	// xorOnly reports that m == 1 and the single parity row is all ones,
+	// enabling the pure-XOR fast path (RAID-4/5 parity).
+	xorOnly bool
+}
+
+// New returns a Code with k data shards and m parity shards using the given
+// construction. New returns an error unless k >= 1, m >= 0 and k+m <= 256.
+func New(k, m int, c Construction) (*Code, error) {
+	if k < 1 || m < 0 || k+m > gf.Order {
+		return nil, fmt.Errorf("%w: k=%d m=%d", ErrInvalidShardCount, k, m)
+	}
+	code := &Code{k: k, m: m}
+	if m == 0 {
+		return code, nil
+	}
+	if m == 1 {
+		// A single parity shard is plain XOR (RAID-4/5) under every
+		// construction: appending an all-ones row to the identity
+		// keeps every k-row submatrix nonsingular, and XOR parity is
+		// what the paper's RAID-5 arrays compute.
+		row := make([]byte, k)
+		for i := range row {
+			row[i] = 1
+		}
+		code.parity = matrix{row}
+		code.xorOnly = true
+		return code, nil
+	}
+	switch c {
+	case Cauchy:
+		code.parity = cauchy(m, k)
+	case Vandermonde:
+		// Build the (k+m)-by-k Vandermonde generator and normalize its
+		// top square to the identity; the bottom m rows become the
+		// parity coefficients. Every k-row subset of the result stays
+		// nonsingular, preserving the MDS property.
+		v := vandermonde(k+m, k)
+		top := v.subMatrix(0, k, 0, k)
+		topInv, err := top.invert()
+		if err != nil {
+			return nil, fmt.Errorf("erasure: vandermonde top square singular: %w", err)
+		}
+		full := v.mul(topInv)
+		code.parity = full.subMatrix(k, k+m, 0, k)
+	default:
+		return nil, fmt.Errorf("erasure: unknown construction %d", c)
+	}
+	code.xorOnly = m == 1 && allOnes(code.parity[0])
+	return code, nil
+}
+
+func allOnes(row []byte) bool {
+	for _, v := range row {
+		if v != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// K returns the number of data shards.
+func (c *Code) K() int { return c.k }
+
+// M returns the number of parity shards.
+func (c *Code) M() int { return c.m }
+
+// N returns the total number of shards (k + m).
+func (c *Code) N() int { return c.k + c.m }
+
+// Encode computes the parity shards of a stripe. shards must contain k+m
+// slices of identical nonzero length; the first k hold data and the final m
+// are overwritten with parity.
+func (c *Code) Encode(shards [][]byte) error {
+	if err := c.checkShards(shards, false); err != nil {
+		return err
+	}
+	data, parity := shards[:c.k], shards[c.k:]
+	if c.xorOnly {
+		clear(parity[0])
+		for _, d := range data {
+			gf.XORSlice(d, parity[0])
+		}
+		return nil
+	}
+	for j := 0; j < c.m; j++ {
+		clear(parity[j])
+		for i, d := range data {
+			gf.MulAddSlice(c.parity[j][i], d, parity[j])
+		}
+	}
+	return nil
+}
+
+// UpdateParity applies an incremental parity update for a single data shard
+// change: given the XOR delta of the old and new contents of data shard
+// dataIdx, it updates all m parity shards in place. This is the small-write
+// (read-modify-write) primitive used by conventional RAID.
+func (c *Code) UpdateParity(dataIdx int, delta []byte, parity [][]byte) error {
+	if dataIdx < 0 || dataIdx >= c.k {
+		return fmt.Errorf("%w: data index %d out of range [0,%d)", ErrInvalidShardCount, dataIdx, c.k)
+	}
+	if len(parity) != c.m {
+		return fmt.Errorf("%w: got %d parity shards, want %d", ErrInvalidShardCount, len(parity), c.m)
+	}
+	for j := 0; j < c.m; j++ {
+		if len(parity[j]) != len(delta) {
+			return ErrShardSizeMismatch
+		}
+		gf.MulAddSlice(c.parity[j][dataIdx], delta, parity[j])
+	}
+	return nil
+}
+
+// Reconstruct recomputes every missing shard in place. Missing shards are
+// nil entries; present shards must all have the same length. Reconstructed
+// shards are allocated by Reconstruct. It returns ErrTooFewShards if fewer
+// than k shards are present.
+func (c *Code) Reconstruct(shards [][]byte) error {
+	return c.reconstruct(shards, false)
+}
+
+// ReconstructData recomputes only the missing data shards, leaving missing
+// parity shards nil. It is cheaper than Reconstruct when parity is not
+// needed (e.g. a degraded read).
+func (c *Code) ReconstructData(shards [][]byte) error {
+	return c.reconstruct(shards, true)
+}
+
+func (c *Code) reconstruct(shards [][]byte, dataOnly bool) error {
+	if err := c.checkShards(shards, true); err != nil {
+		return err
+	}
+	size := presentSize(shards)
+	present := 0
+	for _, s := range shards {
+		if s != nil {
+			present++
+		}
+	}
+	if present == c.N() {
+		return nil
+	}
+	if present < c.k {
+		return fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, present, c.k)
+	}
+
+	// Build the decode matrix from k surviving rows of the generator:
+	// an identity row for each surviving data shard and the coding row
+	// for each parity shard used.
+	dec := newMatrix(c.k, c.k)
+	src := make([][]byte, c.k)
+	row := 0
+	for i := 0; i < c.k && row < c.k; i++ {
+		if shards[i] != nil {
+			dec[row][i] = 1
+			src[row] = shards[i]
+			row++
+		}
+	}
+	for j := 0; j < c.m && row < c.k; j++ {
+		if shards[c.k+j] != nil {
+			copy(dec[row], c.parity[j])
+			src[row] = shards[c.k+j]
+			row++
+		}
+	}
+	inv, err := dec.invert()
+	if err != nil {
+		return fmt.Errorf("erasure: decode matrix inversion: %w", err)
+	}
+
+	// Recover missing data shards: data_i = (inv * src)_i.
+	for i := 0; i < c.k; i++ {
+		if shards[i] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		for t := 0; t < c.k; t++ {
+			gf.MulAddSlice(inv[i][t], src[t], out)
+		}
+		shards[i] = out
+	}
+	if dataOnly {
+		return nil
+	}
+	// Recompute missing parity shards from the (now complete) data.
+	for j := 0; j < c.m; j++ {
+		if shards[c.k+j] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		for i := 0; i < c.k; i++ {
+			gf.MulAddSlice(c.parity[j][i], shards[i], out)
+		}
+		shards[c.k+j] = out
+	}
+	return nil
+}
+
+// Verify reports whether the parity shards match the data shards. All k+m
+// shards must be present.
+func (c *Code) Verify(shards [][]byte) (bool, error) {
+	if err := c.checkShards(shards, false); err != nil {
+		return false, err
+	}
+	size := len(shards[0])
+	buf := make([]byte, size)
+	for j := 0; j < c.m; j++ {
+		clear(buf)
+		for i := 0; i < c.k; i++ {
+			gf.MulAddSlice(c.parity[j][i], shards[i], buf)
+		}
+		for b := range buf {
+			if buf[b] != shards[c.k+j][b] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// checkShards validates shard count and sizes. If allowNil is true, nil
+// entries mark missing shards.
+func (c *Code) checkShards(shards [][]byte, allowNil bool) error {
+	if len(shards) != c.N() {
+		return fmt.Errorf("%w: got %d shards, want %d", ErrInvalidShardCount, len(shards), c.N())
+	}
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			if !allowNil {
+				return fmt.Errorf("%w: shard %d is nil", ErrShardSize, i)
+			}
+			continue
+		}
+		if len(s) == 0 {
+			return ErrShardSize
+		}
+		if size < 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return ErrShardSizeMismatch
+		}
+	}
+	if size < 0 {
+		return ErrTooFewShards
+	}
+	return nil
+}
+
+func presentSize(shards [][]byte) int {
+	for _, s := range shards {
+		if s != nil {
+			return len(s)
+		}
+	}
+	return 0
+}
+
+// Cache memoizes Codes by (k, m). EPLog's elastic log stripes use a
+// different k' per log stripe, so codes are requested repeatedly for a small
+// set of parameters. Cache is safe for concurrent use.
+type Cache struct {
+	construction Construction
+
+	mu    sync.Mutex
+	codes map[[2]int]*Code
+}
+
+// NewCache returns a Cache producing codes with the given construction.
+func NewCache(c Construction) *Cache {
+	return &Cache{construction: c, codes: make(map[[2]int]*Code)}
+}
+
+// Get returns the memoized code for (k, m), constructing it on first use.
+func (cc *Cache) Get(k, m int) (*Code, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	key := [2]int{k, m}
+	if code, ok := cc.codes[key]; ok {
+		return code, nil
+	}
+	code, err := New(k, m, cc.construction)
+	if err != nil {
+		return nil, err
+	}
+	cc.codes[key] = code
+	return code, nil
+}

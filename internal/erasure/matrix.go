@@ -1,0 +1,133 @@
+package erasure
+
+import (
+	"fmt"
+
+	"github.com/eplog/eplog/internal/gf"
+)
+
+// matrix is a dense row-major matrix over GF(2^8).
+type matrix [][]byte
+
+func newMatrix(rows, cols int) matrix {
+	m := make(matrix, rows)
+	backing := make([]byte, rows*cols)
+	for i := range m {
+		m[i], backing = backing[:cols:cols], backing[cols:]
+	}
+	return m
+}
+
+// identityMatrix returns the n-by-n identity matrix.
+func identityMatrix(n int) matrix {
+	m := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m[i][i] = 1
+	}
+	return m
+}
+
+// vandermonde returns the rows-by-cols matrix with entry (i, j) = i^j, the
+// classic generator whose every cols-row subset is nonsingular when the
+// evaluation points are distinct.
+func vandermonde(rows, cols int) matrix {
+	m := newMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		x := byte(1)
+		for j := 0; j < cols; j++ {
+			m[i][j] = x
+			x = gf.Mul(x, byte(i))
+		}
+	}
+	return m
+}
+
+// cauchy returns the rows-by-cols Cauchy matrix with entry
+// (i, j) = 1/(x_i + y_j) for x_i = cols+i and y_j = j. Every square
+// submatrix of a Cauchy matrix is nonsingular, which makes it directly
+// usable as the parity part of a systematic generator.
+func cauchy(rows, cols int) matrix {
+	m := newMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m[i][j] = gf.Inv(gf.Add(byte(cols+i), byte(j)))
+		}
+	}
+	return m
+}
+
+// mul returns the matrix product m*other.
+func (m matrix) mul(other matrix) matrix {
+	rows, inner, cols := len(m), len(other), len(other[0])
+	out := newMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for k := 0; k < inner; k++ {
+			c := m[i][k]
+			if c == 0 {
+				continue
+			}
+			gf.MulAddSlice(c, other[k], out[i])
+		}
+	}
+	_ = inner
+	return out
+}
+
+// subMatrix returns a copy of rows [rmin,rmax) and columns [cmin,cmax).
+func (m matrix) subMatrix(rmin, rmax, cmin, cmax int) matrix {
+	out := newMatrix(rmax-rmin, cmax-cmin)
+	for i := rmin; i < rmax; i++ {
+		copy(out[i-rmin], m[i][cmin:cmax])
+	}
+	return out
+}
+
+// clone returns a deep copy of m.
+func (m matrix) clone() matrix {
+	out := newMatrix(len(m), len(m[0]))
+	for i := range m {
+		copy(out[i], m[i])
+	}
+	return out
+}
+
+// invert returns the inverse of the square matrix m using Gauss-Jordan
+// elimination, or an error if m is singular.
+func (m matrix) invert() (matrix, error) {
+	n := len(m)
+	work := m.clone()
+	inv := identityMatrix(n)
+	for col := 0; col < n; col++ {
+		// Find a pivot at or below the diagonal.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("erasure: singular matrix (no pivot in column %d)", col)
+		}
+		if pivot != col {
+			work[pivot], work[col] = work[col], work[pivot]
+			inv[pivot], inv[col] = inv[col], inv[pivot]
+		}
+		// Scale the pivot row to make the pivot 1.
+		if p := work[col][col]; p != 1 {
+			c := gf.Inv(p)
+			gf.MulSlice(c, work[col], work[col])
+			gf.MulSlice(c, inv[col], inv[col])
+		}
+		// Eliminate the column from every other row.
+		for r := 0; r < n; r++ {
+			if r == col || work[r][col] == 0 {
+				continue
+			}
+			c := work[r][col]
+			gf.MulAddSlice(c, work[col], work[r])
+			gf.MulAddSlice(c, inv[col], inv[r])
+		}
+	}
+	return inv, nil
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/eplog/eplog/internal/core"
+	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/metadata"
+)
+
+// Exp6Result reproduces Table II: write traffic with and without metadata
+// checkpoint operations. The workload follows the paper's IOzone setup:
+// sequential full-stripe writes covering a region ("stripe creation"),
+// then uniform random 4KB updates across the stripes.
+type Exp6Result struct {
+	RegionBytes int64
+	Updates     int64
+
+	// CreateBytes and UpdateBytes are the SSD write traffic of the two
+	// phases, excluding checkpoints.
+	CreateBytes int64
+	UpdateBytes int64
+
+	// FullAfterCreate, IncrAfterUpdates and FullAfterUpdates are the
+	// metadata-volume write sizes of the three checkpoint cases
+	// (mirrored, so each logical byte is written twice, as on the
+	// paper's RAID-10 metadata partition).
+	FullAfterCreate  int64
+	IncrAfterUpdates int64
+	FullAfterUpdates int64
+}
+
+// CreateOverheadPct returns the full-checkpoint overhead relative to the
+// creation-phase traffic.
+func (r *Exp6Result) CreateOverheadPct() float64 {
+	return float64(r.FullAfterCreate) / float64(r.CreateBytes) * 100
+}
+
+// IncrOverheadPct returns the incremental-checkpoint overhead relative to
+// the cumulative traffic.
+func (r *Exp6Result) IncrOverheadPct() float64 {
+	return float64(r.IncrAfterUpdates) / float64(r.CreateBytes+r.UpdateBytes) * 100
+}
+
+// FullUpdateOverheadPct returns the post-update full-checkpoint overhead
+// relative to the cumulative traffic.
+func (r *Exp6Result) FullUpdateOverheadPct() float64 {
+	return float64(r.FullAfterUpdates) / float64(r.CreateBytes+r.UpdateBytes) * 100
+}
+
+// Exp6Metadata runs the metadata-overhead experiment at the given scale
+// (region = 8GB / scale).
+func Exp6Metadata(scale int64) (*Exp6Result, error) {
+	region := int64(8<<30) / scale
+	if region < 8<<20 {
+		region = 8 << 20
+	}
+	setting := DefaultSetting()
+	k := int64(setting.K)
+	n := setting.K + setting.M
+	stripes := region / ChunkSize / k
+	if stripes < 8 {
+		stripes = 8
+	}
+	updates := stripes // ~one 4KB update per stripe on average
+
+	devChunks := stripes + updates/int64(n) + updates/int64(n*2) + 64
+	mains := make([]device.Dev, n)
+	counters := make([]*device.Counting, n)
+	for i := 0; i < n; i++ {
+		c := device.NewCounting(device.NewMem(devChunks, ChunkSize))
+		counters[i] = c
+		mains[i] = c
+	}
+	logs := make([]device.Dev, setting.M)
+	for i := range logs {
+		logs[i] = device.NewMem(updates+64, ChunkSize)
+	}
+	e, err := core.New(mains, logs, core.Config{K: setting.K, Stripes: stripes})
+	if err != nil {
+		return nil, err
+	}
+
+	// Metadata volume: a mirror over two counting devices, standing in
+	// for the RAID-10 metadata partitions.
+	snapEstimate := (stripes*(16+k*32+2) + int64(updates)*64) / ChunkSize * 2
+	volChunks := 1 + 2*(snapEstimate+16) + snapEstimate + 16
+	metaCnt := []*device.Counting{
+		device.NewCounting(device.NewMem(volChunks, ChunkSize)),
+		device.NewCounting(device.NewMem(volChunks, ChunkSize)),
+	}
+	mir, err := device.NewMirror(metaCnt[0], metaCnt[1])
+	if err != nil {
+		return nil, err
+	}
+	vol, err := metadata.Format(mir, snapEstimate+16)
+	if err != nil {
+		return nil, err
+	}
+
+	mainBytes := func() int64 {
+		var b int64
+		for _, c := range counters {
+			b += c.WriteBytes()
+		}
+		return b
+	}
+	metaBytes := func() int64 {
+		return metaCnt[0].WriteBytes() + metaCnt[1].WriteBytes()
+	}
+
+	res := &Exp6Result{RegionBytes: region, Updates: updates}
+
+	// Phase 1: stripe creation (sequential full-stripe writes).
+	stripeBuf := make([]byte, k*ChunkSize)
+	payload := randomChunk(6)
+	for c := int64(0); c < k; c++ {
+		copy(stripeBuf[c*ChunkSize:], payload)
+	}
+	for s := int64(0); s < stripes; s++ {
+		if _, err := e.WriteChunks(0, s*k, stripeBuf); err != nil {
+			return nil, err
+		}
+	}
+	res.CreateBytes = mainBytes()
+
+	// Case (i): full checkpoint after stripe creation.
+	m0 := metaBytes()
+	if err := vol.WriteFull(e.Snapshot()); err != nil {
+		return nil, err
+	}
+	res.FullAfterCreate = metaBytes() - m0
+
+	// Phase 2: uniform random 4KB updates.
+	r := rand.New(rand.NewSource(7))
+	preUpdate := mainBytes()
+	for u := int64(0); u < updates; u++ {
+		lba := r.Int63n(e.Chunks())
+		if _, err := e.WriteChunks(0, lba, payload); err != nil {
+			return nil, err
+		}
+	}
+	res.UpdateBytes = mainBytes() - preUpdate
+
+	// Case (ii): incremental checkpoint after the updates.
+	m1 := metaBytes()
+	if err := vol.WriteIncremental(e.DirtyDelta()); err != nil {
+		return nil, err
+	}
+	res.IncrAfterUpdates = metaBytes() - m1
+
+	// Case (iii): full checkpoint after the updates.
+	m2 := metaBytes()
+	if err := vol.WriteFull(e.Snapshot()); err != nil {
+		return nil, err
+	}
+	res.FullAfterUpdates = metaBytes() - m2
+	return res, nil
+}
+
+// FormatExp6 renders Table II.
+func FormatExp6(r *Exp6Result) string {
+	var b strings.Builder
+	b.WriteString("Experiment 6 (Table II): metadata checkpoint overhead, (6+2)-RAID-6\n")
+	fmt.Fprintf(&b, "region %.2f GB, %d random 4KB updates\n", gb(r.RegionBytes), r.Updates)
+	fmt.Fprintf(&b, "%-34s %14s %10s\n", "Case", "Write size", "Overhead")
+	fmt.Fprintf(&b, "%-34s %11.3f GB %10s\n", "stripe creation, no checkpoint", gb(r.CreateBytes), "-")
+	fmt.Fprintf(&b, "%-34s %11.3f MB %9.2f%%\n", "full checkpoint after creation",
+		float64(r.FullAfterCreate)/1e6, r.CreateOverheadPct())
+	fmt.Fprintf(&b, "%-34s %11.3f GB %10s\n", "updates, no checkpoint", gb(r.UpdateBytes), "-")
+	fmt.Fprintf(&b, "%-34s %11.3f MB %9.2f%%\n", "incremental chkpt after updates",
+		float64(r.IncrAfterUpdates)/1e6, r.IncrOverheadPct())
+	fmt.Fprintf(&b, "%-34s %11.3f MB %9.2f%%\n", "full checkpoint after updates",
+		float64(r.FullAfterUpdates)/1e6, r.FullUpdateOverheadPct())
+	return b.String()
+}

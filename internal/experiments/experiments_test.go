@@ -1,0 +1,350 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/eplog/eplog/internal/trace"
+)
+
+// testScale keeps unit-test runs to a few thousand requests.
+const testScale = 512
+
+func TestTableI(t *testing.T) {
+	rows, err := TableI(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Stats.Writes == 0 || r.Stats.AvgWriteKB <= 4 {
+			t.Errorf("%s: implausible stats %+v", r.Trace, r.Stats)
+		}
+	}
+	out := FormatTableI(rows, testScale)
+	if !strings.Contains(out, "FIN") || !strings.Contains(out, "MDS") {
+		t.Error("formatted table missing traces")
+	}
+}
+
+func TestExp1ShapesHold(t *testing.T) {
+	rows, err := Exp1Traces(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	for i := 0; i < len(rows); i += 3 {
+		md, pl, ep := rows[i].Result, rows[i+1].Result, rows[i+2].Result
+		label := rows[i].Label
+		// The paper's core endurance claim: EPLog writes much less to
+		// the SSDs than MD, and exactly as much as PL.
+		red := pct(md.SSDWriteBytes, ep.SSDWriteBytes)
+		if red < 35 || red > 65 {
+			t.Errorf("%s: EPLog reduction vs MD = %.1f%%, want within the paper's broad band [35,65]", label, red)
+		}
+		if pl.SSDWriteBytes != ep.SSDWriteBytes {
+			t.Errorf("%s: PL wrote %d, EPLog wrote %d; the paper reports identical traffic",
+				label, pl.SSDWriteBytes, ep.SSDWriteBytes)
+		}
+		// MD and PL pre-read; EPLog never does.
+		if ep.SSDReadBytes != 0 {
+			t.Errorf("%s: EPLog read %d bytes on the write path", label, ep.SSDReadBytes)
+		}
+		if md.SSDReadBytes == 0 || pl.SSDReadBytes == 0 {
+			t.Errorf("%s: baselines did not pre-read", label)
+		}
+	}
+	_ = FormatWriteTraffic("t", rows)
+}
+
+func TestExp1SettingsRAID6ReducesMore(t *testing.T) {
+	rows, err := Exp1Settings(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: RAID-6 settings show larger write reduction than RAID-5.
+	byLabel := make(map[string][3]int64)
+	for i := 0; i < len(rows); i += 3 {
+		byLabel[rows[i].Label] = [3]int64{
+			rows[i].Result.SSDWriteBytes,
+			rows[i+1].Result.SSDWriteBytes,
+			rows[i+2].Result.SSDWriteBytes,
+		}
+	}
+	r5 := pct(byLabel["(4+1)-RAID-5"][0], byLabel["(4+1)-RAID-5"][2])
+	r6 := pct(byLabel["(4+2)-RAID-6"][0], byLabel["(4+2)-RAID-6"][2])
+	if r6 <= r5 {
+		t.Errorf("RAID-6 reduction %.1f%% <= RAID-5 reduction %.1f%%", r6, r5)
+	}
+}
+
+func TestExp3BufferMonotonic(t *testing.T) {
+	rows, err := Exp3Caching(testScale, []int{0, 16, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTrace := make(map[string][]Exp3Row)
+	for _, r := range rows {
+		byTrace[r.Trace] = append(byTrace[r.Trace], r)
+	}
+	for name, rs := range byTrace {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].WriteBytes >= rs[i-1].WriteBytes {
+				t.Errorf("%s: write bytes not decreasing with buffer size (%d -> %d)",
+					name, rs[i-1].WriteBytes, rs[i].WriteBytes)
+			}
+			if rs[i].LogBytes >= rs[i-1].LogBytes {
+				t.Errorf("%s: log bytes not decreasing with buffer size", name)
+			}
+		}
+		// At 64 chunks, both reductions must be substantial (paper:
+		// 53-58% writes, 85-91% logs; allow wide bands at tiny scale).
+		w := pct(rs[0].WriteBytes, rs[len(rs)-1].WriteBytes)
+		l := pct(rs[0].LogBytes, rs[len(rs)-1].LogBytes)
+		if w < 30 {
+			t.Errorf("%s: 64-chunk buffer write reduction only %.1f%%", name, w)
+		}
+		if l < 60 {
+			t.Errorf("%s: 64-chunk buffer log reduction only %.1f%%", name, l)
+		}
+	}
+	_ = FormatExp3(rows)
+}
+
+func TestExp4CommitOverheadOrdering(t *testing.T) {
+	rows, err := Exp4Commit(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTrace := make(map[string]map[string]RunResult)
+	for _, r := range rows {
+		if byTrace[r.Trace] == nil {
+			byTrace[r.Trace] = make(map[string]RunResult)
+		}
+		byTrace[r.Trace][r.Policy] = r.Result
+	}
+	for name, m := range byTrace {
+		none, end, per, md := m["no-commit"], m["commit-end"], m["commit-1000"], m["MD"]
+		if !(none.SSDWriteBytes < end.SSDWriteBytes && end.SSDWriteBytes < per.SSDWriteBytes) {
+			t.Errorf("%s: commit overhead ordering violated: %d, %d, %d",
+				name, none.SSDWriteBytes, end.SSDWriteBytes, per.SSDWriteBytes)
+		}
+		// Even committing every 1000 requests, EPLog stays below MD.
+		if per.SSDWriteBytes >= md.SSDWriteBytes {
+			t.Errorf("%s: EPLog with frequent commits (%d) not below MD (%d)",
+				name, per.SSDWriteBytes, md.SSDWriteBytes)
+		}
+	}
+	_ = FormatExp4(rows)
+}
+
+func TestExp5WinnerOrdering(t *testing.T) {
+	rows, err := Exp5Traces(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(rows); i += 3 {
+		md, pl, ep := rows[i].Result, rows[i+1].Result, rows[i+2].Result
+		label := rows[i].Label
+		if !(ep.KIOPS > md.KIOPS && md.KIOPS > pl.KIOPS) {
+			t.Errorf("%s: throughput ordering EPLog > MD > PL violated: %.2f / %.2f / %.2f",
+				label, ep.KIOPS, md.KIOPS, pl.KIOPS)
+		}
+		if ep.KIOPS < 1.5*pl.KIOPS {
+			t.Errorf("%s: EPLog only %.2fx PL; paper reports ~3-4x", label, ep.KIOPS/pl.KIOPS)
+		}
+	}
+	_ = FormatThroughput("t", rows)
+}
+
+func TestExp6MetadataOverheadSmall(t *testing.T) {
+	r, err := Exp6Metadata(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CreateOverheadPct() > 2.5 {
+		t.Errorf("full-checkpoint overhead %.2f%% exceeds the paper's 2.25%% bound", r.CreateOverheadPct())
+	}
+	if r.IncrOverheadPct() > 2.5 || r.FullUpdateOverheadPct() > 2.5 {
+		t.Errorf("post-update checkpoint overheads too large: %.2f%% / %.2f%%",
+			r.IncrOverheadPct(), r.FullUpdateOverheadPct())
+	}
+	if r.IncrAfterUpdates >= r.FullAfterUpdates {
+		t.Errorf("incremental checkpoint (%d) not smaller than full (%d)",
+			r.IncrAfterUpdates, r.FullAfterUpdates)
+	}
+	_ = FormatExp6(r)
+}
+
+func TestFig6Reproduction(t *testing.T) {
+	series, err := Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 6 {
+		t.Fatalf("series = %d, want 6", len(series))
+	}
+	r6 := series["RAID-6 alpha=0.5"]
+	if len(r6) == 0 {
+		t.Fatal("missing RAID-6 alpha=0.5 curve")
+	}
+	// At λh = λ's the paper reports ≈2.8x.
+	first := r6[0]
+	if first.Ratio != 1 {
+		t.Fatalf("first ratio = %v", first.Ratio)
+	}
+	if gain := first.EPLog / first.Conventional; gain < 2.3 || gain > 3.3 {
+		t.Errorf("RAID-6 gain at ratio 1 = %.2fx, paper ≈2.8x", gain)
+	}
+	_ = FormatFig6(series)
+}
+
+func TestRunValidation(t *testing.T) {
+	tr := &trace.Trace{Requests: []trace.Request{{Op: trace.OpWrite, Offset: 0, Size: 4096}}}
+	if _, err := Run(RunConfig{Setting: DefaultSetting(), Scheme: Scheme(99), Trace: tr}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if MD.String() != "MD" || PL.String() != "PL" || EPLog.String() != "EPLog" {
+		t.Error("scheme names wrong")
+	}
+	if Scheme(9).String() == "" {
+		t.Error("unknown scheme empty")
+	}
+}
+
+func TestExpRecoveryShape(t *testing.T) {
+	r, err := ExpRecovery(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before commit, degraded reads touch the log devices and are much
+	// slower; after commit they never do and cost about what MD costs.
+	if r.LogReadsBefore == 0 {
+		t.Error("pre-commit degraded sweep read no log chunks")
+	}
+	if r.LogReadsAfter != 0 {
+		t.Errorf("post-commit degraded sweep read %d log chunks, want 0", r.LogReadsAfter)
+	}
+	if r.DegradedSweepBefore <= r.DegradedSweepAfter {
+		t.Errorf("pre-commit sweep (%.3fs) not slower than post-commit (%.3fs)",
+			r.DegradedSweepBefore, r.DegradedSweepAfter)
+	}
+	if ratio := r.DegradedSweepAfter / r.MDSweep; ratio < 0.5 || ratio > 2 {
+		t.Errorf("post-commit sweep %.3fs not comparable to MD %.3fs", r.DegradedSweepAfter, r.MDSweep)
+	}
+	_ = FormatRecovery(r)
+}
+
+func TestAlphaEstimateNearHalf(t *testing.T) {
+	rows, err := Exp1Traces(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := AlphaFromRows(rows)
+	// The paper estimates α = 0.5 from its Figure 7.
+	if alpha < 0.4 || alpha > 0.6 {
+		t.Errorf("measured α = %.2f, paper estimates ≈0.5", alpha)
+	}
+	if AlphaFromRows(nil) != 0 {
+		t.Error("empty rows should give α = 0")
+	}
+}
+
+// TestQueueDepthIncreasesThroughput: pipelining overlaps device phases, so
+// KIOPS must rise with queue depth and never exceed depth-proportional
+// scaling.
+func TestQueueDepthIncreasesThroughput(t *testing.T) {
+	tr, err := loadTrace("FIN", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kiops := func(depth int) float64 {
+		res, err := Run(RunConfig{
+			Setting: DefaultSetting(), Scheme: EPLog, Trace: tr,
+			UseSSDSim: true, Timing: true, QueueDepth: depth,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.KIOPS
+	}
+	q1, q8 := kiops(1), kiops(8)
+	if q8 <= q1 {
+		t.Errorf("QD=8 KIOPS %.2f not above QD=1 %.2f", q8, q1)
+	}
+	if q8 > 8*q1 {
+		t.Errorf("QD=8 KIOPS %.2f scales beyond 8x QD=1 %.2f", q8, q1)
+	}
+}
+
+// TestIncludeReads replays a mixed trace and counts the reads.
+func TestIncludeReads(t *testing.T) {
+	tr, err := loadTrace("FIN", testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave synthetic reads over the written space.
+	mixed := &trace.Trace{Name: "mixed"}
+	for i, r := range tr.Requests {
+		mixed.Requests = append(mixed.Requests, r)
+		if i%3 == 0 {
+			mixed.Requests = append(mixed.Requests, trace.Request{
+				Op: trace.OpRead, Offset: r.Offset, Size: r.Size,
+			})
+		}
+	}
+	res, err := Run(RunConfig{
+		Setting: DefaultSetting(), Scheme: EPLog, Trace: mixed, IncludeReads: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReadRequests == 0 {
+		t.Fatal("no reads replayed")
+	}
+	if res.Requests <= res.ReadRequests {
+		t.Fatal("request accounting wrong")
+	}
+	// Without IncludeReads the reads are skipped.
+	res2, err := Run(RunConfig{Setting: DefaultSetting(), Scheme: EPLog, Trace: mixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ReadRequests != 0 || res2.Requests >= res.Requests {
+		t.Fatal("IncludeReads=false still replayed reads")
+	}
+}
+
+func TestAblationsShapes(t *testing.T) {
+	rows, err := Ablations(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("ablations = %d, want 4", len(rows))
+	}
+	byName := make(map[string]AblationResult)
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	el := byName["elastic log stripes (vs per-stripe PL)"]
+	if el.On >= el.Off {
+		t.Errorf("elastic logging logged %.3f >= per-stripe %.3f", el.On, el.Off)
+	}
+	trim := byName["TRIM on commit (space-pressured flash)"]
+	if trim.On >= trim.Off {
+		t.Errorf("TRIM moved %.0f >= no-TRIM %.0f", trim.On, trim.Off)
+	}
+	bufs := byName["64-chunk device buffers (vs none)"]
+	if bufs.On >= bufs.Off {
+		t.Errorf("buffers logged %.3f >= unbuffered %.3f", bufs.On, bufs.Off)
+	}
+	_ = FormatAblations(rows)
+}

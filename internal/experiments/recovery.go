@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/eplog/eplog/internal/core"
+	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/hdd"
+	"github.com/eplog/eplog/internal/ssd"
+	"github.com/eplog/eplog/internal/trace"
+)
+
+// RecoveryResult quantifies the paper's third design limitation (Section
+// III-A): degraded-mode performance before a parity commit suffers because
+// recovery must read log chunks from the (HDD) log devices, while after a
+// commit it operates entirely on the main array, like conventional RAID.
+type RecoveryResult struct {
+	Chunks int64
+
+	// DegradedSweepBefore/After are the virtual seconds needed to read
+	// the full logical space with one SSD failed, before and after a
+	// parity commit.
+	DegradedSweepBefore float64
+	DegradedSweepAfter  float64
+	// LogReadsBefore/After count log-device chunk reads during those
+	// sweeps.
+	LogReadsBefore int64
+	LogReadsAfter  int64
+	// MDSweep is the same degraded sweep on conventional RAID.
+	MDSweep float64
+}
+
+// ExpRecovery measures degraded-read cost for EPLog before and after
+// parity commit, against the MD baseline, under a FIN-derived update
+// workload on the timing models.
+func ExpRecovery(scale int64) (*RecoveryResult, error) {
+	p, err := trace.LookupProfile("FIN")
+	if err != nil {
+		return nil, err
+	}
+	tr := p.Scaled(scale).Generate(ChunkSize)
+	setting := DefaultSetting()
+	n := setting.K + setting.M
+
+	buildSSDs := func(devChunks int64) ([]device.Dev, []*device.Faulty, error) {
+		raw := int64(float64(devChunks)/0.85) + 64
+		params := ssd.DefaultParams(raw * ChunkSize)
+		for int64(float64(params.Blocks*params.PagesPerBlock)*(1-params.OverProvision)) < devChunks {
+			params.Blocks++
+		}
+		devs := make([]device.Dev, n)
+		faulty := make([]*device.Faulty, n)
+		for i := 0; i < n; i++ {
+			d, err := ssd.New(params)
+			if err != nil {
+				return nil, nil, err
+			}
+			f := device.NewFaulty(d)
+			faulty[i] = f
+			devs[i] = f
+		}
+		return devs, faulty, nil
+	}
+
+	cfg := RunConfig{Setting: setting, Scheme: EPLog, Trace: tr}
+	stripes, devChunks, logChunks := geometry(cfg)
+
+	// ---- EPLog ----
+	devs, faulty, err := buildSSDs(devChunks)
+	if err != nil {
+		return nil, err
+	}
+	logs := make([]device.Dev, setting.M)
+	logCnt := make([]*device.Counting, setting.M)
+	for i := range logs {
+		h, err := hdd.New(hdd.DefaultParams(logChunks, ChunkSize))
+		if err != nil {
+			return nil, err
+		}
+		c := device.NewCounting(h)
+		logCnt[i] = c
+		logs[i] = c
+	}
+	e, err := core.New(devs, logs, core.Config{K: setting.K, Stripes: stripes})
+	if err != nil {
+		return nil, err
+	}
+	if err := precondition(e, setting.K, stripes); err != nil {
+		return nil, err
+	}
+	if err := replayWrites(e, tr); err != nil {
+		return nil, err
+	}
+
+	res := &RecoveryResult{Chunks: e.Chunks()}
+
+	// Each sweep starts at a fresh epoch well past any device-clock
+	// backlog from the replay or the commit, so the measured time is the
+	// sweep's own.
+	epoch := 1e6
+	sweep := func() (float64, error) {
+		buf := make([]byte, ChunkSize)
+		now := epoch
+		for lba := int64(0); lba < e.Chunks(); lba++ {
+			end, err := e.ReadChunks(now, lba, buf)
+			if err != nil {
+				return 0, err
+			}
+			now = end
+		}
+		epoch += 1e6
+		return now - (epoch - 1e6), nil
+	}
+
+	faulty[2].Fail()
+	logReads0 := logCnt[0].ReadOps() + logCnt[1].ReadOps()
+	res.DegradedSweepBefore, err = sweep()
+	if err != nil {
+		return nil, err
+	}
+	res.LogReadsBefore = logCnt[0].ReadOps() + logCnt[1].ReadOps() - logReads0
+	faulty[2].Repair()
+
+	if err := e.Commit(); err != nil {
+		return nil, err
+	}
+
+	faulty[2].Fail()
+	logReads1 := logCnt[0].ReadOps() + logCnt[1].ReadOps()
+	res.DegradedSweepAfter, err = sweep()
+	if err != nil {
+		return nil, err
+	}
+	res.LogReadsAfter = logCnt[0].ReadOps() + logCnt[1].ReadOps() - logReads1
+	faulty[2].Repair()
+
+	// ---- MD baseline ----
+	mdDevs, mdFaulty, err := buildSSDs(devChunks)
+	if err != nil {
+		return nil, err
+	}
+	md, err := newMD(mdDevs, setting.K, stripes)
+	if err != nil {
+		return nil, err
+	}
+	if err := precondition(md, setting.K, stripes); err != nil {
+		return nil, err
+	}
+	if err := replayWrites(md, tr); err != nil {
+		return nil, err
+	}
+	mdFaulty[2].Fail()
+	buf := make([]byte, ChunkSize)
+	const mdEpoch = 1e6
+	now := mdEpoch
+	for lba := int64(0); lba < md.Chunks(); lba++ {
+		end, err := md.ReadChunks(now, lba, buf)
+		if err != nil {
+			return nil, err
+		}
+		now = end
+	}
+	res.MDSweep = now - mdEpoch
+	return res, nil
+}
+
+// FormatRecovery renders the recovery experiment.
+func FormatRecovery(r *RecoveryResult) string {
+	var b strings.Builder
+	b.WriteString("Extension experiment: degraded-read cost around parity commit, (6+2)-RAID-6, FIN updates\n")
+	fmt.Fprintf(&b, "full degraded sweep of %d chunks with one SSD failed:\n", r.Chunks)
+	fmt.Fprintf(&b, "  %-34s %10.3fs  (%d log-device reads)\n",
+		"EPLog before parity commit", r.DegradedSweepBefore, r.LogReadsBefore)
+	fmt.Fprintf(&b, "  %-34s %10.3fs  (%d log-device reads)\n",
+		"EPLog after parity commit", r.DegradedSweepAfter, r.LogReadsAfter)
+	fmt.Fprintf(&b, "  %-34s %10.3fs\n", "conventional RAID (MD)", r.MDSweep)
+	fmt.Fprintf(&b, "committing first speeds degraded reads by %.1fx and removes all log-device reads\n",
+		r.DegradedSweepBefore/r.DegradedSweepAfter)
+	return b.String()
+}

@@ -1,0 +1,134 @@
+// Package gf implements arithmetic over the Galois field GF(2^8) with the
+// primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the field used by
+// Reed-Solomon erasure codes in the coding module. All operations are
+// table-driven and allocation-free.
+package gf
+
+// Order is the number of elements in GF(2^8).
+const Order = 256
+
+// polynomial is the primitive polynomial 0x11D without its x^8 term.
+const polynomial = 0x1D
+
+// expTable holds g^i for the generator g = 2; it is doubled in length so
+// mulTableLookup can index exp[logA+logB] without a modulo reduction.
+var expTable [2 * (Order - 1)]byte
+
+// logTable holds log_g(x) for x in [1,255]. logTable[0] is unused.
+var logTable [Order]byte
+
+// mulTable[a][b] caches a*b for fast bulk operations.
+var mulTable [Order][Order]byte
+
+func init() {
+	x := byte(1)
+	for i := 0; i < Order-1; i++ {
+		expTable[i] = x
+		expTable[i+Order-1] = x
+		logTable[x] = byte(i)
+		// Multiply x by the generator 2 in GF(2^8).
+		carry := x&0x80 != 0
+		x <<= 1
+		if carry {
+			x ^= polynomial
+		}
+	}
+	for a := 1; a < Order; a++ {
+		for b := 1; b < Order; b++ {
+			mulTable[a][b] = expTable[int(logTable[a])+int(logTable[b])]
+		}
+	}
+}
+
+// Add returns a+b in GF(2^8). Addition and subtraction coincide (XOR).
+func Add(a, b byte) byte { return a ^ b }
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte { return mulTable[a][b] }
+
+// Div returns a/b in GF(2^8). Div panics if b is zero, mirroring integer
+// division; callers construct coding matrices and must never divide by zero.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+Order-1-int(logTable[b])]
+}
+
+// Inv returns the multiplicative inverse of a. Inv panics if a is zero.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf: zero has no inverse")
+	}
+	return expTable[Order-1-int(logTable[a])]
+}
+
+// Exp returns the generator raised to the power n (n may exceed 254).
+func Exp(n int) byte {
+	n %= Order - 1
+	if n < 0 {
+		n += Order - 1
+	}
+	return expTable[n]
+}
+
+// MulSlice sets dst[i] = c * src[i]. dst and src must have equal length.
+func MulSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf: MulSlice length mismatch")
+	}
+	if c == 0 {
+		clear(dst)
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	mt := &mulTable[c]
+	for i, s := range src {
+		dst[i] = mt[s]
+	}
+}
+
+// MulAddSlice sets dst[i] ^= c * src[i]; it is the inner loop of systematic
+// Reed-Solomon encoding. dst and src must have equal length.
+func MulAddSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf: MulAddSlice length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		XORSlice(src, dst)
+		return
+	}
+	mt := &mulTable[c]
+	for i, s := range src {
+		dst[i] ^= mt[s]
+	}
+}
+
+// XORSlice sets dst[i] ^= src[i], processing 8 bytes at a time via the
+// compiler's slice-to-array conversions. dst and src must have equal length.
+func XORSlice(src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf: XORSlice length mismatch")
+	}
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := (*[8]byte)(dst[i:])
+		s := (*[8]byte)(src[i:])
+		for j := 0; j < 8; j++ {
+			d[j] ^= s[j]
+		}
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}

@@ -1,0 +1,217 @@
+package gf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulByZeroAndOne(t *testing.T) {
+	for a := 0; a < Order; a++ {
+		if got := Mul(byte(a), 0); got != 0 {
+			t.Fatalf("Mul(%d, 0) = %d, want 0", a, got)
+		}
+		if got := Mul(0, byte(a)); got != 0 {
+			t.Fatalf("Mul(0, %d) = %d, want 0", a, got)
+		}
+		if got := Mul(byte(a), 1); got != byte(a) {
+			t.Fatalf("Mul(%d, 1) = %d, want %d", a, got, a)
+		}
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	if err := quick.Check(func(a, b byte) bool {
+		return Mul(a, b) == Mul(b, a)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	if err := quick.Check(func(a, b, c byte) bool {
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributive(t *testing.T) {
+	if err := quick.Check(func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivInvertsMul(t *testing.T) {
+	if err := quick.Check(func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Div(Mul(a, b), b) == a
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInv(t *testing.T) {
+	for a := 1; a < Order; a++ {
+		if got := Mul(byte(a), Inv(byte(a))); got != 1 {
+			t.Fatalf("a*Inv(a) = %d for a=%d, want 1", got, a)
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div(1, 0) did not panic")
+		}
+	}()
+	Div(1, 0)
+}
+
+func TestExpCyclic(t *testing.T) {
+	// The multiplicative group has order 255: g^255 = 1 and all powers
+	// below 255 are distinct.
+	seen := make(map[byte]bool, Order-1)
+	for i := 0; i < Order-1; i++ {
+		v := Exp(i)
+		if seen[v] {
+			t.Fatalf("Exp(%d) = %d repeats an earlier power", i, v)
+		}
+		seen[v] = true
+	}
+	if Exp(Order-1) != 1 {
+		t.Fatalf("Exp(255) = %d, want 1", Exp(Order-1))
+	}
+	if Exp(-1) != Exp(Order-2) {
+		t.Fatalf("negative exponent not normalized")
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{0, 1, 2, 3, 0xFF, 0x80, 7}
+	dst := make([]byte, len(src))
+	MulSlice(3, src, dst)
+	for i := range src {
+		if dst[i] != Mul(3, src[i]) {
+			t.Fatalf("MulSlice mismatch at %d: got %d want %d", i, dst[i], Mul(3, src[i]))
+		}
+	}
+	MulSlice(0, src, dst)
+	if !bytes.Equal(dst, make([]byte, len(src))) {
+		t.Fatal("MulSlice by 0 did not clear dst")
+	}
+	MulSlice(1, src, dst)
+	if !bytes.Equal(dst, src) {
+		t.Fatal("MulSlice by 1 is not a copy")
+	}
+}
+
+func TestMulAddSlice(t *testing.T) {
+	src := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	dst := []byte{9, 8, 7, 6, 5, 4, 3, 2, 1}
+	want := make([]byte, len(src))
+	for i := range src {
+		want[i] = dst[i] ^ Mul(7, src[i])
+	}
+	MulAddSlice(7, src, dst)
+	if !bytes.Equal(dst, want) {
+		t.Fatalf("MulAddSlice: got %v want %v", dst, want)
+	}
+}
+
+func TestMulAddSliceSpecialCoefficients(t *testing.T) {
+	src := []byte{1, 2, 3}
+	dst := []byte{4, 5, 6}
+	MulAddSlice(0, src, dst)
+	if !bytes.Equal(dst, []byte{4, 5, 6}) {
+		t.Fatal("MulAddSlice by 0 modified dst")
+	}
+	MulAddSlice(1, src, dst)
+	if !bytes.Equal(dst, []byte{5, 7, 5}) {
+		t.Fatalf("MulAddSlice by 1: got %v", dst)
+	}
+}
+
+func TestXORSlice(t *testing.T) {
+	// Cover both the 8-byte fast path and the tail loop.
+	for _, n := range []int{0, 1, 7, 8, 9, 16, 31} {
+		src := make([]byte, n)
+		dst := make([]byte, n)
+		for i := range src {
+			src[i] = byte(i + 1)
+			dst[i] = byte(2 * i)
+		}
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = src[i] ^ byte(2*i)
+		}
+		XORSlice(src, dst)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("XORSlice n=%d: got %v want %v", n, dst, want)
+		}
+	}
+}
+
+func TestXORSliceSelfInverse(t *testing.T) {
+	if err := quick.Check(func(a, b []byte) bool {
+		n := min(len(a), len(b))
+		a, b = a[:n], b[:n]
+		orig := bytes.Clone(b)
+		XORSlice(a, b)
+		XORSlice(a, b)
+		return bytes.Equal(b, orig)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSliceLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MulSlice":    func() { MulSlice(2, make([]byte, 3), make([]byte, 4)) },
+		"MulAddSlice": func() { MulAddSlice(2, make([]byte, 3), make([]byte, 4)) },
+		"XORSlice":    func() { XORSlice(make([]byte, 3), make([]byte, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched lengths did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkMulAddSlice4K(b *testing.B) {
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(0x8E, src, dst)
+	}
+}
+
+func BenchmarkXORSlice4K(b *testing.B) {
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		XORSlice(src, dst)
+	}
+}

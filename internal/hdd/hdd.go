@@ -1,0 +1,222 @@
+// Package hdd implements a mechanical-disk latency model used for EPLog's
+// log devices. The model captures the single property the paper's design
+// depends on: sequential appends that arrive while the head is still in
+// position stream at media bandwidth, while any discontinuity (a
+// non-contiguous address or an idle gap long enough for the platter to
+// rotate away) pays a positioning cost. Data is RAM-backed; the mechanics
+// are virtual-time only.
+//
+// Defaults approximate the paper's Seagate ST1000DM003 (7200RPM, ~156MB/s
+// sequential writes, ~4.2ms average rotational latency).
+package hdd
+
+import (
+	"fmt"
+
+	"github.com/eplog/eplog/internal/device"
+)
+
+// Params configures the simulated disk.
+type Params struct {
+	// ChunkSize is the I/O unit in bytes.
+	ChunkSize int
+	// Chunks is the addressable capacity in chunks.
+	Chunks int64
+	// PositionTime is the average positioning cost (seek + rotation) in
+	// seconds charged to any non-streaming read.
+	PositionTime float64
+	// CachedWriteTime is the cost of a non-streaming write absorbed by
+	// the drive's volatile write cache: the command is acknowledged once
+	// buffered, so the host sees far less than a mechanical positioning
+	// delay as long as the sustained rate stays below the drive's
+	// destage bandwidth.
+	CachedWriteTime float64
+	// TransferMBps is the media transfer rate in MB/s.
+	TransferMBps float64
+	// StreamWindow is the longest idle gap (seconds) after which a
+	// contiguous access still streams without repositioning; it models
+	// the drive's track buffer and rotational tolerance.
+	StreamWindow float64
+}
+
+// DefaultParams returns a 7200RPM-class disk with the given capacity.
+func DefaultParams(chunks int64, chunkSize int) Params {
+	return Params{
+		ChunkSize:       chunkSize,
+		Chunks:          chunks,
+		PositionTime:    8.3e-3, // seek + half-rotation at 7200RPM
+		CachedWriteTime: 800e-6,
+		TransferMBps:    156,
+		StreamWindow:    2e-3,
+	}
+}
+
+// Stats counts disk activity, distinguishing streamed from positioned
+// accesses; EPLog's append-only log discipline shows up as a high streaming
+// ratio.
+type Stats struct {
+	Reads            int64
+	Writes           int64
+	WriteBytes       int64
+	ReadBytes        int64
+	PositionedOps    int64
+	StreamedOps      int64
+	BusyTime         float64 // total virtual seconds the disk was busy
+	PositioningTime  float64 // portion of BusyTime spent positioning
+	TransferringTime float64 // portion of BusyTime spent on media transfer
+}
+
+// Device is a simulated hard disk. It implements device.Dev.
+type Device struct {
+	params Params
+	data   []byte
+
+	free     float64 // virtual time the disk is next idle
+	lastIdx  int64   // chunk index of the previous access, -1 initially
+	lastEnd  float64 // completion time of the previous access
+	hasPrior bool
+
+	stats Stats
+}
+
+var _ device.Dev = (*Device)(nil)
+
+// New returns a simulated disk.
+func New(params Params) (*Device, error) {
+	if params.ChunkSize <= 0 || params.Chunks <= 0 {
+		return nil, fmt.Errorf("hdd: invalid geometry %+v", params)
+	}
+	if params.TransferMBps <= 0 {
+		return nil, fmt.Errorf("hdd: transfer rate %v must be positive", params.TransferMBps)
+	}
+	return &Device{
+		params:  params,
+		data:    make([]byte, params.Chunks*int64(params.ChunkSize)),
+		lastIdx: -1,
+	}, nil
+}
+
+// Params returns the device configuration.
+func (d *Device) Params() Params { return d.params }
+
+// Stats returns a snapshot of the counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the counters.
+func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// Chunks implements device.Dev.
+func (d *Device) Chunks() int64 { return d.params.Chunks }
+
+// ChunkSize implements device.Dev.
+func (d *Device) ChunkSize() int { return d.params.ChunkSize }
+
+// ReadChunk implements device.Dev.
+func (d *Device) ReadChunk(idx int64, p []byte) error {
+	if err := d.checkAccess(idx, p); err != nil {
+		return err
+	}
+	d.copyOut(idx, p)
+	d.stats.Reads++
+	d.stats.ReadBytes += int64(len(p))
+	d.advanceMechanics(d.free, idx, false)
+	return nil
+}
+
+// WriteChunk implements device.Dev.
+func (d *Device) WriteChunk(idx int64, p []byte) error {
+	if err := d.checkAccess(idx, p); err != nil {
+		return err
+	}
+	d.copyIn(idx, p)
+	d.stats.Writes++
+	d.stats.WriteBytes += int64(len(p))
+	d.advanceMechanics(d.free, idx, true)
+	return nil
+}
+
+// ReadChunkAt implements device.Dev.
+func (d *Device) ReadChunkAt(start float64, idx int64, p []byte) (float64, error) {
+	if err := d.checkAccess(idx, p); err != nil {
+		return start, err
+	}
+	d.copyOut(idx, p)
+	d.stats.Reads++
+	d.stats.ReadBytes += int64(len(p))
+	return d.advanceMechanics(start, idx, false), nil
+}
+
+// WriteChunkAt implements device.Dev.
+func (d *Device) WriteChunkAt(start float64, idx int64, p []byte) (float64, error) {
+	if err := d.checkAccess(idx, p); err != nil {
+		return start, err
+	}
+	d.copyIn(idx, p)
+	d.stats.Writes++
+	d.stats.WriteBytes += int64(len(p))
+	return d.advanceMechanics(start, idx, true), nil
+}
+
+// Trim implements device.Dev as a metadata no-op (disks have no TRIM).
+func (d *Device) Trim(idx, n int64) error {
+	if n < 0 || idx < 0 || idx+n > d.params.Chunks {
+		return fmt.Errorf("%w: trim [%d,%d) not in [0,%d)", device.ErrOutOfRange, idx, idx+n, d.params.Chunks)
+	}
+	return nil
+}
+
+func (d *Device) checkAccess(idx int64, p []byte) error {
+	if idx < 0 || idx >= d.params.Chunks {
+		return fmt.Errorf("%w: %d not in [0,%d)", device.ErrOutOfRange, idx, d.params.Chunks)
+	}
+	if len(p) != d.params.ChunkSize {
+		return fmt.Errorf("%w: got %d, want %d", device.ErrSizeChunk, len(p), d.params.ChunkSize)
+	}
+	return nil
+}
+
+func (d *Device) copyOut(idx int64, p []byte) {
+	off := idx * int64(d.params.ChunkSize)
+	copy(p, d.data[off:off+int64(d.params.ChunkSize)])
+}
+
+func (d *Device) copyIn(idx int64, p []byte) {
+	off := idx * int64(d.params.ChunkSize)
+	copy(d.data[off:off+int64(d.params.ChunkSize)], p)
+}
+
+// advanceMechanics charges the cost of accessing chunk idx at or after
+// start and returns the completion time. Sequential accesses inside the
+// stream window move at media speed; other reads pay mechanical
+// positioning, while other writes pay the (much smaller) write-cache
+// acknowledgement cost.
+func (d *Device) advanceMechanics(start float64, idx int64, isWrite bool) float64 {
+	begin := max(start, d.free)
+	transfer := float64(d.params.ChunkSize) / (d.params.TransferMBps * 1e6)
+
+	streaming := d.hasPrior &&
+		idx == d.lastIdx+1 &&
+		begin-d.lastEnd <= d.params.StreamWindow
+	cost := transfer
+	switch {
+	case streaming:
+		d.stats.StreamedOps++
+	case isWrite:
+		cost += d.params.CachedWriteTime
+		d.stats.PositionedOps++
+		d.stats.PositioningTime += d.params.CachedWriteTime
+	default:
+		cost += d.params.PositionTime
+		d.stats.PositionedOps++
+		d.stats.PositioningTime += d.params.PositionTime
+	}
+	d.stats.TransferringTime += transfer
+	d.stats.BusyTime += cost
+
+	end := begin + cost
+	d.free = end
+	d.lastIdx = idx
+	d.lastEnd = end
+	d.hasPrior = true
+	return end
+}

@@ -1,0 +1,230 @@
+package hdd
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/eplog/eplog/internal/device"
+)
+
+func testParams() Params {
+	return Params{
+		ChunkSize:       64,
+		Chunks:          256,
+		PositionTime:    8e-3,
+		CachedWriteTime: 4e-4,
+		TransferMBps:    100,
+		StreamWindow:    2e-3,
+	}
+}
+
+func mustNew(t *testing.T, p Params) *Device {
+	t.Helper()
+	d, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	p := testParams()
+	p.ChunkSize = 0
+	if _, err := New(p); err == nil {
+		t.Error("zero chunk size accepted")
+	}
+	p = testParams()
+	p.Chunks = 0
+	if _, err := New(p); err == nil {
+		t.Error("zero chunks accepted")
+	}
+	p = testParams()
+	p.TransferMBps = 0
+	if _, err := New(p); err == nil {
+		t.Error("zero transfer rate accepted")
+	}
+}
+
+func TestDefaultParamsUsable(t *testing.T) {
+	d, err := New(DefaultParams(128, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Chunks() != 128 || d.ChunkSize() != 4096 {
+		t.Error("geometry mismatch")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := mustNew(t, testParams())
+	w := bytes.Repeat([]byte{0x3C}, 64)
+	if err := d.WriteChunk(9, w); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64)
+	if err := d.ReadChunk(9, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, w) {
+		t.Fatal("read back wrong data")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	d := mustNew(t, testParams())
+	p := make([]byte, 64)
+	if err := d.ReadChunk(256, p); !errors.Is(err, device.ErrOutOfRange) {
+		t.Errorf("out-of-range read error = %v", err)
+	}
+	if err := d.WriteChunk(0, make([]byte, 63)); !errors.Is(err, device.ErrSizeChunk) {
+		t.Errorf("bad size write error = %v", err)
+	}
+	if err := d.Trim(250, 10); !errors.Is(err, device.ErrOutOfRange) {
+		t.Errorf("bad trim error = %v", err)
+	}
+	if err := d.Trim(0, 10); err != nil {
+		t.Errorf("valid trim error = %v", err)
+	}
+}
+
+func TestSequentialAppendsStream(t *testing.T) {
+	p := testParams()
+	d := mustNew(t, p)
+	buf := make([]byte, 64)
+	now := 0.0
+	// First access positions the head.
+	end, err := d.WriteChunkAt(now, 0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transfer := 64.0 / (p.TransferMBps * 1e6)
+	if want := p.CachedWriteTime + transfer; !approx(end, want) {
+		t.Fatalf("first append cost = %v, want %v", end, want)
+	}
+	// Back-to-back sequential appends stream.
+	for i := int64(1); i < 10; i++ {
+		prev := end
+		end, err = d.WriteChunkAt(end, i, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost := end - prev; !approx(cost, transfer) {
+			t.Fatalf("append %d cost = %v, want streaming %v", i, cost, transfer)
+		}
+	}
+	s := d.Stats()
+	if s.PositionedOps != 1 || s.StreamedOps != 9 {
+		t.Errorf("positioned=%d streamed=%d, want 1/9", s.PositionedOps, s.StreamedOps)
+	}
+}
+
+func TestNonContiguousAccessRepositions(t *testing.T) {
+	p := testParams()
+	d := mustNew(t, p)
+	buf := make([]byte, 64)
+	end, err := d.WriteChunkAt(0, 0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := end
+	// Jump to a non-adjacent chunk: must reposition.
+	end, err = d.WriteChunkAt(end, 100, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transfer := 64.0 / (p.TransferMBps * 1e6)
+	if cost := end - prev; !approx(cost, p.CachedWriteTime+transfer) {
+		t.Fatalf("random write cost = %v, want %v", cost, p.CachedWriteTime+transfer)
+	}
+	// Reads pay the full mechanical positioning cost.
+	buf2 := make([]byte, 64)
+	prev = end
+	end, err = d.ReadChunkAt(end, 5, buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost := end - prev; !approx(cost, p.PositionTime+transfer) {
+		t.Fatalf("random read cost = %v, want %v", cost, p.PositionTime+transfer)
+	}
+}
+
+func TestIdleGapBreaksStreaming(t *testing.T) {
+	p := testParams()
+	d := mustNew(t, p)
+	buf := make([]byte, 64)
+	end, err := d.WriteChunkAt(0, 0, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contiguous chunk, but after a gap beyond the stream window.
+	late := end + p.StreamWindow*10
+	end2, err := d.WriteChunkAt(late, 1, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transfer := 64.0 / (p.TransferMBps * 1e6)
+	if cost := end2 - late; !approx(cost, p.CachedWriteTime+transfer) {
+		t.Fatalf("post-gap append cost = %v, want repositioned %v", cost, p.CachedWriteTime+transfer)
+	}
+	// Contiguous chunk within the window streams even with a small gap.
+	soon := end2 + p.StreamWindow/2
+	end3, err := d.WriteChunkAt(soon, 2, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost := end3 - soon; !approx(cost, transfer) {
+		t.Fatalf("in-window append cost = %v, want streaming %v", cost, transfer)
+	}
+}
+
+func TestUntimedOpsCountAndAdvanceClock(t *testing.T) {
+	d := mustNew(t, testParams())
+	buf := make([]byte, 64)
+	if err := d.WriteChunk(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadChunk(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.Writes != 1 || s.Reads != 1 {
+		t.Errorf("ops = %+v", s)
+	}
+	if s.WriteBytes != 64 || s.ReadBytes != 64 {
+		t.Errorf("bytes = %+v", s)
+	}
+	if s.BusyTime <= 0 {
+		t.Error("untimed ops did not accumulate busy time")
+	}
+	d.ResetStats()
+	if d.Stats().Writes != 0 || d.Stats().BusyTime != 0 {
+		t.Error("ResetStats incomplete")
+	}
+}
+
+func TestBusyTimeDecomposition(t *testing.T) {
+	d := mustNew(t, testParams())
+	buf := make([]byte, 64)
+	now := 0.0
+	for i := int64(0); i < 20; i++ {
+		var err error
+		now, err = d.WriteChunkAt(now, i*3%d.Chunks(), buf) // scattered
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := d.Stats()
+	if !approx(s.BusyTime, s.PositioningTime+s.TransferringTime) {
+		t.Errorf("BusyTime %v != positioning %v + transfer %v",
+			s.BusyTime, s.PositioningTime, s.TransferringTime)
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12
+}

@@ -1,0 +1,41 @@
+package metadata
+
+import "testing"
+
+// FuzzUnmarshalSnapshot checks the snapshot decoder never panics or
+// over-allocates on arbitrary payloads, and accepts its own encodings.
+func FuzzUnmarshalSnapshot(f *testing.F) {
+	f.Add(sampleSnapshot().Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalSnapshot(data)
+		if err != nil {
+			return
+		}
+		// Decoded snapshots must re-encode and decode to the same shape.
+		s2, err := UnmarshalSnapshot(s.Marshal())
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded snapshot: %v", err)
+		}
+		if len(s2.StripeRecs) != len(s.StripeRecs) || len(s2.LogStripes) != len(s.LogStripes) {
+			t.Fatal("re-encode changed record counts")
+		}
+	})
+}
+
+// FuzzUnmarshalDelta is the same property for incremental payloads.
+func FuzzUnmarshalDelta(f *testing.F) {
+	d := &Delta{NextLogID: 3, LogCursor: 1, LogStripes: sampleSnapshot().LogStripes}
+	f.Add(d.Marshal())
+	f.Add([]byte{0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := UnmarshalDelta(data)
+		if err != nil {
+			return
+		}
+		if _, err := UnmarshalDelta(d.Marshal()); err != nil {
+			t.Fatalf("re-decode of re-encoded delta: %v", err)
+		}
+	})
+}

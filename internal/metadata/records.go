@@ -1,0 +1,300 @@
+// Package metadata implements EPLog's persistent metadata management
+// (Section III-E): data-stripe and log-stripe records, a metadata volume
+// with a superblock area, a dual-sub-area full-checkpoint region written
+// alternately so a consistent full checkpoint always survives a crash, and
+// an append-only incremental-checkpoint region holding the records dirtied
+// since the last checkpoint.
+package metadata
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Loc addresses a chunk on the main array (mirrors core.Loc without
+// importing it, keeping this package dependency-free).
+type Loc struct {
+	Dev   int32
+	Chunk int64
+}
+
+// StripeRecord is the persistent per-data-stripe metadata: the latest and
+// committed location of every data slot, the protector of the latest
+// version, and whether the stripe was ever written.
+type StripeRecord struct {
+	Stripe int64
+	// Latest[j] is the location of slot j's newest version.
+	Latest []Loc
+	// Prot[j] is the protector of slot j's newest version: -1 when the
+	// data stripe's parity covers it, otherwise a log stripe id.
+	Prot []int64
+	// Committed[j] is the location of slot j's parity-covered version.
+	Committed []Loc
+	// Virgin records that the stripe has never been written.
+	Virgin bool
+	// Dirty records that the stripe has updates pending parity commit.
+	Dirty bool
+}
+
+// Member is one data chunk version protected by a log stripe.
+type Member struct {
+	LBA int64
+	Loc Loc
+}
+
+// LogStripeRecord is the persistent per-log-stripe metadata: its id, its
+// members in coding order, and the log-device offset of its log chunks.
+type LogStripeRecord struct {
+	ID      int64
+	LogPos  int64
+	Members []Member
+}
+
+// Snapshot is a complete metadata image (a full checkpoint payload).
+type Snapshot struct {
+	K          int32
+	N          int32
+	Stripes    int64
+	ChunkSize  int32
+	NextLogID  int64
+	LogCursor  int64
+	StripeRecs []StripeRecord
+	LogStripes []LogStripeRecord
+}
+
+// Delta is an incremental checkpoint payload: the stripe records dirtied
+// since the last checkpoint plus the complete current log-stripe set and
+// cursors (the log-stripe set is naturally small — it empties on every
+// parity commit).
+type Delta struct {
+	NextLogID  int64
+	LogCursor  int64
+	StripeRecs []StripeRecord
+	LogStripes []LogStripeRecord
+}
+
+// Serialization uses little-endian fixed-width fields via a simple
+// writer/reader pair; every top-level payload is framed and checksummed by
+// the volume layer.
+
+type writer struct{ buf bytes.Buffer }
+
+func (w *writer) u32(v uint32) { _ = binary.Write(&w.buf, binary.LittleEndian, v) }
+func (w *writer) i32(v int32)  { w.u32(uint32(v)) }
+func (w *writer) i64(v int64)  { _ = binary.Write(&w.buf, binary.LittleEndian, v) }
+func (w *writer) boolean(v bool) {
+	if v {
+		w.buf.WriteByte(1)
+	} else {
+		w.buf.WriteByte(0)
+	}
+}
+func (w *writer) loc(l Loc) { w.i32(l.Dev); w.i64(l.Chunk) }
+
+type reader struct {
+	buf *bytes.Reader
+	err error
+}
+
+func (r *reader) u32() uint32 {
+	var v uint32
+	if r.err == nil {
+		r.err = binary.Read(r.buf, binary.LittleEndian, &v)
+	}
+	return v
+}
+func (r *reader) i32() int32 { return int32(r.u32()) }
+func (r *reader) i64() int64 {
+	var v int64
+	if r.err == nil {
+		r.err = binary.Read(r.buf, binary.LittleEndian, &v)
+	}
+	return v
+}
+func (r *reader) boolean() bool {
+	b, err := r.buf.ReadByte()
+	if r.err == nil && err != nil {
+		r.err = err
+	}
+	return b == 1
+}
+func (r *reader) loc() Loc {
+	return Loc{Dev: r.i32(), Chunk: r.i64()}
+}
+
+// count guards length prefixes against corrupt or hostile payloads.
+func (r *reader) count(limit int64) int64 {
+	n := r.i64()
+	if r.err == nil && (n < 0 || n > limit) {
+		r.err = fmt.Errorf("metadata: implausible count %d (limit %d)", n, limit)
+	}
+	return n
+}
+
+const maxCount = int64(1) << 40
+
+func marshalStripeRecord(w *writer, rec *StripeRecord) {
+	w.i64(rec.Stripe)
+	w.i64(int64(len(rec.Latest)))
+	for j := range rec.Latest {
+		w.loc(rec.Latest[j])
+		w.i64(rec.Prot[j])
+		w.loc(rec.Committed[j])
+	}
+	w.boolean(rec.Virgin)
+	w.boolean(rec.Dirty)
+}
+
+func unmarshalStripeRecord(r *reader) StripeRecord {
+	var rec StripeRecord
+	rec.Stripe = r.i64()
+	k := r.count(1 << 16)
+	if r.err != nil {
+		return rec
+	}
+	rec.Latest = make([]Loc, k)
+	rec.Prot = make([]int64, k)
+	rec.Committed = make([]Loc, k)
+	for j := int64(0); j < k; j++ {
+		rec.Latest[j] = r.loc()
+		rec.Prot[j] = r.i64()
+		rec.Committed[j] = r.loc()
+	}
+	rec.Virgin = r.boolean()
+	rec.Dirty = r.boolean()
+	return rec
+}
+
+func marshalLogStripeRecord(w *writer, rec *LogStripeRecord) {
+	w.i64(rec.ID)
+	w.i64(rec.LogPos)
+	w.i64(int64(len(rec.Members)))
+	for _, m := range rec.Members {
+		w.i64(m.LBA)
+		w.loc(m.Loc)
+	}
+}
+
+func unmarshalLogStripeRecord(r *reader) LogStripeRecord {
+	var rec LogStripeRecord
+	rec.ID = r.i64()
+	rec.LogPos = r.i64()
+	n := r.count(1 << 16)
+	if r.err != nil {
+		return rec
+	}
+	if n > 0 {
+		rec.Members = make([]Member, n)
+	}
+	for i := int64(0); i < n; i++ {
+		rec.Members[i].LBA = r.i64()
+		rec.Members[i].Loc = r.loc()
+	}
+	return rec
+}
+
+// Marshal encodes the snapshot.
+func (s *Snapshot) Marshal() []byte {
+	var w writer
+	w.i32(s.K)
+	w.i32(s.N)
+	w.i64(s.Stripes)
+	w.i32(s.ChunkSize)
+	w.i64(s.NextLogID)
+	w.i64(s.LogCursor)
+	w.i64(int64(len(s.StripeRecs)))
+	for i := range s.StripeRecs {
+		marshalStripeRecord(&w, &s.StripeRecs[i])
+	}
+	w.i64(int64(len(s.LogStripes)))
+	for i := range s.LogStripes {
+		marshalLogStripeRecord(&w, &s.LogStripes[i])
+	}
+	return w.buf.Bytes()
+}
+
+// UnmarshalSnapshot decodes a snapshot payload.
+func UnmarshalSnapshot(p []byte) (*Snapshot, error) {
+	r := &reader{buf: bytes.NewReader(p)}
+	var s Snapshot
+	s.K = r.i32()
+	s.N = r.i32()
+	s.Stripes = r.i64()
+	s.ChunkSize = r.i32()
+	s.NextLogID = r.i64()
+	s.LogCursor = r.i64()
+	nRecs := r.count(maxCount)
+	if r.err != nil {
+		return nil, r.err
+	}
+	for i := int64(0); i < nRecs && r.err == nil; i++ {
+		s.StripeRecs = append(s.StripeRecs, unmarshalStripeRecord(r))
+	}
+	nLogs := r.count(maxCount)
+	for i := int64(0); i < nLogs && r.err == nil; i++ {
+		s.LogStripes = append(s.LogStripes, unmarshalLogStripeRecord(r))
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("metadata: snapshot decode: %w", r.err)
+	}
+	return &s, nil
+}
+
+// Marshal encodes the delta.
+func (d *Delta) Marshal() []byte {
+	var w writer
+	w.i64(d.NextLogID)
+	w.i64(d.LogCursor)
+	w.i64(int64(len(d.StripeRecs)))
+	for i := range d.StripeRecs {
+		marshalStripeRecord(&w, &d.StripeRecs[i])
+	}
+	w.i64(int64(len(d.LogStripes)))
+	for i := range d.LogStripes {
+		marshalLogStripeRecord(&w, &d.LogStripes[i])
+	}
+	return w.buf.Bytes()
+}
+
+// UnmarshalDelta decodes an incremental-checkpoint payload.
+func UnmarshalDelta(p []byte) (*Delta, error) {
+	r := &reader{buf: bytes.NewReader(p)}
+	var d Delta
+	d.NextLogID = r.i64()
+	d.LogCursor = r.i64()
+	nRecs := r.count(maxCount)
+	if r.err != nil {
+		return nil, r.err
+	}
+	for i := int64(0); i < nRecs && r.err == nil; i++ {
+		d.StripeRecs = append(d.StripeRecs, unmarshalStripeRecord(r))
+	}
+	nLogs := r.count(maxCount)
+	for i := int64(0); i < nLogs && r.err == nil; i++ {
+		d.LogStripes = append(d.LogStripes, unmarshalLogStripeRecord(r))
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("metadata: delta decode: %w", r.err)
+	}
+	return &d, nil
+}
+
+// Apply folds a delta into the snapshot in place: dirtied stripe records
+// replace their predecessors and the log-stripe set is replaced wholesale.
+func (s *Snapshot) Apply(d *Delta) {
+	s.NextLogID = d.NextLogID
+	s.LogCursor = d.LogCursor
+	byStripe := make(map[int64]int, len(s.StripeRecs))
+	for i := range s.StripeRecs {
+		byStripe[s.StripeRecs[i].Stripe] = i
+	}
+	for _, rec := range d.StripeRecs {
+		if i, ok := byStripe[rec.Stripe]; ok {
+			s.StripeRecs[i] = rec
+		} else {
+			s.StripeRecs = append(s.StripeRecs, rec)
+		}
+	}
+	s.LogStripes = append([]LogStripeRecord(nil), d.LogStripes...)
+}

@@ -1,0 +1,300 @@
+package metadata
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"github.com/eplog/eplog/internal/device"
+)
+
+// Volume layout (in device chunks):
+//
+//	chunk 0:                superblock
+//	chunks [1, 1+F):        full-checkpoint sub-area A
+//	chunks [1+F, 1+2F):     full-checkpoint sub-area B
+//	chunks [1+2F, end):     incremental-checkpoint area (append-only)
+//
+// where F is the per-sub-area size chosen at Format time. Full checkpoints
+// alternate between A and B with increasing sequence numbers so that a
+// crash mid-checkpoint always leaves the previous checkpoint intact; each
+// checkpoint and each incremental record is framed with a CRC32C-protected
+// header.
+
+const (
+	superMagic  = 0x45504c4f // "EPLO"
+	frameMagic  = 0x4d455441 // "META"
+	superSize   = 40
+	frameHeader = 28
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors returned by the volume.
+var (
+	ErrNotFormatted = errors.New("metadata: volume not formatted")
+	ErrNoCheckpoint = errors.New("metadata: no valid full checkpoint")
+	ErrTooLarge     = errors.New("metadata: payload exceeds area")
+)
+
+// Volume is a persistent metadata store on a (typically mirrored) device.
+type Volume struct {
+	dev       device.Dev
+	csize     int
+	fullArea  int64 // chunks per full-checkpoint sub-area
+	incrStart int64 // first chunk of the incremental area
+	incrEnd   int64 // one past the last incremental chunk
+
+	lastFullSeq uint64 // sequence of the newest durable full checkpoint
+	lastFullSub int    // which sub-area holds it (0=A, 1=B)
+	incrCursor  int64  // next free incremental chunk
+	incrSeq     uint64 // records appended since the last full checkpoint
+}
+
+// Format initializes a metadata volume on dev, giving each of the two
+// full-checkpoint sub-areas fullAreaChunks chunks and the remainder to the
+// incremental area.
+func Format(dev device.Dev, fullAreaChunks int64) (*Volume, error) {
+	csize := dev.ChunkSize()
+	if csize < superSize {
+		return nil, fmt.Errorf("metadata: chunk size %d too small for superblock", csize)
+	}
+	if fullAreaChunks < 1 {
+		return nil, fmt.Errorf("metadata: full area must be at least 1 chunk")
+	}
+	incrStart := 1 + 2*fullAreaChunks
+	if incrStart+1 > dev.Chunks() {
+		return nil, fmt.Errorf("metadata: device too small: %d chunks, need > %d", dev.Chunks(), incrStart)
+	}
+	sb := make([]byte, csize)
+	binary.LittleEndian.PutUint32(sb[0:], superMagic)
+	binary.LittleEndian.PutUint32(sb[4:], 1) // layout version
+	binary.LittleEndian.PutUint64(sb[8:], uint64(fullAreaChunks))
+	binary.LittleEndian.PutUint64(sb[16:], uint64(incrStart))
+	binary.LittleEndian.PutUint64(sb[24:], uint64(dev.Chunks()))
+	binary.LittleEndian.PutUint32(sb[32:], crc32.Checksum(sb[:32], crcTable))
+	if err := dev.WriteChunk(0, sb); err != nil {
+		return nil, fmt.Errorf("metadata: write superblock: %w", err)
+	}
+	v := &Volume{
+		dev:       dev,
+		csize:     csize,
+		fullArea:  fullAreaChunks,
+		incrStart: incrStart,
+		incrEnd:   dev.Chunks(),
+	}
+	v.lastFullSub = -1
+	v.incrCursor = incrStart
+	// Invalidate any stale checkpoint frames from a previous life.
+	zero := make([]byte, csize)
+	if err := dev.WriteChunk(v.subAreaStart(0), zero); err != nil {
+		return nil, err
+	}
+	if err := dev.WriteChunk(v.subAreaStart(1), zero); err != nil {
+		return nil, err
+	}
+	if err := dev.WriteChunk(v.incrStart, zero); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Open mounts an existing metadata volume, locating the newest valid full
+// checkpoint and the end of the incremental log.
+func Open(dev device.Dev) (*Volume, error) {
+	csize := dev.ChunkSize()
+	sb := make([]byte, csize)
+	if err := dev.ReadChunk(0, sb); err != nil {
+		return nil, fmt.Errorf("metadata: read superblock: %w", err)
+	}
+	if binary.LittleEndian.Uint32(sb[0:]) != superMagic {
+		return nil, ErrNotFormatted
+	}
+	if got, want := binary.LittleEndian.Uint32(sb[32:]), crc32.Checksum(sb[:32], crcTable); got != want {
+		return nil, fmt.Errorf("metadata: superblock CRC mismatch")
+	}
+	v := &Volume{
+		dev:       dev,
+		csize:     csize,
+		fullArea:  int64(binary.LittleEndian.Uint64(sb[8:])),
+		incrStart: int64(binary.LittleEndian.Uint64(sb[16:])),
+		incrEnd:   int64(binary.LittleEndian.Uint64(sb[24:])),
+	}
+	if v.incrEnd > dev.Chunks() {
+		v.incrEnd = dev.Chunks()
+	}
+	// Find the newest valid full checkpoint.
+	v.lastFullSub = -1
+	for sub := 0; sub < 2; sub++ {
+		if _, seq, ok := v.readFrameAt(v.subAreaStart(sub), v.fullArea); ok {
+			if v.lastFullSub < 0 || seq > v.lastFullSeq {
+				v.lastFullSeq = seq
+				v.lastFullSub = sub
+			}
+		}
+	}
+	// Find the end of the incremental log.
+	v.incrCursor = v.incrStart
+	for v.incrCursor < v.incrEnd {
+		payload, seq, ok := v.readFrameAt(v.incrCursor, v.incrEnd-v.incrCursor)
+		if !ok || v.lastFullSub < 0 || seq != v.lastFullSeq {
+			break
+		}
+		v.incrCursor += frameChunks(len(payload), v.csize)
+		v.incrSeq++
+	}
+	return v, nil
+}
+
+// subAreaStart returns the first chunk of a full-checkpoint sub-area.
+func (v *Volume) subAreaStart(sub int) int64 { return 1 + int64(sub)*v.fullArea }
+
+// frameChunks returns how many chunks a framed payload occupies.
+func frameChunks(payloadLen, csize int) int64 {
+	total := frameHeader + payloadLen
+	return int64((total + csize - 1) / csize)
+}
+
+// writeFrameAt writes a framed, checksummed payload starting at chunk
+// start; it must fit within limit chunks.
+func (v *Volume) writeFrameAt(start, limit int64, seq uint64, payload []byte) error {
+	need := frameChunks(len(payload), v.csize)
+	if need > limit {
+		return fmt.Errorf("%w: %d chunks > %d", ErrTooLarge, need, limit)
+	}
+	buf := make([]byte, need*int64(v.csize))
+	binary.LittleEndian.PutUint32(buf[0:], frameMagic)
+	binary.LittleEndian.PutUint64(buf[4:], seq)
+	binary.LittleEndian.PutUint64(buf[12:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(buf[20:], crc32.Checksum(payload, crcTable))
+	// buf[24:28] reserved.
+	copy(buf[frameHeader:], payload)
+	// Write payload chunks first and the header chunk last, so a torn
+	// write cannot yield a header that frames garbage.
+	for c := need - 1; c >= 0; c-- {
+		if err := v.dev.WriteChunk(start+c, buf[c*int64(v.csize):(c+1)*int64(v.csize)]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrameAt reads and validates a framed payload at chunk start.
+func (v *Volume) readFrameAt(start, limit int64) ([]byte, uint64, bool) {
+	if limit < 1 {
+		return nil, 0, false
+	}
+	head := make([]byte, v.csize)
+	if err := v.dev.ReadChunk(start, head); err != nil {
+		return nil, 0, false
+	}
+	if binary.LittleEndian.Uint32(head[0:]) != frameMagic {
+		return nil, 0, false
+	}
+	seq := binary.LittleEndian.Uint64(head[4:])
+	plen := binary.LittleEndian.Uint64(head[12:])
+	// No real checkpoint payload is empty; an all-zero body after a stray
+	// magic word must not validate (CRC32 of nothing is zero).
+	if plen == 0 || plen > uint64(limit*int64(v.csize)) {
+		return nil, 0, false
+	}
+	want := binary.LittleEndian.Uint32(head[20:])
+	need := frameChunks(int(plen), v.csize)
+	if need > limit {
+		return nil, 0, false
+	}
+	buf := make([]byte, need*int64(v.csize))
+	copy(buf, head)
+	for c := int64(1); c < need; c++ {
+		if err := v.dev.ReadChunk(start+c, buf[c*int64(v.csize):(c+1)*int64(v.csize)]); err != nil {
+			return nil, 0, false
+		}
+	}
+	payload := buf[frameHeader : frameHeader+int(plen)]
+	if crc32.Checksum(payload, crcTable) != want {
+		return nil, 0, false
+	}
+	return payload, seq, true
+}
+
+// WriteFull persists a full checkpoint into the sub-area not holding the
+// current one, then adopts it and resets the incremental log.
+func (v *Volume) WriteFull(s *Snapshot) error {
+	payload := s.Marshal()
+	sub := 0
+	if v.lastFullSub == 0 {
+		sub = 1
+	}
+	seq := v.lastFullSeq + 1
+	if err := v.writeFrameAt(v.subAreaStart(sub), v.fullArea, seq, payload); err != nil {
+		return err
+	}
+	v.lastFullSeq = seq
+	v.lastFullSub = sub
+	v.incrCursor = v.incrStart
+	v.incrSeq = 0
+	// Invalidate the first stale incremental frame so Load stops there.
+	zero := make([]byte, v.csize)
+	return v.dev.WriteChunk(v.incrStart, zero)
+}
+
+// WriteIncremental appends an incremental checkpoint holding the metadata
+// dirtied since the last full or incremental checkpoint.
+func (v *Volume) WriteIncremental(d *Delta) error {
+	if v.lastFullSub < 0 {
+		return ErrNoCheckpoint
+	}
+	payload := d.Marshal()
+	if err := v.writeFrameAt(v.incrCursor, v.incrEnd-v.incrCursor, v.lastFullSeq, payload); err != nil {
+		return err
+	}
+	v.incrCursor += frameChunks(len(payload), v.csize)
+	v.incrSeq++
+	// Invalidate the next slot so a stale frame from a previous epoch
+	// cannot be replayed past the new tail.
+	if v.incrCursor < v.incrEnd {
+		zero := make([]byte, v.csize)
+		if err := v.dev.WriteChunk(v.incrCursor, zero); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load returns the newest full checkpoint with all valid incremental
+// checkpoints already applied.
+func (v *Volume) Load() (*Snapshot, error) {
+	if v.lastFullSub < 0 {
+		return nil, ErrNoCheckpoint
+	}
+	payload, _, ok := v.readFrameAt(v.subAreaStart(v.lastFullSub), v.fullArea)
+	if !ok {
+		return nil, ErrNoCheckpoint
+	}
+	snap, err := UnmarshalSnapshot(payload)
+	if err != nil {
+		return nil, err
+	}
+	cursor := v.incrStart
+	for cursor < v.incrEnd {
+		p, seq, ok := v.readFrameAt(cursor, v.incrEnd-cursor)
+		if !ok || seq != v.lastFullSeq {
+			break
+		}
+		delta, err := UnmarshalDelta(p)
+		if err != nil {
+			break // torn tail: stop at the last consistent state
+		}
+		snap.Apply(delta)
+		cursor += frameChunks(len(p), v.csize)
+	}
+	return snap, nil
+}
+
+// HasCheckpoint reports whether a valid full checkpoint exists.
+func (v *Volume) HasCheckpoint() bool { return v.lastFullSub >= 0 }
+
+// IncrementalCount returns the number of incremental checkpoints since the
+// last full checkpoint.
+func (v *Volume) IncrementalCount() uint64 { return v.incrSeq }

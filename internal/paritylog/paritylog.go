@@ -1,0 +1,661 @@
+// Package paritylog implements the original parity-logging scheme
+// (Stodolsky et al., as adapted by the paper's PL baseline): data chunks
+// are updated in place on the main array, and instead of updating parity,
+// each write appends per-stripe parity deltas ("log chunks") to dedicated
+// log devices. A log chunk for parity dimension i of a stripe is the
+// parity-coefficient-weighted XOR of the old and new contents of the
+// updated chunks, so the write path must pre-read the old data — the
+// constraint EPLog's elastic logging removes.
+//
+// Following the parity-logging literature, each log device is divided into
+// per-stripe-group regions so a stripe's deltas stay clustered and commit
+// can read them back with sequential I/O. The cost of that organization is
+// the one EPLog removes: the append stream hops between regions as
+// unrelated stripes are updated, so log-device writes are not globally
+// sequential.
+//
+// Parity commit folds the accumulated deltas into the on-array parity,
+// which (unlike EPLog) requires reading the log devices back.
+package paritylog
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/erasure"
+	"github.com/eplog/eplog/internal/gf"
+	"github.com/eplog/eplog/internal/store"
+)
+
+// Errors returned by the scheme.
+var (
+	ErrTooManyFailures = errors.New("paritylog: too many failed devices")
+	ErrLogDevices      = errors.New("paritylog: need one log device per parity chunk")
+)
+
+// Stats counts scheme-specific I/O.
+type Stats struct {
+	// PreReadChunks counts old-data chunks read on the write path.
+	PreReadChunks int64
+	// LogChunks counts log chunks appended across all log devices.
+	LogChunks int64
+	// LogBytes is the total log traffic.
+	LogBytes int64
+	// Commits counts full parity-commit operations.
+	Commits int64
+	// RegionCommits counts per-region reintegrations.
+	RegionCommits int64
+	// FullStripeWrites counts stripes written directly with parity.
+	FullStripeWrites int64
+}
+
+// Array is a parity-logging RAID array. It implements store.Store.
+type Array struct {
+	geo     store.Geometry
+	code    *erasure.Code
+	devs    []device.Dev // main array
+	logDevs []device.Dev // one per parity dimension
+	csize   int
+
+	// The log devices are split into regions of stripesPerRegion
+	// consecutive stripes; regionCursor tracks the next free slot of
+	// each region (identical across the m log devices).
+	stripesPerRegion int64
+	regionCap        int64
+	regionCursor     []int64
+	pending          int64             // occupied slots across all regions
+	logs             map[int64][]int64 // stripe -> absolute slots holding its deltas
+	virgin           []bool            // stripe never written: direct path allowed
+	stats            Stats
+}
+
+// DefaultStripesPerRegion is the log-region granularity: how many
+// consecutive stripes share one log region.
+const DefaultStripesPerRegion = 64
+
+var _ store.Store = (*Array)(nil)
+
+// New builds a parity-logging array: devs form the main array with k data
+// chunks per stripe; logDevs must contain exactly len(devs)-k devices.
+func New(devs, logDevs []device.Dev, k int, stripes int64) (*Array, error) {
+	if len(devs) < 2 {
+		return nil, fmt.Errorf("paritylog: need at least 2 devices, got %d", len(devs))
+	}
+	geo, err := store.NewGeometry(len(devs), k, stripes)
+	if err != nil {
+		return nil, err
+	}
+	if len(logDevs) != geo.M() {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrLogDevices, len(logDevs), geo.M())
+	}
+	csize := devs[0].ChunkSize()
+	for i, d := range append(append([]device.Dev{}, devs...), logDevs...) {
+		if d.ChunkSize() != csize {
+			return nil, fmt.Errorf("paritylog: device %d chunk size %d != %d", i, d.ChunkSize(), csize)
+		}
+	}
+	for i, d := range devs {
+		if d.Chunks() < stripes {
+			return nil, fmt.Errorf("paritylog: device %d has %d chunks, need %d", i, d.Chunks(), stripes)
+		}
+	}
+	code, err := erasure.New(k, geo.M(), erasure.Cauchy)
+	if err != nil {
+		return nil, err
+	}
+	a := &Array{
+		geo:              geo,
+		code:             code,
+		devs:             devs,
+		logDevs:          logDevs,
+		csize:            csize,
+		stripesPerRegion: DefaultStripesPerRegion,
+		logs:             make(map[int64][]int64),
+		virgin:           make([]bool, stripes),
+	}
+	numRegions := (stripes + a.stripesPerRegion - 1) / a.stripesPerRegion
+	a.regionCap = logDevs[0].Chunks() / numRegions
+	if a.regionCap < 1 {
+		return nil, fmt.Errorf("paritylog: log devices too small for %d regions", numRegions)
+	}
+	a.regionCursor = make([]int64, numRegions)
+	for i := range a.virgin {
+		a.virgin[i] = true
+	}
+	return a, nil
+}
+
+// regionOf returns the log region of a stripe.
+func (a *Array) regionOf(stripe int64) int64 { return stripe / a.stripesPerRegion }
+
+// appendSlot reserves the next log slot for a stripe, reintegrating the
+// stripe's region first if it is full. It returns the absolute chunk index
+// on every log device.
+func (a *Array) appendSlot(stripe int64) (int64, error) {
+	r := a.regionOf(stripe)
+	if a.regionCursor[r] >= a.regionCap {
+		if err := a.commitRegion(r); err != nil {
+			return 0, err
+		}
+	}
+	slot := r*a.regionCap + a.regionCursor[r]
+	a.regionCursor[r]++
+	a.pending++
+	return slot, nil
+}
+
+// Chunks implements store.Store.
+func (a *Array) Chunks() int64 { return a.geo.Chunks() }
+
+// ChunkSize implements store.Store.
+func (a *Array) ChunkSize() int { return a.csize }
+
+// Stats returns the scheme counters.
+func (a *Array) Stats() Stats { return a.stats }
+
+// PendingLogChunks returns the number of log-device slots in use, exposed
+// for experiments measuring log footprint.
+func (a *Array) PendingLogChunks() int64 { return a.pending * int64(a.geo.M()) }
+
+// WriteChunks implements store.Store. Partial-stripe writes pre-read the
+// old data (phase 1), then write the new data to the main array while the
+// log chunks stream to the log devices (phase 2).
+func (a *Array) WriteChunks(start float64, lba int64, data []byte) (float64, error) {
+	nChunks := int64(len(data) / a.csize)
+	if int(nChunks)*a.csize != len(data) || nChunks == 0 {
+		return start, fmt.Errorf("paritylog: data length %d not a positive chunk multiple", len(data))
+	}
+	if lba < 0 || lba+nChunks > a.geo.Chunks() {
+		return start, fmt.Errorf("%w: [%d,%d) of %d", store.ErrWriteTooLarge, lba, lba+nChunks, a.geo.Chunks())
+	}
+	k, m := a.geo.K, a.geo.M()
+
+	type stripeUpdate struct {
+		stripe int64
+		slots  []int
+		chunks [][]byte
+	}
+	var ups []stripeUpdate
+	for off := int64(0); off < nChunks; {
+		s, _ := a.geo.Stripe(lba + off)
+		u := stripeUpdate{stripe: s}
+		for ; off < nChunks; off++ {
+			s2, j2 := a.geo.Stripe(lba + off)
+			if s2 != s {
+				break
+			}
+			u.slots = append(u.slots, j2)
+			u.chunks = append(u.chunks, data[off*int64(a.csize):(off+1)*int64(a.csize)])
+		}
+		ups = append(ups, u)
+	}
+
+	// Phase 1: pre-read old data for partial-stripe updates and compute
+	// the per-stripe parity deltas.
+	pre := device.NewSpan(start)
+	type stripeLog struct {
+		deltas [][]byte // nil for full-stripe writes
+		parity [][]byte // set for full-stripe writes
+	}
+	slogs := make([]stripeLog, len(ups))
+	for ui, u := range ups {
+		home := a.geo.HomeChunk(u.stripe)
+		if len(u.slots) == k && a.virgin[u.stripe] {
+			// Full new stripe: write data+parity directly, no log.
+			// Updates never take this path: their parity state is the
+			// on-array parity plus the logged deltas, which a direct
+			// parity write would corrupt.
+			shards := make([][]byte, k+m)
+			for i, ch := range u.chunks {
+				shards[u.slots[i]] = ch
+			}
+			parity := make([][]byte, m)
+			for i := range parity {
+				parity[i] = make([]byte, a.csize)
+				shards[k+i] = parity[i]
+			}
+			if err := a.code.Encode(shards); err != nil {
+				return start, err
+			}
+			slogs[ui].parity = parity
+			a.virgin[u.stripe] = false
+			a.stats.FullStripeWrites++
+			continue
+		}
+		a.virgin[u.stripe] = false
+		deltas := make([][]byte, m)
+		for i := range deltas {
+			deltas[i] = make([]byte, a.csize)
+		}
+		old := make([]byte, a.csize)
+		for i, j := range u.slots {
+			if err := pre.Read(a.devs[a.geo.DataDev(u.stripe, j)], home, old); err != nil {
+				if !errors.Is(err, device.ErrFailed) {
+					return start, err
+				}
+				// Degraded pre-read: reconstruct the old value from
+				// the surviving chunks and the effective parity.
+				pre.ClearErr()
+				if derr := a.degradedRead(pre, u.stripe, j, old); derr != nil {
+					return start, derr
+				}
+			}
+			a.stats.PreReadChunks++
+			xor := make([]byte, a.csize)
+			copy(xor, old)
+			gf.XORSlice(u.chunks[i], xor)
+			if err := a.code.UpdateParity(j, xor, deltas); err != nil {
+				return start, err
+			}
+		}
+		slogs[ui].deltas = deltas
+	}
+	if pre.Err() != nil {
+		return start, pre.Err()
+	}
+
+	// Phase 2: in-place data writes in parallel with log appends. Writes
+	// to a failed device are skipped: the logged delta keeps the new
+	// value recoverable through the effective parity, and Rebuild
+	// restores it physically.
+	wr := pre.Next()
+	for ui, u := range ups {
+		home := a.geo.HomeChunk(u.stripe)
+		for i, j := range u.slots {
+			if err := wr.Write(a.devs[a.geo.DataDev(u.stripe, j)], home, u.chunks[i]); err != nil {
+				if !errors.Is(err, device.ErrFailed) {
+					return start, err
+				}
+				wr.ClearErr()
+			}
+		}
+		if slogs[ui].parity != nil {
+			for i, p := range slogs[ui].parity {
+				if err := wr.Write(a.devs[a.geo.ParityDev(u.stripe, i)], home, p); err != nil {
+					if !errors.Is(err, device.ErrFailed) {
+						return start, err
+					}
+					wr.ClearErr()
+				}
+			}
+			continue
+		}
+		slot, err := a.appendSlot(u.stripe)
+		if err != nil {
+			return start, err
+		}
+		for i, d := range slogs[ui].deltas {
+			if err := wr.Write(a.logDevs[i], slot, d); err != nil {
+				return start, err
+			}
+			a.stats.LogChunks++
+			a.stats.LogBytes += int64(a.csize)
+		}
+		a.logs[u.stripe] = append(a.logs[u.stripe], slot)
+	}
+	if wr.Err() != nil {
+		return start, wr.Err()
+	}
+	return wr.End(), nil
+}
+
+// ReadChunks implements store.Store with degraded-mode reconstruction.
+func (a *Array) ReadChunks(start float64, lba int64, p []byte) (float64, error) {
+	nChunks := int64(len(p) / a.csize)
+	if int(nChunks)*a.csize != len(p) || nChunks == 0 {
+		return start, fmt.Errorf("paritylog: buffer length %d not a positive chunk multiple", len(p))
+	}
+	if lba < 0 || lba+nChunks > a.geo.Chunks() {
+		return start, fmt.Errorf("%w: [%d,%d) of %d", store.ErrWriteTooLarge, lba, lba+nChunks, a.geo.Chunks())
+	}
+	span := device.NewSpan(start)
+	for off := int64(0); off < nChunks; off++ {
+		s, j := a.geo.Stripe(lba + off)
+		buf := p[off*int64(a.csize) : (off+1)*int64(a.csize)]
+		err := span.Read(a.devs[a.geo.DataDev(s, j)], a.geo.HomeChunk(s), buf)
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, device.ErrFailed) {
+			return start, err
+		}
+		span.ClearErr()
+		if err := a.degradedRead(span, s, j, buf); err != nil {
+			return start, err
+		}
+	}
+	if span.Err() != nil {
+		return start, span.Err()
+	}
+	return span.End(), nil
+}
+
+// effectiveParity reads parity dimension i of a stripe and folds in all
+// outstanding log deltas, yielding parity consistent with the current
+// in-place data.
+func (a *Array) effectiveParity(span *device.Span, stripe int64, dim int) ([]byte, error) {
+	out := make([]byte, a.csize)
+	if err := span.Read(a.devs[a.geo.ParityDev(stripe, dim)], a.geo.HomeChunk(stripe), out); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, a.csize)
+	for _, slot := range a.logs[stripe] {
+		if err := span.Read(a.logDevs[dim], slot, buf); err != nil {
+			return nil, err
+		}
+		gf.XORSlice(buf, out)
+	}
+	return out, nil
+}
+
+// degradedRead reconstructs data slot j of a stripe.
+func (a *Array) degradedRead(span *device.Span, stripe int64, slot int, out []byte) error {
+	k, m := a.geo.K, a.geo.M()
+	home := a.geo.HomeChunk(stripe)
+	shards := make([][]byte, k+m)
+	for j := 0; j < k; j++ {
+		if j == slot {
+			continue
+		}
+		buf := make([]byte, a.csize)
+		if err := span.Read(a.devs[a.geo.DataDev(stripe, j)], home, buf); err != nil {
+			if !errors.Is(err, device.ErrFailed) {
+				return err
+			}
+			span.ClearErr()
+			continue
+		}
+		shards[j] = buf
+	}
+	for i := 0; i < m; i++ {
+		parity, err := a.effectiveParity(span, stripe, i)
+		if err != nil {
+			if !errors.Is(err, device.ErrFailed) {
+				return err
+			}
+			span.ClearErr()
+			continue
+		}
+		shards[k+i] = parity
+	}
+	if err := a.code.ReconstructData(shards); err != nil {
+		return fmt.Errorf("%w: %v", ErrTooManyFailures, err)
+	}
+	copy(out, shards[slot])
+	return nil
+}
+
+// Commit implements store.Store: it reintegrates every region, folding all
+// outstanding log deltas into the on-array parity and releasing the log
+// space. Unlike EPLog, this reads the log devices.
+func (a *Array) Commit() error {
+	for r := range a.regionCursor {
+		if a.regionCursor[r] == 0 {
+			continue
+		}
+		if err := a.commitRegion(int64(r)); err != nil {
+			return err
+		}
+	}
+	a.stats.Commits++
+	return nil
+}
+
+// commitRegion reintegrates one log region: it sweeps the region's used
+// slots sequentially off every log device (the access pattern the regioned
+// layout exists for), folds each stripe's deltas into its parity, writes
+// the parity back, and releases the region. Parity chunks on failed
+// devices are skipped — they are restored by Rebuild.
+func (a *Array) commitRegion(region int64) error {
+	used := a.regionCursor[region]
+	if used == 0 {
+		return nil
+	}
+	m := a.geo.M()
+	span := device.NewSpan(0)
+
+	// Sequential sweep of the region on every log device.
+	base := region * a.regionCap
+	logLost := false
+	deltas := make([][][]byte, m) // [dim][slot within region]
+	for i := 0; i < m; i++ {
+		deltas[i] = make([][]byte, used)
+		for s := int64(0); s < used; s++ {
+			buf := make([]byte, a.csize)
+			if err := span.Read(a.logDevs[i], base+s, buf); err != nil {
+				if errors.Is(err, device.ErrFailed) {
+					span.ClearErr()
+					deltas[i] = nil
+					logLost = true
+					break
+				}
+				return err
+			}
+			deltas[i][s] = buf
+		}
+	}
+
+	lo, hi := region*a.stripesPerRegion, (region+1)*a.stripesPerRegion
+	for stripe, slots := range a.logs {
+		if stripe < lo || stripe >= hi {
+			continue
+		}
+		home := a.geo.HomeChunk(stripe)
+		if logLost {
+			// With any log device unreadable the deltas cannot be
+			// trusted; reintegrate this stripe by re-encoding every
+			// parity dimension directly from the in-place data,
+			// which is always current.
+			shards := make([][]byte, a.geo.K+m)
+			for j := 0; j < a.geo.K; j++ {
+				buf := make([]byte, a.csize)
+				if err := span.Read(a.devs[a.geo.DataDev(stripe, j)], home, buf); err != nil {
+					return err
+				}
+				shards[j] = buf
+			}
+			for i := 0; i < m; i++ {
+				shards[a.geo.K+i] = make([]byte, a.csize)
+			}
+			if err := a.code.Encode(shards); err != nil {
+				return err
+			}
+			for i := 0; i < m; i++ {
+				if err := span.Write(a.devs[a.geo.ParityDev(stripe, i)], home, shards[a.geo.K+i]); err != nil {
+					if errors.Is(err, device.ErrFailed) {
+						span.ClearErr()
+						continue
+					}
+					return err
+				}
+			}
+			a.pending -= int64(len(slots))
+			delete(a.logs, stripe)
+			continue
+		}
+		for i := 0; i < m; i++ {
+			parity := make([]byte, a.csize)
+			if err := span.Read(a.devs[a.geo.ParityDev(stripe, i)], home, parity); err != nil {
+				if errors.Is(err, device.ErrFailed) {
+					span.ClearErr()
+					continue
+				}
+				return err
+			}
+			for _, slot := range slots {
+				gf.XORSlice(deltas[i][slot-base], parity)
+			}
+			if err := span.Write(a.devs[a.geo.ParityDev(stripe, i)], home, parity); err != nil {
+				if errors.Is(err, device.ErrFailed) {
+					span.ClearErr()
+					continue
+				}
+				return err
+			}
+		}
+		a.pending -= int64(len(slots))
+		delete(a.logs, stripe)
+	}
+	a.regionCursor[region] = 0
+	a.stats.RegionCommits++
+	return nil
+}
+
+// RecoverLogDevice rebuilds parity for every stripe with outstanding logs
+// directly from the in-place data (used when a log device fails: the
+// deltas are lost but the data is current), then replaces the failed log
+// device and clears the log state.
+func (a *Array) RecoverLogDevice(dim int, replacement device.Dev) error {
+	if dim < 0 || dim >= a.geo.M() {
+		return fmt.Errorf("paritylog: log device index %d out of range", dim)
+	}
+	if replacement.ChunkSize() != a.csize {
+		return fmt.Errorf("paritylog: replacement chunk size mismatch")
+	}
+	k, m := a.geo.K, a.geo.M()
+	span := device.NewSpan(0)
+	for stripe := range a.logs {
+		home := a.geo.HomeChunk(stripe)
+		shards := make([][]byte, k+m)
+		for j := 0; j < k; j++ {
+			buf := make([]byte, a.csize)
+			if err := span.Read(a.devs[a.geo.DataDev(stripe, j)], home, buf); err != nil {
+				return err
+			}
+			shards[j] = buf
+		}
+		parity := make([][]byte, m)
+		for i := range parity {
+			parity[i] = make([]byte, a.csize)
+			shards[k+i] = parity[i]
+		}
+		if err := a.code.Encode(shards); err != nil {
+			return err
+		}
+		for i := range parity {
+			if err := span.Write(a.devs[a.geo.ParityDev(stripe, i)], home, parity[i]); err != nil {
+				return err
+			}
+		}
+	}
+	clear(a.logs)
+	clear(a.regionCursor)
+	a.pending = 0
+	a.logDevs[dim] = replacement
+	return nil
+}
+
+// Rebuild reconstructs a failed main-array device onto a replacement and
+// swaps it in. Outstanding deltas are first folded into the surviving
+// parity (a parity commit), so the reconstruction works from a uniform
+// current state.
+func (a *Array) Rebuild(devIdx int, replacement device.Dev) error {
+	if devIdx < 0 || devIdx >= a.geo.N {
+		return fmt.Errorf("paritylog: device index %d out of range", devIdx)
+	}
+	if replacement.ChunkSize() != a.csize || replacement.Chunks() < a.geo.Stripes {
+		return fmt.Errorf("paritylog: replacement geometry mismatch")
+	}
+	if err := a.Commit(); err != nil {
+		return err
+	}
+	k, m := a.geo.K, a.geo.M()
+	span := device.NewSpan(0)
+	for s := int64(0); s < a.geo.Stripes; s++ {
+		home := a.geo.HomeChunk(s)
+		target, isParity := -1, false
+		for j := 0; j < k; j++ {
+			if a.geo.DataDev(s, j) == devIdx {
+				target = j
+				break
+			}
+		}
+		if target < 0 {
+			for i := 0; i < m; i++ {
+				if a.geo.ParityDev(s, i) == devIdx {
+					target, isParity = i, true
+					break
+				}
+			}
+		}
+		if target < 0 {
+			continue
+		}
+		shards := make([][]byte, k+m)
+		for j := 0; j < k; j++ {
+			if d := a.geo.DataDev(s, j); d != devIdx {
+				buf := make([]byte, a.csize)
+				if err := span.Read(a.devs[d], home, buf); err != nil {
+					if !errors.Is(err, device.ErrFailed) {
+						return err
+					}
+					span.ClearErr()
+					continue
+				}
+				shards[j] = buf
+			}
+		}
+		for i := 0; i < m; i++ {
+			if d := a.geo.ParityDev(s, i); d != devIdx {
+				buf := make([]byte, a.csize)
+				if err := span.Read(a.devs[d], home, buf); err != nil {
+					if !errors.Is(err, device.ErrFailed) {
+						return err
+					}
+					span.ClearErr()
+					continue
+				}
+				shards[k+i] = buf
+			}
+		}
+		if err := a.code.Reconstruct(shards); err != nil {
+			return fmt.Errorf("%w: stripe %d: %v", ErrTooManyFailures, s, err)
+		}
+		out := shards[target]
+		if isParity {
+			out = shards[k+target]
+		}
+		if err := replacement.WriteChunk(home, out); err != nil {
+			return err
+		}
+	}
+	a.devs[devIdx] = replacement
+	return nil
+}
+
+// Verify scrubs the array: every stripe's effective parity (on-array
+// parity plus outstanding log deltas) is checked against its data. It
+// returns the stripes whose redundancy does not match. Verify reads the
+// log devices.
+func (a *Array) Verify() ([]int64, error) {
+	k, m := a.geo.K, a.geo.M()
+	span := device.NewSpan(0)
+	var bad []int64
+	for s := int64(0); s < a.geo.Stripes; s++ {
+		home := a.geo.HomeChunk(s)
+		shards := make([][]byte, k+m)
+		for j := 0; j < k; j++ {
+			buf := make([]byte, a.csize)
+			if err := span.Read(a.devs[a.geo.DataDev(s, j)], home, buf); err != nil {
+				return nil, fmt.Errorf("paritylog: verify stripe %d slot %d: %w", s, j, err)
+			}
+			shards[j] = buf
+		}
+		for i := 0; i < m; i++ {
+			parity, err := a.effectiveParity(span, s, i)
+			if err != nil {
+				return nil, fmt.Errorf("paritylog: verify stripe %d parity %d: %w", s, i, err)
+			}
+			shards[k+i] = parity
+		}
+		ok, err := a.code.Verify(shards)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			bad = append(bad, s)
+		}
+	}
+	return bad, nil
+}

@@ -1,0 +1,401 @@
+package paritylog
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/eplog/eplog/internal/device"
+)
+
+const (
+	testChunk   = 64
+	testStripes = 24
+	logChunks   = 4096
+)
+
+func newTestArray(t *testing.T, n, k int) (*Array, []*device.Faulty, []*device.Faulty) {
+	t.Helper()
+	devs := make([]device.Dev, n)
+	fmain := make([]*device.Faulty, n)
+	for i := range devs {
+		f := device.NewFaulty(device.NewMem(testStripes, testChunk))
+		fmain[i] = f
+		devs[i] = f
+	}
+	m := n - k
+	logs := make([]device.Dev, m)
+	flogs := make([]*device.Faulty, m)
+	for i := range logs {
+		f := device.NewFaulty(device.NewMem(logChunks, testChunk))
+		flogs[i] = f
+		logs[i] = f
+	}
+	a, err := New(devs, logs, k, testStripes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, fmain, flogs
+}
+
+func chunkData(seed, n int) []byte {
+	r := rand.New(rand.NewSource(int64(seed)))
+	p := make([]byte, n*testChunk)
+	r.Read(p)
+	return p
+}
+
+// precondition fills the array with full-stripe writes.
+func precondition(t *testing.T, a *Array, seed int) []byte {
+	t.Helper()
+	data := chunkData(seed, int(a.Chunks()))
+	if _, err := a.WriteChunks(0, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestNewValidation(t *testing.T) {
+	mkDevs := func(n int) []device.Dev {
+		devs := make([]device.Dev, n)
+		for i := range devs {
+			devs[i] = device.NewMem(testStripes, testChunk)
+		}
+		return devs
+	}
+	if _, err := New(mkDevs(1), mkDevs(1), 1, testStripes); err == nil {
+		t.Error("single main device accepted")
+	}
+	if _, err := New(mkDevs(5), mkDevs(2), 4, testStripes); err == nil {
+		t.Error("wrong log device count accepted")
+	}
+	if _, err := New(mkDevs(5), []device.Dev{device.NewMem(4, 32)}, 4, testStripes); err == nil {
+		t.Error("mismatched log chunk size accepted")
+	}
+	if _, err := New(mkDevs(5), mkDevs(1)[:1], 4, testStripes*100); err == nil {
+		t.Error("too many stripes accepted")
+	}
+	if _, err := New(mkDevs(5), mkDevs(5)[:1], 4, testStripes); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestUpdatesPreReadAndLog(t *testing.T) {
+	a, _, _ := newTestArray(t, 5, 4)
+	precondition(t, a, 1)
+	before := a.Stats()
+	// Update 2 chunks in one stripe -> 2 pre-reads, 1 log chunk (m=1).
+	if _, err := a.WriteChunks(0, 0, chunkData(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Stats()
+	if s.PreReadChunks-before.PreReadChunks != 2 {
+		t.Errorf("pre-reads = %d, want 2", s.PreReadChunks-before.PreReadChunks)
+	}
+	if s.LogChunks-before.LogChunks != 1 {
+		t.Errorf("log chunks = %d, want 1", s.LogChunks-before.LogChunks)
+	}
+}
+
+func TestPerStripeLogging(t *testing.T) {
+	// A cross-stripe update generates one log chunk per touched stripe
+	// per parity dimension — the constraint elastic logging removes.
+	a, _, _ := newTestArray(t, 6, 4) // RAID-6: m=2
+	precondition(t, a, 3)
+	before := a.Stats()
+	// Chunks 2..5 span stripes 0 (slots 2,3) and 1 (slots 0,1).
+	if _, err := a.WriteChunks(0, 2, chunkData(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Stats()
+	if got := s.LogChunks - before.LogChunks; got != 4 {
+		t.Errorf("log chunks = %d, want 4 (2 stripes x 2 parity dims)", got)
+	}
+	if got := s.PreReadChunks - before.PreReadChunks; got != 4 {
+		t.Errorf("pre-reads = %d, want 4", got)
+	}
+}
+
+func TestReadBack(t *testing.T) {
+	a, _, _ := newTestArray(t, 5, 4)
+	data := precondition(t, a, 5)
+	upd := chunkData(6, 3)
+	if _, err := a.WriteChunks(0, 7, upd); err != nil {
+		t.Fatal(err)
+	}
+	copy(data[7*testChunk:], upd)
+	got := make([]byte, len(data))
+	if _, err := a.ReadChunks(0, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read back mismatched")
+	}
+}
+
+func TestDegradedReadBeforeCommit(t *testing.T) {
+	// The defining property: after in-place updates with parity still
+	// un-committed, a failed device must be recoverable via old parity
+	// plus the logged deltas.
+	for _, nk := range [][2]int{{5, 4}, {6, 4}} {
+		a, fmain, _ := newTestArray(t, nk[0], nk[1])
+		data := precondition(t, a, 7)
+		r := rand.New(rand.NewSource(8))
+		for i := 0; i < 60; i++ {
+			nC := 1 + r.Intn(3)
+			lba := int64(r.Intn(int(a.Chunks()) - nC))
+			upd := chunkData(100+i, nC)
+			if _, err := a.WriteChunks(0, lba, upd); err != nil {
+				t.Fatal(err)
+			}
+			copy(data[lba*testChunk:], upd)
+		}
+		for d := 0; d < nk[0]; d++ {
+			fmain[d].Fail()
+			got := make([]byte, len(data))
+			if _, err := a.ReadChunks(0, 0, got); err != nil {
+				t.Fatalf("n=%d k=%d dev %d: %v", nk[0], nk[1], d, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("n=%d k=%d dev %d: degraded read mismatch", nk[0], nk[1], d)
+			}
+			fmain[d].Repair()
+		}
+	}
+}
+
+func TestRAID6DegradedTwoFailuresBeforeCommit(t *testing.T) {
+	a, fmain, _ := newTestArray(t, 6, 4)
+	data := precondition(t, a, 9)
+	upd := chunkData(10, 5)
+	if _, err := a.WriteChunks(0, 3, upd); err != nil {
+		t.Fatal(err)
+	}
+	copy(data[3*testChunk:], upd)
+	fmain[0].Fail()
+	fmain[3].Fail()
+	got := make([]byte, len(data))
+	if _, err := a.ReadChunks(0, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("two-failure degraded read mismatched")
+	}
+}
+
+func TestCommitFoldsDeltasAndFreesLog(t *testing.T) {
+	a, fmain, _ := newTestArray(t, 5, 4)
+	data := precondition(t, a, 11)
+	upd := chunkData(12, 4)
+	if _, err := a.WriteChunks(0, 2, upd); err != nil {
+		t.Fatal(err)
+	}
+	copy(data[2*testChunk:], upd)
+	if a.PendingLogChunks() == 0 {
+		t.Fatal("no pending log chunks before commit")
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if a.PendingLogChunks() != 0 {
+		t.Error("log space not freed by commit")
+	}
+	// After commit, degraded reads work with plain parity (no deltas).
+	fmain[1].Fail()
+	got := make([]byte, len(data))
+	if _, err := a.ReadChunks(0, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("post-commit degraded read mismatched")
+	}
+}
+
+func TestLogDeviceFullTriggersCommit(t *testing.T) {
+	// Tiny log device: every update logs one chunk; capacity 4 forces
+	// an automatic commit.
+	devs := make([]device.Dev, 5)
+	for i := range devs {
+		devs[i] = device.NewMem(testStripes, testChunk)
+	}
+	logs := []device.Dev{device.NewMem(4, testChunk)}
+	a, err := New(devs, logs, 4, testStripes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	precondition(t, a, 13)
+	for i := 0; i < 10; i++ {
+		if _, err := a.WriteChunks(0, int64(i%8), chunkData(200+i, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Stats().RegionCommits == 0 {
+		t.Error("full log region did not trigger a reintegration")
+	}
+}
+
+func TestRebuildAfterUpdates(t *testing.T) {
+	a, fmain, _ := newTestArray(t, 6, 4)
+	data := precondition(t, a, 14)
+	upd := chunkData(15, 6)
+	if _, err := a.WriteChunks(0, 1, upd); err != nil {
+		t.Fatal(err)
+	}
+	copy(data[testChunk:], upd)
+	fmain[2].Fail()
+	if err := a.Rebuild(2, device.NewMem(testStripes, testChunk)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := a.ReadChunks(0, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read after rebuild mismatched")
+	}
+	// Further updates and degraded reads still work.
+	upd2 := chunkData(16, 2)
+	if _, err := a.WriteChunks(0, 9, upd2); err != nil {
+		t.Fatal(err)
+	}
+	copy(data[9*testChunk:], upd2)
+	fmain[5].Fail()
+	if _, err := a.ReadChunks(0, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded read after rebuild mismatched")
+	}
+}
+
+func TestRecoverLogDevice(t *testing.T) {
+	a, _, flogs := newTestArray(t, 5, 4)
+	data := precondition(t, a, 17)
+	upd := chunkData(18, 3)
+	if _, err := a.WriteChunks(0, 4, upd); err != nil {
+		t.Fatal(err)
+	}
+	copy(data[4*testChunk:], upd)
+	// Log device dies with outstanding deltas.
+	flogs[0].Fail()
+	if err := a.RecoverLogDevice(0, device.NewMem(logChunks, testChunk)); err != nil {
+		t.Fatal(err)
+	}
+	if a.PendingLogChunks() != 0 {
+		t.Error("log state not cleared after log-device recovery")
+	}
+	// Parity was re-encoded from data: a main-device failure is again
+	// tolerable.
+	fm := a.devs[1].(*device.Faulty)
+	fm.Fail()
+	got := make([]byte, len(data))
+	if _, err := a.ReadChunks(0, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded read after log recovery mismatched")
+	}
+}
+
+func TestRecoverLogDeviceValidation(t *testing.T) {
+	a, _, _ := newTestArray(t, 5, 4)
+	if err := a.RecoverLogDevice(1, device.NewMem(logChunks, testChunk)); err == nil {
+		t.Error("out-of-range log index accepted")
+	}
+	if err := a.RecoverLogDevice(0, device.NewMem(logChunks, 32)); err == nil {
+		t.Error("mismatched chunk size accepted")
+	}
+}
+
+func TestFullStripeWritesSkipLog(t *testing.T) {
+	a, _, _ := newTestArray(t, 5, 4)
+	before := a.Stats()
+	if _, err := a.WriteChunks(0, 0, chunkData(19, 4)); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Stats()
+	if s.FullStripeWrites != before.FullStripeWrites+1 {
+		t.Error("aligned write did not take the full-stripe path")
+	}
+	if s.LogChunks != before.LogChunks || s.PreReadChunks != before.PreReadChunks {
+		t.Error("full-stripe write logged or pre-read")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	a, _, _ := newTestArray(t, 5, 4)
+	if _, err := a.WriteChunks(0, 0, make([]byte, 10)); err == nil {
+		t.Error("non-chunk write accepted")
+	}
+	if _, err := a.WriteChunks(0, a.Chunks(), make([]byte, testChunk)); err == nil {
+		t.Error("overflow accepted")
+	}
+	if _, err := a.ReadChunks(0, 0, make([]byte, 10)); err == nil {
+		t.Error("bad read buffer accepted")
+	}
+	if _, err := a.ReadChunks(0, a.Chunks(), make([]byte, testChunk)); err == nil {
+		t.Error("read overflow accepted")
+	}
+}
+
+func TestVerifyWithOutstandingDeltas(t *testing.T) {
+	a, _, _ := newTestArray(t, 5, 4)
+	precondition(t, a, 30)
+	// Updates leave parity stale on-array; Verify must fold the deltas
+	// and still report consistency.
+	if _, err := a.WriteChunks(0, 2, chunkData(31, 3)); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := a.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("consistent array failed scrub: %v", bad)
+	}
+	// Corrupt a data chunk silently.
+	if err := a.devs[a.geo.DataDev(1, 0)].WriteChunk(1, chunkData(32, 1)); err != nil {
+		t.Fatal(err)
+	}
+	bad, err = a.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 || bad[0] != 1 {
+		t.Fatalf("scrub found %v, want [1]", bad)
+	}
+}
+
+// TestCommitWithFailedLogDevice: reintegration with an unreadable log
+// device must fall back to re-encoding parity from data, not silently
+// leave parity stale.
+func TestCommitWithFailedLogDevice(t *testing.T) {
+	a, fmain, flogs := newTestArray(t, 5, 4)
+	data := precondition(t, a, 40)
+	upd := chunkData(41, 3)
+	if _, err := a.WriteChunks(0, 4, upd); err != nil {
+		t.Fatal(err)
+	}
+	copy(data[4*testChunk:], upd)
+	flogs[0].Fail()
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if a.PendingLogChunks() != 0 {
+		t.Error("commit left pending chunks")
+	}
+	// Parity must be consistent despite the lost deltas: a main-device
+	// failure is tolerable.
+	fmain[1].Fail()
+	got := make([]byte, len(data))
+	if _, err := a.ReadChunks(0, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded read after log-failed commit mismatched")
+	}
+	bad, err := a.Verify()
+	if err == nil && len(bad) != 0 {
+		t.Fatalf("scrub found stale parity: %v", bad)
+	}
+}

@@ -1,0 +1,351 @@
+package raid
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/store"
+)
+
+const (
+	testChunk   = 64
+	testStripes = 24
+)
+
+// newTestArray builds a k-of-n array over fault-injectable memory devices.
+func newTestArray(t *testing.T, n, k int) (*Array, []*device.Faulty) {
+	t.Helper()
+	devs := make([]device.Dev, n)
+	faulty := make([]*device.Faulty, n)
+	for i := range devs {
+		f := device.NewFaulty(device.NewMem(testStripes, testChunk))
+		faulty[i] = f
+		devs[i] = f
+	}
+	a, err := New(devs, k, testStripes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, faulty
+}
+
+func chunkData(seed, nChunks int) []byte {
+	r := rand.New(rand.NewSource(int64(seed)))
+	p := make([]byte, nChunks*testChunk)
+	r.Read(p)
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	devs := []device.Dev{device.NewMem(8, 64), device.NewMem(8, 64)}
+	if _, err := New(devs[:1], 1, 4); err == nil {
+		t.Error("single device accepted")
+	}
+	if _, err := New(devs, 2, 4); err == nil {
+		t.Error("k == n accepted")
+	}
+	if _, err := New(devs, 1, 100); err == nil {
+		t.Error("too many stripes accepted")
+	}
+	mixed := []device.Dev{device.NewMem(8, 64), device.NewMem(8, 32)}
+	if _, err := New(mixed, 1, 4); err == nil {
+		t.Error("mixed chunk sizes accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	for _, nk := range [][2]int{{5, 4}, {6, 4}, {8, 6}} {
+		a, _ := newTestArray(t, nk[0], nk[1])
+		data := chunkData(1, int(a.Chunks()))
+		if _, err := a.WriteChunks(0, 0, data); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(data))
+		if _, err := a.ReadChunks(0, 0, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("n=%d k=%d: read back wrong data", nk[0], nk[1])
+		}
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	a, _ := newTestArray(t, 5, 4)
+	if _, err := a.WriteChunks(0, 0, make([]byte, testChunk-1)); err == nil {
+		t.Error("non-chunk-multiple write accepted")
+	}
+	if _, err := a.WriteChunks(0, 0, nil); err == nil {
+		t.Error("empty write accepted")
+	}
+	if _, err := a.WriteChunks(0, a.Chunks(), make([]byte, testChunk)); !errors.Is(err, store.ErrWriteTooLarge) {
+		t.Errorf("overflow write error = %v", err)
+	}
+	if _, err := a.ReadChunks(0, -1, make([]byte, testChunk)); err == nil {
+		t.Error("negative read accepted")
+	}
+	if _, err := a.ReadChunks(0, 0, make([]byte, 10)); err == nil {
+		t.Error("bad read buffer accepted")
+	}
+}
+
+func TestPartialWritesUpdateParity(t *testing.T) {
+	// After any mix of partial writes, a degraded read of every chunk
+	// must return the latest contents — i.e. parity is always coherent.
+	for _, nk := range [][2]int{{5, 4}, {6, 4}} {
+		n, k := nk[0], nk[1]
+		a, faulty := newTestArray(t, n, k)
+		r := rand.New(rand.NewSource(2))
+		shadow := make([]byte, a.Chunks()*testChunk)
+
+		// Random single- and multi-chunk updates.
+		for i := 0; i < 200; i++ {
+			nC := 1 + r.Intn(3)
+			lba := int64(r.Intn(int(a.Chunks()) - nC))
+			data := chunkData(100+i, nC)
+			if _, err := a.WriteChunks(0, lba, data); err != nil {
+				t.Fatal(err)
+			}
+			copy(shadow[lba*testChunk:], data)
+		}
+
+		// Fail each device in turn and verify every chunk via
+		// degraded reads.
+		for d := 0; d < n; d++ {
+			faulty[d].Fail()
+			got := make([]byte, len(shadow))
+			if _, err := a.ReadChunks(0, 0, got); err != nil {
+				t.Fatalf("n=%d k=%d failed dev %d: %v", n, k, d, err)
+			}
+			if !bytes.Equal(got, shadow) {
+				t.Fatalf("n=%d k=%d failed dev %d: degraded read mismatch", n, k, d)
+			}
+			faulty[d].Repair()
+		}
+	}
+}
+
+func TestRAID6SurvivesTwoFailures(t *testing.T) {
+	a, faulty := newTestArray(t, 6, 4)
+	data := chunkData(3, int(a.Chunks()))
+	if _, err := a.WriteChunks(0, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	// Some partial updates on top.
+	upd := chunkData(4, 2)
+	if _, err := a.WriteChunks(0, 5, upd); err != nil {
+		t.Fatal(err)
+	}
+	copy(data[5*testChunk:], upd)
+
+	faulty[1].Fail()
+	faulty[4].Fail()
+	got := make([]byte, len(data))
+	if _, err := a.ReadChunks(0, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded read with two failures mismatched")
+	}
+
+	// Three failures exceed fault tolerance; expect an error for chunks
+	// on failed devices.
+	faulty[2].Fail()
+	if _, err := a.ReadChunks(0, 0, got); err == nil {
+		t.Fatal("read with three failures on a RAID-6 array succeeded")
+	}
+}
+
+func TestDegradedWriteThenRecovery(t *testing.T) {
+	a, faulty := newTestArray(t, 5, 4)
+	data := chunkData(5, int(a.Chunks()))
+	if _, err := a.WriteChunks(0, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	// Fail a device, write over chunks (some on the failed device).
+	faulty[2].Fail()
+	upd := chunkData(6, 8)
+	if _, err := a.WriteChunks(0, 0, upd); err != nil {
+		t.Fatalf("degraded write: %v", err)
+	}
+	copy(data[:8*testChunk], upd)
+
+	// All chunks readable in degraded mode.
+	got := make([]byte, len(data))
+	if _, err := a.ReadChunks(0, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded read after degraded write mismatched")
+	}
+
+	// Rebuild onto a replacement and verify in normal mode.
+	repl := device.NewMem(testStripes, testChunk)
+	if err := a.Rebuild(2, repl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ReadChunks(0, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read after rebuild mismatched")
+	}
+}
+
+func TestRebuildValidation(t *testing.T) {
+	a, _ := newTestArray(t, 5, 4)
+	if err := a.Rebuild(-1, device.NewMem(testStripes, testChunk)); err == nil {
+		t.Error("negative device index accepted")
+	}
+	if err := a.Rebuild(0, device.NewMem(2, testChunk)); err == nil {
+		t.Error("undersized replacement accepted")
+	}
+}
+
+func TestRMWUsedForRAID5SmallWrites(t *testing.T) {
+	a, _ := newTestArray(t, 5, 4)
+	// Precondition the array.
+	if _, err := a.WriteChunks(0, 0, chunkData(7, int(a.Chunks()))); err != nil {
+		t.Fatal(err)
+	}
+	before := a.Stats()
+	// Single-chunk update: c=1 <= k/2=2 -> RMW (read old data + parity).
+	if _, err := a.WriteChunks(0, 0, chunkData(8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	after := a.Stats()
+	if after.RMWWrites != before.RMWWrites+1 {
+		t.Errorf("RMW writes %d -> %d, want +1", before.RMWWrites, after.RMWWrites)
+	}
+	if got := after.PreReadChunks - before.PreReadChunks; got != 2 {
+		t.Errorf("pre-reads for 1-chunk RAID-5 RMW = %d, want 2", got)
+	}
+}
+
+func TestReconstructWriteUsedForRAID6(t *testing.T) {
+	a, _ := newTestArray(t, 6, 4) // m=2
+	if _, err := a.WriteChunks(0, 0, chunkData(9, int(a.Chunks()))); err != nil {
+		t.Fatal(err)
+	}
+	before := a.Stats()
+	if _, err := a.WriteChunks(0, 0, chunkData(10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	after := a.Stats()
+	if after.ReconstructWrites != before.ReconstructWrites+1 {
+		t.Error("RAID-6 small write did not use reconstruct-write")
+	}
+	// Reconstruct-write reads the k-1 untouched chunks.
+	if got := after.PreReadChunks - before.PreReadChunks; got != 3 {
+		t.Errorf("pre-reads = %d, want 3", got)
+	}
+	if after.RMWWrites != before.RMWWrites {
+		t.Error("RAID-6 used RMW, which kernel-3.13 md does not support")
+	}
+}
+
+func TestFullStripeWriteSkipsPreReads(t *testing.T) {
+	a, _ := newTestArray(t, 5, 4)
+	before := a.Stats()
+	// Stripe-aligned k-chunk write.
+	if _, err := a.WriteChunks(0, 0, chunkData(11, 4)); err != nil {
+		t.Fatal(err)
+	}
+	after := a.Stats()
+	if after.FullStripeWrites != before.FullStripeWrites+1 {
+		t.Error("aligned write did not take the full-stripe path")
+	}
+	if after.PreReadChunks != before.PreReadChunks {
+		t.Error("full-stripe write performed pre-reads")
+	}
+	if got := after.ParityWriteChunks - before.ParityWriteChunks; got != 1 {
+		t.Errorf("parity writes = %d, want 1", got)
+	}
+}
+
+func TestCommitIsNoOp(t *testing.T) {
+	a, _ := newTestArray(t, 5, 4)
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossStripeWrite(t *testing.T) {
+	a, _ := newTestArray(t, 5, 4)
+	if _, err := a.WriteChunks(0, 0, chunkData(12, int(a.Chunks()))); err != nil {
+		t.Fatal(err)
+	}
+	// Write spanning stripes 0 and 1 (slots 2,3 of stripe 0 and 0,1 of 1).
+	data := chunkData(13, 4)
+	if _, err := a.WriteChunks(0, 2, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4*testChunk)
+	if _, err := a.ReadChunks(0, 2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-stripe write mismatched")
+	}
+}
+
+func TestWriteTimingHasTwoPhases(t *testing.T) {
+	// With latency-modeled devices, a partial-stripe write must take
+	// strictly longer than a full-stripe write (pre-read phase), and a
+	// full-stripe write strictly longer than zero.
+	n := 5
+	devs := make([]device.Dev, n)
+	for i := range devs {
+		devs[i] = device.WithLatency(device.NewMem(testStripes, testChunk), 0.001, 0.001)
+	}
+	a, err := New(devs, 4, testStripes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	endFull, err := a.WriteChunks(0, 0, chunkData(14, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if endFull != 0.001 {
+		t.Errorf("full-stripe write latency = %v, want 0.001 (one parallel phase)", endFull)
+	}
+	start := 10.0
+	endPartial, err := a.WriteChunks(start, 0, chunkData(15, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := endPartial - start; got < 0.002-1e-9 || got > 0.002+1e-9 {
+		t.Errorf("partial write latency = %v, want 0.002 (pre-read + write phases)", got)
+	}
+}
+
+func TestVerifyCleanAndCorrupted(t *testing.T) {
+	a, _ := newTestArray(t, 5, 4)
+	if _, err := a.WriteChunks(0, 0, chunkData(20, int(a.Chunks()))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.WriteChunks(0, 3, chunkData(21, 2)); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := a.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("clean array failed scrub: %v", bad)
+	}
+	// Silent corruption behind the array's back.
+	if err := a.devs[a.Geometry().DataDev(2, 1)].WriteChunk(2, chunkData(22, 1)); err != nil {
+		t.Fatal(err)
+	}
+	bad, err = a.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 || bad[0] != 2 {
+		t.Fatalf("scrub found %v, want [2]", bad)
+	}
+}

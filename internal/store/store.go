@@ -1,0 +1,84 @@
+// Package store defines the interface shared by the three parity-update
+// schemes the paper compares — conventional RAID (MD), original parity
+// logging (PL), and EPLog — together with the rotated stripe geometry they
+// all use to map logical chunks onto the main array.
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Store is a chunk-addressed fault-tolerant storage scheme over an SSD
+// array. Virtual time flows through the write path so the throughput
+// experiments can compare schemes; callers that do not care about timing
+// pass zero start times and ignore the completion times.
+type Store interface {
+	// WriteChunks writes len(data)/ChunkSize() chunks starting at logical
+	// chunk lba, beginning no earlier than virtual time start. It returns
+	// the request completion time.
+	WriteChunks(start float64, lba int64, data []byte) (float64, error)
+	// ReadChunks reads len(p)/ChunkSize() chunks starting at lba.
+	ReadChunks(start float64, lba int64, p []byte) (float64, error)
+	// Commit flushes outstanding parity state (parity commit for the
+	// logging schemes; a no-op for conventional RAID).
+	Commit() error
+	// Chunks is the logical capacity in chunks.
+	Chunks() int64
+	// ChunkSize is the chunk size in bytes.
+	ChunkSize() int
+}
+
+// ErrWriteTooLarge is returned when a write exceeds the logical space.
+var ErrWriteTooLarge = errors.New("store: write beyond logical capacity")
+
+// Geometry describes a k-of-n array layout with rotated parity (the
+// RAID-5/6 style layout mdadm uses, generalized to m parity devices).
+// Stripe s places its data slot j on device (j+s) mod n and its parity
+// slot i on device (k+i+s) mod n; every device stores chunk s of stripe s
+// at device offset s.
+type Geometry struct {
+	// N is the number of devices in the main array.
+	N int
+	// K is the number of data chunks per stripe (N-K parities).
+	K int
+	// Stripes is the number of stripes.
+	Stripes int64
+}
+
+// NewGeometry validates and builds a geometry.
+func NewGeometry(n, k int, stripes int64) (Geometry, error) {
+	if k < 1 || n <= k || stripes < 1 {
+		return Geometry{}, fmt.Errorf("store: invalid geometry n=%d k=%d stripes=%d", n, k, stripes)
+	}
+	return Geometry{N: n, K: k, Stripes: stripes}, nil
+}
+
+// M returns the number of parity chunks per stripe.
+func (g Geometry) M() int { return g.N - g.K }
+
+// Chunks returns the logical capacity in chunks.
+func (g Geometry) Chunks() int64 { return g.Stripes * int64(g.K) }
+
+// Stripe returns the stripe index and data slot of a logical chunk.
+func (g Geometry) Stripe(lba int64) (stripe int64, slot int) {
+	return lba / int64(g.K), int(lba % int64(g.K))
+}
+
+// LBA returns the logical chunk stored at (stripe, slot).
+func (g Geometry) LBA(stripe int64, slot int) int64 {
+	return stripe*int64(g.K) + int64(slot)
+}
+
+// DataDev returns the device holding data slot j of a stripe.
+func (g Geometry) DataDev(stripe int64, j int) int {
+	return int((int64(j) + stripe) % int64(g.N))
+}
+
+// ParityDev returns the device holding parity slot i of a stripe.
+func (g Geometry) ParityDev(stripe int64, i int) int {
+	return int((int64(g.K+i) + stripe) % int64(g.N))
+}
+
+// HomeChunk returns the device-local chunk index of every slot of a stripe.
+func (g Geometry) HomeChunk(stripe int64) int64 { return stripe }

@@ -1,0 +1,71 @@
+package store
+
+import "testing"
+
+func TestNewGeometryValidation(t *testing.T) {
+	if _, err := NewGeometry(5, 4, 100); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][3]int64{{4, 4, 100}, {4, 0, 100}, {3, 4, 100}, {5, 4, 0}} {
+		if _, err := NewGeometry(int(bad[0]), int(bad[1]), bad[2]); err == nil {
+			t.Errorf("NewGeometry(%v) accepted", bad)
+		}
+	}
+}
+
+func TestGeometryMapping(t *testing.T) {
+	g, err := NewGeometry(5, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 || g.Chunks() != 40 {
+		t.Fatalf("M=%d Chunks=%d", g.M(), g.Chunks())
+	}
+	// Stripe/LBA are inverses.
+	for lba := int64(0); lba < g.Chunks(); lba++ {
+		s, j := g.Stripe(lba)
+		if g.LBA(s, j) != lba {
+			t.Fatalf("LBA(Stripe(%d)) = %d", lba, g.LBA(s, j))
+		}
+	}
+}
+
+func TestGeometryDevicesDistinctPerStripe(t *testing.T) {
+	g, err := NewGeometry(8, 6, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := int64(0); s < g.Stripes; s++ {
+		seen := make(map[int]bool, g.N)
+		for j := 0; j < g.K; j++ {
+			d := g.DataDev(s, j)
+			if d < 0 || d >= g.N || seen[d] {
+				t.Fatalf("stripe %d data slot %d device %d invalid or duplicated", s, j, d)
+			}
+			seen[d] = true
+		}
+		for i := 0; i < g.M(); i++ {
+			d := g.ParityDev(s, i)
+			if d < 0 || d >= g.N || seen[d] {
+				t.Fatalf("stripe %d parity slot %d device %d invalid or duplicated", s, i, d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestGeometryParityRotates(t *testing.T) {
+	g, _ := NewGeometry(5, 4, 10)
+	// Parity must not always land on the same device (RAID-4 hotspot).
+	first := g.ParityDev(0, 0)
+	rotated := false
+	for s := int64(1); s < g.Stripes; s++ {
+		if g.ParityDev(s, 0) != first {
+			rotated = true
+			break
+		}
+	}
+	if !rotated {
+		t.Error("parity never rotates across stripes")
+	}
+}

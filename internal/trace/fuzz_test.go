@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSPC checks the SPC parser never panics and that everything it
+// accepts round-trips through WriteSPC.
+func FuzzParseSPC(f *testing.F) {
+	f.Add("0,20941264,8192,W,0.011413\n")
+	f.Add("0,0,0,r,0\n1,1,1,w,1\n")
+	f.Add("# comment\n\n0,8,4096,W,1.5\n")
+	f.Add("garbage")
+	f.Add("0,-5,8192,W,0.1\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ParseSPC("fuzz", strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must round-trip when aligned.
+		for _, r := range tr.Requests {
+			if r.Offset%512 != 0 {
+				return
+			}
+		}
+		var buf strings.Builder
+		if err := tr.WriteSPC(&buf); err != nil {
+			t.Fatalf("WriteSPC of parsed trace: %v", err)
+		}
+		back, err := ParseSPC("fuzz2", strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("reparse: %v", err)
+		}
+		if len(back.Requests) != len(tr.Requests) {
+			t.Fatalf("round trip changed count: %d -> %d", len(tr.Requests), len(back.Requests))
+		}
+	})
+}
+
+// FuzzParseMSR checks the MSR parser never panics.
+func FuzzParseMSR(f *testing.F) {
+	f.Add("128166372003061629,web,0,Write,1253376,4096,1331\n")
+	f.Add("1,h,0,Read,0,0,0\n")
+	f.Add(",,,,,,\n")
+	f.Add("nonsense")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ParseMSR("fuzz", strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted traces must have sane invariants.
+		for i, r := range tr.Requests {
+			if r.Op != OpRead && r.Op != OpWrite {
+				t.Fatalf("request %d has invalid op %v", i, r.Op)
+			}
+		}
+		_ = tr.WriteStats(4096)
+		_ = tr.Compact(1 << 20)
+	})
+}

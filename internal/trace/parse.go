@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseMSR reads a trace in the MSR Cambridge block-trace CSV format used
+// by the WEB/USR/MDS volumes:
+//
+//	Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//
+// Timestamps are Windows filetime ticks (100ns); they are rebased so the
+// first record is at time zero.
+func ParseMSR(name string, r io.Reader) (*Trace, error) {
+	t := &Trace{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var base float64
+	haveBase := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Split(text, ",")
+		if len(f) < 6 {
+			return nil, fmt.Errorf("trace: %s:%d: want >=6 CSV fields, got %d", name, line, len(f))
+		}
+		ticks, err := strconv.ParseFloat(f[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s:%d: timestamp: %w", name, line, err)
+		}
+		secs := ticks / 1e7
+		if !haveBase {
+			base, haveBase = secs, true
+		}
+		var op Op
+		switch strings.ToLower(strings.TrimSpace(f[3])) {
+		case "read":
+			op = OpRead
+		case "write":
+			op = OpWrite
+		default:
+			return nil, fmt.Errorf("trace: %s:%d: unknown op %q", name, line, f[3])
+		}
+		off, err := strconv.ParseInt(strings.TrimSpace(f[4]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s:%d: offset: %w", name, line, err)
+		}
+		size, err := strconv.ParseInt(strings.TrimSpace(f[5]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s:%d: size: %w", name, line, err)
+		}
+		t.Requests = append(t.Requests, Request{Time: secs - base, Op: op, Offset: off, Size: size})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", name, err)
+	}
+	return t, nil
+}
+
+// ParseSPC reads a trace in the SPC-1 format of the Financial (FIN) traces:
+//
+//	ASU,LBA,Size,Opcode,Timestamp
+//
+// where LBA is in 512-byte sectors, Size is in bytes, Opcode is r/R or w/W,
+// and Timestamp is seconds since the start of the trace.
+func ParseSPC(name string, r io.Reader) (*Trace, error) {
+	const sector = 512
+	t := &Trace{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Split(text, ",")
+		if len(f) < 5 {
+			return nil, fmt.Errorf("trace: %s:%d: want >=5 CSV fields, got %d", name, line, len(f))
+		}
+		lba, err := strconv.ParseInt(strings.TrimSpace(f[1]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s:%d: lba: %w", name, line, err)
+		}
+		size, err := strconv.ParseInt(strings.TrimSpace(f[2]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s:%d: size: %w", name, line, err)
+		}
+		var op Op
+		switch strings.ToLower(strings.TrimSpace(f[3])) {
+		case "r":
+			op = OpRead
+		case "w":
+			op = OpWrite
+		default:
+			return nil, fmt.Errorf("trace: %s:%d: unknown opcode %q", name, line, f[3])
+		}
+		ts, err := strconv.ParseFloat(strings.TrimSpace(f[4]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s:%d: timestamp: %w", name, line, err)
+		}
+		t.Requests = append(t.Requests, Request{Time: ts, Op: op, Offset: lba * sector, Size: size})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", name, err)
+	}
+	return t, nil
+}

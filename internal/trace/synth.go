@@ -1,0 +1,269 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Profile parameterizes a synthetic workload calibrated to the write
+// statistics of one of the paper's traces (Table I). Since the original
+// FIN/WEB/USR/MDS traces are licensed data sets, the generators reproduce
+// the four statistics the paper reports — request count, mean write size,
+// random-write ratio, working-set size — together with the spatial and
+// temporal locality the paper's caching experiment depends on.
+type Profile struct {
+	// Name is the trace label (FIN, WEB, USR, MDS).
+	Name string
+	// Writes is the number of write requests to generate.
+	Writes int64
+	// MeanWriteKB is the target mean write size in KB (post-rounding).
+	MeanWriteKB float64
+	// RandomPct is the target percentage of random writes.
+	RandomPct float64
+	// WorkingSetMB is the addressable working set in MB; the generator
+	// issues writes across exactly this region.
+	WorkingSetMB int64
+	// NearProb is the probability that a random write re-targets a very
+	// recently written location (temporal locality tight enough for the
+	// paper's small device buffers to absorb, Experiment 3).
+	NearProb float64
+	// FarProb is the probability that a random write re-targets an older
+	// location (a re-write, so it adds no working-set growth, but too far
+	// in the past for a small buffer to catch). The remaining probability
+	// mass goes to fresh uniform locations, which is what grows the
+	// working set.
+	FarProb float64
+	// ReuseWindow is how many recent distinct write locations count as
+	// "near".
+	ReuseWindow int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Table I of the paper, as generator targets. Near/far reuse splits are
+// derived from the paper's own numbers: the fresh fraction matches the
+// trace's working-set size over its total write volume, and the near
+// fraction matches the write absorption of a 64-chunk-per-SSD device
+// buffer in Experiment 3.
+var profiles = map[string]Profile{
+	"FIN": {Name: "FIN", Writes: 1105563, MeanWriteKB: 7.19, RandomPct: 76.17,
+		WorkingSetMB: 5820, NearProb: 0.55, FarProb: 0.00, ReuseWindow: 96, Seed: 101},
+	"WEB": {Name: "WEB", Writes: 1431628, MeanWriteKB: 12.50, RandomPct: 77.62,
+		WorkingSetMB: 10000, NearProb: 0.53, FarProb: 0.05, ReuseWindow: 96, Seed: 102},
+	"USR": {Name: "USR", Writes: 1363855, MeanWriteKB: 10.05, RandomPct: 76.19,
+		WorkingSetMB: 2700, NearProb: 0.58, FarProb: 0.23, ReuseWindow: 96, Seed: 103},
+	"MDS": {Name: "MDS", Writes: 1069421, MeanWriteKB: 7.22, RandomPct: 82.99,
+		WorkingSetMB: 4750, NearProb: 0.56, FarProb: 0.02, ReuseWindow: 96, Seed: 104},
+}
+
+// ProfileNames lists the built-in profiles in the paper's order.
+func ProfileNames() []string { return []string{"FIN", "WEB", "USR", "MDS"} }
+
+// LookupProfile returns a built-in profile by name.
+func LookupProfile(name string) (Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("trace: unknown profile %q (have %v)", name, ProfileNames())
+	}
+	return p, nil
+}
+
+// Scaled returns a copy of the profile with the request count and working
+// set divided by factor, preserving all ratios. It is used to run the
+// experiment suite at laptop scale.
+func (p Profile) Scaled(factor int64) Profile {
+	if factor <= 1 {
+		return p
+	}
+	q := p
+	q.Writes = maxI64(p.Writes/factor, 1)
+	q.WorkingSetMB = maxI64(p.WorkingSetMB/factor, 1)
+	return q
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Generate produces a synthetic trace matching the profile. Every request
+// is a write (the paper's replay methodology treats all writes as updates
+// of a preconditioned working set); sizes are multiples of chunkSize.
+func (p Profile) Generate(chunkSize int) *Trace {
+	r := rand.New(rand.NewSource(p.Seed))
+	cs := int64(chunkSize)
+	spaceChunks := p.WorkingSetMB << 20 / cs
+	if spaceChunks < 16 {
+		spaceChunks = 16
+	}
+	sizes := newSizeDist(p.MeanWriteKB*1024/float64(chunkSize), r)
+
+	type extent struct {
+		start, n int64
+	}
+	t := &Trace{Name: p.Name, Requests: make([]Request, 0, p.Writes)}
+	recent := make([]extent, 0, p.ReuseWindow)
+	recentPos := 0
+	// reservoir holds a uniform sample of all past write locations; "far"
+	// reuse draws from it to model re-writes whose reuse distance exceeds
+	// any small buffer.
+	const reservoirCap = 4096
+	reservoir := make([]extent, 0, reservoirCap)
+	seqProb := 1 - p.RandomPct/100
+	var prevEndChunk, seen int64
+	var now float64
+
+	for i := int64(0); i < p.Writes; i++ {
+		n := sizes.draw(r)
+		var startChunk int64
+		u := r.Float64()
+		switch {
+		case i > 0 && r.Float64() < seqProb:
+			// Sequential continuation of the previous request.
+			startChunk = prevEndChunk
+		case u < p.NearProb && len(recent) > 0:
+			// Tight temporal locality: overwrite a recently written
+			// extent wholesale (hot records are re-written, not
+			// partially grazed), which is what lets small write-back
+			// buffers absorb them (Experiment 3).
+			e := recent[r.Intn(len(recent))]
+			startChunk, n = e.start, e.n
+		case u < p.NearProb+p.FarProb && len(reservoir) > 0:
+			// Distant re-write: overwrite an old extent.
+			e := reservoir[r.Intn(len(reservoir))]
+			startChunk, n = e.start, e.n
+		default:
+			// Fresh random location, uniform over the working set.
+			startChunk = int64(r.Int63n(spaceChunks))
+		}
+		// If a "random" pick landed next to the previous request it
+		// would count as sequential in Table I terms; redraw fresh so
+		// the random-write ratio stays on target.
+		if d := (startChunk - prevEndChunk) * cs; i > 0 && d > -RandomThreshold && d < RandomThreshold && startChunk != prevEndChunk {
+			startChunk = int64(r.Int63n(spaceChunks))
+		}
+		if startChunk+n > spaceChunks {
+			startChunk = spaceChunks - n
+			if startChunk < 0 {
+				startChunk, n = 0, spaceChunks
+			}
+		}
+		t.Requests = append(t.Requests, Request{
+			Time:   now,
+			Op:     OpWrite,
+			Offset: startChunk * cs,
+			Size:   n * cs,
+		})
+		now += 0.001
+		prevEndChunk = startChunk + n
+		// Track recent extents in a ring and all extents in the
+		// reservoir sample.
+		e := extent{start: startChunk, n: n}
+		if len(recent) < p.ReuseWindow {
+			recent = append(recent, e)
+		} else {
+			recent[recentPos] = e
+			recentPos = (recentPos + 1) % p.ReuseWindow
+		}
+		seen++
+		if len(reservoir) < reservoirCap {
+			reservoir = append(reservoir, e)
+		} else if j := r.Int63n(seen); j < reservoirCap {
+			reservoir[j] = e
+		}
+	}
+	return t
+}
+
+// sizeDist draws request sizes (in chunks) from a geometric-weighted
+// mixture over {1, 2, 4, 8, 16} chunks whose decay ratio is solved to hit a
+// target mean, giving realistic small-write-dominated size distributions.
+type sizeDist struct {
+	sizes   []int64
+	cumProb []float64
+}
+
+func newSizeDist(meanChunks float64, r *rand.Rand) *sizeDist {
+	sizes := []int64{1, 2, 4, 8, 16}
+	if meanChunks <= 1 {
+		return &sizeDist{sizes: []int64{1}, cumProb: []float64{1}}
+	}
+	if meanChunks >= float64(sizes[len(sizes)-1]) {
+		last := sizes[len(sizes)-1]
+		return &sizeDist{sizes: []int64{last}, cumProb: []float64{1}}
+	}
+	mean := func(ratio float64) float64 {
+		var wsum, msum float64
+		w := 1.0
+		for _, s := range sizes {
+			wsum += w
+			msum += w * float64(s)
+			w *= ratio
+		}
+		return msum / wsum
+	}
+	// Binary search the decay ratio: mean(ratio) is increasing in ratio
+	// (ratios above 1 weight large sizes more heavily).
+	lo, hi := 1e-6, 1e3
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		if mean(mid) < meanChunks {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	ratio := (lo + hi) / 2
+	d := &sizeDist{sizes: sizes, cumProb: make([]float64, len(sizes))}
+	var wsum float64
+	w := 1.0
+	for range sizes {
+		wsum += w
+		w *= ratio
+	}
+	w = 1.0
+	acc := 0.0
+	for i := range sizes {
+		acc += w / wsum
+		d.cumProb[i] = acc
+		w *= ratio
+	}
+	d.cumProb[len(sizes)-1] = 1
+	return d
+}
+
+func (d *sizeDist) draw(r *rand.Rand) int64 {
+	u := r.Float64()
+	for i, c := range d.cumProb {
+		if u <= c {
+			return d.sizes[i]
+		}
+	}
+	return d.sizes[len(d.sizes)-1]
+}
+
+// SequentialThenUniform reproduces the Experiment 6 workload: sequential
+// writes covering regionBytes (stripe creation), followed by updates
+// uniform-random 4KB-sized writes across the same region.
+func SequentialThenUniform(name string, regionBytes int64, updates int64, chunkSize int, seed int64) *Trace {
+	cs := int64(chunkSize)
+	chunks := regionBytes / cs
+	if chunks < 1 {
+		chunks = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	t := &Trace{Name: name, Requests: make([]Request, 0, chunks+updates)}
+	var now float64
+	for c := int64(0); c < chunks; c++ {
+		t.Requests = append(t.Requests, Request{Time: now, Op: OpWrite, Offset: c * cs, Size: cs})
+		now += 0.0001
+	}
+	for u := int64(0); u < updates; u++ {
+		c := int64(r.Intn(int(chunks)))
+		t.Requests = append(t.Requests, Request{Time: now, Op: OpWrite, Offset: c * cs, Size: cs})
+		now += 0.0001
+	}
+	return t
+}

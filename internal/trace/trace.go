@@ -1,0 +1,181 @@
+// Package trace provides the I/O workload substrate for the EPLog
+// experiments: the request model, parsers for the two public trace formats
+// the paper uses (MSR Cambridge CSV and SPC-1 Financial), the address-space
+// compaction the paper applies to fit traces onto a small testbed, workload
+// statistics (Table I), and synthetic generators calibrated to the paper's
+// reported per-trace statistics for use when the original traces are not
+// available.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Op is the request type.
+type Op int
+
+// Request operations.
+const (
+	OpRead Op = iota + 1
+	OpWrite
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "R"
+	case OpWrite:
+		return "W"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Request is a single trace record with byte-granularity offset and size.
+type Request struct {
+	// Time is seconds since the start of the trace.
+	Time float64
+	// Op is the request type.
+	Op Op
+	// Offset is the starting byte offset.
+	Offset int64
+	// Size is the request length in bytes.
+	Size int64
+}
+
+// Trace is an ordered sequence of requests.
+type Trace struct {
+	Name     string
+	Requests []Request
+}
+
+// RandomThreshold is the distance (bytes) from the previous request's end
+// beyond which the paper counts a request as random.
+const RandomThreshold = 64 << 10
+
+// Stats summarizes the write behaviour of a trace after rounding request
+// sizes up to the chunk size, reproducing the columns of Table I.
+type Stats struct {
+	// Writes is the total number of write requests.
+	Writes int64
+	// AvgWriteKB is the mean write size in KB after chunk rounding.
+	AvgWriteKB float64
+	// RandomPct is the percentage of write requests whose start offset
+	// differs from the previous write's end offset by at least 64KB.
+	RandomPct float64
+	// WorkingSetGB is the total unique data touched by writes, in GB.
+	WorkingSetGB float64
+}
+
+// WriteStats computes Table I statistics for t using the given chunk size.
+func (t *Trace) WriteStats(chunkSize int) Stats {
+	var s Stats
+	var totalBytes int64
+	touched := make(map[int64]struct{})
+	prevEnd := int64(-1 << 62)
+	for _, r := range t.Requests {
+		if r.Op != OpWrite {
+			continue
+		}
+		first, n := ChunkSpan(r.Offset, r.Size, chunkSize)
+		size := n * int64(chunkSize)
+		s.Writes++
+		totalBytes += size
+		for c := first; c < first+n; c++ {
+			touched[c] = struct{}{}
+		}
+		dist := r.Offset - prevEnd
+		if dist < 0 {
+			dist = -dist
+		}
+		if dist >= RandomThreshold {
+			s.RandomPct++
+		}
+		prevEnd = r.Offset + r.Size
+	}
+	if s.Writes > 0 {
+		s.AvgWriteKB = float64(totalBytes) / float64(s.Writes) / 1024
+		s.RandomPct = s.RandomPct / float64(s.Writes) * 100
+	}
+	s.WorkingSetGB = float64(int64(len(touched))*int64(chunkSize)) / (1 << 30)
+	return s
+}
+
+// ChunkSpan returns the first chunk index and the chunk count covered by a
+// byte range, i.e. the paper's rounding of each request to whole chunks.
+func ChunkSpan(offset, size int64, chunkSize int) (first, n int64) {
+	if size <= 0 {
+		return offset / int64(chunkSize), 0
+	}
+	cs := int64(chunkSize)
+	first = offset / cs
+	last := (offset + size - 1) / cs
+	return first, last - first + 1
+}
+
+// MaxOffset returns the end offset of the furthest-reaching request.
+func (t *Trace) MaxOffset() int64 {
+	var m int64
+	for _, r := range t.Requests {
+		if end := r.Offset + r.Size; end > m {
+			m = end
+		}
+	}
+	return m
+}
+
+// Compact remaps the trace onto a dense address space, reproducing the
+// paper's preprocessing: the address space is divided into fixed-size
+// segments, unaccessed segments are dropped, and accessed segments are
+// shifted down to be contiguous while preserving request order and
+// intra-segment offsets.
+func (t *Trace) Compact(segmentSize int64) *Trace {
+	if segmentSize <= 0 {
+		segmentSize = 1 << 20
+	}
+	// Collect accessed segments. A request may span segments.
+	segs := make(map[int64]struct{})
+	for _, r := range t.Requests {
+		if r.Size <= 0 {
+			segs[r.Offset/segmentSize] = struct{}{}
+			continue
+		}
+		for s := r.Offset / segmentSize; s <= (r.Offset+r.Size-1)/segmentSize; s++ {
+			segs[s] = struct{}{}
+		}
+	}
+	order := make([]int64, 0, len(segs))
+	for s := range segs {
+		order = append(order, s)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	remap := make(map[int64]int64, len(order))
+	for newIdx, old := range order {
+		remap[old] = int64(newIdx)
+	}
+	out := &Trace{Name: t.Name, Requests: make([]Request, len(t.Requests))}
+	for i, r := range t.Requests {
+		seg := r.Offset / segmentSize
+		within := r.Offset % segmentSize
+		out.Requests[i] = Request{
+			Time:   r.Time,
+			Op:     r.Op,
+			Offset: remap[seg]*segmentSize + within,
+			Size:   r.Size,
+		}
+	}
+	return out
+}
+
+// Writes returns the subsequence of write requests.
+func (t *Trace) Writes() []Request {
+	var w []Request
+	for _, r := range t.Requests {
+		if r.Op == OpWrite {
+			w = append(w, r)
+		}
+	}
+	return w
+}

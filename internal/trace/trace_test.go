@@ -1,0 +1,399 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChunkSpan(t *testing.T) {
+	tests := []struct {
+		offset, size int64
+		chunk        int
+		wantFirst    int64
+		wantN        int64
+	}{
+		{0, 4096, 4096, 0, 1},
+		{0, 1, 4096, 0, 1},
+		{4095, 2, 4096, 0, 2},
+		{4096, 4096, 4096, 1, 1},
+		{8192, 12288, 4096, 2, 3},
+		{100, 0, 4096, 0, 0},
+		{5000, 10000, 4096, 1, 3},
+	}
+	for _, tt := range tests {
+		first, n := ChunkSpan(tt.offset, tt.size, tt.chunk)
+		if first != tt.wantFirst || n != tt.wantN {
+			t.Errorf("ChunkSpan(%d, %d, %d) = (%d, %d), want (%d, %d)",
+				tt.offset, tt.size, tt.chunk, first, n, tt.wantFirst, tt.wantN)
+		}
+	}
+}
+
+func TestWriteStats(t *testing.T) {
+	tr := &Trace{Requests: []Request{
+		{Op: OpWrite, Offset: 0, Size: 4096},          // random (first)
+		{Op: OpWrite, Offset: 4096, Size: 4096},       // sequential (dist 0)
+		{Op: OpRead, Offset: 0, Size: 4096},           // ignored
+		{Op: OpWrite, Offset: 10 << 20, Size: 6000},   // random, rounds to 2 chunks
+		{Op: OpWrite, Offset: 10<<20 + 6000, Size: 1}, // sequential
+	}}
+	s := tr.WriteStats(4096)
+	if s.Writes != 4 {
+		t.Errorf("Writes = %d, want 4", s.Writes)
+	}
+	// Sizes after rounding: 1+1+2+1 = 5 chunks over 4 writes.
+	if want := 5.0 * 4096 / 4 / 1024; math.Abs(s.AvgWriteKB-want) > 1e-9 {
+		t.Errorf("AvgWriteKB = %v, want %v", s.AvgWriteKB, want)
+	}
+	if want := 50.0; math.Abs(s.RandomPct-want) > 1e-9 {
+		t.Errorf("RandomPct = %v, want %v", s.RandomPct, want)
+	}
+	// Unique chunks: 0, 1, 2560, 2561, 2562 (the last request straddles
+	// into chunk 2561 only) -> offsets 0,4096 and 10MB area.
+	if s.WorkingSetGB <= 0 {
+		t.Errorf("WorkingSetGB = %v", s.WorkingSetGB)
+	}
+}
+
+func TestCompactPreservesOrderAndDensity(t *testing.T) {
+	seg := int64(1 << 20)
+	tr := &Trace{Requests: []Request{
+		{Op: OpWrite, Offset: 5 * seg, Size: 4096},
+		{Op: OpWrite, Offset: 100 * seg, Size: 4096},
+		{Op: OpWrite, Offset: 5*seg + 8192, Size: 4096},
+		{Op: OpWrite, Offset: 100*seg + seg - 100, Size: 200}, // spans into segment 101
+	}}
+	c := tr.Compact(seg)
+	if len(c.Requests) != len(tr.Requests) {
+		t.Fatal("request count changed")
+	}
+	// Accessed segments 5, 100, 101 -> remapped to 0, 1, 2.
+	if got := c.Requests[0].Offset; got != 0 {
+		t.Errorf("request 0 offset = %d, want 0", got)
+	}
+	if got := c.Requests[1].Offset; got != seg {
+		t.Errorf("request 1 offset = %d, want %d", got, seg)
+	}
+	if got := c.Requests[2].Offset; got != 8192 {
+		t.Errorf("request 2 offset = %d, want 8192", got)
+	}
+	// The segment-spanning request stays contiguous.
+	if got := c.Requests[3].Offset; got != seg+seg-100 {
+		t.Errorf("request 3 offset = %d, want %d", got, 2*seg-100)
+	}
+	if c.MaxOffset() > 3*seg {
+		t.Errorf("compacted space %d exceeds 3 segments", c.MaxOffset())
+	}
+	// Intra-segment distances are preserved for same-segment requests.
+	d0 := tr.Requests[2].Offset - tr.Requests[0].Offset
+	d1 := c.Requests[2].Offset - c.Requests[0].Offset
+	if d0 != d1 {
+		t.Errorf("intra-segment distance changed: %d -> %d", d0, d1)
+	}
+}
+
+func TestCompactDefaultSegment(t *testing.T) {
+	tr := &Trace{Requests: []Request{{Op: OpWrite, Offset: 10 << 20, Size: 512}}}
+	c := tr.Compact(0)
+	if c.Requests[0].Offset != 0 {
+		t.Errorf("offset = %d, want 0", c.Requests[0].Offset)
+	}
+}
+
+func TestParseMSR(t *testing.T) {
+	const data = `128166372003061629,web,0,Write,1253376,4096,1331
+128166372016382155,web,0,Read,4096,8192,600
+128166372026382155,web,0,Write,12288,512,100
+`
+	tr, err := ParseMSR("web", strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != 3 {
+		t.Fatalf("parsed %d requests, want 3", len(tr.Requests))
+	}
+	r0 := tr.Requests[0]
+	if r0.Op != OpWrite || r0.Offset != 1253376 || r0.Size != 4096 || r0.Time != 0 {
+		t.Errorf("request 0 = %+v", r0)
+	}
+	r1 := tr.Requests[1]
+	if r1.Op != OpRead {
+		t.Errorf("request 1 op = %v", r1.Op)
+	}
+	// 100ns ticks: delta 13321... ticks /1e7 -> seconds.
+	if want := (128166372016382155.0 - 128166372003061629.0) / 1e7; math.Abs(r1.Time-want) > 1e-6 {
+		t.Errorf("request 1 time = %v, want %v", r1.Time, want)
+	}
+}
+
+func TestParseMSRErrors(t *testing.T) {
+	cases := map[string]string{
+		"short line": "1,2,3\n",
+		"bad ts":     "x,h,0,Write,0,4096,1\n",
+		"bad op":     "1,h,0,Flush,0,4096,1\n",
+		"bad offset": "1,h,0,Write,x,4096,1\n",
+		"bad size":   "1,h,0,Write,0,x,1\n",
+	}
+	for name, data := range cases {
+		if _, err := ParseMSR("t", strings.NewReader(data)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestParseSPC(t *testing.T) {
+	const data = `0,20941264,8192,W,0.011413
+0,20939840,8192,w,0.011436
+1,3436288,15872,r,0.026214
+`
+	tr, err := ParseSPC("fin", strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != 3 {
+		t.Fatalf("parsed %d requests, want 3", len(tr.Requests))
+	}
+	if tr.Requests[0].Offset != 20941264*512 || tr.Requests[0].Size != 8192 {
+		t.Errorf("request 0 = %+v", tr.Requests[0])
+	}
+	if tr.Requests[1].Op != OpWrite || tr.Requests[2].Op != OpRead {
+		t.Error("opcodes misparsed")
+	}
+	if tr.Requests[2].Time != 0.026214 {
+		t.Errorf("time = %v", tr.Requests[2].Time)
+	}
+}
+
+func TestParseSPCErrors(t *testing.T) {
+	cases := map[string]string{
+		"short":   "0,1,2\n",
+		"bad lba": "0,x,8192,W,0.1\n",
+		"bad sz":  "0,1,x,W,0.1\n",
+		"bad op":  "0,1,8192,Q,0.1\n",
+		"bad ts":  "0,1,8192,W,x\n",
+	}
+	for name, data := range cases {
+		if _, err := ParseSPC("t", strings.NewReader(data)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestParsersSkipBlanksAndComments(t *testing.T) {
+	tr, err := ParseSPC("t", strings.NewReader("\n# comment\n0,1,8192,W,0.1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) != 1 {
+		t.Fatalf("parsed %d requests, want 1", len(tr.Requests))
+	}
+}
+
+func TestLookupProfile(t *testing.T) {
+	for _, name := range ProfileNames() {
+		p, err := LookupProfile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name != name {
+			t.Errorf("profile name %q != %q", p.Name, name)
+		}
+	}
+	if _, err := LookupProfile("NOPE"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestProfileScaled(t *testing.T) {
+	p, _ := LookupProfile("FIN")
+	s := p.Scaled(16)
+	if s.Writes != p.Writes/16 || s.WorkingSetMB != p.WorkingSetMB/16 {
+		t.Errorf("scaled = %+v", s)
+	}
+	if same := p.Scaled(1); same.Writes != p.Writes {
+		t.Error("Scaled(1) changed the profile")
+	}
+	tiny := Profile{Writes: 5, WorkingSetMB: 5}.Scaled(100)
+	if tiny.Writes < 1 || tiny.WorkingSetMB < 1 {
+		t.Error("Scaled floored below 1")
+	}
+}
+
+// TestGeneratorMatchesTableI verifies the synthetic traces land near the
+// paper's reported statistics at reduced scale: request count exact, mean
+// size within 5%, random%% within 5 points, working set within 20%.
+func TestGeneratorMatchesTableI(t *testing.T) {
+	want := map[string]Stats{
+		"FIN": {Writes: 1105563, AvgWriteKB: 7.19, RandomPct: 76.17, WorkingSetGB: 3.67},
+		"WEB": {Writes: 1431628, AvgWriteKB: 12.50, RandomPct: 77.62, WorkingSetGB: 7.26},
+		"USR": {Writes: 1363855, AvgWriteKB: 10.05, RandomPct: 76.19, WorkingSetGB: 2.44},
+		"MDS": {Writes: 1069421, AvgWriteKB: 7.22, RandomPct: 82.99, WorkingSetGB: 3.09},
+	}
+	const scale = 16
+	for _, name := range ProfileNames() {
+		p, err := LookupProfile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := p.Scaled(scale).Generate(4096)
+		s := tr.WriteStats(4096)
+		w := want[name]
+		if s.Writes != w.Writes/scale {
+			t.Errorf("%s: writes = %d, want %d", name, s.Writes, w.Writes/scale)
+		}
+		if rel := math.Abs(s.AvgWriteKB-w.AvgWriteKB) / w.AvgWriteKB; rel > 0.05 {
+			t.Errorf("%s: avg size %.2fKB vs target %.2fKB (%.1f%% off)", name, s.AvgWriteKB, w.AvgWriteKB, rel*100)
+		}
+		if math.Abs(s.RandomPct-w.RandomPct) > 5 {
+			t.Errorf("%s: random %.2f%% vs target %.2f%%", name, s.RandomPct, w.RandomPct)
+		}
+		wantWSS := w.WorkingSetGB / scale
+		if rel := math.Abs(s.WorkingSetGB-wantWSS) / wantWSS; rel > 0.20 {
+			t.Errorf("%s: WSS %.3fGB vs target %.3fGB (%.1f%% off)", name, s.WorkingSetGB, wantWSS, rel*100)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	p, _ := LookupProfile("FIN")
+	p = p.Scaled(256)
+	a := p.Generate(4096)
+	b := p.Generate(4096)
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs between identical generations", i)
+		}
+	}
+}
+
+func TestGeneratorChunkAligned(t *testing.T) {
+	p, _ := LookupProfile("MDS")
+	tr := p.Scaled(256).Generate(4096)
+	space := p.Scaled(256).WorkingSetMB << 20
+	for i, r := range tr.Requests {
+		if r.Op != OpWrite {
+			t.Fatalf("request %d is not a write", i)
+		}
+		if r.Offset%4096 != 0 || r.Size%4096 != 0 || r.Size == 0 {
+			t.Fatalf("request %d not chunk aligned: %+v", i, r)
+		}
+		if r.Offset+r.Size > space {
+			t.Fatalf("request %d exceeds working set: %+v", i, r)
+		}
+	}
+}
+
+func TestSequentialThenUniform(t *testing.T) {
+	tr := SequentialThenUniform("meta", 1<<20, 100, 4096, 7)
+	seqChunks := int64(1<<20) / 4096
+	if int64(len(tr.Requests)) != seqChunks+100 {
+		t.Fatalf("requests = %d, want %d", len(tr.Requests), seqChunks+100)
+	}
+	for i := int64(0); i < seqChunks; i++ {
+		if tr.Requests[i].Offset != i*4096 {
+			t.Fatalf("sequential phase broken at %d", i)
+		}
+	}
+	for _, r := range tr.Requests[seqChunks:] {
+		if r.Size != 4096 || r.Offset < 0 || r.Offset >= 1<<20 {
+			t.Fatalf("bad update request %+v", r)
+		}
+	}
+}
+
+func TestSizeDistMean(t *testing.T) {
+	// The solved distribution must hit the requested mean in expectation.
+	for _, mean := range []float64{1.2, 1.8, 2.5, 3.1, 6.0, 12.0} {
+		d := newSizeDist(mean, nil)
+		var e float64
+		prev := 0.0
+		for i, c := range d.cumProb {
+			e += float64(d.sizes[i]) * (c - prev)
+			prev = c
+		}
+		if math.Abs(e-mean)/mean > 0.01 {
+			t.Errorf("mean %v: distribution expectation %v", mean, e)
+		}
+	}
+	// Degenerate ends.
+	if d := newSizeDist(0.5, nil); len(d.sizes) != 1 || d.sizes[0] != 1 {
+		t.Error("sub-chunk mean did not degenerate to size 1")
+	}
+	if d := newSizeDist(100, nil); len(d.sizes) != 1 || d.sizes[0] != 16 {
+		t.Error("huge mean did not degenerate to max size")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "R" || OpWrite.String() != "W" {
+		t.Error("Op.String mismatch")
+	}
+	if Op(9).String() == "" {
+		t.Error("unknown op produced empty string")
+	}
+}
+
+func TestWriteSPCRoundTrip(t *testing.T) {
+	p, _ := LookupProfile("FIN")
+	orig := p.Scaled(1024).Generate(4096)
+	var buf strings.Builder
+	if err := orig.WriteSPC(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSPC("roundtrip", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Requests) != len(orig.Requests) {
+		t.Fatalf("request count %d != %d", len(back.Requests), len(orig.Requests))
+	}
+	for i := range orig.Requests {
+		o, b := orig.Requests[i], back.Requests[i]
+		if o.Op != b.Op || o.Offset != b.Offset || o.Size != b.Size {
+			t.Fatalf("request %d changed: %+v -> %+v", i, o, b)
+		}
+	}
+	so, sb := orig.WriteStats(4096), back.WriteStats(4096)
+	if so != sb {
+		t.Fatalf("stats changed: %+v -> %+v", so, sb)
+	}
+}
+
+func TestWriteSPCRejectsUnaligned(t *testing.T) {
+	tr := &Trace{Requests: []Request{{Op: OpWrite, Offset: 100, Size: 512}}}
+	var buf strings.Builder
+	if err := tr.WriteSPC(&buf); err == nil {
+		t.Fatal("unaligned offset accepted")
+	}
+}
+
+func TestWriteMSRRoundTrip(t *testing.T) {
+	orig := &Trace{Requests: []Request{
+		{Time: 0, Op: OpWrite, Offset: 4096, Size: 8192},
+		{Time: 0.5, Op: OpRead, Offset: 0, Size: 4096},
+	}}
+	var buf strings.Builder
+	if err := orig.WriteMSR(&buf, "host0"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseMSR("roundtrip", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Requests) != 2 {
+		t.Fatalf("parsed %d requests", len(back.Requests))
+	}
+	for i := range orig.Requests {
+		o, b := orig.Requests[i], back.Requests[i]
+		if o.Op != b.Op || o.Offset != b.Offset || o.Size != b.Size {
+			t.Fatalf("request %d changed: %+v -> %+v", i, o, b)
+		}
+	}
+	if math.Abs(back.Requests[1].Time-0.5) > 1e-6 {
+		t.Fatalf("time changed: %v", back.Requests[1].Time)
+	}
+}

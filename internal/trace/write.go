@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteSPC writes the trace in the SPC-1 Financial format accepted by
+// ParseSPC (ASU,LBA,Size,Opcode,Timestamp; LBA in 512-byte sectors).
+// Offsets must be sector-aligned.
+func (t *Trace) WriteSPC(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i, r := range t.Requests {
+		if r.Offset%512 != 0 {
+			return fmt.Errorf("trace: request %d offset %d not sector aligned", i, r.Offset)
+		}
+		op := "W"
+		if r.Op == OpRead {
+			op = "R"
+		}
+		if _, err := fmt.Fprintf(bw, "0,%d,%d,%s,%.6f\n", r.Offset/512, r.Size, op, r.Time); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteMSR writes the trace in the MSR Cambridge CSV format accepted by
+// ParseMSR (Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime;
+// timestamps in 100ns Windows filetime ticks).
+func (t *Trace) WriteMSR(w io.Writer, host string) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range t.Requests {
+		op := "Write"
+		if r.Op == OpRead {
+			op = "Read"
+		}
+		ticks := int64(r.Time * 1e7)
+		if _, err := fmt.Fprintf(bw, "%d,%s,0,%s,%d,%d,0\n", ticks, host, op, r.Offset, r.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

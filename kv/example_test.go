@@ -1,0 +1,40 @@
+package kv_test
+
+import (
+	"fmt"
+
+	"github.com/eplog/eplog"
+	"github.com/eplog/eplog/kv"
+)
+
+// Run the KV store on an EPLog array: byte addressing comes from
+// eplog.NewIO and Sync maps to a parity commit.
+func Example() {
+	devs := make([]eplog.BlockDevice, 5)
+	for i := range devs {
+		devs[i] = eplog.NewMemDevice(96, 4096)
+	}
+	logs := []eplog.BlockDevice{eplog.NewMemDevice(1024, 4096)}
+	arr, err := eplog.New(devs, logs, eplog.Config{K: 4, Stripes: 32})
+	if err != nil {
+		panic(err)
+	}
+	store, err := kv.Format(eplog.NewIO(arr))
+	if err != nil {
+		panic(err)
+	}
+
+	if err := store.Put("greeting", []byte("hello from eplog")); err != nil {
+		panic(err)
+	}
+	if err := store.Sync(); err != nil { // parity commit underneath
+		panic(err)
+	}
+	v, err := store.Get("greeting")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s\n", v)
+	// Output:
+	// hello from eplog
+}

@@ -1,0 +1,347 @@
+// Package kv is a small log-structured key-value store that runs on any
+// byte-addressed block device — in particular an eplog.IO over an EPLog
+// array, demonstrating the "upper-layer application" role of the paper's
+// user-level block device. Records are appended to one of two on-device
+// zones with CRC framing; an in-memory index maps keys to record offsets;
+// compaction rewrites the live set into the other zone and flips the
+// header atomically, so a crash at any point leaves a consistent store
+// (torn tails are detected by CRC and truncated on open).
+package kv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+)
+
+// Device is the backing storage: byte-addressed random access with a fixed
+// size. *eplog.IO satisfies it; so does any RAM or file shim.
+type Device interface {
+	io.ReaderAt
+	io.WriterAt
+	Size() int64
+}
+
+// Errors returned by the store.
+var (
+	ErrNotFound  = errors.New("kv: key not found")
+	ErrKeyTooBig = errors.New("kv: key exceeds 64KiB")
+	ErrFull      = errors.New("kv: zone full; compact or grow the device")
+	ErrCorrupt   = errors.New("kv: corrupt store")
+)
+
+const (
+	magic      = 0x4b56455033 // "KVEP3"
+	headerSize = 64
+	recHeader  = 12 // klen u32, vlen u32, crc u32 (of key+value)
+	tombstone  = ^uint32(0)
+	maxKeyLen  = 64 << 10
+)
+
+// Store is a log-structured KV store. It is not safe for concurrent use;
+// wrap it with your own locking (eplog.IO already serializes the device
+// underneath).
+type Store struct {
+	dev      Device
+	zoneSize int64
+	zone     int   // active zone, 0 or 1
+	head     int64 // next append offset within the active zone
+	index    map[string]int64
+	// liveBytes approximates the live record volume for compaction
+	// decisions.
+	liveBytes int64
+}
+
+// Format initializes an empty store on the device and returns it.
+func Format(dev Device) (*Store, error) {
+	zone := (dev.Size() - headerSize) / 2
+	if zone < recHeader+1 {
+		return nil, fmt.Errorf("kv: device too small (%d bytes)", dev.Size())
+	}
+	s := &Store{dev: dev, zoneSize: zone, index: make(map[string]int64)}
+	if err := s.writeHeader(); err != nil {
+		return nil, err
+	}
+	// Invalidate the first record slot of both zones so a previous
+	// store's records cannot be replayed.
+	zero := make([]byte, recHeader)
+	if _, err := dev.WriteAt(zero, s.zoneStart(0)); err != nil {
+		return nil, err
+	}
+	if _, err := dev.WriteAt(zero, s.zoneStart(1)); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open mounts an existing store, rebuilding the index by scanning the
+// active zone up to the first invalid record (a torn tail after a crash is
+// discarded).
+func Open(dev Device) (*Store, error) {
+	h := make([]byte, headerSize)
+	if _, err := dev.ReadAt(h, 0); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(h[0:]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if got, want := binary.LittleEndian.Uint32(h[20:]), crc32.ChecksumIEEE(h[:20]); got != want {
+		return nil, fmt.Errorf("%w: header CRC", ErrCorrupt)
+	}
+	s := &Store{
+		dev:      dev,
+		zoneSize: int64(binary.LittleEndian.Uint64(h[8:])),
+		zone:     int(binary.LittleEndian.Uint32(h[16:])),
+		index:    make(map[string]int64),
+	}
+	if s.zoneSize <= 0 || s.zone < 0 || s.zone > 1 ||
+		headerSize+2*s.zoneSize > dev.Size() {
+		return nil, fmt.Errorf("%w: implausible geometry", ErrCorrupt)
+	}
+	if err := s.replay(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) zoneStart(z int) int64 { return headerSize + int64(z)*s.zoneSize }
+
+func (s *Store) writeHeader() error {
+	h := make([]byte, headerSize)
+	binary.LittleEndian.PutUint64(h[0:], magic)
+	binary.LittleEndian.PutUint64(h[8:], uint64(s.zoneSize))
+	binary.LittleEndian.PutUint32(h[16:], uint32(s.zone))
+	binary.LittleEndian.PutUint32(h[20:], crc32.ChecksumIEEE(h[:20]))
+	_, err := s.dev.WriteAt(h, 0)
+	return err
+}
+
+// replay scans the active zone, rebuilding index and head.
+func (s *Store) replay() error {
+	base := s.zoneStart(s.zone)
+	off := int64(0)
+	hdr := make([]byte, recHeader)
+	for {
+		if off+recHeader > s.zoneSize {
+			break
+		}
+		if _, err := s.dev.ReadAt(hdr, base+off); err != nil {
+			return err
+		}
+		klen := binary.LittleEndian.Uint32(hdr[0:])
+		vlen := binary.LittleEndian.Uint32(hdr[4:])
+		if klen == 0 || klen > maxKeyLen {
+			break // end of log (or torn record)
+		}
+		vl := int64(vlen)
+		if vlen == tombstone {
+			vl = 0
+		}
+		total := recHeader + int64(klen) + vl
+		if off+total > s.zoneSize {
+			break
+		}
+		body := make([]byte, int64(klen)+vl)
+		if _, err := s.dev.ReadAt(body, base+off+recHeader); err != nil {
+			return err
+		}
+		if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(hdr[8:]) {
+			break // torn tail
+		}
+		key := string(body[:klen])
+		if vlen == tombstone {
+			if prev, ok := s.index[key]; ok {
+				s.dropLive(prev)
+			}
+			delete(s.index, key)
+		} else {
+			if prev, ok := s.index[key]; ok {
+				s.dropLive(prev)
+			}
+			s.index[key] = off
+			s.liveBytes += total
+		}
+		off += total
+	}
+	s.head = off
+	return nil
+}
+
+// dropLive subtracts a superseded record's size from the live estimate.
+func (s *Store) dropLive(off int64) {
+	hdr := make([]byte, recHeader)
+	if _, err := s.dev.ReadAt(hdr, s.zoneStart(s.zone)+off); err != nil {
+		return
+	}
+	klen := binary.LittleEndian.Uint32(hdr[0:])
+	vlen := binary.LittleEndian.Uint32(hdr[4:])
+	if vlen == tombstone {
+		vlen = 0
+	}
+	s.liveBytes -= recHeader + int64(klen) + int64(vlen)
+}
+
+// append writes one record to the active zone and returns its offset.
+func (s *Store) append(key string, value []byte, isTombstone bool) (int64, error) {
+	if len(key) == 0 {
+		return 0, fmt.Errorf("kv: empty key")
+	}
+	if len(key) > maxKeyLen {
+		return 0, ErrKeyTooBig
+	}
+	vlen := uint32(len(value))
+	if isTombstone {
+		vlen = tombstone
+		value = nil
+	}
+	total := int64(recHeader + len(key) + len(value))
+	// Keep one record header of zeroes after the tail as the end marker.
+	if s.head+total+recHeader > s.zoneSize {
+		return 0, ErrFull
+	}
+	// The record is written together with a zeroed header slot after it:
+	// the end-of-log terminator. Without it, records from a previous
+	// life of this zone (before a compaction flipped away from it) could
+	// be replayed past the true tail after a reopen.
+	rec := make([]byte, total+recHeader)
+	binary.LittleEndian.PutUint32(rec[0:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(rec[4:], vlen)
+	copy(rec[recHeader:], key)
+	copy(rec[recHeader+len(key):total], value)
+	binary.LittleEndian.PutUint32(rec[8:], crc32.ChecksumIEEE(rec[recHeader:total]))
+	off := s.head
+	if _, err := s.dev.WriteAt(rec, s.zoneStart(s.zone)+off); err != nil {
+		return 0, err
+	}
+	s.head += total
+	return off, nil
+}
+
+// Put stores value under key, compacting automatically if the zone fills
+// and enough garbage exists.
+func (s *Store) Put(key string, value []byte) error {
+	off, err := s.append(key, value, false)
+	if errors.Is(err, ErrFull) && s.liveBytes < s.zoneSize/2 {
+		if cerr := s.Compact(); cerr != nil {
+			return cerr
+		}
+		off, err = s.append(key, value, false)
+	}
+	if err != nil {
+		return err
+	}
+	if prev, ok := s.index[key]; ok {
+		s.dropLive(prev)
+	}
+	s.index[key] = off
+	s.liveBytes += recHeader + int64(len(key)) + int64(len(value))
+	return nil
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(key string) ([]byte, error) {
+	off, ok := s.index[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	hdr := make([]byte, recHeader)
+	base := s.zoneStart(s.zone)
+	if _, err := s.dev.ReadAt(hdr, base+off); err != nil {
+		return nil, err
+	}
+	klen := binary.LittleEndian.Uint32(hdr[0:])
+	vlen := binary.LittleEndian.Uint32(hdr[4:])
+	if vlen == tombstone {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	val := make([]byte, vlen)
+	if _, err := s.dev.ReadAt(val, base+off+recHeader+int64(klen)); err != nil {
+		return nil, err
+	}
+	return val, nil
+}
+
+// Delete removes key; deleting an absent key is a no-op.
+func (s *Store) Delete(key string) error {
+	if _, ok := s.index[key]; !ok {
+		return nil
+	}
+	if _, err := s.append(key, nil, true); err != nil {
+		return err
+	}
+	s.dropLive(s.index[key])
+	delete(s.index, key)
+	return nil
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int { return len(s.index) }
+
+// Keys returns the live keys in sorted order.
+func (s *Store) Keys() []string {
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Compact rewrites the live records into the inactive zone and flips the
+// header. A crash before the header write leaves the old zone authoritative;
+// after it, the new one — either way the store stays consistent.
+func (s *Store) Compact() error {
+	oldZone, oldHead, oldIndex := s.zone, s.head, s.index
+	s.zone = 1 - s.zone
+	s.head = 0
+	s.index = make(map[string]int64, len(oldIndex))
+	s.liveBytes = 0
+
+	keys := make([]string, 0, len(oldIndex))
+	for k := range oldIndex {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	base := s.zoneStart(oldZone)
+	hdr := make([]byte, recHeader)
+	for _, key := range keys {
+		off := oldIndex[key]
+		if _, err := s.dev.ReadAt(hdr, base+off); err != nil {
+			return err
+		}
+		klen := binary.LittleEndian.Uint32(hdr[0:])
+		vlen := binary.LittleEndian.Uint32(hdr[4:])
+		val := make([]byte, vlen)
+		if _, err := s.dev.ReadAt(val, base+off+recHeader+int64(klen)); err != nil {
+			return err
+		}
+		newOff, err := s.append(key, val, false)
+		if err != nil {
+			// Roll back to the intact old zone.
+			s.zone, s.head, s.index = oldZone, oldHead, oldIndex
+			return err
+		}
+		s.index[key] = newOff
+		s.liveBytes += recHeader + int64(len(key)) + int64(vlen)
+	}
+	// Terminate the new log, then commit the flip.
+	zero := make([]byte, recHeader)
+	if s.head+recHeader <= s.zoneSize {
+		if _, err := s.dev.WriteAt(zero, s.zoneStart(s.zone)+s.head); err != nil {
+			return err
+		}
+	}
+	return s.writeHeader()
+}
+
+// Sync asks the backing device to make everything durable; over an EPLog
+// array this is a parity commit.
+func (s *Store) Sync() error {
+	if c, ok := s.dev.(interface{ Commit() error }); ok {
+		return c.Commit()
+	}
+	return nil
+}

@@ -1,0 +1,321 @@
+package kv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/eplog/eplog"
+)
+
+// memDevice is a plain RAM Device for unit tests.
+type memDevice struct{ data []byte }
+
+func newMemDevice(size int64) *memDevice { return &memDevice{data: make([]byte, size)} }
+
+func (d *memDevice) Size() int64 { return int64(len(d.data)) }
+
+func (d *memDevice) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off+int64(len(p)) > d.Size() {
+		return 0, fmt.Errorf("memDevice: out of range")
+	}
+	return copy(p, d.data[off:]), nil
+}
+
+func (d *memDevice) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 || off+int64(len(p)) > d.Size() {
+		return 0, fmt.Errorf("memDevice: out of range")
+	}
+	return copy(d.data[off:], p), nil
+}
+
+func newStore(t *testing.T, size int64) (*Store, *memDevice) {
+	t.Helper()
+	dev := newMemDevice(size)
+	s, err := Format(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, dev
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s, _ := newStore(t, 1<<20)
+	if err := s.Put("alpha", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("beta", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get("alpha")
+	if err != nil || string(v) != "one" {
+		t.Fatalf("Get(alpha) = %q, %v", v, err)
+	}
+	// Overwrite.
+	if err := s.Put("alpha", []byte("uno")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = s.Get("alpha")
+	if string(v) != "uno" {
+		t.Fatalf("Get after overwrite = %q", v)
+	}
+	if err := s.Delete("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("alpha"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete = %v", err)
+	}
+	if err := s.Delete("never-existed"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if keys := s.Keys(); len(keys) != 1 || keys[0] != "beta" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s, _ := newStore(t, 1<<20)
+	if err := s.Put("", []byte("x")); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := s.Put(string(make([]byte, maxKeyLen+1)), nil); !errors.Is(err, ErrKeyTooBig) {
+		t.Errorf("oversized key error = %v", err)
+	}
+	if _, err := Format(newMemDevice(32)); err == nil {
+		t.Error("tiny device accepted")
+	}
+	if _, err := Open(newMemDevice(1 << 20)); !errors.Is(err, ErrCorrupt) {
+		t.Error("unformatted device opened")
+	}
+}
+
+func TestReopenReplaysLog(t *testing.T) {
+	s, dev := newStore(t, 1<<20)
+	want := map[string]string{}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%d", r.Intn(50))
+		switch r.Intn(3) {
+		case 0, 1:
+			v := fmt.Sprintf("val-%d", i)
+			if err := s.Put(k, []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			want[k] = v
+		case 2:
+			if err := s.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			delete(want, k)
+		}
+	}
+	s2, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != len(want) {
+		t.Fatalf("reopened Len = %d, want %d", s2.Len(), len(want))
+	}
+	for k, v := range want {
+		got, err := s2.Get(k)
+		if err != nil || string(got) != v {
+			t.Fatalf("reopened Get(%q) = %q, %v; want %q", k, got, err, v)
+		}
+	}
+}
+
+func TestTornTailDiscardedOnOpen(t *testing.T) {
+	s, dev := newStore(t, 1<<20)
+	if err := s.Put("good", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-write a torn record after the tail: plausible lengths, bad CRC.
+	torn := make([]byte, recHeader+8)
+	torn[0] = 4 // klen=4
+	torn[4] = 4 // vlen=4
+	if _, err := dev.WriteAt(torn, s.zoneStart(s.zone)+s.head); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("torn tail not discarded: Len = %d", s2.Len())
+	}
+	// The store remains writable at the truncated head.
+	if err := s2.Put("after", []byte("crash")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s2.Get("after"); err != nil || string(v) != "crash" {
+		t.Fatalf("post-crash put/get = %q, %v", v, err)
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	s, dev := newStore(t, 64<<10)
+	// Churn the same small key set until the zone would overflow; the
+	// automatic compaction must keep it working.
+	val := bytes.Repeat([]byte{7}, 512)
+	for i := 0; i < 500; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i%8), val); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", s.Len())
+	}
+	for i := 0; i < 8; i++ {
+		v, err := s.Get(fmt.Sprintf("k%d", i))
+		if err != nil || !bytes.Equal(v, val) {
+			t.Fatalf("Get(k%d) after compaction = %v", i, err)
+		}
+	}
+	// Reopen after compaction: the flipped header points at the live zone.
+	s2, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 8 {
+		t.Fatalf("reopened Len = %d, want 8", s2.Len())
+	}
+}
+
+func TestExplicitCompactShrinks(t *testing.T) {
+	s, _ := newStore(t, 256<<10)
+	for i := 0; i < 100; i++ {
+		if err := s.Put("hot", bytes.Repeat([]byte{byte(i)}, 256)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.head
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s.head >= before {
+		t.Fatalf("compaction did not shrink the log: %d -> %d", before, s.head)
+	}
+	v, err := s.Get("hot")
+	if err != nil || !bytes.Equal(v, bytes.Repeat([]byte{99}, 256)) {
+		t.Fatalf("Get after compact = %v", err)
+	}
+}
+
+func TestStoreFullWithoutGarbage(t *testing.T) {
+	s, _ := newStore(t, 8<<10)
+	// Distinct keys, no garbage to reclaim: must eventually report full.
+	var sawFull bool
+	for i := 0; i < 10000; i++ {
+		err := s.Put(fmt.Sprintf("key-%05d", i), bytes.Repeat([]byte{1}, 64))
+		if errors.Is(err, ErrFull) {
+			sawFull = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawFull {
+		t.Fatal("store never reported ErrFull")
+	}
+}
+
+// TestOnEPLogArray runs the KV store over a real EPLog array with a device
+// failure in the middle of the workload.
+func TestOnEPLogArray(t *testing.T) {
+	devs := make([]eplog.BlockDevice, 5)
+	faulty := make([]*eplog.FaultyDevice, 5)
+	for i := range devs {
+		f := eplog.NewFaultyDevice(eplog.NewMemDevice(128, 4096))
+		faulty[i] = f
+		devs[i] = f
+	}
+	logs := []eplog.BlockDevice{eplog.NewMemDevice(4096, 4096)}
+	arr, err := eplog.New(devs, logs, eplog.Config{K: 4, Stripes: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Format(eplog.NewIO(arr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := s.Put(fmt.Sprintf("user:%d", i), []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil { // parity commit underneath
+		t.Fatal(err)
+	}
+	faulty[2].Fail()
+	for i := 0; i < 50; i++ {
+		v, err := s.Get(fmt.Sprintf("user:%d", i))
+		if err != nil || string(v) != fmt.Sprintf("payload-%d", i) {
+			t.Fatalf("degraded Get(user:%d) = %q, %v", i, v, err)
+		}
+	}
+	// Writes keep working in degraded mode too.
+	if err := s.Put("during-failure", []byte("still here")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get("during-failure"); string(v) != "still here" {
+		t.Fatal("degraded put/get mismatch")
+	}
+}
+
+// TestQuickAgainstMap checks the store against a plain map under random
+// operation sequences with periodic reopen and compaction.
+func TestQuickAgainstMap(t *testing.T) {
+	prop := func(seed int64) bool {
+		dev := newMemDevice(512 << 10)
+		s, err := Format(dev)
+		if err != nil {
+			return false
+		}
+		r := rand.New(rand.NewSource(seed))
+		shadow := map[string]string{}
+		for i := 0; i < 300; i++ {
+			k := fmt.Sprintf("k%d", r.Intn(30))
+			switch r.Intn(10) {
+			case 0:
+				if err := s.Delete(k); err != nil {
+					return false
+				}
+				delete(shadow, k)
+			case 1:
+				if err := s.Compact(); err != nil {
+					return false
+				}
+			case 2:
+				if s, err = Open(dev); err != nil {
+					return false
+				}
+			default:
+				v := fmt.Sprintf("v%d-%d", i, r.Int63())
+				if err := s.Put(k, []byte(v)); err != nil {
+					return false
+				}
+				shadow[k] = v
+			}
+		}
+		if s.Len() != len(shadow) {
+			return false
+		}
+		for k, v := range shadow {
+			got, err := s.Get(k)
+			if err != nil || string(got) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
