@@ -4,75 +4,134 @@
 //
 // Usage:
 //
-//	eplogbench [-exp all|1|2|3|4|5|6|fig6|table1|recovery] [-scale N]
+//	eplogbench [-exp all|1|2|3|4|5|6|fig6|table1|recovery|obs] [-scale N]
 //
 // Scale divides the paper's request counts and working sets; -scale 1 is
 // paper scale (hours of runtime and tens of GB of RAM), the default keeps
 // the full suite to minutes on a laptop.
+//
+// The obs experiment runs a fully instrumented EPLog replay; -metrics-out,
+// -trace-out and -prom-out dump its metrics snapshot (JSON), event trace
+// (JSON Lines) and Prometheus text exposition. -csv and -json mirror every
+// experiment's records to machine-readable files.
 package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"time"
 
 	"github.com/eplog/eplog/internal/experiments"
+	"github.com/eplog/eplog/internal/obs"
 )
+
+// outputs collects the optional machine-readable output paths.
+type outputs struct {
+	csvPath     string
+	jsonPath    string
+	metricsPath string
+	tracePath   string
+	promPath    string
+}
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run: all, table1, 1, 2, 3, 4, 5, 6, fig6, recovery, ablations")
-		scale   = flag.Int64("scale", experiments.DefaultScale, "scale divisor versus the paper (1 = paper scale)")
-		csvPath = flag.String("csv", "", "also append machine-readable rows to this CSV file")
+		exp   = flag.String("exp", "all", "experiment to run: all, table1, 1, 2, 3, 4, 5, 6, fig6, recovery, ablations, obs")
+		scale = flag.Int64("scale", experiments.DefaultScale, "scale divisor versus the paper (1 = paper scale)")
+		out   outputs
 	)
+	flag.StringVar(&out.csvPath, "csv", "", "also append machine-readable rows to this CSV file")
+	flag.StringVar(&out.jsonPath, "json", "", "also append machine-readable records to this JSON Lines file")
+	flag.StringVar(&out.metricsPath, "metrics-out", "", "write the obs experiment's metrics snapshot to this JSON file")
+	flag.StringVar(&out.tracePath, "trace-out", "", "write the obs experiment's event trace to this JSON Lines file")
+	flag.StringVar(&out.promPath, "prom-out", "", "write the obs experiment's metrics in Prometheus text format to this file")
 	flag.Parse()
-	if err := run(*exp, *scale, *csvPath); err != nil {
+	if err := run(*exp, *scale, out); err != nil {
 		fmt.Fprintln(os.Stderr, "eplogbench:", err)
 		os.Exit(1)
 	}
 }
 
-// csvSink accumulates experiment,workload,scheme,metric,value records.
-type csvSink struct {
-	w *csv.Writer
+// recorder mirrors experiment,workload,scheme,metric,value records to an
+// optional CSV file and an optional JSON Lines file.
+type recorder struct {
+	w   *csv.Writer
+	enc *json.Encoder
 }
 
-func newCSVSink(path string) (*csvSink, func() error, error) {
-	if path == "" {
+// record is one JSON Lines entry.
+type record struct {
+	Experiment string  `json:"experiment"`
+	Workload   string  `json:"workload"`
+	Scheme     string  `json:"scheme"`
+	Metric     string  `json:"metric"`
+	Value      float64 `json:"value"`
+}
+
+func newRecorder(csvPath, jsonPath string) (*recorder, func() error, error) {
+	if csvPath == "" && jsonPath == "" {
 		return nil, func() error { return nil }, nil
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return nil, nil, err
-	}
-	s := &csvSink{w: csv.NewWriter(f)}
-	if err := s.w.Write([]string{"experiment", "workload", "scheme", "metric", "value"}); err != nil {
-		f.Close()
-		return nil, nil, err
-	}
-	return s, func() error {
-		s.w.Flush()
-		if err := s.w.Error(); err != nil {
-			f.Close()
-			return err
+	s := &recorder{}
+	var files []*os.File
+	closeAll := func() error {
+		var first error
+		if s.w != nil {
+			s.w.Flush()
+			first = s.w.Error()
 		}
-		return f.Close()
-	}, nil
+		for _, f := range files {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		s.w = csv.NewWriter(f)
+		if err := s.w.Write([]string{"experiment", "workload", "scheme", "metric", "value"}); err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		files = append(files, f)
+		s.enc = json.NewEncoder(f)
+	}
+	return s, closeAll, nil
 }
 
-func (s *csvSink) add(exp, workload, scheme, metric string, value float64) {
+func (s *recorder) add(exp, workload, scheme, metric string, value float64) {
 	if s == nil {
 		return
 	}
-	_ = s.w.Write([]string{exp, workload, scheme, metric,
-		strconv.FormatFloat(value, 'g', -1, 64)})
+	if s.w != nil {
+		_ = s.w.Write([]string{exp, workload, scheme, metric,
+			strconv.FormatFloat(value, 'g', -1, 64)})
+	}
+	if s.enc != nil {
+		_ = s.enc.Encode(record{Experiment: exp, Workload: workload,
+			Scheme: scheme, Metric: metric, Value: value})
+	}
 }
 
 // addRows flattens a scheme-comparison matrix.
-func (s *csvSink) addRows(exp string, rows []experiments.SchemeRow) {
+func (s *recorder) addRows(exp string, rows []experiments.SchemeRow) {
 	if s == nil {
 		return
 	}
@@ -89,18 +148,18 @@ func (s *csvSink) addRows(exp string, rows []experiments.SchemeRow) {
 	}
 }
 
-func run(exp string, scale int64, csvPath string) error {
+func run(exp string, scale int64, out outputs) error {
 	if scale < 1 {
 		return fmt.Errorf("scale must be >= 1, got %d", scale)
 	}
 	fmt.Printf("EPLog evaluation harness — scale 1/%d of the paper's workloads\n\n", scale)
-	sink, closeCSV, err := newCSVSink(csvPath)
+	sink, closeRec, err := newRecorder(out.csvPath, out.jsonPath)
 	if err != nil {
 		return err
 	}
 	defer func() {
-		if err := closeCSV(); err != nil {
-			fmt.Fprintln(os.Stderr, "eplogbench: csv:", err)
+		if err := closeRec(); err != nil {
+			fmt.Fprintln(os.Stderr, "eplogbench: record output:", err)
 		}
 	}()
 	want := func(name string) bool { return exp == "all" || exp == name }
@@ -282,8 +341,56 @@ func run(exp string, scale int64, csvPath string) error {
 		return err
 	}
 
+	if err := step("obs", func() error {
+		// An instrumented timing replay; run it at a reduced size like
+		// the recovery sweep.
+		o, err := experiments.Observability(scale * 8)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatObservability(o))
+		sink.add("obs", "FIN", "EPLog", "trace_events", float64(len(o.Events)))
+		sink.add("obs", "FIN", "EPLog", "trace_dropped", float64(o.Dropped))
+		sink.add("obs", "FIN", "EPLog", "parity_chunks_from_trace", float64(o.ParityFromTrace))
+		sink.add("obs", "FIN", "EPLog", "parity_chunks_counter", float64(o.Result.EPLogStats.ParityWriteChunks))
+		if out.metricsPath != "" {
+			if err := writeTo(out.metricsPath, o.Snapshot.WriteJSON); err != nil {
+				return err
+			}
+		}
+		if out.promPath != "" {
+			if err := writeTo(out.promPath, o.Snapshot.WritePrometheus); err != nil {
+				return err
+			}
+		}
+		if out.tracePath != "" {
+			err := writeTo(out.tracePath, func(w io.Writer) error {
+				return obs.WriteJSONL(w, o.Events)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want all, table1, 1-6, fig6, recovery, ablations)", exp)
+		return fmt.Errorf("unknown experiment %q (want all, table1, 1-6, fig6, recovery, ablations, obs)", exp)
 	}
 	return nil
+}
+
+// writeTo creates path and runs the serializer over it.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,16 +1,17 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
 )
 
 func TestUnknownExperiment(t *testing.T) {
-	if err := run("nope", 64, ""); err == nil {
+	if err := run("nope", 64, outputs{}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run("all", 0, ""); err == nil {
+	if err := run("all", 0, outputs{}); err == nil {
 		t.Error("zero scale accepted")
 	}
 }
@@ -18,10 +19,10 @@ func TestUnknownExperiment(t *testing.T) {
 func TestFastExperiments(t *testing.T) {
 	// fig6 and table1 are cheap enough for a unit test; the trace-driven
 	// experiments are covered by internal/experiments tests.
-	if err := run("fig6", 512, ""); err != nil {
+	if err := run("fig6", 512, outputs{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("table1", 512, ""); err != nil {
+	if err := run("table1", 512, outputs{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -30,14 +31,14 @@ func TestOneTraceExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trace-driven experiment")
 	}
-	if err := run("6", 512, ""); err != nil {
+	if err := run("6", 512, outputs{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCSVExport(t *testing.T) {
 	path := t.TempDir() + "/out.csv"
-	if err := run("fig6", 512, path); err != nil {
+	if err := run("fig6", 512, outputs{csvPath: path}); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(path)
@@ -49,5 +50,79 @@ func TestCSVExport(t *testing.T) {
 	}
 	if strings.Count(string(b), "\n") < 10 {
 		t.Error("CSV has too few rows")
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	path := t.TempDir() + "/out.jsonl"
+	if err := run("fig6", 512, outputs{jsonPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("JSON output has %d lines, want >= 10", len(lines))
+	}
+	var rec record
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("first record does not parse: %v", err)
+	}
+	if rec.Experiment == "" || rec.Metric == "" {
+		t.Errorf("record missing fields: %+v", rec)
+	}
+}
+
+func TestObsOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace-driven experiment")
+	}
+	dir := t.TempDir()
+	out := outputs{
+		metricsPath: dir + "/metrics.json",
+		tracePath:   dir + "/trace.jsonl",
+		promPath:    dir + "/metrics.prom",
+	}
+	if err := run("obs", 512, out); err != nil {
+		t.Fatal(err)
+	}
+
+	mb, err := os.ReadFile(out.metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters   map[string]int64          `json:"counters"`
+		Histograms map[string]map[string]any `json:"histograms"`
+	}
+	if err := json.Unmarshal(mb, &snap); err != nil {
+		t.Fatalf("metrics snapshot does not parse: %v", err)
+	}
+	if _, ok := snap.Histograms["core.write_latency"]; !ok {
+		t.Error("metrics snapshot missing core.write_latency histogram")
+	}
+	if _, ok := snap.Histograms["dev.main0.write_latency"]; !ok {
+		t.Error("metrics snapshot missing per-device write latency")
+	}
+	if _, ok := snap.Counters["ssd.0.gc_runs"]; !ok {
+		t.Error("metrics snapshot missing SSD GC counter")
+	}
+
+	tb, err := os.ReadFile(out.tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tb), `"kind":"parity-commit"`) {
+		t.Error("trace dump has no parity-commit events")
+	}
+
+	pb, err := os.ReadFile(out.promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(pb), "# TYPE eplog_core_write_latency histogram") {
+		t.Error("prometheus exposition missing write latency histogram")
 	}
 }

@@ -11,6 +11,12 @@
 //	eplogctl -dir store status
 //	eplogctl -dir store scrub
 //	eplogctl -dir store rebuild -dev 3
+//	eplogctl -dir store metrics
+//
+// Every command records this invocation's metrics and trace events; the
+// global -metrics-out and -trace-out flags dump them on exit, and the
+// metrics command scrubs the array and prints the session's metrics in
+// Prometheus text format.
 package main
 
 import (
@@ -32,15 +38,26 @@ func main() {
 	}
 }
 
+// obsPaths holds the global observability dump destinations for the
+// current invocation.
+var obsPaths struct {
+	metrics string
+	trace   string
+}
+
 func run(args []string) error {
 	global := flag.NewFlagSet("eplogctl", flag.ContinueOnError)
 	dir := global.String("dir", "eplog-store", "directory holding the array's backing files")
+	metricsOut := global.String("metrics-out", "", "write this invocation's metrics snapshot to this JSON file")
+	traceOut := global.String("trace-out", "", "write this invocation's event trace to this JSON Lines file")
 	if err := global.Parse(args); err != nil {
 		return err
 	}
+	obsPaths.metrics = *metricsOut
+	obsPaths.trace = *traceOut
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command: create, write, read, commit, status, scrub, or rebuild")
+		return fmt.Errorf("missing command: create, write, read, commit, status, scrub, rebuild, or metrics")
 	}
 	cmd, rest := rest[0], rest[1:]
 	switch cmd {
@@ -58,9 +75,59 @@ func run(args []string) error {
 		return rebuild(*dir, rest)
 	case "scrub":
 		return scrub(*dir)
+	case "metrics":
+		return metrics(*dir)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// dumpObs writes the session's metrics and trace dumps if requested.
+func dumpObs(a *eplog.Array) error {
+	if obsPaths.metrics != "" {
+		f, err := os.Create(obsPaths.metrics)
+		if err != nil {
+			return err
+		}
+		if err := a.Metrics().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if obsPaths.trace != "" {
+		f, err := os.Create(obsPaths.trace)
+		if err != nil {
+			return err
+		}
+		if err := eplog.WriteTrace(f, a.Trace()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// metrics scrubs the array (reading every stripe through the instrumented
+// devices) and prints the session's metrics in Prometheus text format.
+func metrics(dir string) error {
+	a, _, closeAll, err := openArray(dir)
+	if err != nil {
+		return err
+	}
+	defer closeAll()
+	if _, err := a.Verify(); err != nil {
+		return err
+	}
+	if err := a.Metrics().WritePrometheus(os.Stdout); err != nil {
+		return err
+	}
+	return dumpObs(a)
 }
 
 // layout holds the persisted array shape.
@@ -135,7 +202,9 @@ func metaChunks(l layout) int64 {
 }
 
 func cfg(l layout) eplog.Config {
-	return eplog.Config{K: l.k, Stripes: l.stripes}
+	// Observability is always on: eplogctl is an operational demo and the
+	// per-invocation cost is negligible at its scale.
+	return eplog.Config{K: l.k, Stripes: l.stripes, TraceEvents: eplog.DefaultTraceEvents}
 }
 
 // openArray opens the array from its newest checkpoint.
@@ -215,7 +284,7 @@ func write(dir string, args []string) error {
 		return err
 	}
 	fmt.Printf("wrote chunk %d (%d pending log stripes)\n", *lba, a.PendingLogStripes())
-	return nil
+	return dumpObs(a)
 }
 
 func read(dir string, args []string) error {
@@ -234,7 +303,7 @@ func read(dir string, args []string) error {
 		return err
 	}
 	fmt.Printf("chunk %d: %q\n", *lba, strings.TrimRight(string(buf), "\x00"))
-	return nil
+	return dumpObs(a)
 }
 
 func commit(dir string) error {
@@ -252,7 +321,7 @@ func commit(dir string) error {
 	s := a.Stats()
 	fmt.Printf("parity committed (%d commit reads, %d parity writes so far this session)\n",
 		s.CommitReadChunks, s.CommitWriteChunks)
-	return nil
+	return dumpObs(a)
 }
 
 func status(dir string) error {
@@ -264,7 +333,7 @@ func status(dir string) error {
 	fmt.Printf("(%d+%d) array, %d stripes, %d chunks of %d bytes\n",
 		l.k, l.n-l.k, l.stripes, a.Chunks(), a.ChunkSize())
 	fmt.Printf("pending log stripes: %d\n", a.PendingLogStripes())
-	return nil
+	return dumpObs(a)
 }
 
 func scrub(dir string) error {
@@ -280,7 +349,7 @@ func scrub(dir string) error {
 	fmt.Printf("scrubbed %d data stripes and %d log stripes\n", rep.DataStripes, rep.LogStripes)
 	if rep.OK() {
 		fmt.Println("no inconsistencies found")
-		return nil
+		return dumpObs(a)
 	}
 	return fmt.Errorf("INCONSISTENT: data stripes %v, log stripes %v", rep.BadDataStripes, rep.BadLogStripes)
 }
@@ -320,5 +389,5 @@ func rebuild(dir string, args []string) error {
 		return err
 	}
 	fmt.Printf("device %d rebuilt\n", *dev)
-	return nil
+	return dumpObs(a)
 }

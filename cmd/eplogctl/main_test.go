@@ -29,6 +29,43 @@ func TestLifecycle(t *testing.T) {
 	}
 }
 
+// TestMetricsAndDumps exercises the metrics command and the global
+// observability dump flags.
+func TestMetricsAndDumps(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := run([]string{"-dir", dir, "create", "-n", "5", "-k", "4", "-stripes", "32"}); err != nil {
+		t.Fatal(err)
+	}
+	mpath := filepath.Join(t.TempDir(), "metrics.json")
+	tpath := filepath.Join(t.TempDir(), "trace.jsonl")
+	steps := [][]string{
+		{"-dir", dir, "-metrics-out", mpath, "-trace-out", tpath, "write", "-lba", "3", "-text", "observed"},
+		{"-dir", dir, "metrics"},
+	}
+	for _, args := range steps {
+		if err := run(args); err != nil {
+			t.Fatalf("eplogctl %v: %v", args, err)
+		}
+	}
+	mb, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mb), "core.write_latency") {
+		t.Error("metrics dump missing core.write_latency")
+	}
+	if !strings.Contains(string(mb), "dev.main0.write_ops") {
+		t.Error("metrics dump missing per-device counters")
+	}
+	tb, err := os.ReadFile(tpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tb), `"kind":"write"`) {
+		t.Error("trace dump missing write event")
+	}
+}
+
 func TestErrors(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "store")
 	if err := run([]string{"-dir", dir}); err == nil {

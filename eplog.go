@@ -6,6 +6,7 @@ import (
 
 	"github.com/eplog/eplog/internal/core"
 	"github.com/eplog/eplog/internal/metadata"
+	"github.com/eplog/eplog/internal/obs"
 )
 
 // Config parameterizes an EPLog array.
@@ -37,6 +38,12 @@ type Config struct {
 	// that many write requests when > 0 and a metadata volume is
 	// attached — the paper's "triggered regularly in the background".
 	CheckpointEvery int
+	// TraceEvents enables observability when > 0: the array keeps a
+	// metrics registry (per-device op counters and latency histograms,
+	// write/read/commit-phase latencies, GC activity) and a trace ring
+	// retaining the most recent TraceEvents structured events. Read them
+	// with Metrics and Trace. Zero disables observability at no cost.
+	TraceEvents int
 }
 
 // Stats mirrors the array's activity counters; see the field names for
@@ -53,20 +60,30 @@ type Array struct {
 	cfg        Config
 	csize      int
 	sinceChkpt int
+	sink       *obs.Sink // nil unless cfg.TraceEvents > 0
 }
 
 // New creates a fresh EPLog array over the main-array devices and one log
 // device per parity dimension. All devices must share a chunk size.
 func New(devs, logDevs []BlockDevice, cfg Config) (*Array, error) {
-	e, err := core.New(toInternal(devs), toInternal(logDevs), coreConfig(cfg))
+	sink := newSink(cfg)
+	e, err := core.New(instrument(sink, "main", devs), instrument(sink, "log", logDevs), coreConfig(cfg, sink))
 	if err != nil {
 		return nil, err
 	}
-	return &Array{e: e, cfg: cfg, csize: e.ChunkSize()}, nil
+	return &Array{e: e, cfg: cfg, csize: e.ChunkSize(), sink: sink}, nil
 }
 
-func coreConfig(cfg Config) core.Config {
+func newSink(cfg Config) *obs.Sink {
+	if cfg.TraceEvents <= 0 {
+		return nil
+	}
+	return obs.NewSink(cfg.TraceEvents)
+}
+
+func coreConfig(cfg Config, sink *obs.Sink) core.Config {
 	return core.Config{
+		Obs: sink,
 		K:                   cfg.K,
 		Stripes:             cfg.Stripes,
 		DeviceBufferChunks:  cfg.DeviceBufferChunks,
@@ -147,14 +164,21 @@ type VerifyReport = core.VerifyReport
 func (a *Array) Verify() (*VerifyReport, error) { return a.e.Verify() }
 
 // Rebuild reconstructs the contents of failed main-array device devIdx
-// onto the replacement and swaps it in.
+// onto the replacement and swaps it in. With observability enabled the
+// replacement continues the failed device's metric series.
 func (a *Array) Rebuild(devIdx int, replacement BlockDevice) error {
+	if a.sink != nil {
+		return a.e.Rebuild(devIdx, instrumentOne(a.sink, "main", devIdx, replacement))
+	}
 	return a.e.Rebuild(devIdx, replacement)
 }
 
 // RecoverLogDevice replaces failed log device dim: a parity commit makes
 // the lost log chunks unnecessary, then the replacement is swapped in.
 func (a *Array) RecoverLogDevice(dim int, replacement BlockDevice) error {
+	if a.sink != nil {
+		return a.e.RecoverLogDevice(dim, instrumentOne(a.sink, "log", dim, replacement))
+	}
 	return a.e.RecoverLogDevice(dim, replacement)
 }
 
@@ -204,9 +228,10 @@ func Open(devs, logDevs []BlockDevice, cfg Config, metaDev BlockDevice) (*Array,
 	if err != nil {
 		return nil, err
 	}
-	e, err := core.Restore(toInternal(devs), toInternal(logDevs), coreConfig(cfg), snap)
+	sink := newSink(cfg)
+	e, err := core.Restore(instrument(sink, "main", devs), instrument(sink, "log", logDevs), coreConfig(cfg, sink), snap)
 	if err != nil {
 		return nil, err
 	}
-	return &Array{e: e, vol: vol, cfg: cfg, csize: e.ChunkSize()}, nil
+	return &Array{e: e, vol: vol, cfg: cfg, csize: e.ChunkSize(), sink: sink}, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"github.com/eplog/eplog/internal/device"
 	"github.com/eplog/eplog/internal/metadata"
+	"github.com/eplog/eplog/internal/obs"
 )
 
 // Snapshot captures the complete metadata state as a full-checkpoint
@@ -25,6 +26,8 @@ func (e *EPLog) Snapshot() *metadata.Snapshot {
 	}
 	s.LogStripes = e.logStripeRecords()
 	clear(e.metaDirty)
+	e.obs.Emit(obs.Event{Kind: obs.KindCheckpoint, Dev: -1,
+		N: int64(len(s.StripeRecs)), Aux: 1})
 	return s
 }
 
@@ -43,6 +46,8 @@ func (e *EPLog) DirtyDelta() *metadata.Delta {
 	}
 	d.LogStripes = e.logStripeRecords()
 	clear(e.metaDirty)
+	e.obs.Emit(obs.Event{Kind: obs.KindCheckpoint, Dev: -1,
+		N: int64(len(d.StripeRecs)), Aux: 0})
 	return d
 }
 

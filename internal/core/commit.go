@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/obs"
 )
 
 // Commit implements store.Store: the parity commit of Section III-C. For
@@ -20,15 +21,18 @@ func (e *EPLog) Commit() error {
 // CommitAt is Commit with virtual-time accounting; it returns the
 // completion time of the commit's device work.
 func (e *EPLog) CommitAt(start float64) (float64, error) {
-	span := device.NewSpan(start)
 	if e.inCommit {
 		return start, nil
 	}
 	// Drain RAM buffers first so the committed parity covers everything
-	// acknowledged so far.
-	if err := e.flush(span); err != nil {
+	// acknowledged so far; the fold phase below depends on the flushed
+	// data, so its span starts when the flush completes.
+	flushSpan := device.NewSpan(start)
+	if err := e.flush(flushSpan); err != nil {
 		return start, err
 	}
+	span := flushSpan.Next()
+	parityBefore := e.stats.ParityWriteChunks
 	e.inCommit = true
 	defer func() { e.inCommit = false }()
 
@@ -101,7 +105,23 @@ func (e *EPLog) CommitAt(start float64) (float64, error) {
 	clear(e.dirty)
 	e.reqSinceCommit = 0
 	e.stats.Commits++
-	return span.End(), nil
+
+	end := span.End()
+	parityDelta := e.stats.ParityWriteChunks - parityBefore
+	// Anchor the phase latencies to when the commit could actually begin:
+	// untimed internal commits (start 0) inherit the device-clock backlog
+	// in their spans, which would otherwise swamp the histograms.
+	obsStart := max(start, e.vnow)
+	e.vnow = max(e.vnow, end)
+	e.mCommitFlushLat.Observe(max(flushSpan.End()-obsStart, 0))
+	e.mCommitFoldLat.Observe(max(end-max(span.Start(), obsStart), 0))
+	e.mCommitLat.Observe(max(end-obsStart, 0))
+	// N is the parity chunks folded by this commit, so that summing N over
+	// parity-commit events plus Aux over full-stripe events reconciles with
+	// Stats.ParityWriteChunks.
+	e.obs.Emit(obs.Event{Kind: obs.KindCommit, T: obsStart, Dur: max(end-obsStart, 0), Dev: -1,
+		N: parityDelta, Aux: int64(len(stripes))})
+	return end, nil
 }
 
 // releaseLoc returns a superseded chunk to its device's free pool,

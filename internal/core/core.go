@@ -16,6 +16,7 @@ import (
 
 	"github.com/eplog/eplog/internal/device"
 	"github.com/eplog/eplog/internal/erasure"
+	"github.com/eplog/eplog/internal/obs"
 	"github.com/eplog/eplog/internal/store"
 )
 
@@ -67,6 +68,10 @@ type Config struct {
 	// logical utilization). Zero selects a default of one sixteenth of the
 	// device.
 	CommitGuardChunks int64
+	// Obs, when non-nil, receives metrics (latency histograms, counters)
+	// and structured trace events from the write, read, commit, checkpoint
+	// and recovery paths. Nil disables observability at no cost.
+	Obs *obs.Sink
 }
 
 // Stats counts EPLog activity.
@@ -140,6 +145,19 @@ type EPLog struct {
 	reqSinceCommit int
 	inCommit       bool
 	stats          Stats
+
+	obs             *obs.Sink
+	mWriteLat       *obs.Histogram
+	mReadLat        *obs.Histogram
+	mCommitLat      *obs.Histogram
+	mCommitFlushLat *obs.Histogram
+	mCommitFoldLat  *obs.Histogram
+	mDegradedReads  *obs.Counter
+	// vnow is the high-water completion time seen so far. It anchors the
+	// latency metrics of commits invoked untimed (start 0) from inside the
+	// write path, whose spans would otherwise absorb the whole device-clock
+	// backlog; scheduling never reads it.
+	vnow float64
 }
 
 var _ store.Store = (*EPLog)(nil)
@@ -217,6 +235,14 @@ func New(devs, logDevs []device.Dev, cfg Config) (*EPLog, error) {
 	if cfg.StripeBufferStripes > 0 {
 		e.stripeBuf = newStripeBuffer(cfg.StripeBufferStripes * cfg.K)
 	}
+	// The handles below are nil-safe no-ops when cfg.Obs is nil.
+	e.obs = cfg.Obs
+	e.mWriteLat = cfg.Obs.Histogram("core.write_latency")
+	e.mReadLat = cfg.Obs.Histogram("core.read_latency")
+	e.mCommitLat = cfg.Obs.Histogram("core.commit_latency")
+	e.mCommitFlushLat = cfg.Obs.Histogram("core.commit_flush_latency")
+	e.mCommitFoldLat = cfg.Obs.Histogram("core.commit_fold_latency")
+	e.mDegradedReads = cfg.Obs.Counter("core.degraded_reads")
 	return e, nil
 }
 

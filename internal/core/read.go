@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/obs"
 	"github.com/eplog/eplog/internal/store"
 )
 
@@ -30,6 +31,10 @@ func (e *EPLog) ReadChunks(start float64, lba int64, p []byte) (float64, error) 
 	if span.Err() != nil {
 		return start, span.Err()
 	}
+	e.vnow = max(e.vnow, span.End())
+	e.mReadLat.Observe(span.End() - start)
+	e.obs.Emit(obs.Event{Kind: obs.KindRead, T: start, Dur: span.End() - start,
+		Dev: -1, LBA: lba, N: nChunks})
 	return span.End(), nil
 }
 
@@ -66,6 +71,7 @@ func (e *EPLog) readLBA(span *device.Span, lba int64, out []byte) error {
 // degradedRead reconstructs the latest version of an LBA whose device has
 // failed.
 func (e *EPLog) degradedRead(span *device.Span, lba int64, out []byte) error {
+	e.mDegradedReads.Inc()
 	if prot := e.latestProt[lba]; prot != committed {
 		ls, ok := e.logStripes[prot]
 		if !ok {

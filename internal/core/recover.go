@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/obs"
 )
 
 // Rebuild reconstructs every chunk of a failed main-array SSD onto a
@@ -25,6 +26,7 @@ func (e *EPLog) Rebuild(devIdx int, replacement device.Dev) error {
 	if err != nil {
 		return err
 	}
+	var written int64
 
 	// Committed data and parity per stripe.
 	for s := int64(0); s < e.geo.Stripes; s++ {
@@ -60,6 +62,7 @@ func (e *EPLog) Rebuild(devIdx int, replacement device.Dev) error {
 			if err := replacement.WriteChunk(loc.Chunk, data[dataSlot]); err != nil {
 				return err
 			}
+			written++
 		}
 		if paritySlot >= 0 {
 			shards := make([][]byte, k+m)
@@ -75,6 +78,7 @@ func (e *EPLog) Rebuild(devIdx int, replacement device.Dev) error {
 			if err := replacement.WriteChunk(home, parity[paritySlot]); err != nil {
 				return err
 			}
+			written++
 		}
 	}
 
@@ -91,10 +95,12 @@ func (e *EPLog) Rebuild(devIdx int, replacement device.Dev) error {
 			if err := replacement.WriteChunk(mb.loc.Chunk, shard); err != nil {
 				return err
 			}
+			written++
 		}
 	}
 
 	e.devs[devIdx] = replacement
+	e.obs.Emit(obs.Event{Kind: obs.KindRebuild, Dur: span.End(), Dev: devIdx, N: written})
 	return nil
 }
 
@@ -112,5 +118,7 @@ func (e *EPLog) RecoverLogDevice(dim int, replacement device.Dev) error {
 		return err
 	}
 	e.logDevs[dim] = replacement
+	// Aux=1 distinguishes log-device recovery from main-array rebuilds.
+	e.obs.Emit(obs.Event{Kind: obs.KindRebuild, Dev: dim, Aux: 1})
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/obs"
 	"github.com/eplog/eplog/internal/store"
 )
 
@@ -62,6 +63,9 @@ func (e *EPLog) WriteChunks(start float64, lba int64, data []byte) (float64, err
 			}
 		}
 	}
+	e.vnow = max(e.vnow, span.End())
+	e.mWriteLat.Observe(span.End() - start)
+	e.obs.Emit(obs.Event{Kind: obs.KindWrite, T: start, Dur: span.End() - start, Dev: -1, LBA: lba, N: nChunks})
 	return span.End(), nil
 }
 
@@ -116,6 +120,8 @@ func (e *EPLog) directStripeWrite(span *device.Span, stripe int64, seg []pending
 	e.virgin[stripe] = false
 	e.metaDirty[stripe] = struct{}{}
 	e.stats.FullStripeWrites++
+	e.obs.Emit(obs.Event{Kind: obs.KindFullStripe, T: span.Start(), Dev: -1,
+		LBA: e.geo.LBA(stripe, 0), N: int64(k), Aux: int64(m)})
 	return nil
 }
 
@@ -138,6 +144,8 @@ func (e *EPLog) bufferNewWrite(span *device.Span, stripe int64, seg []pendingChu
 			break
 		}
 		evicted := e.stripeBuf.take(oldest)
+		e.obs.Emit(obs.Event{Kind: obs.KindBufferEvict, T: span.Start(), Dev: -1,
+			LBA: e.geo.LBA(oldest, 0), N: int64(len(evicted))})
 		if err := e.updatePath(span, evicted); err != nil {
 			return err
 		}
@@ -286,6 +294,8 @@ func (e *EPLog) flushGroup(span *device.Span, group []pendingChunk) error {
 	e.logStripes[ls.id] = ls
 	e.stats.LogStripes++
 	e.stats.LogStripeMembers += int64(len(ls.members))
+	e.obs.Emit(obs.Event{Kind: obs.KindLogAppend, T: span.Start(), Dev: -1,
+		LBA: ls.logPos, N: int64(kPrime), Aux: int64(m)})
 
 	// Bookkeeping: new latest versions, dirty stripes.
 	for _, mb := range ls.members {

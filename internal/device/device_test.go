@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"testing"
 	"testing/quick"
+
+	"github.com/eplog/eplog/internal/obs"
 )
 
 func TestMemReadWriteRoundTrip(t *testing.T) {
@@ -184,6 +186,70 @@ func TestCounting(t *testing.T) {
 	c.Reset()
 	if c.WriteOps() != 0 || c.ReadBytes() != 0 || c.TrimOps() != 0 {
 		t.Error("Reset did not clear counters")
+	}
+}
+
+func TestTraced(t *testing.T) {
+	sink := obs.NewSink(16)
+	d := NewTraced(WithLatency(NewMem(8, 16), 0.25, 1.0), "t0", sink)
+	if d.Name() != "t0" {
+		t.Fatalf("Name = %q, want t0", d.Name())
+	}
+	if d.Chunks() != 8 || d.ChunkSize() != 16 {
+		t.Fatal("geometry not forwarded")
+	}
+	p := make([]byte, 16)
+	for i := 0; i < 3; i++ {
+		if err := d.WriteChunk(int64(i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.ReadChunk(0, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WriteChunkAt(100, 4, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadChunkAt(200, 4, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Trim(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Failed operations are not counted.
+	if err := d.WriteChunk(100, p); err == nil {
+		t.Fatal("out-of-range write succeeded")
+	}
+	snap := sink.Snapshot()
+	for name, want := range map[string]int64{
+		"dev.t0.write_ops":   4,
+		"dev.t0.read_ops":    2,
+		"dev.t0.trim_ops":    1,
+		"dev.t0.write_bytes": 64,
+		"dev.t0.read_bytes":  32,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	// Only the timed operations observe latencies, and the latency device
+	// makes them the known service times.
+	wl := snap.Histograms["dev.t0.write_latency"]
+	rl := snap.Histograms["dev.t0.read_latency"]
+	if wl.Count != 1 || rl.Count != 1 {
+		t.Fatalf("latency counts = %d write, %d read; want 1 and 1", wl.Count, rl.Count)
+	}
+	if wl.Sum != 1.0 || rl.Sum != 0.25 {
+		t.Errorf("latency sums = %g write, %g read; want 1 and 0.25", wl.Sum, rl.Sum)
+	}
+	// A nil sink yields a functional pass-through wrapper.
+	n := NewTraced(NewMem(2, 8), "x", nil)
+	q := make([]byte, 8)
+	if err := n.WriteChunk(0, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ReadChunk(0, q); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,106 @@
+package device
+
+import "github.com/eplog/eplog/internal/obs"
+
+// Traced wraps a Dev and records per-device operation counters and
+// virtual-time latency histograms into an observability sink, under
+// "dev.<name>.*" metric names. It complements Counting: Counting holds
+// private counters an experiment reads back directly, while Traced feeds
+// the shared metrics registry that snapshots and exporters consume.
+//
+// Timed operations (the *At variants) observe end-start service latencies;
+// untimed operations only count, since a latency-free device completes
+// instantaneously in virtual time.
+type Traced struct {
+	inner Dev
+	name  string
+
+	readOps    *obs.Counter
+	writeOps   *obs.Counter
+	trimOps    *obs.Counter
+	readBytes  *obs.Counter
+	writeBytes *obs.Counter
+	readLat    *obs.Histogram
+	writeLat   *obs.Histogram
+}
+
+var _ Dev = (*Traced)(nil)
+
+// NewTraced wraps inner, registering its metrics under dev.<name> in the
+// sink. A nil sink yields a pass-through wrapper with no-op metrics.
+func NewTraced(inner Dev, name string, sink *obs.Sink) *Traced {
+	prefix := "dev." + name + "."
+	return &Traced{
+		inner:      inner,
+		name:       name,
+		readOps:    sink.Counter(prefix + "read_ops"),
+		writeOps:   sink.Counter(prefix + "write_ops"),
+		trimOps:    sink.Counter(prefix + "trim_ops"),
+		readBytes:  sink.Counter(prefix + "read_bytes"),
+		writeBytes: sink.Counter(prefix + "write_bytes"),
+		readLat:    sink.Histogram(prefix + "read_latency"),
+		writeLat:   sink.Histogram(prefix + "write_latency"),
+	}
+}
+
+// Name returns the metric name component the wrapper registered under.
+func (t *Traced) Name() string { return t.name }
+
+// ReadChunk implements Dev.
+func (t *Traced) ReadChunk(idx int64, p []byte) error {
+	if err := t.inner.ReadChunk(idx, p); err != nil {
+		return err
+	}
+	t.readOps.Inc()
+	t.readBytes.Add(int64(len(p)))
+	return nil
+}
+
+// WriteChunk implements Dev.
+func (t *Traced) WriteChunk(idx int64, p []byte) error {
+	if err := t.inner.WriteChunk(idx, p); err != nil {
+		return err
+	}
+	t.writeOps.Inc()
+	t.writeBytes.Add(int64(len(p)))
+	return nil
+}
+
+// ReadChunkAt implements Dev.
+func (t *Traced) ReadChunkAt(start float64, idx int64, p []byte) (float64, error) {
+	end, err := t.inner.ReadChunkAt(start, idx, p)
+	if err != nil {
+		return end, err
+	}
+	t.readOps.Inc()
+	t.readBytes.Add(int64(len(p)))
+	t.readLat.Observe(end - start)
+	return end, nil
+}
+
+// WriteChunkAt implements Dev.
+func (t *Traced) WriteChunkAt(start float64, idx int64, p []byte) (float64, error) {
+	end, err := t.inner.WriteChunkAt(start, idx, p)
+	if err != nil {
+		return end, err
+	}
+	t.writeOps.Inc()
+	t.writeBytes.Add(int64(len(p)))
+	t.writeLat.Observe(end - start)
+	return end, nil
+}
+
+// Trim implements Dev.
+func (t *Traced) Trim(idx, n int64) error {
+	if err := t.inner.Trim(idx, n); err != nil {
+		return err
+	}
+	t.trimOps.Inc()
+	return nil
+}
+
+// Chunks implements Dev.
+func (t *Traced) Chunks() int64 { return t.inner.Chunks() }
+
+// ChunkSize implements Dev.
+func (t *Traced) ChunkSize() int { return t.inner.ChunkSize() }

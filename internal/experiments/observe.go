@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/eplog/eplog/internal/obs"
+	"github.com/eplog/eplog/internal/trace"
+)
+
+// ObservedResult bundles an instrumented EPLog replay: the usual
+// measurements plus the metrics snapshot, the full trace, and the
+// trace-versus-counter parity reconciliation.
+type ObservedResult struct {
+	Result *RunResult
+	// Snapshot is the metrics registry after the run: per-device
+	// op/byte/latency histograms, core write/read/commit-phase latencies,
+	// and SSD GC counters.
+	Snapshot obs.Snapshot
+	// Events is the complete event trace in chronological order.
+	Events []obs.Event
+	// Dropped counts events that fell out of the ring; the sizing
+	// heuristic makes this zero in practice, and the reconciliation below
+	// is only exact when it is.
+	Dropped uint64
+	// ParityFromTrace is SumParityEvents(Events); with no drops it equals
+	// Result.EPLogStats.ParityWriteChunks.
+	ParityFromTrace int64
+}
+
+// Observability replays the FIN trace on EPLog over the FTL and HDD
+// simulators with full instrumentation: a periodic commit policy
+// exercises the commit-phase histograms, and the trace ring is sized to
+// retain the entire run so parity-commit events reconcile against the
+// engine counters.
+func Observability(scale int64) (*ObservedResult, error) {
+	tr, err := loadTrace("FIN", scale)
+	if err != nil {
+		return nil, err
+	}
+	cfg := RunConfig{
+		Setting:     DefaultSetting(),
+		Scheme:      EPLog,
+		Trace:       tr,
+		UseSSDSim:   true,
+		Timing:      true,
+		CommitEvery: 2000,
+		CommitAtEnd: true,
+	}
+	cfg.Obs = obs.NewSink(ringSize(cfg))
+	res, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	events := cfg.Obs.Events()
+	return &ObservedResult{
+		Result:          res,
+		Snapshot:        cfg.Obs.Snapshot(),
+		Events:          events,
+		Dropped:         cfg.Obs.Dropped(),
+		ParityFromTrace: SumParityEvents(events),
+	}, nil
+}
+
+// ringSize estimates a trace-ring capacity that retains every event a run
+// can emit: two events per precondition stripe (the write and its
+// full-stripe event), several per replayed chunk write (write, log
+// append, commit share, GC runs), plus slack for commits, checkpoints,
+// and evictions.
+func ringSize(cfg RunConfig) int {
+	stripes, _, _ := geometry(cfg)
+	var chunkWrites int64
+	for _, r := range cfg.Trace.Requests {
+		if r.Op != trace.OpWrite {
+			continue
+		}
+		_, n := trace.ChunkSpan(r.Offset, r.Size, ChunkSize)
+		chunkWrites += n
+	}
+	return int(2*stripes + 6*chunkWrites + 1<<15)
+}
+
+// FormatObservability renders the observed run's headline numbers.
+func FormatObservability(o *ObservedResult) string {
+	s := &o.Snapshot
+	out := "Observability: instrumented EPLog replay, FIN, (6+2)-RAID-6\n"
+	w := s.Histograms["core.write_latency"]
+	c := s.Histograms["core.commit_latency"]
+	out += fmt.Sprintf("write latency  p50 %.3gms p95 %.3gms p99 %.3gms (n=%d)\n",
+		w.P50*1e3, w.P95*1e3, w.P99*1e3, w.Count)
+	out += fmt.Sprintf("commit latency p50 %.3gms p95 %.3gms p99 %.3gms (n=%d)\n",
+		c.P50*1e3, c.P95*1e3, c.P99*1e3, c.Count)
+	var gcRuns, pagesMoved int64
+	for name, v := range s.Counters {
+		switch {
+		case strings.HasPrefix(name, "ssd.") && strings.HasSuffix(name, ".gc_runs"):
+			gcRuns += v
+		case strings.HasPrefix(name, "ssd.") && strings.HasSuffix(name, ".pages_moved"):
+			pagesMoved += v
+		}
+	}
+	out += fmt.Sprintf("SSD GC: %d runs, %d pages moved\n", gcRuns, pagesMoved)
+	out += fmt.Sprintf("trace: %d events retained, %d dropped\n", len(o.Events), o.Dropped)
+	out += fmt.Sprintf("parity reconciliation: trace accounts for %d chunks, counters say %d\n",
+		o.ParityFromTrace, o.Result.EPLogStats.ParityWriteChunks)
+	return out
+}

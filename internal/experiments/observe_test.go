@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/eplog/eplog/internal/obs"
+)
+
+// TestObservabilityReconciles asserts the layer's accounting invariant:
+// with a trace ring sized to retain the whole run, the parity chunks the
+// trace accounts for (parity-commit N plus full-stripe Aux) equal the
+// engine's ParityWriteChunks counter exactly.
+func TestObservabilityReconciles(t *testing.T) {
+	o, err := Observability(testScale * 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Dropped != 0 {
+		t.Fatalf("trace ring dropped %d events; ringSize under-provisioned", o.Dropped)
+	}
+	if o.ParityFromTrace == 0 {
+		t.Fatal("trace accounts for zero parity chunks")
+	}
+	if got, want := o.ParityFromTrace, o.Result.EPLogStats.ParityWriteChunks; got != want {
+		t.Fatalf("parity chunks from trace = %d, engine counter = %d", got, want)
+	}
+	if got := SumParityEvents(o.Events); got != o.ParityFromTrace {
+		t.Fatalf("SumParityEvents = %d, ObservedResult.ParityFromTrace = %d", got, o.ParityFromTrace)
+	}
+
+	// The run must have exercised the headline metrics.
+	for _, name := range []string{"core.write_latency", "core.commit_latency", "core.commit_flush_latency"} {
+		if o.Snapshot.Histograms[name].Count == 0 {
+			t.Errorf("histogram %s recorded nothing", name)
+		}
+	}
+	if _, ok := o.Snapshot.Counters["ssd.0.gc_runs"]; !ok {
+		t.Error("SSD GC counters not registered")
+	}
+	var commits int
+	for _, ev := range o.Events {
+		if ev.Kind == obs.KindCommit {
+			commits++
+		}
+	}
+	if commits == 0 {
+		t.Error("trace holds no parity-commit events")
+	}
+
+	out := FormatObservability(o)
+	for _, want := range []string{"write latency", "commit latency", "parity reconciliation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatObservability output missing %q", want)
+		}
+	}
+}

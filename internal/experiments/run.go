@@ -8,10 +8,12 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"github.com/eplog/eplog/internal/core"
 	"github.com/eplog/eplog/internal/device"
 	"github.com/eplog/eplog/internal/hdd"
+	"github.com/eplog/eplog/internal/obs"
 	"github.com/eplog/eplog/internal/paritylog"
 	"github.com/eplog/eplog/internal/raid"
 	"github.com/eplog/eplog/internal/ssd"
@@ -104,6 +106,14 @@ type RunConfig struct {
 	// scheme's read path) instead of skipping them; they count toward
 	// the request total, as in the paper's KIOPS definition.
 	IncludeReads bool
+
+	// Obs attaches an observability sink: devices are wrapped with
+	// per-device metrics, the SSD/HDD simulators emit their own events,
+	// and EPLog runs record write/read/commit latencies and trace events.
+	// The sink's ring must be sized for the whole run (preconditioning
+	// included) if the trace is to reconcile against the counters. Nil
+	// disables observability.
+	Obs *obs.Sink
 }
 
 // RunResult aggregates the measurements of one replay (post-precondition
@@ -135,6 +145,13 @@ type RunResult struct {
 	Elapsed float64
 	// KIOPS is Requests/Elapsed/1000 (timing runs).
 	KIOPS float64
+	// EPLogStats is the engine's full counter set (EPLog runs only). It
+	// covers the whole array lifetime including preconditioning, matching
+	// the trace events' coverage.
+	EPLogStats core.Stats
+	// Metrics is a snapshot of the observability registry taken after the
+	// replay (runs with Obs set only).
+	Metrics *obs.Snapshot
 }
 
 // arrayBundle holds the built scheme plus its measurement hooks.
@@ -225,6 +242,7 @@ func build(cfg RunConfig) (*arrayBundle, int64, error) {
 			if err != nil {
 				return nil, 0, err
 			}
+			d.SetObserver(cfg.Obs, i)
 			inner = d
 		} else {
 			inner = device.NewMem(logChunks, ChunkSize)
@@ -232,6 +250,20 @@ func build(cfg RunConfig) (*arrayBundle, int64, error) {
 		c := device.NewCounting(inner)
 		b.logCnt = append(b.logCnt, c)
 		logs[i] = c
+	}
+
+	// Observability: the simulators emit their own events, and every
+	// device gets per-device op/byte/latency metrics.
+	if cfg.Obs != nil {
+		for i, d := range b.ssds {
+			d.SetObserver(cfg.Obs, i)
+		}
+		for i := range mains {
+			mains[i] = device.NewTraced(mains[i], "main"+strconv.Itoa(i), cfg.Obs)
+		}
+		for i := range logs {
+			logs[i] = device.NewTraced(logs[i], "log"+strconv.Itoa(i), cfg.Obs)
+		}
 	}
 
 	switch cfg.Scheme {
@@ -256,6 +288,7 @@ func build(cfg RunConfig) (*arrayBundle, int64, error) {
 			CommitEvery:        cfg.CommitEvery,
 			TrimOnCommit:       cfg.TrimOnCommit,
 			CommitGuardChunks:  commitGuard,
+			Obs:                cfg.Obs,
 		})
 		if err != nil {
 			return nil, 0, err
@@ -435,7 +468,33 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		res.KIOPS = float64(res.Requests) / res.Elapsed / 1000
 	}
 	b.collect(res)
+	if b.eplog != nil {
+		res.EPLogStats = b.eplog.Stats()
+	}
+	if cfg.Obs != nil {
+		snap := cfg.Obs.Snapshot()
+		res.Metrics = &snap
+	}
 	return res, nil
+}
+
+// SumParityEvents totals the parity chunks accounted for by a trace: N of
+// every parity-commit event (the chunks folded by that commit) plus Aux of
+// every full-stripe event (its m parity chunks). Over a ring large enough
+// to retain the whole run — preconditioning included — the total equals
+// the engine's Stats.ParityWriteChunks counter, which is how the trace is
+// validated against the metrics.
+func SumParityEvents(events []obs.Event) int64 {
+	var total int64
+	for _, ev := range events {
+		switch ev.Kind {
+		case obs.KindCommit:
+			total += ev.N
+		case obs.KindFullStripe:
+			total += ev.Aux
+		}
+	}
+	return total
 }
 
 // precondition fills the whole logical space with sequential full-stripe

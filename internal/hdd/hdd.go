@@ -12,8 +12,10 @@ package hdd
 
 import (
 	"fmt"
+	"strconv"
 
 	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/obs"
 )
 
 // Params configures the simulated disk.
@@ -77,6 +79,10 @@ type Device struct {
 	hasPrior bool
 
 	stats Stats
+
+	mStreamed   *obs.Counter // nil-safe unless SetObserver was called
+	mPositioned *obs.Counter
+	mOpLat      *obs.Histogram
 }
 
 var _ device.Dev = (*Device)(nil)
@@ -98,6 +104,16 @@ func New(params Params) (*Device, error) {
 
 // Params returns the device configuration.
 func (d *Device) Params() Params { return d.params }
+
+// SetObserver attaches an observability sink to the device as log device
+// dev, maintaining the hdd.<dev>.* streamed/positioned counters and the
+// per-operation service-time histogram. A nil sink detaches.
+func (d *Device) SetObserver(sink *obs.Sink, dev int) {
+	prefix := "hdd." + strconv.Itoa(dev) + "."
+	d.mStreamed = sink.Counter(prefix + "streamed_ops")
+	d.mPositioned = sink.Counter(prefix + "positioned_ops")
+	d.mOpLat = sink.Histogram(prefix + "op_latency")
+}
 
 // Stats returns a snapshot of the counters.
 func (d *Device) Stats() Stats { return d.stats }
@@ -201,17 +217,21 @@ func (d *Device) advanceMechanics(start float64, idx int64, isWrite bool) float6
 	switch {
 	case streaming:
 		d.stats.StreamedOps++
+		d.mStreamed.Inc()
 	case isWrite:
 		cost += d.params.CachedWriteTime
 		d.stats.PositionedOps++
 		d.stats.PositioningTime += d.params.CachedWriteTime
+		d.mPositioned.Inc()
 	default:
 		cost += d.params.PositionTime
 		d.stats.PositionedOps++
 		d.stats.PositioningTime += d.params.PositionTime
+		d.mPositioned.Inc()
 	}
 	d.stats.TransferringTime += transfer
 	d.stats.BusyTime += cost
+	d.mOpLat.Observe(cost)
 
 	end := begin + cost
 	d.free = end

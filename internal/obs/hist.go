@@ -1,0 +1,174 @@
+package obs
+
+import "sync"
+
+// DefBuckets are the default histogram bounds: a base-4 exponential ladder
+// from 1µs to ~268s of virtual time, wide enough to span a flash page
+// program (~180µs), an HDD positioning delay (~8ms), and a multi-second
+// parity commit in one histogram.
+var DefBuckets = defBuckets()
+
+func defBuckets() []float64 {
+	bounds := make([]float64, 0, 15)
+	for b := 1e-6; b < 300; b *= 4 {
+		bounds = append(bounds, b)
+	}
+	return bounds
+}
+
+// Histogram is a fixed-bucket distribution of non-negative observations.
+// An observation larger than the last bound lands in an implicit overflow
+// bucket that only the count, sum, and max describe.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds
+	counts []int64   // one per bound
+	over   int64     // observations beyond the last bound
+	count  int64
+	sum    float64
+	max    float64
+}
+
+// NewHistogram returns a histogram with the given ascending upper bounds;
+// nil selects DefBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)),
+	}
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(h.bounds) {
+		h.over++
+		return
+	}
+	h.counts[lo]++
+}
+
+// Count returns the number of observations; zero on a nil receiver.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Bucket is one histogram bucket: the count of observations at or below
+// UpperBound and above the previous bound.
+type Bucket struct {
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// HistogramSnapshot is a value copy of a histogram, with the headline
+// quantiles precomputed. Buckets with zero observations are omitted.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Max     float64  `json:"max"`
+	P50     float64  `json:"p50"`
+	P95     float64  `json:"p95"`
+	P99     float64  `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the mean observation, or zero for an empty snapshot.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Snapshot captures the histogram state as a value copy.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Max: h.max}
+	for i, c := range h.counts {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, Bucket{UpperBound: h.bounds[i], Count: c})
+		}
+	}
+	s.P50 = h.quantileLocked(0.50)
+	s.P95 = h.quantileLocked(0.95)
+	s.P99 = h.quantileLocked(0.99)
+	return s
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear interpolation
+// within the containing bucket; observations beyond the last bound resolve
+// to the maximum seen. Zero on an empty or nil histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	cum := int64(0)
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		upper := h.bounds[i]
+		// Interpolate between the bucket's bounds by the rank's position
+		// within the bucket's own observations.
+		frac := (rank - float64(cum-c)) / float64(c)
+		v := lower + frac*(upper-lower)
+		if v > h.max {
+			v = h.max
+		}
+		return v
+	}
+	// The rank lives in the overflow bucket.
+	return h.max
+}

@@ -1,0 +1,77 @@
+package obs
+
+// Sink bundles a metrics registry with an event-trace ring: the single
+// handle instrumented components take. A nil *Sink disables observability
+// at zero cost — every method is nil-safe and the metric handles it hands
+// out are themselves nil-safe no-ops.
+type Sink struct {
+	reg  *Registry
+	ring *Ring
+}
+
+// NewSink returns a sink with a fresh registry and a ring holding up to
+// traceCap events (<= 0 selects DefaultRingEvents).
+func NewSink(traceCap int) *Sink {
+	return &Sink{reg: NewRegistry(), ring: NewRing(traceCap)}
+}
+
+// Counter returns the named counter handle; nil (a no-op handle) on a nil
+// sink.
+func (s *Sink) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Counter(name)
+}
+
+// Gauge returns the named gauge handle.
+func (s *Sink) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Gauge(name)
+}
+
+// Histogram returns the named histogram handle with DefBuckets bounds.
+func (s *Sink) Histogram(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Histogram(name, nil)
+}
+
+// Emit appends a trace event. No-op on a nil sink.
+func (s *Sink) Emit(ev Event) {
+	if s == nil {
+		return
+	}
+	s.ring.Append(ev)
+}
+
+// Snapshot returns a value copy of the metrics registry.
+func (s *Sink) Snapshot() Snapshot {
+	if s == nil {
+		return Snapshot{
+			Counters:   map[string]int64{},
+			Gauges:     map[string]float64{},
+			Histograms: map[string]HistogramSnapshot{},
+		}
+	}
+	return s.reg.Snapshot()
+}
+
+// Events returns the retained trace events in emission order.
+func (s *Sink) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	return s.ring.Events()
+}
+
+// Dropped returns how many trace events were evicted by ring wraparound.
+func (s *Sink) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.ring.Dropped()
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind identifies the type of a trace event.
+type Kind uint8
+
+// Event kinds, covering the stack's interesting transitions.
+const (
+	// KindWrite is one user write request (LBA = first logical chunk,
+	// N = chunk count, Dur = request latency).
+	KindWrite Kind = iota + 1
+	// KindRead is one user read request (fields as KindWrite).
+	KindRead
+	// KindFullStripe is a direct full-stripe write (LBA = first chunk of
+	// the stripe, N = data chunks, Aux = parity chunks written).
+	KindFullStripe
+	// KindLogAppend is one elastic log stripe (LBA = log-device position,
+	// N = member width k', Aux = log chunks appended).
+	KindLogAppend
+	// KindCommit is one parity commit (N = parity chunks written,
+	// Aux = data stripes folded, Dur = commit latency).
+	KindCommit
+	// KindCheckpoint is a metadata checkpoint (N = stripe records
+	// captured, Aux = 1 for full, 0 for incremental).
+	KindCheckpoint
+	// KindRebuild is a device recovery (Dev = device index, N = chunks
+	// reconstructed, Aux = 1 for a log device, 0 for a main-array SSD).
+	KindRebuild
+	// KindGCRun is one SSD garbage-collection victim cleaning (Dev = SSD
+	// index, N = valid pages relocated, Dur = virtual GC cost). GC events
+	// follow the host write that triggered them in sequence order, which
+	// is how GC amplification is attributed to host traffic.
+	KindGCRun
+	// KindWearLevel is one static wear-leveling migration (fields as
+	// KindGCRun).
+	KindWearLevel
+	// KindBufferEvict is a stripe-buffer eviction to the update path
+	// (LBA = first chunk of the evicted stripe, N = chunks evicted).
+	KindBufferEvict
+)
+
+var kindNames = map[Kind]string{
+	KindWrite:       "write",
+	KindRead:        "read",
+	KindFullStripe:  "full-stripe",
+	KindLogAppend:   "log-append",
+	KindCommit:      "parity-commit",
+	KindCheckpoint:  "checkpoint",
+	KindRebuild:     "rebuild",
+	KindGCRun:       "gc-run",
+	KindWearLevel:   "wear-level",
+	KindBufferEvict: "buffer-evict",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalJSON encodes the kind as its string name.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// Event is one structured trace record. Field semantics are per-kind (see
+// the Kind constants); unused numeric fields are zero and Dev is -1 when no
+// single device is involved.
+type Event struct {
+	// Seq is the global emission order, assigned by the ring.
+	Seq uint64 `json:"seq"`
+	// Kind is the event type.
+	Kind Kind `json:"kind"`
+	// T is the virtual start time of the operation, in seconds.
+	T float64 `json:"t"`
+	// Dur is the operation's virtual duration, when known.
+	Dur float64 `json:"dur,omitempty"`
+	// Dev is the device index, -1 if not applicable.
+	Dev int `json:"dev"`
+	// LBA is the logical (or log-device) address involved.
+	LBA int64 `json:"lba"`
+	// N is the kind-specific primary count.
+	N int64 `json:"n"`
+	// Aux is the kind-specific secondary count.
+	Aux int64 `json:"aux,omitempty"`
+}
+
+// Ring is a fixed-capacity event buffer: when full, the oldest events are
+// dropped. It is safe for concurrent use.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	cap   int
+	total uint64 // events ever appended
+}
+
+// DefaultRingEvents is the default trace capacity.
+const DefaultRingEvents = 4096
+
+// NewRing returns a ring holding up to capacity events (<= 0 selects
+// DefaultRingEvents).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingEvents
+	}
+	return &Ring{buf: make([]Event, 0, capacity), cap: capacity}
+}
+
+// Append records an event, assigning its sequence number. No-op on a nil
+// receiver.
+func (r *Ring) Append(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ev.Seq = r.total
+	r.total++
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[int(ev.Seq)%r.cap] = ev
+}
+
+// Events returns the retained events in emission order, as a copy.
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.buf))
+	if len(r.buf) < r.cap || r.total == uint64(r.cap) {
+		copy(out, r.buf)
+		return out
+	}
+	// The ring has wrapped: the oldest retained event sits at total % cap.
+	head := int(r.total) % r.cap
+	n := copy(out, r.buf[head:])
+	copy(out[n:], r.buf[:head])
+	return out
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Total returns the number of events ever appended.
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped returns how many events were evicted by wraparound.
+func (r *Ring) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - uint64(len(r.buf))
+}
+
+// WriteJSONL writes events one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -15,8 +15,10 @@ package ssd
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/obs"
 )
 
 // Params configures the simulated SSD.
@@ -130,6 +132,13 @@ type Device struct {
 
 	chanFree []float64 // per-channel next-idle virtual times
 	stats    Stats
+
+	obsSink *obs.Sink // nil unless SetObserver was called
+	obsDev  int
+	mGCRuns *obs.Counter
+	mMoved  *obs.Counter
+	mErases *obs.Counter
+	mWear   *obs.Counter
 }
 
 var _ device.Dev = (*Device)(nil)
@@ -183,6 +192,21 @@ func New(params Params) (*Device, error) {
 
 // Params returns the device configuration.
 func (d *Device) Params() Params { return d.params }
+
+// SetObserver attaches an observability sink to the device as array member
+// dev. Garbage-collection and wear-leveling runs then emit trace events
+// (Dev identifies the SSD; GC runs triggered by a host write appear in the
+// trace immediately before that write's event) and maintain the
+// ssd.<dev>.* counters. A nil sink detaches.
+func (d *Device) SetObserver(sink *obs.Sink, dev int) {
+	d.obsSink = sink
+	d.obsDev = dev
+	prefix := "ssd." + strconv.Itoa(dev) + "."
+	d.mGCRuns = sink.Counter(prefix + "gc_runs")
+	d.mMoved = sink.Counter(prefix + "pages_moved")
+	d.mErases = sink.Counter(prefix + "erases")
+	d.mWear = sink.Counter(prefix + "wear_level_moves")
+}
 
 // Stats returns a snapshot of the device counters.
 func (d *Device) Stats() Stats { return d.stats }
@@ -432,6 +456,7 @@ func (d *Device) collectOne() (float64, error) {
 	if victim < 0 {
 		return 0, ErrNoSpace
 	}
+	movedBefore := d.stats.PagesMoved
 	// The relocations must fit in the GC block plus at most one clean
 	// block; erasing the victim afterwards returns a block, so the pool
 	// never shrinks below where it started.
@@ -481,6 +506,13 @@ func (d *Device) collectOne() (float64, error) {
 	d.stats.Erases++
 	d.stats.GCInvocations++
 	cost += d.params.BlockEraseTime
+
+	moved := d.stats.PagesMoved - movedBefore
+	d.mGCRuns.Inc()
+	d.mMoved.Add(moved)
+	d.mErases.Inc()
+	d.obsSink.Emit(obs.Event{Kind: obs.KindGCRun, Dur: cost, Dev: d.obsDev,
+		LBA: int64(victim), N: moved, Aux: 1})
 	return cost, nil
 }
 
@@ -516,6 +548,7 @@ func (d *Device) wearLevel() (float64, error) {
 	if d.blockLive[minB] > gcSpace && len(d.freeBlocks) == 0 {
 		return 0, nil // no room to migrate right now
 	}
+	movedBefore := d.stats.PagesMoved
 	var cost float64
 	for s := int32(0); s < d.blockWPtr[minB]; s++ {
 		phys := minB*ppb + s
@@ -552,6 +585,11 @@ func (d *Device) wearLevel() (float64, error) {
 	d.stats.Erases++
 	d.stats.WearLevelMoves++
 	cost += d.params.BlockEraseTime
+
+	d.mWear.Inc()
+	d.mErases.Inc()
+	d.obsSink.Emit(obs.Event{Kind: obs.KindWearLevel, Dur: cost, Dev: d.obsDev,
+		LBA: int64(minB), N: d.stats.PagesMoved - movedBefore, Aux: 1})
 	return cost, nil
 }
 

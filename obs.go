@@ -1,0 +1,69 @@
+package eplog
+
+import (
+	"io"
+	"strconv"
+
+	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/obs"
+)
+
+// MetricsSnapshot is a point-in-time value copy of an array's metrics:
+// counters, gauges, and latency histograms with precomputed p50/p95/p99.
+// Snapshots are safe to retain; later array activity does not alter them.
+// WriteJSON and WritePrometheus serialize a snapshot.
+type MetricsSnapshot = obs.Snapshot
+
+// TraceEvent is one structured event from the array's trace ring: writes,
+// reads, log appends, parity commits, checkpoints, rebuilds, SSD GC runs,
+// and buffer evictions, each stamped with virtual time and duration.
+type TraceEvent = obs.Event
+
+// DefaultTraceEvents is the default trace ring capacity.
+const DefaultTraceEvents = obs.DefaultRingEvents
+
+// WriteTrace writes events as JSON Lines, one event per line.
+func WriteTrace(w io.Writer, events []TraceEvent) error {
+	return obs.WriteJSONL(w, events)
+}
+
+// Metrics returns a snapshot of the array's metrics registry. It is empty
+// unless Config.TraceEvents enabled observability.
+func (a *Array) Metrics() MetricsSnapshot { return a.sink.Snapshot() }
+
+// Trace returns the retained trace events in chronological order. When
+// more than Config.TraceEvents events were emitted, the oldest were
+// dropped; TraceDropped reports how many.
+func (a *Array) Trace() []TraceEvent { return a.sink.Events() }
+
+// TraceDropped reports how many events fell out of the trace ring.
+func (a *Array) TraceDropped() uint64 { return a.sink.Dropped() }
+
+// observer is implemented by the simulated devices (SSD, HDD) that can
+// push their internal activity — GC runs, wear leveling, seek/stream
+// classification — into a sink.
+type observer interface {
+	SetObserver(sink *obs.Sink, dev int)
+}
+
+// instrument converts a public device slice for the internal packages,
+// wrapping each device with per-device op/byte/latency metrics and
+// attaching simulator observers. With a nil sink it degrades to a plain
+// conversion.
+func instrument(sink *obs.Sink, role string, devs []BlockDevice) []device.Dev {
+	if sink == nil {
+		return toInternal(devs)
+	}
+	out := make([]device.Dev, len(devs))
+	for i, d := range devs {
+		out[i] = instrumentOne(sink, role, i, d)
+	}
+	return out
+}
+
+func instrumentOne(sink *obs.Sink, role string, idx int, d BlockDevice) device.Dev {
+	if o, ok := d.(observer); ok {
+		o.SetObserver(sink, idx)
+	}
+	return device.NewTraced(d, role+strconv.Itoa(idx), sink)
+}
