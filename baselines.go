@@ -7,6 +7,8 @@ import (
 
 // Store is the interface shared by EPLog and the two baseline schemes the
 // paper evaluates against, so applications and benchmarks can swap them.
+// All three implementations are safe for concurrent use: each serializes
+// requests on an internal mutex, keeping comparisons apples-to-apples.
 type Store interface {
 	Write(lba int64, p []byte) error
 	Read(lba int64, p []byte) error

@@ -14,8 +14,9 @@ import (
 // (a read-modify-write at the adapter level, invisible to the store's
 // parity machinery).
 //
-// IO serializes access with an internal mutex, making it safe for
-// concurrent use even though the underlying stores are not.
+// IO serializes access with an internal mutex. The stores are themselves
+// safe for concurrent use; IO's mutex additionally makes each read-modify-
+// write of an unaligned edge atomic with respect to other IO calls.
 type IO struct {
 	mu sync.Mutex
 	st Store

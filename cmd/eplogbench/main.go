@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	eplogbench [-exp all|1|2|3|4|5|6|fig6|table1|recovery|obs] [-scale N]
+//	eplogbench [-exp all|1|2|3|4|5|6|fig6|table1|recovery|obs|conc] [-scale N] [-workers N]
 //
 // Scale divides the paper's request counts and working sets; -scale 1 is
 // paper scale (hours of runtime and tens of GB of RAM), the default keeps
 // the full suite to minutes on a laptop.
+//
+// Workers sizes the engine's worker pool and, in the conc experiment, the
+// number of concurrent writer goroutines. The conc experiment runs the
+// same update workload single-worker and at -workers and reports both; the
+// byte-count metrics must be identical (concurrency changes wall-clock
+// time, never traffic).
 //
 // The obs experiment runs a fully instrumented EPLog replay; -metrics-out,
 // -trace-out and -prom-out dump its metrics snapshot (JSON), event trace
@@ -41,9 +47,10 @@ type outputs struct {
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run: all, table1, 1, 2, 3, 4, 5, 6, fig6, recovery, ablations, obs")
-		scale = flag.Int64("scale", experiments.DefaultScale, "scale divisor versus the paper (1 = paper scale)")
-		out   outputs
+		exp     = flag.String("exp", "all", "experiment to run: all, table1, 1, 2, 3, 4, 5, 6, fig6, recovery, ablations, obs, conc")
+		scale   = flag.Int64("scale", experiments.DefaultScale, "scale divisor versus the paper (1 = paper scale)")
+		workers = flag.Int("workers", 1, "worker-pool size and concurrent writers for the conc experiment")
+		out     outputs
 	)
 	flag.StringVar(&out.csvPath, "csv", "", "also append machine-readable rows to this CSV file")
 	flag.StringVar(&out.jsonPath, "json", "", "also append machine-readable records to this JSON Lines file")
@@ -51,7 +58,7 @@ func main() {
 	flag.StringVar(&out.tracePath, "trace-out", "", "write the obs experiment's event trace to this JSON Lines file")
 	flag.StringVar(&out.promPath, "prom-out", "", "write the obs experiment's metrics in Prometheus text format to this file")
 	flag.Parse()
-	if err := run(*exp, *scale, out); err != nil {
+	if err := run(*exp, *scale, *workers, out); err != nil {
 		fmt.Fprintln(os.Stderr, "eplogbench:", err)
 		os.Exit(1)
 	}
@@ -148,7 +155,7 @@ func (s *recorder) addRows(exp string, rows []experiments.SchemeRow) {
 	}
 }
 
-func run(exp string, scale int64, out outputs) error {
+func run(exp string, scale int64, workers int, out outputs) error {
 	if scale < 1 {
 		return fmt.Errorf("scale must be >= 1, got %d", scale)
 	}
@@ -376,8 +383,46 @@ func run(exp string, scale int64, out outputs) error {
 		return err
 	}
 
+	if err := step("conc", func() error {
+		sweep := []int{1}
+		if workers > 1 {
+			sweep = append(sweep, workers)
+		}
+		var results []*experiments.ConcurrencyResult
+		for _, w := range sweep {
+			r, err := experiments.Concurrency(scale, w)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+			label := fmt.Sprintf("workers=%d", w)
+			sink.add("conc", label, "EPLog", "workers", float64(r.Workers))
+			sink.add("conc", label, "EPLog", "writers", float64(r.Writers))
+			sink.add("conc", label, "EPLog", "requests", float64(r.Requests))
+			sink.add("conc", label, "EPLog", "ssd_write_bytes", float64(r.SSDWriteBytes))
+			sink.add("conc", label, "EPLog", "log_write_bytes", float64(r.LogWriteBytes))
+			sink.add("conc", label, "EPLog", "commits", float64(r.EPLogStats.Commits))
+			sink.add("conc", label, "EPLog", "elapsed_seconds", r.Elapsed.Seconds())
+		}
+		fmt.Print(experiments.FormatConcurrency(results))
+		base := results[0]
+		for _, r := range results[1:] {
+			if r.SSDWriteBytes != base.SSDWriteBytes || r.LogWriteBytes != base.LogWriteBytes ||
+				r.EPLogStats != base.EPLogStats {
+				return fmt.Errorf("byte counts diverged between workers=%d and workers=%d", base.Workers, r.Workers)
+			}
+		}
+		if len(results) > 1 {
+			fmt.Println("byte counts identical across worker counts ✓")
+		}
+		fmt.Println()
+		return nil
+	}); err != nil {
+		return err
+	}
+
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want all, table1, 1-6, fig6, recovery, ablations, obs)", exp)
+		return fmt.Errorf("unknown experiment %q (want all, table1, 1-6, fig6, recovery, ablations, obs, conc)", exp)
 	}
 	return nil
 }

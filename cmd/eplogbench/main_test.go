@@ -8,10 +8,10 @@ import (
 )
 
 func TestUnknownExperiment(t *testing.T) {
-	if err := run("nope", 64, outputs{}); err == nil {
+	if err := run("nope", 64, 1, outputs{}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run("all", 0, outputs{}); err == nil {
+	if err := run("all", 0, 1, outputs{}); err == nil {
 		t.Error("zero scale accepted")
 	}
 }
@@ -19,10 +19,10 @@ func TestUnknownExperiment(t *testing.T) {
 func TestFastExperiments(t *testing.T) {
 	// fig6 and table1 are cheap enough for a unit test; the trace-driven
 	// experiments are covered by internal/experiments tests.
-	if err := run("fig6", 512, outputs{}); err != nil {
+	if err := run("fig6", 512, 1, outputs{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("table1", 512, outputs{}); err != nil {
+	if err := run("table1", 512, 1, outputs{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -31,14 +31,14 @@ func TestOneTraceExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trace-driven experiment")
 	}
-	if err := run("6", 512, outputs{}); err != nil {
+	if err := run("6", 512, 1, outputs{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCSVExport(t *testing.T) {
 	path := t.TempDir() + "/out.csv"
-	if err := run("fig6", 512, outputs{csvPath: path}); err != nil {
+	if err := run("fig6", 512, 1, outputs{csvPath: path}); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(path)
@@ -55,7 +55,7 @@ func TestCSVExport(t *testing.T) {
 
 func TestJSONExport(t *testing.T) {
 	path := t.TempDir() + "/out.jsonl"
-	if err := run("fig6", 512, outputs{jsonPath: path}); err != nil {
+	if err := run("fig6", 512, 1, outputs{jsonPath: path}); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(path)
@@ -85,7 +85,7 @@ func TestObsOutputs(t *testing.T) {
 		tracePath:   dir + "/trace.jsonl",
 		promPath:    dir + "/metrics.prom",
 	}
-	if err := run("obs", 512, out); err != nil {
+	if err := run("obs", 512, 1, out); err != nil {
 		t.Fatal(err)
 	}
 

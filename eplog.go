@@ -3,6 +3,7 @@ package eplog
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/eplog/eplog/internal/core"
 	"github.com/eplog/eplog/internal/metadata"
@@ -44,6 +45,12 @@ type Config struct {
 	// retaining the most recent TraceEvents structured events. Read them
 	// with Metrics and Trace. Zero disables observability at no cost.
 	TraceEvents int
+	// Workers bounds the worker pool that parallelizes an operation's
+	// expensive phases (Reed-Solomon coding and per-device I/O fan-out).
+	// Values <= 1 select the serial mode, whose virtual-time accounting
+	// is bit-for-bit that of the single-threaded engine; the array is
+	// safe for concurrent use either way.
+	Workers int
 }
 
 // Stats mirrors the array's activity counters; see the field names for
@@ -52,15 +59,20 @@ type Stats = core.Stats
 
 // Array is an EPLog array: the public handle over the elastic parity
 // logging engine, with optional persistent metadata checkpointing. An
-// Array is not safe for concurrent use; wrap it in NewIO (which serializes
-// and adds byte addressing) or provide your own locking.
+// Array is safe for concurrent use: the engine serializes requests on an
+// internal mutex (running each request's expensive phases on a worker
+// pool sized by Config.Workers), and the checkpoint bookkeeping below is
+// guarded by chkptMu. Lock order is chkptMu before the engine mutex;
+// nothing ever takes them in the opposite order.
 type Array struct {
-	e          *core.EPLog
+	e     *core.EPLog
+	cfg   Config
+	csize int
+	sink  *obs.Sink // nil unless cfg.TraceEvents > 0
+
+	chkptMu    sync.Mutex
 	vol        *metadata.Volume
-	cfg        Config
-	csize      int
 	sinceChkpt int
-	sink       *obs.Sink // nil unless cfg.TraceEvents > 0
 }
 
 // New creates a fresh EPLog array over the main-array devices and one log
@@ -92,6 +104,7 @@ func coreConfig(cfg Config, sink *obs.Sink) core.Config {
 		CommitEvery:         cfg.CommitEvery,
 		TrimOnCommit:        cfg.TrimOnCommit,
 		CommitGuardChunks:   cfg.CommitGuardChunks,
+		Workers:             cfg.Workers,
 	}
 }
 
@@ -118,11 +131,16 @@ func (a *Array) WriteAt(start float64, lba int64, p []byte) (float64, error) {
 	if err != nil {
 		return end, err
 	}
-	if a.cfg.CheckpointEvery > 0 && a.vol != nil {
+	if a.cfg.CheckpointEvery > 0 {
+		a.chkptMu.Lock()
+		defer a.chkptMu.Unlock()
+		if a.vol == nil {
+			return end, nil
+		}
 		a.sinceChkpt++
 		if a.sinceChkpt >= a.cfg.CheckpointEvery {
 			a.sinceChkpt = 0
-			if err := a.Checkpoint(false); err != nil {
+			if err := a.checkpoint(false); err != nil {
 				return end, fmt.Errorf("eplog: auto checkpoint: %w", err)
 			}
 		}
@@ -194,6 +212,8 @@ func (a *Array) FormatMetadataVolume(dev BlockDevice, fullAreaChunks int64) erro
 	if err != nil {
 		return err
 	}
+	a.chkptMu.Lock()
+	defer a.chkptMu.Unlock()
 	a.vol = vol
 	return nil
 }
@@ -203,6 +223,13 @@ func (a *Array) FormatMetadataVolume(dev BlockDevice, fullAreaChunks int64) erro
 // an incremental checkpoint holding only the metadata dirtied since the
 // previous checkpoint.
 func (a *Array) Checkpoint(full bool) error {
+	a.chkptMu.Lock()
+	defer a.chkptMu.Unlock()
+	return a.checkpoint(full)
+}
+
+// checkpoint implements Checkpoint with chkptMu held.
+func (a *Array) checkpoint(full bool) error {
 	if a.vol == nil {
 		return ErrNoMetadataVolume
 	}

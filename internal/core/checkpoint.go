@@ -12,6 +12,8 @@ import (
 // Snapshot captures the complete metadata state as a full-checkpoint
 // payload and clears the dirty-metadata tracking.
 func (e *EPLog) Snapshot() *metadata.Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	s := &metadata.Snapshot{
 		K:         int32(e.geo.K),
 		N:         int32(e.geo.N),
@@ -35,6 +37,8 @@ func (e *EPLog) Snapshot() *metadata.Snapshot {
 // DirtyDelta call as an incremental-checkpoint payload, then clears the
 // tracking.
 func (e *EPLog) DirtyDelta() *metadata.Delta {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	d := &metadata.Delta{NextLogID: e.nextLogID, LogCursor: e.logCursor}
 	stripes := make([]int64, 0, len(e.metaDirty))
 	for s := range e.metaDirty {

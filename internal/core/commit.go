@@ -1,10 +1,10 @@
 package core
 
 import (
-	"errors"
 	"sort"
 
 	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/erasure"
 	"github.com/eplog/eplog/internal/obs"
 )
 
@@ -19,22 +19,44 @@ func (e *EPLog) Commit() error {
 }
 
 // CommitAt is Commit with virtual-time accounting; it returns the
-// completion time of the commit's device work.
+// completion time of the commit's device work. On error it returns the
+// span's progress (not start), so replaying callers do not double-count
+// device work already issued.
 func (e *EPLog) CommitAt(start float64) (float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.commitAt(start)
+}
+
+// commit is the untimed commit used inside the engine, where e.mu is
+// already held.
+func (e *EPLog) commit() error {
+	_, err := e.commitAt(0)
+	return err
+}
+
+// commitAt implements CommitAt with e.mu held.
+func (e *EPLog) commitAt(start float64) (float64, error) {
 	if e.inCommit {
 		return start, nil
 	}
+	// The reentrancy guard must be raised before the flush phase: the
+	// flush's drainRound → flushGroup → allocOn chain would otherwise
+	// observe !inCommit and start a nested commit, clearing dirty and
+	// logStripes and resetting the log cursor out from under this one.
+	// With the guard up, a flush that exhausts the SSDs or log devices
+	// fails with an error instead of recursing.
+	e.inCommit = true
+	defer func() { e.inCommit = false }()
 	// Drain RAM buffers first so the committed parity covers everything
 	// acknowledged so far; the fold phase below depends on the flushed
 	// data, so its span starts when the flush completes.
 	flushSpan := device.NewSpan(start)
 	if err := e.flush(flushSpan); err != nil {
-		return start, err
+		return flushSpan.End(), err
 	}
 	span := flushSpan.Next()
 	parityBefore := e.stats.ParityWriteChunks
-	e.inCommit = true
-	defer func() { e.inCommit = false }()
 
 	// Deterministic stripe order keeps runs reproducible.
 	stripes := make([]int64, 0, len(e.dirty))
@@ -43,38 +65,16 @@ func (e *EPLog) CommitAt(start float64) (float64, error) {
 	}
 	sort.Slice(stripes, func(i, j int) bool { return stripes[i] < stripes[j] })
 
-	k, m := e.geo.K, e.geo.M()
+	k := e.geo.K
 	code, err := e.code(k)
 	if err != nil {
-		return start, err
+		return span.End(), err
 	}
-	for _, s := range stripes {
-		home := e.geo.HomeChunk(s)
-		shards := make([][]byte, k+m)
-		for j := 0; j < k; j++ {
-			data, err := e.readLatest(span, e.geo.LBA(s, j))
-			if err != nil {
-				return start, err
-			}
-			shards[j] = data
-			e.stats.CommitReadChunks++
-		}
-		for i := 0; i < m; i++ {
-			shards[k+i] = make([]byte, e.csize)
-		}
-		if err := code.Encode(shards); err != nil {
-			return start, err
-		}
-		for i := 0; i < m; i++ {
-			if err := span.Write(e.devs[e.geo.ParityDev(s, i)], home, shards[k+i]); err != nil {
-				if !errors.Is(err, device.ErrFailed) {
-					return start, err
-				}
-				span.ClearErr() // restored later by Rebuild
-			}
-			e.stats.ParityWriteChunks++
-			e.stats.CommitWriteChunks++
-		}
+	if err := e.foldStripes(span, code, stripes); err != nil {
+		// Partial-failure contract: the span's progress (not start) comes
+		// back with the error, so replaying callers do not double-count
+		// the device work already issued.
+		return span.End(), err
 	}
 
 	// Release superseded versions: every log-stripe member that is no
@@ -122,6 +122,53 @@ func (e *EPLog) CommitAt(start float64) (float64, error) {
 	e.obs.Emit(obs.Event{Kind: obs.KindCommit, T: obsStart, Dur: max(end-obsStart, 0), Dev: -1,
 		N: parityDelta, Aux: int64(len(stripes))})
 	return end, nil
+}
+
+// foldStripes is the commit's fold phase: for every dirty stripe it reads
+// the k latest data chunks, re-encodes the parity, and writes it to the
+// stripe's home locations. Stripes are independent (distinct reads and
+// parity homes), so each is one worker-pool task; per-task I/O counts are
+// accumulated in slots and folded into the stats after the join, keeping
+// the totals identical to the serial engine.
+func (e *EPLog) foldStripes(span *device.Span, code *erasure.Code, stripes []int64) error {
+	k, m := e.geo.K, e.geo.M()
+	type foldCount struct{ reads, parity int64 }
+	counts := make([]foldCount, len(stripes))
+	tasks := make([]func(*device.Span) error, len(stripes))
+	for i, s := range stripes {
+		tasks[i] = func(sp *device.Span) error {
+			home := e.geo.HomeChunk(s)
+			shards := make([][]byte, k+m)
+			for j := 0; j < k; j++ {
+				data, err := e.readLatest(sp, e.geo.LBA(s, j))
+				if err != nil {
+					return err
+				}
+				shards[j] = data
+				counts[i].reads++
+			}
+			for p := 0; p < m; p++ {
+				shards[k+p] = make([]byte, e.csize)
+			}
+			if err := code.Encode(shards); err != nil {
+				return err
+			}
+			for p := 0; p < m; p++ {
+				if err := tolerantWrite(sp, e.devs[e.geo.ParityDev(s, p)], home, shards[k+p]); err != nil {
+					return err // a failed parity device is restored later by Rebuild
+				}
+				counts[i].parity++
+			}
+			return nil
+		}
+	}
+	err := e.fanOut(span, tasks)
+	for _, c := range counts {
+		e.stats.CommitReadChunks += c.reads
+		e.stats.ParityWriteChunks += c.parity
+		e.stats.CommitWriteChunks += c.parity
+	}
+	return err
 }
 
 // releaseLoc returns a superseded chunk to its device's free pool,

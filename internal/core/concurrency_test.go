@@ -1,0 +1,270 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/store"
+)
+
+// TestCommitReentrancyGuard is the regression test for the commit
+// reentrancy bug: commitAt used to raise the inCommit guard only after the
+// flush phase, so a flush that drained device buffers could reach allocOn
+// with the guard down and start a nested commit — clearing dirty and
+// logStripes and resetting the log cursor out from under the outer commit.
+// The setup forces the window open: the guard band covers the whole device,
+// so every allocation outside a commit wants to commit first, and the
+// device buffers hold pending chunks that the commit's own flush must
+// allocate space for. Pre-fix this produced several nested commits; the fix
+// makes it exactly one.
+func TestCommitReentrancyGuard(t *testing.T) {
+	ta := newTestArray(t, 6, 4, Config{
+		DeviceBufferChunks: 4,
+		// Every device always has <= testDevChunks free chunks, so any
+		// allocOn outside a commit would trigger one.
+		CommitGuardChunks: testDevChunks,
+	})
+	data := chunkData(1, int(ta.e.Chunks()))
+	ta.mustWrite(t, 0, data) // full-stripe fills: no allocations, no commits
+	if got := ta.e.Stats().Commits; got != 0 {
+		t.Fatalf("commits after fill = %d, want 0", got)
+	}
+
+	// Buffer a few updates without filling any device buffer, so they are
+	// still pending when Commit's flush phase drains them.
+	for lba := int64(0); lba < 3; lba++ {
+		upd := chunkData(50+int(lba), 1)
+		ta.mustWrite(t, lba, upd)
+		copy(data[lba*testChunk:], upd)
+	}
+	if err := ta.e.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if got := ta.e.Stats().Commits; got != 1 {
+		t.Fatalf("commits = %d, want exactly 1 (reentrant commit during flush)", got)
+	}
+	ta.verify(t, data, "after commit")
+	rep, err := ta.e.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("scrub after commit: %+v", rep)
+	}
+}
+
+// sameDevLBA returns an LBA != base whose latest version lives on the same
+// main-array device as base's.
+func sameDevLBA(t *testing.T, e *EPLog, base int64) int64 {
+	t.Helper()
+	dev := e.latest[base].Dev
+	for lba := int64(0); lba < e.Chunks(); lba++ {
+		if lba != base && e.latest[lba].Dev == dev {
+			return lba
+		}
+	}
+	t.Fatalf("no second LBA on device %d", dev)
+	return -1
+}
+
+// TestFlushGroupRejectsDuplicateDevice checks the one-chunk-per-device
+// invariant directly: a log-stripe group carrying two chunks destined to
+// the same SSD must be rejected, not silently written. Stale grouping (the
+// routing bug fixed in updatePath) would have produced exactly such a
+// group.
+func TestFlushGroupRejectsDuplicateDevice(t *testing.T) {
+	ta := newTestArray(t, 6, 4, Config{})
+	data := chunkData(1, int(ta.e.Chunks()))
+	ta.mustWrite(t, 0, data)
+
+	e := ta.e
+	b := sameDevLBA(t, e, 0)
+	group := []pendingChunk{
+		{lba: 0, data: chunkData(90, 1)},
+		{lba: b, data: chunkData(91, 1)},
+	}
+	e.mu.Lock()
+	err := e.flushGroup(device.NewSpan(0), group)
+	e.mu.Unlock()
+	if err == nil {
+		t.Fatal("flushGroup accepted two chunks on one device")
+	}
+	if !strings.Contains(err.Error(), "one-chunk-per-device") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestUpdatePathSameDeviceRounds is the stale-routing regression: a request
+// updating two LBAs that live on the same SSD must be split into two
+// grouping rounds (two log stripes), with the destination devices re-keyed
+// from the latest-location map at the start of every round. Each resulting
+// log stripe must satisfy the one-chunk-per-device invariant.
+func TestUpdatePathSameDeviceRounds(t *testing.T) {
+	ta := newTestArray(t, 6, 4, Config{})
+	data := chunkData(1, int(ta.e.Chunks()))
+	ta.mustWrite(t, 0, data)
+
+	e := ta.e
+	b := sameDevLBA(t, e, 0)
+	d0, d1 := chunkData(70, 1), chunkData(71, 1)
+	chunks := []pendingChunk{{lba: 0, data: d0}, {lba: b, data: d1}}
+	before := e.Stats().LogStripes
+
+	e.mu.Lock()
+	err := e.updatePath(device.NewSpan(0), chunks)
+	e.mu.Unlock()
+	if err != nil {
+		t.Fatalf("updatePath: %v", err)
+	}
+	if got := e.Stats().LogStripes - before; got != 2 {
+		t.Fatalf("same-device pair formed %d log stripes, want 2 rounds", got)
+	}
+	copy(data[0:], d0)
+	copy(data[b*testChunk:], d1)
+	ta.verify(t, data, "after same-device rounds")
+
+	// Invariant sweep over all pending log stripes.
+	e.mu.Lock()
+	for id, ls := range e.logStripes {
+		seen := make(map[int]bool)
+		for _, mb := range ls.members {
+			if seen[mb.loc.Dev] {
+				t.Errorf("log stripe %d has two members on device %d", id, mb.loc.Dev)
+			}
+			seen[mb.loc.Dev] = true
+		}
+	}
+	e.mu.Unlock()
+
+	// Control: two LBAs on distinct devices still group elastically into
+	// one k'=2 log stripe.
+	before = e.Stats().LogStripes
+	d2, d3 := chunkData(72, 1), chunkData(73, 1)
+	e.mu.Lock()
+	err = e.updatePath(device.NewSpan(0), []pendingChunk{{lba: 0, data: d2}, {lba: 1, data: d3}})
+	e.mu.Unlock()
+	if err != nil {
+		t.Fatalf("updatePath distinct devices: %v", err)
+	}
+	if got := e.Stats().LogStripes - before; got != 1 {
+		t.Fatalf("distinct-device pair formed %d log stripes, want 1", got)
+	}
+	copy(data[0:], d2)
+	copy(data[testChunk:], d3)
+	ta.verify(t, data, "after elastic group")
+}
+
+// brokenDev fails operations with an error that is NOT device.ErrFailed,
+// modeling a transport/controller fault rather than a dead device: the
+// engine must propagate it instead of tolerating it.
+type brokenDev struct {
+	device.Dev
+	writeBroken bool
+	readBroken  bool
+}
+
+var errBroken = errors.New("broken controller")
+
+func (b *brokenDev) WriteChunkAt(start float64, idx int64, p []byte) (float64, error) {
+	if b.writeBroken {
+		return start, errBroken
+	}
+	return b.Dev.WriteChunkAt(start, idx, p)
+}
+
+func (b *brokenDev) ReadChunkAt(start float64, idx int64, p []byte) (float64, error) {
+	if b.readBroken {
+		return start, errBroken
+	}
+	return b.Dev.ReadChunkAt(start, idx, p)
+}
+
+// newBrokenArray builds a (4+1) array of unit-latency devices where the
+// device holding stripe 0's second data slot can be broken on demand, and
+// fills stripe 0.
+func newBrokenArray(t *testing.T) (*EPLog, *brokenDev, []byte) {
+	t.Helper()
+	const n, k = 5, 4
+	geo, err := store.NewGeometry(n, k, testStripes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brokenIdx := geo.DataDev(0, 1)
+	var broken *brokenDev
+	devs := make([]device.Dev, n)
+	for i := range devs {
+		d := device.WithLatency(device.NewMem(testDevChunks, testChunk), 1.0, 1.0)
+		if i == brokenIdx {
+			broken = &brokenDev{Dev: d}
+			devs[i] = broken
+		} else {
+			devs[i] = d
+		}
+	}
+	logs := []device.Dev{device.WithLatency(device.NewMem(testLogChunks, testChunk), 1.0, 1.0)}
+	e, err := New(devs, logs, Config{K: k, Stripes: testStripes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := chunkData(1, k)
+	if _, err := e.WriteChunks(0, 0, fill); err != nil {
+		t.Fatal(err)
+	}
+	return e, broken, fill
+}
+
+// TestWriteChunksPartialFailureProgress checks the partial-failure
+// contract: when a write fails midway, WriteChunks returns the span's
+// virtual-time progress — covering the device work already issued — not
+// the request's start time, so a replaying caller does not double-count
+// that work.
+func TestWriteChunksPartialFailureProgress(t *testing.T) {
+	e, broken, _ := newBrokenArray(t)
+	broken.writeBroken = true
+
+	// Two-chunk update: the first chunk's out-of-place write (unit
+	// latency) succeeds and advances the span before the second chunk's
+	// device fails with a non-tolerated error.
+	upd := chunkData(30, 2)
+	end, err := e.WriteChunks(0, 0, upd)
+	if !errors.Is(err, errBroken) {
+		t.Fatalf("err = %v, want errBroken", err)
+	}
+	if end <= 0 {
+		t.Fatalf("failed write returned time %v, want span progress > 0", end)
+	}
+}
+
+// TestReadChunksPartialFailureProgress is the read-side counterpart: a
+// non-tolerated device error must come back with the reads' progress, not
+// the start time.
+func TestReadChunksPartialFailureProgress(t *testing.T) {
+	e, broken, _ := newBrokenArray(t)
+	broken.readBroken = true
+
+	buf := make([]byte, 2*testChunk)
+	end, err := e.ReadChunks(0, 0, buf)
+	if !errors.Is(err, errBroken) {
+		t.Fatalf("err = %v, want errBroken", err)
+	}
+	if end <= 0 {
+		t.Fatalf("failed read returned time %v, want span progress > 0", end)
+	}
+}
+
+// TestBrokenArrayBaseline makes sure the broken-device fixture actually
+// works when healthy, so the failure tests above fail for the right
+// reason.
+func TestBrokenArrayBaseline(t *testing.T) {
+	e, _, fill := newBrokenArray(t)
+	got := make([]byte, len(fill))
+	if _, err := e.ReadChunks(0, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fill) {
+		t.Fatal("fixture round trip mismatch")
+	}
+}

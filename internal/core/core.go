@@ -13,6 +13,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/eplog/eplog/internal/device"
 	"github.com/eplog/eplog/internal/erasure"
@@ -72,6 +73,12 @@ type Config struct {
 	// and structured trace events from the write, read, commit, checkpoint
 	// and recovery paths. Nil disables observability at no cost.
 	Obs *obs.Sink
+	// Workers bounds the worker pool that runs an operation's expensive
+	// phases (erasure coding and per-device I/O fan-out). Values <= 1
+	// select the serial mode, which reproduces the single-threaded
+	// engine's virtual-time accounting exactly; higher values trade that
+	// determinism for wall-clock parallelism. See fanOut for the model.
+	Workers int
 }
 
 // Stats counts EPLog activity.
@@ -119,7 +126,19 @@ type member struct {
 }
 
 // EPLog is an elastic-parity-logging array. It implements store.Store.
+// All exported methods are safe for concurrent use: they serialize on the
+// engine mutex, and an operation's expensive phases run on the worker
+// pool (see the concurrency model in concurrency.go).
 type EPLog struct {
+	// mu is the engine mutex. Every exported method that touches mutable
+	// state holds it end to end; unexported methods assume it is held.
+	// It is the outermost lock — per-device Locked mutexes and the
+	// erasure-cache mutex are only ever taken while (or after) holding
+	// it, never the other way around, so the lock order is acyclic.
+	mu sync.Mutex
+	// workers is max(1, cfg.Workers); pool tasks never take mu.
+	workers int
+
 	geo     store.Geometry
 	codes   *erasure.Cache
 	devs    []device.Dev // main array (SSDs)
@@ -193,7 +212,17 @@ func New(devs, logDevs []device.Dev, cfg Config) (*EPLog, error) {
 		}
 	}
 
+	workers := max(1, cfg.Workers)
+	if workers > 1 {
+		// Pool tasks fan I/O out across goroutines, but the Dev contract
+		// lets implementations assume serialized access — so every device
+		// gets a per-device mutex as its outermost wrapper. The input
+		// slices are not mutated.
+		devs = lockDevs(devs)
+		logDevs = lockDevs(logDevs)
+	}
 	e := &EPLog{
+		workers:    workers,
 		geo:        geo,
 		codes:      erasure.NewCache(erasure.Cauchy),
 		devs:       devs,
@@ -253,17 +282,29 @@ func (e *EPLog) Chunks() int64 { return e.geo.Chunks() }
 func (e *EPLog) ChunkSize() int { return e.csize }
 
 // Stats returns a snapshot of the counters.
-func (e *EPLog) Stats() Stats { return e.stats }
+func (e *EPLog) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
 
 // Geometry exposes the array layout.
 func (e *EPLog) Geometry() store.Geometry { return e.geo }
 
 // PendingLogChunks returns the occupied log-device chunks across all log
 // devices.
-func (e *EPLog) PendingLogChunks() int64 { return e.logCursor * int64(e.geo.M()) }
+func (e *EPLog) PendingLogChunks() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.logCursor * int64(e.geo.M())
+}
 
 // PendingLogStripes returns the number of un-committed log stripes.
-func (e *EPLog) PendingLogStripes() int { return len(e.logStripes) }
+func (e *EPLog) PendingLogStripes() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.logStripes)
+}
 
 // code returns the memoized k'-of-(k'+m) code.
 func (e *EPLog) code(kPrime int) (*erasure.Code, error) {

@@ -21,15 +21,27 @@ func (e *EPLog) ReadChunks(start float64, lba int64, p []byte) (float64, error) 
 	if lba < 0 || lba+nChunks > e.geo.Chunks() {
 		return start, fmt.Errorf("%w: [%d,%d) of %d", store.ErrWriteTooLarge, lba, lba+nChunks, e.geo.Chunks())
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	span := device.NewSpan(start)
+	// One pool task per chunk. The tasks only read metadata (the engine
+	// lock is held, so nothing mutates it) and their output buffers are
+	// disjoint sub-slices of p.
+	tasks := make([]func(*device.Span) error, nChunks)
 	for off := int64(0); off < nChunks; off++ {
 		buf := p[off*int64(e.csize) : (off+1)*int64(e.csize)]
-		if err := e.readLBA(span, lba+off, buf); err != nil {
-			return start, err
+		cur := lba + off
+		tasks[off] = func(sp *device.Span) error {
+			return e.readLBA(sp, cur, buf)
 		}
 	}
+	if err := e.fanOut(span, tasks); err != nil {
+		// Partial-failure contract: the span's progress (not start) comes
+		// back with the error, covering the reads already issued.
+		return span.End(), err
+	}
 	if span.Err() != nil {
-		return start, span.Err()
+		return span.End(), span.Err()
 	}
 	e.vnow = max(e.vnow, span.End())
 	e.mReadLat.Observe(span.End() - start)

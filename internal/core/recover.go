@@ -14,11 +14,18 @@ import (
 // metadata stays valid because the replacement inherits the device index
 // and chunk numbering.
 func (e *EPLog) Rebuild(devIdx int, replacement device.Dev) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if devIdx < 0 || devIdx >= e.geo.N {
 		return fmt.Errorf("core: device index %d out of range", devIdx)
 	}
 	if replacement.ChunkSize() != e.csize || replacement.Chunks() < e.devs[devIdx].Chunks() {
 		return fmt.Errorf("core: replacement geometry mismatch")
+	}
+	if e.workers > 1 {
+		// The rebuild tasks below share the replacement across pool
+		// goroutines, and it stays in e.devs afterwards.
+		replacement = device.NewLocked(replacement)
 	}
 	span := device.NewSpan(0)
 	k, m := e.geo.K, e.geo.M()
@@ -26,78 +33,116 @@ func (e *EPLog) Rebuild(devIdx int, replacement device.Dev) error {
 	if err != nil {
 		return err
 	}
-	var written int64
 
-	// Committed data and parity per stripe.
+	// Committed data and parity, one pool task per affected stripe; each
+	// stripe decodes and writes independently. Per-task write counts are
+	// folded after the join.
+	var stripes []int64
 	for s := int64(0); s < e.geo.Stripes; s++ {
-		home := e.geo.HomeChunk(s)
-
-		// The one data slot of this stripe on devIdx, if any.
-		dataSlot := -1
-		for j := 0; j < k; j++ {
-			if e.commLoc[e.geo.LBA(s, j)].Dev == devIdx {
-				dataSlot = j
-				break
-			}
-		}
-		paritySlot := -1
-		for i := 0; i < m; i++ {
-			if e.geo.ParityDev(s, i) == devIdx {
-				paritySlot = i
-				break
-			}
-		}
-		if dataSlot < 0 && paritySlot < 0 {
-			continue
-		}
 		if e.virgin[s] {
 			continue // all zeroes; nothing to restore
 		}
-		data, err := e.decodeCommitted(span, s)
-		if err != nil {
-			return err
+		affected := false
+		for j := 0; j < k; j++ {
+			if e.commLoc[e.geo.LBA(s, j)].Dev == devIdx {
+				affected = true
+				break
+			}
 		}
-		if dataSlot >= 0 {
-			loc := e.commLoc[e.geo.LBA(s, dataSlot)]
-			if err := replacement.WriteChunk(loc.Chunk, data[dataSlot]); err != nil {
-				return err
-			}
-			written++
+		for i := 0; !affected && i < m; i++ {
+			affected = e.geo.ParityDev(s, i) == devIdx
 		}
-		if paritySlot >= 0 {
-			shards := make([][]byte, k+m)
-			copy(shards, data)
-			parity := make([][]byte, m)
-			for i := range parity {
-				parity[i] = make([]byte, e.csize)
-				shards[k+i] = parity[i]
-			}
-			if err := code.Encode(shards); err != nil {
-				return err
-			}
-			if err := replacement.WriteChunk(home, parity[paritySlot]); err != nil {
-				return err
-			}
-			written++
+		if affected {
+			stripes = append(stripes, s)
 		}
 	}
-
-	// Pending versions written since the last commit.
-	for _, ls := range e.logStripes {
-		for _, mb := range ls.members {
-			if mb.loc.Dev != devIdx {
-				continue
+	counts := make([]int64, len(stripes))
+	tasks := make([]func(*device.Span) error, len(stripes))
+	for i, s := range stripes {
+		tasks[i] = func(sp *device.Span) error {
+			home := e.geo.HomeChunk(s)
+			// The one data slot of this stripe on devIdx, if any.
+			dataSlot := -1
+			for j := 0; j < k; j++ {
+				if e.commLoc[e.geo.LBA(s, j)].Dev == devIdx {
+					dataSlot = j
+					break
+				}
 			}
-			shard, err := e.decodeLogStripe(span, ls, mb.lba)
+			paritySlot := -1
+			for p := 0; p < m; p++ {
+				if e.geo.ParityDev(s, p) == devIdx {
+					paritySlot = p
+					break
+				}
+			}
+			data, err := e.decodeCommitted(sp, s)
 			if err != nil {
 				return err
 			}
-			if err := replacement.WriteChunk(mb.loc.Chunk, shard); err != nil {
-				return err
+			if dataSlot >= 0 {
+				loc := e.commLoc[e.geo.LBA(s, dataSlot)]
+				if err := replacement.WriteChunk(loc.Chunk, data[dataSlot]); err != nil {
+					return err
+				}
+				counts[i]++
 			}
-			written++
+			if paritySlot >= 0 {
+				shards := make([][]byte, k+m)
+				copy(shards, data)
+				parity := make([][]byte, m)
+				for p := range parity {
+					parity[p] = make([]byte, e.csize)
+					shards[k+p] = parity[p]
+				}
+				if err := code.Encode(shards); err != nil {
+					return err
+				}
+				if err := replacement.WriteChunk(home, parity[paritySlot]); err != nil {
+					return err
+				}
+				counts[i]++
+			}
+			return nil
 		}
 	}
+	if err := e.fanOut(span, tasks); err != nil {
+		return err
+	}
+	var written int64
+	for _, c := range counts {
+		written += c
+	}
+
+	// Pending versions written since the last commit, one task per
+	// affected log-stripe member (members of one log stripe live on
+	// distinct devices, so at most one per stripe is on devIdx).
+	type pendingMember struct {
+		ls *logStripe
+		mb member
+	}
+	var pend []pendingMember
+	for _, ls := range e.logStripes {
+		for _, mb := range ls.members {
+			if mb.loc.Dev == devIdx {
+				pend = append(pend, pendingMember{ls: ls, mb: mb})
+			}
+		}
+	}
+	ptasks := make([]func(*device.Span) error, len(pend))
+	for i, pm := range pend {
+		ptasks[i] = func(sp *device.Span) error {
+			shard, err := e.decodeLogStripe(sp, pm.ls, pm.mb.lba)
+			if err != nil {
+				return err
+			}
+			return replacement.WriteChunk(pm.mb.loc.Chunk, shard)
+		}
+	}
+	if err := e.fanOut(span, ptasks); err != nil {
+		return err
+	}
+	written += int64(len(pend))
 
 	e.devs[devIdx] = replacement
 	e.obs.Emit(obs.Event{Kind: obs.KindRebuild, Dur: span.End(), Dev: devIdx, N: written})
@@ -108,14 +153,19 @@ func (e *EPLog) Rebuild(devIdx int, replacement device.Dev) error {
 // never reads the log devices, the recovery is simply a commit (making all
 // log chunks unnecessary) followed by the swap.
 func (e *EPLog) RecoverLogDevice(dim int, replacement device.Dev) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if dim < 0 || dim >= e.geo.M() {
 		return fmt.Errorf("core: log device index %d out of range", dim)
 	}
 	if replacement.ChunkSize() != e.csize {
 		return fmt.Errorf("core: replacement chunk size mismatch")
 	}
-	if err := e.Commit(); err != nil {
+	if err := e.commit(); err != nil {
 		return err
+	}
+	if e.workers > 1 {
+		replacement = device.NewLocked(replacement)
 	}
 	e.logDevs[dim] = replacement
 	// Aux=1 distinguishes log-device recovery from main-array rebuilds.

@@ -29,6 +29,8 @@ func (r *VerifyReport) OK() bool {
 // Verify reads log devices (for the log-chunk comparison) but modifies
 // nothing.
 func (e *EPLog) Verify() (*VerifyReport, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	report := &VerifyReport{}
 	span := device.NewSpan(0)
 	k, m := e.geo.K, e.geo.M()

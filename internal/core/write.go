@@ -23,6 +23,8 @@ func (e *EPLog) WriteChunks(start float64, lba int64, data []byte) (float64, err
 	if lba < 0 || lba+nChunks > e.geo.Chunks() {
 		return start, fmt.Errorf("%w: [%d,%d) of %d", store.ErrWriteTooLarge, lba, lba+nChunks, e.geo.Chunks())
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.stats.Requests++
 	span := device.NewSpan(start)
 
@@ -45,21 +47,25 @@ func (e *EPLog) WriteChunks(start float64, lba int64, data []byte) (float64, err
 		}
 		deferred, err := e.writeSegment(span, s, seg)
 		if err != nil {
-			return start, err
+			// Partial-failure contract: once device work has been issued,
+			// errors return the span's progress rather than start, so a
+			// caller replaying from the returned time does not double-
+			// count virtual time (or stats) for work already done.
+			return span.End(), err
 		}
 		updates = append(updates, deferred...)
 	}
 	if len(updates) > 0 {
 		if err := e.updatePath(span, updates); err != nil {
-			return start, err
+			return span.End(), err
 		}
 	}
 
 	if e.cfg.CommitEvery > 0 {
 		e.reqSinceCommit++
 		if e.reqSinceCommit >= e.cfg.CommitEvery {
-			if err := e.Commit(); err != nil {
-				return start, err
+			if err := e.commit(); err != nil {
+				return span.End(), err
 			}
 		}
 	}
@@ -103,20 +109,29 @@ func (e *EPLog) directStripeWrite(span *device.Span, stripe int64, seg []pending
 	if err != nil {
 		return err
 	}
-	if err := code.Encode(shards); err != nil {
+	if err := code.EncodeParallel(shards, e.workers); err != nil {
 		return err
 	}
+	// k+m writes to k+m distinct devices: one pool task each.
+	tasks := make([]func(*device.Span) error, 0, k+m)
 	for _, c := range seg {
 		_, slot := e.geo.Stripe(c.lba)
-		if err := e.writeData(span, e.geo.DataDev(stripe, slot), home, c.data); err != nil {
-			return err
-		}
+		dev, data := e.devs[e.geo.DataDev(stripe, slot)], c.data
+		tasks = append(tasks, func(sp *device.Span) error {
+			return tolerantWrite(sp, dev, home, data)
+		})
 	}
 	for i := range parity {
-		if err := e.writeParity(span, e.geo.ParityDev(stripe, i), home, parity[i]); err != nil {
-			return err
-		}
+		dev, data := e.devs[e.geo.ParityDev(stripe, i)], parity[i]
+		tasks = append(tasks, func(sp *device.Span) error {
+			return tolerantWrite(sp, dev, home, data)
+		})
 	}
+	if err := e.fanOut(span, tasks); err != nil {
+		return err
+	}
+	e.stats.DataWriteChunks += int64(k)
+	e.stats.ParityWriteChunks += int64(m)
 	e.virgin[stripe] = false
 	e.metaDirty[stripe] = struct{}{}
 	e.stats.FullStripeWrites++
@@ -173,31 +188,32 @@ func (e *EPLog) updatePath(span *device.Span, chunks []pendingChunk) error {
 		return nil
 	}
 
-	// Immediate grouping: rounds of at most one chunk per SSD.
-	byDev := make(map[int][]pendingChunk)
-	order := make([]int, 0, len(chunks))
-	for _, c := range chunks {
-		dev := e.latest[c.lba].Dev
-		if _, ok := byDev[dev]; !ok {
-			order = append(order, dev)
-		}
-		byDev[dev] = append(byDev[dev], c)
-	}
-	for {
-		var group []pendingChunk
-		for _, dev := range order {
-			if q := byDev[dev]; len(q) > 0 {
-				group = append(group, q[0])
-				byDev[dev] = q[1:]
+	// Immediate grouping: rounds of at most one chunk per SSD. The
+	// destination devices are re-keyed from e.latest at the start of
+	// every round: a flushGroup (or the parity commit it can trigger)
+	// may relocate an LBA, and grouping rounds by devices captured
+	// before the flush could emit a log stripe with two members on one
+	// SSD — breaking the one-chunk-per-device invariant that degraded
+	// reads and rebuild rely on.
+	pending := chunks
+	for len(pending) > 0 {
+		taken := make(map[int]bool, len(pending))
+		var group, rest []pendingChunk
+		for _, c := range pending {
+			dev := e.latest[c.lba].Dev
+			if taken[dev] {
+				rest = append(rest, c)
+				continue
 			}
-		}
-		if len(group) == 0 {
-			return nil
+			taken[dev] = true
+			group = append(group, c)
 		}
 		if err := e.flushGroup(span, group); err != nil {
 			return err
 		}
+		pending = rest
 	}
+	return nil
 }
 
 func (e *EPLog) anyBufferFull() bool {
@@ -226,7 +242,11 @@ func (e *EPLog) drainRound(span *device.Span) error {
 
 // flushGroup writes one elastic log stripe: the group's chunks go
 // out-of-place to their (distinct) SSDs while the k'-of-(k'+m) log chunks
-// are appended to the log devices, all within the same span.
+// are appended to the log devices, all within the same span. A group with
+// two members destined to the same SSD is rejected: one chunk per device
+// per log stripe is the invariant (DESIGN.md §5) that lets degraded reads
+// and rebuild survive a device failure, and it is what makes the data
+// fan-out below race-free.
 func (e *EPLog) flushGroup(span *device.Span, group []pendingChunk) error {
 	kPrime, m := len(group), e.geo.M()
 
@@ -235,8 +255,13 @@ func (e *EPLog) flushGroup(span *device.Span, group []pendingChunk) error {
 	// commit resets the log cursor — so the log position is claimed only
 	// after every operation that could commit has run.
 	ls := &logStripe{id: e.nextLogID, members: make([]member, 0, kPrime)}
+	seen := make(map[int]bool, kPrime)
 	for _, c := range group {
 		dev := e.latest[c.lba].Dev
+		if seen[dev] {
+			return fmt.Errorf("core: log stripe group has two chunks on device %d (one-chunk-per-device invariant)", dev)
+		}
+		seen[dev] = true
 		chunk, err := e.allocOn(dev)
 		if err != nil {
 			return err
@@ -249,7 +274,7 @@ func (e *EPLog) flushGroup(span *device.Span, group []pendingChunk) error {
 		if e.inCommit {
 			return fmt.Errorf("core: log devices full during commit")
 		}
-		if err := e.Commit(); err != nil {
+		if err := e.commit(); err != nil {
 			return err
 		}
 	}
@@ -269,26 +294,34 @@ func (e *EPLog) flushGroup(span *device.Span, group []pendingChunk) error {
 	if err != nil {
 		return err
 	}
-	if err := code.Encode(shards); err != nil {
+	if err := code.EncodeParallel(shards, e.workers); err != nil {
 		return err
 	}
 
 	// One phase: data to SSDs, log chunks to log devices, in parallel.
-	for i, c := range group {
-		if err := e.writeData(span, ls.members[i].loc.Dev, ls.members[i].loc.Chunk, c.data); err != nil {
-			return err
-		}
+	// Every task targets a distinct device (members by the invariant
+	// above, log devices by construction), so the fan-out is race-free.
+	tasks := make([]func(*device.Span) error, 0, kPrime+m)
+	for i := range group {
+		mb, data := ls.members[i], group[i].data
+		tasks = append(tasks, func(sp *device.Span) error {
+			return tolerantWrite(sp, e.devs[mb.loc.Dev], mb.loc.Chunk, data)
+		})
 	}
+	logPos := e.logCursor
 	for i := range logChunks {
-		if err := span.Write(e.logDevs[i], e.logCursor, logChunks[i]); err != nil {
-			if !errors.Is(err, device.ErrFailed) {
-				return err
-			}
-			span.ClearErr() // a failed log device costs one of m redundancy
-		}
-		e.stats.LogChunkWrites++
-		e.stats.LogBytes += int64(e.csize)
+		dev, data := e.logDevs[i], logChunks[i]
+		tasks = append(tasks, func(sp *device.Span) error {
+			// A failed log device costs one of m redundancy.
+			return tolerantWrite(sp, dev, logPos, data)
+		})
 	}
+	if err := e.fanOut(span, tasks); err != nil {
+		return err
+	}
+	e.stats.DataWriteChunks += int64(kPrime)
+	e.stats.LogChunkWrites += int64(m)
+	e.stats.LogBytes += int64(m) * int64(e.csize)
 	e.logCursor++
 	e.nextLogID++
 	e.logStripes[ls.id] = ls
@@ -314,7 +347,7 @@ func (e *EPLog) flushGroup(span *device.Span, group []pendingChunk) error {
 // commit scenario (ii)).
 func (e *EPLog) allocOn(dev int) (int64, error) {
 	if !e.inCommit && e.alloc[dev].freeCount() <= e.cfg.CommitGuardChunks {
-		if err := e.Commit(); err != nil {
+		if err := e.commit(); err != nil {
 			return 0, err
 		}
 	}
@@ -325,41 +358,17 @@ func (e *EPLog) allocOn(dev int) (int64, error) {
 	if !errors.Is(err, ErrNoSpace) || e.inCommit {
 		return 0, err
 	}
-	if cerr := e.Commit(); cerr != nil {
+	if cerr := e.commit(); cerr != nil {
 		return 0, cerr
 	}
 	return e.alloc[dev].alloc()
 }
 
-// writeData writes a data chunk to the main array, tolerating a failed
-// device (the chunk remains recoverable through its protecting stripe).
-func (e *EPLog) writeData(span *device.Span, dev int, chunk int64, data []byte) error {
-	if err := span.Write(e.devs[dev], chunk, data); err != nil {
-		if !errors.Is(err, device.ErrFailed) {
-			return err
-		}
-		span.ClearErr()
-	}
-	e.stats.DataWriteChunks++
-	return nil
-}
-
-// writeParity writes a parity chunk to the main array, tolerating a failed
-// device.
-func (e *EPLog) writeParity(span *device.Span, dev int, chunk int64, data []byte) error {
-	if err := span.Write(e.devs[dev], chunk, data); err != nil {
-		if !errors.Is(err, device.ErrFailed) {
-			return err
-		}
-		span.ClearErr()
-	}
-	e.stats.ParityWriteChunks++
-	return nil
-}
-
 // Flush drains all buffered writes (device buffers and stripe buffer) to
 // the array without committing parity.
 func (e *EPLog) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	span := device.NewSpan(0)
 	return e.flush(span)
 }

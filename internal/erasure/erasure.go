@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"github.com/eplog/eplog/internal/gf"
+	"github.com/eplog/eplog/internal/workpool"
 )
 
 // Construction selects how the generator matrix is built.
@@ -118,24 +119,63 @@ func (c *Code) N() int { return c.k + c.m }
 // slices of identical nonzero length; the first k hold data and the final m
 // are overwritten with parity.
 func (c *Code) Encode(shards [][]byte) error {
+	return c.EncodeParallel(shards, 1)
+}
+
+// encodeParallelMin is the smallest per-worker byte range EncodeParallel
+// will split to; below it the goroutine handoff costs more than the GF
+// arithmetic it saves.
+const encodeParallelMin = 1024
+
+// EncodeParallel is Encode with the column (byte-offset) range of the
+// stripe split across a bounded worker pool. Reed-Solomon parity is
+// byte-wise — parity[j][x] depends only on data[*][x] — so disjoint byte
+// ranges encode independently and the result is bit-identical to the
+// serial Encode for every worker count. workers <= 1, short shards, or a
+// single resulting segment all fall back to the serial path.
+func (c *Code) EncodeParallel(shards [][]byte, workers int) error {
 	if err := c.checkShards(shards, false); err != nil {
 		return err
 	}
-	data, parity := shards[:c.k], shards[c.k:]
-	if c.xorOnly {
-		clear(parity[0])
-		for _, d := range data {
-			gf.XORSlice(d, parity[0])
-		}
+	size := len(shards[0])
+	if workers > size/encodeParallelMin {
+		workers = size / encodeParallelMin
+	}
+	if workers <= 1 {
+		c.encodeRange(shards, 0, size)
 		return nil
 	}
-	for j := 0; j < c.m; j++ {
-		clear(parity[j])
-		for i, d := range data {
-			gf.MulAddSlice(c.parity[j][i], d, parity[j])
+	tasks := make([]func() error, workers)
+	per := (size + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := min(lo+per, size)
+		tasks[w] = func() error {
+			c.encodeRange(shards, lo, hi)
+			return nil
 		}
 	}
-	return nil
+	return workpool.Run(workers, tasks)
+}
+
+// encodeRange computes parity for the byte range [lo, hi) of every shard.
+func (c *Code) encodeRange(shards [][]byte, lo, hi int) {
+	data, parity := shards[:c.k], shards[c.k:]
+	if c.xorOnly {
+		out := parity[0][lo:hi]
+		clear(out)
+		for _, d := range data {
+			gf.XORSlice(d[lo:hi], out)
+		}
+		return
+	}
+	for j := 0; j < c.m; j++ {
+		out := parity[j][lo:hi]
+		clear(out)
+		for i, d := range data {
+			gf.MulAddSlice(c.parity[j][i], d[lo:hi], out)
+		}
+	}
 }
 
 // UpdateParity applies an incremental parity update for a single data shard

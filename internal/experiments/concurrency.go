@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/eplog/eplog/internal/core"
+	"github.com/eplog/eplog/internal/device"
+)
+
+// ConcurrencyResult is the outcome of the concurrent-writers experiment:
+// byte-exact traffic counters that must not depend on the worker count or
+// on goroutine interleaving, plus the wall-clock time of the run.
+type ConcurrencyResult struct {
+	// Workers is the engine's worker-pool bound; Writers is the number of
+	// concurrent writer goroutines driving the array (equal to Workers,
+	// floored at 1).
+	Workers int
+	Writers int
+	// Requests is the total single-chunk update requests issued.
+	Requests int64
+	// Elapsed is the wall-clock duration of the write phase.
+	Elapsed time.Duration
+	// SSDWriteBytes and LogWriteBytes are measured at the devices;
+	// EPLogStats are the engine's own counters. All are order-independent
+	// (see the workload construction in Concurrency).
+	SSDWriteBytes int64
+	LogWriteBytes int64
+	EPLogStats    core.Stats
+}
+
+// Concurrency drives one EPLog array with workers concurrent writer
+// goroutines and returns traffic counters that are byte-identical for
+// every worker count. The workload is constructed so the counters cannot
+// depend on interleaving:
+//
+//   - each writer owns a disjoint set of LBAs, and every request is a
+//     single-chunk update, so each request forms exactly one log stripe
+//     (k'=1) regardless of what other writers do;
+//   - device buffers, the stripe buffer, and CommitEvery are disabled, and
+//     the update headroom and log capacity are sized so no commit triggers
+//     mid-run — the one fold happens at the final Commit, over the same
+//     dirty-stripe set in every schedule.
+//
+// The per-request work (erasure coding, device I/O) still runs on the
+// engine's worker pool, so wall-clock time does improve with workers while
+// the byte counters stay fixed — the property the race-detector CI and the
+// eplogbench -workers flag check.
+func Concurrency(scale int64, workers int) (*ConcurrencyResult, error) {
+	if scale < 1 {
+		return nil, fmt.Errorf("experiments: scale must be >= 1, got %d", scale)
+	}
+	set := DefaultSetting()
+	k, m := set.K, set.M
+	nDevs := k + m
+	stripes := max(int64(32), 2048/scale)
+	lbas := stripes * int64(k)
+	rounds := int64(2) // updates per LBA
+	total := lbas * rounds
+
+	// Headroom: every update allocates one fresh chunk on the LBA's home
+	// device and nothing is released before the final commit, so per-device
+	// allocations are bounded by the device's share of the requests. Give
+	// each device room for all of them to keep the guard band unreachable.
+	devChunks := stripes + total + 8
+	logChunks := total + 8 // one log-stripe slot per request
+
+	devs := make([]device.Dev, nDevs)
+	counters := make([]*device.Counting, nDevs)
+	for i := range devs {
+		counters[i] = device.NewCounting(device.NewMem(devChunks, ChunkSize))
+		devs[i] = counters[i]
+	}
+	logDevs := make([]device.Dev, m)
+	logCnt := make([]*device.Counting, m)
+	for i := range logDevs {
+		logCnt[i] = device.NewCounting(device.NewMem(logChunks, ChunkSize))
+		logDevs[i] = logCnt[i]
+	}
+	e, err := core.New(devs, logDevs, core.Config{
+		K:                 k,
+		Stripes:           stripes,
+		CommitGuardChunks: 1, // explicit: the default (capacity/16) could fire mid-run
+		Workers:           workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	writers := max(1, workers)
+	start := time.Now()
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, ChunkSize)
+			for r := int64(0); r < rounds; r++ {
+				// Writer w owns LBAs congruent to w mod writers.
+				for lba := int64(w); lba < lbas; lba += int64(writers) {
+					for i := range buf {
+						buf[i] = byte(lba + r*7 + int64(i))
+					}
+					if _, err := e.WriteChunks(0, lba, buf); err != nil {
+						errs[w] = fmt.Errorf("writer %d lba %d: %w", w, lba, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := e.Commit(); err != nil {
+		return nil, err
+	}
+	report, err := e.Verify()
+	if err != nil {
+		return nil, err
+	}
+	if !report.OK() {
+		return nil, fmt.Errorf("experiments: concurrency run left inconsistent stripes: %d data, %d log",
+			len(report.BadDataStripes), len(report.BadLogStripes))
+	}
+
+	res := &ConcurrencyResult{
+		Workers:    workers,
+		Writers:    writers,
+		Requests:   total,
+		Elapsed:    elapsed,
+		EPLogStats: e.Stats(),
+	}
+	for _, c := range counters {
+		res.SSDWriteBytes += c.WriteBytes()
+	}
+	for _, c := range logCnt {
+		res.LogWriteBytes += c.WriteBytes()
+	}
+	return res, nil
+}
+
+// FormatConcurrency renders a worker sweep as a table.
+func FormatConcurrency(results []*ConcurrencyResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Concurrency: %d single-chunk updates, (6+2)-RAID-6, byte counts must not vary with workers\n",
+		results[0].Requests)
+	fmt.Fprintf(&b, "%-8s %-8s %-14s %-14s %-12s %s\n",
+		"workers", "writers", "ssd_wr_bytes", "log_wr_bytes", "commits", "elapsed")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-8d %-8d %-14d %-14d %-12d %v\n",
+			r.Workers, r.Writers, r.SSDWriteBytes, r.LogWriteBytes,
+			r.EPLogStats.Commits, r.Elapsed.Round(time.Millisecond))
+	}
+	return b.String()
+}

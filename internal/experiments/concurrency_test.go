@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+// TestConcurrencyByteCountsWorkerIndependent is the acceptance check behind
+// eplogbench -workers: the traffic counters of the concurrent-writers
+// workload must be byte-identical for every worker count, because
+// concurrency may change wall-clock time but never what is written.
+func TestConcurrencyByteCountsWorkerIndependent(t *testing.T) {
+	const scale = 64
+	base, err := Concurrency(scale, 1)
+	if err != nil {
+		t.Fatalf("Concurrency(workers=1): %v", err)
+	}
+	if base.SSDWriteBytes == 0 || base.LogWriteBytes == 0 {
+		t.Fatalf("baseline run wrote nothing: ssd=%d log=%d", base.SSDWriteBytes, base.LogWriteBytes)
+	}
+	for _, w := range []int{2, 4, 8} {
+		r, err := Concurrency(scale, w)
+		if err != nil {
+			t.Fatalf("Concurrency(workers=%d): %v", w, err)
+		}
+		if r.SSDWriteBytes != base.SSDWriteBytes {
+			t.Errorf("workers=%d: ssd write bytes %d, want %d", w, r.SSDWriteBytes, base.SSDWriteBytes)
+		}
+		if r.LogWriteBytes != base.LogWriteBytes {
+			t.Errorf("workers=%d: log write bytes %d, want %d", w, r.LogWriteBytes, base.LogWriteBytes)
+		}
+		if r.EPLogStats != base.EPLogStats {
+			t.Errorf("workers=%d: engine stats diverged:\n got %+v\nwant %+v", w, r.EPLogStats, base.EPLogStats)
+		}
+	}
+}
+
+func TestConcurrencyRejectsBadScale(t *testing.T) {
+	if _, err := Concurrency(0, 1); err == nil {
+		t.Fatal("Concurrency(scale=0) should fail")
+	}
+}

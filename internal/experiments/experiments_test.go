@@ -10,6 +10,15 @@ import (
 // testScale keeps unit-test runs to a few thousand requests.
 const testScale = 512
 
+// skipInShort skips the trace-driven experiment reproductions in short
+// mode; under the race detector they dominate the whole tree's runtime.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("trace-driven experiment")
+	}
+}
+
 func TestTableI(t *testing.T) {
 	rows, err := TableI(testScale)
 	if err != nil {
@@ -30,6 +39,7 @@ func TestTableI(t *testing.T) {
 }
 
 func TestExp1ShapesHold(t *testing.T) {
+	skipInShort(t)
 	rows, err := Exp1Traces(testScale)
 	if err != nil {
 		t.Fatal(err)
@@ -62,6 +72,7 @@ func TestExp1ShapesHold(t *testing.T) {
 }
 
 func TestExp1SettingsRAID6ReducesMore(t *testing.T) {
+	skipInShort(t)
 	rows, err := Exp1Settings(testScale)
 	if err != nil {
 		t.Fatal(err)
@@ -83,6 +94,7 @@ func TestExp1SettingsRAID6ReducesMore(t *testing.T) {
 }
 
 func TestExp3BufferMonotonic(t *testing.T) {
+	skipInShort(t)
 	rows, err := Exp3Caching(testScale, []int{0, 16, 64})
 	if err != nil {
 		t.Fatal(err)
@@ -116,6 +128,7 @@ func TestExp3BufferMonotonic(t *testing.T) {
 }
 
 func TestExp4CommitOverheadOrdering(t *testing.T) {
+	skipInShort(t)
 	rows, err := Exp4Commit(testScale)
 	if err != nil {
 		t.Fatal(err)
@@ -143,6 +156,7 @@ func TestExp4CommitOverheadOrdering(t *testing.T) {
 }
 
 func TestExp5WinnerOrdering(t *testing.T) {
+	skipInShort(t)
 	rows, err := Exp5Traces(testScale)
 	if err != nil {
 		t.Fatal(err)
@@ -162,6 +176,7 @@ func TestExp5WinnerOrdering(t *testing.T) {
 }
 
 func TestExp6MetadataOverheadSmall(t *testing.T) {
+	skipInShort(t)
 	r, err := Exp6Metadata(64)
 	if err != nil {
 		t.Fatal(err)
@@ -220,6 +235,7 @@ func TestSchemeString(t *testing.T) {
 }
 
 func TestExpRecoveryShape(t *testing.T) {
+	skipInShort(t)
 	r, err := ExpRecovery(testScale)
 	if err != nil {
 		t.Fatal(err)
@@ -243,6 +259,7 @@ func TestExpRecoveryShape(t *testing.T) {
 }
 
 func TestAlphaEstimateNearHalf(t *testing.T) {
+	skipInShort(t)
 	rows, err := Exp1Traces(testScale)
 	if err != nil {
 		t.Fatal(err)
@@ -323,6 +340,7 @@ func TestIncludeReads(t *testing.T) {
 }
 
 func TestAblationsShapes(t *testing.T) {
+	skipInShort(t)
 	rows, err := Ablations(testScale)
 	if err != nil {
 		t.Fatal(err)

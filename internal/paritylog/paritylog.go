@@ -21,6 +21,7 @@ package paritylog
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/eplog/eplog/internal/device"
 	"github.com/eplog/eplog/internal/erasure"
@@ -51,7 +52,11 @@ type Stats struct {
 }
 
 // Array is a parity-logging RAID array. It implements store.Store.
+// Exported methods serialize on an internal mutex, so an Array is safe
+// for concurrent use — keeping the baseline's external contract identical
+// to EPLog's for apples-to-apples comparisons.
 type Array struct {
+	mu      sync.Mutex
 	geo     store.Geometry
 	code    *erasure.Code
 	devs    []device.Dev // main array
@@ -152,11 +157,19 @@ func (a *Array) Chunks() int64 { return a.geo.Chunks() }
 func (a *Array) ChunkSize() int { return a.csize }
 
 // Stats returns the scheme counters.
-func (a *Array) Stats() Stats { return a.stats }
+func (a *Array) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
 
 // PendingLogChunks returns the number of log-device slots in use, exposed
 // for experiments measuring log footprint.
-func (a *Array) PendingLogChunks() int64 { return a.pending * int64(a.geo.M()) }
+func (a *Array) PendingLogChunks() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.pending * int64(a.geo.M())
+}
 
 // WriteChunks implements store.Store. Partial-stripe writes pre-read the
 // old data (phase 1), then write the new data to the main array while the
@@ -169,6 +182,8 @@ func (a *Array) WriteChunks(start float64, lba int64, data []byte) (float64, err
 	if lba < 0 || lba+nChunks > a.geo.Chunks() {
 		return start, fmt.Errorf("%w: [%d,%d) of %d", store.ErrWriteTooLarge, lba, lba+nChunks, a.geo.Chunks())
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	k, m := a.geo.K, a.geo.M()
 
 	type stripeUpdate struct {
@@ -309,6 +324,8 @@ func (a *Array) ReadChunks(start float64, lba int64, p []byte) (float64, error) 
 	if lba < 0 || lba+nChunks > a.geo.Chunks() {
 		return start, fmt.Errorf("%w: [%d,%d) of %d", store.ErrWriteTooLarge, lba, lba+nChunks, a.geo.Chunks())
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	span := device.NewSpan(start)
 	for off := int64(0); off < nChunks; off++ {
 		s, j := a.geo.Stripe(lba + off)
@@ -390,6 +407,13 @@ func (a *Array) degradedRead(span *device.Span, stripe int64, slot int, out []by
 // outstanding log deltas into the on-array parity and releasing the log
 // space. Unlike EPLog, this reads the log devices.
 func (a *Array) Commit() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.commit()
+}
+
+// commit implements Commit with a.mu held; Rebuild uses it too.
+func (a *Array) commit() error {
 	for r := range a.regionCursor {
 		if a.regionCursor[r] == 0 {
 			continue
@@ -507,6 +531,8 @@ func (a *Array) commitRegion(region int64) error {
 // deltas are lost but the data is current), then replaces the failed log
 // device and clears the log state.
 func (a *Array) RecoverLogDevice(dim int, replacement device.Dev) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if dim < 0 || dim >= a.geo.M() {
 		return fmt.Errorf("paritylog: log device index %d out of range", dim)
 	}
@@ -551,13 +577,15 @@ func (a *Array) RecoverLogDevice(dim int, replacement device.Dev) error {
 // parity (a parity commit), so the reconstruction works from a uniform
 // current state.
 func (a *Array) Rebuild(devIdx int, replacement device.Dev) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if devIdx < 0 || devIdx >= a.geo.N {
 		return fmt.Errorf("paritylog: device index %d out of range", devIdx)
 	}
 	if replacement.ChunkSize() != a.csize || replacement.Chunks() < a.geo.Stripes {
 		return fmt.Errorf("paritylog: replacement geometry mismatch")
 	}
-	if err := a.Commit(); err != nil {
+	if err := a.commit(); err != nil {
 		return err
 	}
 	k, m := a.geo.K, a.geo.M()
@@ -629,6 +657,8 @@ func (a *Array) Rebuild(devIdx int, replacement device.Dev) error {
 // returns the stripes whose redundancy does not match. Verify reads the
 // log devices.
 func (a *Array) Verify() ([]int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	k, m := a.geo.K, a.geo.M()
 	span := device.NewSpan(0)
 	var bad []int64

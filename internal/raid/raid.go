@@ -11,6 +11,7 @@ package raid
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/eplog/eplog/internal/device"
 	"github.com/eplog/eplog/internal/erasure"
@@ -36,8 +37,12 @@ type Stats struct {
 	ReconstructWrites int64
 }
 
-// Array is a conventional RAID array. It implements store.Store.
+// Array is a conventional RAID array. It implements store.Store. Exported
+// methods serialize on an internal mutex, so an Array is safe for
+// concurrent use — keeping the baseline's external contract identical to
+// EPLog's for apples-to-apples comparisons.
 type Array struct {
+	mu    sync.Mutex
 	geo   store.Geometry
 	code  *erasure.Code
 	devs  []device.Dev
@@ -84,7 +89,11 @@ func (a *Array) ChunkSize() int { return a.csize }
 func (a *Array) Commit() error { return nil }
 
 // Stats returns the parity-update counters.
-func (a *Array) Stats() Stats { return a.stats }
+func (a *Array) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
 
 // Geometry exposes the layout for tests and tools.
 func (a *Array) Geometry() store.Geometry { return a.geo }
@@ -101,6 +110,8 @@ func (a *Array) WriteChunks(start float64, lba int64, data []byte) (float64, err
 	if lba < 0 || lba+nChunks > a.geo.Chunks() {
 		return start, fmt.Errorf("%w: [%d,%d) of %d", store.ErrWriteTooLarge, lba, lba+nChunks, a.geo.Chunks())
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 
 	type stripeUpdate struct {
 		stripe int64
@@ -313,6 +324,8 @@ func (a *Array) ReadChunks(start float64, lba int64, p []byte) (float64, error) 
 	if lba < 0 || lba+nChunks > a.geo.Chunks() {
 		return start, fmt.Errorf("%w: [%d,%d) of %d", store.ErrWriteTooLarge, lba, lba+nChunks, a.geo.Chunks())
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	span := device.NewSpan(start)
 	for off := int64(0); off < nChunks; off++ {
 		s, j := a.geo.Stripe(lba + off)
@@ -376,6 +389,8 @@ func (a *Array) degradedRead(span *device.Span, stripe int64, slot int, out []by
 // then swaps it into the array. The replacement must match the array
 // geometry.
 func (a *Array) Rebuild(devIdx int, replacement device.Dev) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if devIdx < 0 || devIdx >= a.geo.N {
 		return fmt.Errorf("raid: device index %d out of range", devIdx)
 	}
@@ -454,6 +469,8 @@ func (a *Array) Rebuild(devIdx int, replacement device.Dev) error {
 // Verify scrubs the array: every stripe's parity is checked against its
 // data. It returns the stripes whose redundancy does not match.
 func (a *Array) Verify() ([]int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	k, m := a.geo.K, a.geo.M()
 	var bad []int64
 	shards := make([][]byte, k+m)

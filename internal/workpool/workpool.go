@@ -1,0 +1,69 @@
+// Package workpool provides the bounded worker pool that EPLog's
+// concurrent phases run on: erasure encoding, chunk copies, and per-device
+// I/O fan-out. It is errgroup-style — the first error stops the pool from
+// starting further tasks and is returned to the caller — but built on the
+// standard library only.
+package workpool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes tasks on at most workers goroutines and returns the first
+// error any task produced. With workers <= 1 (or a single task) the tasks
+// run serially on the calling goroutine, in order, stopping at the first
+// error — the deterministic mode callers rely on for reproducible
+// virtual-time accounting.
+//
+// With workers > 1 the tasks are claimed from a shared cursor, so the pool
+// is load-balanced regardless of per-task cost. After a task fails, idle
+// workers stop claiming new tasks; tasks already running are not
+// interrupted (they have no cancellation channel by design — EPLog tasks
+// are short and must finish their device bookkeeping either way).
+func Run(workers int, tasks []func() error) error {
+	switch len(tasks) {
+	case 0:
+		return nil
+	case 1:
+		return tasks[0]()
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			if err := t(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(tasks) || failed.Load() {
+					return
+				}
+				if err := tasks[i](); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

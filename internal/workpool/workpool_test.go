@@ -1,0 +1,79 @@
+package workpool
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunAllTasks(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		var n atomic.Int64
+		tasks := make([]func() error, 37)
+		for i := range tasks {
+			tasks[i] = func() error { n.Add(1); return nil }
+		}
+		if err := Run(workers, tasks); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := n.Load(); got != 37 {
+			t.Errorf("workers=%d: ran %d of 37 tasks", workers, got)
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if err := Run(4, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		tasks := []func() error{
+			func() error { return nil },
+			func() error { return boom },
+			func() error { return nil },
+		}
+		if err := Run(workers, tasks); !errors.Is(err, boom) {
+			t.Errorf("workers=%d: got %v, want %v", workers, err, boom)
+		}
+	}
+}
+
+func TestSerialStopsAtError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran []int
+	tasks := []func() error{
+		func() error { ran = append(ran, 0); return nil },
+		func() error { ran = append(ran, 1); return boom },
+		func() error { ran = append(ran, 2); return nil },
+	}
+	if err := Run(1, tasks); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if len(ran) != 2 || ran[0] != 0 || ran[1] != 1 {
+		t.Errorf("serial mode ran %v, want [0 1]", ran)
+	}
+}
+
+func TestParallelStopsClaiming(t *testing.T) {
+	// After a failure, the pool must not start all remaining tasks. With
+	// many tasks and an immediate failure, at least one task should be
+	// skipped (each worker can claim at most one task before observing
+	// the failure flag, so ran <= tasks is strict for large task counts).
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	tasks := make([]func() error, 1000)
+	tasks[0] = func() error { return boom }
+	for i := 1; i < len(tasks); i++ {
+		tasks[i] = func() error { ran.Add(1); return nil }
+	}
+	if err := Run(2, tasks); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if ran.Load() == int64(len(tasks)-1) {
+		t.Error("pool kept claiming tasks after a failure")
+	}
+}

@@ -28,7 +28,10 @@ func WriteTrace(w io.Writer, events []TraceEvent) error {
 }
 
 // Metrics returns a snapshot of the array's metrics registry. It is empty
-// unless Config.TraceEvents enabled observability.
+// unless Config.TraceEvents enabled observability. Metrics, Trace, and
+// TraceDropped are safe to call while other goroutines use the array: the
+// sink's counters are atomic and its histograms, registry, and trace ring
+// carry their own locks, so a snapshot is a consistent value copy.
 func (a *Array) Metrics() MetricsSnapshot { return a.sink.Snapshot() }
 
 // Trace returns the retained trace events in chronological order. When
