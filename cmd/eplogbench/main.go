@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	eplogbench [-exp all|1|2|3|4|5|6|fig6|table1|recovery|obs|conc] [-scale N] [-workers N]
+//	eplogbench [-exp all|1|2|3|4|5|6|fig6|table1|recovery|obs|conc|kernels] [-scale N] [-workers N]
 //
 // Scale divides the paper's request counts and working sets; -scale 1 is
 // paper scale (hours of runtime and tens of GB of RAM), the default keeps
@@ -15,6 +15,11 @@
 // same update workload single-worker and at -workers and reports both; the
 // byte-count metrics must be identical (concurrency changes wall-clock
 // time, never traffic).
+//
+// The kernels experiment benchmarks the GF(2^8) coding kernels, the
+// erasure paths built on them and the engine's steady-state update loop,
+// and writes a JSON report (-bench-out, default BENCH_kernels.json). It is
+// a microbenchmark suite, not a paper experiment, so -exp all skips it.
 //
 // The obs experiment runs a fully instrumented EPLog replay; -metrics-out,
 // -trace-out and -prom-out dump its metrics snapshot (JSON), event trace
@@ -47,10 +52,11 @@ type outputs struct {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run: all, table1, 1, 2, 3, 4, 5, 6, fig6, recovery, ablations, obs, conc")
-		scale   = flag.Int64("scale", experiments.DefaultScale, "scale divisor versus the paper (1 = paper scale)")
-		workers = flag.Int("workers", 1, "worker-pool size and concurrent writers for the conc experiment")
-		out     outputs
+		exp      = flag.String("exp", "all", "experiment to run: all, table1, 1, 2, 3, 4, 5, 6, fig6, recovery, ablations, obs, conc, kernels")
+		scale    = flag.Int64("scale", experiments.DefaultScale, "scale divisor versus the paper (1 = paper scale)")
+		workers  = flag.Int("workers", 1, "worker-pool size and concurrent writers for the conc experiment")
+		benchOut = flag.String("bench-out", "BENCH_kernels.json", "JSON report path for the kernels experiment")
+		out      outputs
 	)
 	flag.StringVar(&out.csvPath, "csv", "", "also append machine-readable rows to this CSV file")
 	flag.StringVar(&out.jsonPath, "json", "", "also append machine-readable records to this JSON Lines file")
@@ -58,6 +64,13 @@ func main() {
 	flag.StringVar(&out.tracePath, "trace-out", "", "write the obs experiment's event trace to this JSON Lines file")
 	flag.StringVar(&out.promPath, "prom-out", "", "write the obs experiment's metrics in Prometheus text format to this file")
 	flag.Parse()
+	if *exp == "kernels" {
+		if err := runKernelBench(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "eplogbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *scale, *workers, out); err != nil {
 		fmt.Fprintln(os.Stderr, "eplogbench:", err)
 		os.Exit(1)
@@ -422,7 +435,7 @@ func run(exp string, scale int64, workers int, out outputs) error {
 	}
 
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want all, table1, 1-6, fig6, recovery, ablations, obs, conc)", exp)
+		return fmt.Errorf("unknown experiment %q (want all, table1, 1-6, fig6, recovery, ablations, obs, conc, kernels)", exp)
 	}
 	return nil
 }

@@ -1,0 +1,132 @@
+// Package bufpool provides a size-classed buffer arena for the encode,
+// commit and rebuild hot paths. Chunk-sized scratch buffers dominate the
+// allocation profile of the engine (every stripe flush, parity fold and
+// reconstruction needs k+m of them); the arena recycles those buffers so
+// steady-state operation performs no heap allocation for chunk data.
+//
+// Each size class is backed by a fixed-capacity channel freelist with a
+// sync.Pool overflow. The channel is the primary path because sending a
+// []byte on a buffered channel copies the slice header into the channel's
+// preallocated ring — Get and Put are allocation-free — whereas a
+// sync.Pool boxes the header on every Put. The pool is kept only as the
+// overflow so bursts (deep rebuild fan-out) stay reusable without becoming
+// permanent footprint: the GC drains it.
+package bufpool
+
+import "sync"
+
+// classSizes are the supported buffer capacities in bytes. Chunk sizes in
+// the engine are powers of two between 4KiB and 1MiB; requests above the
+// largest class fall through to plain make and are dropped on Put.
+var classSizes = [...]int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+
+// freelistDepth bounds how many buffers each class keeps permanently
+// resident (per arena). With k+m <= 20 chunks per stripe and a handful of
+// in-flight stripes per engine, 64 covers the steady state; overflow goes
+// to the GC-drainable sync.Pool.
+const freelistDepth = 64
+
+type class struct {
+	size     int
+	freelist chan []byte
+	overflow sync.Pool // of []byte; Put boxes the header, overflow only
+}
+
+// Arena is a set of size-classed buffer freelists. The zero value is not
+// usable; call New. An Arena is safe for concurrent use.
+type Arena struct {
+	classes [len(classSizes)]class
+}
+
+// New returns an empty arena.
+func New() *Arena {
+	a := &Arena{}
+	for i, size := range classSizes {
+		c := &a.classes[i]
+		c.size = size
+		c.freelist = make(chan []byte, freelistDepth)
+	}
+	return a
+}
+
+// classFor returns the smallest class that can hold n bytes, or nil if n
+// exceeds the largest class.
+func (a *Arena) classFor(n int) *class {
+	for i := range a.classes {
+		if n <= a.classes[i].size {
+			return &a.classes[i]
+		}
+	}
+	return nil
+}
+
+// Get returns a buffer of length n with unspecified contents. Buffers
+// larger than the biggest size class are freshly allocated.
+func (a *Arena) Get(n int) []byte {
+	c := a.classFor(n)
+	if c == nil {
+		return make([]byte, n)
+	}
+	select {
+	case b := <-c.freelist:
+		return b[:n]
+	default:
+	}
+	if v := c.overflow.Get(); v != nil {
+		return v.([]byte)[:n]
+	}
+	return make([]byte, n, c.size)
+}
+
+// GetZero returns a zeroed buffer of length n.
+func (a *Arena) GetZero(n int) []byte {
+	b := a.Get(n)
+	clear(b)
+	return b
+}
+
+// Put returns a buffer obtained from Get to the arena. Passing a buffer
+// the arena did not hand out is safe as long as its capacity matches a
+// size class exactly; anything else is dropped. b must not be used after
+// Put.
+func (a *Arena) Put(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	c := a.classFor(cap(b))
+	if c == nil || c.size != cap(b) {
+		// Not one of ours (or oversized): let the GC have it.
+		return
+	}
+	b = b[:cap(b)]
+	select {
+	case c.freelist <- b:
+	default:
+		c.overflow.Put(b)
+	}
+}
+
+// GetSlices fills dst[i] with a buffer of length n for every i and returns
+// dst. The caller provides dst so the slice header storage itself can be
+// reused across calls.
+func (a *Arena) GetSlices(dst [][]byte, n int) [][]byte {
+	for i := range dst {
+		dst[i] = a.Get(n)
+	}
+	return dst
+}
+
+// PutSlices returns every non-nil buffer in bufs to the arena and nils the
+// entries so a retained header slice cannot alias recycled buffers.
+func (a *Arena) PutSlices(bufs [][]byte) {
+	for i, b := range bufs {
+		if b != nil {
+			a.Put(b)
+			bufs[i] = nil
+		}
+	}
+}
+
+// Default is the process-wide arena used by paths that have no engine to
+// hang an arena off.
+var Default = New()

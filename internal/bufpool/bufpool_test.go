@@ -1,0 +1,146 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetLengthsAndClasses(t *testing.T) {
+	a := New()
+	cases := []struct {
+		n       int
+		wantCap int
+	}{
+		{1, 4 << 10},
+		{4096, 4 << 10},
+		{4097, 16 << 10},
+		{16 << 10, 16 << 10},
+		{64 << 10, 64 << 10},
+		{100 << 10, 256 << 10},
+		{1 << 20, 1 << 20},
+	}
+	for _, tc := range cases {
+		b := a.Get(tc.n)
+		if len(b) != tc.n {
+			t.Fatalf("Get(%d) len = %d", tc.n, len(b))
+		}
+		if cap(b) != tc.wantCap {
+			t.Fatalf("Get(%d) cap = %d, want %d", tc.n, cap(b), tc.wantCap)
+		}
+		a.Put(b)
+	}
+	// Above the largest class: plain allocation, exact length.
+	b := a.Get(2 << 20)
+	if len(b) != 2<<20 {
+		t.Fatalf("oversized Get len = %d", len(b))
+	}
+	a.Put(b) // must not panic; dropped
+}
+
+func TestReuse(t *testing.T) {
+	a := New()
+	b := a.Get(4096)
+	b[0] = 0xAB
+	a.Put(b)
+	c := a.Get(4096)
+	if &b[0] != &c[0] {
+		t.Fatalf("expected freelist to return the same buffer")
+	}
+}
+
+func TestGetZero(t *testing.T) {
+	a := New()
+	b := a.Get(4096)
+	for i := range b {
+		b[i] = 0xFF
+	}
+	a.Put(b)
+	z := a.GetZero(4096)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("GetZero returned dirty byte at %d: %#x", i, v)
+		}
+	}
+}
+
+func TestPutForeignBuffer(t *testing.T) {
+	a := New()
+	// Capacity not matching any class exactly: dropped, no panic.
+	a.Put(make([]byte, 100))
+	a.Put(nil)
+	b := a.Get(100)
+	if cap(b) != 4<<10 {
+		t.Fatalf("foreign buffer was adopted: cap %d", cap(b))
+	}
+}
+
+func TestGetPutSlices(t *testing.T) {
+	a := New()
+	bufs := make([][]byte, 6)
+	a.GetSlices(bufs, 4096)
+	for i, b := range bufs {
+		if len(b) != 4096 {
+			t.Fatalf("slice %d len = %d", i, len(b))
+		}
+	}
+	a.PutSlices(bufs)
+	for i, b := range bufs {
+		if b != nil {
+			t.Fatalf("PutSlices left slice %d non-nil", i)
+		}
+	}
+}
+
+// TestSteadyStateAllocationFree pins the arena's core guarantee: once warm,
+// Get/Put cycles perform no heap allocation.
+func TestSteadyStateAllocationFree(t *testing.T) {
+	a := New()
+	// Warm one buffer per class.
+	for _, size := range classSizes {
+		a.Put(a.Get(size))
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		b := a.Get(4096)
+		a.Put(b)
+	}); n != 0 {
+		t.Errorf("warm Get/Put allocates %v per run, want 0", n)
+	}
+	bufs := make([][]byte, 4)
+	if n := testing.AllocsPerRun(100, func() {
+		a.GetSlices(bufs, 4096)
+		a.PutSlices(bufs)
+	}); n != 0 {
+		t.Errorf("warm GetSlices/PutSlices allocates %v per run, want 0", n)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	a := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed byte) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b := a.Get(4096)
+				b[0] = seed
+				b[4095] = seed
+				if b[0] != seed || b[4095] != seed {
+					t.Error("buffer corrupted")
+				}
+				a.Put(b)
+			}
+		}(byte(g))
+	}
+	wg.Wait()
+}
+
+func BenchmarkGetPut(b *testing.B) {
+	a := New()
+	a.Put(a.Get(4096))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := a.Get(4096)
+		a.Put(buf)
+	}
+}

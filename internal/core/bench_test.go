@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/eplog/eplog/internal/device"
+)
+
+// benchEngine builds a serial 8-device (k=6, m=2) engine over RAM devices
+// with 4KiB chunks, sized so steady-state updates never run out of log or
+// SSD space between commits.
+func benchEngine(tb testing.TB, cfg Config) *EPLog {
+	tb.Helper()
+	const (
+		n, k    = 8, 6
+		chunk   = 4096
+		stripes = 64
+	)
+	cfg.K = k
+	cfg.Stripes = stripes
+	devs := make([]device.Dev, n)
+	for i := range devs {
+		devs[i] = device.NewMem(stripes*8, chunk)
+	}
+	logs := make([]device.Dev, n-k)
+	for i := range logs {
+		logs[i] = device.NewMem(16384, chunk)
+	}
+	e, err := New(devs, logs, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkSteadyStateUpdate measures the elastic-logging update path plus
+// its periodic parity commits on a serial engine: single-chunk updates to
+// non-virgin stripes, CommitEvery folding the dirty stripes back. With the
+// buffer arena, engine scratch and span recycling this path performs no
+// heap allocation in steady state — the allocs/op column is the proof.
+func BenchmarkSteadyStateUpdate(b *testing.B) {
+	e := benchEngine(b, Config{CommitEvery: 32})
+	const chunk = 4096
+	data := make([]byte, chunk)
+	rand.New(rand.NewSource(1)).Read(data)
+	// Prime: fill every stripe so updates hit the logging path, then one
+	// commit so the engine is in its recurring state.
+	full := make([]byte, e.geo.K*chunk)
+	rand.New(rand.NewSource(2)).Read(full)
+	for s := int64(0); s < e.geo.Stripes; s++ {
+		if _, err := e.WriteChunks(0, e.geo.LBA(s, 0), full); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := e.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	lbas := rand.New(rand.NewSource(3)).Perm(int(e.geo.Chunks()))
+	b.SetBytes(chunk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lba := int64(lbas[i%len(lbas)])
+		if _, err := e.WriteChunks(0, lba, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDirectStripeWrite measures full-stripe new writes (data +
+// parity straight to home locations), the other pooled write path.
+func BenchmarkDirectStripeWrite(b *testing.B) {
+	e := benchEngine(b, Config{})
+	const chunk = 4096
+	full := make([]byte, e.geo.K*chunk)
+	rand.New(rand.NewSource(4)).Read(full)
+	b.SetBytes(int64(len(full)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := int64(i) % e.geo.Stripes
+		// Keep the stripe virgin so every iteration takes the direct path.
+		e.virgin[s] = true
+		if _, err := e.WriteChunks(0, e.geo.LBA(s, 0), full); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSteadyStateUpdateAllocFree pins the zero-allocation property in the
+// regular test suite, so a regression fails tests rather than only
+// showing up in benchmark output.
+func TestSteadyStateUpdateAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is noisy under -short race runs")
+	}
+	e := benchEngine(t, Config{CommitEvery: 8})
+	const chunk = 4096
+	data := make([]byte, chunk)
+	full := make([]byte, e.geo.K*chunk)
+	for s := int64(0); s < e.geo.Stripes; s++ {
+		if _, err := e.WriteChunks(0, e.geo.LBA(s, 0), full); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the pools across at least one full commit cycle.
+	lba := int64(0)
+	step := func() {
+		if _, err := e.WriteChunks(0, lba, data); err != nil {
+			t.Fatal(err)
+		}
+		lba = (lba + 7) % e.geo.Chunks()
+	}
+	for i := 0; i < 64; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(256, step); avg > 0 {
+		t.Errorf("steady-state update allocates %.2f objects/op, want 0", avg)
+	}
+}

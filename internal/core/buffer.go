@@ -1,5 +1,7 @@
 package core
 
+import "github.com/eplog/eplog/internal/bufpool"
+
 // pendingChunk is a buffered chunk write.
 type pendingChunk struct {
 	lba  int64
@@ -32,14 +34,15 @@ func newDeviceBuffer(capacity int) *deviceBuffer {
 }
 
 // put inserts or overwrites a pending chunk; it reports whether the write
-// was absorbed by an existing entry.
+// was absorbed by an existing entry. Copies live in arena buffers; pop
+// hands ownership to the caller, who returns them once flushed.
 func (b *deviceBuffer) put(lba int64, data []byte) bool {
 	if e, ok := b.byLBA[lba]; ok {
 		copy(e.data, data)
 		e.hits++
 		return true
 	}
-	cp := make([]byte, len(data))
+	cp := bufpool.Default.Get(len(data))
 	copy(cp, data)
 	b.seq++
 	b.byLBA[lba] = &bufEntry{data: cp, at: b.seq}
@@ -99,24 +102,28 @@ func newStripeBuffer(capacity int) *stripeBuffer {
 	return &stripeBuffer{cap: capacity, byStripe: make(map[int64][]pendingChunk)}
 }
 
-// put buffers a new-write chunk and returns the id of any stripe that is
-// now fully assembled (k chunks present), or -1.
-func (b *stripeBuffer) put(stripe int64, c pendingChunk, k int) int64 {
+// put buffers a new-write chunk, copying it into an arena buffer the
+// stripeBuffer owns until take transfers ownership to the caller. It
+// returns the id of any stripe that is now fully assembled (k chunks
+// present), or -1.
+func (b *stripeBuffer) put(stripe, lba int64, data []byte, k int) int64 {
 	cs, ok := b.byStripe[stripe]
 	if !ok {
 		b.order = append(b.order, stripe)
 	}
-	// Replace a pending chunk for the same LBA rather than duplicating.
+	// Absorb a pending chunk for the same LBA rather than duplicating.
 	replaced := false
 	for i := range cs {
-		if cs[i].lba == c.lba {
-			cs[i] = c
+		if cs[i].lba == lba {
+			copy(cs[i].data, data)
 			replaced = true
 			break
 		}
 	}
 	if !replaced {
-		cs = append(cs, c)
+		cp := bufpool.Default.Get(len(data))
+		copy(cp, data)
+		cs = append(cs, pendingChunk{lba: lba, data: cp})
 		b.count++
 	}
 	b.byStripe[stripe] = cs

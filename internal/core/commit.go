@@ -1,8 +1,9 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
+	"github.com/eplog/eplog/internal/bufpool"
 	"github.com/eplog/eplog/internal/device"
 	"github.com/eplog/eplog/internal/erasure"
 	"github.com/eplog/eplog/internal/obs"
@@ -51,19 +52,21 @@ func (e *EPLog) commitAt(start float64) (float64, error) {
 	// Drain RAM buffers first so the committed parity covers everything
 	// acknowledged so far; the fold phase below depends on the flushed
 	// data, so its span starts when the flush completes.
-	flushSpan := device.NewSpan(start)
+	flushSpan := e.newSpan(start)
 	if err := e.flush(flushSpan); err != nil {
 		return flushSpan.End(), err
 	}
-	span := flushSpan.Next()
+	span := e.newSpan(flushSpan.End())
 	parityBefore := e.stats.ParityWriteChunks
 
-	// Deterministic stripe order keeps runs reproducible.
-	stripes := make([]int64, 0, len(e.dirty))
+	// Deterministic stripe order keeps runs reproducible. The order slice
+	// is engine scratch (commits cannot nest).
+	stripes := e.dirtyOrder[:0]
 	for s := range e.dirty {
 		stripes = append(stripes, s)
 	}
-	sort.Slice(stripes, func(i, j int) bool { return stripes[i] < stripes[j] })
+	slices.Sort(stripes)
+	e.dirtyOrder = stripes
 
 	k := e.geo.K
 	code, err := e.code(k)
@@ -99,22 +102,29 @@ func (e *EPLog) commitAt(start float64) (float64, error) {
 		e.metaDirty[s] = struct{}{}
 	}
 
-	// The log devices are now free end to end.
+	// The log devices are now free end to end. Every latestProt entry for
+	// the folded stripes was reset to committed above, so no reference to
+	// a log stripe survives and the structs can be recycled.
+	for _, ls := range e.logStripes {
+		e.putLogStripe(ls)
+	}
 	clear(e.logStripes)
 	e.logCursor = 0
 	clear(e.dirty)
 	e.reqSinceCommit = 0
 	e.stats.Commits++
 
-	end := span.End()
+	end, foldStart, flushEnd := span.End(), span.Start(), flushSpan.End()
+	e.freeSpan(flushSpan)
+	e.freeSpan(span)
 	parityDelta := e.stats.ParityWriteChunks - parityBefore
 	// Anchor the phase latencies to when the commit could actually begin:
 	// untimed internal commits (start 0) inherit the device-clock backlog
 	// in their spans, which would otherwise swamp the histograms.
 	obsStart := max(start, e.vnow)
 	e.vnow = max(e.vnow, end)
-	e.mCommitFlushLat.Observe(max(flushSpan.End()-obsStart, 0))
-	e.mCommitFoldLat.Observe(max(end-max(span.Start(), obsStart), 0))
+	e.mCommitFlushLat.Observe(max(flushEnd-obsStart, 0))
+	e.mCommitFoldLat.Observe(max(end-max(foldStart, obsStart), 0))
 	e.mCommitLat.Observe(max(end-obsStart, 0))
 	// N is the parity chunks folded by this commit, so that summing N over
 	// parity-commit events plus Aux over full-stripe events reconciles with
@@ -127,39 +137,36 @@ func (e *EPLog) commitAt(start float64) (float64, error) {
 // foldStripes is the commit's fold phase: for every dirty stripe it reads
 // the k latest data chunks, re-encodes the parity, and writes it to the
 // stripe's home locations. Stripes are independent (distinct reads and
-// parity homes), so each is one worker-pool task; per-task I/O counts are
-// accumulated in slots and folded into the stats after the join, keeping
-// the totals identical to the serial engine.
+// parity homes): with one worker they fold inline on the caller's span
+// using the engine's scratch shard table — the serial commit allocates
+// nothing — while the parallel engine runs one worker-pool task per
+// stripe, with per-task I/O counts accumulated in slots and folded into
+// the stats after the join, keeping the totals identical to the serial
+// engine.
 func (e *EPLog) foldStripes(span *device.Span, code *erasure.Code, stripes []int64) error {
 	k, m := e.geo.K, e.geo.M()
+	if e.workers <= 1 {
+		e.foldShards = grow(e.foldShards, k+m)
+		for _, s := range stripes {
+			clear(e.foldShards)
+			reads, parity, err := e.foldStripe(span, code, s, e.foldShards)
+			e.stats.CommitReadChunks += reads
+			e.stats.ParityWriteChunks += parity
+			e.stats.CommitWriteChunks += parity
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	type foldCount struct{ reads, parity int64 }
 	counts := make([]foldCount, len(stripes))
 	tasks := make([]func(*device.Span) error, len(stripes))
 	for i, s := range stripes {
 		tasks[i] = func(sp *device.Span) error {
-			home := e.geo.HomeChunk(s)
-			shards := make([][]byte, k+m)
-			for j := 0; j < k; j++ {
-				data, err := e.readLatest(sp, e.geo.LBA(s, j))
-				if err != nil {
-					return err
-				}
-				shards[j] = data
-				counts[i].reads++
-			}
-			for p := 0; p < m; p++ {
-				shards[k+p] = make([]byte, e.csize)
-			}
-			if err := code.Encode(shards); err != nil {
-				return err
-			}
-			for p := 0; p < m; p++ {
-				if err := tolerantWrite(sp, e.devs[e.geo.ParityDev(s, p)], home, shards[k+p]); err != nil {
-					return err // a failed parity device is restored later by Rebuild
-				}
-				counts[i].parity++
-			}
-			return nil
+			reads, parity, err := e.foldStripe(sp, code, s, make([][]byte, k+m))
+			counts[i] = foldCount{reads, parity}
+			return err
 		}
 	}
 	err := e.fanOut(span, tasks)
@@ -169,6 +176,39 @@ func (e *EPLog) foldStripes(span *device.Span, code *erasure.Code, stripes []int
 		e.stats.CommitWriteChunks += c.parity
 	}
 	return err
+}
+
+// foldStripe folds one stripe: read the k latest data chunks into arena
+// buffers, re-encode the parity, write it home. shards is a caller-owned
+// table of k+m nil entries; every buffer placed in it is returned to the
+// arena before foldStripe returns, so the table itself is reusable.
+// The partial I/O counts come back even on error so the caller's stats
+// match the device work actually issued.
+func (e *EPLog) foldStripe(sp *device.Span, code *erasure.Code, s int64, shards [][]byte) (reads, parity int64, err error) {
+	k, m := e.geo.K, e.geo.M()
+	home := e.geo.HomeChunk(s)
+	defer bufpool.Default.PutSlices(shards)
+	for j := 0; j < k; j++ {
+		buf := bufpool.Default.Get(e.csize)
+		shards[j] = buf
+		if err := e.readLBA(sp, e.geo.LBA(s, j), buf); err != nil {
+			return reads, parity, err
+		}
+		reads++
+	}
+	for p := 0; p < m; p++ {
+		shards[k+p] = bufpool.Default.Get(e.csize)
+	}
+	if err := code.Encode(shards); err != nil {
+		return reads, parity, err
+	}
+	for p := 0; p < m; p++ {
+		if err := tolerantWrite(sp, e.devs[e.geo.ParityDev(s, p)], home, shards[k+p]); err != nil {
+			return reads, parity, err // a failed parity device is restored later by Rebuild
+		}
+		parity++
+	}
+	return reads, parity, nil
 }
 
 // releaseLoc returns a superseded chunk to its device's free pool,

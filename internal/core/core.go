@@ -165,6 +165,19 @@ type EPLog struct {
 	inCommit       bool
 	stats          Stats
 
+	// Reusable scratch (see scratch.go). scratchFree is the frame stack
+	// for the reentrant grouping/log-flush paths; lsFree recycles
+	// logStripe records across commits; the remaining fields are
+	// dedicated to non-reentrant paths.
+	scratchFree []*opScratch
+	lsFree      []*logStripe
+	wrSeg       []pendingChunk // WriteChunks per-stripe segment
+	wrUpdates   []pendingChunk // WriteChunks request-wide update set
+	dsShards    [][]byte       // directStripeWrite shard headers
+	foldShards  [][]byte       // foldStripes serial-path shard headers
+	dirtyOrder  []int64        // commitAt dirty-stripe order
+	spanFree    []*device.Span // recycled spans for the write/commit paths
+
 	obs             *obs.Sink
 	mWriteLat       *obs.Histogram
 	mReadLat        *obs.Histogram

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/eplog/eplog/internal/bufpool"
 	"github.com/eplog/eplog/internal/device"
 	"github.com/eplog/eplog/internal/obs"
 	"github.com/eplog/eplog/internal/store"
@@ -26,19 +27,29 @@ func (e *EPLog) ReadChunks(start float64, lba int64, p []byte) (float64, error) 
 	span := device.NewSpan(start)
 	// One pool task per chunk. The tasks only read metadata (the engine
 	// lock is held, so nothing mutates it) and their output buffers are
-	// disjoint sub-slices of p.
-	tasks := make([]func(*device.Span) error, nChunks)
-	for off := int64(0); off < nChunks; off++ {
-		buf := p[off*int64(e.csize) : (off+1)*int64(e.csize)]
-		cur := lba + off
-		tasks[off] = func(sp *device.Span) error {
-			return e.readLBA(sp, cur, buf)
+	// disjoint sub-slices of p. With a single worker the chunks read
+	// inline on the caller's span, in task order — no closures built.
+	if e.workers <= 1 {
+		for off := int64(0); off < nChunks; off++ {
+			buf := p[off*int64(e.csize) : (off+1)*int64(e.csize)]
+			if err := e.readLBA(span, lba+off, buf); err != nil {
+				return span.End(), err
+			}
 		}
-	}
-	if err := e.fanOut(span, tasks); err != nil {
-		// Partial-failure contract: the span's progress (not start) comes
-		// back with the error, covering the reads already issued.
-		return span.End(), err
+	} else {
+		tasks := make([]func(*device.Span) error, nChunks)
+		for off := int64(0); off < nChunks; off++ {
+			buf := p[off*int64(e.csize) : (off+1)*int64(e.csize)]
+			cur := lba + off
+			tasks[off] = func(sp *device.Span) error {
+				return e.readLBA(sp, cur, buf)
+			}
+		}
+		if err := e.fanOut(span, tasks); err != nil {
+			// Partial-failure contract: the span's progress (not start)
+			// comes back with the error, covering the reads already issued.
+			return span.End(), err
+		}
 	}
 	if span.Err() != nil {
 		return span.End(), span.Err()
@@ -94,107 +105,128 @@ func (e *EPLog) degradedRead(span *device.Span, lba int64, out []byte) error {
 			return err
 		}
 		copy(out, shard)
+		bufpool.Default.Put(shard)
 		return nil
 	}
 	s, slot := e.geo.Stripe(lba)
-	data, err := e.decodeCommitted(span, s)
+	shards, err := e.decodeCommitted(span, s)
 	if err != nil {
 		return err
 	}
-	copy(out, data[slot])
+	copy(out, shards[slot])
+	bufpool.Default.PutSlices(shards)
 	return nil
 }
 
 // decodeLogStripe reconstructs the version of wantLBA protected by log
 // stripe ls, reading the surviving members from the SSDs and the log
-// chunks from the log devices.
+// chunks from the log devices. The returned shard is an arena buffer the
+// caller must Put once its contents are consumed; every other buffer is
+// returned internally.
 func (e *EPLog) decodeLogStripe(span *device.Span, ls *logStripe, wantLBA int64) ([]byte, error) {
 	kPrime, m := len(ls.members), e.geo.M()
 	shards := make([][]byte, kPrime+m)
 	want := -1
+	readShard := func(i int, dev device.Dev, chunk int64) error {
+		buf := bufpool.Default.Get(e.csize)
+		if err := span.Read(dev, chunk, buf); err != nil {
+			bufpool.Default.Put(buf)
+			if !errors.Is(err, device.ErrFailed) {
+				return err
+			}
+			span.ClearErr()
+			return nil
+		}
+		shards[i] = buf
+		return nil
+	}
 	for i, mb := range ls.members {
 		if mb.lba == wantLBA {
 			want = i
 		}
-		buf := make([]byte, e.csize)
-		if err := span.Read(e.devs[mb.loc.Dev], mb.loc.Chunk, buf); err != nil {
-			if !errors.Is(err, device.ErrFailed) {
-				return nil, err
-			}
-			span.ClearErr()
-			continue
+		if err := readShard(i, e.devs[mb.loc.Dev], mb.loc.Chunk); err != nil {
+			bufpool.Default.PutSlices(shards)
+			return nil, err
 		}
-		shards[i] = buf
 	}
 	if want < 0 {
+		bufpool.Default.PutSlices(shards)
 		return nil, fmt.Errorf("core: lba %d not a member of log stripe %d", wantLBA, ls.id)
 	}
 	for i := 0; i < m; i++ {
-		buf := make([]byte, e.csize)
-		if err := span.Read(e.logDevs[i], ls.logPos, buf); err != nil {
-			if !errors.Is(err, device.ErrFailed) {
-				return nil, err
-			}
-			span.ClearErr()
-			continue
+		if err := readShard(kPrime+i, e.logDevs[i], ls.logPos); err != nil {
+			bufpool.Default.PutSlices(shards)
+			return nil, err
 		}
-		shards[kPrime+i] = buf
 	}
-	code, err := e.code(kPrime)
+	err := func() error {
+		code, err := e.code(kPrime)
+		if err != nil {
+			return err
+		}
+		if err := code.ReconstructData(shards); err != nil {
+			return fmt.Errorf("%w: log stripe %d: %v", ErrTooManyFailures, ls.id, err)
+		}
+		return nil
+	}()
 	if err != nil {
+		bufpool.Default.PutSlices(shards)
 		return nil, err
 	}
-	if err := code.ReconstructData(shards); err != nil {
-		return nil, fmt.Errorf("%w: log stripe %d: %v", ErrTooManyFailures, ls.id, err)
-	}
-	return shards[want], nil
+	out := shards[want]
+	shards[want] = nil
+	bufpool.Default.PutSlices(shards)
+	return out, nil
 }
 
 // decodeCommitted reconstructs the committed contents of every data slot
-// of a stripe from the surviving committed chunks and parity.
+// of a stripe from the surviving committed chunks and parity. It returns
+// the full k+m shard table: the data slots [0,k) are all populated with
+// arena buffers, the parity slots hold whatever parity was read (possibly
+// nil). The caller owns every buffer and returns them with PutSlices.
 func (e *EPLog) decodeCommitted(span *device.Span, stripe int64) ([][]byte, error) {
 	k, m := e.geo.K, e.geo.M()
 	home := e.geo.HomeChunk(stripe)
 	shards := make([][]byte, k+m)
+	readShard := func(i int, dev device.Dev, chunk int64) error {
+		buf := bufpool.Default.Get(e.csize)
+		if err := span.Read(dev, chunk, buf); err != nil {
+			bufpool.Default.Put(buf)
+			if !errors.Is(err, device.ErrFailed) {
+				return err
+			}
+			span.ClearErr()
+			return nil
+		}
+		shards[i] = buf
+		return nil
+	}
 	for j := 0; j < k; j++ {
 		loc := e.commLoc[e.geo.LBA(stripe, j)]
-		buf := make([]byte, e.csize)
-		if err := span.Read(e.devs[loc.Dev], loc.Chunk, buf); err != nil {
-			if !errors.Is(err, device.ErrFailed) {
-				return nil, err
-			}
-			span.ClearErr()
-			continue
+		if err := readShard(j, e.devs[loc.Dev], loc.Chunk); err != nil {
+			bufpool.Default.PutSlices(shards)
+			return nil, err
 		}
-		shards[j] = buf
 	}
 	for i := 0; i < m; i++ {
-		buf := make([]byte, e.csize)
-		if err := span.Read(e.devs[e.geo.ParityDev(stripe, i)], home, buf); err != nil {
-			if !errors.Is(err, device.ErrFailed) {
-				return nil, err
-			}
-			span.ClearErr()
-			continue
+		if err := readShard(k+i, e.devs[e.geo.ParityDev(stripe, i)], home); err != nil {
+			bufpool.Default.PutSlices(shards)
+			return nil, err
 		}
-		shards[k+i] = buf
 	}
-	code, err := e.code(k)
+	err := func() error {
+		code, err := e.code(k)
+		if err != nil {
+			return err
+		}
+		if err := code.ReconstructData(shards); err != nil {
+			return fmt.Errorf("%w: stripe %d: %v", ErrTooManyFailures, stripe, err)
+		}
+		return nil
+	}()
 	if err != nil {
+		bufpool.Default.PutSlices(shards)
 		return nil, err
 	}
-	if err := code.ReconstructData(shards); err != nil {
-		return nil, fmt.Errorf("%w: stripe %d: %v", ErrTooManyFailures, stripe, err)
-	}
-	return shards[:k], nil
-}
-
-// readLatest returns the latest contents of an LBA using degraded
-// reconstruction when needed; it is the commit path's read primitive.
-func (e *EPLog) readLatest(span *device.Span, lba int64) ([]byte, error) {
-	buf := make([]byte, e.csize)
-	if err := e.readLBA(span, lba, buf); err != nil {
-		return nil, err
-	}
-	return buf, nil
+	return shards, nil
 }

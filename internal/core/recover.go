@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/eplog/eplog/internal/bufpool"
 	"github.com/eplog/eplog/internal/device"
 	"github.com/eplog/eplog/internal/obs"
 )
@@ -76,25 +77,26 @@ func (e *EPLog) Rebuild(devIdx int, replacement device.Dev) error {
 					break
 				}
 			}
-			data, err := e.decodeCommitted(sp, s)
+			decoded, err := e.decodeCommitted(sp, s)
 			if err != nil {
 				return err
 			}
+			defer bufpool.Default.PutSlices(decoded)
 			if dataSlot >= 0 {
 				loc := e.commLoc[e.geo.LBA(s, dataSlot)]
-				if err := replacement.WriteChunk(loc.Chunk, data[dataSlot]); err != nil {
+				if err := replacement.WriteChunk(loc.Chunk, decoded[dataSlot]); err != nil {
 					return err
 				}
 				counts[i]++
 			}
 			if paritySlot >= 0 {
+				// Re-encode the stripe's parity from the decoded data into
+				// fresh arena buffers ([k:] of decoded holds the read — not
+				// recomputed — parity).
 				shards := make([][]byte, k+m)
-				copy(shards, data)
-				parity := make([][]byte, m)
-				for p := range parity {
-					parity[p] = make([]byte, e.csize)
-					shards[k+p] = parity[p]
-				}
+				copy(shards, decoded[:k])
+				parity := bufpool.Default.GetSlices(shards[k:], e.csize)
+				defer bufpool.Default.PutSlices(parity)
 				if err := code.Encode(shards); err != nil {
 					return err
 				}
@@ -136,7 +138,9 @@ func (e *EPLog) Rebuild(devIdx int, replacement device.Dev) error {
 			if err != nil {
 				return err
 			}
-			return replacement.WriteChunk(pm.mb.loc.Chunk, shard)
+			err = replacement.WriteChunk(pm.mb.loc.Chunk, shard)
+			bufpool.Default.Put(shard)
+			return err
 		}
 	}
 	if err := e.fanOut(span, ptasks); err != nil {

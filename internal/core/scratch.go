@@ -1,0 +1,138 @@
+package core
+
+import (
+	"github.com/eplog/eplog/internal/bufpool"
+	"github.com/eplog/eplog/internal/device"
+)
+
+// Engine-owned scratch. The write and commit hot paths used to allocate
+// their grouping slices, shard-header tables and device-membership sets on
+// every operation; with the buffer arena (internal/bufpool) supplying the
+// chunk payloads, these per-engine structures remove the remaining
+// steady-state allocations. Everything here is guarded by e.mu.
+//
+// flushGroup and updatePath are reentrant — a flush can trigger a parity
+// commit whose own flush phase runs updatePath and flushGroup again — so
+// their scratch comes from a small stack of frames rather than dedicated
+// fields. Recursion depth is bounded (a commit never nests inside a
+// commit), so the stack stays at two or three frames for the life of the
+// engine. Non-reentrant paths (WriteChunks segmentation, direct stripe
+// writes, the commit fold) use dedicated fields on EPLog.
+
+// opScratch is one frame of reentrancy-safe scratch for the grouping and
+// log-flush paths.
+type opScratch struct {
+	// group accumulates one round's log-stripe members.
+	group []pendingChunk
+	// rest holds the chunks deferred to later rounds, so grouping never
+	// reorders the caller's slice (callers keep it to return arena
+	// buffers after the flush).
+	rest []pendingChunk
+	// taken marks destination devices claimed this round (grouping) or
+	// already holding a member (flushGroup's invariant check).
+	taken []bool
+	// shards is the k'+m shard-header table for log-stripe encoding.
+	shards [][]byte
+}
+
+// getScratch pops a scratch frame, allocating one on first use at each
+// reentrancy depth.
+func (e *EPLog) getScratch() *opScratch {
+	if n := len(e.scratchFree); n > 0 {
+		s := e.scratchFree[n-1]
+		e.scratchFree = e.scratchFree[:n-1]
+		return s
+	}
+	return &opScratch{taken: make([]bool, len(e.devs))}
+}
+
+// putScratch returns a frame, dropping buffer references so pooled headers
+// cannot pin chunk data.
+func (e *EPLog) putScratch(s *opScratch) {
+	clearPending(s.group)
+	s.group = s.group[:0]
+	clearPending(s.rest[:cap(s.rest)])
+	s.rest = s.rest[:0]
+	clear(s.shards)
+	s.shards = s.shards[:0]
+	e.scratchFree = append(e.scratchFree, s)
+}
+
+// resetTaken clears the frame's device-set for a new round.
+func (s *opScratch) resetTaken() {
+	for i := range s.taken {
+		s.taken[i] = false
+	}
+}
+
+// shardTable returns the frame's shard-header table resized to n entries,
+// all nil.
+func (s *opScratch) shardTable(n int) [][]byte {
+	if cap(s.shards) < n {
+		s.shards = make([][]byte, n)
+	}
+	s.shards = s.shards[:n]
+	clear(s.shards)
+	return s.shards
+}
+
+// clearPending nils the data references of a pendingChunk slice.
+func clearPending(cs []pendingChunk) {
+	for i := range cs {
+		cs[i] = pendingChunk{}
+	}
+}
+
+// putPendingData returns every chunk's arena buffer and clears the
+// entries. Only for slices whose data the caller owns (stripe-buffer and
+// device-buffer copies), never for chunks referencing a writer's payload.
+func putPendingData(cs []pendingChunk) {
+	for i := range cs {
+		bufpool.Default.Put(cs[i].data)
+		cs[i] = pendingChunk{}
+	}
+}
+
+// getLogStripe pops a recycled logStripe (members emptied) or allocates
+// one. Log stripes live from flushGroup until the commit that folds them,
+// which returns them via putLogStripe.
+func (e *EPLog) getLogStripe() *logStripe {
+	if n := len(e.lsFree); n > 0 {
+		ls := e.lsFree[n-1]
+		e.lsFree = e.lsFree[:n-1]
+		return ls
+	}
+	return &logStripe{}
+}
+
+func (e *EPLog) putLogStripe(ls *logStripe) {
+	ls.members = ls.members[:0]
+	ls.id, ls.logPos = 0, 0
+	e.lsFree = append(e.lsFree, ls)
+}
+
+// newSpan pops a recycled span reset to start, or allocates one. Spans
+// are returned with freeSpan on the paths that finish with them; error
+// paths may simply drop them (the freelist is opportunistic).
+func (e *EPLog) newSpan(start float64) *device.Span {
+	if n := len(e.spanFree); n > 0 {
+		sp := e.spanFree[n-1]
+		e.spanFree = e.spanFree[:n-1]
+		sp.Reset(start)
+		return sp
+	}
+	return device.NewSpan(start)
+}
+
+func (e *EPLog) freeSpan(sp *device.Span) {
+	e.spanFree = append(e.spanFree, sp)
+}
+
+// grow returns s resized to n entries, reallocating only when capacity is
+// short; contents are unspecified.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/eplog/eplog/internal/bufpool"
 	"github.com/eplog/eplog/internal/device"
 )
 
@@ -39,26 +40,29 @@ func (e *EPLog) Verify() (*VerifyReport, error) {
 		return nil, err
 	}
 
+	// One arena-backed shard table serves the whole scrub: every stripe
+	// reads fully overwrite the buffers, and log stripes (k' <= n members)
+	// never need more headers than a data stripe has devices.
+	table := make([][]byte, 0, e.geo.N+m)
+	table = bufpool.Default.GetSlices(table[:e.geo.N+m], e.csize)
+	defer bufpool.Default.PutSlices(table)
+
 	for s := int64(0); s < e.geo.Stripes; s++ {
 		if e.virgin[s] {
 			continue
 		}
 		report.DataStripes++
-		shards := make([][]byte, k+m)
+		shards := table[:k+m]
 		for j := 0; j < k; j++ {
 			loc := e.commLoc[e.geo.LBA(s, j)]
-			buf := make([]byte, e.csize)
-			if err := span.Read(e.devs[loc.Dev], loc.Chunk, buf); err != nil {
+			if err := span.Read(e.devs[loc.Dev], loc.Chunk, shards[j]); err != nil {
 				return nil, fmt.Errorf("core: verify stripe %d slot %d: %w", s, j, err)
 			}
-			shards[j] = buf
 		}
 		for i := 0; i < m; i++ {
-			buf := make([]byte, e.csize)
-			if err := span.Read(e.devs[e.geo.ParityDev(s, i)], e.geo.HomeChunk(s), buf); err != nil {
+			if err := span.Read(e.devs[e.geo.ParityDev(s, i)], e.geo.HomeChunk(s), shards[k+i]); err != nil {
 				return nil, fmt.Errorf("core: verify stripe %d parity %d: %w", s, i, err)
 			}
-			shards[k+i] = buf
 		}
 		ok, err := code.Verify(shards)
 		if err != nil {
@@ -76,20 +80,16 @@ func (e *EPLog) Verify() (*VerifyReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		shards := make([][]byte, kPrime+m)
+		shards := table[:kPrime+m]
 		for i, mb := range ls.members {
-			buf := make([]byte, e.csize)
-			if err := span.Read(e.devs[mb.loc.Dev], mb.loc.Chunk, buf); err != nil {
+			if err := span.Read(e.devs[mb.loc.Dev], mb.loc.Chunk, shards[i]); err != nil {
 				return nil, fmt.Errorf("core: verify log stripe %d member %d: %w", id, i, err)
 			}
-			shards[i] = buf
 		}
 		for i := 0; i < m; i++ {
-			buf := make([]byte, e.csize)
-			if err := span.Read(e.logDevs[i], ls.logPos, buf); err != nil {
+			if err := span.Read(e.logDevs[i], ls.logPos, shards[kPrime+i]); err != nil {
 				return nil, fmt.Errorf("core: verify log stripe %d log chunk %d: %w", id, i, err)
 			}
-			shards[kPrime+i] = buf
 		}
 		ok, err := lcode.Verify(shards)
 		if err != nil {

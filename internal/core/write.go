@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/eplog/eplog/internal/bufpool"
 	"github.com/eplog/eplog/internal/device"
 	"github.com/eplog/eplog/internal/obs"
 	"github.com/eplog/eplog/internal/store"
@@ -26,15 +27,17 @@ func (e *EPLog) WriteChunks(start float64, lba int64, data []byte) (float64, err
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.stats.Requests++
-	span := device.NewSpan(start)
+	span := e.newSpan(start)
 
 	// Split into per-stripe segments; chunks not eligible for the direct
 	// or stripe-buffer paths accumulate into one request-wide update set
-	// so elastic grouping can span stripes (Fig. 1(b)).
-	var updates []pendingChunk
+	// so elastic grouping can span stripes (Fig. 1(b)). Both slices are
+	// engine scratch: WriteChunks cannot reenter itself (e.mu), and the
+	// nested paths use their own frames.
+	updates := e.wrUpdates[:0]
 	for off := int64(0); off < nChunks; {
 		s, _ := e.geo.Stripe(lba + off)
-		var seg []pendingChunk
+		seg := e.wrSeg[:0]
 		for ; off < nChunks; off++ {
 			s2, _ := e.geo.Stripe(lba + off)
 			if s2 != s {
@@ -45,21 +48,28 @@ func (e *EPLog) WriteChunks(start float64, lba int64, data []byte) (float64, err
 				data: data[off*int64(e.csize) : (off+1)*int64(e.csize)],
 			})
 		}
+		e.wrSeg = seg
 		deferred, err := e.writeSegment(span, s, seg)
 		if err != nil {
 			// Partial-failure contract: once device work has been issued,
 			// errors return the span's progress rather than start, so a
 			// caller replaying from the returned time does not double-
 			// count virtual time (or stats) for work already done.
+			e.wrUpdates = updates
 			return span.End(), err
 		}
 		updates = append(updates, deferred...)
 	}
+	e.wrUpdates = updates
 	if len(updates) > 0 {
 		if err := e.updatePath(span, updates); err != nil {
+			clearPending(e.wrUpdates)
 			return span.End(), err
 		}
 	}
+	// Drop data references so scratch reuse cannot pin caller buffers.
+	clearPending(e.wrSeg[:cap(e.wrSeg)])
+	clearPending(e.wrUpdates[:cap(e.wrUpdates)])
 
 	if e.cfg.CommitEvery > 0 {
 		e.reqSinceCommit++
@@ -69,10 +79,12 @@ func (e *EPLog) WriteChunks(start float64, lba int64, data []byte) (float64, err
 			}
 		}
 	}
-	e.vnow = max(e.vnow, span.End())
-	e.mWriteLat.Observe(span.End() - start)
-	e.obs.Emit(obs.Event{Kind: obs.KindWrite, T: start, Dur: span.End() - start, Dev: -1, LBA: lba, N: nChunks})
-	return span.End(), nil
+	end := span.End()
+	e.freeSpan(span)
+	e.vnow = max(e.vnow, end)
+	e.mWriteLat.Observe(end - start)
+	e.obs.Emit(obs.Event{Kind: obs.KindWrite, T: start, Dur: end - start, Dev: -1, LBA: lba, N: nChunks})
+	return end, nil
 }
 
 // writeSegment routes one stripe's worth of a request, returning any
@@ -91,43 +103,68 @@ func (e *EPLog) writeSegment(span *device.Span, stripe int64, seg []pendingChunk
 }
 
 // directStripeWrite writes a complete new stripe (data and parity) to the
-// stripe's home locations.
+// stripe's home locations. Parity buffers come from the arena, the shard
+// table is engine scratch (the path cannot reenter itself), and with a
+// single worker the k+m device writes run inline — the serial steady state
+// allocates nothing.
 func (e *EPLog) directStripeWrite(span *device.Span, stripe int64, seg []pendingChunk) error {
 	k, m := e.geo.K, e.geo.M()
 	home := e.geo.HomeChunk(stripe)
-	shards := make([][]byte, k+m)
+	e.dsShards = grow(e.dsShards, k+m)
+	shards := e.dsShards
+	clear(shards)
 	for _, c := range seg {
 		_, slot := e.geo.Stripe(c.lba)
 		shards[slot] = c.data
 	}
-	parity := make([][]byte, m)
-	for i := range parity {
-		parity[i] = make([]byte, e.csize)
-		shards[k+i] = parity[i]
+	for i := 0; i < m; i++ {
+		shards[k+i] = bufpool.Default.Get(e.csize)
 	}
-	code, err := e.code(k)
+	parity := shards[k:]
+	err := func() error {
+		code, err := e.code(k)
+		if err != nil {
+			return err
+		}
+		if err := code.EncodeParallel(shards, e.workers); err != nil {
+			return err
+		}
+		if e.workers <= 1 {
+			// Same device order as the task list below, so the span's
+			// virtual-time accounting is identical.
+			for _, c := range seg {
+				_, slot := e.geo.Stripe(c.lba)
+				if err := tolerantWrite(span, e.devs[e.geo.DataDev(stripe, slot)], home, c.data); err != nil {
+					return err
+				}
+			}
+			for i, p := range parity {
+				if err := tolerantWrite(span, e.devs[e.geo.ParityDev(stripe, i)], home, p); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// k+m writes to k+m distinct devices: one pool task each.
+		tasks := make([]func(*device.Span) error, 0, k+m)
+		for _, c := range seg {
+			_, slot := e.geo.Stripe(c.lba)
+			dev, data := e.devs[e.geo.DataDev(stripe, slot)], c.data
+			tasks = append(tasks, func(sp *device.Span) error {
+				return tolerantWrite(sp, dev, home, data)
+			})
+		}
+		for i := range parity {
+			dev, data := e.devs[e.geo.ParityDev(stripe, i)], parity[i]
+			tasks = append(tasks, func(sp *device.Span) error {
+				return tolerantWrite(sp, dev, home, data)
+			})
+		}
+		return e.fanOut(span, tasks)
+	}()
+	bufpool.Default.PutSlices(parity)
+	clear(shards)
 	if err != nil {
-		return err
-	}
-	if err := code.EncodeParallel(shards, e.workers); err != nil {
-		return err
-	}
-	// k+m writes to k+m distinct devices: one pool task each.
-	tasks := make([]func(*device.Span) error, 0, k+m)
-	for _, c := range seg {
-		_, slot := e.geo.Stripe(c.lba)
-		dev, data := e.devs[e.geo.DataDev(stripe, slot)], c.data
-		tasks = append(tasks, func(sp *device.Span) error {
-			return tolerantWrite(sp, dev, home, data)
-		})
-	}
-	for i := range parity {
-		dev, data := e.devs[e.geo.ParityDev(stripe, i)], parity[i]
-		tasks = append(tasks, func(sp *device.Span) error {
-			return tolerantWrite(sp, dev, home, data)
-		})
-	}
-	if err := e.fanOut(span, tasks); err != nil {
 		return err
 	}
 	e.stats.DataWriteChunks += int64(k)
@@ -145,10 +182,11 @@ func (e *EPLog) directStripeWrite(span *device.Span, stripe int64, seg []pending
 // buffer overflows.
 func (e *EPLog) bufferNewWrite(span *device.Span, stripe int64, seg []pendingChunk) error {
 	for _, c := range seg {
-		cp := pendingChunk{lba: c.lba, data: append([]byte(nil), c.data...)}
-		if done := e.stripeBuf.put(stripe, cp, e.geo.K); done >= 0 {
+		if done := e.stripeBuf.put(stripe, c.lba, c.data, e.geo.K); done >= 0 {
 			full := e.stripeBuf.take(done)
-			if err := e.directStripeWrite(span, done, full); err != nil {
+			err := e.directStripeWrite(span, done, full)
+			putPendingData(full)
+			if err != nil {
 				return err
 			}
 		}
@@ -161,7 +199,9 @@ func (e *EPLog) bufferNewWrite(span *device.Span, stripe int64, seg []pendingChu
 		evicted := e.stripeBuf.take(oldest)
 		e.obs.Emit(obs.Event{Kind: obs.KindBufferEvict, T: span.Start(), Dev: -1,
 			LBA: e.geo.LBA(oldest, 0), N: int64(len(evicted))})
-		if err := e.updatePath(span, evicted); err != nil {
+		err := e.updatePath(span, evicted)
+		putPendingData(evicted)
+		if err != nil {
 			return err
 		}
 	}
@@ -195,18 +235,38 @@ func (e *EPLog) updatePath(span *device.Span, chunks []pendingChunk) error {
 	// before the flush could emit a log stripe with two members on one
 	// SSD — breaking the one-chunk-per-device invariant that degraded
 	// reads and rebuild rely on.
+	//
+	// Both the round's group and the deferred set live in a scratch
+	// frame; the caller's slice is never reordered (callers keep it to
+	// return arena buffers after the flush). The first round copies
+	// deferred chunks into the frame's rest slice; later rounds compact
+	// it in place, which is safe because the write index always trails
+	// the read index (the first chunk of every round is grouped, never
+	// deferred).
+	sc := e.getScratch()
+	defer e.putScratch(sc)
 	pending := chunks
-	for len(pending) > 0 {
-		taken := make(map[int]bool, len(pending))
-		var group, rest []pendingChunk
+	for round := 0; len(pending) > 0; round++ {
+		sc.resetTaken()
+		group := sc.group[:0]
+		var rest []pendingChunk
+		if round == 0 {
+			rest = sc.rest[:0]
+		} else {
+			rest = pending[:0]
+		}
 		for _, c := range pending {
 			dev := e.latest[c.lba].Dev
-			if taken[dev] {
+			if sc.taken[dev] {
 				rest = append(rest, c)
 				continue
 			}
-			taken[dev] = true
+			sc.taken[dev] = true
 			group = append(group, c)
+		}
+		sc.group = group
+		if round == 0 {
+			sc.rest = rest
 		}
 		if err := e.flushGroup(span, group); err != nil {
 			return err
@@ -226,18 +286,27 @@ func (e *EPLog) anyBufferFull() bool {
 }
 
 // drainRound extracts one pending chunk from the head of every non-empty
-// device buffer and emits them as one log stripe (Section III-D).
+// device buffer and emits them as one log stripe (Section III-D). The
+// popped chunks carry arena-owned copies (deviceBuffer.put copied them
+// in); once the flush has written them out they go back to the arena.
 func (e *EPLog) drainRound(span *device.Span) error {
-	var group []pendingChunk
+	sc := e.getScratch()
+	defer e.putScratch(sc)
+	group := sc.group[:0]
 	for _, b := range e.devBufs {
 		if c, ok := b.pop(); ok {
 			group = append(group, c)
 		}
 	}
+	sc.group = group
 	if len(group) == 0 {
 		return nil
 	}
-	return e.flushGroup(span, group)
+	err := e.flushGroup(span, group)
+	for _, c := range group {
+		bufpool.Default.Put(c.data)
+	}
+	return err
 }
 
 // flushGroup writes one elastic log stripe: the group's chunks go
@@ -249,21 +318,26 @@ func (e *EPLog) drainRound(span *device.Span) error {
 // fan-out below race-free.
 func (e *EPLog) flushGroup(span *device.Span, group []pendingChunk) error {
 	kPrime, m := len(group), e.geo.M()
+	sc := e.getScratch()
+	defer e.putScratch(sc)
 
 	// Allocate a fresh location on each destination SSD (no-overwrite).
 	// Allocation may force a parity commit (the space guard), and a
 	// commit resets the log cursor — so the log position is claimed only
 	// after every operation that could commit has run.
-	ls := &logStripe{id: e.nextLogID, members: make([]member, 0, kPrime)}
-	seen := make(map[int]bool, kPrime)
+	ls := e.getLogStripe()
+	ls.id = e.nextLogID
+	sc.resetTaken()
 	for _, c := range group {
 		dev := e.latest[c.lba].Dev
-		if seen[dev] {
+		if sc.taken[dev] {
+			e.putLogStripe(ls)
 			return fmt.Errorf("core: log stripe group has two chunks on device %d (one-chunk-per-device invariant)", dev)
 		}
-		seen[dev] = true
+		sc.taken[dev] = true
 		chunk, err := e.allocOn(dev)
 		if err != nil {
+			e.putLogStripe(ls)
 			return err
 		}
 		ls.members = append(ls.members, member{lba: c.lba, loc: Loc{Dev: dev, Chunk: chunk}})
@@ -272,51 +346,74 @@ func (e *EPLog) flushGroup(span *device.Span, group []pendingChunk) error {
 	// Make room on the log devices if needed, then claim the slot.
 	if e.logCursor >= e.logDevs[0].Chunks() {
 		if e.inCommit {
+			e.putLogStripe(ls)
 			return fmt.Errorf("core: log devices full during commit")
 		}
 		if err := e.commit(); err != nil {
+			e.putLogStripe(ls)
 			return err
 		}
 	}
 	ls.logPos = e.logCursor
 
-	// Encode the log chunks from the new data only.
-	shards := make([][]byte, kPrime+m)
+	// Encode the log chunks from the new data only. Group data is
+	// caller-owned; the log chunks come from the arena (encodeRange
+	// clears its destinations, so dirty buffers are fine).
+	shards := sc.shardTable(kPrime + m)
 	for i, c := range group {
 		shards[i] = c.data
 	}
-	logChunks := make([][]byte, m)
-	for i := range logChunks {
-		logChunks[i] = make([]byte, e.csize)
-		shards[kPrime+i] = logChunks[i]
-	}
-	code, err := e.code(kPrime)
-	if err != nil {
-		return err
-	}
-	if err := code.EncodeParallel(shards, e.workers); err != nil {
-		return err
-	}
+	logChunks := bufpool.Default.GetSlices(shards[kPrime:], e.csize)
+	err := func() error {
+		code, err := e.code(kPrime)
+		if err != nil {
+			return err
+		}
+		if err := code.EncodeParallel(shards, e.workers); err != nil {
+			return err
+		}
 
-	// One phase: data to SSDs, log chunks to log devices, in parallel.
-	// Every task targets a distinct device (members by the invariant
-	// above, log devices by construction), so the fan-out is race-free.
-	tasks := make([]func(*device.Span) error, 0, kPrime+m)
-	for i := range group {
-		mb, data := ls.members[i], group[i].data
-		tasks = append(tasks, func(sp *device.Span) error {
-			return tolerantWrite(sp, e.devs[mb.loc.Dev], mb.loc.Chunk, data)
-		})
-	}
-	logPos := e.logCursor
-	for i := range logChunks {
-		dev, data := e.logDevs[i], logChunks[i]
-		tasks = append(tasks, func(sp *device.Span) error {
-			// A failed log device costs one of m redundancy.
-			return tolerantWrite(sp, dev, logPos, data)
-		})
-	}
-	if err := e.fanOut(span, tasks); err != nil {
+		// One phase: data to SSDs, log chunks to log devices, in
+		// parallel. Every task targets a distinct device (members by the
+		// invariant above, log devices by construction), so the fan-out
+		// is race-free. With a single worker the writes run inline, in
+		// the same device order as the task list, so the span's virtual-
+		// time accounting is identical.
+		if e.workers <= 1 {
+			for i := range group {
+				mb := ls.members[i]
+				if err := tolerantWrite(span, e.devs[mb.loc.Dev], mb.loc.Chunk, group[i].data); err != nil {
+					return err
+				}
+			}
+			for i, data := range logChunks {
+				// A failed log device costs one of m redundancy.
+				if err := tolerantWrite(span, e.logDevs[i], ls.logPos, data); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		tasks := make([]func(*device.Span) error, 0, kPrime+m)
+		for i := range group {
+			mb, data := ls.members[i], group[i].data
+			tasks = append(tasks, func(sp *device.Span) error {
+				return tolerantWrite(sp, e.devs[mb.loc.Dev], mb.loc.Chunk, data)
+			})
+		}
+		logPos := ls.logPos
+		for i := range logChunks {
+			dev, data := e.logDevs[i], logChunks[i]
+			tasks = append(tasks, func(sp *device.Span) error {
+				// A failed log device costs one of m redundancy.
+				return tolerantWrite(sp, dev, logPos, data)
+			})
+		}
+		return e.fanOut(span, tasks)
+	}()
+	bufpool.Default.PutSlices(shards[kPrime:])
+	if err != nil {
+		e.putLogStripe(ls)
 		return err
 	}
 	e.stats.DataWriteChunks += int64(kPrime)
@@ -381,7 +478,9 @@ func (e *EPLog) flush(span *device.Span) error {
 				break
 			}
 			seg := e.stripeBuf.take(s)
-			if err := e.updatePath(span, seg); err != nil {
+			err := e.updatePath(span, seg)
+			putPendingData(seg)
+			if err != nil {
 				return err
 			}
 		}

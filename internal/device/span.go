@@ -17,6 +17,13 @@ func NewSpan(start float64) *Span {
 	return &Span{start: start, end: start}
 }
 
+// Reset reinitializes the span in place to a fresh phase starting at the
+// given virtual time, so hot paths can recycle spans instead of
+// allocating one per operation.
+func (s *Span) Reset(start float64) {
+	s.start, s.end, s.err = start, start, nil
+}
+
 // Read issues a chunk read within the span.
 func (s *Span) Read(d Dev, idx int64, p []byte) error {
 	if s.err != nil {

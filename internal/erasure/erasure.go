@@ -11,10 +11,12 @@
 package erasure
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
 
+	"github.com/eplog/eplog/internal/bufpool"
 	"github.com/eplog/eplog/internal/gf"
 	"github.com/eplog/eplog/internal/workpool"
 )
@@ -38,8 +40,8 @@ var (
 	ErrShardSize         = errors.New("erasure: empty shard")
 )
 
-// Code is an immutable k-of-(k+m) systematic erasure code. It is safe for
-// concurrent use.
+// Code is a k-of-(k+m) systematic erasure code. Its coding parameters are
+// immutable; internal caches make it safe for concurrent use.
 type Code struct {
 	k int
 	m int
@@ -49,6 +51,19 @@ type Code struct {
 	// xorOnly reports that m == 1 and the single parity row is all ones,
 	// enabling the pure-XOR fast path (RAID-4/5 parity).
 	xorOnly bool
+
+	// views pools k-entry [][]byte scratch (sub-slice views for ranged
+	// encodes, source rows for reconstruction) so the hot paths stay
+	// allocation-free.
+	views sync.Pool
+
+	// decCache memoizes inverted decode matrices by the present-shard
+	// bitmask. A rebuild reconstructs every stripe with the same erasure
+	// pattern, so after the first stripe the Gauss-Jordan inversion is a
+	// map hit. Only usable when k+m <= 64 bits of mask; larger codes
+	// invert cold every time.
+	decMu    sync.RWMutex
+	decCache map[uint64]matrix
 }
 
 // New returns a Code with k data shards and m parity shards using the given
@@ -58,6 +73,8 @@ func New(k, m int, c Construction) (*Code, error) {
 		return nil, fmt.Errorf("%w: k=%d m=%d", ErrInvalidShardCount, k, m)
 	}
 	code := &Code{k: k, m: m}
+	code.views.New = func() any { s := make([][]byte, k); return &s }
+	code.decCache = make(map[uint64]matrix)
 	if m == 0 {
 		return code, nil
 	}
@@ -93,17 +110,9 @@ func New(k, m int, c Construction) (*Code, error) {
 	default:
 		return nil, fmt.Errorf("erasure: unknown construction %d", c)
 	}
-	code.xorOnly = m == 1 && allOnes(code.parity[0])
+	// m == 1 returned above with xorOnly set; multi-parity codes never
+	// take the XOR-only path.
 	return code, nil
-}
-
-func allOnes(row []byte) bool {
-	for _, v := range row {
-		if v != 1 {
-			return false
-		}
-	}
-	return true
 }
 
 // K returns the number of data shards.
@@ -158,23 +167,41 @@ func (c *Code) EncodeParallel(shards [][]byte, workers int) error {
 	return workpool.Run(workers, tasks)
 }
 
-// encodeRange computes parity for the byte range [lo, hi) of every shard.
+// getViews borrows a k-entry [][]byte scratch from the per-code pool.
+func (c *Code) getViews() *[][]byte { return c.views.Get().(*[][]byte) }
+
+func (c *Code) putViews(v *[][]byte) {
+	clear(*v) // drop references so pooled headers don't pin shard data
+	c.views.Put(v)
+}
+
+// encodeRange computes parity for the byte range [lo, hi) of every shard
+// using the fused multi-source kernels: one pass over each parity range for
+// all k sources, so parity write traffic does not scale with k.
 func (c *Code) encodeRange(shards [][]byte, lo, hi int) {
 	data, parity := shards[:c.k], shards[c.k:]
+	full := lo == 0 && hi == len(shards[0])
+	var vp *[][]byte
+	if !full {
+		vp = c.getViews()
+		for i, d := range data {
+			(*vp)[i] = d[lo:hi]
+		}
+		data = *vp
+	}
 	if c.xorOnly {
 		out := parity[0][lo:hi]
 		clear(out)
-		for _, d := range data {
-			gf.XORSlice(d[lo:hi], out)
+		gf.XORSlices(data, out)
+	} else {
+		for j := 0; j < c.m; j++ {
+			out := parity[j][lo:hi]
+			clear(out)
+			gf.MulAddSlices(c.parity[j], data, out)
 		}
-		return
 	}
-	for j := 0; j < c.m; j++ {
-		out := parity[j][lo:hi]
-		clear(out)
-		for i, d := range data {
-			gf.MulAddSlice(c.parity[j][i], d[lo:hi], out)
-		}
+	if vp != nil {
+		c.putViews(vp)
 	}
 }
 
@@ -219,9 +246,13 @@ func (c *Code) reconstruct(shards [][]byte, dataOnly bool) error {
 	}
 	size := presentSize(shards)
 	present := 0
-	for _, s := range shards {
+	var mask uint64
+	for i, s := range shards {
 		if s != nil {
 			present++
+			if i < 64 {
+				mask |= 1 << uint(i)
+			}
 		}
 	}
 	if present == c.N() {
@@ -231,42 +262,35 @@ func (c *Code) reconstruct(shards [][]byte, dataOnly bool) error {
 		return fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, present, c.k)
 	}
 
-	// Build the decode matrix from k surviving rows of the generator:
-	// an identity row for each surviving data shard and the coding row
-	// for each parity shard used.
-	dec := newMatrix(c.k, c.k)
-	src := make([][]byte, c.k)
+	inv, err := c.decodeMatrix(mask, shards)
+	if err != nil {
+		return err
+	}
+
+	// Collect the k surviving source shards in decode-row order (data
+	// shards first, then parity), matching decodeMatrix's row selection.
+	vp := c.getViews()
+	src := *vp
 	row := 0
-	for i := 0; i < c.k && row < c.k; i++ {
+	for i := 0; i < c.N() && row < c.k; i++ {
 		if shards[i] != nil {
-			dec[row][i] = 1
 			src[row] = shards[i]
 			row++
 		}
 	}
-	for j := 0; j < c.m && row < c.k; j++ {
-		if shards[c.k+j] != nil {
-			copy(dec[row], c.parity[j])
-			src[row] = shards[c.k+j]
-			row++
-		}
-	}
-	inv, err := dec.invert()
-	if err != nil {
-		return fmt.Errorf("erasure: decode matrix inversion: %w", err)
-	}
 
-	// Recover missing data shards: data_i = (inv * src)_i.
+	// Recover missing data shards: data_i = (inv * src)_i, fused across
+	// all k source rows. Output buffers come from the arena so callers on
+	// the rebuild path can return them after use.
 	for i := 0; i < c.k; i++ {
 		if shards[i] != nil {
 			continue
 		}
-		out := make([]byte, size)
-		for t := 0; t < c.k; t++ {
-			gf.MulAddSlice(inv[i][t], src[t], out)
-		}
+		out := bufpool.Default.GetZero(size)
+		gf.MulAddSlices(inv[i], src, out)
 		shards[i] = out
 	}
+	c.putViews(vp)
 	if dataOnly {
 		return nil
 	}
@@ -275,35 +299,92 @@ func (c *Code) reconstruct(shards [][]byte, dataOnly bool) error {
 		if shards[c.k+j] != nil {
 			continue
 		}
-		out := make([]byte, size)
-		for i := 0; i < c.k; i++ {
-			gf.MulAddSlice(c.parity[j][i], shards[i], out)
-		}
+		out := bufpool.Default.GetZero(size)
+		gf.MulAddSlices(c.parity[j], shards[:c.k], out)
 		shards[c.k+j] = out
 	}
 	return nil
 }
 
+// decodeMatrix returns the inverted decode matrix for the erasure pattern
+// described by mask (bit i set when shards[i] is present), memoized per
+// pattern. The decode matrix stacks k surviving generator rows — an
+// identity row per surviving data shard, then coding rows — and inverts
+// them; reconstruction of every stripe in a device rebuild shares one
+// pattern, so the Gauss-Jordan cost is paid once. Codes wider than 64
+// shards skip the cache and invert cold.
+func (c *Code) decodeMatrix(mask uint64, shards [][]byte) (matrix, error) {
+	cacheable := c.N() <= 64
+	if cacheable {
+		c.decMu.RLock()
+		inv, ok := c.decCache[mask]
+		c.decMu.RUnlock()
+		if ok {
+			return inv, nil
+		}
+	}
+	dec := newMatrix(c.k, c.k)
+	row := 0
+	for i := 0; i < c.k && row < c.k; i++ {
+		if shards[i] != nil {
+			dec[row][i] = 1
+			row++
+		}
+	}
+	for j := 0; j < c.m && row < c.k; j++ {
+		if shards[c.k+j] != nil {
+			copy(dec[row], c.parity[j])
+			row++
+		}
+	}
+	inv, err := dec.invert()
+	if err != nil {
+		return nil, fmt.Errorf("erasure: decode matrix inversion: %w", err)
+	}
+	if cacheable {
+		c.decMu.Lock()
+		c.decCache[mask] = inv
+		c.decMu.Unlock()
+	}
+	return inv, nil
+}
+
 // Verify reports whether the parity shards match the data shards. All k+m
-// shards must be present.
+// shards must be present. The expected parity is recomputed into pooled
+// scratch and compared 8 bytes at a time with early exit on the first
+// mismatching word.
 func (c *Code) Verify(shards [][]byte) (bool, error) {
 	if err := c.checkShards(shards, false); err != nil {
 		return false, err
 	}
 	size := len(shards[0])
-	buf := make([]byte, size)
+	buf := bufpool.Default.Get(size)
+	defer bufpool.Default.Put(buf)
 	for j := 0; j < c.m; j++ {
 		clear(buf)
-		for i := 0; i < c.k; i++ {
-			gf.MulAddSlice(c.parity[j][i], shards[i], buf)
-		}
-		for b := range buf {
-			if buf[b] != shards[c.k+j][b] {
-				return false, nil
-			}
+		gf.MulAddSlices(c.parity[j], shards[:c.k], buf)
+		if !equalWords(buf, shards[c.k+j]) {
+			return false, nil
 		}
 	}
 	return true, nil
+}
+
+// equalWords reports a == b, comparing 8-byte words with early exit. Both
+// slices must have equal length.
+func equalWords(a, b []byte) bool {
+	n := len(a) &^ 7
+	for i := 0; i < n; i += 8 {
+		if binary.LittleEndian.Uint64(a[i:]) != binary.LittleEndian.Uint64(b[i:]) {
+			return false
+		}
+	}
+	for i := n; i < len(a); i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // checkShards validates shard count and sizes. If allowNil is true, nil
@@ -350,7 +431,7 @@ func presentSize(shards [][]byte) int {
 type Cache struct {
 	construction Construction
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	codes map[[2]int]*Code
 }
 
@@ -360,10 +441,19 @@ func NewCache(c Construction) *Cache {
 }
 
 // Get returns the memoized code for (k, m), constructing it on first use.
+// The steady-state path — every flush and fold looks its code up — takes
+// only the read lock; the write lock is held solely while inserting a
+// newly built code.
 func (cc *Cache) Get(k, m int) (*Code, error) {
+	key := [2]int{k, m}
+	cc.mu.RLock()
+	code, ok := cc.codes[key]
+	cc.mu.RUnlock()
+	if ok {
+		return code, nil
+	}
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
-	key := [2]int{k, m}
 	if code, ok := cc.codes[key]; ok {
 		return code, nil
 	}

@@ -20,6 +20,19 @@ var logTable [Order]byte
 // mulTable[a][b] caches a*b for fast bulk operations.
 var mulTable [Order][Order]byte
 
+// mulLo and mulHi are the split-nibble multiply tables behind the
+// word-parallel slice kernels (kernels.go): for any byte s,
+//
+//	c*s == mulLo[c][s&0xF] ^ mulHi[c][s>>4]
+//
+// because multiplication by a constant is GF(2)-linear in the bits of s.
+// The two 16-entry rows for one coefficient span 32 bytes — a single cache
+// line — versus the 256-byte mulTable row.
+var (
+	mulLo [Order][16]byte
+	mulHi [Order][16]byte
+)
+
 func init() {
 	x := byte(1)
 	for i := 0; i < Order-1; i++ {
@@ -36,6 +49,12 @@ func init() {
 	for a := 1; a < Order; a++ {
 		for b := 1; b < Order; b++ {
 			mulTable[a][b] = expTable[int(logTable[a])+int(logTable[b])]
+		}
+	}
+	for c := 0; c < Order; c++ {
+		for n := 0; n < 16; n++ {
+			mulLo[c][n] = mulTable[c][n]
+			mulHi[c][n] = mulTable[c][n<<4]
 		}
 	}
 }
@@ -75,60 +94,7 @@ func Exp(n int) byte {
 	return expTable[n]
 }
 
-// MulSlice sets dst[i] = c * src[i]. dst and src must have equal length.
-func MulSlice(c byte, src, dst []byte) {
-	if len(src) != len(dst) {
-		panic("gf: MulSlice length mismatch")
-	}
-	if c == 0 {
-		clear(dst)
-		return
-	}
-	if c == 1 {
-		copy(dst, src)
-		return
-	}
-	mt := &mulTable[c]
-	for i, s := range src {
-		dst[i] = mt[s]
-	}
-}
-
-// MulAddSlice sets dst[i] ^= c * src[i]; it is the inner loop of systematic
-// Reed-Solomon encoding. dst and src must have equal length.
-func MulAddSlice(c byte, src, dst []byte) {
-	if len(src) != len(dst) {
-		panic("gf: MulAddSlice length mismatch")
-	}
-	if c == 0 {
-		return
-	}
-	if c == 1 {
-		XORSlice(src, dst)
-		return
-	}
-	mt := &mulTable[c]
-	for i, s := range src {
-		dst[i] ^= mt[s]
-	}
-}
-
-// XORSlice sets dst[i] ^= src[i], processing 8 bytes at a time via the
-// compiler's slice-to-array conversions. dst and src must have equal length.
-func XORSlice(src, dst []byte) {
-	if len(src) != len(dst) {
-		panic("gf: XORSlice length mismatch")
-	}
-	n := len(src)
-	i := 0
-	for ; i+8 <= n; i += 8 {
-		d := (*[8]byte)(dst[i:])
-		s := (*[8]byte)(src[i:])
-		for j := 0; j < 8; j++ {
-			d[j] ^= s[j]
-		}
-	}
-	for ; i < n; i++ {
-		dst[i] ^= src[i]
-	}
-}
+// The bulk slice kernels (MulSlice, MulAddSlice, XORSlice and the fused
+// multi-source MulAddSlices/XORSlices) live in kernels.go; their byte-wise
+// reference implementations, which the kernels are pinned bit-identical to
+// by differential tests, live in reference.go.

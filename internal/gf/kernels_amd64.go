@@ -1,0 +1,103 @@
+//go:build gc && !purego
+
+package gf
+
+// amd64 fast path: the split-nibble tables are exactly what the PSHUFB
+// instruction consumes — each XMM register holds one 16-entry nibble row
+// and a single shuffle performs 16 table lookups — so the SSSE3 kernels in
+// kernels_amd64.s process 16 bytes per iteration. SSSE3 is detected at
+// startup via CPUID; pre-2006 CPUs (and purego builds) fall back to the
+// portable word kernels. XOR needs only SSE2, which is the amd64 baseline.
+
+// hasSSSE3 reports PSHUFB support (CPUID.1:ECX bit 9).
+var hasSSSE3 = func() bool {
+	_, _, ecx, _ := cpuid(1, 0)
+	return ecx&(1<<9) != 0
+}()
+
+// cpuid executes the CPUID instruction (implemented in kernels_amd64.s).
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// mulVecAsm sets dst[i] = c*src[i] for i in [0,n) where lo and hi are c's
+// split-nibble rows; n must be a positive multiple of 16.
+//
+//go:noescape
+func mulVecAsm(lo, hi *[16]byte, src, dst *byte, n int)
+
+// mulAddVecAsm sets dst[i] ^= c*src[i] for i in [0,n); n must be a
+// positive multiple of 16.
+//
+//go:noescape
+func mulAddVecAsm(lo, hi *[16]byte, src, dst *byte, n int)
+
+// xorVecAsm sets dst[i] ^= src[i] for i in [0,n); n must be a positive
+// multiple of 16.
+//
+//go:noescape
+func xorVecAsm(src, dst *byte, n int)
+
+func mulSliceFast(c byte, src, dst []byte) {
+	if n := len(src) &^ 15; hasSSSE3 && n > 0 {
+		mulVecAsm(&mulLo[c], &mulHi[c], &src[0], &dst[0], n)
+		mt := &mulTable[c]
+		for i := n; i < len(src); i++ {
+			dst[i] = mt[src[i]]
+		}
+		return
+	}
+	mulSliceWord(c, src, dst)
+}
+
+func mulAddSliceFast(c byte, src, dst []byte) {
+	if n := len(src) &^ 15; hasSSSE3 && n > 0 {
+		mulAddVecAsm(&mulLo[c], &mulHi[c], &src[0], &dst[0], n)
+		mt := &mulTable[c]
+		for i := n; i < len(src); i++ {
+			dst[i] ^= mt[src[i]]
+		}
+		return
+	}
+	mulAddSliceWord(c, src, dst)
+}
+
+func xorSliceFast(src, dst []byte) {
+	if n := len(src) &^ 15; n > 0 {
+		xorVecAsm(&src[0], &dst[0], n)
+		for i := n; i < len(src); i++ {
+			dst[i] ^= src[i]
+		}
+		return
+	}
+	xorSliceWord(src, dst)
+}
+
+// The vector kernels keep a 4KB dst resident in L1 across passes, so the
+// fused entry points run one shuffle-bound pass per source on amd64; the
+// single-pass word fusion only pays off when the multiply itself is the
+// portable (lookup-bound) kernel.
+func mulAddSlicesFast(coeffs []byte, srcs [][]byte, dst []byte) {
+	if hasSSSE3 && len(dst) >= 16 {
+		for j, c := range coeffs {
+			if c == 0 {
+				continue
+			}
+			if c == 1 {
+				xorSliceFast(srcs[j], dst)
+				continue
+			}
+			mulAddSliceFast(c, srcs[j], dst)
+		}
+		return
+	}
+	mulAddSlicesWord(coeffs, srcs, dst)
+}
+
+func xorSlicesFast(srcs [][]byte, dst []byte) {
+	if len(dst) >= 16 {
+		for _, s := range srcs {
+			xorSliceFast(s, dst)
+		}
+		return
+	}
+	xorSlicesWord(srcs, dst)
+}

@@ -1,0 +1,176 @@
+//go:build gc && !purego
+
+#include "textflag.h"
+
+// Split-nibble GF(2^8) multiply kernels (SSSE3) and XOR (SSE2).
+//
+// The multiply kernels implement, 16 bytes at a time,
+//
+//	product = lo[src & 0x0F] ^ hi[src >> 4]
+//
+// with the two 16-entry nibble rows held in XMM registers and PSHUFB
+// performing all 16 lookups of a block in one instruction. Callers
+// guarantee n is a positive multiple of 16 and handle the tail.
+
+DATA lowMask<>+0x00(SB)/8, $0x0F0F0F0F0F0F0F0F
+DATA lowMask<>+0x08(SB)/8, $0x0F0F0F0F0F0F0F0F
+GLOBL lowMask<>(SB), RODATA|NOPTR, $16
+
+// func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func mulVecAsm(lo, hi *[16]byte, src, dst *byte, n int)
+TEXT ·mulVecAsm(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ src+16(FP), SI
+	MOVQ dst+24(FP), DI
+	MOVQ n+32(FP), CX
+	MOVOU (AX), X6
+	MOVOU (BX), X7
+	MOVOU lowMask<>(SB), X8
+
+mulloop:
+	MOVOU (SI), X0
+	MOVOU X0, X1
+	PSRLQ $4, X1
+	PAND  X8, X0
+	PAND  X8, X1
+	MOVOU X6, X2
+	MOVOU X7, X3
+	PSHUFB X0, X2
+	PSHUFB X1, X3
+	PXOR  X3, X2
+	MOVOU X2, (DI)
+	ADDQ  $16, SI
+	ADDQ  $16, DI
+	SUBQ  $16, CX
+	JNZ   mulloop
+	RET
+
+// func mulAddVecAsm(lo, hi *[16]byte, src, dst *byte, n int)
+TEXT ·mulAddVecAsm(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ src+16(FP), SI
+	MOVQ dst+24(FP), DI
+	MOVQ n+32(FP), CX
+	MOVOU (AX), X6
+	MOVOU (BX), X7
+	MOVOU lowMask<>(SB), X8
+
+	// Two blocks (32 bytes) per iteration while possible.
+	CMPQ CX, $32
+	JB   addone
+
+addloop2:
+	MOVOU (SI), X0
+	MOVOU 16(SI), X9
+	MOVOU X0, X1
+	MOVOU X9, X10
+	PSRLQ $4, X1
+	PSRLQ $4, X10
+	PAND  X8, X0
+	PAND  X8, X9
+	PAND  X8, X1
+	PAND  X8, X10
+	MOVOU X6, X2
+	MOVOU X6, X11
+	MOVOU X7, X3
+	MOVOU X7, X12
+	PSHUFB X0, X2
+	PSHUFB X9, X11
+	PSHUFB X1, X3
+	PSHUFB X10, X12
+	PXOR  X3, X2
+	PXOR  X12, X11
+	MOVOU (DI), X4
+	MOVOU 16(DI), X13
+	PXOR  X2, X4
+	PXOR  X11, X13
+	MOVOU X4, (DI)
+	MOVOU X13, 16(DI)
+	ADDQ  $32, SI
+	ADDQ  $32, DI
+	SUBQ  $32, CX
+	CMPQ  CX, $32
+	JAE   addloop2
+
+addone:
+	TESTQ CX, CX
+	JZ    adddone
+	MOVOU (SI), X0
+	MOVOU X0, X1
+	PSRLQ $4, X1
+	PAND  X8, X0
+	PAND  X8, X1
+	MOVOU X6, X2
+	MOVOU X7, X3
+	PSHUFB X0, X2
+	PSHUFB X1, X3
+	PXOR  X3, X2
+	MOVOU (DI), X4
+	PXOR  X2, X4
+	MOVOU X4, (DI)
+	ADDQ  $16, SI
+	ADDQ  $16, DI
+	SUBQ  $16, CX
+	JMP   addone
+
+adddone:
+	RET
+
+// func xorVecAsm(src, dst *byte, n int)
+TEXT ·xorVecAsm(SB), NOSPLIT, $0-24
+	MOVQ src+0(FP), SI
+	MOVQ dst+8(FP), DI
+	MOVQ n+16(FP), CX
+
+	CMPQ CX, $64
+	JB   xorone
+
+xorloop4:
+	MOVOU (SI), X0
+	MOVOU 16(SI), X1
+	MOVOU 32(SI), X2
+	MOVOU 48(SI), X3
+	MOVOU (DI), X4
+	MOVOU 16(DI), X5
+	MOVOU 32(DI), X6
+	MOVOU 48(DI), X7
+	PXOR  X0, X4
+	PXOR  X1, X5
+	PXOR  X2, X6
+	PXOR  X3, X7
+	MOVOU X4, (DI)
+	MOVOU X5, 16(DI)
+	MOVOU X6, 32(DI)
+	MOVOU X7, 48(DI)
+	ADDQ  $64, SI
+	ADDQ  $64, DI
+	SUBQ  $64, CX
+	CMPQ  CX, $64
+	JAE   xorloop4
+
+xorone:
+	TESTQ CX, CX
+	JZ    xordone
+	MOVOU (SI), X0
+	MOVOU (DI), X1
+	PXOR  X0, X1
+	MOVOU X1, (DI)
+	ADDQ  $16, SI
+	ADDQ  $16, DI
+	SUBQ  $16, CX
+	JMP   xorone
+
+xordone:
+	RET

@@ -1,0 +1,16 @@
+//go:build !amd64 || !gc || purego
+
+package gf
+
+// Portable dispatch: every kernel is the 8-bytes-per-iteration word
+// implementation from kernels.go.
+
+func mulSliceFast(c byte, src, dst []byte)    { mulSliceWord(c, src, dst) }
+func mulAddSliceFast(c byte, src, dst []byte) { mulAddSliceWord(c, src, dst) }
+func xorSliceFast(src, dst []byte)            { xorSliceWord(src, dst) }
+
+func mulAddSlicesFast(coeffs []byte, srcs [][]byte, dst []byte) {
+	mulAddSlicesWord(coeffs, srcs, dst)
+}
+
+func xorSlicesFast(srcs [][]byte, dst []byte) { xorSlicesWord(srcs, dst) }

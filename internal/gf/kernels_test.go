@@ -1,0 +1,240 @@
+package gf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Differential tests: the word-parallel kernels must be bit-identical to
+// the byte-wise reference loops for every coefficient, length (including
+// sub-word tails) and alignment (including offsets that misalign the
+// 8-byte blocks relative to the allocation).
+
+// kernelLengths covers empty, sub-word, exact-word, word+tail and long
+// slices.
+var kernelLengths = []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 63, 64, 65, 255, 256, 1000, 4096, 4099}
+
+// slicesAt carves a src and dst of length n out of fresh backing arrays at
+// the given byte offset, so the kernels see deliberately unaligned views.
+func slicesAt(r *rand.Rand, n, offset int) (src, dst []byte) {
+	sb := make([]byte, n+offset+8)
+	db := make([]byte, n+offset+8)
+	r.Read(sb)
+	r.Read(db)
+	return sb[offset : offset+n], db[offset : offset+n]
+}
+
+func TestMulSliceMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range kernelLengths {
+		for _, offset := range []int{0, 1, 3, 5, 7} {
+			for _, c := range []byte{0, 1, 2, 3, 0x1D, 0x8E, 0xFF, byte(r.Intn(256))} {
+				src, dst := slicesAt(r, n, offset)
+				want := make([]byte, n)
+				RefMulSlice(c, src, want)
+				MulSlice(c, src, dst)
+				if !bytes.Equal(dst, want) {
+					t.Fatalf("MulSlice(c=%#x, n=%d, offset=%d) diverges from reference", c, n, offset)
+				}
+			}
+		}
+	}
+}
+
+func TestMulAddSliceMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range kernelLengths {
+		for _, offset := range []int{0, 1, 3, 5, 7} {
+			for _, c := range []byte{0, 1, 2, 3, 0x1D, 0x8E, 0xFF, byte(r.Intn(256))} {
+				src, dst := slicesAt(r, n, offset)
+				want := bytes.Clone(dst)
+				RefMulAddSlice(c, src, want)
+				MulAddSlice(c, src, dst)
+				if !bytes.Equal(dst, want) {
+					t.Fatalf("MulAddSlice(c=%#x, n=%d, offset=%d) diverges from reference", c, n, offset)
+				}
+			}
+		}
+	}
+}
+
+func TestXORSliceMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range kernelLengths {
+		for _, offset := range []int{0, 1, 3, 5, 7} {
+			src, dst := slicesAt(r, n, offset)
+			want := bytes.Clone(dst)
+			RefXORSlice(src, want)
+			XORSlice(src, dst)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("XORSlice(n=%d, offset=%d) diverges from reference", n, offset)
+			}
+		}
+	}
+}
+
+// TestMulAddSlicesMatchesReference fuzzes the fused kernel across source
+// counts (including above the maxFused batch limit), coefficients
+// (including zeros and ones), lengths and alignments.
+func TestMulAddSlicesMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 300; iter++ {
+		n := kernelLengths[r.Intn(len(kernelLengths))]
+		offset := r.Intn(8)
+		k := 1 + r.Intn(2*maxFused+1)
+		coeffs := make([]byte, k)
+		srcs := make([][]byte, k)
+		for j := range srcs {
+			coeffs[j] = byte(r.Intn(256)) // zeros and ones occur naturally
+			src, _ := slicesAt(r, n, offset)
+			srcs[j] = src
+		}
+		_, dst := slicesAt(r, n, offset)
+		want := bytes.Clone(dst)
+		RefMulAddSlices(coeffs, srcs, want)
+		MulAddSlices(coeffs, srcs, dst)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("MulAddSlices(k=%d, n=%d, offset=%d, coeffs=%v) diverges from reference", k, n, offset, coeffs)
+		}
+	}
+}
+
+func TestXORSlicesMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 200; iter++ {
+		n := kernelLengths[r.Intn(len(kernelLengths))]
+		offset := r.Intn(8)
+		k := r.Intn(2*maxFused + 2) // zero sources allowed
+		srcs := make([][]byte, k)
+		for j := range srcs {
+			src, _ := slicesAt(r, n, offset)
+			srcs[j] = src
+		}
+		_, dst := slicesAt(r, n, offset)
+		want := bytes.Clone(dst)
+		RefXORSlices(srcs, want)
+		XORSlices(srcs, dst)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("XORSlices(k=%d, n=%d, offset=%d) diverges from reference", k, n, offset)
+		}
+	}
+}
+
+// TestWordKernelsMatchReference covers the portable 8-bytes-per-iteration
+// word kernels directly: on amd64 the exported entry points dispatch to
+// the SSSE3 path, so without this the portable implementations would only
+// be exercised on other architectures.
+func TestWordKernelsMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for _, n := range kernelLengths {
+		for _, offset := range []int{0, 1, 5} {
+			for _, c := range []byte{2, 0x1D, 0x8E, 0xFF} {
+				src, dst := slicesAt(r, n, offset)
+				want := bytes.Clone(dst)
+				RefMulAddSlice(c, src, want)
+				mulAddSliceWord(c, src, dst)
+				if !bytes.Equal(dst, want) {
+					t.Fatalf("mulAddSliceWord(c=%#x, n=%d, offset=%d) diverges from reference", c, n, offset)
+				}
+
+				src, dst = slicesAt(r, n, offset)
+				want = make([]byte, n)
+				RefMulSlice(c, src, want)
+				mulSliceWord(c, src, dst)
+				if !bytes.Equal(dst, want) {
+					t.Fatalf("mulSliceWord(c=%#x, n=%d, offset=%d) diverges from reference", c, n, offset)
+				}
+			}
+			src, dst := slicesAt(r, n, offset)
+			want := bytes.Clone(dst)
+			RefXORSlice(src, want)
+			xorSliceWord(src, dst)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("xorSliceWord(n=%d, offset=%d) diverges from reference", n, offset)
+			}
+		}
+	}
+	for iter := 0; iter < 100; iter++ {
+		n := kernelLengths[r.Intn(len(kernelLengths))]
+		k := 1 + r.Intn(2*maxFused)
+		coeffs := make([]byte, k)
+		srcs := make([][]byte, k)
+		for j := range srcs {
+			coeffs[j] = byte(r.Intn(256))
+			srcs[j], _ = slicesAt(r, n, 0)
+		}
+		_, dst := slicesAt(r, n, 0)
+		want := bytes.Clone(dst)
+		RefMulAddSlices(coeffs, srcs, want)
+		mulAddSlicesWord(coeffs, srcs, dst)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("mulAddSlicesWord(k=%d, n=%d) diverges from reference", k, n)
+		}
+		dst2 := bytes.Clone(want)
+		want2 := bytes.Clone(want)
+		RefXORSlices(srcs, want2)
+		xorSlicesWord(srcs, dst2)
+		if !bytes.Equal(dst2, want2) {
+			t.Fatalf("xorSlicesWord(k=%d, n=%d) diverges from reference", k, n)
+		}
+	}
+}
+
+// TestSplitNibbleTables pins the split-nibble decomposition itself:
+// c*s == mulLo[c][s&0xF] ^ mulHi[c][s>>4] for all 65536 pairs.
+func TestSplitNibbleTables(t *testing.T) {
+	for c := 0; c < Order; c++ {
+		for s := 0; s < Order; s++ {
+			want := Mul(byte(c), byte(s))
+			got := mulLo[c][s&0xF] ^ mulHi[c][s>>4]
+			if got != want {
+				t.Fatalf("split-nibble %d*%d = %d, want %d", c, s, got, want)
+			}
+		}
+	}
+}
+
+// TestFusedKernelsAllocationFree pins the zero-allocation guarantee of the
+// fused kernels.
+func TestFusedKernelsAllocationFree(t *testing.T) {
+	srcs := make([][]byte, 6)
+	coeffs := make([]byte, 6)
+	for j := range srcs {
+		srcs[j] = make([]byte, 4096)
+		coeffs[j] = byte(j + 2)
+	}
+	dst := make([]byte, 4096)
+	if n := testing.AllocsPerRun(20, func() { MulAddSlices(coeffs, srcs, dst) }); n != 0 {
+		t.Errorf("MulAddSlices allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(20, func() { XORSlices(srcs, dst) }); n != 0 {
+		t.Errorf("XORSlices allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(20, func() { MulAddSlice(7, srcs[0], dst) }); n != 0 {
+		t.Errorf("MulAddSlice allocates %v per run, want 0", n)
+	}
+}
+
+func FuzzMulAddSliceDifferential(f *testing.F) {
+	f.Add(uint8(7), []byte("hello world, this is a seed input"), uint8(3))
+	f.Add(uint8(0), []byte{1}, uint8(0))
+	f.Add(uint8(1), []byte{}, uint8(5))
+	f.Fuzz(func(t *testing.T, c uint8, data []byte, offset uint8) {
+		off := int(offset % 8)
+		if off > len(data) {
+			off = 0
+		}
+		src := data[off:]
+		dst := make([]byte, len(src))
+		for i := range dst {
+			dst[i] = byte(i * 31)
+		}
+		want := bytes.Clone(dst)
+		RefMulAddSlice(c, src, want)
+		MulAddSlice(c, src, dst)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("MulAddSlice(c=%#x, n=%d) diverges from reference", c, len(src))
+		}
+	})
+}

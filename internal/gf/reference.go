@@ -1,0 +1,56 @@
+package gf
+
+// Byte-at-a-time reference kernels. These are the pre-word-parallel loops
+// the package shipped with; they stay here as the ground truth that the
+// kernels in kernels.go are pinned bit-identical to (see the differential
+// tests) and as the baseline the kernel benchmarks measure speedups
+// against. They are correct for any length and alignment by construction.
+
+// RefMulSlice sets dst[i] = c * src[i], one byte at a time.
+func RefMulSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf: RefMulSlice length mismatch")
+	}
+	mt := &mulTable[c]
+	for i, s := range src {
+		dst[i] = mt[s]
+	}
+}
+
+// RefMulAddSlice sets dst[i] ^= c * src[i], one byte at a time.
+func RefMulAddSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf: RefMulAddSlice length mismatch")
+	}
+	mt := &mulTable[c]
+	for i, s := range src {
+		dst[i] ^= mt[s]
+	}
+}
+
+// RefXORSlice sets dst[i] ^= src[i], one byte at a time.
+func RefXORSlice(src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf: RefXORSlice length mismatch")
+	}
+	for i, s := range src {
+		dst[i] ^= s
+	}
+}
+
+// RefMulAddSlices composes RefMulAddSlice per source: k passes over dst.
+func RefMulAddSlices(coeffs []byte, srcs [][]byte, dst []byte) {
+	if len(coeffs) != len(srcs) {
+		panic("gf: RefMulAddSlices coefficient count mismatch")
+	}
+	for j, c := range coeffs {
+		RefMulAddSlice(c, srcs[j], dst)
+	}
+}
+
+// RefXORSlices composes RefXORSlice per source: k passes over dst.
+func RefXORSlices(srcs [][]byte, dst []byte) {
+	for _, s := range srcs {
+		RefXORSlice(s, dst)
+	}
+}

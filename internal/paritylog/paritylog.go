@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/eplog/eplog/internal/bufpool"
 	"github.com/eplog/eplog/internal/device"
 	"github.com/eplog/eplog/internal/erasure"
 	"github.com/eplog/eplog/internal/gf"
@@ -207,13 +208,21 @@ func (a *Array) WriteChunks(start float64, lba int64, data []byte) (float64, err
 	}
 
 	// Phase 1: pre-read old data for partial-stripe updates and compute
-	// the per-stripe parity deltas.
+	// the per-stripe parity deltas. Parity, delta and pre-read buffers
+	// are arena-backed; the delta/parity buffers are returned after the
+	// phase-2 writes, the pre-read scratch before phase 2 begins.
 	pre := device.NewSpan(start)
 	type stripeLog struct {
 		deltas [][]byte // nil for full-stripe writes
 		parity [][]byte // set for full-stripe writes
 	}
 	slogs := make([]stripeLog, len(ups))
+	old := bufpool.Default.Get(a.csize)
+	xor := bufpool.Default.Get(a.csize)
+	defer func() {
+		bufpool.Default.Put(old)
+		bufpool.Default.Put(xor)
+	}()
 	for ui, u := range ups {
 		home := a.geo.HomeChunk(u.stripe)
 		if len(u.slots) == k && a.virgin[u.stripe] {
@@ -225,12 +234,10 @@ func (a *Array) WriteChunks(start float64, lba int64, data []byte) (float64, err
 			for i, ch := range u.chunks {
 				shards[u.slots[i]] = ch
 			}
-			parity := make([][]byte, m)
-			for i := range parity {
-				parity[i] = make([]byte, a.csize)
-				shards[k+i] = parity[i]
-			}
+			parity := bufpool.Default.GetSlices(make([][]byte, m), a.csize)
+			copy(shards[k:], parity)
 			if err := a.code.Encode(shards); err != nil {
+				bufpool.Default.PutSlices(parity)
 				return start, err
 			}
 			slogs[ui].parity = parity
@@ -241,9 +248,9 @@ func (a *Array) WriteChunks(start float64, lba int64, data []byte) (float64, err
 		a.virgin[u.stripe] = false
 		deltas := make([][]byte, m)
 		for i := range deltas {
-			deltas[i] = make([]byte, a.csize)
+			deltas[i] = bufpool.Default.GetZero(a.csize)
 		}
-		old := make([]byte, a.csize)
+		slogs[ui].deltas = deltas
 		for i, j := range u.slots {
 			if err := pre.Read(a.devs[a.geo.DataDev(u.stripe, j)], home, old); err != nil {
 				if !errors.Is(err, device.ErrFailed) {
@@ -257,14 +264,12 @@ func (a *Array) WriteChunks(start float64, lba int64, data []byte) (float64, err
 				}
 			}
 			a.stats.PreReadChunks++
-			xor := make([]byte, a.csize)
 			copy(xor, old)
 			gf.XORSlice(u.chunks[i], xor)
 			if err := a.code.UpdateParity(j, xor, deltas); err != nil {
 				return start, err
 			}
 		}
-		slogs[ui].deltas = deltas
 	}
 	if pre.Err() != nil {
 		return start, pre.Err()
@@ -312,6 +317,10 @@ func (a *Array) WriteChunks(start float64, lba int64, data []byte) (float64, err
 	if wr.Err() != nil {
 		return start, wr.Err()
 	}
+	for i := range slogs {
+		bufpool.Default.PutSlices(slogs[i].parity)
+		bufpool.Default.PutSlices(slogs[i].deltas)
+	}
 	return wr.End(), nil
 }
 
@@ -350,15 +359,18 @@ func (a *Array) ReadChunks(start float64, lba int64, p []byte) (float64, error) 
 
 // effectiveParity reads parity dimension i of a stripe and folds in all
 // outstanding log deltas, yielding parity consistent with the current
-// in-place data.
+// in-place data. The returned buffer is arena-owned; the caller Puts it.
 func (a *Array) effectiveParity(span *device.Span, stripe int64, dim int) ([]byte, error) {
-	out := make([]byte, a.csize)
+	out := bufpool.Default.Get(a.csize)
 	if err := span.Read(a.devs[a.geo.ParityDev(stripe, dim)], a.geo.HomeChunk(stripe), out); err != nil {
+		bufpool.Default.Put(out)
 		return nil, err
 	}
-	buf := make([]byte, a.csize)
+	buf := bufpool.Default.Get(a.csize)
+	defer bufpool.Default.Put(buf)
 	for _, slot := range a.logs[stripe] {
 		if err := span.Read(a.logDevs[dim], slot, buf); err != nil {
+			bufpool.Default.Put(out)
 			return nil, err
 		}
 		gf.XORSlice(buf, out)
@@ -371,12 +383,14 @@ func (a *Array) degradedRead(span *device.Span, stripe int64, slot int, out []by
 	k, m := a.geo.K, a.geo.M()
 	home := a.geo.HomeChunk(stripe)
 	shards := make([][]byte, k+m)
+	defer bufpool.Default.PutSlices(shards)
 	for j := 0; j < k; j++ {
 		if j == slot {
 			continue
 		}
-		buf := make([]byte, a.csize)
+		buf := bufpool.Default.Get(a.csize)
 		if err := span.Read(a.devs[a.geo.DataDev(stripe, j)], home, buf); err != nil {
+			bufpool.Default.Put(buf)
 			if !errors.Is(err, device.ErrFailed) {
 				return err
 			}
@@ -439,17 +453,25 @@ func (a *Array) commitRegion(region int64) error {
 	m := a.geo.M()
 	span := device.NewSpan(0)
 
-	// Sequential sweep of the region on every log device.
+	// Sequential sweep of the region on every log device. The delta
+	// buffers are arena-backed and returned when the region is done.
 	base := region * a.regionCap
 	logLost := false
 	deltas := make([][][]byte, m) // [dim][slot within region]
+	defer func() {
+		for i := range deltas {
+			bufpool.Default.PutSlices(deltas[i])
+		}
+	}()
 	for i := 0; i < m; i++ {
 		deltas[i] = make([][]byte, used)
 		for s := int64(0); s < used; s++ {
-			buf := make([]byte, a.csize)
+			buf := bufpool.Default.Get(a.csize)
 			if err := span.Read(a.logDevs[i], base+s, buf); err != nil {
+				bufpool.Default.Put(buf)
 				if errors.Is(err, device.ErrFailed) {
 					span.ClearErr()
+					bufpool.Default.PutSlices(deltas[i])
 					deltas[i] = nil
 					logLost = true
 					break
@@ -471,40 +493,43 @@ func (a *Array) commitRegion(region int64) error {
 			// trusted; reintegrate this stripe by re-encoding every
 			// parity dimension directly from the in-place data,
 			// which is always current.
-			shards := make([][]byte, a.geo.K+m)
-			for j := 0; j < a.geo.K; j++ {
-				buf := make([]byte, a.csize)
-				if err := span.Read(a.devs[a.geo.DataDev(stripe, j)], home, buf); err != nil {
-					return err
-				}
-				shards[j] = buf
-			}
-			for i := 0; i < m; i++ {
-				shards[a.geo.K+i] = make([]byte, a.csize)
-			}
-			if err := a.code.Encode(shards); err != nil {
-				return err
-			}
-			for i := 0; i < m; i++ {
-				if err := span.Write(a.devs[a.geo.ParityDev(stripe, i)], home, shards[a.geo.K+i]); err != nil {
-					if errors.Is(err, device.ErrFailed) {
-						span.ClearErr()
-						continue
+			shards := bufpool.Default.GetSlices(make([][]byte, a.geo.K+m), a.csize)
+			err := func() error {
+				for j := 0; j < a.geo.K; j++ {
+					if err := span.Read(a.devs[a.geo.DataDev(stripe, j)], home, shards[j]); err != nil {
+						return err
 					}
+				}
+				if err := a.code.Encode(shards); err != nil {
 					return err
 				}
+				for i := 0; i < m; i++ {
+					if err := span.Write(a.devs[a.geo.ParityDev(stripe, i)], home, shards[a.geo.K+i]); err != nil {
+						if errors.Is(err, device.ErrFailed) {
+							span.ClearErr()
+							continue
+						}
+						return err
+					}
+				}
+				return nil
+			}()
+			bufpool.Default.PutSlices(shards)
+			if err != nil {
+				return err
 			}
 			a.pending -= int64(len(slots))
 			delete(a.logs, stripe)
 			continue
 		}
+		parity := bufpool.Default.Get(a.csize)
 		for i := 0; i < m; i++ {
-			parity := make([]byte, a.csize)
 			if err := span.Read(a.devs[a.geo.ParityDev(stripe, i)], home, parity); err != nil {
 				if errors.Is(err, device.ErrFailed) {
 					span.ClearErr()
 					continue
 				}
+				bufpool.Default.Put(parity)
 				return err
 			}
 			for _, slot := range slots {
@@ -515,9 +540,11 @@ func (a *Array) commitRegion(region int64) error {
 					span.ClearErr()
 					continue
 				}
+				bufpool.Default.Put(parity)
 				return err
 			}
 		}
+		bufpool.Default.Put(parity)
 		a.pending -= int64(len(slots))
 		delete(a.logs, stripe)
 	}
@@ -541,26 +568,20 @@ func (a *Array) RecoverLogDevice(dim int, replacement device.Dev) error {
 	}
 	k, m := a.geo.K, a.geo.M()
 	span := device.NewSpan(0)
+	shards := bufpool.Default.GetSlices(make([][]byte, k+m), a.csize)
+	defer bufpool.Default.PutSlices(shards)
 	for stripe := range a.logs {
 		home := a.geo.HomeChunk(stripe)
-		shards := make([][]byte, k+m)
 		for j := 0; j < k; j++ {
-			buf := make([]byte, a.csize)
-			if err := span.Read(a.devs[a.geo.DataDev(stripe, j)], home, buf); err != nil {
+			if err := span.Read(a.devs[a.geo.DataDev(stripe, j)], home, shards[j]); err != nil {
 				return err
 			}
-			shards[j] = buf
-		}
-		parity := make([][]byte, m)
-		for i := range parity {
-			parity[i] = make([]byte, a.csize)
-			shards[k+i] = parity[i]
 		}
 		if err := a.code.Encode(shards); err != nil {
 			return err
 		}
-		for i := range parity {
-			if err := span.Write(a.devs[a.geo.ParityDev(stripe, i)], home, parity[i]); err != nil {
+		for i := 0; i < m; i++ {
+			if err := span.Write(a.devs[a.geo.ParityDev(stripe, i)], home, shards[k+i]); err != nil {
 				return err
 			}
 		}
@@ -610,41 +631,48 @@ func (a *Array) Rebuild(devIdx int, replacement device.Dev) error {
 		if target < 0 {
 			continue
 		}
+		// Every buffer in the table — read or reconstructed — is arena
+		// owned; PutSlices at the end of each stripe recycles them all.
 		shards := make([][]byte, k+m)
-		for j := 0; j < k; j++ {
-			if d := a.geo.DataDev(s, j); d != devIdx {
-				buf := make([]byte, a.csize)
-				if err := span.Read(a.devs[d], home, buf); err != nil {
-					if !errors.Is(err, device.ErrFailed) {
+		readShard := func(slot, dev int) error {
+			buf := bufpool.Default.Get(a.csize)
+			if err := span.Read(a.devs[dev], home, buf); err != nil {
+				bufpool.Default.Put(buf)
+				if !errors.Is(err, device.ErrFailed) {
+					return err
+				}
+				span.ClearErr()
+				return nil
+			}
+			shards[slot] = buf
+			return nil
+		}
+		err := func() error {
+			for j := 0; j < k; j++ {
+				if d := a.geo.DataDev(s, j); d != devIdx {
+					if err := readShard(j, d); err != nil {
 						return err
 					}
-					span.ClearErr()
-					continue
 				}
-				shards[j] = buf
 			}
-		}
-		for i := 0; i < m; i++ {
-			if d := a.geo.ParityDev(s, i); d != devIdx {
-				buf := make([]byte, a.csize)
-				if err := span.Read(a.devs[d], home, buf); err != nil {
-					if !errors.Is(err, device.ErrFailed) {
+			for i := 0; i < m; i++ {
+				if d := a.geo.ParityDev(s, i); d != devIdx {
+					if err := readShard(k+i, d); err != nil {
 						return err
 					}
-					span.ClearErr()
-					continue
 				}
-				shards[k+i] = buf
 			}
-		}
-		if err := a.code.Reconstruct(shards); err != nil {
-			return fmt.Errorf("%w: stripe %d: %v", ErrTooManyFailures, s, err)
-		}
-		out := shards[target]
-		if isParity {
-			out = shards[k+target]
-		}
-		if err := replacement.WriteChunk(home, out); err != nil {
+			if err := a.code.Reconstruct(shards); err != nil {
+				return fmt.Errorf("%w: stripe %d: %v", ErrTooManyFailures, s, err)
+			}
+			out := shards[target]
+			if isParity {
+				out = shards[k+target]
+			}
+			return replacement.WriteChunk(home, out)
+		}()
+		bufpool.Default.PutSlices(shards)
+		if err != nil {
 			return err
 		}
 	}
@@ -662,15 +690,18 @@ func (a *Array) Verify() ([]int64, error) {
 	k, m := a.geo.K, a.geo.M()
 	span := device.NewSpan(0)
 	var bad []int64
+	// One table for the whole scrub: the k data buffers are reused across
+	// stripes, while the effective-parity buffers (arena owned, returned by
+	// effectiveParity) are recycled after each stripe's check.
+	shards := make([][]byte, k+m)
+	bufpool.Default.GetSlices(shards[:k], a.csize)
+	defer func() { bufpool.Default.PutSlices(shards) }()
 	for s := int64(0); s < a.geo.Stripes; s++ {
 		home := a.geo.HomeChunk(s)
-		shards := make([][]byte, k+m)
 		for j := 0; j < k; j++ {
-			buf := make([]byte, a.csize)
-			if err := span.Read(a.devs[a.geo.DataDev(s, j)], home, buf); err != nil {
+			if err := span.Read(a.devs[a.geo.DataDev(s, j)], home, shards[j]); err != nil {
 				return nil, fmt.Errorf("paritylog: verify stripe %d slot %d: %w", s, j, err)
 			}
-			shards[j] = buf
 		}
 		for i := 0; i < m; i++ {
 			parity, err := a.effectiveParity(span, s, i)
@@ -680,6 +711,7 @@ func (a *Array) Verify() ([]int64, error) {
 			shards[k+i] = parity
 		}
 		ok, err := a.code.Verify(shards)
+		bufpool.Default.PutSlices(shards[k:])
 		if err != nil {
 			return nil, err
 		}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/eplog/eplog/internal/bufpool"
 	"github.com/eplog/eplog/internal/device"
 	"github.com/eplog/eplog/internal/erasure"
 	"github.com/eplog/eplog/internal/gf"
@@ -155,11 +156,18 @@ func (a *Array) WriteChunks(start float64, lba int64, data []byte) (float64, err
 	if wr.Err() != nil {
 		return start, wr.Err()
 	}
+	// The parity buffers came from the arena (planStripe); they are dead
+	// once written out.
+	for _, p := range parities {
+		bufpool.Default.PutSlices(p)
+	}
 	return wr.End(), nil
 }
 
 // planStripe performs the pre-read phase for one stripe and returns the
-// new parity chunks.
+// new parity chunks. The parity buffers come from the arena; the caller
+// returns them once the write phase is done. All pre-read scratch is
+// arena-backed and returned before planStripe exits.
 func (a *Array) planStripe(pre *device.Span, stripe int64, slots []int, chunks [][]byte) ([][]byte, error) {
 	k, m := a.geo.K, a.geo.M()
 	c := len(slots)
@@ -171,12 +179,10 @@ func (a *Array) planStripe(pre *device.Span, stripe int64, slots []int, chunks [
 		for i, ch := range chunks {
 			shards[slots[i]] = ch
 		}
-		parity := make([][]byte, m)
-		for i := range parity {
-			parity[i] = make([]byte, a.csize)
-			shards[k+i] = parity[i]
-		}
+		parity := bufpool.Default.GetSlices(make([][]byte, m), a.csize)
+		copy(shards[k:], parity)
 		if err := a.code.Encode(shards); err != nil {
+			bufpool.Default.PutSlices(parity)
 			return nil, err
 		}
 		a.stats.FullStripeWrites++
@@ -186,23 +192,30 @@ func (a *Array) planStripe(pre *device.Span, stripe int64, slots []int, chunks [
 	// Read-modify-write for single-parity arrays when few chunks change.
 	if m == 1 && c <= k/2 {
 		parity := make([][]byte, 1)
-		parity[0] = make([]byte, a.csize)
+		parity[0] = bufpool.Default.Get(a.csize)
 		rmwOK := false
 		if err := pre.Read(a.devs[a.geo.ParityDev(stripe, 0)], home, parity[0]); err == nil {
 			rmwOK = true
-			old := make([]byte, a.csize)
+			old := bufpool.Default.Get(a.csize)
+			delta := bufpool.Default.Get(a.csize)
+			var uerr error
 			for i, j := range slots {
 				if err := pre.Read(a.devs[a.geo.DataDev(stripe, j)], home, old); err != nil {
 					rmwOK = false
 					break
 				}
-				delta := make([]byte, a.csize)
 				copy(delta, old)
 				gf.XORSlice(chunks[i], delta)
-				if err := a.code.UpdateParity(j, delta, parity); err != nil {
-					return nil, err
+				if uerr = a.code.UpdateParity(j, delta, parity); uerr != nil {
+					break
 				}
 				a.stats.PreReadChunks++
+			}
+			bufpool.Default.Put(old)
+			bufpool.Default.Put(delta)
+			if uerr != nil {
+				bufpool.Default.Put(parity[0])
+				return nil, uerr
 			}
 		}
 		if rmwOK {
@@ -210,6 +223,7 @@ func (a *Array) planStripe(pre *device.Span, stripe int64, slots []int, chunks [
 			a.stats.RMWWrites++
 			return parity, nil
 		}
+		bufpool.Default.Put(parity[0])
 		if err := pre.Err(); err != nil && !errors.Is(err, device.ErrFailed) {
 			return nil, err
 		}
@@ -219,27 +233,51 @@ func (a *Array) planStripe(pre *device.Span, stripe int64, slots []int, chunks [
 	}
 
 	// Reconstruct-write: read the untouched data chunks and re-encode.
+	// Pre-read and reconstructed buffers are arena-owned; the caller's
+	// chunks (tracked in updated) must never be returned to the arena.
 	updated := make(map[int][]byte, c)
 	for i, j := range slots {
 		updated[j] = chunks[i]
 	}
 	shards := make([][]byte, k+m)
+	readShard := func(i, dev int) (bool, error) {
+		buf := bufpool.Default.Get(a.csize)
+		if err := pre.Read(a.devs[dev], home, buf); err != nil {
+			bufpool.Default.Put(buf)
+			if !errors.Is(err, device.ErrFailed) {
+				return false, err
+			}
+			pre.ClearErr()
+			return false, nil
+		}
+		shards[i] = buf
+		a.stats.PreReadChunks++
+		return true, nil
+	}
+	putScratch := func() {
+		for j := 0; j < k+m; j++ {
+			if _, ok := updated[j]; ok && j < k {
+				continue // caller-owned (or nil)
+			}
+			if shards[j] != nil {
+				bufpool.Default.Put(shards[j])
+				shards[j] = nil
+			}
+		}
+	}
 	failed := false
 	for j := 0; j < k; j++ {
 		if _, ok := updated[j]; ok {
 			continue
 		}
-		buf := make([]byte, a.csize)
-		if err := pre.Read(a.devs[a.geo.DataDev(stripe, j)], home, buf); err != nil {
-			if !errors.Is(err, device.ErrFailed) {
-				return nil, err
-			}
-			pre.ClearErr()
-			failed = true
-			continue
+		ok, err := readShard(j, a.geo.DataDev(stripe, j))
+		if err != nil {
+			putScratch()
+			return nil, err
 		}
-		shards[j] = buf
-		a.stats.PreReadChunks++
+		if !ok {
+			failed = true
+		}
 	}
 	if failed {
 		// Degraded: the pre-update value of a missing untouched slot
@@ -247,45 +285,47 @@ func (a *Array) planStripe(pre *device.Span, stripe int64, slots []int, chunks [
 		// read the old contents of the updated slots and the parity
 		// too, decode, and only then overlay the new data.
 		for j := range updated {
-			buf := make([]byte, a.csize)
-			if err := pre.Read(a.devs[a.geo.DataDev(stripe, j)], home, buf); err != nil {
-				if !errors.Is(err, device.ErrFailed) {
-					return nil, err
-				}
-				pre.ClearErr()
-				continue
+			if _, err := readShard(j, a.geo.DataDev(stripe, j)); err != nil {
+				putScratch()
+				return nil, err
 			}
-			shards[j] = buf
-			a.stats.PreReadChunks++
 		}
 		for i := 0; i < m; i++ {
-			buf := make([]byte, a.csize)
-			if err := pre.Read(a.devs[a.geo.ParityDev(stripe, i)], home, buf); err != nil {
-				if !errors.Is(err, device.ErrFailed) {
-					return nil, err
-				}
-				pre.ClearErr()
-				continue
+			if _, err := readShard(k+i, a.geo.ParityDev(stripe, i)); err != nil {
+				putScratch()
+				return nil, err
 			}
-			shards[k+i] = buf
-			a.stats.PreReadChunks++
 		}
 		if err := a.code.ReconstructData(shards); err != nil {
+			putScratch()
 			return nil, fmt.Errorf("%w: %v", ErrTooManyFailures, err)
 		}
+		// Overlay the new data, releasing the old contents read (or
+		// reconstructed) for the updated slots.
+		for j, ch := range updated {
+			if shards[j] != nil {
+				bufpool.Default.Put(shards[j])
+			}
+			shards[j] = ch
+		}
+		// Old parity read for the decode is dead now.
+		bufpool.Default.PutSlices(shards[k:])
+	} else {
+		for j, ch := range updated {
+			shards[j] = ch
+		}
 	}
-	for j, ch := range updated {
-		shards[j] = ch
-	}
-	parity := make([][]byte, m)
-	for i := range parity {
-		parity[i] = make([]byte, a.csize)
-		shards[k+i] = parity[i]
-	}
+	parity := bufpool.Default.GetSlices(make([][]byte, m), a.csize)
+	copy(shards[k:], parity)
 	if err := a.code.Encode(shards); err != nil {
+		bufpool.Default.PutSlices(parity)
+		clear(shards[k:])
+		putScratch()
 		return nil, err
 	}
 	a.stats.ReconstructWrites++
+	clear(shards[k:]) // keep putScratch away from the returned parity
+	putScratch()
 	return parity, nil
 }
 
@@ -353,30 +393,32 @@ func (a *Array) degradedRead(span *device.Span, stripe int64, slot int, out []by
 	k, m := a.geo.K, a.geo.M()
 	home := a.geo.HomeChunk(stripe)
 	shards := make([][]byte, k+m)
+	defer bufpool.Default.PutSlices(shards)
+	readShard := func(i, dev int) error {
+		buf := bufpool.Default.Get(a.csize)
+		if err := span.Read(a.devs[dev], home, buf); err != nil {
+			bufpool.Default.Put(buf)
+			if !errors.Is(err, device.ErrFailed) {
+				return err
+			}
+			span.ClearErr()
+			return nil
+		}
+		shards[i] = buf
+		return nil
+	}
 	for j := 0; j < k; j++ {
 		if j == slot {
 			continue
 		}
-		buf := make([]byte, a.csize)
-		if err := span.Read(a.devs[a.geo.DataDev(stripe, j)], home, buf); err != nil {
-			if !errors.Is(err, device.ErrFailed) {
-				return err
-			}
-			span.ClearErr()
-			continue
+		if err := readShard(j, a.geo.DataDev(stripe, j)); err != nil {
+			return err
 		}
-		shards[j] = buf
 	}
 	for i := 0; i < m; i++ {
-		buf := make([]byte, a.csize)
-		if err := span.Read(a.devs[a.geo.ParityDev(stripe, i)], home, buf); err != nil {
-			if !errors.Is(err, device.ErrFailed) {
-				return err
-			}
-			span.ClearErr()
-			continue
+		if err := readShard(k+i, a.geo.ParityDev(stripe, i)); err != nil {
+			return err
 		}
-		shards[k+i] = buf
 	}
 	if err := a.code.ReconstructData(shards); err != nil {
 		return fmt.Errorf("%w: %v", ErrTooManyFailures, err)
@@ -421,44 +463,45 @@ func (a *Array) Rebuild(devIdx int, replacement device.Dev) error {
 			continue
 		}
 		shards := make([][]byte, k+m)
-		for j := 0; j < k; j++ {
-			d := a.geo.DataDev(s, j)
-			if d == devIdx {
-				continue
-			}
-			buf := make([]byte, a.csize)
+		readShard := func(i, d int) error {
+			buf := bufpool.Default.Get(a.csize)
 			if err := a.devs[d].ReadChunk(home, buf); err != nil {
+				bufpool.Default.Put(buf)
 				if !errors.Is(err, device.ErrFailed) {
 					return err
 				}
-				continue
+				return nil
 			}
-			shards[j] = buf
+			shards[i] = buf
+			return nil
+		}
+		for j := 0; j < k; j++ {
+			if d := a.geo.DataDev(s, j); d != devIdx {
+				if err := readShard(j, d); err != nil {
+					bufpool.Default.PutSlices(shards)
+					return err
+				}
+			}
 		}
 		for i := 0; i < m; i++ {
-			d := a.geo.ParityDev(s, i)
-			if d == devIdx {
-				continue
-			}
-			buf := make([]byte, a.csize)
-			if err := a.devs[d].ReadChunk(home, buf); err != nil {
-				if !errors.Is(err, device.ErrFailed) {
+			if d := a.geo.ParityDev(s, i); d != devIdx {
+				if err := readShard(k+i, d); err != nil {
+					bufpool.Default.PutSlices(shards)
 					return err
 				}
-				continue
 			}
-			shards[k+i] = buf
 		}
 		if err := a.code.Reconstruct(shards); err != nil {
+			bufpool.Default.PutSlices(shards)
 			return fmt.Errorf("%w: stripe %d: %v", ErrTooManyFailures, s, err)
 		}
-		var out []byte
+		out := shards[target]
 		if isParity {
 			out = shards[k+target]
-		} else {
-			out = shards[target]
 		}
-		if err := replacement.WriteChunk(home, out); err != nil {
+		err := replacement.WriteChunk(home, out)
+		bufpool.Default.PutSlices(shards)
+		if err != nil {
 			return err
 		}
 	}
@@ -473,10 +516,8 @@ func (a *Array) Verify() ([]int64, error) {
 	defer a.mu.Unlock()
 	k, m := a.geo.K, a.geo.M()
 	var bad []int64
-	shards := make([][]byte, k+m)
-	for i := range shards {
-		shards[i] = make([]byte, a.csize)
-	}
+	shards := bufpool.Default.GetSlices(make([][]byte, k+m), a.csize)
+	defer bufpool.Default.PutSlices(shards)
 	for s := int64(0); s < a.geo.Stripes; s++ {
 		home := a.geo.HomeChunk(s)
 		for j := 0; j < k; j++ {
