@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	eplogbench [-exp all|1|2|3|4|5|6|fig6|table1|recovery|obs|conc|kernels] [-scale N] [-workers N]
+//	eplogbench [-exp all|1|2|3|4|5|6|fig6|table1|recovery|obs|conc|kernels|scaling] [-scale N] [-workers N] [-shards N]
 //
 // Scale divides the paper's request counts and working sets; -scale 1 is
 // paper scale (hours of runtime and tens of GB of RAM), the default keeps
@@ -15,6 +15,13 @@
 // same update workload single-worker and at -workers and reports both; the
 // byte-count metrics must be identical (concurrency changes wall-clock
 // time, never traffic).
+//
+// Shards sizes the engine's stripe-group partition for the scaling
+// experiment, which sweeps 1/2/4/8 shards (plus -shards if different,
+// default GOMAXPROCS) over the byte-deterministic shard-scaling workload
+// and writes a JSON report (-scaling-out, default BENCH_scaling.json).
+// Like kernels it is a benchmark, not a paper experiment, so -exp all
+// skips it.
 //
 // The kernels experiment benchmarks the GF(2^8) coding kernels, the
 // erasure paths built on them and the engine's steady-state update loop,
@@ -34,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -52,11 +60,13 @@ type outputs struct {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: all, table1, 1, 2, 3, 4, 5, 6, fig6, recovery, ablations, obs, conc, kernels")
-		scale    = flag.Int64("scale", experiments.DefaultScale, "scale divisor versus the paper (1 = paper scale)")
-		workers  = flag.Int("workers", 1, "worker-pool size and concurrent writers for the conc experiment")
-		benchOut = flag.String("bench-out", "BENCH_kernels.json", "JSON report path for the kernels experiment")
-		out      outputs
+		exp        = flag.String("exp", "all", "experiment to run: all, table1, 1, 2, 3, 4, 5, 6, fig6, recovery, ablations, obs, conc, kernels, scaling")
+		scale      = flag.Int64("scale", experiments.DefaultScale, "scale divisor versus the paper (1 = paper scale)")
+		workers    = flag.Int("workers", 1, "worker-pool size and concurrent writers for the conc experiment")
+		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "stripe-group shard count: the scaling experiment sweeps 1/2/4/8 plus this value")
+		benchOut   = flag.String("bench-out", "BENCH_kernels.json", "JSON report path for the kernels experiment")
+		scalingOut = flag.String("scaling-out", "BENCH_scaling.json", "JSON report path for the scaling experiment")
+		out        outputs
 	)
 	flag.StringVar(&out.csvPath, "csv", "", "also append machine-readable rows to this CSV file")
 	flag.StringVar(&out.jsonPath, "json", "", "also append machine-readable records to this JSON Lines file")
@@ -66,6 +76,13 @@ func main() {
 	flag.Parse()
 	if *exp == "kernels" {
 		if err := runKernelBench(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "eplogbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "scaling" {
+		if err := runScalingBench(*scale, *shards, *workers, *scalingOut); err != nil {
 			fmt.Fprintln(os.Stderr, "eplogbench:", err)
 			os.Exit(1)
 		}
@@ -435,7 +452,7 @@ func run(exp string, scale int64, workers int, out outputs) error {
 	}
 
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want all, table1, 1-6, fig6, recovery, ablations, obs, conc, kernels)", exp)
+		return fmt.Errorf("unknown experiment %q (want all, table1, 1-6, fig6, recovery, ablations, obs, conc, kernels, scaling)", exp)
 	}
 	return nil
 }

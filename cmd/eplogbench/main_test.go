@@ -36,6 +36,43 @@ func TestOneTraceExperiment(t *testing.T) {
 	}
 }
 
+func TestScalingBenchReport(t *testing.T) {
+	path := t.TempDir() + "/BENCH_scaling.json"
+	// -scale 512 keeps the sweep to a few hundred requests per run.
+	if err := runScalingBench(512, 4, 2, path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep scalingReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if !rep.BytesIdentical {
+		t.Error("report says byte counts diverged across shard counts")
+	}
+	if rep.NumCPU < 1 || rep.GOMAXPROCS < 1 {
+		t.Errorf("environment metadata missing: %+v", rep)
+	}
+	if len(rep.Runs) < 5 { // shards {1,2,4,8} x workers {1,2} minus dups
+		t.Fatalf("report has %d runs, want a full sweep", len(rep.Runs))
+	}
+	seen4 := false
+	for _, r := range rep.Runs {
+		if r.SSDWriteBytes != rep.Runs[0].SSDWriteBytes || r.LogWriteBytes != rep.Runs[0].LogWriteBytes {
+			t.Errorf("row %+v: traffic differs from first row", r)
+		}
+		if r.Shards == 4 && r.Workers == 1 {
+			seen4 = true
+		}
+	}
+	if !seen4 {
+		t.Error("sweep missing the shards=4 workers=1 headline configuration")
+	}
+}
+
 func TestCSVExport(t *testing.T) {
 	path := t.TempDir() + "/out.csv"
 	if err := run("fig6", 512, 1, outputs{csvPath: path}); err != nil {

@@ -51,6 +51,13 @@ type Config struct {
 	// is bit-for-bit that of the single-threaded engine; the array is
 	// safe for concurrent use either way.
 	Workers int
+	// Shards partitions the stripes into that many independent stripe
+	// groups, each with its own lock, so requests touching different
+	// groups execute fully in parallel and commits run per shard on a
+	// background scheduler. Values <= 1 select the single-shard engine,
+	// which is bit-identical in byte counts and virtual time to the
+	// unsharded design. See DESIGN.md §9.
+	Shards int
 }
 
 // Stats mirrors the array's activity counters; see the field names for
@@ -59,11 +66,13 @@ type Stats = core.Stats
 
 // Array is an EPLog array: the public handle over the elastic parity
 // logging engine, with optional persistent metadata checkpointing. An
-// Array is safe for concurrent use: the engine serializes requests on an
-// internal mutex (running each request's expensive phases on a worker
-// pool sized by Config.Workers), and the checkpoint bookkeeping below is
-// guarded by chkptMu. Lock order is chkptMu before the engine mutex;
-// nothing ever takes them in the opposite order.
+// Array is safe for concurrent use: the engine partitions its state into
+// per-stripe-group shards with their own locks (Config.Shards; requests
+// touching different shards run in parallel, each request's expensive
+// phases on a worker pool sized by Config.Workers), and the checkpoint
+// bookkeeping below is guarded by chkptMu. Lock order is chkptMu before
+// the engine's shard locks; nothing ever takes them in the opposite
+// order.
 type Array struct {
 	e     *core.EPLog
 	cfg   Config
@@ -105,6 +114,7 @@ func coreConfig(cfg Config, sink *obs.Sink) core.Config {
 		TrimOnCommit:        cfg.TrimOnCommit,
 		CommitGuardChunks:   cfg.CommitGuardChunks,
 		Workers:             cfg.Workers,
+		Shards:              cfg.Shards,
 	}
 }
 
@@ -163,6 +173,12 @@ func (a *Array) ReadAt(start float64, lba int64, p []byte) (float64, error) {
 // Flush drains any buffered writes to the devices without committing
 // parity.
 func (a *Array) Flush() error { return a.e.Flush() }
+
+// Close stops the engine's background group-commit scheduler (started only
+// when Config.Shards > 1). It does not flush or commit. Close is
+// idempotent; an Array with at most one shard needs no Close, but calling
+// it is always safe.
+func (a *Array) Close() error { return a.e.Close() }
 
 // Commit performs a parity commit: on-array parity is recomputed from the
 // latest data, superseded versions and all log space are released. Log

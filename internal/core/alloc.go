@@ -27,6 +27,22 @@ func newAllocator(total, reserved int64) *allocator {
 	return a
 }
 
+// newAllocatorRange creates an allocator over a device with total chunks
+// whose free pool starts as the slice [lo, hi) — one shard's partition of
+// the update headroom. Chunks outside the range begin allocated; release
+// may still free them (a shard's commits release the home chunks of its
+// own stripes, which then rejoin the pool), so the bitmap covers the whole
+// device. With a single shard, newAllocatorRange(total, reserved, total)
+// is identical to newAllocator(total, reserved), cursor included.
+func newAllocatorRange(total, lo, hi int64) *allocator {
+	a := &allocator{free: make([]bool, total), cursor: lo}
+	for i := lo; i < hi; i++ {
+		a.free[i] = true
+		a.nFree++
+	}
+	return a
+}
+
 // newAllocatorFromUsed rebuilds an allocator from a used-chunk bitmap
 // (checkpoint restore).
 func newAllocatorFromUsed(used []bool) *allocator {

@@ -10,24 +10,33 @@ import (
 )
 
 // Snapshot captures the complete metadata state as a full-checkpoint
-// payload and clears the dirty-metadata tracking.
+// payload and clears the dirty-metadata tracking. It is a whole-array
+// operation: every shard lock is held for the duration.
+//
+// The snapshot format is shard-agnostic (one flat metadata image), so a
+// snapshot taken at one shard count can be restored at another: NextLogID
+// is the highest unissued ID across shards and LogCursor the total count
+// of pending log chunks; Restore re-derives per-shard cursors and ID
+// strides from the log-stripe records themselves.
 func (e *EPLog) Snapshot() *metadata.Snapshot {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.lockAll()
+	defer e.unlockAll()
 	s := &metadata.Snapshot{
 		K:         int32(e.geo.K),
 		N:         int32(e.geo.N),
 		Stripes:   e.geo.Stripes,
 		ChunkSize: int32(e.csize),
-		NextLogID: e.nextLogID,
-		LogCursor: e.logCursor,
+		NextLogID: e.maxNextLogID(),
+		LogCursor: e.pendingLogChunksLocked(),
 	}
 	s.StripeRecs = make([]metadata.StripeRecord, 0, e.geo.Stripes)
 	for st := int64(0); st < e.geo.Stripes; st++ {
 		s.StripeRecs = append(s.StripeRecs, e.stripeRecord(st))
 	}
 	s.LogStripes = e.logStripeRecords()
-	clear(e.metaDirty)
+	for _, sh := range e.shards {
+		clear(sh.metaDirty)
+	}
 	e.obs.Emit(obs.Event{Kind: obs.KindCheckpoint, Dev: -1,
 		N: int64(len(s.StripeRecs)), Aux: 1})
 	return s
@@ -37,22 +46,47 @@ func (e *EPLog) Snapshot() *metadata.Snapshot {
 // DirtyDelta call as an incremental-checkpoint payload, then clears the
 // tracking.
 func (e *EPLog) DirtyDelta() *metadata.Delta {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	d := &metadata.Delta{NextLogID: e.nextLogID, LogCursor: e.logCursor}
-	stripes := make([]int64, 0, len(e.metaDirty))
-	for s := range e.metaDirty {
-		stripes = append(stripes, s)
+	e.lockAll()
+	defer e.unlockAll()
+	d := &metadata.Delta{NextLogID: e.maxNextLogID(), LogCursor: e.pendingLogChunksLocked()}
+	var stripes []int64
+	for _, sh := range e.shards {
+		for s := range sh.metaDirty {
+			stripes = append(stripes, s)
+		}
 	}
 	sort.Slice(stripes, func(i, j int) bool { return stripes[i] < stripes[j] })
 	for _, s := range stripes {
 		d.StripeRecs = append(d.StripeRecs, e.stripeRecord(s))
 	}
 	d.LogStripes = e.logStripeRecords()
-	clear(e.metaDirty)
+	for _, sh := range e.shards {
+		clear(sh.metaDirty)
+	}
 	e.obs.Emit(obs.Event{Kind: obs.KindCheckpoint, Dev: -1,
 		N: int64(len(d.StripeRecs)), Aux: 0})
 	return d
+}
+
+// maxNextLogID returns the highest unissued log-stripe ID across shards —
+// the shard-agnostic high-water mark recorded in checkpoints. All shard
+// locks must be held. With one shard it is exactly that shard's counter.
+func (e *EPLog) maxNextLogID() int64 {
+	id := int64(0)
+	for _, sh := range e.shards {
+		id = max(id, sh.nextLogID)
+	}
+	return id
+}
+
+// pendingLogChunksLocked counts pending log positions across shards with
+// all shard locks held. With one shard it is exactly the shard's cursor.
+func (e *EPLog) pendingLogChunksLocked() int64 {
+	var n int64
+	for _, sh := range e.shards {
+		n += sh.logCursor - sh.logStart
+	}
+	return n
 }
 
 func (e *EPLog) stripeRecord(stripe int64) metadata.StripeRecord {
@@ -64,7 +98,7 @@ func (e *EPLog) stripeRecord(stripe int64) metadata.StripeRecord {
 		Committed: make([]metadata.Loc, k),
 		Virgin:    e.virgin[stripe],
 	}
-	_, rec.Dirty = e.dirty[stripe]
+	_, rec.Dirty = e.shardOf(stripe).dirty[stripe]
 	for j := 0; j < k; j++ {
 		lba := e.geo.LBA(stripe, j)
 		rec.Latest[j] = metadata.Loc{Dev: int32(e.latest[lba].Dev), Chunk: e.latest[lba].Chunk}
@@ -75,14 +109,18 @@ func (e *EPLog) stripeRecord(stripe int64) metadata.StripeRecord {
 }
 
 func (e *EPLog) logStripeRecords() []metadata.LogStripeRecord {
-	ids := make([]int64, 0, len(e.logStripes))
-	for id := range e.logStripes {
-		ids = append(ids, id)
+	var ids []int64
+	byID := make(map[int64]*logStripe)
+	for _, sh := range e.shards {
+		for id, ls := range sh.logStripes {
+			ids = append(ids, id)
+			byID[id] = ls
+		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	recs := make([]metadata.LogStripeRecord, 0, len(ids))
 	for _, id := range ids {
-		ls := e.logStripes[id]
+		ls := byID[id]
 		rec := metadata.LogStripeRecord{ID: ls.id, LogPos: ls.logPos}
 		for _, mb := range ls.members {
 			rec.Members = append(rec.Members, metadata.Member{
@@ -99,6 +137,17 @@ func (e *EPLog) logStripeRecords() []metadata.LogStripeRecord {
 // devices, reconstructing the location maps, log-stripe set, and per-device
 // allocators. Buffer contents are not part of persistent metadata (they
 // are RAM), so cfg's buffer settings start empty.
+//
+// The shard count of the restored engine comes from cfg and need not match
+// the engine that took the snapshot: stripe state and log stripes are
+// distributed to their owning shards, and per-shard cursors and ID strides
+// are re-derived. Two constraints apply when restoring pending log stripes
+// into a different shard layout — every log stripe's members must map to a
+// single shard (they do for any snapshot this engine writes, because
+// grouping is per-shard; single-shard snapshots satisfy it trivially only
+// when restored with Shards=1), and its log position must fall inside the
+// owning shard's log region. A snapshot taken after Commit (no pending log
+// stripes) restores at any shard count.
 func Restore(devs, logDevs []device.Dev, cfg Config, snap *metadata.Snapshot) (*EPLog, error) {
 	if snap.K != int32(cfg.K) || snap.Stripes != cfg.Stripes {
 		return nil, fmt.Errorf("core: snapshot geometry k=%d stripes=%d does not match config k=%d stripes=%d",
@@ -121,7 +170,7 @@ func Restore(devs, logDevs []device.Dev, cfg Config, snap *metadata.Snapshot) (*
 		}
 		e.virgin[rec.Stripe] = rec.Virgin
 		if rec.Dirty {
-			e.dirty[rec.Stripe] = struct{}{}
+			e.shardOf(rec.Stripe).dirty[rec.Stripe] = struct{}{}
 		}
 		for j := 0; j < cfg.K; j++ {
 			lba := e.geo.LBA(rec.Stripe, j)
@@ -130,22 +179,53 @@ func Restore(devs, logDevs []device.Dev, cfg Config, snap *metadata.Snapshot) (*
 			e.commLoc[lba] = Loc{Dev: int(rec.Committed[j].Dev), Chunk: rec.Committed[j].Chunk}
 		}
 	}
+	maxID := int64(-1)
 	for _, rec := range snap.LogStripes {
 		ls := &logStripe{id: rec.ID, logPos: rec.LogPos}
+		var owner *shard
 		for _, mb := range rec.Members {
 			ls.members = append(ls.members, member{
 				lba: mb.LBA,
 				loc: Loc{Dev: int(mb.Loc.Dev), Chunk: mb.Loc.Chunk},
 			})
+			sh := e.shardOfLBA(mb.LBA)
+			if owner == nil {
+				owner = sh
+			} else if sh != owner {
+				return nil, fmt.Errorf("core: log stripe %d spans shards %d and %d; commit before checkpointing or restore with the original shard count",
+					rec.ID, owner.idx, sh.idx)
+			}
 		}
-		e.logStripes[rec.ID] = ls
+		if owner == nil {
+			return nil, fmt.Errorf("core: log stripe %d has no members", rec.ID)
+		}
+		if e.nShards > 1 && (rec.LogPos < owner.logStart || rec.LogPos >= owner.logLimit) {
+			return nil, fmt.Errorf("core: log stripe %d at log position %d outside shard %d's region [%d,%d); commit before checkpointing or restore with the original shard count",
+				rec.ID, rec.LogPos, owner.idx, owner.logStart, owner.logLimit)
+		}
+		owner.logStripes[rec.ID] = ls
+		maxID = max(maxID, rec.ID)
+		owner.logCursor = max(owner.logCursor, rec.LogPos+1)
 	}
-	e.nextLogID = snap.NextLogID
-	e.logCursor = snap.LogCursor
+	if e.nShards == 1 {
+		e.shards[0].nextLogID = snap.NextLogID
+		e.shards[0].logCursor = snap.LogCursor
+	} else {
+		// Re-derive per-shard ID counters above every restored and
+		// recorded ID, preserving each shard's residue class.
+		base := max(snap.NextLogID, maxID+1)
+		ns := int64(e.nShards)
+		for _, sh := range e.shards {
+			idx := int64(sh.idx)
+			sh.nextLogID = base + ((idx-base)%ns+ns)%ns
+		}
+	}
 
 	// Rebuild the allocators: a chunk is in use iff something references
 	// it — a latest or committed version, a log-stripe member, or a
-	// parity home (parity always lives at its stripe's home chunk).
+	// parity home (parity always lives at its stripe's home chunk). Each
+	// shard's free pool is the unused subset of the chunks it owns: its
+	// slice of the update headroom plus the home chunks of its stripes.
 	usedPer := make([][]bool, len(devs))
 	for d := range usedPer {
 		usedPer[d] = make([]bool, devs[d].Chunks())
@@ -154,9 +234,11 @@ func Restore(devs, logDevs []device.Dev, cfg Config, snap *metadata.Snapshot) (*
 		usedPer[e.latest[lba].Dev][e.latest[lba].Chunk] = true
 		usedPer[e.commLoc[lba].Dev][e.commLoc[lba].Chunk] = true
 	}
-	for _, ls := range e.logStripes {
-		for _, mb := range ls.members {
-			usedPer[mb.loc.Dev][mb.loc.Chunk] = true
+	for _, sh := range e.shards {
+		for _, ls := range sh.logStripes {
+			for _, mb := range ls.members {
+				usedPer[mb.loc.Dev][mb.loc.Chunk] = true
+			}
 		}
 	}
 	for s := int64(0); s < e.geo.Stripes; s++ {
@@ -164,8 +246,24 @@ func Restore(devs, logDevs []device.Dev, cfg Config, snap *metadata.Snapshot) (*
 			usedPer[e.geo.ParityDev(s, i)][e.geo.HomeChunk(s)] = true
 		}
 	}
-	for d := range devs {
-		e.alloc[d] = newAllocatorFromUsed(usedPer[d])
+	ns := int64(e.nShards)
+	for _, sh := range e.shards {
+		for d := range devs {
+			total := devs[d].Chunks()
+			lo, hi := partitionRange(total, e.geo.Stripes, e.nShards, sh.idx)
+			a := &allocator{free: make([]bool, total)}
+			for c := int64(0); c < total; c++ {
+				if usedPer[d][c] {
+					continue
+				}
+				owned := (c >= lo && c < hi) || (c < e.geo.Stripes && c%ns == int64(sh.idx))
+				if owned {
+					a.free[c] = true
+					a.nFree++
+				}
+			}
+			sh.alloc[d] = a
+		}
 	}
 	return e, nil
 }

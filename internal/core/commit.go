@@ -14,31 +14,46 @@ import (
 // chunks from the SSDs, recomputes the parity, and writes it back in
 // place; then it releases all superseded data versions and the entire log
 // space. In normal mode (no failed SSD) the log devices are never read.
+//
+// Commit is per-shard: each shard folds its own dirty stripes under its
+// own lock, one shard at a time in index order, so writes and reads to
+// other shards keep flowing while a shard commits.
 func (e *EPLog) Commit() error {
 	_, err := e.CommitAt(0)
 	return err
 }
 
 // CommitAt is Commit with virtual-time accounting; it returns the
-// completion time of the commit's device work. On error it returns the
-// span's progress (not start), so replaying callers do not double-count
+// completion time of the commits' device work. On error it returns the
+// progress so far (not start), so replaying callers do not double-count
 // device work already issued.
 func (e *EPLog) CommitAt(start float64) (float64, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.commitAt(start)
+	end := start
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		shEnd, err := sh.commitAt(start)
+		sh.mu.Unlock()
+		end = max(end, shEnd)
+		if err != nil {
+			return end, err
+		}
+	}
+	return end, nil
 }
 
-// commit is the untimed commit used inside the engine, where e.mu is
+// commit is the untimed commit used inside the engine, where sh.mu is
 // already held.
-func (e *EPLog) commit() error {
-	_, err := e.commitAt(0)
+func (sh *shard) commit() error {
+	_, err := sh.commitAt(0)
 	return err
 }
 
-// commitAt implements CommitAt with e.mu held.
-func (e *EPLog) commitAt(start float64) (float64, error) {
-	if e.inCommit {
+// commitAt commits one shard with sh.mu held.
+func (sh *shard) commitAt(start float64) (float64, error) {
+	e := sh.e
+	// This commit covers whatever a pending background enqueue wanted.
+	sh.queued.Store(false)
+	if sh.inCommit {
 		return start, nil
 	}
 	// The reentrancy guard must be raised before the flush phase: the
@@ -47,33 +62,33 @@ func (e *EPLog) commitAt(start float64) (float64, error) {
 	// logStripes and resetting the log cursor out from under this one.
 	// With the guard up, a flush that exhausts the SSDs or log devices
 	// fails with an error instead of recursing.
-	e.inCommit = true
-	defer func() { e.inCommit = false }()
+	sh.inCommit = true
+	defer func() { sh.inCommit = false }()
 	// Drain RAM buffers first so the committed parity covers everything
 	// acknowledged so far; the fold phase below depends on the flushed
 	// data, so its span starts when the flush completes.
-	flushSpan := e.newSpan(start)
-	if err := e.flush(flushSpan); err != nil {
+	flushSpan := sh.newSpan(start)
+	if err := sh.flush(flushSpan); err != nil {
 		return flushSpan.End(), err
 	}
-	span := e.newSpan(flushSpan.End())
-	parityBefore := e.stats.ParityWriteChunks
+	span := sh.newSpan(flushSpan.End())
+	parityBefore := sh.stats.ParityWriteChunks
 
 	// Deterministic stripe order keeps runs reproducible. The order slice
-	// is engine scratch (commits cannot nest).
-	stripes := e.dirtyOrder[:0]
-	for s := range e.dirty {
+	// is shard scratch (commits cannot nest).
+	stripes := sh.dirtyOrder[:0]
+	for s := range sh.dirty {
 		stripes = append(stripes, s)
 	}
 	slices.Sort(stripes)
-	e.dirtyOrder = stripes
+	sh.dirtyOrder = stripes
 
 	k := e.geo.K
 	code, err := e.code(k)
 	if err != nil {
 		return span.End(), err
 	}
-	if err := e.foldStripes(span, code, stripes); err != nil {
+	if err := sh.foldStripes(span, code, stripes); err != nil {
 		// Partial-failure contract: the span's progress (not start) comes
 		// back with the error, so replaying callers do not double-count
 		// the device work already issued.
@@ -82,11 +97,13 @@ func (e *EPLog) commitAt(start float64) (float64, error) {
 
 	// Release superseded versions: every log-stripe member that is no
 	// longer the latest version of its LBA, and every committed location
-	// that was superseded by an update.
-	for _, ls := range e.logStripes {
+	// that was superseded by an update. All of these chunks belong to
+	// this shard's partition (or to the home areas of its own stripes),
+	// so the releases never touch another shard's allocator state.
+	for _, ls := range sh.logStripes {
 		for _, mb := range ls.members {
 			if e.latest[mb.lba] != mb.loc {
-				e.releaseLoc(mb.loc)
+				sh.releaseLoc(mb.loc)
 			}
 		}
 	}
@@ -94,35 +111,35 @@ func (e *EPLog) commitAt(start float64) (float64, error) {
 		for j := 0; j < k; j++ {
 			lba := e.geo.LBA(s, j)
 			if e.commLoc[lba] != e.latest[lba] {
-				e.releaseLoc(e.commLoc[lba])
+				sh.releaseLoc(e.commLoc[lba])
 				e.commLoc[lba] = e.latest[lba]
 			}
 			e.latestProt[lba] = committed
 		}
-		e.metaDirty[s] = struct{}{}
+		sh.metaDirty[s] = struct{}{}
 	}
 
-	// The log devices are now free end to end. Every latestProt entry for
-	// the folded stripes was reset to committed above, so no reference to
-	// a log stripe survives and the structs can be recycled.
-	for _, ls := range e.logStripes {
-		e.putLogStripe(ls)
+	// The shard's log region is now free end to end. Every latestProt
+	// entry for the folded stripes was reset to committed above, so no
+	// reference to a log stripe survives and the structs can be recycled.
+	for _, ls := range sh.logStripes {
+		sh.putLogStripe(ls)
 	}
-	clear(e.logStripes)
-	e.logCursor = 0
-	clear(e.dirty)
-	e.reqSinceCommit = 0
-	e.stats.Commits++
+	clear(sh.logStripes)
+	sh.logCursor = sh.logStart
+	clear(sh.dirty)
+	sh.reqSinceCommit = 0
+	sh.stats.Commits++
 
 	end, foldStart, flushEnd := span.End(), span.Start(), flushSpan.End()
-	e.freeSpan(flushSpan)
-	e.freeSpan(span)
-	parityDelta := e.stats.ParityWriteChunks - parityBefore
+	sh.freeSpan(flushSpan)
+	sh.freeSpan(span)
+	parityDelta := sh.stats.ParityWriteChunks - parityBefore
 	// Anchor the phase latencies to when the commit could actually begin:
 	// untimed internal commits (start 0) inherit the device-clock backlog
 	// in their spans, which would otherwise swamp the histograms.
-	obsStart := max(start, e.vnow)
-	e.vnow = max(e.vnow, end)
+	obsStart := max(start, e.vnow())
+	e.bumpVnow(end)
 	e.mCommitFlushLat.Observe(max(flushEnd-obsStart, 0))
 	e.mCommitFoldLat.Observe(max(end-max(foldStart, obsStart), 0))
 	e.mCommitLat.Observe(max(end-obsStart, 0))
@@ -138,21 +155,22 @@ func (e *EPLog) commitAt(start float64) (float64, error) {
 // the k latest data chunks, re-encodes the parity, and writes it to the
 // stripe's home locations. Stripes are independent (distinct reads and
 // parity homes): with one worker they fold inline on the caller's span
-// using the engine's scratch shard table — the serial commit allocates
+// using the shard's scratch shard table — the serial commit allocates
 // nothing — while the parallel engine runs one worker-pool task per
 // stripe, with per-task I/O counts accumulated in slots and folded into
 // the stats after the join, keeping the totals identical to the serial
 // engine.
-func (e *EPLog) foldStripes(span *device.Span, code *erasure.Code, stripes []int64) error {
+func (sh *shard) foldStripes(span *device.Span, code *erasure.Code, stripes []int64) error {
+	e := sh.e
 	k, m := e.geo.K, e.geo.M()
 	if e.workers <= 1 {
-		e.foldShards = grow(e.foldShards, k+m)
+		sh.foldShards = grow(sh.foldShards, k+m)
 		for _, s := range stripes {
-			clear(e.foldShards)
-			reads, parity, err := e.foldStripe(span, code, s, e.foldShards)
-			e.stats.CommitReadChunks += reads
-			e.stats.ParityWriteChunks += parity
-			e.stats.CommitWriteChunks += parity
+			clear(sh.foldShards)
+			reads, parity, err := e.foldStripe(span, code, s, sh.foldShards)
+			sh.stats.CommitReadChunks += reads
+			sh.stats.ParityWriteChunks += parity
+			sh.stats.CommitWriteChunks += parity
 			if err != nil {
 				return err
 			}
@@ -171,9 +189,9 @@ func (e *EPLog) foldStripes(span *device.Span, code *erasure.Code, stripes []int
 	}
 	err := e.fanOut(span, tasks)
 	for _, c := range counts {
-		e.stats.CommitReadChunks += c.reads
-		e.stats.ParityWriteChunks += c.parity
-		e.stats.CommitWriteChunks += c.parity
+		sh.stats.CommitReadChunks += c.reads
+		sh.stats.ParityWriteChunks += c.parity
+		sh.stats.CommitWriteChunks += c.parity
 	}
 	return err
 }
@@ -213,11 +231,11 @@ func (e *EPLog) foldStripe(sp *device.Span, code *erasure.Code, s int64, shards 
 
 // releaseLoc returns a superseded chunk to its device's free pool,
 // optionally trimming it on the SSD.
-func (e *EPLog) releaseLoc(l Loc) {
-	e.alloc[l.Dev].release(l.Chunk)
-	if e.cfg.TrimOnCommit {
+func (sh *shard) releaseLoc(l Loc) {
+	sh.alloc[l.Dev].release(l.Chunk)
+	if sh.e.cfg.TrimOnCommit {
 		// Best effort: a failed device cannot be trimmed, which is fine
 		// because its contents are rebuilt wholesale.
-		_ = e.devs[l.Dev].Trim(l.Chunk, 1)
+		_ = sh.e.devs[l.Dev].Trim(l.Chunk, 1)
 	}
 }

@@ -10,14 +10,14 @@ import (
 // Concurrency model
 // -----------------
 //
-// The engine uses a single coarse mutex (EPLog.mu) around all metadata
-// mutation: location maps, allocators, buffers, log-stripe bookkeeping,
-// stats, and the observability handles that are not already atomic. Every
-// exported method acquires it once at the top and holds it to the end, so
-// metadata is always observed in a consistent state and the write/commit
-// ordering invariants of the single-threaded engine carry over unchanged.
+// Metadata mutation is guarded per stripe-group shard (see shard.go): a
+// shard's RWMutex covers its location-map entries, allocator partitions,
+// buffers, log-stripe bookkeeping, and stats, so operations on different
+// shards run fully in parallel while the write/commit ordering invariants
+// of the single-threaded engine carry over unchanged within each shard.
+// With Shards=1 this degenerates to the old single coarse mutex.
 //
-// What runs outside the critical path of that lock is the expensive,
+// What runs outside the critical path of those locks is the expensive,
 // embarrassingly parallel work inside one operation: Reed-Solomon
 // encode/reconstruct, chunk memcpy, and per-device span I/O in the
 // direct-stripe, log-stripe flush, parity-commit fold, read, and rebuild
@@ -25,8 +25,9 @@ import (
 // which runs them on a bounded workpool of cfg.Workers goroutines. Pool
 // tasks never touch engine metadata (inputs are captured before the fan-
 // out; outputs land in per-task slots or atomics folded back under the
-// lock), and they never take mu — so the lock order is strictly
-// mu -> device.Locked/erasure.Cache, with no cycles.
+// lock), and they never take a shard lock — so the lock order is strictly
+// shard locks (ascending index) -> device.Locked/erasure.Cache, with no
+// cycles.
 //
 // Virtual-time determinism: with workers <= 1, fanOut runs the tasks
 // serially, in order, on the caller's span — bit-for-bit the behavior
@@ -41,8 +42,8 @@ import (
 
 // fanOut runs one operation's phase tasks on the engine's worker pool.
 // Each task receives a span to issue device I/O on. Tasks must not touch
-// engine metadata or take e.mu; they may only use their span, the devices
-// handed to them, and per-task result slots.
+// engine metadata or take shard locks; they may only use their span, the
+// devices handed to them, and per-task result slots.
 func (e *EPLog) fanOut(span *device.Span, tasks []func(*device.Span) error) error {
 	if e.workers <= 1 || len(tasks) <= 1 {
 		for _, t := range tasks {

@@ -86,9 +86,10 @@ func TestFlushGroupRejectsDuplicateDevice(t *testing.T) {
 		{lba: 0, data: chunkData(90, 1)},
 		{lba: b, data: chunkData(91, 1)},
 	}
-	e.mu.Lock()
-	err := e.flushGroup(device.NewSpan(0), group)
-	e.mu.Unlock()
+	sh := e.shards[0]
+	sh.mu.Lock()
+	err := sh.flushGroup(device.NewSpan(0), group)
+	sh.mu.Unlock()
 	if err == nil {
 		t.Fatal("flushGroup accepted two chunks on one device")
 	}
@@ -113,9 +114,10 @@ func TestUpdatePathSameDeviceRounds(t *testing.T) {
 	chunks := []pendingChunk{{lba: 0, data: d0}, {lba: b, data: d1}}
 	before := e.Stats().LogStripes
 
-	e.mu.Lock()
-	err := e.updatePath(device.NewSpan(0), chunks)
-	e.mu.Unlock()
+	sh := e.shards[0]
+	sh.mu.Lock()
+	err := sh.updatePath(device.NewSpan(0), chunks)
+	sh.mu.Unlock()
 	if err != nil {
 		t.Fatalf("updatePath: %v", err)
 	}
@@ -127,8 +129,8 @@ func TestUpdatePathSameDeviceRounds(t *testing.T) {
 	ta.verify(t, data, "after same-device rounds")
 
 	// Invariant sweep over all pending log stripes.
-	e.mu.Lock()
-	for id, ls := range e.logStripes {
+	sh.mu.Lock()
+	for id, ls := range sh.logStripes {
 		seen := make(map[int]bool)
 		for _, mb := range ls.members {
 			if seen[mb.loc.Dev] {
@@ -137,15 +139,15 @@ func TestUpdatePathSameDeviceRounds(t *testing.T) {
 			seen[mb.loc.Dev] = true
 		}
 	}
-	e.mu.Unlock()
+	sh.mu.Unlock()
 
 	// Control: two LBAs on distinct devices still group elastically into
 	// one k'=2 log stripe.
 	before = e.Stats().LogStripes
 	d2, d3 := chunkData(72, 1), chunkData(73, 1)
-	e.mu.Lock()
-	err = e.updatePath(device.NewSpan(0), []pendingChunk{{lba: 0, data: d2}, {lba: 1, data: d3}})
-	e.mu.Unlock()
+	sh.mu.Lock()
+	err = sh.updatePath(device.NewSpan(0), []pendingChunk{{lba: 0, data: d2}, {lba: 1, data: d3}})
+	sh.mu.Unlock()
 	if err != nil {
 		t.Fatalf("updatePath distinct devices: %v", err)
 	}

@@ -13,7 +13,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"github.com/eplog/eplog/internal/device"
 	"github.com/eplog/eplog/internal/erasure"
@@ -58,7 +60,9 @@ type Config struct {
 	// holding that many stripes' worth of chunks.
 	StripeBufferStripes int
 	// CommitEvery triggers an automatic parity commit after that many
-	// write requests when > 0 (Section III-C, scenario iv).
+	// write requests when > 0 (Section III-C, scenario iv). In sharded
+	// engines the threshold applies per shard and the commit runs on the
+	// background group-commit scheduler instead of inline.
 	CommitEvery int
 	// TrimOnCommit issues TRIM for chunks released by parity commit,
 	// the paper's optional extension for further GC reduction.
@@ -67,7 +71,8 @@ type Config struct {
 	// update space falls to this many chunks (the paper's scenario (ii),
 	// with a guard band so the underlying flash never reaches full
 	// logical utilization). Zero selects a default of one sixteenth of the
-	// device.
+	// device. In sharded engines the guard is split evenly across the
+	// shards' allocator partitions, preserving the global utilization cap.
 	CommitGuardChunks int64
 	// Obs, when non-nil, receives metrics (latency histograms, counters)
 	// and structured trace events from the write, read, commit, checkpoint
@@ -79,6 +84,15 @@ type Config struct {
 	// engine's virtual-time accounting exactly; higher values trade that
 	// determinism for wall-clock parallelism. See fanOut for the model.
 	Workers int
+	// Shards partitions the stripes into that many independent stripe
+	// groups (stripe s belongs to shard s mod Shards), each owning its
+	// slice of the mutable state behind its own lock, so requests
+	// touching different shards execute fully in parallel. Values <= 1
+	// select the single-shard engine, which is bit-identical (byte counts
+	// and virtual time) to the unsharded engine. The count is clamped so
+	// every shard keeps at least one update chunk per device, one log
+	// slot, and one stripe. See DESIGN.md §9.
+	Shards int
 }
 
 // Stats counts EPLog activity.
@@ -101,7 +115,8 @@ type Stats struct {
 	AbsorbedChunks int64
 	// FullStripeWrites counts stripes written directly with parity.
 	FullStripeWrites int64
-	// Commits counts parity-commit operations.
+	// Commits counts parity-commit operations. Sharded engines commit per
+	// shard, so one Commit() call counts once per shard that ran.
 	Commits int64
 	// CommitReadChunks and CommitWriteChunks count parity-commit I/O on
 	// the main array.
@@ -109,6 +124,22 @@ type Stats struct {
 	CommitWriteChunks int64
 	// Requests counts user write requests.
 	Requests int64
+}
+
+// add accumulates another shard's counters into s.
+func (s *Stats) add(o Stats) {
+	s.DataWriteChunks += o.DataWriteChunks
+	s.ParityWriteChunks += o.ParityWriteChunks
+	s.LogChunkWrites += o.LogChunkWrites
+	s.LogBytes += o.LogBytes
+	s.LogStripes += o.LogStripes
+	s.LogStripeMembers += o.LogStripeMembers
+	s.AbsorbedChunks += o.AbsorbedChunks
+	s.FullStripeWrites += o.FullStripeWrites
+	s.Commits += o.Commits
+	s.CommitReadChunks += o.CommitReadChunks
+	s.CommitWriteChunks += o.CommitWriteChunks
+	s.Requests += o.Requests
 }
 
 // logStripe records an elastic log stripe: up to one member chunk per SSD
@@ -126,17 +157,19 @@ type member struct {
 }
 
 // EPLog is an elastic-parity-logging array. It implements store.Store.
-// All exported methods are safe for concurrent use: they serialize on the
-// engine mutex, and an operation's expensive phases run on the worker
-// pool (see the concurrency model in concurrency.go).
+// All exported methods are safe for concurrent use. The mutable state is
+// partitioned into stripe-group shards, each guarded by its own RWMutex
+// (see shard.go); requests touching different shards run fully in
+// parallel, whole-array operations stop the world by taking every shard
+// lock in index order, and an operation's expensive phases run on the
+// worker pool (see the concurrency model in concurrency.go).
 type EPLog struct {
-	// mu is the engine mutex. Every exported method that touches mutable
-	// state holds it end to end; unexported methods assume it is held.
-	// It is the outermost lock — per-device Locked mutexes and the
-	// erasure-cache mutex are only ever taken while (or after) holding
-	// it, never the other way around, so the lock order is acyclic.
-	mu sync.Mutex
-	// workers is max(1, cfg.Workers); pool tasks never take mu.
+	// shards partitions the mutable state by stripe group: stripe s
+	// belongs to shards[s % nShards]. With nShards == 1 the engine
+	// degenerates to the single-lock design and is bit-identical to it.
+	shards  []*shard
+	nShards int
+	// workers is max(1, cfg.Workers); pool tasks never take shard locks.
 	workers int
 
 	geo     store.Geometry
@@ -145,38 +178,24 @@ type EPLog struct {
 	logDevs []device.Dev // log devices (HDDs), one per parity dimension
 	csize   int
 	cfg     Config
+	// shardGuard is the per-shard commit guard band: CommitGuardChunks
+	// split across the shards' allocator partitions (identical to
+	// CommitGuardChunks when nShards == 1).
+	shardGuard int64
 
+	// Per-LBA and per-stripe views. The slices are shared, but each entry
+	// is only ever accessed under its owning shard's lock (the owner of
+	// entry lba is shardOfLBA(lba); of virgin[s], shardOf(s)), so distinct
+	// shards touch disjoint memory.
 	latest     []Loc   // per-LBA latest version location
 	latestProt []int64 // per-LBA protector: committed or a log stripe id
 	commLoc    []Loc   // per-LBA committed version location
 	virgin     []bool  // per-stripe: never written (direct path eligible)
-	dirty      map[int64]struct{}
-	metaDirty  map[int64]struct{} // stripes whose metadata changed since the last checkpoint
 
-	alloc      []*allocator
-	logStripes map[int64]*logStripe
-	nextLogID  int64
-	logCursor  int64
-
-	devBufs   []*deviceBuffer
-	stripeBuf *stripeBuffer
-
-	reqSinceCommit int
-	inCommit       bool
-	stats          Stats
-
-	// Reusable scratch (see scratch.go). scratchFree is the frame stack
-	// for the reentrant grouping/log-flush paths; lsFree recycles
-	// logStripe records across commits; the remaining fields are
-	// dedicated to non-reentrant paths.
-	scratchFree []*opScratch
-	lsFree      []*logStripe
-	wrSeg       []pendingChunk // WriteChunks per-stripe segment
-	wrUpdates   []pendingChunk // WriteChunks request-wide update set
-	dsShards    [][]byte       // directStripeWrite shard headers
-	foldShards  [][]byte       // foldStripes serial-path shard headers
-	dirtyOrder  []int64        // commitAt dirty-stripe order
-	spanFree    []*device.Span // recycled spans for the write/commit paths
+	// gc is the background group-commit scheduler, started only when
+	// nShards > 1; Close stops it.
+	gc        *groupCommitter
+	closeOnce sync.Once
 
 	obs             *obs.Sink
 	mWriteLat       *obs.Histogram
@@ -185,11 +204,12 @@ type EPLog struct {
 	mCommitFlushLat *obs.Histogram
 	mCommitFoldLat  *obs.Histogram
 	mDegradedReads  *obs.Counter
-	// vnow is the high-water completion time seen so far. It anchors the
-	// latency metrics of commits invoked untimed (start 0) from inside the
-	// write path, whose spans would otherwise absorb the whole device-clock
-	// backlog; scheduling never reads it.
-	vnow float64
+	// vnowBits is the high-water completion time seen so far (float64
+	// bits, CAS-maxed). It anchors the latency metrics of commits invoked
+	// untimed (start 0) from inside the write path, whose spans would
+	// otherwise absorb the whole device-clock backlog; scheduling never
+	// reads it.
+	vnowBits atomic.Uint64
 }
 
 var _ store.Store = (*EPLog)(nil)
@@ -225,16 +245,33 @@ func New(devs, logDevs []device.Dev, cfg Config) (*EPLog, error) {
 		}
 	}
 
+	// Clamp the shard count so every shard owns at least one update chunk
+	// per device, one log slot, and one stripe.
+	nShards := int64(max(1, cfg.Shards))
+	for _, d := range devs {
+		if h := d.Chunks() - cfg.Stripes; nShards > h {
+			nShards = h
+		}
+	}
+	if lc := logDevs[0].Chunks(); nShards > lc {
+		nShards = lc
+	}
+	if nShards > cfg.Stripes {
+		nShards = cfg.Stripes
+	}
+	nShards = max(1, nShards)
+
 	workers := max(1, cfg.Workers)
-	if workers > 1 {
-		// Pool tasks fan I/O out across goroutines, but the Dev contract
-		// lets implementations assume serialized access — so every device
-		// gets a per-device mutex as its outermost wrapper. The input
-		// slices are not mutated.
+	if workers > 1 || nShards > 1 {
+		// Pool tasks and concurrent shard holders fan I/O out across
+		// goroutines, but the Dev contract lets implementations assume
+		// serialized access — so every device gets a per-device mutex as
+		// its outermost wrapper. The input slices are not mutated.
 		devs = lockDevs(devs)
 		logDevs = lockDevs(logDevs)
 	}
 	e := &EPLog{
+		nShards:    int(nShards),
 		workers:    workers,
 		geo:        geo,
 		codes:      erasure.NewCache(erasure.Cauchy),
@@ -246,10 +283,6 @@ func New(devs, logDevs []device.Dev, cfg Config) (*EPLog, error) {
 		latestProt: make([]int64, geo.Chunks()),
 		commLoc:    make([]Loc, geo.Chunks()),
 		virgin:     make([]bool, cfg.Stripes),
-		dirty:      make(map[int64]struct{}),
-		metaDirty:  make(map[int64]struct{}),
-		alloc:      make([]*allocator, len(devs)),
-		logStripes: make(map[int64]*logStripe),
 	}
 	for lba := int64(0); lba < geo.Chunks(); lba++ {
 		s, j := geo.Stripe(lba)
@@ -261,21 +294,43 @@ func New(devs, logDevs []device.Dev, cfg Config) (*EPLog, error) {
 	for i := range e.virgin {
 		e.virgin[i] = true
 	}
-	for i, d := range devs {
-		e.alloc[i] = newAllocator(d.Chunks(), cfg.Stripes)
-	}
 	if e.cfg.CommitGuardChunks == 0 {
 		e.cfg.CommitGuardChunks = devs[0].Chunks() / 16
 	}
-	if cfg.DeviceBufferChunks > 0 {
-		e.devBufs = make([]*deviceBuffer, len(devs))
-		for i := range e.devBufs {
-			e.devBufs[i] = newDeviceBuffer(cfg.DeviceBufferChunks)
-			e.devBufs[i].hotCold = cfg.HotColdGrouping
+	e.shardGuard = (e.cfg.CommitGuardChunks + nShards - 1) / nShards
+
+	e.shards = make([]*shard, nShards)
+	logChunks := logDevs[0].Chunks()
+	for i := range e.shards {
+		sh := &shard{
+			e:          e,
+			idx:        i,
+			dirty:      make(map[int64]struct{}),
+			metaDirty:  make(map[int64]struct{}),
+			alloc:      make([]*allocator, len(devs)),
+			logStripes: make(map[int64]*logStripe),
+			nextLogID:  int64(i), // ids stride by nShards, so shards never collide
 		}
+		sh.logStart, sh.logLimit = partitionRange(logChunks, 0, int(nShards), i)
+		sh.logCursor = sh.logStart
+		for d, dev := range devs {
+			lo, hi := partitionRange(dev.Chunks(), cfg.Stripes, int(nShards), i)
+			sh.alloc[d] = newAllocatorRange(dev.Chunks(), lo, hi)
+		}
+		if cfg.DeviceBufferChunks > 0 {
+			sh.devBufs = make([]*deviceBuffer, len(devs))
+			for d := range sh.devBufs {
+				sh.devBufs[d] = newDeviceBuffer(cfg.DeviceBufferChunks)
+				sh.devBufs[d].hotCold = cfg.HotColdGrouping
+			}
+		}
+		if cfg.StripeBufferStripes > 0 {
+			sh.stripeBuf = newStripeBuffer(cfg.StripeBufferStripes * cfg.K)
+		}
+		e.shards[i] = sh
 	}
-	if cfg.StripeBufferStripes > 0 {
-		e.stripeBuf = newStripeBuffer(cfg.StripeBufferStripes * cfg.K)
+	if e.nShards > 1 {
+		e.gc = newGroupCommitter(e)
 	}
 	// The handles below are nil-safe no-ops when cfg.Obs is nil.
 	e.obs = cfg.Obs
@@ -288,35 +343,95 @@ func New(devs, logDevs []device.Dev, cfg Config) (*EPLog, error) {
 	return e, nil
 }
 
+// partitionRange splits [reserved, total) into n contiguous partitions and
+// returns the i-th; the last partition absorbs the remainder. With n == 1
+// it returns [reserved, total) — the whole headroom, as in the unsharded
+// engine.
+func partitionRange(total, reserved int64, n, i int) (lo, hi int64) {
+	per := (total - reserved) / int64(n)
+	lo = reserved + int64(i)*per
+	hi = lo + per
+	if i == n-1 {
+		hi = total
+	}
+	return lo, hi
+}
+
+// Close stops the background group-commit scheduler, if any. It does not
+// flush or commit; pending state stays readable through the devices and
+// metadata. Close is idempotent and safe for concurrent use.
+func (e *EPLog) Close() error {
+	e.closeOnce.Do(func() {
+		if e.gc != nil {
+			e.gc.shutdown()
+		}
+	})
+	return nil
+}
+
 // Chunks implements store.Store.
 func (e *EPLog) Chunks() int64 { return e.geo.Chunks() }
 
 // ChunkSize implements store.Store.
 func (e *EPLog) ChunkSize() int { return e.csize }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, aggregated across the shards
+// under their read locks — it never blocks writes to other shards and
+// never takes a write lock.
 func (e *EPLog) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	var out Stats
+	for _, sh := range e.shards {
+		sh.mu.RLock()
+		out.add(sh.stats)
+		sh.mu.RUnlock()
+	}
+	return out
 }
 
 // Geometry exposes the array layout.
 func (e *EPLog) Geometry() store.Geometry { return e.geo }
 
 // PendingLogChunks returns the occupied log-device chunks across all log
-// devices.
+// devices, aggregated under the shards' read locks.
 func (e *EPLog) PendingLogChunks() int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.logCursor * int64(e.geo.M())
+	var occupied int64
+	for _, sh := range e.shards {
+		sh.mu.RLock()
+		occupied += sh.logCursor - sh.logStart
+		sh.mu.RUnlock()
+	}
+	return occupied * int64(e.geo.M())
 }
 
-// PendingLogStripes returns the number of un-committed log stripes.
+// PendingLogStripes returns the number of un-committed log stripes,
+// aggregated under the shards' read locks.
 func (e *EPLog) PendingLogStripes() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.logStripes)
+	n := 0
+	for _, sh := range e.shards {
+		sh.mu.RLock()
+		n += len(sh.logStripes)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// vnow reads the high-water completion time.
+func (e *EPLog) vnow() float64 {
+	return math.Float64frombits(e.vnowBits.Load())
+}
+
+// bumpVnow raises the high-water completion time to t (CAS-max, so
+// concurrent requests never lose a later completion).
+func (e *EPLog) bumpVnow(t float64) {
+	for {
+		old := e.vnowBits.Load()
+		if math.Float64frombits(old) >= t {
+			return
+		}
+		if e.vnowBits.CompareAndSwap(old, math.Float64bits(t)) {
+			return
+		}
+	}
 }
 
 // code returns the memoized k'-of-(k'+m) code.

@@ -209,7 +209,7 @@ func TestSameDeviceChunksSplitLogStripes(t *testing.T) {
 		t.Fatalf("log stripes = %d, want 2", got)
 	}
 	// Verify the invariant structurally for every log stripe.
-	for _, ls := range ta.e.logStripes {
+	for _, ls := range ta.e.shards[0].logStripes {
 		seen := make(map[int]bool)
 		for _, mb := range ls.members {
 			if seen[mb.loc.Dev] {
@@ -382,7 +382,7 @@ func TestCommitFreesVersionsAndLogSpace(t *testing.T) {
 	ta := newTestArray(t, 5, 4, Config{})
 	data := chunkData(23, int(ta.e.Chunks()))
 	ta.mustWrite(t, 0, data)
-	freeBefore := ta.e.alloc[0].freeCount()
+	freeBefore := ta.e.shards[0].alloc[0].freeCount()
 	// Update the same chunk several times: versions accumulate.
 	for i := 0; i < 5; i++ {
 		upd := chunkData(24+i, 1)
@@ -402,12 +402,12 @@ func TestCommitFreesVersionsAndLogSpace(t *testing.T) {
 	// retained as the new committed version, but its stripe home slot
 	// was freed in exchange).
 	lbaDev := ta.e.latest[5].Dev
-	free := ta.e.alloc[lbaDev].freeCount()
-	if free+1 != ta.e.alloc[lbaDev].freeCount()+1 {
+	free := ta.e.shards[0].alloc[lbaDev].freeCount()
+	if free+1 != ta.e.shards[0].alloc[lbaDev].freeCount()+1 {
 		_ = free
 	}
 	wantFree := freeBefore // full cycle: 5 allocs, 4 stale frees + 1 home free
-	if got := ta.e.alloc[lbaDev].freeCount(); got != wantFree {
+	if got := ta.e.shards[0].alloc[lbaDev].freeCount(); got != wantFree {
 		t.Errorf("free chunks on dev %d = %d, want %d", lbaDev, got, wantFree)
 	}
 	ta.verify(t, data, "after commit")

@@ -14,6 +14,13 @@ import (
 // contents: buffered chunks come straight from memory, and chunks on
 // failed devices are reconstructed through whichever stripe protects their
 // latest version — the data stripe (committed) or a log stripe (pending).
+//
+// Reads are the fast path: they only consult metadata, so they take the
+// touched shards' locks shared and run concurrently with each other and
+// with writes to unrelated shards. The one exception is the fully serial
+// engine (Shards=1, Workers=1), whose devices are unwrapped and therefore
+// need the exclusive lock to serialize virtual-time accounting — exactly
+// the old engine's behavior.
 func (e *EPLog) ReadChunks(start float64, lba int64, p []byte) (float64, error) {
 	nChunks := int64(len(p) / e.csize)
 	if int(nChunks)*e.csize != len(p) || nChunks == 0 {
@@ -22,13 +29,21 @@ func (e *EPLog) ReadChunks(start float64, lba int64, p []byte) (float64, error) 
 	if lba < 0 || lba+nChunks > e.geo.Chunks() {
 		return start, fmt.Errorf("%w: [%d,%d) of %d", store.ErrWriteTooLarge, lba, lba+nChunks, e.geo.Chunks())
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	shared := e.nShards > 1 || e.workers > 1 // devices are Locked-wrapped
+	if shared {
+		e.forTouchedShards(lba, nChunks, func(sh *shard) { sh.mu.RLock() })
+		defer e.forTouchedShards(lba, nChunks, func(sh *shard) { sh.mu.RUnlock() })
+	} else {
+		sh := e.shards[0]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+	}
 	span := device.NewSpan(start)
-	// One pool task per chunk. The tasks only read metadata (the engine
-	// lock is held, so nothing mutates it) and their output buffers are
-	// disjoint sub-slices of p. With a single worker the chunks read
-	// inline on the caller's span, in task order — no closures built.
+	// One pool task per chunk. The tasks only read metadata (the touched
+	// shard locks are held, so nothing mutates it) and their output
+	// buffers are disjoint sub-slices of p. With a single worker the
+	// chunks read inline on the caller's span, in task order — no
+	// closures built.
 	if e.workers <= 1 {
 		for off := int64(0); off < nChunks; off++ {
 			buf := p[off*int64(e.csize) : (off+1)*int64(e.csize)]
@@ -54,26 +69,28 @@ func (e *EPLog) ReadChunks(start float64, lba int64, p []byte) (float64, error) 
 	if span.Err() != nil {
 		return span.End(), span.Err()
 	}
-	e.vnow = max(e.vnow, span.End())
+	e.bumpVnow(span.End())
 	e.mReadLat.Observe(span.End() - start)
 	e.obs.Emit(obs.Event{Kind: obs.KindRead, T: start, Dur: span.End() - start,
 		Dev: -1, LBA: lba, N: nChunks})
 	return span.End(), nil
 }
 
-// readLBA reads the latest contents of one logical chunk.
+// readLBA reads the latest contents of one logical chunk. The lock of the
+// shard owning the LBA's stripe must be held (shared suffices).
 func (e *EPLog) readLBA(span *device.Span, lba int64, out []byte) error {
+	sh := e.shardOfLBA(lba)
 	// Pending writes in memory win.
-	if e.devBufs != nil {
+	if sh.devBufs != nil {
 		dev := e.latest[lba].Dev
-		if data, ok := e.devBufs[dev].get(lba); ok {
+		if data, ok := sh.devBufs[dev].get(lba); ok {
 			copy(out, data)
 			return nil
 		}
 	}
-	if e.stripeBuf != nil {
+	if sh.stripeBuf != nil {
 		s, _ := e.geo.Stripe(lba)
-		if data, ok := e.stripeBuf.peek(s, lba); ok {
+		if data, ok := sh.stripeBuf.peek(s, lba); ok {
 			copy(out, data)
 			return nil
 		}
@@ -96,7 +113,7 @@ func (e *EPLog) readLBA(span *device.Span, lba int64, out []byte) error {
 func (e *EPLog) degradedRead(span *device.Span, lba int64, out []byte) error {
 	e.mDegradedReads.Inc()
 	if prot := e.latestProt[lba]; prot != committed {
-		ls, ok := e.logStripes[prot]
+		ls, ok := e.shardOfLBA(lba).logStripes[prot]
 		if !ok {
 			return fmt.Errorf("core: protector log stripe %d missing for lba %d", prot, lba)
 		}

@@ -15,17 +15,19 @@ import (
 // metadata stays valid because the replacement inherits the device index
 // and chunk numbering.
 func (e *EPLog) Rebuild(devIdx int, replacement device.Dev) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	// Whole-array operation: stop the world by taking every shard lock.
+	e.lockAll()
+	defer e.unlockAll()
 	if devIdx < 0 || devIdx >= e.geo.N {
 		return fmt.Errorf("core: device index %d out of range", devIdx)
 	}
 	if replacement.ChunkSize() != e.csize || replacement.Chunks() < e.devs[devIdx].Chunks() {
 		return fmt.Errorf("core: replacement geometry mismatch")
 	}
-	if e.workers > 1 {
+	if e.workers > 1 || e.nShards > 1 {
 		// The rebuild tasks below share the replacement across pool
-		// goroutines, and it stays in e.devs afterwards.
+		// goroutines, and it stays in e.devs afterwards — where the
+		// sharded engine requires lock-wrapped devices.
 		replacement = device.NewLocked(replacement)
 	}
 	span := device.NewSpan(0)
@@ -124,10 +126,12 @@ func (e *EPLog) Rebuild(devIdx int, replacement device.Dev) error {
 		mb member
 	}
 	var pend []pendingMember
-	for _, ls := range e.logStripes {
-		for _, mb := range ls.members {
-			if mb.loc.Dev == devIdx {
-				pend = append(pend, pendingMember{ls: ls, mb: mb})
+	for _, sh := range e.shards {
+		for _, ls := range sh.logStripes {
+			for _, mb := range ls.members {
+				if mb.loc.Dev == devIdx {
+					pend = append(pend, pendingMember{ls: ls, mb: mb})
+				}
 			}
 		}
 	}
@@ -157,18 +161,21 @@ func (e *EPLog) Rebuild(devIdx int, replacement device.Dev) error {
 // never reads the log devices, the recovery is simply a commit (making all
 // log chunks unnecessary) followed by the swap.
 func (e *EPLog) RecoverLogDevice(dim int, replacement device.Dev) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	// Whole-array operation: stop the world by taking every shard lock.
+	e.lockAll()
+	defer e.unlockAll()
 	if dim < 0 || dim >= e.geo.M() {
 		return fmt.Errorf("core: log device index %d out of range", dim)
 	}
 	if replacement.ChunkSize() != e.csize {
 		return fmt.Errorf("core: replacement chunk size mismatch")
 	}
-	if err := e.commit(); err != nil {
-		return err
+	for _, sh := range e.shards {
+		if err := sh.commit(); err != nil {
+			return err
+		}
 	}
-	if e.workers > 1 {
+	if e.workers > 1 || e.nShards > 1 {
 		replacement = device.NewLocked(replacement)
 	}
 	e.logDevs[dim] = replacement

@@ -5,19 +5,20 @@ import (
 	"github.com/eplog/eplog/internal/device"
 )
 
-// Engine-owned scratch. The write and commit hot paths used to allocate
+// Shard-owned scratch. The write and commit hot paths used to allocate
 // their grouping slices, shard-header tables and device-membership sets on
 // every operation; with the buffer arena (internal/bufpool) supplying the
-// chunk payloads, these per-engine structures remove the remaining
-// steady-state allocations. Everything here is guarded by e.mu.
+// chunk payloads, these per-shard structures remove the remaining
+// steady-state allocations. Everything here is guarded by the owning
+// shard's mu.
 //
 // flushGroup and updatePath are reentrant — a flush can trigger a parity
 // commit whose own flush phase runs updatePath and flushGroup again — so
 // their scratch comes from a small stack of frames rather than dedicated
 // fields. Recursion depth is bounded (a commit never nests inside a
 // commit), so the stack stays at two or three frames for the life of the
-// engine. Non-reentrant paths (WriteChunks segmentation, direct stripe
-// writes, the commit fold) use dedicated fields on EPLog.
+// shard. Non-reentrant paths (WriteChunks segmentation, direct stripe
+// writes, the commit fold) use dedicated fields on shard.
 
 // opScratch is one frame of reentrancy-safe scratch for the grouping and
 // log-flush paths.
@@ -37,25 +38,25 @@ type opScratch struct {
 
 // getScratch pops a scratch frame, allocating one on first use at each
 // reentrancy depth.
-func (e *EPLog) getScratch() *opScratch {
-	if n := len(e.scratchFree); n > 0 {
-		s := e.scratchFree[n-1]
-		e.scratchFree = e.scratchFree[:n-1]
+func (sh *shard) getScratch() *opScratch {
+	if n := len(sh.scratchFree); n > 0 {
+		s := sh.scratchFree[n-1]
+		sh.scratchFree = sh.scratchFree[:n-1]
 		return s
 	}
-	return &opScratch{taken: make([]bool, len(e.devs))}
+	return &opScratch{taken: make([]bool, len(sh.e.devs))}
 }
 
 // putScratch returns a frame, dropping buffer references so pooled headers
 // cannot pin chunk data.
-func (e *EPLog) putScratch(s *opScratch) {
+func (sh *shard) putScratch(s *opScratch) {
 	clearPending(s.group)
 	s.group = s.group[:0]
 	clearPending(s.rest[:cap(s.rest)])
 	s.rest = s.rest[:0]
 	clear(s.shards)
 	s.shards = s.shards[:0]
-	e.scratchFree = append(e.scratchFree, s)
+	sh.scratchFree = append(sh.scratchFree, s)
 }
 
 // resetTaken clears the frame's device-set for a new round.
@@ -96,36 +97,36 @@ func putPendingData(cs []pendingChunk) {
 // getLogStripe pops a recycled logStripe (members emptied) or allocates
 // one. Log stripes live from flushGroup until the commit that folds them,
 // which returns them via putLogStripe.
-func (e *EPLog) getLogStripe() *logStripe {
-	if n := len(e.lsFree); n > 0 {
-		ls := e.lsFree[n-1]
-		e.lsFree = e.lsFree[:n-1]
+func (sh *shard) getLogStripe() *logStripe {
+	if n := len(sh.lsFree); n > 0 {
+		ls := sh.lsFree[n-1]
+		sh.lsFree = sh.lsFree[:n-1]
 		return ls
 	}
 	return &logStripe{}
 }
 
-func (e *EPLog) putLogStripe(ls *logStripe) {
+func (sh *shard) putLogStripe(ls *logStripe) {
 	ls.members = ls.members[:0]
 	ls.id, ls.logPos = 0, 0
-	e.lsFree = append(e.lsFree, ls)
+	sh.lsFree = append(sh.lsFree, ls)
 }
 
 // newSpan pops a recycled span reset to start, or allocates one. Spans
 // are returned with freeSpan on the paths that finish with them; error
 // paths may simply drop them (the freelist is opportunistic).
-func (e *EPLog) newSpan(start float64) *device.Span {
-	if n := len(e.spanFree); n > 0 {
-		sp := e.spanFree[n-1]
-		e.spanFree = e.spanFree[:n-1]
+func (sh *shard) newSpan(start float64) *device.Span {
+	if n := len(sh.spanFree); n > 0 {
+		sp := sh.spanFree[n-1]
+		sh.spanFree = sh.spanFree[:n-1]
 		sp.Reset(start)
 		return sp
 	}
 	return device.NewSpan(start)
 }
 
-func (e *EPLog) freeSpan(sp *device.Span) {
-	e.spanFree = append(e.spanFree, sp)
+func (sh *shard) freeSpan(sp *device.Span) {
+	sh.spanFree = append(sh.spanFree, sp)
 }
 
 // grow returns s resized to n entries, reallocating only when capacity is

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/eplog/eplog/internal/device"
+)
+
+// Sharding model (DESIGN.md §9)
+// ----------------------------
+//
+// The engine's mutable state is partitioned by stripe group: stripe s —
+// its dirty flags, its home chunks, every update-area chunk its LBAs can
+// ever be relocated to, and every log stripe protecting its LBAs — belongs
+// to shard s mod nShards. Each shard has its own RWMutex, so writes,
+// reads, commits and degraded decodes touching different shards execute
+// fully in parallel, and the old engine-wide mutex disappears: whole-array
+// operations (checkpoint, verify, rebuild, geometry swaps) stop the world
+// by acquiring every shard lock in ascending index order.
+//
+// Space ownership makes the partition self-contained: each shard's
+// allocators cover a contiguous slice of every device's update headroom
+// (plus the home chunks of its own stripes, which its commits release and
+// re-allocate), and each shard appends log stripes into its own contiguous
+// region of the log devices with a private cursor. A shard's metadata
+// therefore only ever references shard-owned chunks, so allocation and
+// release never cross a shard boundary and never need another shard's
+// lock.
+//
+// Lock order: shard locks in ascending index order, then per-device
+// Locked mutexes / the erasure cache. Nothing takes a shard lock while
+// holding a device lock, so the order is acyclic.
+
+// shard owns one stripe group's slice of the engine's mutable state.
+// Unexported methods with a shard receiver assume mu is held (write-locked
+// unless stated otherwise).
+type shard struct {
+	e   *EPLog
+	idx int
+	// mu guards everything below plus the owned entries of the engine's
+	// latest/latestProt/commLoc/virgin slices. Readers (ReadChunks,
+	// Stats aggregation) take it shared; every mutation takes it
+	// exclusively.
+	mu sync.RWMutex
+
+	dirty     map[int64]struct{}
+	metaDirty map[int64]struct{} // stripes whose metadata changed since the last checkpoint
+
+	alloc      []*allocator // per-device, covering this shard's partition
+	logStripes map[int64]*logStripe
+	nextLogID  int64 // always ≡ idx (mod nShards)
+	// The shard's contiguous log-device region [logStart, logLimit) and
+	// its append cursor. A shard commit clears all of the shard's log
+	// stripes, so the cursor resets to logStart.
+	logStart  int64
+	logLimit  int64
+	logCursor int64
+
+	devBufs []*deviceBuffer
+	// fullBufs counts device buffers currently at (or beyond) capacity,
+	// maintained at put/pop so the drain loop does not rescan every
+	// buffer on every buffered write.
+	fullBufs  int
+	stripeBuf *stripeBuffer
+
+	reqSinceCommit int
+	inCommit       bool
+	// queued marks the shard as enqueued for a background group commit.
+	queued atomic.Bool
+	// asyncErr holds a background commit failure, surfaced to the next
+	// write touching the shard.
+	asyncErr error
+	stats    Stats
+
+	// Reusable scratch (see scratch.go). scratchFree is the frame stack
+	// for the reentrant grouping/log-flush paths; lsFree recycles
+	// logStripe records across commits; the remaining fields are
+	// dedicated to non-reentrant paths.
+	scratchFree []*opScratch
+	lsFree      []*logStripe
+	wrSeg       []pendingChunk // serial WriteChunks per-stripe segment
+	wrUpdates   []pendingChunk // serial WriteChunks request-wide update set
+	dsShards    [][]byte       // directStripeWrite shard headers
+	foldShards  [][]byte       // foldStripes serial-path shard headers
+	dirtyOrder  []int64        // commitAt dirty-stripe order
+	spanFree    []*device.Span // recycled spans for the write/commit paths
+}
+
+// shardOf returns the shard owning a stripe.
+func (e *EPLog) shardOf(stripe int64) *shard {
+	return e.shards[stripe%int64(e.nShards)]
+}
+
+// shardOfLBA returns the shard owning an LBA's stripe.
+func (e *EPLog) shardOfLBA(lba int64) *shard {
+	s, _ := e.geo.Stripe(lba)
+	return e.shardOf(s)
+}
+
+// takeAsyncErr returns and clears a pending background-commit error.
+func (sh *shard) takeAsyncErr() error {
+	err := sh.asyncErr
+	sh.asyncErr = nil
+	return err
+}
+
+// lockAll write-locks every shard in ascending index order — the
+// stop-the-world acquisition used by whole-array operations (checkpoint,
+// verify, rebuild, recovery). unlockAll releases them.
+func (e *EPLog) lockAll() {
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+	}
+}
+
+func (e *EPLog) unlockAll() {
+	for _, sh := range e.shards {
+		sh.mu.Unlock()
+	}
+}
+
+// forTouchedShards calls f once per shard owning any stripe of the chunk
+// range [lba, lba+n), in ascending shard-index order.
+func (e *EPLog) forTouchedShards(lba, n int64, f func(*shard)) {
+	lo, _ := e.geo.Stripe(lba)
+	hi, _ := e.geo.Stripe(lba + n - 1)
+	ns := int64(e.nShards)
+	if hi-lo+1 >= ns {
+		for _, sh := range e.shards {
+			f(sh)
+		}
+		return
+	}
+	// Fewer stripes than shards: the touched residues form one (possibly
+	// wrapped) contiguous range.
+	r1, r2 := lo%ns, hi%ns
+	for i := int64(0); i < ns; i++ {
+		if r1 <= r2 && (i < r1 || i > r2) {
+			continue
+		}
+		if r1 > r2 && i < r1 && i > r2 {
+			continue
+		}
+		f(e.shards[i])
+	}
+}
+
+// groupCommitter is the background group-commit scheduler of the sharded
+// engine: foreground writes enqueue shards whose commit triggers fire
+// (CommitEvery, log-region pressure) instead of committing inline, and the
+// scheduler folds each queued shard under that shard's lock only — writes
+// to other shards proceed undisturbed.
+type groupCommitter struct {
+	e    *EPLog
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newGroupCommitter(e *EPLog) *groupCommitter {
+	gc := &groupCommitter{
+		e:    e,
+		wake: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go gc.run()
+	return gc
+}
+
+// enqueue marks a shard for a background commit; duplicate enqueues fold
+// into one. Safe to call with the shard's lock held: the wake send never
+// blocks.
+func (gc *groupCommitter) enqueue(sh *shard) {
+	if sh.queued.CompareAndSwap(false, true) {
+		select {
+		case gc.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (gc *groupCommitter) run() {
+	defer close(gc.done)
+	for {
+		select {
+		case <-gc.stop:
+			return
+		case <-gc.wake:
+		}
+		for _, sh := range gc.e.shards {
+			if !sh.queued.CompareAndSwap(true, false) {
+				continue
+			}
+			sh.mu.Lock()
+			if _, err := sh.commitAt(0); err != nil {
+				// Surfaced to the next write touching this shard.
+				sh.asyncErr = err
+			}
+			sh.mu.Unlock()
+		}
+	}
+}
+
+func (gc *groupCommitter) shutdown() {
+	close(gc.stop)
+	<-gc.done
+}

@@ -30,8 +30,9 @@ func (r *VerifyReport) OK() bool {
 // Verify reads log devices (for the log-chunk comparison) but modifies
 // nothing.
 func (e *EPLog) Verify() (*VerifyReport, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	// Whole-array operation: stop the world by taking every shard lock.
+	e.lockAll()
+	defer e.unlockAll()
 	report := &VerifyReport{}
 	span := device.NewSpan(0)
 	k, m := e.geo.K, e.geo.M()
@@ -73,30 +74,32 @@ func (e *EPLog) Verify() (*VerifyReport, error) {
 		}
 	}
 
-	for id, ls := range e.logStripes {
-		report.LogStripes++
-		kPrime := len(ls.members)
-		lcode, err := e.code(kPrime)
-		if err != nil {
-			return nil, err
-		}
-		shards := table[:kPrime+m]
-		for i, mb := range ls.members {
-			if err := span.Read(e.devs[mb.loc.Dev], mb.loc.Chunk, shards[i]); err != nil {
-				return nil, fmt.Errorf("core: verify log stripe %d member %d: %w", id, i, err)
+	for _, sh := range e.shards {
+		for id, ls := range sh.logStripes {
+			report.LogStripes++
+			kPrime := len(ls.members)
+			lcode, err := e.code(kPrime)
+			if err != nil {
+				return nil, err
 			}
-		}
-		for i := 0; i < m; i++ {
-			if err := span.Read(e.logDevs[i], ls.logPos, shards[kPrime+i]); err != nil {
-				return nil, fmt.Errorf("core: verify log stripe %d log chunk %d: %w", id, i, err)
+			shards := table[:kPrime+m]
+			for i, mb := range ls.members {
+				if err := span.Read(e.devs[mb.loc.Dev], mb.loc.Chunk, shards[i]); err != nil {
+					return nil, fmt.Errorf("core: verify log stripe %d member %d: %w", id, i, err)
+				}
 			}
-		}
-		ok, err := lcode.Verify(shards)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			report.BadLogStripes = append(report.BadLogStripes, id)
+			for i := 0; i < m; i++ {
+				if err := span.Read(e.logDevs[i], ls.logPos, shards[kPrime+i]); err != nil {
+					return nil, fmt.Errorf("core: verify log stripe %d log chunk %d: %w", id, i, err)
+				}
+			}
+			ok, err := lcode.Verify(shards)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				report.BadLogStripes = append(report.BadLogStripes, id)
+			}
 		}
 	}
 	return report, nil

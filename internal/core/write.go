@@ -16,6 +16,12 @@ import (
 // to their SSDs while log chunks — computed from the new data only —
 // stream to the log devices in the same phase. There is no pre-read
 // anywhere on the write path.
+//
+// With one shard the request runs under the single shard lock, on the
+// engine's pooled scratch — the zero-allocation serial hot path. With
+// several shards the request locks only the shards its stripes belong to,
+// one at a time, so concurrent writes to different stripe groups proceed
+// in parallel.
 func (e *EPLog) WriteChunks(start float64, lba int64, data []byte) (float64, error) {
 	nChunks := int64(len(data) / e.csize)
 	if int(nChunks)*e.csize != len(data) || nChunks == 0 {
@@ -24,20 +30,31 @@ func (e *EPLog) WriteChunks(start float64, lba int64, data []byte) (float64, err
 	if lba < 0 || lba+nChunks > e.geo.Chunks() {
 		return start, fmt.Errorf("%w: [%d,%d) of %d", store.ErrWriteTooLarge, lba, lba+nChunks, e.geo.Chunks())
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.stats.Requests++
-	span := e.newSpan(start)
+	if e.nShards > 1 {
+		return e.writeSharded(start, lba, nChunks, data)
+	}
+	sh := e.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.writeSerial(start, lba, nChunks, data)
+}
+
+// writeSerial is the single-shard write path, bit-identical (byte counts
+// and virtual time) to the unsharded engine. sh.mu is held.
+func (sh *shard) writeSerial(start float64, lba, nChunks int64, data []byte) (float64, error) {
+	e := sh.e
+	sh.stats.Requests++
+	span := sh.newSpan(start)
 
 	// Split into per-stripe segments; chunks not eligible for the direct
 	// or stripe-buffer paths accumulate into one request-wide update set
 	// so elastic grouping can span stripes (Fig. 1(b)). Both slices are
-	// engine scratch: WriteChunks cannot reenter itself (e.mu), and the
-	// nested paths use their own frames.
-	updates := e.wrUpdates[:0]
+	// shard scratch: the serial write cannot reenter itself (sh.mu), and
+	// the nested paths use their own frames.
+	updates := sh.wrUpdates[:0]
 	for off := int64(0); off < nChunks; {
 		s, _ := e.geo.Stripe(lba + off)
-		seg := e.wrSeg[:0]
+		seg := sh.wrSeg[:0]
 		for ; off < nChunks; off++ {
 			s2, _ := e.geo.Stripe(lba + off)
 			if s2 != s {
@@ -48,55 +65,136 @@ func (e *EPLog) WriteChunks(start float64, lba int64, data []byte) (float64, err
 				data: data[off*int64(e.csize) : (off+1)*int64(e.csize)],
 			})
 		}
-		e.wrSeg = seg
-		deferred, err := e.writeSegment(span, s, seg)
+		sh.wrSeg = seg
+		deferred, err := sh.writeSegment(span, s, seg)
 		if err != nil {
 			// Partial-failure contract: once device work has been issued,
 			// errors return the span's progress rather than start, so a
 			// caller replaying from the returned time does not double-
 			// count virtual time (or stats) for work already done.
-			e.wrUpdates = updates
+			sh.wrUpdates = updates
 			return span.End(), err
 		}
 		updates = append(updates, deferred...)
 	}
-	e.wrUpdates = updates
+	sh.wrUpdates = updates
 	if len(updates) > 0 {
-		if err := e.updatePath(span, updates); err != nil {
-			clearPending(e.wrUpdates)
+		if err := sh.updatePath(span, updates); err != nil {
+			clearPending(sh.wrUpdates)
 			return span.End(), err
 		}
 	}
 	// Drop data references so scratch reuse cannot pin caller buffers.
-	clearPending(e.wrSeg[:cap(e.wrSeg)])
-	clearPending(e.wrUpdates[:cap(e.wrUpdates)])
+	clearPending(sh.wrSeg[:cap(sh.wrSeg)])
+	clearPending(sh.wrUpdates[:cap(sh.wrUpdates)])
 
 	if e.cfg.CommitEvery > 0 {
-		e.reqSinceCommit++
-		if e.reqSinceCommit >= e.cfg.CommitEvery {
-			if err := e.commit(); err != nil {
+		sh.reqSinceCommit++
+		if sh.reqSinceCommit >= e.cfg.CommitEvery {
+			if err := sh.commit(); err != nil {
 				return span.End(), err
 			}
 		}
 	}
 	end := span.End()
-	e.freeSpan(span)
-	e.vnow = max(e.vnow, end)
+	sh.freeSpan(span)
+	e.bumpVnow(end)
+	e.mWriteLat.Observe(end - start)
+	e.obs.Emit(obs.Event{Kind: obs.KindWrite, T: start, Dur: end - start, Dev: -1, LBA: lba, N: nChunks})
+	return end, nil
+}
+
+// writeSharded is the multi-shard write path: the request's per-stripe
+// segments are routed to their owning shards one at a time (direct and
+// stripe-buffer paths run inline under that shard's lock; update chunks
+// are deferred per shard), then each touched shard's update set is
+// grouped and flushed under its lock, in shard-index order. Commit
+// triggers enqueue the shard on the background group-commit scheduler
+// instead of committing inline, so foreground writes to other shards are
+// never blocked behind a fold.
+func (e *EPLog) writeSharded(start float64, lba, nChunks int64, data []byte) (float64, error) {
+	span := device.NewSpan(start)
+	var (
+		updates = make([][]pendingChunk, e.nShards)
+		touched = make([]bool, e.nShards)
+		seg     []pendingChunk
+		first   = true
+	)
+	for off := int64(0); off < nChunks; {
+		s, _ := e.geo.Stripe(lba + off)
+		seg = seg[:0]
+		for ; off < nChunks; off++ {
+			s2, _ := e.geo.Stripe(lba + off)
+			if s2 != s {
+				break
+			}
+			seg = append(seg, pendingChunk{
+				lba:  lba + off,
+				data: data[off*int64(e.csize) : (off+1)*int64(e.csize)],
+			})
+		}
+		sh := e.shardOf(s)
+		sh.mu.Lock()
+		if err := sh.takeAsyncErr(); err != nil {
+			sh.mu.Unlock()
+			return span.End(), err
+		}
+		if first {
+			sh.stats.Requests++
+			first = false
+		}
+		touched[sh.idx] = true
+		deferred, err := sh.writeSegment(span, s, seg)
+		if err != nil {
+			sh.mu.Unlock()
+			return span.End(), err
+		}
+		updates[sh.idx] = append(updates[sh.idx], deferred...)
+		sh.mu.Unlock()
+	}
+	for i, sh := range e.shards {
+		if !touched[i] {
+			continue
+		}
+		sh.mu.Lock()
+		if u := updates[i]; len(u) > 0 {
+			if err := sh.updatePath(span, u); err != nil {
+				sh.mu.Unlock()
+				return span.End(), err
+			}
+		}
+		if e.cfg.CommitEvery > 0 {
+			sh.reqSinceCommit++
+			if sh.reqSinceCommit >= e.cfg.CommitEvery {
+				e.gc.enqueue(sh)
+			}
+		}
+		// Log-region pressure: fold the shard before its private region
+		// forces a synchronous commit inside a foreground flushGroup.
+		if region := sh.logLimit - sh.logStart; sh.logCursor-sh.logStart >= region-(region/4) {
+			e.gc.enqueue(sh)
+		}
+		sh.mu.Unlock()
+	}
+	end := span.End()
+	e.bumpVnow(end)
 	e.mWriteLat.Observe(end - start)
 	e.obs.Emit(obs.Event{Kind: obs.KindWrite, T: start, Dur: end - start, Dev: -1, LBA: lba, N: nChunks})
 	return end, nil
 }
 
 // writeSegment routes one stripe's worth of a request, returning any
-// chunks that should go through the shared update path instead.
-func (e *EPLog) writeSegment(span *device.Span, stripe int64, seg []pendingChunk) ([]pendingChunk, error) {
+// chunks that should go through the shared update path instead. The
+// stripe belongs to this shard and sh.mu is held.
+func (sh *shard) writeSegment(span *device.Span, stripe int64, seg []pendingChunk) ([]pendingChunk, error) {
+	e := sh.e
 	if e.virgin[stripe] {
 		if len(seg) == e.geo.K {
 			// New full-stripe write: straight to the main array.
-			return nil, e.directStripeWrite(span, stripe, seg)
+			return nil, sh.directStripeWrite(span, stripe, seg)
 		}
-		if e.stripeBuf != nil {
-			return nil, e.bufferNewWrite(span, stripe, seg)
+		if sh.stripeBuf != nil {
+			return nil, sh.bufferNewWrite(span, stripe, seg)
 		}
 	}
 	return seg, nil
@@ -107,11 +205,12 @@ func (e *EPLog) writeSegment(span *device.Span, stripe int64, seg []pendingChunk
 // table is engine scratch (the path cannot reenter itself), and with a
 // single worker the k+m device writes run inline — the serial steady state
 // allocates nothing.
-func (e *EPLog) directStripeWrite(span *device.Span, stripe int64, seg []pendingChunk) error {
+func (sh *shard) directStripeWrite(span *device.Span, stripe int64, seg []pendingChunk) error {
+	e := sh.e
 	k, m := e.geo.K, e.geo.M()
 	home := e.geo.HomeChunk(stripe)
-	e.dsShards = grow(e.dsShards, k+m)
-	shards := e.dsShards
+	sh.dsShards = grow(sh.dsShards, k+m)
+	shards := sh.dsShards
 	clear(shards)
 	for _, c := range seg {
 		_, slot := e.geo.Stripe(c.lba)
@@ -167,11 +266,11 @@ func (e *EPLog) directStripeWrite(span *device.Span, stripe int64, seg []pending
 	if err != nil {
 		return err
 	}
-	e.stats.DataWriteChunks += int64(k)
-	e.stats.ParityWriteChunks += int64(m)
+	sh.stats.DataWriteChunks += int64(k)
+	sh.stats.ParityWriteChunks += int64(m)
 	e.virgin[stripe] = false
-	e.metaDirty[stripe] = struct{}{}
-	e.stats.FullStripeWrites++
+	sh.metaDirty[stripe] = struct{}{}
+	sh.stats.FullStripeWrites++
 	e.obs.Emit(obs.Event{Kind: obs.KindFullStripe, T: span.Start(), Dev: -1,
 		LBA: e.geo.LBA(stripe, 0), N: int64(k), Aux: int64(m)})
 	return nil
@@ -180,26 +279,27 @@ func (e *EPLog) directStripeWrite(span *device.Span, stripe int64, seg []pending
 // bufferNewWrite stages new-write chunks in the stripe buffer, flushing
 // any stripe that becomes complete and evicting the oldest stripe when the
 // buffer overflows.
-func (e *EPLog) bufferNewWrite(span *device.Span, stripe int64, seg []pendingChunk) error {
+func (sh *shard) bufferNewWrite(span *device.Span, stripe int64, seg []pendingChunk) error {
+	e := sh.e
 	for _, c := range seg {
-		if done := e.stripeBuf.put(stripe, c.lba, c.data, e.geo.K); done >= 0 {
-			full := e.stripeBuf.take(done)
-			err := e.directStripeWrite(span, done, full)
+		if done := sh.stripeBuf.put(stripe, c.lba, c.data, e.geo.K); done >= 0 {
+			full := sh.stripeBuf.take(done)
+			err := sh.directStripeWrite(span, done, full)
 			putPendingData(full)
 			if err != nil {
 				return err
 			}
 		}
 	}
-	for e.stripeBuf.overCap() {
-		oldest := e.stripeBuf.oldest()
+	for sh.stripeBuf.overCap() {
+		oldest := sh.stripeBuf.oldest()
 		if oldest < 0 {
 			break
 		}
-		evicted := e.stripeBuf.take(oldest)
+		evicted := sh.stripeBuf.take(oldest)
 		e.obs.Emit(obs.Event{Kind: obs.KindBufferEvict, T: span.Start(), Dev: -1,
 			LBA: e.geo.LBA(oldest, 0), N: int64(len(evicted))})
-		err := e.updatePath(span, evicted)
+		err := sh.updatePath(span, evicted)
 		putPendingData(evicted)
 		if err != nil {
 			return err
@@ -212,16 +312,18 @@ func (e *EPLog) bufferNewWrite(span *device.Span, stripe int64, seg []pendingChu
 // treats as updates of zero-filled committed chunks). With device buffers
 // enabled the chunks are staged per destination SSD; otherwise they are
 // grouped into log stripes immediately.
-func (e *EPLog) updatePath(span *device.Span, chunks []pendingChunk) error {
-	if e.devBufs != nil {
+func (sh *shard) updatePath(span *device.Span, chunks []pendingChunk) error {
+	e := sh.e
+	if sh.devBufs != nil {
 		for _, c := range chunks {
-			dev := e.latest[c.lba].Dev
-			if e.devBufs[dev].put(c.lba, c.data) {
-				e.stats.AbsorbedChunks++
+			if sh.bufPut(e.latest[c.lba].Dev, c.lba, c.data) {
+				sh.stats.AbsorbedChunks++
 			}
 		}
-		for e.anyBufferFull() {
-			if err := e.drainRound(span); err != nil {
+		// fullBufs is maintained at put/pop, so no O(devices) rescan per
+		// buffered write.
+		for sh.fullBufs > 0 {
+			if err := sh.drainRound(span); err != nil {
 				return err
 			}
 		}
@@ -243,8 +345,8 @@ func (e *EPLog) updatePath(span *device.Span, chunks []pendingChunk) error {
 	// it in place, which is safe because the write index always trails
 	// the read index (the first chunk of every round is grouped, never
 	// deferred).
-	sc := e.getScratch()
-	defer e.putScratch(sc)
+	sc := sh.getScratch()
+	defer sh.putScratch(sc)
 	pending := chunks
 	for round := 0; len(pending) > 0; round++ {
 		sc.resetTaken()
@@ -268,7 +370,7 @@ func (e *EPLog) updatePath(span *device.Span, chunks []pendingChunk) error {
 		if round == 0 {
 			sc.rest = rest
 		}
-		if err := e.flushGroup(span, group); err != nil {
+		if err := sh.flushGroup(span, group); err != nil {
 			return err
 		}
 		pending = rest
@@ -276,25 +378,40 @@ func (e *EPLog) updatePath(span *device.Span, chunks []pendingChunk) error {
 	return nil
 }
 
-func (e *EPLog) anyBufferFull() bool {
-	for _, b := range e.devBufs {
-		if b.full() {
-			return true
-		}
+// bufPut stages a chunk in its destination device's buffer, maintaining
+// the full-buffer counter across the not-full -> full transition. It
+// reports whether the write was absorbed by an existing entry.
+func (sh *shard) bufPut(dev int, lba int64, data []byte) bool {
+	b := sh.devBufs[dev]
+	wasFull := b.full()
+	absorbed := b.put(lba, data)
+	if !wasFull && b.full() {
+		sh.fullBufs++
 	}
-	return false
+	return absorbed
+}
+
+// bufPop pops one pending chunk from a device buffer, maintaining the
+// full-buffer counter across the full -> not-full transition.
+func (sh *shard) bufPop(b *deviceBuffer) (pendingChunk, bool) {
+	wasFull := b.full()
+	c, ok := b.pop()
+	if wasFull && !b.full() {
+		sh.fullBufs--
+	}
+	return c, ok
 }
 
 // drainRound extracts one pending chunk from the head of every non-empty
 // device buffer and emits them as one log stripe (Section III-D). The
 // popped chunks carry arena-owned copies (deviceBuffer.put copied them
 // in); once the flush has written them out they go back to the arena.
-func (e *EPLog) drainRound(span *device.Span) error {
-	sc := e.getScratch()
-	defer e.putScratch(sc)
+func (sh *shard) drainRound(span *device.Span) error {
+	sc := sh.getScratch()
+	defer sh.putScratch(sc)
 	group := sc.group[:0]
-	for _, b := range e.devBufs {
-		if c, ok := b.pop(); ok {
+	for _, b := range sh.devBufs {
+		if c, ok := sh.bufPop(b); ok {
 			group = append(group, c)
 		}
 	}
@@ -302,7 +419,7 @@ func (e *EPLog) drainRound(span *device.Span) error {
 	if len(group) == 0 {
 		return nil
 	}
-	err := e.flushGroup(span, group)
+	err := sh.flushGroup(span, group)
 	for _, c := range group {
 		bufpool.Default.Put(c.data)
 	}
@@ -316,45 +433,46 @@ func (e *EPLog) drainRound(span *device.Span) error {
 // per log stripe is the invariant (DESIGN.md §5) that lets degraded reads
 // and rebuild survive a device failure, and it is what makes the data
 // fan-out below race-free.
-func (e *EPLog) flushGroup(span *device.Span, group []pendingChunk) error {
+func (sh *shard) flushGroup(span *device.Span, group []pendingChunk) error {
+	e := sh.e
 	kPrime, m := len(group), e.geo.M()
-	sc := e.getScratch()
-	defer e.putScratch(sc)
+	sc := sh.getScratch()
+	defer sh.putScratch(sc)
 
 	// Allocate a fresh location on each destination SSD (no-overwrite).
 	// Allocation may force a parity commit (the space guard), and a
 	// commit resets the log cursor — so the log position is claimed only
 	// after every operation that could commit has run.
-	ls := e.getLogStripe()
-	ls.id = e.nextLogID
+	ls := sh.getLogStripe()
+	ls.id = sh.nextLogID
 	sc.resetTaken()
 	for _, c := range group {
 		dev := e.latest[c.lba].Dev
 		if sc.taken[dev] {
-			e.putLogStripe(ls)
+			sh.putLogStripe(ls)
 			return fmt.Errorf("core: log stripe group has two chunks on device %d (one-chunk-per-device invariant)", dev)
 		}
 		sc.taken[dev] = true
-		chunk, err := e.allocOn(dev)
+		chunk, err := sh.allocOn(dev)
 		if err != nil {
-			e.putLogStripe(ls)
+			sh.putLogStripe(ls)
 			return err
 		}
 		ls.members = append(ls.members, member{lba: c.lba, loc: Loc{Dev: dev, Chunk: chunk}})
 	}
 
-	// Make room on the log devices if needed, then claim the slot.
-	if e.logCursor >= e.logDevs[0].Chunks() {
-		if e.inCommit {
-			e.putLogStripe(ls)
+	// Make room in the shard's log region if needed, then claim the slot.
+	if sh.logCursor >= sh.logLimit {
+		if sh.inCommit {
+			sh.putLogStripe(ls)
 			return fmt.Errorf("core: log devices full during commit")
 		}
-		if err := e.commit(); err != nil {
-			e.putLogStripe(ls)
+		if err := sh.commit(); err != nil {
+			sh.putLogStripe(ls)
 			return err
 		}
 	}
-	ls.logPos = e.logCursor
+	ls.logPos = sh.logCursor
 
 	// Encode the log chunks from the new data only. Group data is
 	// caller-owned; the log chunks come from the arena (encodeRange
@@ -413,17 +531,17 @@ func (e *EPLog) flushGroup(span *device.Span, group []pendingChunk) error {
 	}()
 	bufpool.Default.PutSlices(shards[kPrime:])
 	if err != nil {
-		e.putLogStripe(ls)
+		sh.putLogStripe(ls)
 		return err
 	}
-	e.stats.DataWriteChunks += int64(kPrime)
-	e.stats.LogChunkWrites += int64(m)
-	e.stats.LogBytes += int64(m) * int64(e.csize)
-	e.logCursor++
-	e.nextLogID++
-	e.logStripes[ls.id] = ls
-	e.stats.LogStripes++
-	e.stats.LogStripeMembers += int64(len(ls.members))
+	sh.stats.DataWriteChunks += int64(kPrime)
+	sh.stats.LogChunkWrites += int64(m)
+	sh.stats.LogBytes += int64(m) * int64(e.csize)
+	sh.logCursor++
+	sh.nextLogID += int64(e.nShards)
+	sh.logStripes[ls.id] = ls
+	sh.stats.LogStripes++
+	sh.stats.LogStripeMembers += int64(len(ls.members))
 	e.obs.Emit(obs.Event{Kind: obs.KindLogAppend, T: span.Start(), Dev: -1,
 		LBA: ls.logPos, N: int64(kPrime), Aux: int64(m)})
 
@@ -432,63 +550,70 @@ func (e *EPLog) flushGroup(span *device.Span, group []pendingChunk) error {
 		e.latest[mb.lba] = mb.loc
 		e.latestProt[mb.lba] = ls.id
 		s, _ := e.geo.Stripe(mb.lba)
-		e.dirty[s] = struct{}{}
-		e.metaDirty[s] = struct{}{}
+		sh.dirty[s] = struct{}{}
+		sh.metaDirty[s] = struct{}{}
 		e.virgin[s] = false
 	}
 	return nil
 }
 
-// allocOn allocates a chunk on an SSD, forcing a parity commit to reclaim
-// space when the device's free pool falls to the guard band (the paper's
-// commit scenario (ii)).
-func (e *EPLog) allocOn(dev int) (int64, error) {
-	if !e.inCommit && e.alloc[dev].freeCount() <= e.cfg.CommitGuardChunks {
-		if err := e.commit(); err != nil {
+// allocOn allocates a chunk on an SSD out of this shard's partition,
+// forcing a parity commit to reclaim space when the partition's free pool
+// falls to the shard's slice of the guard band (the paper's commit
+// scenario (ii)).
+func (sh *shard) allocOn(dev int) (int64, error) {
+	if !sh.inCommit && sh.alloc[dev].freeCount() <= sh.e.shardGuard {
+		if err := sh.commit(); err != nil {
 			return 0, err
 		}
 	}
-	chunk, err := e.alloc[dev].alloc()
+	chunk, err := sh.alloc[dev].alloc()
 	if err == nil {
 		return chunk, nil
 	}
-	if !errors.Is(err, ErrNoSpace) || e.inCommit {
+	if !errors.Is(err, ErrNoSpace) || sh.inCommit {
 		return 0, err
 	}
-	if cerr := e.commit(); cerr != nil {
+	if cerr := sh.commit(); cerr != nil {
 		return 0, cerr
 	}
-	return e.alloc[dev].alloc()
+	return sh.alloc[dev].alloc()
 }
 
 // Flush drains all buffered writes (device buffers and stripe buffer) to
 // the array without committing parity.
 func (e *EPLog) Flush() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	span := device.NewSpan(0)
-	return e.flush(span)
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		err := sh.flush(span)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func (e *EPLog) flush(span *device.Span) error {
-	if e.stripeBuf != nil {
-		for !e.stripeBuf.empty() {
-			s := e.stripeBuf.oldest()
+func (sh *shard) flush(span *device.Span) error {
+	if sh.stripeBuf != nil {
+		for !sh.stripeBuf.empty() {
+			s := sh.stripeBuf.oldest()
 			if s < 0 {
 				break
 			}
-			seg := e.stripeBuf.take(s)
-			err := e.updatePath(span, seg)
+			seg := sh.stripeBuf.take(s)
+			err := sh.updatePath(span, seg)
 			putPendingData(seg)
 			if err != nil {
 				return err
 			}
 		}
 	}
-	if e.devBufs != nil {
+	if sh.devBufs != nil {
 		for {
 			empty := true
-			for _, b := range e.devBufs {
+			for _, b := range sh.devBufs {
 				if !b.empty() {
 					empty = false
 					break
@@ -497,7 +622,7 @@ func (e *EPLog) flush(span *device.Span) error {
 			if empty {
 				break
 			}
-			if err := e.drainRound(span); err != nil {
+			if err := sh.drainRound(span); err != nil {
 				return err
 			}
 		}

@@ -89,6 +89,14 @@ type RunConfig struct {
 	// on a finite SSD partition). Zero sizes the area generously so no
 	// forced commit ever happens.
 	UpdateHeadroom float64
+	// Shards partitions EPLog's stripes into independent stripe groups
+	// (core.Config.Shards). Each shard owns a slice of every device's
+	// update headroom and of the log space, so geometry() scales both by
+	// the shard count: a workload skewed onto one shard must still fit in
+	// that shard's partition.
+	Shards int
+	// Workers bounds EPLog's worker pool (core.Config.Workers).
+	Workers int
 
 	// UseSSDSim replaces RAM devices with the FTL simulator so GC
 	// statistics are collected (Exps 2 and 4) and, together with the HDD
@@ -187,8 +195,17 @@ func geometry(cfg RunConfig) (stripes, devChunks, logChunks int64) {
 	if cfg.UpdateHeadroom > 0 {
 		perDevUpdates = int64(cfg.UpdateHeadroom*float64(stripes)) + 64
 	}
+	// Sharded engines range-partition each device's update headroom and
+	// the log space, so a skewed trace must fit inside one shard's slice:
+	// scale both by the shard count.
+	if s := int64(cfg.Shards); s > 1 {
+		perDevUpdates *= s
+	}
 	devChunks = stripes + perDevUpdates
 	logChunks = chunkWrites + 64
+	if s := int64(cfg.Shards); s > 1 {
+		logChunks = chunkWrites*s + 64*s
+	}
 	return stripes, devChunks, logChunks
 }
 
@@ -288,6 +305,8 @@ func build(cfg RunConfig) (*arrayBundle, int64, error) {
 			CommitEvery:        cfg.CommitEvery,
 			TrimOnCommit:       cfg.TrimOnCommit,
 			CommitGuardChunks:  commitGuard,
+			Workers:            cfg.Workers,
+			Shards:             cfg.Shards,
 			Obs:                cfg.Obs,
 		})
 		if err != nil {
@@ -346,6 +365,9 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	b, stripes, err := build(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if b.eplog != nil {
+		defer b.eplog.Close()
 	}
 	csize := int64(ChunkSize)
 	logical := b.st.Chunks()

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/eplog/eplog/internal/core"
+	"github.com/eplog/eplog/internal/device"
+)
+
+// ScalingResult is the outcome of one shard-scaling run: byte-exact
+// traffic counters that must not depend on the shard count, plus the
+// wall-clock time of the write phase (which should shrink as shards grow
+// on a multi-core machine).
+type ScalingResult struct {
+	// Shards is the engine's stripe-group count; Workers its worker-pool
+	// bound; Writers the number of concurrent writer goroutines driving
+	// the array (one per shard, floored at 1, so requests to different
+	// shards are always in flight together).
+	Shards  int
+	Workers int
+	Writers int
+	// Requests is the total single-chunk update requests issued.
+	Requests int64
+	// Elapsed is the wall-clock duration of the write phase.
+	Elapsed time.Duration
+	// SSDWriteBytes and LogWriteBytes are measured at the devices;
+	// EPLogStats are the engine's own counters. Everything except
+	// Stats.Commits (one per shard per Commit call) is shard-count
+	// independent for this workload.
+	SSDWriteBytes int64
+	LogWriteBytes int64
+	EPLogStats    core.Stats
+}
+
+// Scaling drives one EPLog array with a writer goroutine per shard and
+// returns traffic counters that are byte-identical for every shard count.
+// The workload extends the Concurrency experiment's construction to
+// sharding:
+//
+//   - every request is a single-chunk update, so it forms exactly one
+//     k'=1 log stripe and lands wholly inside one shard — the elastic
+//     groups cannot split at shard boundaries, which is what makes the
+//     byte counters (including log traffic) shard-count independent;
+//   - writer w owns the stripes congruent to w mod writers; with one
+//     writer per shard that is exactly shard w's stripe set, so the
+//     writers contend on no shard lock and the run measures pure
+//     parallel request execution;
+//   - device buffers, the stripe buffer, and CommitEvery are disabled,
+//     and every shard's slice of the update headroom and log space is
+//     sized so neither the guard band nor the log-pressure group-commit
+//     trigger can fire mid-run — the only parity fold is the final
+//     Commit, over the same dirty-stripe set in every schedule.
+//
+// Wall-clock time is the one number allowed to vary: with GOMAXPROCS
+// cores available, S shards should approach an S-fold speedup of the
+// write phase until the core count saturates.
+func Scaling(scale int64, shards, workers int) (*ScalingResult, error) {
+	if scale < 1 {
+		return nil, fmt.Errorf("experiments: scale must be >= 1, got %d", scale)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	set := DefaultSetting()
+	k, m := set.K, set.M
+	nDevs := k + m
+	stripes := max(int64(32), 2048/scale)
+	lbas := stripes * int64(k)
+	rounds := int64(2) // updates per LBA
+	total := lbas * rounds
+
+	// Headroom: each device holds at most one data slot per stripe, so a
+	// run allocates at most rounds chunks per stripe per device; give every
+	// shard's slice of the headroom room for its whole share plus slack so
+	// the guard band (1 chunk per shard here) is unreachable.
+	ns := int64(shards)
+	devChunks := stripes + rounds*stripes + 16*ns + 64
+	// Log space: one log chunk per request per log device, range-split
+	// across shards. The background group commit fires when a shard's
+	// slice is 3/4 full; doubling every slice keeps it below 1/2.
+	logChunks := 2*total + 16*ns
+
+	devs := make([]device.Dev, nDevs)
+	counters := make([]*device.Counting, nDevs)
+	for i := range devs {
+		counters[i] = device.NewCounting(device.NewMem(devChunks, ChunkSize))
+		devs[i] = counters[i]
+	}
+	logDevs := make([]device.Dev, m)
+	logCnt := make([]*device.Counting, m)
+	for i := range logDevs {
+		logCnt[i] = device.NewCounting(device.NewMem(logChunks, ChunkSize))
+		logDevs[i] = logCnt[i]
+	}
+	e, err := core.New(devs, logDevs, core.Config{
+		K:                 k,
+		Stripes:           stripes,
+		CommitGuardChunks: 1, // explicit: the default (capacity/16) could fire mid-run
+		Workers:           workers,
+		Shards:            shards,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+
+	writers := max(1, shards)
+	start := time.Now()
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, ChunkSize)
+			for r := int64(0); r < rounds; r++ {
+				// Writer w owns stripes congruent to w mod writers —
+				// with writers == shards, exactly shard w's stripes.
+				for s := int64(w); s < stripes; s += int64(writers) {
+					for j := 0; j < k; j++ {
+						lba := s*int64(k) + int64(j)
+						for i := range buf {
+							buf[i] = byte(lba + r*7 + int64(i))
+						}
+						if _, err := e.WriteChunks(0, lba, buf); err != nil {
+							errs[w] = fmt.Errorf("writer %d lba %d: %w", w, lba, err)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := e.Commit(); err != nil {
+		return nil, err
+	}
+	report, err := e.Verify()
+	if err != nil {
+		return nil, err
+	}
+	if !report.OK() {
+		return nil, fmt.Errorf("experiments: scaling run left inconsistent stripes: %d data, %d log",
+			len(report.BadDataStripes), len(report.BadLogStripes))
+	}
+
+	res := &ScalingResult{
+		Shards:     shards,
+		Workers:    workers,
+		Writers:    writers,
+		Requests:   total,
+		Elapsed:    elapsed,
+		EPLogStats: e.Stats(),
+	}
+	for _, c := range counters {
+		res.SSDWriteBytes += c.WriteBytes()
+	}
+	for _, c := range logCnt {
+		res.LogWriteBytes += c.WriteBytes()
+	}
+	return res, nil
+}
+
+// ScalingIdentical reports whether two scaling results carry identical
+// traffic counters. Stats.Commits is excluded: the final Commit folds once
+// per shard, so the commit count equals the shard count by construction
+// while every byte and chunk counter stays fixed.
+func ScalingIdentical(a, b *ScalingResult) bool {
+	sa, sb := a.EPLogStats, b.EPLogStats
+	sa.Commits, sb.Commits = 0, 0
+	return a.SSDWriteBytes == b.SSDWriteBytes &&
+		a.LogWriteBytes == b.LogWriteBytes &&
+		a.Requests == b.Requests &&
+		sa == sb
+}
+
+// FormatScaling renders a shard sweep as a table with speedups relative
+// to the first row.
+func FormatScaling(results []*ScalingResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scaling: %d single-chunk updates, (6+2)-RAID-6, byte counts must not vary with shards\n",
+		results[0].Requests)
+	fmt.Fprintf(&b, "%-8s %-8s %-8s %-14s %-14s %-9s %-12s %s\n",
+		"shards", "workers", "writers", "ssd_wr_bytes", "log_wr_bytes", "commits", "elapsed", "speedup")
+	base := results[0].Elapsed.Seconds()
+	for _, r := range results {
+		speedup := 0.0
+		if r.Elapsed > 0 {
+			speedup = base / r.Elapsed.Seconds()
+		}
+		fmt.Fprintf(&b, "%-8d %-8d %-8d %-14d %-14d %-9d %-12v %.2fx\n",
+			r.Shards, r.Workers, r.Writers, r.SSDWriteBytes, r.LogWriteBytes,
+			r.EPLogStats.Commits, r.Elapsed.Round(time.Millisecond), speedup)
+	}
+	return b.String()
+}
