@@ -1,0 +1,25 @@
+// Command eplint mechanically enforces EPLog's concurrency, ownership and
+// hot-path invariants (see DESIGN.md §10):
+//
+//	lockorder    shard locks: ascending order, lockAll is the only
+//	             whole-array entry
+//	poolcheck    every bufpool Get is paired with a Put on all paths;
+//	             no use after Put
+//	virtualtime  no wall-clock calls in the virtual-time simulators
+//	hotpath      //eplog:hotpath functions must not allocate
+//
+// Usage:
+//
+//	eplint ./...                          # standalone
+//	go vet -vettool=$(which eplint) ./... # as a vet tool (covers tests)
+package main
+
+import (
+	"os"
+
+	"github.com/eplog/eplog/internal/analysis/eplint"
+)
+
+func main() {
+	os.Exit(eplint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,75 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis driver contract, sized for EPLog's needs.
+//
+// The repository deliberately has no module dependencies (go.mod lists
+// none), so the eplint suite cannot import x/tools. Instead this package
+// mirrors the x/tools API surface the analyzers actually use — Analyzer,
+// Pass, Diagnostic, Pass.Reportf — so each checker reads exactly like a
+// stock go/analysis analyzer and could be ported to the real framework by
+// changing one import line. Loading and type-checking live in the sibling
+// load package; the eplint driver (internal/analysis/eplint) supplies the
+// two execution modes (standalone multichecker and the `go vet -vettool`
+// unitchecker protocol).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static check. It is the unit the eplint
+// multichecker composes: Run is invoked once per loaded package with a
+// fully type-checked Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be
+	// a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then detail (the invariant enforced and how to opt out).
+	Doc string
+
+	// Run applies the analyzer to a package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer run with a single type-checked package and
+// the sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver fills it in before Run.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos, prefixing nothing: the
+// driver adds the position and analyzer name when rendering.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Several EPLog
+// invariants (virtual time, hot-path allocation discipline) bind the
+// production simulators but not their tests, which may freely use the wall
+// clock and allocate; analyzers use this to scope themselves.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	const suffix = "_test.go"
+	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
+}

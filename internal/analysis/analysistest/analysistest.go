@@ -1,0 +1,140 @@
+// Package analysistest runs an analyzer over golden fixture packages and
+// checks its diagnostics against `// want` expectations, mirroring
+// x/tools' analysistest contract.
+//
+// Fixtures live in a GOPATH-shaped tree (testdata/src/<pkg>/...) and are
+// loaded in GOPATH mode, so plain package names ("lockorder_a") resolve
+// and fixtures can import each other (the fake bufpool). Expectations are
+// comments of the form
+//
+//	sh.mu.Lock() // want `regexp` `another regexp`
+//
+// Each backquoted or double-quoted regexp must match at least one
+// diagnostic reported on that comment's line; every diagnostic must match
+// an expectation on its line.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/eplog/eplog/internal/analysis"
+	"github.com/eplog/eplog/internal/analysis/load"
+)
+
+// Run loads each fixture package from the GOPATH-shaped dir and applies a
+// to it, failing t on any mismatch between diagnostics and expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := load.Packages(load.Config{
+		Dir: abs,
+		Env: []string{"GO111MODULE=off", "GOPATH=" + abs, "GOFLAGS=", "GOWORK=off"},
+	}, pkgs...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	for _, pkg := range loaded {
+		check(t, a, pkg)
+	}
+}
+
+type want struct {
+	rx      *regexp.Regexp
+	line    int
+	file    string
+	matched bool
+}
+
+func check(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	var diags []analysis.Diagnostic
+	pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer error: %v", pkg.PkgPath, err)
+	}
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		ok := false
+		for _, w := range wants[p.Filename] {
+			if w.line == p.Line && w.rx.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+			}
+		}
+	}
+}
+
+// collectWants parses `// want` expectations from a package's comments.
+func collectWants(t *testing.T, pkg *load.Package) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, file := range pkg.Syntax {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				p := pkg.Fset.Position(c.Slash)
+				for _, pat := range splitPatterns(t, p.String(), text) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", p, pat, err)
+					}
+					wants[p.Filename] = append(wants[p.Filename], &want{
+						rx: rx, line: p.Line, file: p.Filename,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns parses a sequence of Go-quoted strings: `re` or "re".
+func splitPatterns(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s: malformed want expectation %q (use `re` or \"re\"): %v", pos, s, err)
+		}
+		u, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s: %v", pos, err)
+		}
+		out = append(out, u)
+		s = strings.TrimSpace(s[len(q):])
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: empty want expectation", pos)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// EPLog invariant annotations.
+//
+// The analyzers are driven by machine-readable comment directives of the
+// form `//eplog:<name>` (no space after //, like //go: directives). Each
+// directive both declares an invariant and sanctions an exception to one:
+//
+//	//eplog:shardlock  on a mutex struct field: marks the field as a
+//	                   shard lock, enabling lockorder on its type.
+//	//eplog:lockall    on a function: sanctions a multi-shard (ascending)
+//	                   lock acquisition loop — lockAll/unlockAll only.
+//	//eplog:hotpath    on a function: the body must not allocate; enables
+//	                   the hotpath analyzer for that function.
+//	//eplog:alloc-ok   on a line: suppresses one hotpath diagnostic
+//	                   (a sanctioned, amortized or cold allocation).
+//	//eplog:wallclock  on a file's package doc or a function: sanctions
+//	                   wall-clock use inside a virtual-time package.
+//	//eplog:virtualtime on a file's package doc: opts the package into the
+//	                   virtualtime check (testdata fixtures; the real
+//	                   simulator packages are on the built-in list).
+//	//eplog:pool-ok    on a line: suppresses one poolcheck diagnostic.
+//
+// Line-level directives apply to the line they trail, or — when written as
+// a standalone comment line — to the line immediately below, mirroring
+// //nolint conventions.
+
+// DirectivePrefix is the comment prefix shared by all EPLog directives.
+const DirectivePrefix = "//eplog:"
+
+// Annotations indexes every //eplog: directive of one file for position
+// and declaration lookups. Build one per file with NewAnnotations.
+type Annotations struct {
+	fset *token.FileSet
+	// byLine maps source line -> directive names present on that line
+	// (either trailing a statement or on a standalone comment line).
+	byLine map[int]map[string]bool
+	// fileDirs holds directives attached to the package clause doc.
+	fileDirs map[string]bool
+}
+
+// NewAnnotations scans file (which must have been parsed with
+// parser.ParseComments) and indexes its directives.
+func NewAnnotations(fset *token.FileSet, file *ast.File) *Annotations {
+	a := &Annotations{
+		fset:     fset,
+		byLine:   make(map[int]map[string]bool),
+		fileDirs: make(map[string]bool),
+	}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			name, ok := directiveName(c.Text)
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Slash).Line
+			if a.byLine[line] == nil {
+				a.byLine[line] = make(map[string]bool)
+			}
+			a.byLine[line][name] = true
+		}
+	}
+	if file.Doc != nil {
+		for _, c := range file.Doc.List {
+			if name, ok := directiveName(c.Text); ok {
+				a.fileDirs[name] = true
+			}
+		}
+	}
+	return a
+}
+
+// directiveName extracts the directive name from a comment's text, which
+// includes the leading //. Anything after the name (a rationale) is
+// allowed and ignored: `//eplog:alloc-ok grows once then steady`.
+func directiveName(text string) (string, bool) {
+	if !strings.HasPrefix(text, DirectivePrefix) {
+		return "", false
+	}
+	rest := text[len(DirectivePrefix):]
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "", false
+	}
+	return rest, true
+}
+
+// At reports whether directive name sanctions position pos: a directive on
+// pos's own line (trailing) or on the line directly above (standalone).
+func (a *Annotations) At(pos token.Pos, name string) bool {
+	line := a.fset.Position(pos).Line
+	return a.byLine[line][name] || a.byLine[line-1][name]
+}
+
+// File reports whether the file carries directive name on its package doc.
+func (a *Annotations) File(name string) bool { return a.fileDirs[name] }
+
+// FuncDirective reports whether decl's doc comment carries directive name.
+func FuncDirective(decl *ast.FuncDecl, name string) bool {
+	return commentGroupHas(decl.Doc, name)
+}
+
+// FieldDirective reports whether a struct field carries directive name in
+// its doc comment or trailing line comment.
+func FieldDirective(f *ast.Field, name string) bool {
+	return commentGroupHas(f.Doc, name) || commentGroupHas(f.Comment, name)
+}
+
+func commentGroupHas(cg *ast.CommentGroup, name string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if n, ok := directiveName(c.Text); ok && n == name {
+			return true
+		}
+	}
+	return false
+}

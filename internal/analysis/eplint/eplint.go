@@ -1,0 +1,154 @@
+// Package eplint composes the EPLog analyzers into a multichecker that
+// runs in two modes:
+//
+//   - standalone: `eplint ./...` loads packages with the go tool and
+//     reports to stdout — the local developer loop;
+//   - vettool: `go vet -vettool=/path/to/eplint ./...` hands the binary
+//     unit config files (the unitchecker protocol: a -V=full version
+//     probe, a -flags capability probe, then one JSON config per
+//     package), which lets the go command schedule, cache and surface
+//     diagnostics exactly like the built-in vet suite — test variants
+//     included.
+package eplint
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/eplog/eplog/internal/analysis"
+	"github.com/eplog/eplog/internal/analysis/hotpath"
+	"github.com/eplog/eplog/internal/analysis/load"
+	"github.com/eplog/eplog/internal/analysis/lockorder"
+	"github.com/eplog/eplog/internal/analysis/poolcheck"
+	"github.com/eplog/eplog/internal/analysis/virtualtime"
+)
+
+// version feeds the go command's tool-ID cache key; bump it when analyzer
+// behaviour changes so cached vet verdicts are invalidated.
+const version = "eplint version v1.0.0 buildID=eplint-v1.0.0"
+
+// Analyzers returns the EPLog suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		lockorder.Analyzer,
+		poolcheck.Analyzer,
+		virtualtime.Analyzer,
+		hotpath.Analyzer,
+	}
+}
+
+// Main is the eplint entry point. It returns the process exit code:
+// 0 clean, 1 driver error, 2 diagnostics reported.
+func Main(args []string, stdout, stderr io.Writer) int {
+	// unitchecker protocol probes from the go command.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "-V":
+			fmt.Fprintln(stdout, version)
+			return 0
+		case a == "-flags":
+			// We accept no analyzer flags; the go command passes only
+			// unit config files.
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return vetUnitMode(args[0], stderr)
+	}
+	return standaloneMode(args, stdout, stderr)
+}
+
+type diag struct {
+	pos      string
+	offset   int
+	analyzer string
+	message  string
+}
+
+// runAnalyzers applies the whole suite to one package.
+func runAnalyzers(pkg *load.Package, stderr io.Writer) []diag {
+	var diags []diag
+	for _, a := range Analyzers() {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			p := pkg.Fset.Position(d.Pos)
+			diags = append(diags, diag{
+				pos:      p.String(),
+				offset:   p.Offset + p.Line<<24,
+				analyzer: name,
+				message:  d.Message,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(stderr, "eplint: %s: %s: %v\n", pkg.PkgPath, a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].pos != diags[j].pos {
+			return diags[i].pos < diags[j].pos
+		}
+		return diags[i].analyzer < diags[j].analyzer
+	})
+	return diags
+}
+
+func standaloneMode(patterns []string, stdout, stderr io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Packages(load.Config{Dir: "."}, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "eplint: %v\n", err)
+		return 1
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		for _, d := range runAnalyzers(pkg, stderr) {
+			fmt.Fprintf(stdout, "%s: %s: %s\n", d.pos, d.analyzer, d.message)
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(stderr, "eplint: %d diagnostic(s)\n", total)
+		return 2
+	}
+	return 0
+}
+
+func vetUnitMode(cfgPath string, stderr io.Writer) int {
+	pkg, cfg, err := load.VetUnit(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "eplint: %v\n", err)
+		return 1
+	}
+	// The go command expects the facts file to exist afterwards; the
+	// EPLog analyzers exchange no facts, so an empty one is faithful.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "eplint: %v\n", err)
+			return 1
+		}
+	}
+	if pkg == nil {
+		return 0 // facts-only visit (a dependency), or tolerated type failure
+	}
+	diags := runAnalyzers(pkg, stderr)
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s: %s\n", d.pos, d.analyzer, d.message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,407 @@
+// Package hotpath flags allocation-inducing constructs in functions
+// annotated //eplog:hotpath.
+//
+// The steady-state update/commit/encode path is allocation-free by design
+// (PR 3; pinned at runtime by TestSteadyStateUpdateAllocFree). The runtime
+// test catches a regression only on the exact path it drives; this
+// analyzer covers every annotated function on every PR, and names the
+// construct instead of a nonzero allocs/op count.
+//
+// Flagged inside a hot function:
+//
+//   - calls into fmt and log (formatting allocates; both box arguments)
+//   - map, slice and &composite literals; make; new
+//   - append that is not the self-append form `x = append(x, ...)` —
+//     the amortized, capacity-disciplined growth idiom
+//   - function literals (closure allocation) and go statements — except
+//     literals invoked where they appear (IIFE, defer func(){}()), which
+//     never escape and are stack-allocated; their bodies are still checked
+//   - implicit interface conversions (boxing) at call arguments,
+//     assignments and returns
+//   - string<->[]byte conversions
+//
+// Two escapes keep the signal usable: statements inside a branch that
+// exits with a non-nil error are exempt (error paths are off the steady
+// state by definition), and any line can be sanctioned explicitly with
+// //eplog:alloc-ok <why>.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/eplog/eplog/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "functions marked //eplog:hotpath must not allocate\n\n" +
+		"Flags fmt/log calls, map/slice/&composite literals, make/new,\n" +
+		"non-self append, closures, go statements, interface boxing and\n" +
+		"string<->[]byte conversions in annotated functions. Error-exiting\n" +
+		"branches are exempt; sanction single lines with //eplog:alloc-ok.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ann := analysis.NewAnnotations(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.FuncDirective(fd, "hotpath") {
+				continue
+			}
+			c := &checker{pass: pass, ann: ann, fn: fd}
+			c.errorExits = errorExitBlocks(pass, fd.Body)
+			c.selfAppends = selfAppendCalls(pass, fd.Body)
+			c.inlineLits = inlineFuncLits(fd.Body)
+			c.check(fd.Body)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	ann  *analysis.Annotations
+	fn   *ast.FuncDecl
+	// errorExits holds the if-bodies (and else-bodies) whose control flow
+	// leaves the function with a non-nil error: cold by definition.
+	errorExits map[*ast.BlockStmt]bool
+	// selfAppends holds append calls in the disciplined self-append
+	// form `x = append(x, ...)`.
+	selfAppends map[*ast.CallExpr]bool
+	// inlineLits holds function literals invoked where they appear
+	// (IIFE, defer func(){}()): the closure never escapes, so it lives
+	// on the stack — but its body still runs on the hot path.
+	inlineLits map[*ast.FuncLit]bool
+}
+
+// inlineFuncLits collects literals that are directly the callee of a call
+// (including deferred calls). A non-escaping literal is stack-allocated.
+func inlineFuncLits(body *ast.BlockStmt) map[*ast.FuncLit]bool {
+	out := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if lit, ok := call.Fun.(*ast.FuncLit); ok {
+				out[lit] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// selfAppendCalls collects appends whose result feeds back into their own
+// first argument — the amortized growth idiom whose steady state is
+// allocation-free once capacity plateaus.
+func selfAppendCalls(pass *analysis.Pass, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	out := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				continue
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+				continue
+			}
+			if types.ExprString(assign.Lhs[i]) == types.ExprString(call.Args[0]) {
+				out[call] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// errorExitBlocks collects branch bodies that end in a return whose last
+// result is a non-nil error expression, or in a panic. Allocation there
+// is the cost of failing, not of the steady state.
+func errorExitBlocks(pass *analysis.Pass, body *ast.BlockStmt) map[*ast.BlockStmt]bool {
+	out := make(map[*ast.BlockStmt]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		for _, b := range []ast.Stmt{ifStmt.Body, ifStmt.Else} {
+			blk, ok := b.(*ast.BlockStmt)
+			if !ok {
+				continue
+			}
+			if blockExitsWithError(pass, blk) {
+				out[blk] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func blockExitsWithError(pass *analysis.Pass, blk *ast.BlockStmt) bool {
+	if len(blk.List) == 0 {
+		return false
+	}
+	switch last := blk.List[len(blk.List)-1].(type) {
+	case *ast.ReturnStmt:
+		if len(last.Results) == 0 {
+			return false
+		}
+		res := last.Results[len(last.Results)-1]
+		tv, ok := pass.TypesInfo.Types[res]
+		if !ok {
+			return false
+		}
+		if !isErrorType(tv.Type) {
+			return false
+		}
+		// `return ..., nil` is a success path; anything else on an
+		// error result is a failure path.
+		if id, ok := res.(*ast.Ident); ok && id.Name == "nil" {
+			return false
+		}
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return t.String() == "error"
+	}
+	return named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// check walks the function body, skipping exempt branches.
+func (c *checker) check(blk *ast.BlockStmt) {
+	for _, s := range blk.List {
+		c.checkStmt(s)
+	}
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			if c.errorExits[n] {
+				return false // cold error branch
+			}
+		case *ast.FuncLit:
+			if c.inlineLits[n] {
+				return true // runs in place: no heap closure, body is hot
+			}
+			c.flag(n.Pos(), "function literal allocates a closure")
+			return false
+		case *ast.GoStmt:
+			c.flag(n.Pos(), "go statement allocates a goroutine")
+		case *ast.CompositeLit:
+			c.checkCompositeLit(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					c.flag(n.Pos(), "address of composite literal allocates")
+				}
+			}
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.ReturnStmt:
+			c.checkReturn(n)
+		}
+		return true
+	})
+}
+
+func (c *checker) flag(pos token.Pos, format string, args ...any) {
+	if c.ann.At(pos, "alloc-ok") {
+		return
+	}
+	c.pass.Reportf(pos, "hot path (//eplog:hotpath %s): "+format+" (sanction with //eplog:alloc-ok <why>)",
+		append([]any{c.fn.Name.Name}, args...)...)
+}
+
+func (c *checker) checkCompositeLit(lit *ast.CompositeLit) {
+	tv, ok := c.pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		c.flag(lit.Pos(), "map literal allocates")
+	case *types.Slice:
+		c.flag(lit.Pos(), "slice literal allocates")
+	}
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	// Builtins: make, new, append discipline.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				c.flag(call.Pos(), "make allocates")
+			case "new":
+				c.flag(call.Pos(), "new allocates")
+			case "append":
+				if !c.selfAppends[call] {
+					c.flag(call.Pos(), "append outside the self-append form x = append(x, ...) (capacity discipline not provable)")
+				}
+			}
+			return
+		}
+	}
+	// Conversions: string <-> []byte / []rune allocate.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type.Underlying()
+		from := c.pass.TypesInfo.Types[call.Args[0]].Type
+		if from != nil && isStringByteConv(to, from.Underlying()) {
+			c.flag(call.Pos(), "string/[]byte conversion allocates")
+		}
+		return
+	}
+	// Package calls: fmt and log always allocate.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := c.pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+				switch pn.Imported().Path() {
+				case "fmt", "log":
+					c.flag(call.Pos(), "call to %s.%s allocates", pn.Imported().Name(), sel.Sel.Name)
+					return
+				case "errors":
+					// errors.Is/As/Unwrap only inspect; the constructors
+					// allocate.
+					switch sel.Sel.Name {
+					case "New", "Join":
+						c.flag(call.Pos(), "call to %s.%s allocates", pn.Imported().Name(), sel.Sel.Name)
+						return
+					}
+				}
+			}
+		}
+	}
+	c.checkCallBoxing(call)
+}
+
+// checkAssign flags implicit interface boxing on assignment. (`:=`
+// definitions infer the concrete type, so only `=` to a pre-declared
+// interface variable can box.)
+func (c *checker) checkAssign(assign *ast.AssignStmt) {
+	if assign.Tok == token.DEFINE || len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i, rhs := range assign.Rhs {
+		lhsTV, ok := c.pass.TypesInfo.Types[assign.Lhs[i]]
+		if ok && lhsTV.Type != nil {
+			c.checkBoxing(rhs, lhsTV.Type)
+		}
+	}
+}
+
+// checkReturn flags boxing at return sites against the function's result
+// types.
+func (c *checker) checkReturn(ret *ast.ReturnStmt) {
+	sig, ok := c.pass.TypesInfo.Defs[c.fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	results := sig.Type().(*types.Signature).Results()
+	if results.Len() != len(ret.Results) {
+		return // single-call multi-return form
+	}
+	for i, res := range ret.Results {
+		c.checkBoxing(res, results.At(i).Type())
+	}
+}
+
+// isStringByteConv reports a conversion between string and []byte or
+// []rune, which copies the payload.
+func isStringByteConv(to, from types.Type) bool {
+	return (isString(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune ||
+		e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+// checkCallBoxing flags concrete arguments passed to interface
+// parameters.
+func (c *checker) checkCallBoxing(call *ast.CallExpr) {
+	tv, ok := c.pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // spread: no per-element boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		c.checkBoxing(arg, pt)
+	}
+}
+
+// checkBoxing reports expr if assigning it to target boxes a concrete
+// value into an interface.
+func (c *checker) checkBoxing(expr ast.Expr, target types.Type) {
+	if !types.IsInterface(target.Underlying()) {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.IsNil() || types.IsInterface(tv.Type.Underlying()) {
+		return
+	}
+	// Pointers and word-sized direct interfaces still write an iface
+	// header; non-pointer payloads also heap-allocate the value. Both
+	// are off-limits on the hot path.
+	c.flag(expr.Pos(), "implicit conversion of %s to interface %s (boxing allocates)", tv.Type, target)
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"github.com/eplog/eplog/internal/analysis/analysistest"
+	"github.com/eplog/eplog/internal/analysis/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, "../testdata", hotpath.Analyzer, "hotpath_a")
+}

@@ -1,0 +1,226 @@
+// Package load type-checks Go packages for the eplint analyzers without
+// any dependency outside the standard library.
+//
+// Two loading paths feed the same Package shape:
+//
+//   - Packages runs `go list -deps -export -json` (in module mode for the
+//     repository, or GOPATH mode for analysistest fixtures), parses the
+//     target packages' sources, and type-checks them against the compiler
+//     export data `go list -export` leaves in the build cache. This is the
+//     same strategy x/tools' go/packages uses, reimplemented on the
+//     standard library's go/importer, and it works fully offline.
+//
+//   - VetUnit parses the JSON unit config `go vet -vettool` hands a child
+//     analysis tool (the unitchecker protocol): the go command has already
+//     resolved file lists, import maps and export data paths, so a single
+//     package is type-checked directly from the config.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// A Package is one fully parsed and type-checked package, ready to be
+// handed to analyzers as a Pass.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Syntax  []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Config controls where and how `go list` runs.
+type Config struct {
+	// Dir is the directory to run go list in (the module root, or the
+	// analysistest GOPATH).
+	Dir string
+	// Env holds extra environment entries appended to os.Environ, e.g.
+	// GO111MODULE=off and GOPATH=... for testdata fixtures.
+	Env []string
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Packages loads, parses and type-checks every package matched by
+// patterns. Dependencies are imported from export data, never re-parsed.
+func Packages(cfg Config, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-deps", "-export",
+		"-json=Dir,ImportPath,Name,Export,GoFiles,CgoFiles,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	cmd.Env = append(os.Environ(), cfg.Env...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportDataImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", t.ImportPath)
+		}
+		pkg, err := check(fset, imp, t.ImportPath, t.Dir, t.GoFiles, "")
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// VetConfig mirrors the JSON unit config the go command writes for
+// `go vet -vettool` child tools (cmd/go's work.VetConfig).
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetUnit reads a unitchecker config file and type-checks the package it
+// describes. The returned VetConfig is non-nil even when the package needs
+// no analysis (cfg.VetxOnly), so the caller can honour VetxOutput.
+func VetUnit(cfgPath string) (*Package, *VetConfig, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, nil, fmt.Errorf("%s: parsing vet config: %v", cfgPath, err)
+	}
+	if cfg.VetxOnly {
+		return nil, cfg, nil
+	}
+	fset := token.NewFileSet()
+	imp := exportDataImporter(fset, func(path string) (string, bool) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	pkg, err := check(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, cfg, nil
+		}
+		return nil, nil, err
+	}
+	return pkg, cfg, nil
+}
+
+// exportDataImporter returns a types importer that resolves import paths
+// through resolve and reads compiler export data from the returned file.
+func exportDataImporter(fset *token.FileSet, resolve func(string) (string, bool)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := resolve(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// check parses files (relative names are joined to dir) and type-checks
+// them as one package.
+func check(fset *token.FileSet, imp types.Importer, pkgPath, dir string, files []string, goVersion string) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	if len(syntax) == 0 {
+		return nil, fmt.Errorf("%s: no Go files to analyze", pkgPath)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		Error:     func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(pkgPath, fset, syntax, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("%s: type checking failed: %v", pkgPath, typeErrs[0])
+	}
+	return &Package{PkgPath: pkgPath, Fset: fset, Syntax: syntax, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,480 @@
+// Package lockorder enforces the sharded engine's lock ordering.
+//
+// The engine partitions its state into shards, each guarded by one
+// RWMutex (DESIGN.md §9). Deadlock freedom rests on two rules: a goroutine
+// holding one shard's lock never acquires another shard's lock, and the
+// only whole-array acquisition is lockAll, which takes every shard lock in
+// ascending index order. Both rules are invisible to the race detector —
+// an ABBA deadlock needs the unlucky interleaving — so they are enforced
+// statically.
+//
+// The shard lock is declared, not guessed: the mutex field carries an
+// //eplog:shardlock directive on its declaration, and every acquisition of
+// that field through any value of the owning type is tracked.
+//
+// Checks, per function:
+//
+//   - A loop whose body acquires a shard lock and does not release it in
+//     the same iteration is a whole-array acquisition. It must be inside
+//     a function annotated //eplog:lockall, and the loop must iterate in
+//     ascending order: a descending loop is flagged even when annotated.
+//   - While a shard lock is held, acquiring a lock on a *different* shard
+//     expression is flagged (ascending order cannot be established for
+//     arbitrary pairs; route whole-array work through lockAll).
+//   - While a shard lock is held, calling a function in the same package
+//     that (transitively) acquires shard locks is flagged: the callee may
+//     reach another shard's mutex.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/eplog/eplog/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "shard locks are acquired in ascending index order, one at a time\n\n" +
+		"Acquisitions of a mutex field marked //eplog:shardlock are checked:\n" +
+		"loops accumulating shard locks must be annotated //eplog:lockall\n" +
+		"and ascend; holding one shard lock while taking another, or while\n" +
+		"calling anything that can, is flagged.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	lockFields := markedLockFields(pass)
+	if len(lockFields) == 0 {
+		return nil
+	}
+	c := &checker{pass: pass, lockFields: lockFields}
+	c.lockers = c.lockingFuncs()
+	for _, file := range pass.Files {
+		ann := analysis.NewAnnotations(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sanctioned := analysis.FuncDirective(fd, "lockall")
+			c.checkFunc(fd.Body, ann, sanctioned)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					// A literal inherits its host's sanction: lockAll
+					// helpers may pass annotated closures around.
+					c.checkFunc(lit.Body, ann, sanctioned)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// markedLockFields collects the *types.Var of every struct field carrying
+// the //eplog:shardlock directive.
+func markedLockFields(pass *analysis.Pass) map[types.Object]bool {
+	fields := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				if !analysis.FieldDirective(f, "shardlock") {
+					continue
+				}
+				for _, name := range f.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						fields[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+type checker struct {
+	pass       *analysis.Pass
+	lockFields map[types.Object]bool
+	// lockers maps package-level functions/methods to true when they can
+	// (transitively, within this package) acquire a shard lock.
+	lockers map[*types.Func]bool
+}
+
+// acquisition describes one `recv.mu.Lock()`-shaped call on a marked
+// shard-lock field.
+type acquisition struct {
+	call    *ast.CallExpr
+	recvKey string // printed receiver expression, e.g. "sh" or "e.shards[i]"
+	op      string // Lock, RLock, Unlock, RUnlock
+}
+
+// asAcquisition matches calls of the form <recv>.<field>.<op>() where
+// <field> is a marked shard-lock field.
+func (c *checker) asAcquisition(call *ast.CallExpr) (acquisition, bool) {
+	outer, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return acquisition{}, false
+	}
+	op := outer.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return acquisition{}, false
+	}
+	inner, ok := outer.X.(*ast.SelectorExpr)
+	if !ok {
+		return acquisition{}, false
+	}
+	sel, ok := c.pass.TypesInfo.Selections[inner]
+	if !ok || !c.lockFields[sel.Obj()] {
+		return acquisition{}, false
+	}
+	return acquisition{call: call, recvKey: types.ExprString(inner.X), op: op}, true
+}
+
+func isAcquire(op string) bool {
+	return op == "Lock" || op == "RLock" || op == "TryLock" || op == "TryRLock"
+}
+
+// lockingFuncs computes the set of package functions that may acquire a
+// shard lock, transitively through package-internal calls.
+func (c *checker) lockingFuncs() map[*types.Func]bool {
+	direct := make(map[*types.Func]bool)
+	callees := make(map[*types.Func]map[*types.Func]bool)
+	for _, file := range c.pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			callees[fn] = make(map[*types.Func]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if acq, ok := c.asAcquisition(call); ok {
+					// Release-only functions (unlockAll) cannot cause an
+					// out-of-order acquisition.
+					if isAcquire(acq.op) {
+						direct[fn] = true
+					}
+					return true
+				}
+				if callee := c.staticCallee(call); callee != nil {
+					callees[fn][callee] = true
+				}
+				return true
+			})
+		}
+	}
+	// Propagate to a fixed point.
+	lockers := make(map[*types.Func]bool, len(direct))
+	for fn := range direct {
+		lockers[fn] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, cs := range callees {
+			if lockers[fn] {
+				continue
+			}
+			for callee := range cs {
+				if lockers[callee] {
+					lockers[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return lockers
+}
+
+// staticCallee resolves a call to a function or method declared in this
+// package, or nil.
+func (c *checker) staticCallee(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = c.pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.TypesInfo.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = c.pass.TypesInfo.Uses[fun.Sel]
+		}
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() != c.pass.Pkg {
+		return nil
+	}
+	return fn
+}
+
+// checkFunc applies both rules to one function body. FuncLit bodies are
+// visited separately, so the statement walk does not descend into them.
+func (c *checker) checkFunc(body *ast.BlockStmt, ann *analysis.Annotations, sanctioned bool) {
+	c.checkLoops(body, ann, sanctioned)
+	held := make(map[string]token.Pos) // receiver key -> Lock position
+	c.walkHeld(body.List, held, ann, sanctioned)
+}
+
+// checkLoops flags loops that accumulate shard locks across iterations.
+func (c *checker) checkLoops(body *ast.BlockStmt, ann *analysis.Annotations, sanctioned bool) {
+	inspectNoFuncLit(body, func(n ast.Node) {
+		var loopBody *ast.BlockStmt
+		descending := false
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			loopBody = loop.Body
+			descending = isDescending(loop)
+		case *ast.RangeStmt:
+			loopBody = loop.Body
+		default:
+			return
+		}
+		acquired := make(map[string]*acquisition)
+		released := make(map[string]bool)
+		inspectNoFuncLit(loopBody, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if acq, ok := c.asAcquisition(call); ok {
+				if isAcquire(acq.op) {
+					if acquired[acq.recvKey] == nil {
+						a := acq
+						acquired[acq.recvKey] = &a
+					}
+				} else {
+					released[acq.recvKey] = true
+				}
+			}
+		})
+		for key, acq := range acquired {
+			if released[key] {
+				continue // lock/unlock balanced within one iteration
+			}
+			if ann.At(acq.call.Pos(), "lockall") {
+				continue
+			}
+			if descending {
+				c.pass.Reportf(acq.call.Pos(), "shard locks acquired in a descending loop: shard lock order must be ascending index order")
+				continue
+			}
+			if !sanctioned {
+				c.pass.Reportf(acq.call.Pos(), "loop accumulates shard locks across iterations outside lockAll (annotate the function //eplog:lockall if it is a sanctioned ascending whole-array acquisition)")
+			}
+		}
+	})
+}
+
+// isDescending recognizes `for i := hi; ...; i--` and `i -= n` loops.
+func isDescending(loop *ast.ForStmt) bool {
+	switch post := loop.Post.(type) {
+	case *ast.IncDecStmt:
+		return post.Tok == token.DEC
+	case *ast.AssignStmt:
+		return post.Tok == token.SUB_ASSIGN
+	}
+	return false
+}
+
+// walkHeld performs a lexical walk tracking which shard locks are held,
+// flagging second acquisitions and calls into locking functions. Branches
+// are walked with copies of the held set; the post-branch set keeps only
+// locks held on every path.
+func (c *checker) walkHeld(list []ast.Stmt, held map[string]token.Pos, ann *analysis.Annotations, sanctioned bool) {
+	for _, s := range list {
+		c.walkHeldStmt(s, held, ann, sanctioned)
+	}
+}
+
+func (c *checker) walkHeldStmt(s ast.Stmt, held map[string]token.Pos, ann *analysis.Annotations, sanctioned bool) {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkHeldStmt(s.Init, held, ann, sanctioned)
+		}
+		c.scanExpr(s.Cond, held, ann, sanctioned)
+		thenHeld := cloneHeld(held)
+		c.walkHeld(s.Body.List, thenHeld, ann, sanctioned)
+		elseHeld := cloneHeld(held)
+		if s.Else != nil {
+			c.walkHeldStmt(s.Else, elseHeld, ann, sanctioned)
+		}
+		intersectHeld(held, thenHeld, s.Body)
+		intersectHeld(held, elseHeld, s.Else)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkHeldStmt(s.Init, held, ann, sanctioned)
+		}
+		if s.Cond != nil {
+			c.scanExpr(s.Cond, held, ann, sanctioned)
+		}
+		inner := cloneHeld(held)
+		c.walkHeld(s.Body.List, inner, ann, sanctioned)
+		if s.Post != nil {
+			c.walkHeldStmt(s.Post, inner, ann, sanctioned)
+		}
+
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, held, ann, sanctioned)
+		inner := cloneHeld(held)
+		c.walkHeld(s.Body.List, inner, ann, sanctioned)
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var block *ast.BlockStmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			if sw.Init != nil {
+				c.walkHeldStmt(sw.Init, held, ann, sanctioned)
+			}
+			if sw.Tag != nil {
+				c.scanExpr(sw.Tag, held, ann, sanctioned)
+			}
+			block = sw.Body
+		case *ast.TypeSwitchStmt:
+			block = sw.Body
+		case *ast.SelectStmt:
+			block = sw.Body
+		}
+		for _, clause := range block.List {
+			inner := cloneHeld(held)
+			switch cl := clause.(type) {
+			case *ast.CaseClause:
+				c.walkHeld(cl.Body, inner, ann, sanctioned)
+			case *ast.CommClause:
+				c.walkHeld(cl.Body, inner, ann, sanctioned)
+			}
+		}
+
+	case *ast.BlockStmt:
+		c.walkHeld(s.List, held, ann, sanctioned)
+
+	case *ast.LabeledStmt:
+		c.walkHeldStmt(s.Stmt, held, ann, sanctioned)
+
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held for the rest of the
+		// function; a deferred Lock would be bizarre — scan it anyway.
+		if acq, ok := c.asAcquisition(s.Call); ok && isAcquire(acq.op) {
+			c.applyAcquisition(acq, held, ann, sanctioned)
+		}
+
+	default:
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				c.handleCall(n, held, ann, sanctioned)
+			}
+			return true
+		})
+	}
+}
+
+// scanExpr scans an expression (conditions, range operands) for calls.
+func (c *checker) scanExpr(e ast.Expr, held map[string]token.Pos, ann *analysis.Annotations, sanctioned bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			c.handleCall(n, held, ann, sanctioned)
+		}
+		return true
+	})
+}
+
+func (c *checker) handleCall(call *ast.CallExpr, held map[string]token.Pos, ann *analysis.Annotations, sanctioned bool) {
+	if acq, ok := c.asAcquisition(call); ok {
+		if isAcquire(acq.op) {
+			c.applyAcquisition(acq, held, ann, sanctioned)
+		} else {
+			delete(held, acq.recvKey)
+		}
+		return
+	}
+	if len(held) == 0 {
+		return
+	}
+	callee := c.staticCallee(call)
+	if callee == nil || !c.lockers[callee] {
+		return
+	}
+	if ann.At(call.Pos(), "lockall") {
+		return
+	}
+	c.pass.Reportf(call.Pos(), "call to %s, which can acquire a shard lock, while a shard lock (%s) is held: risks out-of-order acquisition",
+		callee.Name(), heldKeys(held))
+}
+
+func (c *checker) applyAcquisition(acq acquisition, held map[string]token.Pos, ann *analysis.Annotations, sanctioned bool) {
+	if _, sameHeld := held[acq.recvKey]; !sameHeld && len(held) > 0 && !sanctioned && !ann.At(acq.call.Pos(), "lockall") {
+		c.pass.Reportf(acq.call.Pos(), "acquiring shard lock %s.mu while already holding %s: shard locks must be taken one at a time or via lockAll in ascending order",
+			acq.recvKey, heldKeys(held))
+	}
+	held[acq.recvKey] = acq.call.Pos()
+}
+
+func cloneHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// intersectHeld keeps in held only locks still held after a branch: a key
+// must survive the branch's walk to stay. A nil branch keeps everything.
+func intersectHeld(held map[string]token.Pos, branch map[string]token.Pos, node ast.Node) {
+	if node == nil {
+		return
+	}
+	for k := range held {
+		if _, ok := branch[k]; !ok {
+			delete(held, k)
+		}
+	}
+}
+
+func heldKeys(held map[string]token.Pos) string {
+	out := ""
+	for k := range held {
+		if out != "" {
+			out += ", "
+		}
+		out += k + ".mu"
+	}
+	return out
+}
+
+func inspectNoFuncLit(n ast.Node, f func(ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			f(n)
+		}
+		return true
+	})
+}

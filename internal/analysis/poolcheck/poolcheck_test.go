@@ -1,0 +1,12 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"github.com/eplog/eplog/internal/analysis/analysistest"
+	"github.com/eplog/eplog/internal/analysis/poolcheck"
+)
+
+func TestPoolCheck(t *testing.T) {
+	analysistest.Run(t, "../testdata", poolcheck.Analyzer, "poolcheck_a")
+}

@@ -1,0 +1,21 @@
+// Package bufpool is a fixture stand-in for the real arena: poolcheck
+// matches Get/Put pairs by method name and defining package name, so this
+// shape is all the analyzer needs.
+package bufpool
+
+type Arena struct{}
+
+var Default = &Arena{}
+
+func (a *Arena) Get(n int) []byte     { return make([]byte, n) }
+func (a *Arena) GetZero(n int) []byte { return make([]byte, n) }
+func (a *Arena) Put(b []byte)         {}
+
+func (a *Arena) GetSlices(dst [][]byte, n int) [][]byte {
+	for i := range dst {
+		dst[i] = make([]byte, n)
+	}
+	return dst
+}
+
+func (a *Arena) PutSlices(bufs [][]byte) {}

@@ -1,0 +1,124 @@
+// Package hotpath_a exercises the hotpath analyzer: allocation sites in
+// annotated functions, the self-append idiom, error-exit exemptions, and
+// the alloc-ok sanction.
+package hotpath_a
+
+import (
+	"errors"
+	"fmt"
+)
+
+type buffer struct {
+	scratch []byte
+	sink    any
+}
+
+// XorInto is allocation-free: no diagnostics.
+//
+//eplog:hotpath
+func XorInto(dst, src []byte) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+// Chatty prints from the hot path.
+//
+//eplog:hotpath
+func Chatty(n int) {
+	fmt.Println(n) // want `call to fmt.Println allocates`
+}
+
+// Grower allocates fresh storage every call.
+//
+//eplog:hotpath
+func Grower(n int) []byte {
+	b := make([]byte, n) // want `make`
+	return b
+}
+
+// BadAppend appends into a different slice, so capacity discipline is
+// not provable.
+//
+//eplog:hotpath
+func BadAppend(b *buffer, v byte) []byte {
+	out := append(b.scratch, v) // want `append outside the self-append form`
+	return out
+}
+
+// SelfAppend reuses the receiver's scratch capacity: clean.
+//
+//eplog:hotpath
+func SelfAppend(b *buffer, v byte) {
+	b.scratch = append(b.scratch, v)
+}
+
+// Closures allocates a closure per call.
+//
+//eplog:hotpath
+func Closures(n int) func() int {
+	return func() int { return n } // want `function literal allocates a closure`
+}
+
+// InlineLit invokes its literal in place: stack-allocated, no report —
+// but the body is still hot, so the make inside is flagged.
+//
+//eplog:hotpath
+func InlineLit(n int) int {
+	v := func() []byte {
+		return make([]byte, n) // want `make`
+	}()
+	return len(v)
+}
+
+// DeferredLit defers a non-escaping literal: no closure report.
+//
+//eplog:hotpath
+func DeferredLit(b *buffer) {
+	defer func() { b.scratch = b.scratch[:0] }()
+	b.scratch = append(b.scratch, 0)
+}
+
+// Boxes stores an int into an interface field.
+//
+//eplog:hotpath
+func Boxes(b *buffer, v int) {
+	b.sink = v // want `implicit conversion of int`
+}
+
+// ErrorExit allocates only on the cold error branch: exempt.
+//
+//eplog:hotpath
+func ErrorExit(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative length %d", n)
+	}
+	return nil
+}
+
+// SanctionedMake keeps a deliberate allocation with a rationale.
+//
+//eplog:hotpath
+func SanctionedMake(n int) []byte {
+	return make([]byte, n) //eplog:alloc-ok one-time setup buffer, measured cold
+}
+
+// Cold is unannotated: the analyzer ignores it entirely.
+func Cold(n int) []byte {
+	fmt.Println("cold", n)
+	return make([]byte, n)
+}
+
+// ErrCheck uses the non-allocating errors inspectors: only the
+// constructor is flagged.
+//
+//eplog:hotpath
+func ErrCheck(err error) error {
+	var out error
+	if errors.Is(err, errBad) {
+		out = errors.New("wrapped bad") // want `call to errors.New allocates`
+	}
+	return out
+}
+
+var errBad = errors.New("bad")

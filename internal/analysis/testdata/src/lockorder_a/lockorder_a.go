@@ -1,0 +1,95 @@
+// Package lockorder_a exercises the lockorder analyzer: sanctioned
+// whole-array loops, unsanctioned accumulation, descending order, and
+// nested acquisition.
+package lockorder_a
+
+import "sync"
+
+type shard struct {
+	// mu guards this shard.
+	//eplog:shardlock
+	mu    sync.RWMutex
+	dirty int
+}
+
+type engine struct {
+	shards []*shard
+}
+
+// lockAll is the sanctioned whole-array acquisition: ascending order.
+//
+//eplog:lockall
+func (e *engine) lockAll() {
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+	}
+}
+
+// unlockAll mirrors lockAll.
+//
+//eplog:lockall
+func (e *engine) unlockAll() {
+	for _, sh := range e.shards {
+		sh.mu.Unlock()
+	}
+}
+
+// accumulate takes every lock without the sanction: flagged.
+func (e *engine) accumulate() {
+	for _, sh := range e.shards {
+		sh.mu.Lock() // want `loop accumulates shard locks`
+	}
+}
+
+// descending is annotated but runs the loop backwards: still flagged.
+//
+//eplog:lockall
+func (e *engine) descending() {
+	for i := len(e.shards) - 1; i >= 0; i-- {
+		e.shards[i].mu.Lock() // want `descending loop`
+	}
+}
+
+// pairBad nests a second shard lock under the first.
+func pairBad(a, b *shard) {
+	a.mu.Lock()
+	b.mu.Lock() // want `while already holding`
+	b.dirty++
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// pairOK takes the locks one at a time.
+func pairOK(a, b *shard) {
+	a.mu.Lock()
+	a.dirty++
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.dirty++
+	b.mu.Unlock()
+}
+
+// perShard locks and unlocks within each iteration: clean.
+func (e *engine) perShard() {
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		sh.dirty++
+		sh.mu.Unlock()
+	}
+}
+
+// callWhileHeld calls a transitively-locking function under a shard lock.
+func (e *engine) callWhileHeld(sh *shard) {
+	sh.mu.Lock()
+	e.lockAll() // want `can acquire a shard lock`
+	e.unlockAll()
+	sh.mu.Unlock()
+}
+
+// readSide uses RLock/RUnlock; balanced use is clean.
+func (e *engine) readSide(sh *shard) int {
+	sh.mu.RLock()
+	d := sh.dirty
+	sh.mu.RUnlock()
+	return d
+}

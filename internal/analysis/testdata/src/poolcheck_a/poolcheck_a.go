@@ -1,0 +1,108 @@
+// Package poolcheck_a exercises the poolcheck analyzer: leaks on early
+// returns, use-after-Put, scope exits, and the sanctioned annotation.
+package poolcheck_a
+
+import (
+	"errors"
+
+	"bufpool"
+)
+
+// LeakOnErrorPath drops the buffer when it bails early.
+func LeakOnErrorPath(n int) error {
+	buf := bufpool.Default.Get(n)
+	if n > 4096 {
+		return errors.New("too big") // want `buf leaks a pool buffer on this path`
+	}
+	buf[0] = 1
+	bufpool.Default.Put(buf)
+	return nil
+}
+
+// UseAfterPut touches the buffer after releasing it.
+func UseAfterPut(n int) byte {
+	buf := bufpool.Default.Get(n)
+	bufpool.Default.Put(buf)
+	return buf[0] // want `use of buf after it was returned to the pool`
+}
+
+// NeverReleased holds the buffer all the way to the end.
+func NeverReleased(n int) {
+	buf := bufpool.Default.GetZero(n)
+	buf[0] = 1
+} // want `buf leaks a pool buffer on this path`
+
+// ScopeLeak lets the variable die inside a branch while still held.
+func ScopeLeak(n int) {
+	if n > 2 {
+		buf := bufpool.Default.Get(n)
+		buf[0] = 1
+	} // want `buf goes out of scope still holding a pool buffer`
+}
+
+// SlicesLeak loses a whole slice table.
+func SlicesLeak(n int) {
+	tab := bufpool.Default.GetSlices(make([][]byte, 4), n)
+	tab[0][0] = 1
+} // want `tab leaks a pool buffer on this path`
+
+// DeferredOK releases on every path through one defer.
+func DeferredOK(n int) error {
+	buf := bufpool.Default.Get(n)
+	defer bufpool.Default.Put(buf)
+	if n > 4096 {
+		return errors.New("too big")
+	}
+	buf[0] = 1
+	return nil
+}
+
+// BranchesOK releases on both paths; the conditional release followed by
+// a merge must not be a false positive.
+func BranchesOK(n int) {
+	buf := bufpool.Default.Get(n)
+	if n > 8 {
+		bufpool.Default.Put(buf)
+		return
+	}
+	buf[0] = 1
+	bufpool.Default.Put(buf)
+}
+
+// TransferOK hands ownership to the caller: no leak report.
+func TransferOK(n int) []byte {
+	buf := bufpool.Default.Get(n)
+	return buf
+}
+
+// StoreOK transfers ownership into a struct: no leak report.
+type holder struct{ b []byte }
+
+func StoreOK(h *holder, n int) {
+	buf := bufpool.Default.Get(n)
+	h.b = buf
+}
+
+// Sanctioned keeps the buffer deliberately.
+func Sanctioned(n int) {
+	buf := bufpool.Default.Get(n) //eplog:pool-ok fixture retains the buffer on purpose
+	buf[0] = 1
+}
+
+// LoopRelease is the per-iteration acquire/release idiom: clean.
+func LoopRelease(rounds, n int) {
+	for i := 0; i < rounds; i++ {
+		buf := bufpool.Default.Get(n)
+		buf[0] = byte(i)
+		bufpool.Default.Put(buf)
+	}
+}
+
+// CrossIterationUse releases in one iteration and uses in the next.
+func CrossIterationUse(rounds, n int) {
+	buf := bufpool.Default.Get(n)
+	for i := 0; i < rounds; i++ {
+		buf[0] = byte(i)         // want `use of buf after it was returned to the pool`
+		bufpool.Default.Put(buf) // want `use of buf after it was returned to the pool`
+	}
+}

@@ -1,0 +1,35 @@
+// Package vtsim is a virtual-time fixture package.
+//
+//eplog:virtualtime
+package vtsim
+
+import "time"
+
+// Tick advances the simulated clock; it must not read the wall clock.
+func Tick() int64 {
+	t := time.Now() // want `wall-clock call time.Now in virtual-time package`
+	return t.UnixNano()
+}
+
+// Wait blocks the simulation: forbidden.
+func Wait(d time.Duration) {
+	time.Sleep(d) // want `wall-clock call time.Sleep in virtual-time package`
+}
+
+// Elapsed is a measurement helper that deliberately reads the wall clock.
+//
+//eplog:wallclock
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Stamp sanctions a single call site instead of the whole function.
+func Stamp() int64 {
+	now := time.Now() //eplog:wallclock log stamping only, not simulation state
+	return now.Unix()
+}
+
+// Budget uses time.Duration arithmetic only: clean.
+func Budget(n int) time.Duration {
+	return time.Duration(n) * time.Millisecond
+}

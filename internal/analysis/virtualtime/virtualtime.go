@@ -1,0 +1,113 @@
+// Package virtualtime forbids wall-clock calls inside EPLog's virtual-time
+// packages.
+//
+// The simulators (core engine, device/FTL, SSD, HDD, erasure timing) are
+// driven entirely by the deterministic virtual clock carried on each
+// request span; a single time.Now or time.Sleep smuggled into them makes
+// runs nondeterministic and breaks the bit-identity experiments. The
+// experiments harness measures real elapsed time on purpose, so it sits in
+// the restricted set but opts out per function with //eplog:wallclock.
+package virtualtime
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/eplog/eplog/internal/analysis"
+)
+
+// Restricted lists the import-path suffixes bound to virtual time. A
+// package is also bound when its package doc carries //eplog:virtualtime
+// (used by analysistest fixtures).
+var Restricted = []string{
+	"internal/core",
+	"internal/device",
+	"internal/ssd",
+	"internal/hdd",
+	"internal/erasure",
+	"internal/experiments",
+}
+
+// forbidden are the time-package functions that read or wait on the wall
+// clock. Conversions and constants (time.Duration, time.Millisecond) are
+// fine: they carry no clock.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "virtualtime",
+	Doc: "forbid wall-clock time in virtual-time simulator packages\n\n" +
+		"The core engine and the device simulators advance a deterministic\n" +
+		"virtual clock; wall-clock reads (time.Now, time.Since, time.Sleep,\n" +
+		"timers) make them nondeterministic. Opt out per file or function\n" +
+		"with //eplog:wallclock (used by internal/experiments, which times\n" +
+		"real runs deliberately).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !restricted(pass) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ann := analysis.NewAnnotations(pass.Fset, file)
+		if ann.File("wallclock") || pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && analysis.FuncDirective(fd, "wallclock") {
+				continue
+			}
+			checkDecl(pass, ann, decl)
+		}
+	}
+	return nil
+}
+
+func restricted(pass *analysis.Pass) bool {
+	path := pass.Pkg.Path()
+	for _, suffix := range Restricted {
+		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
+			return true
+		}
+	}
+	for _, file := range pass.Files {
+		if analysis.NewAnnotations(pass.Fset, file).File("virtualtime") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkDecl(pass *analysis.Pass, ann *analysis.Annotations, decl ast.Decl) {
+	ast.Inspect(decl, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok || pn.Imported().Path() != "time" || !forbidden[sel.Sel.Name] {
+			return true
+		}
+		if ann.At(sel.Pos(), "wallclock") {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "wall-clock call time.%s in virtual-time package %s (sanction with //eplog:wallclock if deliberate)",
+			sel.Sel.Name, pass.Pkg.Path())
+		return true
+	})
+}

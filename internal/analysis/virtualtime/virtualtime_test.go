@@ -1,0 +1,12 @@
+package virtualtime_test
+
+import (
+	"testing"
+
+	"github.com/eplog/eplog/internal/analysis/analysistest"
+	"github.com/eplog/eplog/internal/analysis/virtualtime"
+)
+
+func TestVirtualTime(t *testing.T) {
+	analysistest.Run(t, "../testdata", virtualtime.Analyzer, "vtsim")
+}

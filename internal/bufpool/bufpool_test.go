@@ -43,7 +43,7 @@ func TestReuse(t *testing.T) {
 	b[0] = 0xAB
 	a.Put(b)
 	c := a.Get(4096)
-	if &b[0] != &c[0] {
+	if &b[0] != &c[0] { //eplog:pool-ok the test asserts freelist reuse after Put
 		t.Fatalf("expected freelist to return the same buffer")
 	}
 }
@@ -55,7 +55,7 @@ func TestGetZero(t *testing.T) {
 		b[i] = 0xFF
 	}
 	a.Put(b)
-	z := a.GetZero(4096)
+	z := a.GetZero(4096) //eplog:pool-ok arena-owned test buffer; the arena is discarded with the test
 	for i, v := range z {
 		if v != 0 {
 			t.Fatalf("GetZero returned dirty byte at %d: %#x", i, v)
@@ -68,7 +68,7 @@ func TestPutForeignBuffer(t *testing.T) {
 	// Capacity not matching any class exactly: dropped, no panic.
 	a.Put(make([]byte, 100))
 	a.Put(nil)
-	b := a.Get(100)
+	b := a.Get(100) //eplog:pool-ok arena-owned test buffer; the arena is discarded with the test
 	if cap(b) != 4<<10 {
 		t.Fatalf("foreign buffer was adopted: cap %d", cap(b))
 	}

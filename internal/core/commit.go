@@ -49,6 +49,8 @@ func (sh *shard) commit() error {
 }
 
 // commitAt commits one shard with sh.mu held.
+//
+//eplog:hotpath
 func (sh *shard) commitAt(start float64) (float64, error) {
 	e := sh.e
 	// This commit covers whatever a pending background enqueue wanted.
@@ -160,6 +162,8 @@ func (sh *shard) commitAt(start float64) (float64, error) {
 // stripe, with per-task I/O counts accumulated in slots and folded into
 // the stats after the join, keeping the totals identical to the serial
 // engine.
+//
+//eplog:hotpath
 func (sh *shard) foldStripes(span *device.Span, code *erasure.Code, stripes []int64) error {
 	e := sh.e
 	k, m := e.geo.K, e.geo.M()
@@ -178,10 +182,10 @@ func (sh *shard) foldStripes(span *device.Span, code *erasure.Code, stripes []in
 		return nil
 	}
 	type foldCount struct{ reads, parity int64 }
-	counts := make([]foldCount, len(stripes))
-	tasks := make([]func(*device.Span) error, len(stripes))
+	counts := make([]foldCount, len(stripes))               //eplog:alloc-ok parallel fan-out: per-commit, workers>1 only; the serial branch above is the steady state
+	tasks := make([]func(*device.Span) error, len(stripes)) //eplog:alloc-ok parallel fan-out: per-commit, workers>1 only
 	for i, s := range stripes {
-		tasks[i] = func(sp *device.Span) error {
+		tasks[i] = func(sp *device.Span) error { //eplog:alloc-ok parallel fan-out: per-commit, workers>1 only
 			reads, parity, err := e.foldStripe(sp, code, s, make([][]byte, k+m))
 			counts[i] = foldCount{reads, parity}
 			return err
@@ -202,6 +206,8 @@ func (sh *shard) foldStripes(span *device.Span, code *erasure.Code, stripes []in
 // arena before foldStripe returns, so the table itself is reusable.
 // The partial I/O counts come back even on error so the caller's stats
 // match the device work actually issued.
+//
+//eplog:hotpath
 func (e *EPLog) foldStripe(sp *device.Span, code *erasure.Code, s int64, shards [][]byte) (reads, parity int64, err error) {
 	k, m := e.geo.K, e.geo.M()
 	home := e.geo.HomeChunk(s)
@@ -231,6 +237,8 @@ func (e *EPLog) foldStripe(sp *device.Span, code *erasure.Code, s int64, shards 
 
 // releaseLoc returns a superseded chunk to its device's free pool,
 // optionally trimming it on the SSD.
+//
+//eplog:hotpath
 func (sh *shard) releaseLoc(l Loc) {
 	sh.alloc[l.Dev].release(l.Chunk)
 	if sh.e.cfg.TrimOnCommit {

@@ -42,6 +42,8 @@ type shard struct {
 	// latest/latestProt/commLoc/virgin slices. Readers (ReadChunks,
 	// Stats aggregation) take it shared; every mutation takes it
 	// exclusively.
+	//
+	//eplog:shardlock
 	mu sync.RWMutex
 
 	dirty     map[int64]struct{}
@@ -108,12 +110,15 @@ func (sh *shard) takeAsyncErr() error {
 // lockAll write-locks every shard in ascending index order — the
 // stop-the-world acquisition used by whole-array operations (checkpoint,
 // verify, rebuild, recovery). unlockAll releases them.
+//
+//eplog:lockall
 func (e *EPLog) lockAll() {
 	for _, sh := range e.shards {
 		sh.mu.Lock()
 	}
 }
 
+//eplog:lockall
 func (e *EPLog) unlockAll() {
 	for _, sh := range e.shards {
 		sh.mu.Unlock()

@@ -41,6 +41,8 @@ func (e *EPLog) WriteChunks(start float64, lba int64, data []byte) (float64, err
 
 // writeSerial is the single-shard write path, bit-identical (byte counts
 // and virtual time) to the unsharded engine. sh.mu is held.
+//
+//eplog:hotpath
 func (sh *shard) writeSerial(start float64, lba, nChunks int64, data []byte) (float64, error) {
 	e := sh.e
 	sh.stats.Requests++
@@ -186,6 +188,8 @@ func (e *EPLog) writeSharded(start float64, lba, nChunks int64, data []byte) (fl
 // writeSegment routes one stripe's worth of a request, returning any
 // chunks that should go through the shared update path instead. The
 // stripe belongs to this shard and sh.mu is held.
+//
+//eplog:hotpath
 func (sh *shard) writeSegment(span *device.Span, stripe int64, seg []pendingChunk) ([]pendingChunk, error) {
 	e := sh.e
 	if e.virgin[stripe] {
@@ -312,6 +316,8 @@ func (sh *shard) bufferNewWrite(span *device.Span, stripe int64, seg []pendingCh
 // treats as updates of zero-filled committed chunks). With device buffers
 // enabled the chunks are staged per destination SSD; otherwise they are
 // grouped into log stripes immediately.
+//
+//eplog:hotpath
 func (sh *shard) updatePath(span *device.Span, chunks []pendingChunk) error {
 	e := sh.e
 	if sh.devBufs != nil {
@@ -381,6 +387,8 @@ func (sh *shard) updatePath(span *device.Span, chunks []pendingChunk) error {
 // bufPut stages a chunk in its destination device's buffer, maintaining
 // the full-buffer counter across the not-full -> full transition. It
 // reports whether the write was absorbed by an existing entry.
+//
+//eplog:hotpath
 func (sh *shard) bufPut(dev int, lba int64, data []byte) bool {
 	b := sh.devBufs[dev]
 	wasFull := b.full()
@@ -393,6 +401,8 @@ func (sh *shard) bufPut(dev int, lba int64, data []byte) bool {
 
 // bufPop pops one pending chunk from a device buffer, maintaining the
 // full-buffer counter across the full -> not-full transition.
+//
+//eplog:hotpath
 func (sh *shard) bufPop(b *deviceBuffer) (pendingChunk, bool) {
 	wasFull := b.full()
 	c, ok := b.pop()
@@ -406,6 +416,8 @@ func (sh *shard) bufPop(b *deviceBuffer) (pendingChunk, bool) {
 // device buffer and emits them as one log stripe (Section III-D). The
 // popped chunks carry arena-owned copies (deviceBuffer.put copied them
 // in); once the flush has written them out they go back to the arena.
+//
+//eplog:hotpath
 func (sh *shard) drainRound(span *device.Span) error {
 	sc := sh.getScratch()
 	defer sh.putScratch(sc)
@@ -433,6 +445,8 @@ func (sh *shard) drainRound(span *device.Span) error {
 // per log stripe is the invariant (DESIGN.md §5) that lets degraded reads
 // and rebuild survive a device failure, and it is what makes the data
 // fan-out below race-free.
+//
+//eplog:hotpath
 func (sh *shard) flushGroup(span *device.Span, group []pendingChunk) error {
 	e := sh.e
 	kPrime, m := len(group), e.geo.M()
@@ -512,17 +526,17 @@ func (sh *shard) flushGroup(span *device.Span, group []pendingChunk) error {
 			}
 			return nil
 		}
-		tasks := make([]func(*device.Span) error, 0, kPrime+m)
+		tasks := make([]func(*device.Span) error, 0, kPrime+m) //eplog:alloc-ok parallel fan-out: per log-stripe flush, workers>1 only; the serial branch above is the steady state
 		for i := range group {
 			mb, data := ls.members[i], group[i].data
-			tasks = append(tasks, func(sp *device.Span) error {
+			tasks = append(tasks, func(sp *device.Span) error { //eplog:alloc-ok parallel fan-out: per log-stripe flush, workers>1 only; the serial branch above is the steady state
 				return tolerantWrite(sp, e.devs[mb.loc.Dev], mb.loc.Chunk, data)
 			})
 		}
 		logPos := ls.logPos
 		for i := range logChunks {
 			dev, data := e.logDevs[i], logChunks[i]
-			tasks = append(tasks, func(sp *device.Span) error {
+			tasks = append(tasks, func(sp *device.Span) error { //eplog:alloc-ok parallel fan-out: per log-stripe flush, workers>1 only; the serial branch above is the steady state
 				// A failed log device costs one of m redundancy.
 				return tolerantWrite(sp, dev, logPos, data)
 			})
@@ -561,6 +575,8 @@ func (sh *shard) flushGroup(span *device.Span, group []pendingChunk) error {
 // forcing a parity commit to reclaim space when the partition's free pool
 // falls to the shard's slice of the guard band (the paper's commit
 // scenario (ii)).
+//
+//eplog:hotpath
 func (sh *shard) allocOn(dev int) (int64, error) {
 	if !sh.inCommit && sh.alloc[dev].freeCount() <= sh.e.shardGuard {
 		if err := sh.commit(); err != nil {

@@ -178,6 +178,8 @@ func (c *Code) putViews(v *[][]byte) {
 // encodeRange computes parity for the byte range [lo, hi) of every shard
 // using the fused multi-source kernels: one pass over each parity range for
 // all k sources, so parity write traffic does not scale with k.
+//
+//eplog:hotpath
 func (c *Code) encodeRange(shards [][]byte, lo, hi int) {
 	data, parity := shards[:c.k], shards[c.k:]
 	full := lo == 0 && hi == len(shards[0])
@@ -209,6 +211,8 @@ func (c *Code) encodeRange(shards [][]byte, lo, hi int) {
 // change: given the XOR delta of the old and new contents of data shard
 // dataIdx, it updates all m parity shards in place. This is the small-write
 // (read-modify-write) primitive used by conventional RAID.
+//
+//eplog:hotpath
 func (c *Code) UpdateParity(dataIdx int, delta []byte, parity [][]byte) error {
 	if dataIdx < 0 || dataIdx >= c.k {
 		return fmt.Errorf("%w: data index %d out of range [0,%d)", ErrInvalidShardCount, dataIdx, c.k)

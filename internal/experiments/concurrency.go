@@ -90,7 +90,7 @@ func Concurrency(scale int64, workers int) (*ConcurrencyResult, error) {
 	}
 
 	writers := max(1, workers)
-	start := time.Now()
+	start := time.Now() //eplog:wallclock measured throughput is the experiment's output
 	errs := make([]error, writers)
 	var wg sync.WaitGroup
 	for w := 0; w < writers; w++ {
@@ -113,7 +113,7 @@ func Concurrency(scale int64, workers int) (*ConcurrencyResult, error) {
 		}(w)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //eplog:wallclock measured throughput is the experiment's output
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -108,7 +108,7 @@ func Scaling(scale int64, shards, workers int) (*ScalingResult, error) {
 	defer e.Close()
 
 	writers := max(1, shards)
-	start := time.Now()
+	start := time.Now() //eplog:wallclock measured throughput is the experiment's output
 	errs := make([]error, writers)
 	var wg sync.WaitGroup
 	for w := 0; w < writers; w++ {
@@ -135,7 +135,7 @@ func Scaling(scale int64, shards, workers int) (*ScalingResult, error) {
 		}(w)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //eplog:wallclock measured throughput is the experiment's output
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -14,6 +14,8 @@ import "encoding/binary"
 // — and are allocation-free.
 
 // MulSlice sets dst[i] = c * src[i]. dst and src must have equal length.
+//
+//eplog:hotpath
 func MulSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf: MulSlice length mismatch")
@@ -31,6 +33,8 @@ func MulSlice(c byte, src, dst []byte) {
 
 // MulAddSlice sets dst[i] ^= c * src[i]; it is the inner loop of systematic
 // Reed-Solomon encoding. dst and src must have equal length.
+//
+//eplog:hotpath
 func MulAddSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf: MulAddSlice length mismatch")
@@ -47,6 +51,8 @@ func MulAddSlice(c byte, src, dst []byte) {
 
 // XORSlice sets dst[i] ^= src[i] with 8-byte loads and stores. dst and src
 // must have equal length.
+//
+//eplog:hotpath
 func XORSlice(src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf: XORSlice length mismatch")
@@ -64,6 +70,8 @@ const maxFused = 16
 // once for all sources instead of once per source. coeffs and srcs must
 // have equal length and every source must match dst's length. Zero
 // coefficients are skipped.
+//
+//eplog:hotpath
 func MulAddSlices(coeffs []byte, srcs [][]byte, dst []byte) {
 	if len(coeffs) != len(srcs) {
 		panic("gf: MulAddSlices coefficient count mismatch")
@@ -79,6 +87,8 @@ func MulAddSlices(coeffs []byte, srcs [][]byte, dst []byte) {
 
 // XORSlices sets dst[i] ^= srcs[0][i] ^ srcs[1][i] ^ ...: the fused inner
 // loop of XOR (m=1) parity. Every source must match dst's length.
+//
+//eplog:hotpath
 func XORSlices(srcs [][]byte, dst []byte) {
 	for _, s := range srcs {
 		if len(s) != len(dst) {
@@ -92,6 +102,8 @@ func XORSlices(srcs [][]byte, dst []byte) {
 
 // mulWordNibble multiplies each byte lane of the 8-byte word s by the
 // coefficient whose split-nibble rows are lo and hi.
+//
+//eplog:hotpath
 func mulWordNibble(lo, hi *[16]byte, s uint64) uint64 {
 	return uint64(lo[s&15]^hi[s>>4&15]) |
 		uint64(lo[s>>8&15]^hi[s>>12&15])<<8 |
@@ -103,6 +115,7 @@ func mulWordNibble(lo, hi *[16]byte, s uint64) uint64 {
 		uint64(lo[s>>56&15]^hi[s>>60])<<56
 }
 
+//eplog:hotpath
 func mulSliceWord(c byte, src, dst []byte) {
 	lo, hi := &mulLo[c], &mulHi[c]
 	n := len(src) &^ 7
@@ -116,6 +129,7 @@ func mulSliceWord(c byte, src, dst []byte) {
 	}
 }
 
+//eplog:hotpath
 func mulAddSliceWord(c byte, src, dst []byte) {
 	lo, hi := &mulLo[c], &mulHi[c]
 	n := len(src) &^ 7
@@ -130,6 +144,7 @@ func mulAddSliceWord(c byte, src, dst []byte) {
 	}
 }
 
+//eplog:hotpath
 func xorSliceWord(src, dst []byte) {
 	n := len(src) &^ 7
 	for i := 0; i < n; i += 8 {
@@ -144,6 +159,8 @@ func xorSliceWord(src, dst []byte) {
 
 // mulAddSlicesWord is the fused portable kernel: one pass over dst for up
 // to maxFused sources per batch.
+//
+//eplog:hotpath
 func mulAddSlicesWord(coeffs []byte, srcs [][]byte, dst []byte) {
 	for len(srcs) > maxFused {
 		mulAddSlicesWordN(coeffs[:maxFused], srcs[:maxFused], dst)
@@ -152,6 +169,7 @@ func mulAddSlicesWord(coeffs []byte, srcs [][]byte, dst []byte) {
 	mulAddSlicesWordN(coeffs, srcs, dst)
 }
 
+//eplog:hotpath
 func mulAddSlicesWordN(coeffs []byte, srcs [][]byte, dst []byte) {
 	var (
 		lo, hi [maxFused]*[16]byte
@@ -190,6 +208,8 @@ func mulAddSlicesWordN(coeffs []byte, srcs [][]byte, dst []byte) {
 }
 
 // xorSlicesWord is the fused portable XOR kernel.
+//
+//eplog:hotpath
 func xorSlicesWord(srcs [][]byte, dst []byte) {
 	for len(srcs) > maxFused {
 		xorSlicesWordN(srcs[:maxFused], dst)
@@ -198,6 +218,7 @@ func xorSlicesWord(srcs [][]byte, dst []byte) {
 	xorSlicesWordN(srcs, dst)
 }
 
+//eplog:hotpath
 func xorSlicesWordN(srcs [][]byte, dst []byte) {
 	if len(srcs) == 0 {
 		return

@@ -36,6 +36,7 @@ func mulAddVecAsm(lo, hi *[16]byte, src, dst *byte, n int)
 //go:noescape
 func xorVecAsm(src, dst *byte, n int)
 
+//eplog:hotpath
 func mulSliceFast(c byte, src, dst []byte) {
 	if n := len(src) &^ 15; hasSSSE3 && n > 0 {
 		mulVecAsm(&mulLo[c], &mulHi[c], &src[0], &dst[0], n)
@@ -48,6 +49,7 @@ func mulSliceFast(c byte, src, dst []byte) {
 	mulSliceWord(c, src, dst)
 }
 
+//eplog:hotpath
 func mulAddSliceFast(c byte, src, dst []byte) {
 	if n := len(src) &^ 15; hasSSSE3 && n > 0 {
 		mulAddVecAsm(&mulLo[c], &mulHi[c], &src[0], &dst[0], n)
@@ -60,6 +62,7 @@ func mulAddSliceFast(c byte, src, dst []byte) {
 	mulAddSliceWord(c, src, dst)
 }
 
+//eplog:hotpath
 func xorSliceFast(src, dst []byte) {
 	if n := len(src) &^ 15; n > 0 {
 		xorVecAsm(&src[0], &dst[0], n)
@@ -75,6 +78,8 @@ func xorSliceFast(src, dst []byte) {
 // fused entry points run one shuffle-bound pass per source on amd64; the
 // single-pass word fusion only pays off when the multiply itself is the
 // portable (lookup-bound) kernel.
+//
+//eplog:hotpath
 func mulAddSlicesFast(coeffs []byte, srcs [][]byte, dst []byte) {
 	if hasSSSE3 && len(dst) >= 16 {
 		for j, c := range coeffs {
@@ -92,6 +97,7 @@ func mulAddSlicesFast(coeffs []byte, srcs [][]byte, dst []byte) {
 	mulAddSlicesWord(coeffs, srcs, dst)
 }
 
+//eplog:hotpath
 func xorSlicesFast(srcs [][]byte, dst []byte) {
 	if len(dst) >= 16 {
 		for _, s := range srcs {

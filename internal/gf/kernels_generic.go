@@ -5,12 +5,19 @@ package gf
 // Portable dispatch: every kernel is the 8-bytes-per-iteration word
 // implementation from kernels.go.
 
-func mulSliceFast(c byte, src, dst []byte)    { mulSliceWord(c, src, dst) }
-func mulAddSliceFast(c byte, src, dst []byte) { mulAddSliceWord(c, src, dst) }
-func xorSliceFast(src, dst []byte)            { xorSliceWord(src, dst) }
+//eplog:hotpath
+func mulSliceFast(c byte, src, dst []byte) { mulSliceWord(c, src, dst) }
 
+//eplog:hotpath
+func mulAddSliceFast(c byte, src, dst []byte) { mulAddSliceWord(c, src, dst) }
+
+//eplog:hotpath
+func xorSliceFast(src, dst []byte) { xorSliceWord(src, dst) }
+
+//eplog:hotpath
 func mulAddSlicesFast(coeffs []byte, srcs [][]byte, dst []byte) {
 	mulAddSlicesWord(coeffs, srcs, dst)
 }
 
+//eplog:hotpath
 func xorSlicesFast(srcs [][]byte, dst []byte) { xorSlicesWord(srcs, dst) }
