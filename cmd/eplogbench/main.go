@@ -29,8 +29,11 @@
 // a microbenchmark suite, not a paper experiment, so -exp all skips it.
 //
 // The obs experiment runs a fully instrumented EPLog replay; -metrics-out,
-// -trace-out and -prom-out dump its metrics snapshot (JSON), event trace
-// (JSON Lines) and Prometheus text exposition. -csv and -json mirror every
+// -trace-out, -prom-out and -spans-out dump its metrics snapshot (JSON),
+// event trace (JSON Lines), Prometheus text exposition and causal span
+// trees (JSON Lines). -telemetry-addr serves all of it live over HTTP
+// while the replay runs (-telemetry-linger keeps the endpoint up after it
+// finishes, for scrapers racing a short run). -csv and -json mirror every
 // experiment's records to machine-readable files.
 package main
 
@@ -47,15 +50,20 @@ import (
 
 	"github.com/eplog/eplog/internal/experiments"
 	"github.com/eplog/eplog/internal/obs"
+	"github.com/eplog/eplog/internal/telemetry"
 )
 
-// outputs collects the optional machine-readable output paths.
+// outputs collects the optional machine-readable output paths and the
+// live-telemetry options.
 type outputs struct {
-	csvPath     string
-	jsonPath    string
-	metricsPath string
-	tracePath   string
-	promPath    string
+	csvPath         string
+	jsonPath        string
+	metricsPath     string
+	tracePath       string
+	promPath        string
+	spansPath       string
+	telemetryAddr   string
+	telemetryLinger time.Duration
 }
 
 func main() {
@@ -73,6 +81,9 @@ func main() {
 	flag.StringVar(&out.metricsPath, "metrics-out", "", "write the obs experiment's metrics snapshot to this JSON file")
 	flag.StringVar(&out.tracePath, "trace-out", "", "write the obs experiment's event trace to this JSON Lines file")
 	flag.StringVar(&out.promPath, "prom-out", "", "write the obs experiment's metrics in Prometheus text format to this file")
+	flag.StringVar(&out.spansPath, "spans-out", "", "write the obs experiment's causal span trees to this JSON Lines file")
+	flag.StringVar(&out.telemetryAddr, "telemetry-addr", "", "serve live telemetry (/metrics, /spans, /healthz, /debug/pprof/) on this address during the obs experiment")
+	flag.DurationVar(&out.telemetryLinger, "telemetry-linger", 0, "keep the telemetry server up this long after the obs experiment completes")
 	flag.Parse()
 	if *exp == "kernels" {
 		if err := runKernelBench(*benchOut); err != nil {
@@ -380,14 +391,36 @@ func run(exp string, scale int64, workers int, out outputs) error {
 
 	if err := step("obs", func() error {
 		// An instrumented timing replay; run it at a reduced size like
-		// the recovery sweep.
-		o, err := experiments.Observability(scale * 8)
+		// the recovery sweep. With -telemetry-addr the run's sink is
+		// served live for the duration of the replay (plus an optional
+		// linger so scrapers can catch a short run).
+		var srv *telemetry.Server
+		o, err := experiments.ObservabilityLive(scale*8, func(s *obs.Sink) {
+			if out.telemetryAddr == "" {
+				return
+			}
+			var serveErr error
+			srv, serveErr = telemetry.Serve(out.telemetryAddr, telemetry.SinkSource(s))
+			if serveErr != nil {
+				fmt.Fprintln(os.Stderr, "eplogbench:", serveErr)
+				return
+			}
+			fmt.Printf("telemetry: serving /metrics /spans /healthz /debug/pprof/ on http://%s\n", srv.Addr())
+		})
+		if srv != nil {
+			defer srv.Close()
+			if out.telemetryLinger > 0 {
+				defer time.Sleep(out.telemetryLinger)
+			}
+		}
 		if err != nil {
 			return err
 		}
 		fmt.Print(experiments.FormatObservability(o))
 		sink.add("obs", "FIN", "EPLog", "trace_events", float64(len(o.Events)))
 		sink.add("obs", "FIN", "EPLog", "trace_dropped", float64(o.Dropped))
+		sink.add("obs", "FIN", "EPLog", "span_trees", float64(len(o.Spans)))
+		sink.add("obs", "FIN", "EPLog", "span_trees_dropped", float64(o.SpansDropped))
 		sink.add("obs", "FIN", "EPLog", "parity_chunks_from_trace", float64(o.ParityFromTrace))
 		sink.add("obs", "FIN", "EPLog", "parity_chunks_counter", float64(o.Result.EPLogStats.ParityWriteChunks))
 		if out.metricsPath != "" {
@@ -403,6 +436,14 @@ func run(exp string, scale int64, workers int, out outputs) error {
 		if out.tracePath != "" {
 			err := writeTo(out.tracePath, func(w io.Writer) error {
 				return obs.WriteJSONL(w, o.Events)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		if out.spansPath != "" {
+			err := writeTo(out.spansPath, func(w io.Writer) error {
+				return obs.WriteSpanJSONL(w, o.Spans)
 			})
 			if err != nil {
 				return err

@@ -32,6 +32,10 @@ type scalingRow struct {
 	SSDWriteBytes int64   `json:"ssd_write_bytes"`
 	LogWriteBytes int64   `json:"log_write_bytes"`
 	Commits       int64   `json:"commits"`
+	// LockWaitSeconds is the flight recorders' aggregate shard-lock wait
+	// for the row's best run — near zero when writers stay on their own
+	// shards; see experiments.ScalingResult.LockWaitSeconds.
+	LockWaitSeconds float64 `json:"lock_wait_seconds"`
 }
 
 // scalingReport is the BENCH_scaling.json schema.
@@ -125,14 +129,15 @@ func runScalingBench(scale int64, maxShards, workers int, path string) error {
 			rep.SpeedupAt4Shards = speedup
 		}
 		rep.Runs = append(rep.Runs, scalingRow{
-			Shards:         r.Shards,
-			Workers:        r.Workers,
-			Writers:        r.Writers,
-			ElapsedSeconds: r.Elapsed.Seconds(),
-			Speedup:        speedup,
-			SSDWriteBytes:  r.SSDWriteBytes,
-			LogWriteBytes:  r.LogWriteBytes,
-			Commits:        r.EPLogStats.Commits,
+			Shards:          r.Shards,
+			Workers:         r.Workers,
+			Writers:         r.Writers,
+			ElapsedSeconds:  r.Elapsed.Seconds(),
+			Speedup:         speedup,
+			SSDWriteBytes:   r.SSDWriteBytes,
+			LogWriteBytes:   r.LogWriteBytes,
+			Commits:         r.EPLogStats.Commits,
+			LockWaitSeconds: r.LockWaitSeconds,
 		})
 	}
 	fmt.Print(experiments.FormatScaling(results))

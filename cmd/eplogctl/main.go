@@ -12,11 +12,15 @@
 //	eplogctl -dir store scrub
 //	eplogctl -dir store rebuild -dev 3
 //	eplogctl -dir store metrics
+//	eplogctl -dir store spans
 //
-// Every command records this invocation's metrics and trace events; the
-// global -metrics-out and -trace-out flags dump them on exit, and the
-// metrics command scrubs the array and prints the session's metrics in
-// Prometheus text format.
+// Every command records this invocation's metrics, trace events, and
+// causal span trees; the global -metrics-out, -trace-out and -spans-out
+// flags dump them on exit. The metrics command scrubs the array and
+// prints the session's metrics in Prometheus text format; the spans
+// command reads one stripe and prints the resulting causal span trees —
+// operation roots with phase children and per-device I/O leaves — as
+// JSON Lines.
 package main
 
 import (
@@ -43,6 +47,7 @@ func main() {
 var obsPaths struct {
 	metrics string
 	trace   string
+	spans   string
 }
 
 func run(args []string) error {
@@ -50,14 +55,16 @@ func run(args []string) error {
 	dir := global.String("dir", "eplog-store", "directory holding the array's backing files")
 	metricsOut := global.String("metrics-out", "", "write this invocation's metrics snapshot to this JSON file")
 	traceOut := global.String("trace-out", "", "write this invocation's event trace to this JSON Lines file")
+	spansOut := global.String("spans-out", "", "write this invocation's causal span trees to this JSON Lines file")
 	if err := global.Parse(args); err != nil {
 		return err
 	}
 	obsPaths.metrics = *metricsOut
 	obsPaths.trace = *traceOut
+	obsPaths.spans = *spansOut
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing command: create, write, read, commit, status, scrub, rebuild, or metrics")
+		return fmt.Errorf("missing command: create, write, read, commit, status, scrub, rebuild, metrics, or spans")
 	}
 	cmd, rest := rest[0], rest[1:]
 	switch cmd {
@@ -77,6 +84,8 @@ func run(args []string) error {
 		return scrub(*dir)
 	case "metrics":
 		return metrics(*dir)
+	case "spans":
+		return spans(*dir)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -110,6 +119,19 @@ func dumpObs(a *eplog.Array) error {
 			return err
 		}
 	}
+	if obsPaths.spans != "" {
+		f, err := os.Create(obsPaths.spans)
+		if err != nil {
+			return err
+		}
+		if err := eplog.WriteSpans(f, a.Spans()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -125,6 +147,27 @@ func metrics(dir string) error {
 		return err
 	}
 	if err := a.Metrics().WritePrometheus(os.Stdout); err != nil {
+		return err
+	}
+	return dumpObs(a)
+}
+
+// spans reads the first stripe chunk by chunk — each read records a
+// causal span tree with its per-device I/O leaves — and prints every span
+// tree recorded this invocation as JSON Lines.
+func spans(dir string) error {
+	a, l, closeAll, err := openArray(dir)
+	if err != nil {
+		return err
+	}
+	defer closeAll()
+	buf := make([]byte, chunkSize)
+	for lba := int64(0); lba < int64(l.k) && lba < a.Chunks(); lba++ {
+		if err := a.Read(lba, buf); err != nil {
+			return err
+		}
+	}
+	if err := eplog.WriteSpans(os.Stdout, a.Spans()); err != nil {
 		return err
 	}
 	return dumpObs(a)
@@ -204,7 +247,8 @@ func metaChunks(l layout) int64 {
 func cfg(l layout) eplog.Config {
 	// Observability is always on: eplogctl is an operational demo and the
 	// per-invocation cost is negligible at its scale.
-	return eplog.Config{K: l.k, Stripes: l.stripes, TraceEvents: eplog.DefaultTraceEvents}
+	return eplog.Config{K: l.k, Stripes: l.stripes,
+		TraceEvents: eplog.DefaultTraceEvents, Spans: eplog.DefaultSpanTrees}
 }
 
 // openArray opens the array from its newest checkpoint.

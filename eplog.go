@@ -45,6 +45,20 @@ type Config struct {
 	// retaining the most recent TraceEvents structured events. Read them
 	// with Metrics and Trace. Zero disables observability at no cost.
 	TraceEvents int
+	// Spans enables causal span tracing when > 0: each engine shard keeps
+	// a flight recorder retaining up to Spans recently completed span
+	// trees — a write, read, commit, or rebuild root with its phase
+	// children (direct-stripe writes, log appends, commit flush/fold) and,
+	// on serial engines, per-device I/O leaves. Read them with Spans or
+	// serve them live with ServeTelemetry. Span recording reuses a
+	// per-shard node pool, so the steady state allocates nothing.
+	// Setting Spans > 0 enables the metrics registry even when
+	// TraceEvents is 0 (the trace ring then uses DefaultTraceEvents).
+	Spans int
+	// SpanSampling records one operation root in every SpanSampling when
+	// > 1; values <= 1 record every operation. Commits and rebuilds are
+	// always recorded.
+	SpanSampling int
 	// Workers bounds the worker pool that parallelizes an operation's
 	// expensive phases (Reed-Solomon coding and per-device I/O fan-out).
 	// Values <= 1 select the serial mode, whose virtual-time accounting
@@ -77,7 +91,7 @@ type Array struct {
 	e     *core.EPLog
 	cfg   Config
 	csize int
-	sink  *obs.Sink // nil unless cfg.TraceEvents > 0
+	sink  *obs.Sink // nil unless cfg.TraceEvents > 0 or cfg.Spans > 0
 
 	chkptMu    sync.Mutex
 	vol        *metadata.Volume
@@ -96,15 +110,23 @@ func New(devs, logDevs []BlockDevice, cfg Config) (*Array, error) {
 }
 
 func newSink(cfg Config) *obs.Sink {
-	if cfg.TraceEvents <= 0 {
+	if cfg.TraceEvents <= 0 && cfg.Spans <= 0 {
 		return nil
 	}
-	return obs.NewSink(cfg.TraceEvents)
+	events := cfg.TraceEvents
+	if events <= 0 {
+		events = DefaultTraceEvents
+	}
+	sink := obs.NewSink(events)
+	if cfg.Spans > 0 {
+		sink.EnableSpans(obs.SpanConfig{Trees: cfg.Spans, Sampling: cfg.SpanSampling})
+	}
+	return sink
 }
 
 func coreConfig(cfg Config, sink *obs.Sink) core.Config {
 	return core.Config{
-		Obs: sink,
+		Obs:                 sink,
 		K:                   cfg.K,
 		Stripes:             cfg.Stripes,
 		DeviceBufferChunks:  cfg.DeviceBufferChunks,

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/obs"
 )
 
 // benchEngine builds a serial 8-device (k=6, m=2) engine over RAM devices
@@ -90,12 +91,18 @@ func BenchmarkDirectStripeWrite(b *testing.B) {
 
 // TestSteadyStateUpdateAllocFree pins the zero-allocation property in the
 // regular test suite, so a regression fails tests rather than only
-// showing up in benchmark output.
+// showing up in benchmark output. Observability runs at full tilt —
+// metrics, trace events, and causal spans at the default sampling — so
+// the flight recorder is covered by the same zero-allocation guarantee.
+// The span ring is kept small enough that the warmup loop wraps it,
+// putting the recorder into its recycling steady state before counting.
 func TestSteadyStateUpdateAllocFree(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation counting is noisy under -short race runs")
 	}
-	e := benchEngine(t, Config{CommitEvery: 8})
+	sink := obs.NewSink(256)
+	sink.EnableSpans(obs.SpanConfig{Trees: 16, Sampling: obs.DefaultSpanSampling})
+	e := benchEngine(t, Config{CommitEvery: 8, Obs: sink})
 	const chunk = 4096
 	data := make([]byte, chunk)
 	full := make([]byte, e.geo.K*chunk)

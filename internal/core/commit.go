@@ -30,8 +30,11 @@ func (e *EPLog) Commit() error {
 func (e *EPLog) CommitAt(start float64) (float64, error) {
 	end := start
 	for _, sh := range e.shards {
+		t0 := sh.lockClock()
 		sh.mu.Lock()
+		sh.lockAcquired(t0)
 		shEnd, err := sh.commitAt(start)
+		sh.lockReleasing()
 		sh.mu.Unlock()
 		end = max(end, shEnd)
 		if err != nil {
@@ -58,6 +61,11 @@ func (sh *shard) commitAt(start float64) (float64, error) {
 	if sh.inCommit {
 		return start, nil
 	}
+	// Consume the latched trigger (last latch wins; unlatched commits are
+	// manual) and count it.
+	cause := sh.cause
+	sh.cause = causeManual
+	sh.cTrig[cause].Inc()
 	// The reentrancy guard must be raised before the flush phase: the
 	// flush's drainRound → flushGroup → allocOn chain would otherwise
 	// observe !inCommit and start a nested commit, clearing dirty and
@@ -66,12 +74,31 @@ func (sh *shard) commitAt(start float64) (float64, error) {
 	// fails with an error instead of recursing.
 	sh.inCommit = true
 	defer func() { sh.inCommit = false }()
+	// Root span for this commit: a separate tree from the write that may
+	// have triggered it, anchored like the latency metrics below so
+	// untimed internal commits do not absorb the device-clock backlog.
+	spanStart := max(start, e.vnow())
+	op := sh.rec.Start(obs.SpanCommit, sh.idx, spanStart, 0, 0)
+	op.SetCause(causeNames[cause])
+	prevOp := sh.curOp
+	opEnd := spanStart
+	defer func() {
+		sh.curOp = prevOp
+		sh.rec.Finish(op, max(opEnd, spanStart))
+	}()
 	// Drain RAM buffers first so the committed parity covers everything
 	// acknowledged so far; the fold phase below depends on the flushed
-	// data, so its span starts when the flush completes.
+	// data, so its span starts when the flush completes. Log-stripe
+	// flushes forced by the drain nest under the commit's flush phase.
+	fl := op.Child(obs.SpanCommitFlush, sh.idx, spanStart, 0, 0)
+	sh.curOp = fl
 	flushSpan := sh.newSpan(start)
-	if err := sh.flush(flushSpan); err != nil {
-		return flushSpan.End(), err
+	flushErr := sh.flush(flushSpan)
+	fl.Close(max(flushSpan.End(), spanStart))
+	sh.curOp = op
+	if flushErr != nil {
+		opEnd = flushSpan.End()
+		return flushSpan.End(), flushErr
 	}
 	span := sh.newSpan(flushSpan.End())
 	parityBefore := sh.stats.ParityWriteChunks
@@ -88,13 +115,24 @@ func (sh *shard) commitAt(start float64) (float64, error) {
 	k := e.geo.K
 	code, err := e.code(k)
 	if err != nil {
+		opEnd = span.End()
 		return span.End(), err
 	}
-	if err := sh.foldStripes(span, code, stripes); err != nil {
+	// Fold phase: serial folds record their per-device reads and parity
+	// writes as I/O leaves; the parallel fold runs on recorder-less
+	// sub-spans, so only the phase is timed.
+	fold := op.Child(obs.SpanCommitFold, sh.idx, max(span.Start(), spanStart), 0, int64(len(stripes)))
+	prevRec := span.Recorder()
+	span.SetRecorder(fold)
+	foldErr := sh.foldStripes(span, code, stripes)
+	span.SetRecorder(prevRec)
+	fold.Close(max(span.End(), spanStart))
+	if foldErr != nil {
 		// Partial-failure contract: the span's progress (not start) comes
 		// back with the error, so replaying callers do not double-count
 		// the device work already issued.
-		return span.End(), err
+		opEnd = span.End()
+		return span.End(), foldErr
 	}
 
 	// Release superseded versions: every log-stripe member that is no
@@ -129,6 +167,7 @@ func (sh *shard) commitAt(start float64) (float64, error) {
 	}
 	clear(sh.logStripes)
 	sh.logCursor = sh.logStart
+	sh.gLogOcc.Set(0)
 	clear(sh.dirty)
 	sh.reqSinceCommit = 0
 	sh.stats.Commits++
@@ -150,6 +189,7 @@ func (sh *shard) commitAt(start float64) (float64, error) {
 	// Stats.ParityWriteChunks.
 	e.obs.Emit(obs.Event{Kind: obs.KindCommit, T: obsStart, Dur: max(end-obsStart, 0), Dev: -1,
 		N: parityDelta, Aux: int64(len(stripes))})
+	opEnd = end
 	return end, nil
 }
 

@@ -340,6 +340,9 @@ func New(devs, logDevs []device.Dev, cfg Config) (*EPLog, error) {
 	e.mCommitFlushLat = cfg.Obs.Histogram("core.commit_flush_latency")
 	e.mCommitFoldLat = cfg.Obs.Histogram("core.commit_fold_latency")
 	e.mDegradedReads = cfg.Obs.Counter("core.degraded_reads")
+	for _, sh := range e.shards {
+		sh.initFlight(cfg.Obs)
+	}
 	return e, nil
 }
 

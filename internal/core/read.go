@@ -35,10 +35,24 @@ func (e *EPLog) ReadChunks(start float64, lba int64, p []byte) (float64, error) 
 		defer e.forTouchedShards(lba, nChunks, func(sh *shard) { sh.mu.RUnlock() })
 	} else {
 		sh := e.shards[0]
+		t0 := sh.lockClock()
 		sh.mu.Lock()
+		sh.lockAcquired(t0)
 		defer sh.mu.Unlock()
+		defer sh.lockReleasing()
 	}
 	span := device.NewSpan(start)
+	// Root span for this read, built goroutine-locally (reads under
+	// shared locks never touch sh.curOp; the recorder's own lock covers
+	// its pool and ring). Serial reads record per-device I/O leaves —
+	// including any degraded-read reconstruction traffic — directly on
+	// the root; the parallel fan-out records the op envelope only.
+	rsh := e.shardOfLBA(lba)
+	op := rsh.rec.Start(obs.SpanRead, rsh.idx, start, lba, nChunks)
+	defer func() { rsh.rec.Finish(op, span.End()) }()
+	if e.workers <= 1 {
+		span.SetRecorder(op)
+	}
 	// One pool task per chunk. The tasks only read metadata (the touched
 	// shard locks are held, so nothing mutates it) and their output
 	// buffers are disjoint sub-slices of p. With a single worker the

@@ -31,6 +31,15 @@ func (e *EPLog) Rebuild(devIdx int, replacement device.Dev) error {
 		replacement = device.NewLocked(replacement)
 	}
 	span := device.NewSpan(0)
+	// Root span for the rebuild (recorded on shard 0: the rebuild is a
+	// stop-the-world whole-array operation, not a per-shard one). Serial
+	// rebuilds record the reconstruction reads and replacement writes as
+	// I/O leaves.
+	op := e.shards[0].rec.Start(obs.SpanRebuild, 0, 0, int64(devIdx), 0)
+	defer func() { e.shards[0].rec.Finish(op, span.End()) }()
+	if e.workers <= 1 {
+		span.SetRecorder(op)
+	}
 	k, m := e.geo.K, e.geo.M()
 	code, err := e.code(k)
 	if err != nil {

@@ -3,8 +3,10 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/obs"
 )
 
 // Sharding model (DESIGN.md §9)
@@ -87,6 +89,22 @@ type shard struct {
 	foldShards  [][]byte       // foldStripes serial-path shard headers
 	dirtyOrder  []int64        // commitAt dirty-stripe order
 	spanFree    []*device.Span // recycled spans for the write/commit paths
+
+	// Flight recorder (flight.go). rec is the shard's causal-span
+	// recorder; curOp is the span that phase children created under mu
+	// attach to (the op root, or a commit's flush phase), only ever read
+	// or written with mu held exclusively; cause latches the trigger the
+	// next commitAt should attribute itself to (last latch wins);
+	// lockedAt is the wall-clock stamp of the current exclusive hold.
+	rec       *obs.SpanRecorder
+	curOp     *obs.Span
+	cause     commitCause
+	lockedAt  time.Time
+	mLockWait *obs.Histogram
+	mLockHold *obs.Histogram
+	gLogOcc   *obs.Gauge
+	gFullBufs *obs.Gauge
+	cTrig     [causeN]*obs.Counter
 }
 
 // shardOf returns the shard owning a stripe.
@@ -198,11 +216,14 @@ func (gc *groupCommitter) run() {
 			if !sh.queued.CompareAndSwap(true, false) {
 				continue
 			}
+			t0 := sh.lockClock()
 			sh.mu.Lock()
+			sh.lockAcquired(t0)
 			if _, err := sh.commitAt(0); err != nil {
 				// Surfaced to the next write touching this shard.
 				sh.asyncErr = err
 			}
+			sh.lockReleasing()
 			sh.mu.Unlock()
 		}
 	}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/obs"
+)
+
+// walkSpans visits every node of every tree, depth first.
+func walkSpans(spans []obs.SpanSnapshot, f func(obs.SpanSnapshot)) {
+	for _, s := range spans {
+		f(s)
+		walkSpans(s.Children, f)
+	}
+}
+
+// TestSpanMetricsReconciliation cross-checks the causal span trees against
+// the engine's counters and latency histograms over a deterministic serial
+// workload: every root, phase, and I/O leaf the flight recorder retains
+// must account for exactly the activity the flat metrics report. Sampling
+// is 1 and the ring is larger than the workload, so nothing is evicted and
+// the two views describe the same operations.
+func TestSpanMetricsReconciliation(t *testing.T) {
+	sink := obs.NewSink(64)
+	sink.EnableSpans(obs.SpanConfig{Trees: 4096})
+	e := benchEngine(t, Config{CommitEvery: 8, Obs: sink})
+	chunk := e.ChunkSize()
+	k := e.geo.K
+	n := e.geo.N
+
+	// Phase 1: fill every stripe with a full-stripe write (direct path),
+	// CommitEvery firing along the way. Phase 2: one manual commit. Phase
+	// 3: single-chunk updates (elastic logging path). Phase 4: reads.
+	// Phase 5: rebuild one device.
+	full := make([]byte, k*chunk)
+	for s := int64(0); s < e.geo.Stripes; s++ {
+		for i := range full {
+			full[i] = byte(s + int64(i))
+		}
+		if _, err := e.WriteChunks(0, e.geo.LBA(s, 0), full); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, chunk)
+	for i := 0; i < 100; i++ {
+		lba := (int64(i) * 13) % e.geo.Chunks()
+		for j := range buf {
+			buf[j] = byte(i + j)
+		}
+		if _, err := e.WriteChunks(0, lba, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const reads = 20
+	for i := 0; i < reads; i++ {
+		if _, err := e.ReadChunks(0, int64(i*3), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Rebuild(1, device.NewMem(e.devs[1].Chunks(), chunk)); err != nil {
+		t.Fatal(err)
+	}
+
+	if d := sink.SpansDropped(); d != 0 {
+		t.Fatalf("ring evicted %d trees; the reconciliation needs all of them", d)
+	}
+	spans := sink.Spans()
+	stats := e.Stats()
+	hist := sink.Snapshot().Histograms
+	counters := sink.Snapshot().Counters
+
+	// Tally roots, phases, and leaves-by-parent-phase across all trees.
+	var (
+		roots          = map[string]int64{}
+		commitsByCause = map[string]int64{}
+		phases         = map[string]int64{}
+		logMemberSum   int64
+		directIOWrites int64
+		logIOWrites    int64
+		foldIOReads    int64
+		foldIOWrites   int64
+	)
+	ids := map[uint64]bool{}
+	for _, root := range spans {
+		roots[root.Kind]++
+		if root.Kind == "commit" {
+			commitsByCause[root.Cause]++
+		}
+		if ids[root.ID] {
+			t.Errorf("duplicate root span ID %d", root.ID)
+		}
+		ids[root.ID] = true
+	}
+	walkSpans(spans, func(s obs.SpanSnapshot) {
+		if s.Dur < 0 {
+			t.Errorf("span %d (%s) has negative duration %g", s.ID, s.Kind, s.Dur)
+		}
+		switch s.Kind {
+		case "direct-stripe", "log-append", "commit-flush", "commit-fold":
+			phases[s.Kind]++
+		}
+		if s.Kind == "log-append" {
+			logMemberSum += s.N
+		}
+		for _, c := range s.Children {
+			if c.Parent != s.ID {
+				t.Errorf("child %d (%s) carries parent %d, want %d", c.ID, c.Kind, c.Parent, s.ID)
+			}
+			switch {
+			case s.Kind == "direct-stripe" && c.Kind == "io-write":
+				directIOWrites++
+			case s.Kind == "log-append" && c.Kind == "io-write":
+				logIOWrites++
+			case s.Kind == "commit-fold" && c.Kind == "io-read":
+				foldIOReads++
+			case s.Kind == "commit-fold" && c.Kind == "io-write":
+				foldIOWrites++
+			}
+		}
+	})
+
+	// Roots against the request counters and latency histograms.
+	if w := roots["write"]; w != stats.Requests || w != hist["core.write_latency"].Count {
+		t.Errorf("write roots = %d, Stats.Requests = %d, write_latency count = %d; all must agree",
+			w, stats.Requests, hist["core.write_latency"].Count)
+	}
+	if r := roots["read"]; r != reads || r != hist["core.read_latency"].Count {
+		t.Errorf("read roots = %d, issued = %d, read_latency count = %d; all must agree",
+			r, reads, hist["core.read_latency"].Count)
+	}
+	if c := roots["commit"]; c != stats.Commits || c != hist["core.commit_latency"].Count {
+		t.Errorf("commit roots = %d, Stats.Commits = %d, commit_latency count = %d; all must agree",
+			c, stats.Commits, hist["core.commit_latency"].Count)
+	}
+	if roots["rebuild"] != 1 {
+		t.Errorf("rebuild roots = %d, want 1", roots["rebuild"])
+	}
+
+	// Every commit has exactly one flush and one fold phase, matching the
+	// phase latency histograms.
+	if f := phases["commit-flush"]; f != roots["commit"] || f != hist["core.commit_flush_latency"].Count {
+		t.Errorf("commit-flush phases = %d, commits = %d, flush_latency count = %d",
+			f, roots["commit"], hist["core.commit_flush_latency"].Count)
+	}
+	if f := phases["commit-fold"]; f != roots["commit"] || f != hist["core.commit_fold_latency"].Count {
+		t.Errorf("commit-fold phases = %d, commits = %d, fold_latency count = %d",
+			f, roots["commit"], hist["core.commit_fold_latency"].Count)
+	}
+
+	// Write-path phases against the engine's traffic counters.
+	if phases["direct-stripe"] != stats.FullStripeWrites {
+		t.Errorf("direct-stripe phases = %d, Stats.FullStripeWrites = %d",
+			phases["direct-stripe"], stats.FullStripeWrites)
+	}
+	if phases["log-append"] != stats.LogStripes {
+		t.Errorf("log-append phases = %d, Stats.LogStripes = %d",
+			phases["log-append"], stats.LogStripes)
+	}
+	if logMemberSum != stats.LogStripeMembers {
+		t.Errorf("sum of log-append N (k') = %d, Stats.LogStripeMembers = %d",
+			logMemberSum, stats.LogStripeMembers)
+	}
+
+	// Serial engines record every device I/O as a leaf, so the leaves under
+	// each phase kind reproduce the chunk counters exactly: k+m writes per
+	// direct stripe, k'+m writes per log append, and the fold's k reads and
+	// m parity writes per folded stripe.
+	if want := stats.FullStripeWrites * int64(n); directIOWrites != want {
+		t.Errorf("io-write leaves under direct-stripe = %d, want %d (FullStripeWrites * n)",
+			directIOWrites, want)
+	}
+	if want := stats.LogStripeMembers + stats.LogChunkWrites; logIOWrites != want {
+		t.Errorf("io-write leaves under log-append = %d, want %d (members + log chunks)",
+			logIOWrites, want)
+	}
+	if foldIOReads != stats.CommitReadChunks {
+		t.Errorf("io-read leaves under commit-fold = %d, Stats.CommitReadChunks = %d",
+			foldIOReads, stats.CommitReadChunks)
+	}
+	if foldIOWrites != stats.CommitWriteChunks {
+		t.Errorf("io-write leaves under commit-fold = %d, Stats.CommitWriteChunks = %d",
+			foldIOWrites, stats.CommitWriteChunks)
+	}
+
+	// Commit roots by trigger cause against the flight recorder's counters.
+	var causeTotal int64
+	for cause, got := range commitsByCause {
+		name := "core.shard0.commit_trigger." + cause
+		if counters[name] != got {
+			t.Errorf("%s = %d, but %d commit roots carry cause %q", name, counters[name], got, cause)
+		}
+		causeTotal += got
+	}
+	if causeTotal != roots["commit"] {
+		t.Errorf("cause-labelled commits = %d, commit roots = %d", causeTotal, roots["commit"])
+	}
+	if commitsByCause["manual"] == 0 || commitsByCause["every"] == 0 {
+		t.Errorf("expected both manual and every commits, got %v", commitsByCause)
+	}
+}

@@ -34,8 +34,11 @@ func (e *EPLog) WriteChunks(start float64, lba int64, data []byte) (float64, err
 		return e.writeSharded(start, lba, nChunks, data)
 	}
 	sh := e.shards[0]
+	t0 := sh.lockClock()
 	sh.mu.Lock()
+	sh.lockAcquired(t0)
 	defer sh.mu.Unlock()
+	defer sh.lockReleasing()
 	return sh.writeSerial(start, lba, nChunks, data)
 }
 
@@ -47,6 +50,16 @@ func (sh *shard) writeSerial(start float64, lba, nChunks int64, data []byte) (fl
 	e := sh.e
 	sh.stats.Requests++
 	span := sh.newSpan(start)
+	// Root span for this write. Phase children (direct stripe writes, log
+	// appends) attach through sh.curOp; error paths still publish the
+	// tree with whatever progress the device span made.
+	op := sh.rec.Start(obs.SpanWrite, sh.idx, start, lba, nChunks)
+	prevOp := sh.curOp
+	sh.curOp = op
+	defer func() {
+		sh.curOp = prevOp
+		sh.rec.Finish(op, span.End())
+	}()
 
 	// Split into per-stripe segments; chunks not eligible for the direct
 	// or stripe-buffer paths accumulate into one request-wide update set
@@ -93,6 +106,7 @@ func (sh *shard) writeSerial(start float64, lba, nChunks int64, data []byte) (fl
 	if e.cfg.CommitEvery > 0 {
 		sh.reqSinceCommit++
 		if sh.reqSinceCommit >= e.cfg.CommitEvery {
+			sh.cause = causeEvery
 			if err := sh.commit(); err != nil {
 				return span.End(), err
 			}
@@ -116,12 +130,20 @@ func (sh *shard) writeSerial(start float64, lba, nChunks int64, data []byte) (fl
 // never blocked behind a fold.
 func (e *EPLog) writeSharded(start float64, lba, nChunks int64, data []byte) (float64, error) {
 	span := device.NewSpan(start)
+	// The root span lives on the first touched shard's recorder (the same
+	// shard that counts the request); segments on other shards attach
+	// phase children carrying their own shard index. The tree is owned by
+	// this goroutine throughout — only one shard lock is held at a time,
+	// and sh.curOp hand-off happens under each shard's lock.
 	var (
+		op      *obs.Span
+		opRec   *obs.SpanRecorder
 		updates = make([][]pendingChunk, e.nShards)
 		touched = make([]bool, e.nShards)
 		seg     []pendingChunk
 		first   = true
 	)
+	defer func() { opRec.Finish(op, span.End()) }()
 	for off := int64(0); off < nChunks; {
 		s, _ := e.geo.Stripe(lba + off)
 		seg = seg[:0]
@@ -136,31 +158,48 @@ func (e *EPLog) writeSharded(start float64, lba, nChunks int64, data []byte) (fl
 			})
 		}
 		sh := e.shardOf(s)
+		t0 := sh.lockClock()
 		sh.mu.Lock()
+		sh.lockAcquired(t0)
 		if err := sh.takeAsyncErr(); err != nil {
+			sh.lockReleasing()
 			sh.mu.Unlock()
 			return span.End(), err
 		}
 		if first {
 			sh.stats.Requests++
 			first = false
+			opRec = sh.rec
+			op = opRec.Start(obs.SpanWrite, sh.idx, start, lba, nChunks)
 		}
 		touched[sh.idx] = true
+		prevOp := sh.curOp
+		sh.curOp = op
 		deferred, err := sh.writeSegment(span, s, seg)
+		sh.curOp = prevOp
 		if err != nil {
+			sh.lockReleasing()
 			sh.mu.Unlock()
 			return span.End(), err
 		}
 		updates[sh.idx] = append(updates[sh.idx], deferred...)
+		sh.lockReleasing()
 		sh.mu.Unlock()
 	}
 	for i, sh := range e.shards {
 		if !touched[i] {
 			continue
 		}
+		t0 := sh.lockClock()
 		sh.mu.Lock()
+		sh.lockAcquired(t0)
 		if u := updates[i]; len(u) > 0 {
-			if err := sh.updatePath(span, u); err != nil {
+			prevOp := sh.curOp
+			sh.curOp = op
+			err := sh.updatePath(span, u)
+			sh.curOp = prevOp
+			if err != nil {
+				sh.lockReleasing()
 				sh.mu.Unlock()
 				return span.End(), err
 			}
@@ -168,14 +207,17 @@ func (e *EPLog) writeSharded(start float64, lba, nChunks int64, data []byte) (fl
 		if e.cfg.CommitEvery > 0 {
 			sh.reqSinceCommit++
 			if sh.reqSinceCommit >= e.cfg.CommitEvery {
+				sh.cause = causeEvery
 				e.gc.enqueue(sh)
 			}
 		}
 		// Log-region pressure: fold the shard before its private region
 		// forces a synchronous commit inside a foreground flushGroup.
 		if region := sh.logLimit - sh.logStart; sh.logCursor-sh.logStart >= region-(region/4) {
+			sh.cause = causePressure
 			e.gc.enqueue(sh)
 		}
+		sh.lockReleasing()
 		sh.mu.Unlock()
 	}
 	end := span.End()
@@ -224,6 +266,12 @@ func (sh *shard) directStripeWrite(span *device.Span, stripe int64, seg []pendin
 		shards[k+i] = bufpool.Default.Get(e.csize)
 	}
 	parity := shards[k:]
+	// Phase span: the direct full-stripe write. On the serial path the
+	// device span records each chunk's I/O as leaves; the parallel fan-out
+	// runs on recorder-less sub-spans, so only the phase itself is timed.
+	ps := sh.curOp.Child(obs.SpanDirect, sh.idx, span.Start(), e.geo.LBA(stripe, 0), int64(k))
+	prevRec := span.Recorder()
+	span.SetRecorder(ps)
 	err := func() error {
 		code, err := e.code(k)
 		if err != nil {
@@ -265,6 +313,8 @@ func (sh *shard) directStripeWrite(span *device.Span, stripe int64, seg []pendin
 		}
 		return e.fanOut(span, tasks)
 	}()
+	span.SetRecorder(prevRec)
+	ps.Close(span.End())
 	bufpool.Default.PutSlices(parity)
 	clear(shards)
 	if err != nil {
@@ -395,6 +445,7 @@ func (sh *shard) bufPut(dev int, lba int64, data []byte) bool {
 	absorbed := b.put(lba, data)
 	if !wasFull && b.full() {
 		sh.fullBufs++
+		sh.gFullBufs.Set(float64(sh.fullBufs))
 	}
 	return absorbed
 }
@@ -408,6 +459,7 @@ func (sh *shard) bufPop(b *deviceBuffer) (pendingChunk, bool) {
 	c, ok := b.pop()
 	if wasFull && !b.full() {
 		sh.fullBufs--
+		sh.gFullBufs.Set(float64(sh.fullBufs))
 	}
 	return c, ok
 }
@@ -481,12 +533,20 @@ func (sh *shard) flushGroup(span *device.Span, group []pendingChunk) error {
 			sh.putLogStripe(ls)
 			return fmt.Errorf("core: log devices full during commit")
 		}
+		sh.cause = causeSpace
 		if err := sh.commit(); err != nil {
 			sh.putLogStripe(ls)
 			return err
 		}
 	}
 	ls.logPos = sh.logCursor
+	// Phase span: one elastic log-stripe flush. Created only after every
+	// operation that could commit has run, so the phase nests under the
+	// current op (or a commit's flush phase), never inside its own
+	// trigger.
+	ps := sh.curOp.Child(obs.SpanLogAppend, sh.idx, span.Start(), ls.logPos, int64(kPrime))
+	prevRec := span.Recorder()
+	span.SetRecorder(ps)
 
 	// Encode the log chunks from the new data only. Group data is
 	// caller-owned; the log chunks come from the arena (encodeRange
@@ -543,6 +603,8 @@ func (sh *shard) flushGroup(span *device.Span, group []pendingChunk) error {
 		}
 		return e.fanOut(span, tasks)
 	}()
+	span.SetRecorder(prevRec)
+	ps.Close(span.End())
 	bufpool.Default.PutSlices(shards[kPrime:])
 	if err != nil {
 		sh.putLogStripe(ls)
@@ -552,6 +614,7 @@ func (sh *shard) flushGroup(span *device.Span, group []pendingChunk) error {
 	sh.stats.LogChunkWrites += int64(m)
 	sh.stats.LogBytes += int64(m) * int64(e.csize)
 	sh.logCursor++
+	sh.gLogOcc.Set(float64(sh.logCursor - sh.logStart))
 	sh.nextLogID += int64(e.nShards)
 	sh.logStripes[ls.id] = ls
 	sh.stats.LogStripes++
@@ -579,6 +642,7 @@ func (sh *shard) flushGroup(span *device.Span, group []pendingChunk) error {
 //eplog:hotpath
 func (sh *shard) allocOn(dev int) (int64, error) {
 	if !sh.inCommit && sh.alloc[dev].freeCount() <= sh.e.shardGuard {
+		sh.cause = causeGuard
 		if err := sh.commit(); err != nil {
 			return 0, err
 		}
@@ -590,6 +654,7 @@ func (sh *shard) allocOn(dev int) (int64, error) {
 	if !errors.Is(err, ErrNoSpace) || sh.inCommit {
 		return 0, err
 	}
+	sh.cause = causeSpace
 	if cerr := sh.commit(); cerr != nil {
 		return 0, cerr
 	}

@@ -30,6 +30,16 @@ func NewLocked(inner Dev) *Locked {
 // the underlying implementation).
 func (l *Locked) Unwrap() Dev { return l.inner }
 
+// Name forwards the wrapped device's instrumentation name, so DevName
+// resolves through Locked(Traced(dev)) chains; empty when the inner
+// device is unnamed.
+func (l *Locked) Name() string {
+	if n, ok := l.inner.(interface{ Name() string }); ok {
+		return n.Name()
+	}
+	return ""
+}
+
 // ReadChunk implements Dev.
 func (l *Locked) ReadChunk(idx int64, p []byte) error {
 	l.mu.Lock()

@@ -26,6 +26,12 @@ type ObservedResult struct {
 	// ParityFromTrace is SumParityEvents(Events); with no drops it equals
 	// Result.EPLogStats.ParityWriteChunks.
 	ParityFromTrace int64
+	// Spans is the flight recorder's retained causal span trees, ordered
+	// by start time. Bounded (unlike Events the ring is sized for recency,
+	// not completeness): SpansDropped counts the evicted trees.
+	Spans []obs.SpanSnapshot
+	// SpansDropped counts span trees evicted from the recorder rings.
+	SpansDropped uint64
 }
 
 // Observability replays the FIN trace on EPLog over the FTL and HDD
@@ -34,6 +40,14 @@ type ObservedResult struct {
 // retain the entire run so parity-commit events reconcile against the
 // engine counters.
 func Observability(scale int64) (*ObservedResult, error) {
+	return ObservabilityLive(scale, nil)
+}
+
+// ObservabilityLive is Observability with a hook: onSink (when non-nil)
+// receives the run's sink after it is created and before the replay
+// starts, so a caller can serve live telemetry off it — the sink is safe
+// for concurrent snapshots — while the run is in flight.
+func ObservabilityLive(scale int64, onSink func(*obs.Sink)) (*ObservedResult, error) {
 	tr, err := loadTrace("FIN", scale)
 	if err != nil {
 		return nil, err
@@ -48,6 +62,13 @@ func Observability(scale int64) (*ObservedResult, error) {
 		CommitAtEnd: true,
 	}
 	cfg.Obs = obs.NewSink(ringSize(cfg))
+	// The flight recorder keeps recent history by design; 1024 trees per
+	// shard is enough to cover the tail of the replay without retaining
+	// every operation the way the event ring does.
+	cfg.Obs.EnableSpans(obs.SpanConfig{Trees: 1024})
+	if onSink != nil {
+		onSink(cfg.Obs)
+	}
 	res, err := Run(cfg)
 	if err != nil {
 		return nil, err
@@ -59,6 +80,8 @@ func Observability(scale int64) (*ObservedResult, error) {
 		Events:          events,
 		Dropped:         cfg.Obs.Dropped(),
 		ParityFromTrace: SumParityEvents(events),
+		Spans:           cfg.Obs.Spans(),
+		SpansDropped:    cfg.Obs.SpansDropped(),
 	}, nil
 }
 
@@ -101,6 +124,7 @@ func FormatObservability(o *ObservedResult) string {
 	}
 	out += fmt.Sprintf("SSD GC: %d runs, %d pages moved\n", gcRuns, pagesMoved)
 	out += fmt.Sprintf("trace: %d events retained, %d dropped\n", len(o.Events), o.Dropped)
+	out += fmt.Sprintf("spans: %d causal trees retained, %d evicted\n", len(o.Spans), o.SpansDropped)
 	out += fmt.Sprintf("parity reconciliation: trace accounts for %d chunks, counters say %d\n",
 		o.ParityFromTrace, o.Result.EPLogStats.ParityWriteChunks)
 	return out

@@ -88,15 +88,18 @@ type Bucket struct {
 }
 
 // HistogramSnapshot is a value copy of a histogram, with the headline
-// quantiles precomputed. Buckets with zero observations are omitted.
+// quantiles precomputed. Buckets with zero observations are omitted from
+// Buckets; Bounds preserves the full bucket grid so exposition formats
+// that need every bound (Prometheus) can reconstruct zero-count buckets.
 type HistogramSnapshot struct {
-	Count   int64    `json:"count"`
-	Sum     float64  `json:"sum"`
-	Max     float64  `json:"max"`
-	P50     float64  `json:"p50"`
-	P95     float64  `json:"p95"`
-	P99     float64  `json:"p99"`
-	Buckets []Bucket `json:"buckets,omitempty"`
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Max     float64   `json:"max"`
+	P50     float64   `json:"p50"`
+	P95     float64   `json:"p95"`
+	P99     float64   `json:"p99"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []Bucket  `json:"buckets,omitempty"`
 }
 
 // Mean returns the mean observation, or zero for an empty snapshot.
@@ -114,7 +117,12 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Max: h.max}
+	s := HistogramSnapshot{
+		Count:  h.count,
+		Sum:    h.sum,
+		Max:    h.max,
+		Bounds: append([]float64(nil), h.bounds...),
+	}
 	for i, c := range h.counts {
 		if c > 0 {
 			s.Buckets = append(s.Buckets, Bucket{UpperBound: h.bounds[i], Count: c})

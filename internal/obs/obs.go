@@ -202,9 +202,33 @@ func promName(name string) string {
 	return "eplog_" + mapped
 }
 
+// escapeLabelValue escapes a Prometheus label value per the text
+// exposition format: backslash, double quote, and newline become escape
+// sequences.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
 // WritePrometheus writes the snapshot in the Prometheus text exposition
-// format (untyped timestamps, cumulative histogram buckets with an +Inf
-// bound, _sum and _count series).
+// format: HELP and TYPE lines per metric, cumulative histogram buckets
+// over the full bucket grid (zero-count buckets included) ending in an
+// +Inf bound, and _sum/_count series.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	names := make([]string, 0, len(s.Counters))
 	for name := range s.Counters {
@@ -213,7 +237,8 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s EPLog metric %s\n# TYPE %s counter\n%s %d\n",
+			pn, escapeLabelValue(name), pn, pn, s.Counters[name]); err != nil {
 			return err
 		}
 	}
@@ -225,7 +250,8 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, s.Gauges[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s EPLog metric %s\n# TYPE %s gauge\n%s %g\n",
+			pn, escapeLabelValue(name), pn, pn, s.Gauges[name]); err != nil {
 			return err
 		}
 	}
@@ -238,13 +264,30 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	for _, name := range names {
 		h := s.Histograms[name]
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s EPLog metric %s\n# TYPE %s histogram\n",
+			pn, escapeLabelValue(name), pn); err != nil {
 			return err
 		}
-		cum := int64(0)
-		for _, b := range h.Buckets {
-			cum += b.Count
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, fmt.Sprintf("%g", b.UpperBound), cum); err != nil {
+		// Emit the full cumulative grid. Snapshots omit zero-count buckets
+		// from Buckets but keep every bound in Bounds; older snapshots
+		// (deserialized JSON) may lack Bounds, in which case only the
+		// populated buckets are emitted — still cumulative and still
+		// capped by +Inf.
+		bounds := h.Bounds
+		if len(bounds) == 0 {
+			bounds = make([]float64, len(h.Buckets))
+			for i, b := range h.Buckets {
+				bounds[i] = b.UpperBound
+			}
+		}
+		cum, bi := int64(0), 0
+		for _, ub := range bounds {
+			for bi < len(h.Buckets) && h.Buckets[bi].UpperBound <= ub {
+				cum += h.Buckets[bi].Count
+				bi++
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
+				pn, escapeLabelValue(fmt.Sprintf("%g", ub)), cum); err != nil {
 				return err
 			}
 		}

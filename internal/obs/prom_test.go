@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact exposition output for a small
+// registry: metric ordering (counters, gauges, histograms, each sorted by
+// name), HELP/TYPE lines, the full cumulative bucket grid with zero-count
+// buckets reconstructed from Bounds, the +Inf terminator, and _sum/_count.
+// Any formatting drift that would break a Prometheus scraper fails here.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core.write").Add(7)
+	r.Gauge("shard0.occ").Set(3.5)
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	h.Observe(0.5) // le="1"
+	h.Observe(2.0) // exactly on a bound: le="2"
+	h.Observe(100) // overflow: only +Inf, sum, count, max see it
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `# HELP eplog_core_write EPLog metric core.write
+# TYPE eplog_core_write counter
+eplog_core_write 7
+# HELP eplog_shard0_occ EPLog metric shard0.occ
+# TYPE eplog_shard0_occ gauge
+eplog_shard0_occ 3.5
+# HELP eplog_lat EPLog metric lat
+# TYPE eplog_lat histogram
+eplog_lat_bucket{le="1"} 1
+eplog_lat_bucket{le="2"} 2
+eplog_lat_bucket{le="4"} 2
+eplog_lat_bucket{le="+Inf"} 3
+eplog_lat_sum 102.5
+eplog_lat_count 3
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("prometheus exposition drifted.\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+// TestWritePrometheusSparseFallback covers snapshots without Bounds (e.g.
+// deserialized from older JSON): only the populated buckets are emitted,
+// still cumulative and still terminated by +Inf.
+func TestWritePrometheusSparseFallback(t *testing.T) {
+	s := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{
+			"x": {
+				Count:   4,
+				Sum:     10,
+				Buckets: []Bucket{{UpperBound: 0.5, Count: 2}, {UpperBound: 4, Count: 1}},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := s.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `# HELP eplog_x EPLog metric x
+# TYPE eplog_x histogram
+eplog_x_bucket{le="0.5"} 2
+eplog_x_bucket{le="4"} 3
+eplog_x_bucket{le="+Inf"} 4
+eplog_x_sum 10
+eplog_x_count 4
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("sparse fallback drifted.\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+func TestPromNameAndLabelEscaping(t *testing.T) {
+	for in, want := range map[string]string{
+		"core.write_latency": "eplog_core_write_latency",
+		"core.shard0.occ":    "eplog_core_shard0_occ",
+		"weird-name+x":       "eplog_weird_name_x",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	for in, want := range map[string]string{
+		"plain":        "plain",
+		`back\slash`:   `back\\slash`,
+		`qu"ote`:       `qu\"ote`,
+		"new\nline":    `new\nline`,
+		"\\\"\n":       `\\\"\n`,
+		"utf8 ✓ stays": "utf8 ✓ stays",
+	} {
+		if got := escapeLabelValue(in); got != want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestHistogramEdgeCases complements the boundary tests in obs_test.go:
+// empty and nil histograms, and the overflow bucket's pull on high
+// quantiles.
+func TestHistogramEdgeCases(t *testing.T) {
+	// Empty histogram: zero snapshot, zero quantiles, zero mean.
+	s := NewHistogram(nil).Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Max != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Errorf("empty snapshot not zero: %+v", s)
+	}
+	if s.Mean() != 0 {
+		t.Errorf("empty Mean = %g, want 0", s.Mean())
+	}
+	if len(s.Buckets) != 0 {
+		t.Errorf("empty snapshot has buckets: %v", s.Buckets)
+	}
+
+	// Nil histogram: everything is a no-op.
+	var nh *Histogram
+	nh.Observe(1)
+	if nh.Count() != 0 || nh.Quantile(0.5) != 0 || nh.Snapshot().Count != 0 {
+		t.Error("nil histogram accessors not zero-valued")
+	}
+
+	// With most of the mass in overflow, every high quantile collapses to
+	// the max — the histogram cannot resolve detail beyond its last bound.
+	h := NewHistogram([]float64{1})
+	h.Observe(0.5)
+	h.Observe(30)
+	h.Observe(40)
+	if p50, p99 := h.Quantile(0.50), h.Quantile(0.99); p50 != 40 || p99 != 40 {
+		t.Errorf("overflow quantiles p50=%g p99=%g, want both 40 (the max)", p50, p99)
+	}
+	snap := h.Snapshot()
+	if snap.Max != 40 || snap.P99 != snap.Max {
+		t.Errorf("overflow snapshot max=%g p99=%g, want p99 == max", snap.Max, snap.P99)
+	}
+	// Quantiles above 1 clamp to 1.
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Error("q>1 not clamped to q=1")
+	}
+}

@@ -1,12 +1,20 @@
 package obs
 
-// Sink bundles a metrics registry with an event-trace ring: the single
-// handle instrumented components take. A nil *Sink disables observability
-// at zero cost — every method is nil-safe and the metric handles it hands
-// out are themselves nil-safe no-ops.
+import "sync"
+
+// Sink bundles a metrics registry, an event-trace ring, and (when
+// enabled) a set of causal span recorders: the single handle instrumented
+// components take. A nil *Sink disables observability at zero cost —
+// every method is nil-safe and the metric handles it hands out are
+// themselves nil-safe no-ops.
 type Sink struct {
 	reg  *Registry
 	ring *Ring
+
+	spanMu   sync.Mutex
+	spanCfg  SpanConfig
+	spans    bool
+	spanRecs []*SpanRecorder // index = engine shard
 }
 
 // NewSink returns a sink with a fresh registry and a ring holding up to
@@ -74,4 +82,81 @@ func (s *Sink) Dropped() uint64 {
 		return 0
 	}
 	return s.ring.Dropped()
+}
+
+// EnableSpans turns on causal span recording with the given config.
+// Recorders are created lazily per shard index by SpanRecorder. No-op on
+// a nil sink.
+func (s *Sink) EnableSpans(cfg SpanConfig) {
+	if s == nil {
+		return
+	}
+	s.spanMu.Lock()
+	s.spanCfg = cfg.withDefaults()
+	s.spans = true
+	s.spanMu.Unlock()
+}
+
+// SpansEnabled reports whether EnableSpans has been called.
+func (s *Sink) SpansEnabled() bool {
+	if s == nil {
+		return false
+	}
+	s.spanMu.Lock()
+	defer s.spanMu.Unlock()
+	return s.spans
+}
+
+// SpanRecorder returns the span recorder for the given shard index,
+// creating it on first use. Returns nil — a no-op recorder — when spans
+// are disabled, the sink is nil, or idx is negative.
+func (s *Sink) SpanRecorder(idx int) *SpanRecorder {
+	if s == nil || idx < 0 {
+		return nil
+	}
+	s.spanMu.Lock()
+	defer s.spanMu.Unlock()
+	if !s.spans {
+		return nil
+	}
+	for len(s.spanRecs) <= idx {
+		s.spanRecs = append(s.spanRecs, nil)
+	}
+	if s.spanRecs[idx] == nil {
+		s.spanRecs[idx] = newSpanRecorder(s.spanCfg)
+	}
+	return s.spanRecs[idx]
+}
+
+// Spans returns the retained span trees from every recorder, merged and
+// sorted by start time. Safe to call while recorders are in use.
+func (s *Sink) Spans() []SpanSnapshot {
+	if s == nil {
+		return nil
+	}
+	s.spanMu.Lock()
+	recs := append([]*SpanRecorder(nil), s.spanRecs...)
+	s.spanMu.Unlock()
+	var out []SpanSnapshot
+	for _, r := range recs {
+		out = append(out, r.Snapshot()...)
+	}
+	SortSpans(out)
+	return out
+}
+
+// SpansDropped reports how many completed span trees fell out of the
+// bounded per-shard rings, summed across recorders.
+func (s *Sink) SpansDropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.spanMu.Lock()
+	recs := append([]*SpanRecorder(nil), s.spanRecs...)
+	s.spanMu.Unlock()
+	var n uint64
+	for _, r := range recs {
+		n += r.Dropped()
+	}
+	return n
 }

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/eplog/eplog/internal/obs"
+)
+
+// stubSource returns fixed data so handler behavior is tested in isolation.
+type stubSource struct{}
+
+func (stubSource) Metrics() obs.Snapshot {
+	return obs.Snapshot{
+		Counters:   map[string]int64{"core.write": 3},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]obs.HistogramSnapshot{},
+	}
+}
+
+func (stubSource) Spans() []obs.SpanSnapshot {
+	return []obs.SpanSnapshot{
+		{ID: 1, Kind: "write", T: 0.5, Dur: 0.25},
+		{ID: 2, Kind: "commit", T: 1, Dur: 2, Cause: "manual"},
+	}
+}
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", stubSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, ct, body := get(t, base+"/metrics")
+	if code != http.StatusOK || ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("/metrics: code %d content-type %q", code, ct)
+	}
+	if !strings.Contains(body, "eplog_core_write 3") {
+		t.Errorf("/metrics body missing counter:\n%s", body)
+	}
+
+	code, ct, body = get(t, base+"/metrics.json")
+	if code != http.StatusOK || ct != "application/json" {
+		t.Errorf("/metrics.json: code %d content-type %q", code, ct)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil || snap.Counters["core.write"] != 3 {
+		t.Errorf("/metrics.json body does not round-trip (%v):\n%s", err, body)
+	}
+
+	code, ct, body = get(t, base+"/spans")
+	if code != http.StatusOK || ct != "application/x-ndjson" {
+		t.Errorf("/spans: code %d content-type %q", code, ct)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("/spans returned %d lines, want 2:\n%s", len(lines), body)
+	}
+	var span obs.SpanSnapshot
+	if err := json.Unmarshal([]byte(lines[1]), &span); err != nil || span.Cause != "manual" {
+		t.Errorf("/spans line does not parse (%v): %s", err, lines[1])
+	}
+
+	code, _, body = get(t, base+"/healthz")
+	if code != http.StatusOK || !strings.HasPrefix(body, "ok uptime=") {
+		t.Errorf("/healthz: code %d body %q", code, body)
+	}
+
+	if code, _, _ = get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: code %d", code)
+	}
+
+	if code, _, _ = get(t, base+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path: code %d, want 404", code)
+	}
+}
+
+func TestServerCloseIsIdempotent(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", SinkSource(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Addr() == "" {
+		t.Error("Addr empty")
+	}
+	// A nil sink serves empty-but-valid responses.
+	if code, _, _ := get(t, "http://"+srv.Addr()+"/metrics"); code != http.StatusOK {
+		t.Errorf("nil-sink /metrics: code %d", code)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	client := &http.Client{Timeout: time.Second}
+	if _, err := client.Get("http://" + srv.Addr() + "/healthz"); err == nil {
+		t.Error("request after Close succeeded")
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:bad", stubSource{}); err == nil {
+		t.Error("Serve on a bad address did not fail")
+	}
+}

@@ -22,6 +22,10 @@ type TraceEvent = obs.Event
 // DefaultTraceEvents is the default trace ring capacity.
 const DefaultTraceEvents = obs.DefaultRingEvents
 
+// DefaultSpanTrees is a reasonable Config.Spans value: enough retained
+// trees per shard to cover recent history without unbounded memory.
+const DefaultSpanTrees = obs.DefaultSpanTrees
+
 // WriteTrace writes events as JSON Lines, one event per line.
 func WriteTrace(w io.Writer, events []TraceEvent) error {
 	return obs.WriteJSONL(w, events)
@@ -41,6 +45,29 @@ func (a *Array) Trace() []TraceEvent { return a.sink.Events() }
 
 // TraceDropped reports how many events fell out of the trace ring.
 func (a *Array) TraceDropped() uint64 { return a.sink.Dropped() }
+
+// SpanTree is one completed causal span tree from the flight recorder: an
+// operation root (write, read, commit, rebuild) with nested phase spans
+// and, on serial engines, per-device I/O leaves. Times are virtual-time
+// seconds; Dur is the span's extent. Trees are value copies — safe to
+// retain and serialize.
+type SpanTree = obs.SpanSnapshot
+
+// WriteSpans writes span trees as JSON Lines, one complete tree per line.
+func WriteSpans(w io.Writer, spans []SpanTree) error {
+	return obs.WriteSpanJSONL(w, spans)
+}
+
+// Spans returns the retained causal span trees across all shards, ordered
+// by start time. It is empty unless Config.Spans enabled span tracing.
+// Safe to call concurrently with array activity: trees are published to
+// the per-shard rings only when complete, and Spans deep-copies them
+// under the recorders' locks.
+func (a *Array) Spans() []SpanTree { return a.sink.Spans() }
+
+// SpansDropped reports how many recorded span trees have been evicted
+// from the flight-recorder rings to make room for newer ones.
+func (a *Array) SpansDropped() uint64 { return a.sink.SpansDropped() }
 
 // observer is implemented by the simulated devices (SSD, HDD) that can
 // push their internal activity — GC runs, wear leveling, seek/stream
