@@ -1,13 +1,16 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 
 	"github.com/eplog/eplog/internal/experiments"
+	"github.com/eplog/eplog/internal/gf"
 )
 
 // The scaling mode sweeps the engine's stripe-group shard count (and
@@ -28,10 +31,16 @@ type scalingRow struct {
 	Writers        int     `json:"writers"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	// Speedup is serial elapsed over this row's elapsed, at equal workers.
-	Speedup       float64 `json:"speedup"`
-	SSDWriteBytes int64   `json:"ssd_write_bytes"`
-	LogWriteBytes int64   `json:"log_write_bytes"`
-	Commits       int64   `json:"commits"`
+	Speedup float64 `json:"speedup"`
+	// ReadElapsedSeconds and ReadSpeedup are the same pair for the
+	// read-back phase, which runs on clean stripes over the lock-free
+	// epoch-validated read path.
+	ReadElapsedSeconds float64 `json:"read_elapsed_seconds"`
+	ReadSpeedup        float64 `json:"read_speedup"`
+	SSDWriteBytes      int64   `json:"ssd_write_bytes"`
+	SSDReadBytes       int64   `json:"ssd_read_bytes"`
+	LogWriteBytes      int64   `json:"log_write_bytes"`
+	Commits            int64   `json:"commits"`
 	// LockWaitSeconds is the flight recorders' aggregate shard-lock wait
 	// for the row's best run — near zero when writers stay on their own
 	// shards; see experiments.ScalingResult.LockWaitSeconds.
@@ -46,15 +55,40 @@ type scalingReport struct {
 	GOARCH     string `json:"goarch"`
 	NumCPU     int    `json:"num_cpu"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
-	Scale      int64  `json:"scale"`
-	Requests   int64  `json:"requests"`
+	// CPUModel is the host CPU's self-reported model string (empty when
+	// the platform does not expose one) and Kernel the GF(2^8) coding
+	// kernel the runtime dispatcher selected on this host — together they
+	// say what silicon the elapsed columns were measured on.
+	CPUModel string `json:"cpu_model"`
+	Kernel   string `json:"kernel"`
+	Scale    int64  `json:"scale"`
+	Requests int64  `json:"requests"`
 	// Note qualifies the speedup column for single-core environments.
 	Note string       `json:"note"`
 	Runs []scalingRow `json:"runs"`
 	// SpeedupAt4Shards is the headline number (workers=1 rows); the
-	// acceptance bar is >= 2x on a 4+-core host.
-	SpeedupAt4Shards float64 `json:"speedup_at_4_shards"`
-	BytesIdentical   bool    `json:"bytes_identical"`
+	// acceptance bar is >= 2x on a 4+-core host. ReadSpeedupAt4Shards is
+	// its read-phase counterpart.
+	SpeedupAt4Shards     float64 `json:"speedup_at_4_shards"`
+	ReadSpeedupAt4Shards float64 `json:"read_speedup_at_4_shards"`
+	BytesIdentical       bool    `json:"bytes_identical"`
+}
+
+// cpuModel returns the host CPU's model string from /proc/cpuinfo, or ""
+// where the file or field is unavailable (non-Linux hosts).
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if name, ok := strings.CutPrefix(sc.Text(), "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
 }
 
 // runScalingBench runs the shard sweep and writes the report to path.
@@ -77,8 +111,8 @@ func runScalingBench(scale int64, maxShards, workers int, path string) error {
 		workerSweep = append(workerSweep, workers)
 	}
 
-	fmt.Printf("Shard-scaling sweep — %s/%s, %d CPUs, GOMAXPROCS=%d\n\n",
-		runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	fmt.Printf("Shard-scaling sweep — %s/%s, %d CPUs, GOMAXPROCS=%d, gf kernel %s\n\n",
+		runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), runtime.GOMAXPROCS(0), gf.KernelName())
 	rep := &scalingReport{
 		Command:    fmt.Sprintf("eplogbench -exp scaling -scale %d -shards %d -workers %d", scale, maxShards, workers),
 		GoVersion:  runtime.Version(),
@@ -86,6 +120,8 @@ func runScalingBench(scale int64, maxShards, workers int, path string) error {
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
+		Kernel:     gf.KernelName(),
 		Scale:      benchScale,
 		Note: "speedup compares wall-clock time against the 1-shard run at equal workers; " +
 			"it is only meaningful when NumCPU >= shards. Byte counts must be identical in every row.",
@@ -96,6 +132,7 @@ func runScalingBench(scale int64, maxShards, workers int, path string) error {
 	const iters = 3
 	var results []*experiments.ScalingResult
 	serialByWorkers := map[int]float64{}
+	serialReadByWorkers := map[int]float64{}
 	for _, w := range workerSweep {
 		for _, s := range shardsList {
 			var best *experiments.ScalingResult
@@ -104,13 +141,14 @@ func runScalingBench(scale int64, maxShards, workers int, path string) error {
 				if err != nil {
 					return fmt.Errorf("scaling shards=%d workers=%d: %w", s, w, err)
 				}
-				if best == nil || r.Elapsed < best.Elapsed {
+				if best == nil || r.Elapsed+r.ReadElapsed < best.Elapsed+best.ReadElapsed {
 					best = r
 				}
 			}
 			results = append(results, best)
 			if best.Shards == 1 {
 				serialByWorkers[w] = best.Elapsed.Seconds()
+				serialReadByWorkers[w] = best.ReadElapsed.Seconds()
 			}
 		}
 	}
@@ -121,23 +159,30 @@ func runScalingBench(scale int64, maxShards, workers int, path string) error {
 		if !experiments.ScalingIdentical(base, r) {
 			rep.BytesIdentical = false
 		}
-		speedup := 0.0
+		speedup, readSpeedup := 0.0, 0.0
 		if serial := serialByWorkers[r.Workers]; serial > 0 && r.Elapsed.Seconds() > 0 {
 			speedup = serial / r.Elapsed.Seconds()
 		}
+		if serial := serialReadByWorkers[r.Workers]; serial > 0 && r.ReadElapsed.Seconds() > 0 {
+			readSpeedup = serial / r.ReadElapsed.Seconds()
+		}
 		if r.Shards == 4 && r.Workers == 1 {
 			rep.SpeedupAt4Shards = speedup
+			rep.ReadSpeedupAt4Shards = readSpeedup
 		}
 		rep.Runs = append(rep.Runs, scalingRow{
-			Shards:          r.Shards,
-			Workers:         r.Workers,
-			Writers:         r.Writers,
-			ElapsedSeconds:  r.Elapsed.Seconds(),
-			Speedup:         speedup,
-			SSDWriteBytes:   r.SSDWriteBytes,
-			LogWriteBytes:   r.LogWriteBytes,
-			Commits:         r.EPLogStats.Commits,
-			LockWaitSeconds: r.LockWaitSeconds,
+			Shards:             r.Shards,
+			Workers:            r.Workers,
+			Writers:            r.Writers,
+			ElapsedSeconds:     r.Elapsed.Seconds(),
+			Speedup:            speedup,
+			ReadElapsedSeconds: r.ReadElapsed.Seconds(),
+			ReadSpeedup:        readSpeedup,
+			SSDWriteBytes:      r.SSDWriteBytes,
+			SSDReadBytes:       r.SSDReadBytes,
+			LogWriteBytes:      r.LogWriteBytes,
+			Commits:            r.EPLogStats.Commits,
+			LockWaitSeconds:    r.LockWaitSeconds,
 		})
 	}
 	fmt.Print(experiments.FormatScaling(results))

@@ -72,6 +72,17 @@ type Config struct {
 	// which is bit-identical in byte counts and virtual time to the
 	// unsharded design. See DESIGN.md §9.
 	Shards int
+	// WriteBehind runs the background group-commit scheduler even on a
+	// single-shard array: writes are acknowledged at log-append and
+	// CommitEvery / log-pressure parity folds run off the write critical
+	// path. Background fold failures surface on the next Write, Flush, or
+	// Close. Multi-shard arrays always run the scheduler.
+	WriteBehind bool
+	// DirtyWindowStripes bounds the write-behind dirty window: a shard
+	// with at least this many pending log stripes blocks further writes
+	// to it until the background fold drains them. Zero leaves the window
+	// bounded only by log capacity.
+	DirtyWindowStripes int
 }
 
 // Stats mirrors the array's activity counters; see the field names for
@@ -137,6 +148,8 @@ func coreConfig(cfg Config, sink *obs.Sink) core.Config {
 		CommitGuardChunks:   cfg.CommitGuardChunks,
 		Workers:             cfg.Workers,
 		Shards:              cfg.Shards,
+		WriteBehind:         cfg.WriteBehind,
+		DirtyWindowStripes:  cfg.DirtyWindowStripes,
 	}
 }
 
@@ -196,10 +209,14 @@ func (a *Array) ReadAt(start float64, lba int64, p []byte) (float64, error) {
 // parity.
 func (a *Array) Flush() error { return a.e.Flush() }
 
-// Close stops the engine's background group-commit scheduler (started only
-// when Config.Shards > 1). It does not flush or commit. Close is
-// idempotent; an Array with at most one shard needs no Close, but calling
-// it is always safe.
+// Close shuts the engine down cleanly. If the background group-commit
+// scheduler is running (Config.Shards > 1 or Config.WriteBehind), Close
+// drains it: every shard with a scheduled-but-unrun parity fold gets a
+// final commit, so no acknowledged write is left parity-pending, and the
+// first background fold error not yet reported by a Write or Flush is
+// returned instead of being dropped. It does not flush the RAM buffers
+// (call Flush first for that). Close is idempotent and safe for
+// concurrent use; every call returns the same error.
 func (a *Array) Close() error { return a.e.Close() }
 
 // Commit performs a parity commit: on-array parity is recomputed from the

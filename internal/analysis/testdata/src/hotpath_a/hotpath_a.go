@@ -6,6 +6,7 @@ package hotpath_a
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 type buffer struct {
@@ -122,3 +123,51 @@ func ErrCheck(err error) error {
 }
 
 var errBad = errors.New("bad")
+
+type table struct {
+	latest []atomic.Uint64
+}
+
+type loc struct {
+	dev   int
+	chunk int64
+}
+
+// PackedLoad is the engine's lock-free location idiom: an atomic word
+// load plus shifts and masks. Nothing here allocates, so the annotated
+// function produces no diagnostics.
+//
+//eplog:hotpath
+func PackedLoad(t *table, lba int64) loc {
+	w := t.latest[lba].Load()
+	return loc{dev: int(w >> 48), chunk: int64(w & (1<<48 - 1))}
+}
+
+// PackedStore is the write side of the same idiom: clean.
+//
+//eplog:hotpath
+func PackedStore(t *table, lba int64, l loc) {
+	t.latest[lba].Store(uint64(l.dev)<<48 | uint64(l.chunk))
+}
+
+// EpochValidate samples an epoch counter, reads optimistically, and
+// re-validates — the seqlock read pattern. A fixed-size stack buffer for
+// the sampled epochs must not trip the analyzer.
+//
+//eplog:hotpath
+func EpochValidate(epoch *atomic.Uint64, t *table, lba int64) (loc, bool) {
+	var stack [8]uint64
+	seen := stack[:0]
+	e0 := epoch.Load()
+	if e0&1 != 0 {
+		return loc{}, false
+	}
+	seen = append(seen, e0)
+	l := PackedLoad(t, lba)
+	for _, e := range seen {
+		if epoch.Load() != e {
+			return loc{}, false
+		}
+	}
+	return l, true
+}

@@ -96,36 +96,59 @@ func BenchmarkDirectStripeWrite(b *testing.B) {
 // the flight recorder is covered by the same zero-allocation guarantee.
 // The span ring is kept small enough that the warmup loop wraps it,
 // putting the recorder into its recycling steady state before counting.
+// The write-behind variant keeps the same pin with the background
+// group-commit scheduler running: the foreground enqueue (CAS plus a
+// buffered channel send) and the background fold (same pooled serial
+// commit path) both stay allocation-free.
 func TestSteadyStateUpdateAllocFree(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation counting is noisy under -short race runs")
 	}
-	sink := obs.NewSink(256)
-	sink.EnableSpans(obs.SpanConfig{Trees: 16, Sampling: obs.DefaultSpanSampling})
-	e := benchEngine(t, Config{CommitEvery: 8, Obs: sink})
-	const chunk = 4096
-	data := make([]byte, chunk)
-	full := make([]byte, e.geo.K*chunk)
-	for s := int64(0); s < e.geo.Stripes; s++ {
-		if _, err := e.WriteChunks(0, e.geo.LBA(s, 0), full); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if err := e.Commit(); err != nil {
-		t.Fatal(err)
-	}
-	// Warm the pools across at least one full commit cycle.
-	lba := int64(0)
-	step := func() {
-		if _, err := e.WriteChunks(0, lba, data); err != nil {
-			t.Fatal(err)
-		}
-		lba = (lba + 7) % e.geo.Chunks()
-	}
-	for i := 0; i < 64; i++ {
-		step()
-	}
-	if avg := testing.AllocsPerRun(256, step); avg > 0 {
-		t.Errorf("steady-state update allocates %.2f objects/op, want 0", avg)
+	for _, tc := range []struct {
+		name        string
+		writeBehind bool
+	}{
+		{"inline-commit", false},
+		{"write-behind", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sink := obs.NewSink(256)
+			sink.EnableSpans(obs.SpanConfig{Trees: 16, Sampling: obs.DefaultSpanSampling})
+			cfg := Config{CommitEvery: 8, Obs: sink, WriteBehind: tc.writeBehind}
+			if tc.writeBehind {
+				// Bound the dirty window so the log-stripe freelist
+				// reaches its recycling steady state: an unbounded lag
+				// behind the background fold would keep growing the
+				// pending set and allocating fresh stripe records.
+				cfg.DirtyWindowStripes = 16
+			}
+			e := benchEngine(t, cfg)
+			defer e.Close()
+			const chunk = 4096
+			data := make([]byte, chunk)
+			full := make([]byte, e.geo.K*chunk)
+			for s := int64(0); s < e.geo.Stripes; s++ {
+				if _, err := e.WriteChunks(0, e.geo.LBA(s, 0), full); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := e.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			// Warm the pools across at least one full commit cycle.
+			lba := int64(0)
+			step := func() {
+				if _, err := e.WriteChunks(0, lba, data); err != nil {
+					t.Fatal(err)
+				}
+				lba = (lba + 7) % e.geo.Chunks()
+			}
+			for i := 0; i < 64; i++ {
+				step()
+			}
+			if avg := testing.AllocsPerRun(256, step); avg > 0 {
+				t.Errorf("steady-state update allocates %.2f objects/op, want 0", avg)
+			}
+		})
 	}
 }

@@ -101,7 +101,8 @@ func (e *EPLog) stripeRecord(stripe int64) metadata.StripeRecord {
 	_, rec.Dirty = e.shardOf(stripe).dirty[stripe]
 	for j := 0; j < k; j++ {
 		lba := e.geo.LBA(stripe, j)
-		rec.Latest[j] = metadata.Loc{Dev: int32(e.latest[lba].Dev), Chunk: e.latest[lba].Chunk}
+		latest := e.loadLatest(lba)
+		rec.Latest[j] = metadata.Loc{Dev: int32(latest.Dev), Chunk: latest.Chunk}
 		rec.Prot[j] = e.latestProt[lba]
 		rec.Committed[j] = metadata.Loc{Dev: int32(e.commLoc[lba].Dev), Chunk: e.commLoc[lba].Chunk}
 	}
@@ -174,7 +175,7 @@ func Restore(devs, logDevs []device.Dev, cfg Config, snap *metadata.Snapshot) (*
 		}
 		for j := 0; j < cfg.K; j++ {
 			lba := e.geo.LBA(rec.Stripe, j)
-			e.latest[lba] = Loc{Dev: int(rec.Latest[j].Dev), Chunk: rec.Latest[j].Chunk}
+			e.storeLatest(lba, Loc{Dev: int(rec.Latest[j].Dev), Chunk: rec.Latest[j].Chunk})
 			e.latestProt[lba] = rec.Prot[j]
 			e.commLoc[lba] = Loc{Dev: int(rec.Committed[j].Dev), Chunk: rec.Committed[j].Chunk}
 		}
@@ -231,7 +232,8 @@ func Restore(devs, logDevs []device.Dev, cfg Config, snap *metadata.Snapshot) (*
 		usedPer[d] = make([]bool, devs[d].Chunks())
 	}
 	for lba := int64(0); lba < e.geo.Chunks(); lba++ {
-		usedPer[e.latest[lba].Dev][e.latest[lba].Chunk] = true
+		latest := e.loadLatest(lba)
+		usedPer[latest.Dev][latest.Chunk] = true
 		usedPer[e.commLoc[lba].Dev][e.commLoc[lba].Chunk] = true
 	}
 	for _, sh := range e.shards {

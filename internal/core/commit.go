@@ -61,6 +61,14 @@ func (sh *shard) commitAt(start float64) (float64, error) {
 	if sh.inCommit {
 		return start, nil
 	}
+	// Whatever happens below — drain, failure, or nothing to fold — wake
+	// writers blocked on the write-behind dirty window so they re-check it
+	// (and see any asyncErr a failed background fold left behind).
+	defer func() {
+		if sh.commitWake != nil {
+			sh.commitWake.Broadcast()
+		}
+	}()
 	// Consume the latched trigger (last latch wins; unlatched commits are
 	// manual) and count it.
 	cause := sh.cause
@@ -142,7 +150,7 @@ func (sh *shard) commitAt(start float64) (float64, error) {
 	// so the releases never touch another shard's allocator state.
 	for _, ls := range sh.logStripes {
 		for _, mb := range ls.members {
-			if e.latest[mb.lba] != mb.loc {
+			if e.loadLatest(mb.lba) != mb.loc {
 				sh.releaseLoc(mb.loc)
 			}
 		}
@@ -150,9 +158,9 @@ func (sh *shard) commitAt(start float64) (float64, error) {
 	for _, s := range stripes {
 		for j := 0; j < k; j++ {
 			lba := e.geo.LBA(s, j)
-			if e.commLoc[lba] != e.latest[lba] {
+			if latest := e.loadLatest(lba); e.commLoc[lba] != latest {
 				sh.releaseLoc(e.commLoc[lba])
-				e.commLoc[lba] = e.latest[lba]
+				e.commLoc[lba] = latest
 			}
 			e.latestProt[lba] = committed
 		}

@@ -60,9 +60,9 @@ func TestCommitReentrancyGuard(t *testing.T) {
 // main-array device as base's.
 func sameDevLBA(t *testing.T, e *EPLog, base int64) int64 {
 	t.Helper()
-	dev := e.latest[base].Dev
+	dev := e.loadLatest(base).Dev
 	for lba := int64(0); lba < e.Chunks(); lba++ {
-		if lba != base && e.latest[lba].Dev == dev {
+		if lba != base && e.loadLatest(lba).Dev == dev {
 			return lba
 		}
 	}

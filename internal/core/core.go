@@ -41,6 +41,33 @@ type Loc struct {
 // stripe's parity rather than by a log stripe.
 const committed = int64(-1)
 
+// locChunkBits is the packed-location split: a Loc packs into one uint64
+// as dev<<locChunkBits | chunk, so the lock-free read path can load a
+// location in a single atomic word with no possibility of a torn Dev/Chunk
+// pair. 48 bits of chunk index addresses 2^48 chunks per device; New
+// rejects geometries beyond either field's range.
+const locChunkBits = 48
+
+// loadLatest atomically reads the latest-version location of an LBA. Safe
+// without any lock: the word is a single atomic load, and callers that
+// need the location to stay meaningful across a subsequent device read
+// validate the owning shard's seqlock epoch around the pair (see
+// readChunksFast).
+//
+//eplog:hotpath
+func (e *EPLog) loadLatest(lba int64) Loc {
+	w := e.latest[lba].Load()
+	return Loc{Dev: int(w >> locChunkBits), Chunk: int64(w & (1<<locChunkBits - 1))}
+}
+
+// storeLatest atomically publishes a new latest-version location. The
+// owning shard's lock must be held exclusively.
+//
+//eplog:hotpath
+func (e *EPLog) storeLatest(lba int64, l Loc) {
+	e.latest[lba].Store(uint64(l.Dev)<<locChunkBits | uint64(l.Chunk))
+}
+
 // Config parameterizes an EPLog array.
 type Config struct {
 	// K is the number of data chunks per stripe; the array tolerates
@@ -93,6 +120,24 @@ type Config struct {
 	// every shard keeps at least one update chunk per device, one log
 	// slot, and one stripe. See DESIGN.md §9.
 	Shards int
+	// WriteBehind runs the background group-commit scheduler even with a
+	// single shard, so CommitEvery and log-pressure parity folds happen
+	// off the write critical path: writes are acknowledged at log-append
+	// and the fold runs write-behind on the scheduler. Multi-shard
+	// engines always run the scheduler regardless of this flag. Background
+	// commit failures surface on the next write, Flush, or Close touching
+	// the shard. Enabling it trades the serial engine's bit-identical
+	// virtual-time reproduction for write latency decoupled from parity
+	// maintenance — the paper's central claim, completed.
+	WriteBehind bool
+	// DirtyWindowStripes bounds the write-behind dirty window: when a
+	// shard has at least this many pending (unfolded) log stripes, its
+	// foreground writes block until the background fold drains the shard —
+	// backpressure instead of an unbounded recovery window. Zero disables
+	// the explicit window; the 3/4-log-occupancy pressure trigger still
+	// bounds pending state by log capacity. Only meaningful when the
+	// group-commit scheduler runs (Shards > 1 or WriteBehind).
+	DirtyWindowStripes int
 }
 
 // Stats counts EPLog activity.
@@ -172,6 +217,11 @@ type EPLog struct {
 	// workers is max(1, cfg.Workers); pool tasks never take shard locks.
 	workers int
 
+	// fastReads enables the lock-free optimistic read pass: set when the
+	// engine has no RAM buffers (device or stripe), whose maps cannot be
+	// consulted without the shard lock. See readChunksFast.
+	fastReads bool
+
 	geo     store.Geometry
 	codes   *erasure.Cache
 	devs    []device.Dev // main array (SSDs)
@@ -184,18 +234,22 @@ type EPLog struct {
 	shardGuard int64
 
 	// Per-LBA and per-stripe views. The slices are shared, but each entry
-	// is only ever accessed under its owning shard's lock (the owner of
+	// is only ever written under its owning shard's lock (the owner of
 	// entry lba is shardOfLBA(lba); of virgin[s], shardOf(s)), so distinct
-	// shards touch disjoint memory.
-	latest     []Loc   // per-LBA latest version location
-	latestProt []int64 // per-LBA protector: committed or a log stripe id
-	commLoc    []Loc   // per-LBA committed version location
-	virgin     []bool  // per-stripe: never written (direct path eligible)
+	// shards touch disjoint memory. latest is the exception on the read
+	// side: each entry is one packed atomic word (loadLatest/storeLatest)
+	// so the lock-free read fast path can look locations up without any
+	// shard lock, validated by the owning shard's seqlock epoch.
+	latest     []atomic.Uint64 // per-LBA latest version location, packed
+	latestProt []int64         // per-LBA protector: committed or a log stripe id
+	commLoc    []Loc           // per-LBA committed version location
+	virgin     []bool          // per-stripe: never written (direct path eligible)
 
-	// gc is the background group-commit scheduler, started only when
-	// nShards > 1; Close stops it.
+	// gc is the background group-commit scheduler, started when
+	// nShards > 1 or cfg.WriteBehind; Close drains and stops it.
 	gc        *groupCommitter
 	closeOnce sync.Once
+	closeErr  error
 
 	obs             *obs.Sink
 	mWriteLat       *obs.Histogram
@@ -229,6 +283,9 @@ func New(devs, logDevs []device.Dev, cfg Config) (*EPLog, error) {
 	if len(logDevs) != geo.M() {
 		return nil, fmt.Errorf("%w: got %d, want %d", ErrLogDevices, len(logDevs), geo.M())
 	}
+	if len(devs) >= 1<<(64-locChunkBits) {
+		return nil, fmt.Errorf("core: %d devices exceed the packed-location range", len(devs))
+	}
 	csize := devs[0].ChunkSize()
 	for i, d := range devs {
 		if d.ChunkSize() != csize {
@@ -237,6 +294,9 @@ func New(devs, logDevs []device.Dev, cfg Config) (*EPLog, error) {
 		if d.Chunks() <= cfg.Stripes {
 			return nil, fmt.Errorf("core: device %d has %d chunks; need more than %d stripe homes for update headroom",
 				i, d.Chunks(), cfg.Stripes)
+		}
+		if d.Chunks() >= 1<<locChunkBits {
+			return nil, fmt.Errorf("core: device %d has %d chunks; exceeds the packed-location range", i, d.Chunks())
 		}
 	}
 	for i, d := range logDevs {
@@ -273,13 +333,14 @@ func New(devs, logDevs []device.Dev, cfg Config) (*EPLog, error) {
 	e := &EPLog{
 		nShards:    int(nShards),
 		workers:    workers,
+		fastReads:  cfg.DeviceBufferChunks == 0 && cfg.StripeBufferStripes == 0,
 		geo:        geo,
 		codes:      erasure.NewCache(erasure.Cauchy),
 		devs:       devs,
 		logDevs:    logDevs,
 		csize:      csize,
 		cfg:        cfg,
-		latest:     make([]Loc, geo.Chunks()),
+		latest:     make([]atomic.Uint64, geo.Chunks()),
 		latestProt: make([]int64, geo.Chunks()),
 		commLoc:    make([]Loc, geo.Chunks()),
 		virgin:     make([]bool, cfg.Stripes),
@@ -287,7 +348,7 @@ func New(devs, logDevs []device.Dev, cfg Config) (*EPLog, error) {
 	for lba := int64(0); lba < geo.Chunks(); lba++ {
 		s, j := geo.Stripe(lba)
 		home := Loc{Dev: geo.DataDev(s, j), Chunk: geo.HomeChunk(s)}
-		e.latest[lba] = home
+		e.storeLatest(lba, home)
 		e.latestProt[lba] = committed
 		e.commLoc[lba] = home
 	}
@@ -327,9 +388,10 @@ func New(devs, logDevs []device.Dev, cfg Config) (*EPLog, error) {
 		if cfg.StripeBufferStripes > 0 {
 			sh.stripeBuf = newStripeBuffer(cfg.StripeBufferStripes * cfg.K)
 		}
+		sh.commitWake = sync.NewCond(&sh.mu)
 		e.shards[i] = sh
 	}
-	if e.nShards > 1 {
+	if e.nShards > 1 || cfg.WriteBehind {
 		e.gc = newGroupCommitter(e)
 	}
 	// The handles below are nil-safe no-ops when cfg.Obs is nil.
@@ -360,16 +422,56 @@ func partitionRange(total, reserved int64, n, i int) (lo, hi int64) {
 	return lo, hi
 }
 
-// Close stops the background group-commit scheduler, if any. It does not
-// flush or commit; pending state stays readable through the devices and
-// metadata. Close is idempotent and safe for concurrent use.
+// Close stops the background group-commit scheduler after draining it: any
+// shard still queued for a background parity fold gets a final commit, so
+// no log stripe whose fold was scheduled is left pending. Close then
+// surfaces the first background commit error still unreported — an error
+// the engine promised to deliver "on the next write" that would otherwise
+// vanish when the array is shut down. It does not flush the device buffers
+// (see Flush); pending state stays readable through the devices and
+// metadata. Close is idempotent and safe for concurrent use; every call
+// returns the same error.
 func (e *EPLog) Close() error {
 	e.closeOnce.Do(func() {
 		if e.gc != nil {
 			e.gc.shutdown()
+			// The scheduler has stopped; a shard still marked queued had a
+			// fold scheduled but not yet run, and a shard with pending log
+			// stripes or dirty stripes may simply not have re-triggered
+			// since the last background fold (write-behind acks at
+			// log-append, so nothing forces a final trigger). Run those
+			// folds inline (commitAt consumes the queued mark and the
+			// latched cause) so acknowledged writes don't stay
+			// parity-pending forever.
+			for _, sh := range e.shards {
+				t0 := sh.lockClock()
+				sh.mu.Lock()
+				sh.lockAcquired(t0)
+				var err error
+				if sh.queued.Load() || len(sh.logStripes) > 0 || len(sh.dirty) > 0 {
+					_, err = sh.commitAt(0)
+				}
+				sh.lockReleasing()
+				sh.mu.Unlock()
+				if err != nil && e.closeErr == nil {
+					e.closeErr = err
+				}
+			}
+		}
+		// Surface the first background error no later write will report.
+		for _, sh := range e.shards {
+			t0 := sh.lockClock()
+			sh.mu.Lock()
+			sh.lockAcquired(t0)
+			err := sh.takeAsyncErr()
+			sh.lockReleasing()
+			sh.mu.Unlock()
+			if err != nil && e.closeErr == nil {
+				e.closeErr = err
+			}
 		}
 	})
-	return nil
+	return e.closeErr
 }
 
 // Chunks implements store.Store.

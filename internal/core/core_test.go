@@ -401,7 +401,7 @@ func TestCommitFreesVersionsAndLogSpace(t *testing.T) {
 	// All but one version slot returned to the pool (the latest one is
 	// retained as the new committed version, but its stripe home slot
 	// was freed in exchange).
-	lbaDev := ta.e.latest[5].Dev
+	lbaDev := ta.e.loadLatest(5).Dev
 	free := ta.e.shards[0].alloc[lbaDev].freeCount()
 	if free+1 != ta.e.shards[0].alloc[lbaDev].freeCount()+1 {
 		_ = free

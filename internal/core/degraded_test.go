@@ -111,7 +111,7 @@ func TestMultiVersionDegradedRead(t *testing.T) {
 		copy(data[9*testChunk:], last)
 		copy(data[10*testChunk:], chunkData(200+v, 1))
 	}
-	dev := ta.e.latest[9].Dev
+	dev := ta.e.loadLatest(9).Dev
 	ta.main[dev].Fail()
 	got := make([]byte, testChunk)
 	if _, err := ta.e.ReadChunks(0, 9, got); err != nil {

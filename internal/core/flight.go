@@ -51,13 +51,16 @@ const (
 	causeSpace
 	// causePressure: the sharded engine's log-region pressure enqueue.
 	causePressure
+	// causeWindow: a writer blocked on the write-behind dirty window
+	// (DirtyWindowStripes) enqueued the fold that will unblock it.
+	causeWindow
 
 	causeN
 )
 
 // causeNames are static so hot paths can label spans without building
 // strings.
-var causeNames = [causeN]string{"manual", "every", "guard", "space", "pressure"}
+var causeNames = [causeN]string{"manual", "every", "guard", "space", "pressure", "window"}
 
 // initFlight wires the shard's flight-recorder handles into the sink.
 // Called once from New; every handle is a nil-safe no-op when sink is nil
@@ -86,11 +89,16 @@ func (sh *shard) lockClock() time.Time {
 	return time.Now()
 }
 
-// lockAcquired records the exclusive-acquisition wait that began at t0
-// and stamps the hold start. Call immediately after sh.mu.Lock().
+// lockAcquired marks the start of an exclusive critical section: it takes
+// the shard's seqlock epoch odd (fencing off the lock-free read fast
+// path), then records the acquisition wait that began at t0 and stamps the
+// hold start. Call immediately after sh.mu.Lock(). The epoch bump runs
+// unconditionally — observability may be off, but readers always need the
+// fence.
 //
 //eplog:wallclock lock wait/hold measure real scheduler contention, which has no virtual-time representation
 func (sh *shard) lockAcquired(t0 time.Time) {
+	sh.epoch.Add(1) // odd: writer in critical section
 	if sh.mLockWait == nil || t0.IsZero() {
 		return
 	}
@@ -99,11 +107,14 @@ func (sh *shard) lockAcquired(t0 time.Time) {
 	sh.lockedAt = now
 }
 
-// lockReleasing records the exclusive hold that began at lockAcquired.
+// lockReleasing marks the end of an exclusive critical section: it takes
+// the epoch even again (any optimistic read overlapping the hold sees the
+// change and retries), then records the hold that began at lockAcquired.
 // Call immediately before sh.mu.Unlock(), with the lock still held.
 //
 //eplog:wallclock lock wait/hold measure real scheduler contention, which has no virtual-time representation
 func (sh *shard) lockReleasing() {
+	sh.epoch.Add(1) // even: state consistent again
 	if sh.mLockHold == nil || sh.lockedAt.IsZero() {
 		return
 	}

@@ -48,6 +48,21 @@ type shard struct {
 	//eplog:shardlock
 	mu sync.RWMutex
 
+	// epoch is the shard's seqlock sequence for the lock-free read fast
+	// path: odd while a writer holds mu exclusively (or sleeps in
+	// waitDirtyWindow's Cond hand-off), even while the shard state is
+	// consistent. Optimistic readers sample it (even) before reading
+	// locations and device contents without any lock, then re-validate it
+	// unchanged afterwards; any mismatch discards the read and falls back
+	// to the shared-lock path. Writers bump it in lockAcquired /
+	// lockReleasing (and lockAll/unlockAll), so every exclusive critical
+	// section is bracketed.
+	epoch atomic.Uint64
+	// commitWake signals log-stripe drains (parity folds) to writers
+	// blocked on the write-behind dirty window; it shares mu so the
+	// window check and the wait are atomic.
+	commitWake *sync.Cond
+
 	dirty     map[int64]struct{}
 	metaDirty map[int64]struct{} // stripes whose metadata changed since the last checkpoint
 
@@ -119,10 +134,37 @@ func (e *EPLog) shardOfLBA(lba int64) *shard {
 }
 
 // takeAsyncErr returns and clears a pending background-commit error.
+// sh.mu must be held exclusively: asyncErr is written by the background
+// committer under the lock, so reading it unlocked would race.
 func (sh *shard) takeAsyncErr() error {
 	err := sh.asyncErr
 	sh.asyncErr = nil
 	return err
+}
+
+// waitDirtyWindow blocks the calling writer while the shard's write-behind
+// dirty window is full — at least DirtyWindowStripes log stripes pending —
+// until a background fold drains the shard. Called with sh.mu held
+// exclusively, before the write mutates anything; Wait releases the lock
+// so the fold can run. The loop also exits when the scheduler has stopped
+// or a background commit failed (the caller surfaces asyncErr), so a dying
+// engine never strands a writer.
+func (sh *shard) waitDirtyWindow() {
+	w := sh.e.cfg.DirtyWindowStripes
+	if w <= 0 || sh.e.gc == nil {
+		return
+	}
+	for len(sh.logStripes) >= w && sh.asyncErr == nil && !sh.e.gc.stopped() {
+		sh.cause = causeWindow
+		sh.e.gc.enqueue(sh)
+		// Cond.Wait releases mu outside the lockAcquired/lockReleasing
+		// brackets, so restore epoch parity by hand: even while asleep
+		// (state is consistent, readers may proceed), odd again once the
+		// lock is reacquired.
+		sh.epoch.Add(1)
+		sh.commitWake.Wait()
+		sh.epoch.Add(1)
+	}
 }
 
 // lockAll write-locks every shard in ascending index order — the
@@ -133,12 +175,14 @@ func (sh *shard) takeAsyncErr() error {
 func (e *EPLog) lockAll() {
 	for _, sh := range e.shards {
 		sh.mu.Lock()
+		sh.epoch.Add(1) // odd: stop-the-world holder may mutate anything
 	}
 }
 
 //eplog:lockall
 func (e *EPLog) unlockAll() {
 	for _, sh := range e.shards {
+		sh.epoch.Add(1) // even: consistent again
 		sh.mu.Unlock()
 	}
 }
@@ -209,27 +253,54 @@ func (gc *groupCommitter) run() {
 	for {
 		select {
 		case <-gc.stop:
+			// A writer that enqueued just before stop may have had its
+			// wake signal consumed by this very select: sweep once more
+			// after observing stop, so no queued shard is silently
+			// dropped between the last wake and shutdown.
+			gc.sweep()
 			return
 		case <-gc.wake:
 		}
-		for _, sh := range gc.e.shards {
-			if !sh.queued.CompareAndSwap(true, false) {
-				continue
-			}
-			t0 := sh.lockClock()
-			sh.mu.Lock()
-			sh.lockAcquired(t0)
-			if _, err := sh.commitAt(0); err != nil {
-				// Surfaced to the next write touching this shard.
-				sh.asyncErr = err
-			}
-			sh.lockReleasing()
-			sh.mu.Unlock()
+		gc.sweep()
+	}
+}
+
+// sweep folds every queued shard once, under that shard's lock only.
+func (gc *groupCommitter) sweep() {
+	for _, sh := range gc.e.shards {
+		if !sh.queued.CompareAndSwap(true, false) {
+			continue
 		}
+		t0 := sh.lockClock()
+		sh.mu.Lock()
+		sh.lockAcquired(t0)
+		if _, err := sh.commitAt(0); err != nil {
+			// Surfaced to the next write touching this shard (or to
+			// Flush/Close if no write comes).
+			sh.asyncErr = err
+		}
+		sh.lockReleasing()
+		sh.mu.Unlock()
+	}
+}
+
+// stopped reports whether shutdown has begun. Writers blocked on the
+// dirty window use it to stop waiting for folds that will never run.
+func (gc *groupCommitter) stopped() bool {
+	select {
+	case <-gc.stop:
+		return true
+	default:
+		return false
 	}
 }
 
 func (gc *groupCommitter) shutdown() {
 	close(gc.stop)
 	<-gc.done
+	// Wake any writer still blocked on the dirty window; stopped() now
+	// reports true, so they stop waiting for folds.
+	for _, sh := range gc.e.shards {
+		sh.commitWake.Broadcast()
+	}
 }

@@ -59,7 +59,7 @@ func TestVerifyDetectsSilentCorruption(t *testing.T) {
 	}
 
 	// Corrupt a pending version too.
-	mloc := ta.e.latest[5]
+	mloc := ta.e.loadLatest(5)
 	if err := ta.e.devs[mloc.Dev].WriteChunk(mloc.Chunk, evil); err != nil {
 		t.Fatal(err)
 	}

@@ -48,6 +48,19 @@ func (e *EPLog) WriteChunks(start float64, lba int64, data []byte) (float64, err
 //eplog:hotpath
 func (sh *shard) writeSerial(start float64, lba, nChunks int64, data []byte) (float64, error) {
 	e := sh.e
+	if e.gc != nil {
+		// Write-behind: surface any background fold failure before
+		// acknowledging more writes, and block while the dirty window is
+		// full (the wait releases the lock so the fold can run, then
+		// re-checks for an error the fold may have left behind).
+		if err := sh.takeAsyncErr(); err != nil {
+			return start, err
+		}
+		sh.waitDirtyWindow()
+		if err := sh.takeAsyncErr(); err != nil {
+			return start, err
+		}
+	}
 	sh.stats.Requests++
 	span := sh.newSpan(start)
 	// Root span for this write. Phase children (direct stripe writes, log
@@ -107,9 +120,22 @@ func (sh *shard) writeSerial(start float64, lba, nChunks int64, data []byte) (fl
 		sh.reqSinceCommit++
 		if sh.reqSinceCommit >= e.cfg.CommitEvery {
 			sh.cause = causeEvery
-			if err := sh.commit(); err != nil {
+			if e.gc != nil {
+				// Write-behind: acknowledge at log-append; the fold runs
+				// on the background scheduler off the write critical path.
+				e.gc.enqueue(sh)
+			} else if err := sh.commit(); err != nil {
 				return span.End(), err
 			}
+		}
+	}
+	if e.gc != nil {
+		// Log-region pressure: fold before the region forces a synchronous
+		// commit inside a foreground flushGroup (same trigger as the
+		// sharded path).
+		if region := sh.logLimit - sh.logStart; sh.logCursor-sh.logStart >= region-(region/4) {
+			sh.cause = causePressure
+			e.gc.enqueue(sh)
 		}
 	}
 	end := span.End()
@@ -161,6 +187,12 @@ func (e *EPLog) writeSharded(start float64, lba, nChunks int64, data []byte) (fl
 		t0 := sh.lockClock()
 		sh.mu.Lock()
 		sh.lockAcquired(t0)
+		if err := sh.takeAsyncErr(); err != nil {
+			sh.lockReleasing()
+			sh.mu.Unlock()
+			return span.End(), err
+		}
+		sh.waitDirtyWindow()
 		if err := sh.takeAsyncErr(); err != nil {
 			sh.lockReleasing()
 			sh.mu.Unlock()
@@ -372,7 +404,7 @@ func (sh *shard) updatePath(span *device.Span, chunks []pendingChunk) error {
 	e := sh.e
 	if sh.devBufs != nil {
 		for _, c := range chunks {
-			if sh.bufPut(e.latest[c.lba].Dev, c.lba, c.data) {
+			if sh.bufPut(e.loadLatest(c.lba).Dev, c.lba, c.data) {
 				sh.stats.AbsorbedChunks++
 			}
 		}
@@ -414,7 +446,7 @@ func (sh *shard) updatePath(span *device.Span, chunks []pendingChunk) error {
 			rest = pending[:0]
 		}
 		for _, c := range pending {
-			dev := e.latest[c.lba].Dev
+			dev := e.loadLatest(c.lba).Dev
 			if sc.taken[dev] {
 				rest = append(rest, c)
 				continue
@@ -513,7 +545,7 @@ func (sh *shard) flushGroup(span *device.Span, group []pendingChunk) error {
 	ls.id = sh.nextLogID
 	sc.resetTaken()
 	for _, c := range group {
-		dev := e.latest[c.lba].Dev
+		dev := e.loadLatest(c.lba).Dev
 		if sc.taken[dev] {
 			sh.putLogStripe(ls)
 			return fmt.Errorf("core: log stripe group has two chunks on device %d (one-chunk-per-device invariant)", dev)
@@ -624,7 +656,7 @@ func (sh *shard) flushGroup(span *device.Span, group []pendingChunk) error {
 
 	// Bookkeeping: new latest versions, dirty stripes.
 	for _, mb := range ls.members {
-		e.latest[mb.lba] = mb.loc
+		e.storeLatest(mb.lba, mb.loc)
 		e.latestProt[mb.lba] = ls.id
 		s, _ := e.geo.Stripe(mb.lba)
 		sh.dirty[s] = struct{}{}
@@ -662,12 +694,22 @@ func (sh *shard) allocOn(dev int) (int64, error) {
 }
 
 // Flush drains all buffered writes (device buffers and stripe buffer) to
-// the array without committing parity.
+// the array without committing parity. It also surfaces any pending
+// background-commit error — a durability barrier must not report success
+// while a scheduled parity fold has already failed. Each shard's asyncErr
+// is taken under that shard's exclusive lock (it is written by the
+// background committer under the same lock).
 func (e *EPLog) Flush() error {
 	span := device.NewSpan(0)
 	for _, sh := range e.shards {
+		t0 := sh.lockClock()
 		sh.mu.Lock()
-		err := sh.flush(span)
+		sh.lockAcquired(t0)
+		err := sh.takeAsyncErr()
+		if err == nil {
+			err = sh.flush(span)
+		}
+		sh.lockReleasing()
 		sh.mu.Unlock()
 		if err != nil {
 			return err

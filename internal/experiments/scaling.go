@@ -27,11 +27,19 @@ type ScalingResult struct {
 	Requests int64
 	// Elapsed is the wall-clock duration of the write phase.
 	Elapsed time.Duration
+	// ReadElapsed is the wall-clock duration of the read phase: after the
+	// final commit one reader goroutine per shard reads every LBA back as
+	// single-chunk requests. Every stripe is clean by then, so on a shared
+	// engine each read takes the epoch-validated lock-free path and the
+	// column measures read-side scaling with no lock contention at all.
+	ReadElapsed time.Duration
 	// SSDWriteBytes and LogWriteBytes are measured at the devices;
-	// EPLogStats are the engine's own counters. Everything except
-	// Stats.Commits (one per shard per Commit call) is shard-count
-	// independent for this workload.
+	// SSDReadBytes counts only the read phase's traffic (the surrounding
+	// verification reads are excluded). EPLogStats are the engine's own
+	// counters. Everything except Stats.Commits (one per shard per Commit
+	// call) is shard-count independent for this workload.
 	SSDWriteBytes int64
+	SSDReadBytes  int64
 	LogWriteBytes int64
 	EPLogStats    core.Stats
 	// LockWaitSeconds aggregates the per-shard flight recorders'
@@ -61,9 +69,15 @@ type ScalingResult struct {
 //     trigger can fire mid-run — the only parity fold is the final
 //     Commit, over the same dirty-stripe set in every schedule.
 //
+// After the final Commit a read phase reads every LBA back (one reader
+// goroutine per shard, single-chunk requests, contents verified against
+// the last write). Clean stripes plus a shared engine put every one of
+// those reads on the epoch-validated lock-free path, so the phase
+// measures the read side of the scaling story.
+//
 // Wall-clock time is the one number allowed to vary: with GOMAXPROCS
-// cores available, S shards should approach an S-fold speedup of the
-// write phase until the core count saturates.
+// cores available, S shards should approach an S-fold speedup of both
+// phases until the core count saturates.
 func Scaling(scale int64, shards, workers int) (*ScalingResult, error) {
 	if scale < 1 {
 		return nil, fmt.Errorf("experiments: scale must be >= 1, got %d", scale)
@@ -156,6 +170,51 @@ func Scaling(scale int64, shards, workers int) (*ScalingResult, error) {
 	if err := e.Commit(); err != nil {
 		return nil, err
 	}
+
+	// Read phase: every LBA back once, on now-clean stripes, with the same
+	// reader-per-shard ownership as the write phase. Snapshot the device
+	// read counters around the phase so Verify's reads below stay out of
+	// SSDReadBytes.
+	readBase := int64(0)
+	for _, c := range counters {
+		readBase += c.ReadBytes()
+	}
+	last := rounds - 1
+	readStart := time.Now() //eplog:wallclock measured throughput is the experiment's output
+	readErrs := make([]error, writers)
+	var rg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		rg.Add(1)
+		go func(w int) {
+			defer rg.Done()
+			buf := make([]byte, ChunkSize)
+			for s := int64(w); s < stripes; s += int64(writers) {
+				for j := 0; j < k; j++ {
+					lba := s*int64(k) + int64(j)
+					if _, err := e.ReadChunks(0, lba, buf); err != nil {
+						readErrs[w] = fmt.Errorf("reader %d lba %d: %w", w, lba, err)
+						return
+					}
+					if buf[0] != byte(lba+last*7) || buf[ChunkSize-1] != byte(lba+last*7+ChunkSize-1) {
+						readErrs[w] = fmt.Errorf("reader %d lba %d: read back stale or corrupt data", w, lba)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	rg.Wait()
+	readElapsed := time.Since(readStart) //eplog:wallclock measured throughput is the experiment's output
+	for _, err := range readErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	readBytes := -readBase
+	for _, c := range counters {
+		readBytes += c.ReadBytes()
+	}
+
 	report, err := e.Verify()
 	if err != nil {
 		return nil, err
@@ -166,12 +225,14 @@ func Scaling(scale int64, shards, workers int) (*ScalingResult, error) {
 	}
 
 	res := &ScalingResult{
-		Shards:     shards,
-		Workers:    workers,
-		Writers:    writers,
-		Requests:   total,
-		Elapsed:    elapsed,
-		EPLogStats: e.Stats(),
+		Shards:       shards,
+		Workers:      workers,
+		Writers:      writers,
+		Requests:     total,
+		Elapsed:      elapsed,
+		ReadElapsed:  readElapsed,
+		SSDReadBytes: readBytes,
+		EPLogStats:   e.Stats(),
 	}
 	for _, c := range counters {
 		res.SSDWriteBytes += c.WriteBytes()
@@ -195,6 +256,7 @@ func ScalingIdentical(a, b *ScalingResult) bool {
 	sa, sb := a.EPLogStats, b.EPLogStats
 	sa.Commits, sb.Commits = 0, 0
 	return a.SSDWriteBytes == b.SSDWriteBytes &&
+		a.SSDReadBytes == b.SSDReadBytes &&
 		a.LogWriteBytes == b.LogWriteBytes &&
 		a.Requests == b.Requests &&
 		sa == sb
@@ -206,18 +268,23 @@ func FormatScaling(results []*ScalingResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Scaling: %d single-chunk updates, (6+2)-RAID-6, byte counts must not vary with shards\n",
 		results[0].Requests)
-	fmt.Fprintf(&b, "%-8s %-8s %-8s %-14s %-14s %-9s %-12s %-10s %s\n",
-		"shards", "workers", "writers", "ssd_wr_bytes", "log_wr_bytes", "commits", "elapsed", "lock_wait", "speedup")
+	fmt.Fprintf(&b, "%-8s %-8s %-8s %-14s %-14s %-9s %-12s %-10s %-8s %-12s %s\n",
+		"shards", "workers", "writers", "ssd_wr_bytes", "log_wr_bytes", "commits", "elapsed", "lock_wait", "speedup", "rd_elapsed", "rd_speedup")
 	base := results[0].Elapsed.Seconds()
+	readBase := results[0].ReadElapsed.Seconds()
 	for _, r := range results {
-		speedup := 0.0
+		speedup, readSpeedup := 0.0, 0.0
 		if r.Elapsed > 0 {
 			speedup = base / r.Elapsed.Seconds()
 		}
-		fmt.Fprintf(&b, "%-8d %-8d %-8d %-14d %-14d %-9d %-12v %-10v %.2fx\n",
+		if r.ReadElapsed > 0 {
+			readSpeedup = readBase / r.ReadElapsed.Seconds()
+		}
+		fmt.Fprintf(&b, "%-8d %-8d %-8d %-14d %-14d %-9d %-12v %-10v %-8s %-12v %.2fx\n",
 			r.Shards, r.Workers, r.Writers, r.SSDWriteBytes, r.LogWriteBytes,
 			r.EPLogStats.Commits, r.Elapsed.Round(time.Millisecond),
-			time.Duration(r.LockWaitSeconds*float64(time.Second)).Round(time.Microsecond), speedup)
+			time.Duration(r.LockWaitSeconds*float64(time.Second)).Round(time.Microsecond),
+			fmt.Sprintf("%.2fx", speedup), r.ReadElapsed.Round(time.Millisecond), readSpeedup)
 	}
 	return b.String()
 }

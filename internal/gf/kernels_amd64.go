@@ -5,9 +5,13 @@ package gf
 // amd64 fast path: the split-nibble tables are exactly what the PSHUFB
 // instruction consumes — each XMM register holds one 16-entry nibble row
 // and a single shuffle performs 16 table lookups — so the SSSE3 kernels in
-// kernels_amd64.s process 16 bytes per iteration. SSSE3 is detected at
-// startup via CPUID; pre-2006 CPUs (and purego builds) fall back to the
-// portable word kernels. XOR needs only SSE2, which is the amd64 baseline.
+// kernels_amd64.s process 16 bytes per iteration, and the AVX2 kernels in
+// kernels_avx2_amd64.s broadcast the same rows to both YMM lanes and
+// process 32. Dispatch is decided once at startup via CPUID: AVX2 (with
+// OS-enabled YMM state, checked through XGETBV) over SSSE3 over the
+// portable word kernels; purego builds always take the word path. XOR
+// needs only SSE2, which is the amd64 baseline, but still widens to YMM
+// when AVX2 is present.
 
 // hasSSSE3 reports PSHUFB support (CPUID.1:ECX bit 9).
 var hasSSSE3 = func() bool {
@@ -15,8 +19,45 @@ var hasSSSE3 = func() bool {
 	return ecx&(1<<9) != 0
 }()
 
+// hasAVX2 reports AVX2 support the OS actually enabled: CPUID.7.0:EBX bit
+// 5 for the instructions, CPUID.1:ECX bits 27 (OSXSAVE) and 28 (AVX) plus
+// XCR0 bits 1-2 (XMM and YMM state) for the register file.
+var hasAVX2 = func() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx, _ := cpuid(1, 0)
+	const osxsaveAVX = 1<<27 | 1<<28
+	if ecx&osxsaveAVX != osxsaveAVX {
+		return false
+	}
+	if xcr0, _ := xgetbv0(); xcr0&6 != 6 {
+		return false
+	}
+	_, ebx, _, _ := cpuid(7, 0)
+	return ebx&(1<<5) != 0
+}()
+
+// KernelName reports which slice-kernel implementation startup dispatch
+// selected, for bench reports and experiment metadata.
+func KernelName() string {
+	switch {
+	case hasAVX2:
+		return "avx2"
+	case hasSSSE3:
+		return "ssse3"
+	default:
+		return "word"
+	}
+}
+
 // cpuid executes the CPUID instruction (implemented in kernels_amd64.s).
 func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the XSAVE feature-enabled mask (implemented in
+// kernels_avx2_amd64.s). Only meaningful when CPUID reports OSXSAVE.
+func xgetbv0() (eax, edx uint32)
 
 // mulVecAsm sets dst[i] = c*src[i] for i in [0,n) where lo and hi are c's
 // split-nibble rows; n must be a positive multiple of 16.
@@ -36,8 +77,34 @@ func mulAddVecAsm(lo, hi *[16]byte, src, dst *byte, n int)
 //go:noescape
 func xorVecAsm(src, dst *byte, n int)
 
+// mulVecAVX2 is mulVecAsm 32 bytes at a time; n must be a positive
+// multiple of 32.
+//
+//go:noescape
+func mulVecAVX2(lo, hi *[16]byte, src, dst *byte, n int)
+
+// mulAddVecAVX2 is mulAddVecAsm 32 bytes at a time; n must be a positive
+// multiple of 32.
+//
+//go:noescape
+func mulAddVecAVX2(lo, hi *[16]byte, src, dst *byte, n int)
+
+// xorVecAVX2 is xorVecAsm 32 bytes at a time; n must be a positive
+// multiple of 32.
+//
+//go:noescape
+func xorVecAVX2(src, dst *byte, n int)
+
 //eplog:hotpath
 func mulSliceFast(c byte, src, dst []byte) {
+	if n := len(src) &^ 31; hasAVX2 && n > 0 {
+		mulVecAVX2(&mulLo[c], &mulHi[c], &src[0], &dst[0], n)
+		mt := &mulTable[c]
+		for i := n; i < len(src); i++ {
+			dst[i] = mt[src[i]]
+		}
+		return
+	}
 	if n := len(src) &^ 15; hasSSSE3 && n > 0 {
 		mulVecAsm(&mulLo[c], &mulHi[c], &src[0], &dst[0], n)
 		mt := &mulTable[c]
@@ -51,6 +118,14 @@ func mulSliceFast(c byte, src, dst []byte) {
 
 //eplog:hotpath
 func mulAddSliceFast(c byte, src, dst []byte) {
+	if n := len(src) &^ 31; hasAVX2 && n > 0 {
+		mulAddVecAVX2(&mulLo[c], &mulHi[c], &src[0], &dst[0], n)
+		mt := &mulTable[c]
+		for i := n; i < len(src); i++ {
+			dst[i] ^= mt[src[i]]
+		}
+		return
+	}
 	if n := len(src) &^ 15; hasSSSE3 && n > 0 {
 		mulAddVecAsm(&mulLo[c], &mulHi[c], &src[0], &dst[0], n)
 		mt := &mulTable[c]
@@ -64,6 +139,13 @@ func mulAddSliceFast(c byte, src, dst []byte) {
 
 //eplog:hotpath
 func xorSliceFast(src, dst []byte) {
+	if n := len(src) &^ 31; hasAVX2 && n > 0 {
+		xorVecAVX2(&src[0], &dst[0], n)
+		for i := n; i < len(src); i++ {
+			dst[i] ^= src[i]
+		}
+		return
+	}
 	if n := len(src) &^ 15; n > 0 {
 		xorVecAsm(&src[0], &dst[0], n)
 		for i := n; i < len(src); i++ {
@@ -81,7 +163,7 @@ func xorSliceFast(src, dst []byte) {
 //
 //eplog:hotpath
 func mulAddSlicesFast(coeffs []byte, srcs [][]byte, dst []byte) {
-	if hasSSSE3 && len(dst) >= 16 {
+	if (hasAVX2 || hasSSSE3) && len(dst) >= 16 {
 		for j, c := range coeffs {
 			if c == 0 {
 				continue

@@ -1,13 +1,19 @@
-//go:build (!amd64 && !arm64) || !gc || purego
+//go:build arm64 && gc && !purego
 
 package gf
 
-// Portable dispatch: every kernel is the 8-bytes-per-iteration word
-// implementation from kernels.go.
+// arm64 dispatch: a placeholder for NEON TBL-based split-nibble kernels.
+// The shape mirrors amd64 exactly — the same 16-entry mulLo/mulHi nibble
+// rows that feed PSHUFB feed TBL.16B, so a future kernels_arm64.s drops in
+// behind these five functions without touching dispatch or tables. Until
+// that assembly lands the kernels route to the portable word
+// implementations, which the differential tests pin bit-identical to the
+// Ref* ground truth, so swapping the implementation later cannot change
+// results.
 
 // KernelName reports which slice-kernel implementation startup dispatch
 // selected, for bench reports and experiment metadata.
-func KernelName() string { return "word" }
+func KernelName() string { return "neon-stub(word)" }
 
 //eplog:hotpath
 func mulSliceFast(c byte, src, dst []byte) { mulSliceWord(c, src, dst) }

@@ -1,0 +1,156 @@
+//go:build gc && !purego
+
+#include "textflag.h"
+
+// AVX2 widenings of the SSSE3 split-nibble kernels. VPSHUFB on a YMM
+// register performs 32 table lookups per instruction; the two 16-entry
+// nibble rows are broadcast to both 128-bit lanes with VBROADCASTI128, so
+// the lane-local shuffle semantics of VPSHUFB look up the same tables in
+// each half. Callers guarantee n is a positive multiple of 32 and handle
+// the tail. Every kernel ends with VZEROUPPER so the SSE-encoded code
+// around it pays no AVX->SSE transition penalty.
+
+DATA lowMask32<>+0x00(SB)/8, $0x0F0F0F0F0F0F0F0F
+DATA lowMask32<>+0x08(SB)/8, $0x0F0F0F0F0F0F0F0F
+DATA lowMask32<>+0x10(SB)/8, $0x0F0F0F0F0F0F0F0F
+DATA lowMask32<>+0x18(SB)/8, $0x0F0F0F0F0F0F0F0F
+GLOBL lowMask32<>(SB), RODATA|NOPTR, $32
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func mulVecAVX2(lo, hi *[16]byte, src, dst *byte, n int)
+TEXT ·mulVecAVX2(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ src+16(FP), SI
+	MOVQ dst+24(FP), DI
+	MOVQ n+32(FP), CX
+	VBROADCASTI128 (AX), Y6
+	VBROADCASTI128 (BX), Y7
+	VMOVDQU lowMask32<>(SB), Y8
+
+mulloop:
+	VMOVDQU (SI), Y0
+	VPSRLQ  $4, Y0, Y1
+	VPAND   Y8, Y0, Y0
+	VPAND   Y8, Y1, Y1
+	VPSHUFB Y0, Y6, Y2
+	VPSHUFB Y1, Y7, Y3
+	VPXOR   Y3, Y2, Y2
+	VMOVDQU Y2, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     mulloop
+	VZEROUPPER
+	RET
+
+// func mulAddVecAVX2(lo, hi *[16]byte, src, dst *byte, n int)
+TEXT ·mulAddVecAVX2(SB), NOSPLIT, $0-40
+	MOVQ lo+0(FP), AX
+	MOVQ hi+8(FP), BX
+	MOVQ src+16(FP), SI
+	MOVQ dst+24(FP), DI
+	MOVQ n+32(FP), CX
+	VBROADCASTI128 (AX), Y6
+	VBROADCASTI128 (BX), Y7
+	VMOVDQU lowMask32<>(SB), Y8
+
+	// Two blocks (64 bytes) per iteration while possible.
+	CMPQ CX, $64
+	JB   addone
+
+addloop2:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y9
+	VPSRLQ  $4, Y0, Y1
+	VPSRLQ  $4, Y9, Y10
+	VPAND   Y8, Y0, Y0
+	VPAND   Y8, Y9, Y9
+	VPAND   Y8, Y1, Y1
+	VPAND   Y8, Y10, Y10
+	VPSHUFB Y0, Y6, Y2
+	VPSHUFB Y9, Y6, Y11
+	VPSHUFB Y1, Y7, Y3
+	VPSHUFB Y10, Y7, Y12
+	VPXOR   Y3, Y2, Y2
+	VPXOR   Y12, Y11, Y11
+	VPXOR   (DI), Y2, Y2
+	VPXOR   32(DI), Y11, Y11
+	VMOVDQU Y2, (DI)
+	VMOVDQU Y11, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	SUBQ    $64, CX
+	CMPQ    CX, $64
+	JAE     addloop2
+
+addone:
+	TESTQ CX, CX
+	JZ    adddone
+	VMOVDQU (SI), Y0
+	VPSRLQ  $4, Y0, Y1
+	VPAND   Y8, Y0, Y0
+	VPAND   Y8, Y1, Y1
+	VPSHUFB Y0, Y6, Y2
+	VPSHUFB Y1, Y7, Y3
+	VPXOR   Y3, Y2, Y2
+	VPXOR   (DI), Y2, Y2
+	VMOVDQU Y2, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JMP     addone
+
+adddone:
+	VZEROUPPER
+	RET
+
+// func xorVecAVX2(src, dst *byte, n int)
+TEXT ·xorVecAVX2(SB), NOSPLIT, $0-24
+	MOVQ src+0(FP), SI
+	MOVQ dst+8(FP), DI
+	MOVQ n+16(FP), CX
+
+	CMPQ CX, $128
+	JB   xorone
+
+xorloop4:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VMOVDQU 64(SI), Y2
+	VMOVDQU 96(SI), Y3
+	VPXOR   (DI), Y0, Y0
+	VPXOR   32(DI), Y1, Y1
+	VPXOR   64(DI), Y2, Y2
+	VPXOR   96(DI), Y3, Y3
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	VMOVDQU Y2, 64(DI)
+	VMOVDQU Y3, 96(DI)
+	ADDQ    $128, SI
+	ADDQ    $128, DI
+	SUBQ    $128, CX
+	CMPQ    CX, $128
+	JAE     xorloop4
+
+xorone:
+	TESTQ CX, CX
+	JZ    xordone
+	VMOVDQU (SI), Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JMP     xorone
+
+xordone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,99 @@
+//go:build gc && !purego
+
+package gf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestDispatchTiersMatchReference runs the exported entry points once per
+// dispatch tier the host supports — AVX2, SSSE3, word — by toggling the
+// startup-detected feature flags, and pins every tier bit-identical to the
+// byte-wise reference loops. The regular differential tests only exercise
+// the tier dispatch actually selected, so without this a host with AVX2
+// would never cover its own SSSE3 fallback (and vice versa).
+func TestDispatchTiersMatchReference(t *testing.T) {
+	avx2, ssse3 := hasAVX2, hasSSSE3
+	defer func() { hasAVX2, hasSSSE3 = avx2, ssse3 }()
+
+	tiers := []struct {
+		name        string
+		avx2, ssse3 bool
+	}{
+		{"word", false, false},
+	}
+	if ssse3 {
+		tiers = append(tiers, struct {
+			name        string
+			avx2, ssse3 bool
+		}{"ssse3", false, true})
+	}
+	if avx2 {
+		tiers = append(tiers, struct {
+			name        string
+			avx2, ssse3 bool
+		}{"avx2", true, true})
+	}
+
+	r := rand.New(rand.NewSource(7))
+	for _, tier := range tiers {
+		t.Run(tier.name, func(t *testing.T) {
+			hasAVX2, hasSSSE3 = tier.avx2, tier.ssse3
+			for _, n := range kernelLengths {
+				for _, offset := range []int{0, 1, 5} {
+					for _, c := range []byte{0, 1, 2, 0x1D, 0x8E, 0xFF} {
+						src, dst := slicesAt(r, n, offset)
+						want := make([]byte, n)
+						RefMulSlice(c, src, want)
+						MulSlice(c, src, dst)
+						if !bytes.Equal(dst, want) {
+							t.Fatalf("%s MulSlice(c=%#x, n=%d, offset=%d) diverges from reference", tier.name, c, n, offset)
+						}
+
+						src, dst = slicesAt(r, n, offset)
+						want = bytes.Clone(dst)
+						RefMulAddSlice(c, src, want)
+						MulAddSlice(c, src, dst)
+						if !bytes.Equal(dst, want) {
+							t.Fatalf("%s MulAddSlice(c=%#x, n=%d, offset=%d) diverges from reference", tier.name, c, n, offset)
+						}
+					}
+					src, dst := slicesAt(r, n, offset)
+					want := bytes.Clone(dst)
+					RefXORSlice(src, want)
+					XORSlice(src, dst)
+					if !bytes.Equal(dst, want) {
+						t.Fatalf("%s XORSlice(n=%d, offset=%d) diverges from reference", tier.name, n, offset)
+					}
+				}
+			}
+			for iter := 0; iter < 100; iter++ {
+				n := kernelLengths[r.Intn(len(kernelLengths))]
+				offset := r.Intn(8)
+				k := 1 + r.Intn(2*maxFused)
+				coeffs := make([]byte, k)
+				srcs := make([][]byte, k)
+				for j := range srcs {
+					coeffs[j] = byte(r.Intn(256))
+					srcs[j], _ = slicesAt(r, n, offset)
+				}
+				_, dst := slicesAt(r, n, offset)
+				want := bytes.Clone(dst)
+				RefMulAddSlices(coeffs, srcs, want)
+				MulAddSlices(coeffs, srcs, dst)
+				if !bytes.Equal(dst, want) {
+					t.Fatalf("%s MulAddSlices(k=%d, n=%d) diverges from reference", tier.name, k, n)
+				}
+				dst2 := bytes.Clone(want)
+				want2 := bytes.Clone(want)
+				RefXORSlices(srcs, want2)
+				XORSlices(srcs, dst2)
+				if !bytes.Equal(dst2, want2) {
+					t.Fatalf("%s XORSlices(k=%d, n=%d) diverges from reference", tier.name, k, n)
+				}
+			}
+		})
+	}
+}
