@@ -1,0 +1,55 @@
+package eplog
+
+import (
+	"time"
+
+	"github.com/eplog/eplog/internal/server"
+)
+
+// BlockServer is a running network block service over an Array; see
+// Array.ServeBlocks. It speaks the wire protocol (internal/wire): READ,
+// WRITE, FLUSH, and STAT frames with per-request IDs, pipelined per
+// connection with out-of-order completion, writes batched across
+// connections before entering the engine, and socket-level backpressure
+// tied to log occupancy.
+type BlockServer = server.Server
+
+// BlockServeOptions tunes ServeBlocks. The zero value selects the
+// defaults.
+type BlockServeOptions struct {
+	// MaxPayload bounds per-frame payloads in bytes (0 selects 1 MiB).
+	MaxPayload int
+	// BatchMax bounds how many write/flush requests coalesce into one
+	// engine batch (0 selects 64).
+	BatchMax int
+	// QueueDepth bounds in-flight requests per connection (0 selects 128).
+	QueueDepth int
+	// ReadWorkers sizes the read/stat worker pool (0 selects 4).
+	ReadWorkers int
+	// HighWater and LowWater set the backpressure gate thresholds on the
+	// engine's write-pressure signal (0 selects 0.85 / 0.70).
+	HighWater float64
+	LowWater  float64
+	// DrainTimeout bounds the graceful drain in Close (0 selects 5s).
+	DrainTimeout time.Duration
+}
+
+// ServeBlocks starts a network block service for this array on addr
+// (host:port; use ":0" for an ephemeral port and read it back with Addr).
+// The server shares the array's observability sink, publishing net.*
+// metrics and "net"/"net-batch" spans next to the engine's own. Close the
+// server (which drains in-flight requests) before closing the Array; the
+// server never closes the store itself.
+func (a *Array) ServeBlocks(addr string, opts BlockServeOptions) (*BlockServer, error) {
+	return server.Listen(addr, a.e, server.Options{
+		MaxPayload:   opts.MaxPayload,
+		BatchMax:     opts.BatchMax,
+		QueueDepth:   opts.QueueDepth,
+		ReadWorkers:  opts.ReadWorkers,
+		HighWater:    opts.HighWater,
+		LowWater:     opts.LowWater,
+		DrainTimeout: opts.DrainTimeout,
+		Sink:         a.sink,
+		SpanShard:    a.e.NumShards(),
+	})
+}

@@ -1,0 +1,60 @@
+package eplog_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/eplog/eplog"
+	"github.com/eplog/eplog/internal/server"
+	"github.com/eplog/eplog/internal/wire"
+)
+
+// TestServeBlocks round-trips the wire protocol through the public
+// Array.ServeBlocks entry point and checks the net.* metrics reach the
+// array's shared sink.
+func TestServeBlocks(t *testing.T) {
+	a, _, _ := newArray(t, eplog.Config{Shards: 2, TraceEvents: 64})
+	defer a.Close()
+	s, err := a.ServeBlocks("127.0.0.1:0", eplog.BlockServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c, err := server.Dial(s.Addr().String(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	payload := make([]byte, 2*chunk)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	if err := c.Write(5, payload); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	resp, err := c.Read(5, 2)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(resp.Payload, payload) {
+		t.Fatal("wire read returned different bytes than written")
+	}
+	wire.PutPayload(&resp)
+	st, err := c.Stat()
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if st.Chunks != a.Chunks() || int(st.ChunkSize) != a.ChunkSize() {
+		t.Fatalf("stat geometry %+v disagrees with array (%d chunks of %d)", st, a.Chunks(), a.ChunkSize())
+	}
+	// The wire bytes land in the array's own shared sink.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := a.Metrics()
+	if got := snap.Counters["net.frames_in"]; got < 3 {
+		t.Fatalf("net.frames_in = %d through the array sink, want >= 3", got)
+	}
+}

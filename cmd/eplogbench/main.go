@@ -74,6 +74,7 @@ func main() {
 		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "stripe-group shard count: the scaling experiment sweeps 1/2/4/8 plus this value")
 		benchOut   = flag.String("bench-out", "BENCH_kernels.json", "JSON report path for the kernels experiment")
 		scalingOut = flag.String("scaling-out", "BENCH_scaling.json", "JSON report path for the scaling experiment")
+		force      = flag.Bool("force", false, "overwrite a scaling report measured on a machine with more CPUs than this one")
 		out        outputs
 	)
 	flag.StringVar(&out.csvPath, "csv", "", "also append machine-readable rows to this CSV file")
@@ -93,7 +94,7 @@ func main() {
 		return
 	}
 	if *exp == "scaling" {
-		if err := runScalingBench(*scale, *shards, *workers, *scalingOut); err != nil {
+		if err := runScalingBench(*scale, *shards, *workers, *scalingOut, *force); err != nil {
 			fmt.Fprintln(os.Stderr, "eplogbench:", err)
 			os.Exit(1)
 		}

@@ -39,7 +39,7 @@ func TestOneTraceExperiment(t *testing.T) {
 func TestScalingBenchReport(t *testing.T) {
 	path := t.TempDir() + "/BENCH_scaling.json"
 	// -scale 512 keeps the sweep to a few hundred requests per run.
-	if err := runScalingBench(512, 4, 2, path); err != nil {
+	if err := runScalingBench(512, 4, 2, path, false); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(path)
@@ -70,6 +70,54 @@ func TestScalingBenchReport(t *testing.T) {
 	}
 	if !seen4 {
 		t.Error("sweep missing the shards=4 workers=1 headline configuration")
+	}
+}
+
+func TestScalingOverwriteGuard(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep scalingReport) string {
+		t.Helper()
+		path := dir + "/" + name
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// A report from a bigger machine is protected...
+	big := write("big.json", scalingReport{NumCPU: 1 << 16, CPUModel: "many-core test host"})
+	err := guardScalingOverwrite(big, false)
+	if err == nil {
+		t.Fatal("guard allowed a 1-CPU run to overwrite a multi-core report")
+	}
+	if !strings.Contains(err.Error(), "-force") {
+		t.Errorf("refusal does not mention -force: %v", err)
+	}
+	// ...unless forced.
+	if err := guardScalingOverwrite(big, true); err != nil {
+		t.Errorf("-force did not override the guard: %v", err)
+	}
+
+	// A report from an equal or smaller machine is fair game.
+	small := write("small.json", scalingReport{NumCPU: 1})
+	if err := guardScalingOverwrite(small, false); err != nil {
+		t.Errorf("guard blocked overwriting an equal/smaller-host report: %v", err)
+	}
+
+	// Missing or unparseable files never block: no provenance to protect.
+	if err := guardScalingOverwrite(dir+"/absent.json", false); err != nil {
+		t.Errorf("guard blocked a missing file: %v", err)
+	}
+	garbled := dir + "/garbled.json"
+	if err := os.WriteFile(garbled, []byte("not json{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := guardScalingOverwrite(garbled, false); err != nil {
+		t.Errorf("guard blocked an unparseable file: %v", err)
 	}
 }
 

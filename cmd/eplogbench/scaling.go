@@ -91,8 +91,37 @@ func cpuModel() string {
 	return ""
 }
 
+// guardScalingOverwrite protects the checked-in report's provenance: a
+// speedup column measured on a multi-core host must not be silently
+// replaced by a run from a smaller machine (a 1-CPU CI runner re-running
+// the sweep would overwrite real speedups with flat ones). It refuses
+// when an existing report at path was measured with more CPUs than this
+// host, unless force is set. A missing or unparseable file never blocks:
+// there is no provenance to protect.
+func guardScalingOverwrite(path string, force bool) error {
+	if force {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var existing scalingReport
+	if json.Unmarshal(data, &existing) != nil {
+		return nil
+	}
+	if existing.NumCPU > runtime.NumCPU() {
+		return fmt.Errorf("refusing to overwrite %s: existing report was measured on %d CPUs (%s), this host has %d — rerun with -force to overwrite anyway",
+			path, existing.NumCPU, existing.CPUModel, runtime.NumCPU())
+	}
+	return nil
+}
+
 // runScalingBench runs the shard sweep and writes the report to path.
-func runScalingBench(scale int64, maxShards, workers int, path string) error {
+func runScalingBench(scale int64, maxShards, workers int, path string, force bool) error {
+	if err := guardScalingOverwrite(path, force); err != nil {
+		return err
+	}
 	benchScale := scale / 8
 	if benchScale < 1 {
 		benchScale = 1

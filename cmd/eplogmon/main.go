@@ -20,13 +20,13 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"github.com/eplog/eplog"
+	"github.com/eplog/eplog/internal/workload"
 )
 
 const chunkSize = 4096
@@ -124,11 +124,16 @@ func run(addr string, k, m int, stripes int64, shards, workers, spans, sampling,
 		pause = time.Duration(float64(time.Second) / rate)
 	}
 
-	rng := rand.New(rand.NewSource(seed))
-	chunks := a.Chunks()
+	// The shared soak mix: skewed single-chunk updates with periodic
+	// full-stripe writes and reads (internal/workload, also driven by
+	// cmd/eplogsoak and the server soak tests).
+	gen, err := workload.New(workload.Config{Chunks: a.Chunks(), K: k, Seed: seed}.DefaultMix())
+	if err != nil {
+		return err
+	}
 	buf := make([]byte, chunkSize)
 	wide := make([]byte, int64(k)*chunkSize)
-	rng.Read(wide)
+	workload.Fill(wide, uint64(seed)+1)
 	// Precondition: fill every stripe so updates take the logging path.
 	for s := int64(0); s < stripes; s++ {
 		if err := a.Write(s*int64(k), wide); err != nil {
@@ -155,23 +160,15 @@ func run(addr string, k, m int, stripes int64, shards, workers, spans, sampling,
 				a.PendingLogStripes(), len(a.Spans()), a.SpansDropped())
 		default:
 		}
-		// Skewed updates: 1/8 of the LBA space takes half the traffic;
-		// every 64th op is a full-stripe write, every 16th a read.
-		var lba int64
-		if rng.Intn(2) == 0 {
-			lba = rng.Int63n(max(chunks/8, 1))
-		} else {
-			lba = rng.Int63n(chunks)
-		}
-		switch {
-		case ops%64 == 63:
-			s := rng.Int63n(stripes)
-			err = a.Write(s*int64(k), wide)
-		case ops%16 == 15:
-			err = a.Read(lba, buf)
+		switch op := gen.Next(); op.Kind {
+		case workload.FullStripe:
+			workload.Fill(wide, op.Seed)
+			err = a.Write(op.LBA, wide)
+		case workload.Read:
+			err = a.Read(op.LBA, buf)
 		default:
-			rng.Read(buf[:64])
-			err = a.Write(lba, buf)
+			workload.Fill(buf[:64], op.Seed)
+			err = a.Write(op.LBA, buf)
 		}
 		if err != nil {
 			return err

@@ -27,6 +27,8 @@ var Restricted = []string{
 	"internal/hdd",
 	"internal/erasure",
 	"internal/experiments",
+	"internal/server",
+	"internal/wire",
 }
 
 // forbidden are the time-package functions that read or wait on the wall

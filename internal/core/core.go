@@ -251,6 +251,11 @@ type EPLog struct {
 	closeOnce sync.Once
 	closeErr  error
 
+	// lockAcqs counts exclusive shard-lock acquisitions taken through the
+	// lockAcquired bracket — the denominator of the batching payoff
+	// (ShardLockAcquisitions).
+	lockAcqs atomic.Int64
+
 	obs             *obs.Sink
 	mWriteLat       *obs.Histogram
 	mReadLat        *obs.Histogram

@@ -99,6 +99,7 @@ func (sh *shard) lockClock() time.Time {
 //eplog:wallclock lock wait/hold measure real scheduler contention, which has no virtual-time representation
 func (sh *shard) lockAcquired(t0 time.Time) {
 	sh.epoch.Add(1) // odd: writer in critical section
+	sh.e.lockAcqs.Add(1)
 	if sh.mLockWait == nil || t0.IsZero() {
 		return
 	}

@@ -69,6 +69,13 @@ const (
 	SpanIORead
 	// SpanIOWrite is one device chunk write (fields as SpanIORead).
 	SpanIOWrite
+	// SpanNetBatch is one cross-connection write batch entering the
+	// engine (root; N = ops in the batch). Timestamps are wall-clock
+	// seconds since the server's epoch, not virtual time.
+	SpanNetBatch
+	// SpanNet is one network request inside a batch (LBA/N = request
+	// range; Cause = frame type name).
+	SpanNet
 )
 
 var spanKindNames = map[SpanKind]string{
@@ -82,6 +89,8 @@ var spanKindNames = map[SpanKind]string{
 	SpanCommitFold:  "commit-fold",
 	SpanIORead:      "io-read",
 	SpanIOWrite:     "io-write",
+	SpanNetBatch:    "net-batch",
+	SpanNet:         "net",
 }
 
 // String implements fmt.Stringer.

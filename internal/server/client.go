@@ -1,0 +1,180 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"github.com/eplog/eplog/internal/wire"
+)
+
+// ErrClientClosed latches on a client after Close or a transport failure.
+var ErrClientClosed = errors.New("server client: connection closed")
+
+// Call is one in-flight request on a Client. When the response (or a
+// transport failure) arrives, Err and Resp are filled and the call is
+// delivered on Done.
+type Call struct {
+	Req  wire.Frame
+	Resp wire.Frame
+	Err  error
+	Done chan *Call
+}
+
+// Client is a pipelined wire-protocol client: Go issues a request without
+// waiting, many calls ride the connection concurrently, and a receiver
+// goroutine matches responses to calls by request ID — in whatever order
+// the server completes them. Safe for concurrent use.
+type Client struct {
+	nc     net.Conn
+	bw     *bufio.Writer
+	enc    *wire.Encoder
+	sendMu sync.Mutex
+
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]*Call
+	err     error
+
+	recvDone chan struct{}
+}
+
+// Dial connects a client. maxPayload bounds response payloads (<= 0
+// selects the wire default); it must be at least the server's largest
+// read response.
+func Dial(addr string, maxPayload int) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(nc, 64<<10)
+	c := &Client{
+		nc:       nc,
+		bw:       bw,
+		enc:      wire.NewEncoder(bw),
+		pending:  make(map[uint64]*Call),
+		recvDone: make(chan struct{}),
+	}
+	go c.receive(maxPayload)
+	return c, nil
+}
+
+// Go issues req without waiting for its response. The request ID is
+// assigned here; req.Payload may be reused by the caller as soon as Go
+// returns (the frame is fully written before it does). done may be nil
+// for a fresh channel; it must be buffered deep enough for the caller's
+// pipeline.
+func (c *Client) Go(req wire.Frame, done chan *Call) *Call {
+	if done == nil {
+		done = make(chan *Call, 1)
+	}
+	call := &Call{Req: req, Done: done}
+	call.Req.ReqID = c.nextID.Add(1)
+
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		call.Err = err
+		call.Done <- call
+		return call
+	}
+	c.pending[call.Req.ReqID] = call
+	c.mu.Unlock()
+
+	c.sendMu.Lock()
+	err := c.enc.WriteFrame(&call.Req)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.sendMu.Unlock()
+	if err != nil {
+		c.fail(err)
+	}
+	return call
+}
+
+// receive matches responses to pending calls until the transport fails
+// (including EOF at close).
+func (c *Client) receive(maxPayload int) {
+	defer close(c.recvDone)
+	dec := wire.NewDecoder(bufio.NewReaderSize(c.nc, 64<<10), maxPayload)
+	for {
+		var f wire.Frame
+		if err := dec.ReadFrame(&f); err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		call := c.pending[f.ReqID]
+		delete(c.pending, f.ReqID)
+		c.mu.Unlock()
+		if call == nil {
+			wire.PutPayload(&f) // stray ID: recycle and move on
+			continue
+		}
+		if f.Status != wire.StatusOK {
+			call.Err = fmt.Errorf("server: %s (status %d)", f.Payload, f.Status)
+			wire.PutPayload(&f)
+		}
+		call.Resp = f
+		call.Done <- call
+	}
+}
+
+// fail latches err and completes every pending call with it.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	calls := c.pending
+	c.pending = make(map[uint64]*Call)
+	c.mu.Unlock()
+	for _, call := range calls {
+		call.Err = err
+		call.Done <- call
+	}
+}
+
+// Close tears the connection down and fails outstanding calls.
+func (c *Client) Close() error {
+	c.fail(ErrClientClosed)
+	err := c.nc.Close()
+	<-c.recvDone
+	return err
+}
+
+// Write writes p (a chunk multiple) at lba and waits.
+func (c *Client) Write(lba int64, p []byte) error {
+	call := <-c.Go(wire.Frame{Type: wire.TWrite, Arg: lba, Count: uint32(len(p)), Payload: p}, nil).Done
+	return call.Err
+}
+
+// Read reads count chunks at lba and waits. The returned payload is
+// pool-backed: recycle it with wire.PutPayload(&resp) when done.
+func (c *Client) Read(lba int64, count uint32) (wire.Frame, error) {
+	call := <-c.Go(wire.Frame{Type: wire.TRead, Arg: lba, Count: count}, nil).Done
+	return call.Resp, call.Err
+}
+
+// Flush issues a flush barrier and waits.
+func (c *Client) Flush() error {
+	call := <-c.Go(wire.Frame{Type: wire.TFlush}, nil).Done
+	return call.Err
+}
+
+// Stat fetches the array's geometry and pressure snapshot.
+func (c *Client) Stat() (wire.Stat, error) {
+	call := <-c.Go(wire.Frame{Type: wire.TStat}, nil).Done
+	if call.Err != nil {
+		return wire.Stat{}, call.Err
+	}
+	st, err := wire.ParseStat(call.Resp.Payload)
+	wire.PutPayload(&call.Resp)
+	return st, err
+}

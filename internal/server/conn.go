@@ -1,0 +1,138 @@
+package server
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/eplog/eplog/internal/wire"
+)
+
+// conn is one client connection: a reader goroutine decoding requests and
+// a writer goroutine encoding responses, joined by the out channel.
+//
+// Flow-control invariant: the reader takes a sem slot before a request
+// enters the server and the writer frees it only after dequeuing the
+// response, so at most QueueDepth responses can ever be queued on out —
+// out has QueueDepth capacity, so response enqueues (server.respond)
+// never block, and executors can't deadlock against a slow client. A
+// client that pipelines deeper than QueueDepth just stops being read.
+type conn struct {
+	s   *Server
+	nc  net.Conn
+	out chan *wire.Frame
+	sem chan struct{}
+	// wg tracks accepted requests until their responses are enqueued; the
+	// closer goroutine closes out once the reader is done and wg drains.
+	wg  sync.WaitGroup
+	ops int64
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	c := &conn{
+		s:   s,
+		nc:  nc,
+		out: make(chan *wire.Frame, s.opts.QueueDepth),
+		sem: make(chan struct{}, s.opts.QueueDepth),
+	}
+	s.cConns.Add(1)
+	s.gConns.Add(1)
+	s.connMu.Lock()
+	s.conns[c] = struct{}{}
+	kicked := s.draining
+	s.connMu.Unlock()
+	if kicked {
+		// Close won the race past the accept loop; make sure this reader
+		// observes the kick too.
+		c.kick()
+	}
+
+	go func() {
+		c.reader()
+		// All accepted requests respond before out closes; the writer then
+		// drains out and exits.
+		c.wg.Wait()
+		close(c.out)
+	}()
+	c.writer()
+
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
+	s.gConns.Add(-1)
+	s.hConnOps.Observe(float64(c.ops))
+	s.connWG.Done()
+}
+
+// kick unblocks the connection's reader out of a pending ReadFrame; the
+// decoder latches the deadline error and the reader exits.
+//
+//eplog:wallclock an already-passed deadline is the portable read-interrupt
+func (c *conn) kick() {
+	c.nc.SetReadDeadline(time.Now())
+}
+
+// reader decodes frames off the socket and routes them: writes and
+// flushes to the dispatcher queue, reads and stats to the worker pool,
+// protocol violations straight back as StatusBadRequest. It parks at the
+// backpressure gate between frames and exits on any decode error (the
+// decoder latches, including the kicked deadline at shutdown).
+func (c *conn) reader() {
+	dec := wire.NewDecoder(bufio.NewReaderSize(c.nc, 64<<10), c.s.opts.MaxPayload)
+	for {
+		var f wire.Frame
+		if err := dec.ReadFrame(&f); err != nil {
+			return
+		}
+		// Backpressure: park here (holding at most this one decoded frame)
+		// while the gate is closed, so no further bytes are read off the
+		// socket and nothing new enters the engine until pressure decays.
+		c.s.gate.wait(c.s.cGateWaits)
+		c.s.cFramesIn.Add(1)
+		c.s.cBytesIn.Add(int64(wire.HeaderSize + len(f.Payload)))
+		c.ops++
+		c.sem <- struct{}{}
+		c.wg.Add(1)
+		r := &request{c: c, f: f}
+		if msg := c.s.validate(&r.f); msg != "" {
+			wire.PutPayload(&r.f)
+			c.s.respondErr(r, wire.StatusBadRequest, msg)
+			continue
+		}
+		switch r.f.ReqType() {
+		case wire.TWrite, wire.TFlush:
+			c.s.writeQ <- r
+		default:
+			c.s.readQ <- r
+		}
+	}
+}
+
+// writer encodes responses in completion order and recycles their
+// payloads. On a write error it keeps draining out — recycling frames and
+// freeing sem slots — so in-flight executors never block on a dead
+// connection. Flushes the encoder whenever the queue goes idle.
+func (c *conn) writer() {
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	enc := wire.NewEncoder(bw)
+	var werr error
+	for f := range c.out {
+		if werr == nil {
+			werr = enc.WriteFrame(f)
+			if werr == nil {
+				c.s.cFramesOut.Add(1)
+				c.s.cBytesOut.Add(int64(wire.HeaderSize + len(f.Payload)))
+			}
+		}
+		wire.PutPayload(f)
+		<-c.sem
+		if werr == nil && len(c.out) == 0 {
+			werr = bw.Flush()
+		}
+	}
+	if werr == nil {
+		bw.Flush()
+	}
+	c.nc.Close()
+}

@@ -1,0 +1,601 @@
+// Package server is the EPLog network block service: it speaks the wire
+// protocol over TCP and drives the sharded engine underneath.
+//
+// Each connection gets a goroutine pair — a reader decoding frames and a
+// writer encoding responses — and requests pipeline freely: many request
+// IDs in flight per connection, responses completing out of order (reads
+// run on a worker pool while writes batch). Writes and flushes from ALL
+// connections funnel through one dispatcher that coalesces them into
+// engine batches (core.WriteBatch), so unrelated clients share a shard
+// lock acquisition; a FLUSH frame is a batch barrier covering every write
+// the server read before it.
+//
+// Backpressure is engine-derived: when core.WritePressure (log-region
+// occupancy / dirty-window fill) crosses the high-water mark, the server
+// stops reading from every socket — the kernel's TCP flow control pushes
+// back to clients — until background parity folds drain it below the
+// low-water mark. Nothing buffers unboundedly.
+//
+// Close drains gracefully: stop accepting, kick every reader, finish all
+// in-flight requests and flush their responses, then stop the dispatcher
+// and (when the server owns the store) Close the engine.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/eplog/eplog/internal/bufpool"
+	"github.com/eplog/eplog/internal/core"
+	"github.com/eplog/eplog/internal/obs"
+	"github.com/eplog/eplog/internal/store"
+	"github.com/eplog/eplog/internal/wire"
+)
+
+// Engine is the server's view of the array. *core.EPLog satisfies it.
+type Engine interface {
+	WriteBatch(ops []core.BatchOp)
+	ReadChunks(start float64, lba int64, p []byte) (float64, error)
+	Flush() error
+	Commit() error
+	Chunks() int64
+	ChunkSize() int
+	Geometry() store.Geometry
+	WritePressure() float64
+	PendingLogStripes() int
+	NumShards() int
+	Close() error
+}
+
+// Options parameterizes a Server. The zero value selects the defaults.
+type Options struct {
+	// MaxPayload bounds per-frame payloads (<= 0 selects
+	// wire.DefaultMaxPayload). It caps both decode allocation and the
+	// largest READ a client may ask for.
+	MaxPayload int
+	// BatchMax bounds how many write/flush frames one engine batch
+	// coalesces (<= 0 selects 64).
+	BatchMax int
+	// QueueDepth bounds in-flight requests per connection; a client
+	// pipelining deeper stops being read until responses drain (<= 0
+	// selects 128).
+	QueueDepth int
+	// ReadWorkers sizes the read/stat executor pool (<= 0 selects 4).
+	ReadWorkers int
+	// HighWater and LowWater are the WritePressure gate thresholds: at or
+	// above HighWater the server stops reading from sockets, and resumes
+	// below LowWater (defaults 0.85 / 0.70).
+	HighWater float64
+	LowWater  float64
+	// DrainTimeout bounds the graceful drain in Close; connections still
+	// alive after it are force-closed (<= 0 selects 5s).
+	DrainTimeout time.Duration
+	// Sink receives the server's net.* metrics and spans; nil disables.
+	Sink *obs.Sink
+	// SpanShard is the span-recorder index for the net phase. Use the
+	// engine's shard count so net spans get their own recorder ring next
+	// to the per-shard engine recorders.
+	SpanShard int
+	// CloseStore makes Close also Close the engine after the drain.
+	CloseStore bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPayload <= 0 {
+		o.MaxPayload = wire.DefaultMaxPayload
+	}
+	if o.BatchMax <= 0 {
+		o.BatchMax = 64
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 128
+	}
+	if o.ReadWorkers <= 0 {
+		o.ReadWorkers = 4
+	}
+	if o.HighWater <= 0 {
+		o.HighWater = 0.85
+	}
+	if o.LowWater <= 0 {
+		o.LowWater = 0.70
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// request is one accepted frame awaiting execution, still owning its
+// decoded payload.
+type request struct {
+	c *conn
+	f wire.Frame
+}
+
+// Server is a running block service over one listener.
+type Server struct {
+	opts   Options
+	eng    Engine
+	csize  int
+	chunks int64
+
+	ln         net.Listener
+	quit       chan struct{}
+	acceptDone chan struct{}
+
+	// writeQ carries writes and flushes in socket-arrival order to the
+	// single dispatcher; readQ carries reads and stats to the worker pool.
+	writeQ       chan *request
+	readQ        chan *request
+	dispatchDone chan struct{}
+	workersWG    sync.WaitGroup
+
+	gate       gate
+	refreshing atomic.Bool
+
+	connMu   sync.Mutex
+	conns    map[*conn]struct{}
+	draining bool
+	connWG   sync.WaitGroup
+
+	closeOnce sync.Once
+	closeErr  error
+
+	// Flight recorder: net.* metrics and the net span phase.
+	rec        *obs.SpanRecorder
+	cConns     *obs.Counter
+	gConns     *obs.Gauge
+	cFramesIn  *obs.Counter
+	cFramesOut *obs.Counter
+	cBytesIn   *obs.Counter
+	cBytesOut  *obs.Counter
+	cReads     *obs.Counter
+	cWrites    *obs.Counter
+	cFlushes   *obs.Counter
+	cStats     *obs.Counter
+	cBadReq    *obs.Counter
+	cErrs      *obs.Counter
+	cBatches   *obs.Counter
+	hBatchOps  *obs.Histogram
+	cGateWaits *obs.Counter
+	gGate      *obs.Gauge
+	cForced    *obs.Counter
+	hConnOps   *obs.Histogram
+}
+
+// Listen starts a server on addr (host:port; ":0" picks a free port).
+func Listen(addr string, eng Engine, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Serve(ln, eng, opts), nil
+}
+
+// Serve starts a server over an existing listener, which it owns from
+// here on.
+func Serve(ln net.Listener, eng Engine, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:         opts,
+		eng:          eng,
+		csize:        eng.ChunkSize(),
+		chunks:       eng.Chunks(),
+		ln:           ln,
+		quit:         make(chan struct{}),
+		acceptDone:   make(chan struct{}),
+		writeQ:       make(chan *request, 1024),
+		readQ:        make(chan *request, 1024),
+		dispatchDone: make(chan struct{}),
+		conns:        make(map[*conn]struct{}),
+	}
+	s.gate.init()
+	sink := opts.Sink
+	s.rec = sink.SpanRecorder(opts.SpanShard)
+	s.cConns = sink.Counter("net.conns_total")
+	s.gConns = sink.Gauge("net.conns_active")
+	s.cFramesIn = sink.Counter("net.frames_in")
+	s.cFramesOut = sink.Counter("net.frames_out")
+	s.cBytesIn = sink.Counter("net.bytes_in")
+	s.cBytesOut = sink.Counter("net.bytes_out")
+	s.cReads = sink.Counter("net.ops.read")
+	s.cWrites = sink.Counter("net.ops.write")
+	s.cFlushes = sink.Counter("net.ops.flush")
+	s.cStats = sink.Counter("net.ops.stat")
+	s.cBadReq = sink.Counter("net.bad_requests")
+	s.cErrs = sink.Counter("net.op_errors")
+	s.cBatches = sink.Counter("net.batches")
+	s.hBatchOps = sink.Histogram("net.batch_ops")
+	s.cGateWaits = sink.Counter("net.gate_waits")
+	s.gGate = sink.Gauge("net.gate_closed")
+	s.cForced = sink.Counter("net.forced_folds")
+	s.hConnOps = sink.Histogram("net.conn_ops")
+
+	go s.dispatch()
+	s.workersWG.Add(opts.ReadWorkers)
+	for i := 0; i < opts.ReadWorkers; i++ {
+		go s.readWorker()
+	}
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener's address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close drains the server: stop accepting, kick every connection's reader,
+// finish in-flight requests and flush their responses (bounded by
+// DrainTimeout, after which surviving connections are force-closed), stop
+// the dispatcher and workers, then Close the engine when CloseStore is
+// set. Idempotent; every call returns the same error.
+//
+//eplog:wallclock the drain deadline and the reader kick are real-time by nature
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.quit)
+		s.gate.release()
+		s.ln.Close()
+		<-s.acceptDone
+
+		// Kick every reader out of its blocking ReadFrame; conns that
+		// register after this pick the kick up from s.draining.
+		s.connMu.Lock()
+		s.draining = true
+		for c := range s.conns {
+			c.nc.SetReadDeadline(time.Now())
+		}
+		s.connMu.Unlock()
+
+		done := make(chan struct{})
+		go func() {
+			s.connWG.Wait()
+			close(done)
+		}()
+		t := time.NewTimer(s.opts.DrainTimeout)
+		defer t.Stop()
+		select {
+		case <-done:
+		case <-t.C:
+			s.connMu.Lock()
+			for c := range s.conns {
+				c.nc.Close()
+			}
+			s.connMu.Unlock()
+			<-done // dispatcher/workers still run, so queued work finishes
+		}
+
+		// All producers are gone; draining the queues shuts the
+		// dispatcher and workers down.
+		close(s.writeQ)
+		<-s.dispatchDone
+		close(s.readQ)
+		s.workersWG.Wait()
+		if s.opts.CloseStore {
+			s.closeErr = s.eng.Close()
+		}
+	})
+	return s.closeErr
+}
+
+func (s *Server) acceptLoop() {
+	defer close(s.acceptDone)
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.connWG.Add(1)
+		go s.serveConn(nc)
+	}
+}
+
+// dispatch is the single write dispatcher: it drains the cross-connection
+// write queue into batches of up to BatchMax frames (blocking only for the
+// first), splits each batch at FLUSH barriers, and runs the write runs
+// through core.WriteBatch — one shard lock acquisition per touched shard
+// for the whole run, however many connections contributed. After each
+// batch it re-evaluates the backpressure gate.
+func (s *Server) dispatch() {
+	defer close(s.dispatchDone)
+	batch := make([]*request, 0, s.opts.BatchMax)
+	for r := range s.writeQ {
+		batch = append(batch[:0], r)
+	fill:
+		for len(batch) < s.opts.BatchMax {
+			select {
+			case r2, ok := <-s.writeQ:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, r2)
+			default:
+				break fill
+			}
+		}
+		s.runBatch(batch)
+		s.updateGate()
+	}
+}
+
+// runBatch executes one dispatcher batch: contiguous WRITE runs become one
+// engine batch; a FLUSH is a barrier (everything before it in the batch —
+// and, by queue order, everything read from any socket before it — has
+// entered the engine when Flush runs).
+func (s *Server) runBatch(batch []*request) {
+	s.cBatches.Add(1)
+	s.hBatchOps.Observe(float64(len(batch)))
+	start := s.now()
+	root := s.rec.Start(obs.SpanNetBatch, s.opts.SpanShard, start, 0, int64(len(batch)))
+	for i := 0; i < len(batch); {
+		if batch[i].f.ReqType() == wire.TFlush {
+			r := batch[i]
+			i++
+			s.cFlushes.Add(1)
+			sp := root.Child(obs.SpanNet, s.opts.SpanShard, s.now(), 0, 0)
+			sp.SetCause("flush")
+			err := s.eng.Flush()
+			sp.Close(s.now())
+			if err != nil {
+				s.respondErr(r, wire.StatusErr, err.Error())
+				continue
+			}
+			s.respond(r, &wire.Frame{Type: wire.TFlush | wire.RespFlag, ReqID: r.f.ReqID})
+			continue
+		}
+		j := i
+		for j < len(batch) && batch[j].f.ReqType() == wire.TWrite {
+			j++
+		}
+		s.runWrites(batch[i:j], root)
+		i = j
+	}
+	s.rec.Finish(root, s.now())
+}
+
+// runWrites pushes one contiguous run of WRITE frames through the engine
+// as a single batch and responds per op.
+func (s *Server) runWrites(run []*request, root *obs.Span) {
+	ops := make([]core.BatchOp, len(run))
+	spans := make([]*obs.Span, len(run))
+	for i, r := range run {
+		n := int64(len(r.f.Payload) / s.csize)
+		ops[i] = core.BatchOp{LBA: r.f.Arg, Data: r.f.Payload}
+		sp := root.Child(obs.SpanNet, s.opts.SpanShard, s.now(), r.f.Arg, n)
+		sp.SetCause("write")
+		spans[i] = sp
+	}
+	s.eng.WriteBatch(ops)
+	end := s.now()
+	for i, r := range run {
+		spans[i].Close(end)
+		s.cWrites.Add(1)
+		if err := ops[i].Err; err != nil {
+			wire.PutPayload(&r.f)
+			s.respondErr(r, wire.StatusErr, err.Error())
+			continue
+		}
+		count := uint32(len(r.f.Payload))
+		wire.PutPayload(&r.f) // engine has copied the data out
+		s.respond(r, &wire.Frame{Type: wire.TWrite | wire.RespFlag, ReqID: r.f.ReqID, Arg: r.f.Arg, Count: count})
+	}
+}
+
+// readWorker executes READ and STAT requests from the shared pool, so
+// reads from any connection overtake queued writes — out-of-order
+// completion is the point of pipelining.
+func (s *Server) readWorker() {
+	defer s.workersWG.Done()
+	for r := range s.readQ {
+		switch r.f.ReqType() {
+		case wire.TRead:
+			s.cReads.Add(1)
+			n := int(r.f.Count) * s.csize
+			buf := bufpool.Default.Get(n)
+			sp := s.rec.Start(obs.SpanNet, s.opts.SpanShard, s.now(), r.f.Arg, int64(r.f.Count))
+			sp.SetCause("read")
+			_, err := s.eng.ReadChunks(0, r.f.Arg, buf)
+			s.rec.Finish(sp, s.now())
+			if err != nil {
+				bufpool.Default.Put(buf)
+				s.respondErr(r, wire.StatusErr, err.Error())
+				continue
+			}
+			s.respond(r, &wire.Frame{Type: wire.TRead | wire.RespFlag, ReqID: r.f.ReqID,
+				Arg: r.f.Arg, Count: uint32(len(buf)), Payload: buf})
+		case wire.TStat:
+			s.cStats.Add(1)
+			geo := s.eng.Geometry()
+			st := wire.Stat{
+				K:                 uint32(geo.K),
+				M:                 uint32(geo.M()),
+				Shards:            uint32(s.eng.NumShards()),
+				ChunkSize:         uint32(s.csize),
+				Stripes:           geo.Stripes,
+				Chunks:            s.chunks,
+				PendingLogStripes: int64(s.eng.PendingLogStripes()),
+				WritePressure:     s.eng.WritePressure(),
+			}
+			p := wire.AppendStat(nil, &st)
+			s.respond(r, &wire.Frame{Type: wire.TStat | wire.RespFlag, ReqID: r.f.ReqID,
+				Count: uint32(len(p)), Payload: p})
+		}
+	}
+}
+
+// respond enqueues a response on the request's connection. Never blocks
+// indefinitely: the per-conn in-flight bound guarantees buffer space.
+func (s *Server) respond(r *request, f *wire.Frame) {
+	r.c.out <- f
+	r.c.wg.Done()
+}
+
+// respondErr enqueues an error response carrying the message text.
+func (s *Server) respondErr(r *request, status uint8, msg string) {
+	if status == wire.StatusBadRequest {
+		s.cBadReq.Add(1)
+	} else {
+		s.cErrs.Add(1)
+	}
+	s.respond(r, &wire.Frame{Type: r.f.Type | wire.RespFlag, Status: status,
+		ReqID: r.f.ReqID, Payload: []byte(msg)})
+}
+
+// validate screens a decoded request before it takes a queue slot,
+// returning a refusal message ("" accepts). Engine state is never touched
+// by an invalid frame.
+func (s *Server) validate(f *wire.Frame) string {
+	if f.IsResp() || f.Status != wire.StatusOK {
+		return "request frame with response flag or nonzero status"
+	}
+	switch f.ReqType() {
+	case wire.TWrite:
+		n := len(f.Payload)
+		if n == 0 || n%s.csize != 0 {
+			return fmt.Sprintf("write payload %d bytes is not a positive chunk multiple (%d)", n, s.csize)
+		}
+		chunks := int64(n / s.csize)
+		if f.Arg < 0 || f.Arg+chunks > s.chunks {
+			return fmt.Sprintf("write range [%d,%d) outside [0,%d)", f.Arg, f.Arg+chunks, s.chunks)
+		}
+	case wire.TRead:
+		if f.Count == 0 || int(f.Count)*s.csize > s.opts.MaxPayload {
+			return fmt.Sprintf("read of %d chunks outside (0,%d]", f.Count, s.opts.MaxPayload/s.csize)
+		}
+		if f.Arg < 0 || f.Arg+int64(f.Count) > s.chunks {
+			return fmt.Sprintf("read range [%d,%d) outside [0,%d)", f.Arg, f.Arg+int64(f.Count), s.chunks)
+		}
+		if len(f.Payload) != 0 {
+			return "read request with payload"
+		}
+	case wire.TFlush, wire.TStat:
+		if len(f.Payload) != 0 || f.Count != 0 || f.Arg != 0 {
+			return "flush/stat request with arguments"
+		}
+	}
+	return ""
+}
+
+// updateGate re-evaluates the backpressure gate from engine occupancy.
+// Closing it stops every reader before its next frame; a background
+// refresher reopens it once pressure decays below the low-water mark.
+func (s *Server) updateGate() {
+	p := s.eng.WritePressure()
+	if p >= s.opts.HighWater {
+		if s.gate.set(true) {
+			s.gGate.Set(1)
+		}
+		s.ensureRefresher()
+	} else if p <= s.opts.LowWater {
+		if s.gate.set(false) {
+			s.gGate.Set(0)
+		}
+	}
+}
+
+// ensureRefresher starts the single pressure refresher if none is running.
+func (s *Server) ensureRefresher() {
+	if s.refreshing.CompareAndSwap(false, true) {
+		go s.refresher()
+	}
+}
+
+// refresher polls WritePressure while the gate is closed: pressure decays
+// through background parity folds, which complete in real time with no
+// batch to piggyback the re-check on. The engine's own fold triggers
+// (window-full, commit-every) only fire on incoming writes — which the
+// closed gate is now blocking — so if pressure does not decay on its own
+// within a few ticks, the refresher forces a fold with Flush. Without
+// that the gate would be a livelock: closed because occupancy is high,
+// occupancy high because nothing folds, nothing folding because no
+// writes arrive.
+//
+//eplog:wallclock backpressure decay is driven by background folds completing in real time
+func (s *Server) refresher() {
+	defer s.refreshing.Store(false)
+	t := time.NewTicker(2 * time.Millisecond)
+	defer t.Stop()
+	stale := 0
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			if s.eng.WritePressure() <= s.opts.LowWater {
+				if s.gate.set(false) {
+					s.gGate.Set(0)
+				}
+				return
+			}
+			if stale++; stale >= 5 {
+				stale = 0
+				s.cForced.Add(1)
+				s.eng.Commit() // an error here surfaces on the next write
+			}
+		}
+	}
+}
+
+// now is the net phase's span clock: wall seconds. Net spans time socket
+// and batch latency — real time by nature, unlike the engine's virtual
+// device clock; the two never mix (net spans parent no engine spans).
+//
+//eplog:wallclock net spans time real request handling, not simulated devices
+func (s *Server) now() float64 {
+	return float64(time.Now().UnixNano()) / 1e9
+}
+
+// gate is the server-wide read gate. When closed, every connection reader
+// parks before decoding its next frame; release (shutdown) unblocks
+// everyone for good.
+type gate struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	closed   bool
+	released bool
+}
+
+func (g *gate) init() { g.cond = sync.NewCond(&g.mu) }
+
+// wait parks while the gate is closed. Returns immediately after release.
+func (g *gate) wait(waits *obs.Counter) {
+	g.mu.Lock()
+	if g.closed && !g.released {
+		waits.Add(1)
+		for g.closed && !g.released {
+			g.cond.Wait()
+		}
+	}
+	g.mu.Unlock()
+}
+
+// set closes or opens the gate, reporting whether the state changed.
+func (g *gate) set(closed bool) bool {
+	g.mu.Lock()
+	changed := g.closed != closed
+	g.closed = closed
+	if changed && !closed {
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+	return changed
+}
+
+// release permanently opens the gate for shutdown.
+func (g *gate) release() {
+	g.mu.Lock()
+	g.released = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}

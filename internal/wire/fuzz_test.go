@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzDecoder feeds arbitrary byte streams to the frame decoder. Whatever the
+// input, the decoder must either produce well-formed frames or return an
+// error — never panic, and never allocate a payload larger than the decoder's
+// configured cap (over-allocation on a hostile size header is the classic
+// length-prefix DoS).
+func FuzzDecoder(f *testing.F) {
+	// Seed with valid single- and multi-frame streams so the fuzzer starts
+	// from the interesting part of the input space.
+	seed := func(frames ...*Frame) []byte {
+		var buf bytes.Buffer
+		enc := NewEncoder(bufio.NewWriter(&buf))
+		for _, fr := range frames {
+			if err := enc.WriteFrame(fr); err != nil {
+				f.Fatalf("seed encode: %v", err)
+			}
+		}
+		if err := enc.Flush(); err != nil {
+			f.Fatalf("seed flush: %v", err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(&Frame{Type: TRead, ReqID: 1, Arg: 8, Count: 4}))
+	f.Add(seed(&Frame{Type: TWrite, ReqID: 2, Arg: 0, Count: 5, Payload: []byte("hello")}))
+	f.Add(seed(&Frame{Type: TFlush, ReqID: 3}))
+	f.Add(seed(&Frame{Type: TStat, ReqID: 4}))
+	f.Add(seed(
+		&Frame{Type: TWrite, ReqID: 5, Count: 3, Payload: []byte("abc")},
+		&Frame{Type: TRead | RespFlag, ReqID: 5, Status: StatusOK, Count: 3, Payload: []byte("xyz")},
+		&Frame{Type: TFlush | RespFlag, ReqID: 6, Status: StatusErr, Payload: []byte("err")},
+	))
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x18})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	const maxPayload = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data), maxPayload)
+		var frames int
+		for {
+			var fr Frame
+			err := dec.ReadFrame(&fr)
+			if err != nil {
+				if err == io.EOF && frames == 0 && len(data) > 0 && len(data) < 4 {
+					t.Fatalf("clean EOF on a partial size prefix (%d bytes)", len(data))
+				}
+				// Errors must latch: a poisoned decoder never yields frames.
+				var fr2 Frame
+				if err2 := dec.ReadFrame(&fr2); err2 == nil {
+					t.Fatal("decoder produced a frame after a fatal error")
+				}
+				return
+			}
+			frames++
+			if len(fr.Payload) > maxPayload {
+				t.Fatalf("payload %d bytes exceeds cap %d", len(fr.Payload), maxPayload)
+			}
+			if fr.Type == TWrite && !fr.IsResp() && int(fr.Count) != len(fr.Payload) {
+				t.Fatalf("write frame count %d != payload %d", fr.Count, len(fr.Payload))
+			}
+			PutPayload(&fr)
+			if frames > len(data) {
+				t.Fatal("more frames than input bytes; decoder is inventing data")
+			}
+		}
+	})
+}

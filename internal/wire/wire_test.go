@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// encodeAll renders frames into one stream.
+func encodeAll(t *testing.T, frames ...*Frame) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := NewEncoder(bufio.NewWriter(&buf))
+	for _, f := range frames {
+		if err := enc.WriteFrame(f); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	payload := []byte("twelve chunks of arbitrary data")
+	frames := []*Frame{
+		{Type: TRead, ReqID: 1, Arg: 42, Count: 8},
+		{Type: TWrite, ReqID: 2, Arg: 7, Count: uint32(len(payload)), Payload: payload},
+		{Type: TFlush, ReqID: 3},
+		{Type: TStat, ReqID: 4},
+		{Type: TRead | RespFlag, ReqID: 1, Status: StatusOK, Count: uint32(len(payload)), Payload: payload},
+		{Type: TWrite | RespFlag, ReqID: 2, Status: StatusOK, Count: uint32(len(payload))},
+		{Type: TFlush | RespFlag, ReqID: 3, Status: StatusErr, Payload: []byte("boom")},
+		{Type: TStat | RespFlag, ReqID: 4, Status: StatusBadRequest},
+	}
+	stream := encodeAll(t, frames...)
+	dec := NewDecoder(bytes.NewReader(stream), 0)
+	for i, want := range frames {
+		var got Frame
+		if err := dec.ReadFrame(&got); err != nil {
+			t.Fatalf("frame %d: ReadFrame: %v", i, err)
+		}
+		if got.Type != want.Type || got.Status != want.Status || got.ReqID != want.ReqID ||
+			got.Arg != want.Arg || got.Count != want.Count {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, *want)
+		}
+		if !bytes.Equal(got.Payload, want.Payload) && len(want.Payload) > 0 {
+			t.Fatalf("frame %d: payload %q, want %q", i, got.Payload, want.Payload)
+		}
+		PutPayload(&got)
+	}
+	var extra Frame
+	if err := dec.ReadFrame(&extra); err != io.EOF {
+		t.Fatalf("after last frame: err=%v, want io.EOF", err)
+	}
+}
+
+func TestDecoderTruncation(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAB}, 100)
+	whole := encodeAll(t, &Frame{Type: TWrite, ReqID: 9, Arg: 3, Count: 100, Payload: payload})
+	for cut := 1; cut < len(whole); cut++ {
+		dec := NewDecoder(bytes.NewReader(whole[:cut]), 0)
+		var f Frame
+		err := dec.ReadFrame(&f)
+		if err == nil {
+			t.Fatalf("cut=%d: decoded a truncated frame", cut)
+		}
+		if err == io.EOF {
+			t.Fatalf("cut=%d: truncation reported as clean EOF", cut)
+		}
+		// The decoder stays poisoned.
+		if err2 := dec.ReadFrame(&f); err2 != err {
+			t.Fatalf("cut=%d: second read %v, want latched %v", cut, err2, err)
+		}
+	}
+}
+
+func TestDecoderOversizedFrame(t *testing.T) {
+	var hdr [HeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(headerRest+1<<30)) // 1 GiB payload claim
+	binary.BigEndian.PutUint16(hdr[4:], Magic)
+	hdr[6] = TWrite
+	dec := NewDecoder(bytes.NewReader(hdr[:]), 1<<16)
+	var f Frame
+	if err := dec.ReadFrame(&f); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("oversized frame: err=%v, want ErrBadSize", err)
+	}
+	if f.Payload != nil {
+		t.Fatal("oversized frame allocated a payload")
+	}
+}
+
+func TestDecoderUndersizedFrame(t *testing.T) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[0:], headerRest-1)
+	dec := NewDecoder(bytes.NewReader(b[:]), 0)
+	var f Frame
+	if err := dec.ReadFrame(&f); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("undersized frame: err=%v, want ErrBadSize", err)
+	}
+}
+
+func TestDecoderBadMagic(t *testing.T) {
+	stream := encodeAll(t, &Frame{Type: TFlush, ReqID: 1})
+	stream[5] ^= 0xFF
+	dec := NewDecoder(bytes.NewReader(stream), 0)
+	var f Frame
+	if err := dec.ReadFrame(&f); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: err=%v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecoderBadType(t *testing.T) {
+	stream := encodeAll(t, &Frame{Type: TFlush, ReqID: 1})
+	stream[6] = 0x7F
+	dec := NewDecoder(bytes.NewReader(stream), 0)
+	var f Frame
+	if err := dec.ReadFrame(&f); !errors.Is(err, ErrBadType) {
+		t.Fatalf("bad type: err=%v, want ErrBadType", err)
+	}
+}
+
+func TestDecoderCountMismatch(t *testing.T) {
+	payload := []byte("abcdef")
+	stream := encodeAll(t, &Frame{Type: TWrite, ReqID: 1, Count: 5, Payload: payload})
+	dec := NewDecoder(bytes.NewReader(stream), 0)
+	var f Frame
+	if err := dec.ReadFrame(&f); !errors.Is(err, ErrBadCount) {
+		t.Fatalf("count mismatch: err=%v, want ErrBadCount", err)
+	}
+}
+
+func TestDecoderGarbage(t *testing.T) {
+	dec := NewDecoder(strings.NewReader("not a frame at all, just text flowing by"), 0)
+	var f Frame
+	if err := dec.ReadFrame(&f); err == nil || err == io.EOF {
+		t.Fatalf("garbage stream: err=%v, want framing error", err)
+	}
+}
+
+func TestStatRoundTrip(t *testing.T) {
+	want := Stat{K: 6, M: 2, Shards: 4, ChunkSize: 4096, Stripes: 1024,
+		Chunks: 6144, PendingLogStripes: 17, WritePressure: 0.625}
+	p := AppendStat(nil, &want)
+	got, err := ParseStat(p)
+	if err != nil {
+		t.Fatalf("ParseStat: %v", err)
+	}
+	if got != want {
+		t.Fatalf("stat round trip: got %+v, want %+v", got, want)
+	}
+	if _, err := ParseStat(p[:len(p)-1]); err == nil {
+		t.Fatal("short stat payload parsed")
+	}
+}

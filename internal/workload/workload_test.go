@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Lo: 24, Chunks: 240, K: 6, Seed: 42}.DefaultMix()
+	g1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := New(cfg)
+	for i := 0; i < 2000; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a != b {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestRangeConfinement(t *testing.T) {
+	cfg := Config{Lo: 60, Chunks: 120, K: 6, Seed: 7}.DefaultMix()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		end := op.LBA + int64(op.Chunks)
+		if op.LBA < cfg.Lo || end > cfg.Lo+cfg.Chunks {
+			t.Fatalf("op %d [%d,%d) escapes range [%d,%d)", i, op.LBA, end, cfg.Lo, cfg.Lo+cfg.Chunks)
+		}
+		if op.Kind == FullStripe {
+			if op.LBA%int64(cfg.K) != 0 || op.Chunks != cfg.K {
+				t.Fatalf("op %d: misaligned full-stripe at %d (%d chunks)", i, op.LBA, op.Chunks)
+			}
+		}
+	}
+}
+
+func TestMixRatios(t *testing.T) {
+	g, err := New(Config{Chunks: 4800, K: 6, Seed: 3}.DefaultMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6400
+	counts := map[Kind]int{}
+	hot := 0
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		counts[op.Kind]++
+		if op.Kind != FullStripe && op.LBA < 4800/8 {
+			hot++
+		}
+	}
+	if got := counts[FullStripe]; got != n/64 {
+		t.Errorf("full-stripe ops = %d, want %d", got, n/64)
+	}
+	// Reads fire every 16th op except where the full-stripe slot wins.
+	wantReads := n/16 - n/64
+	if got := counts[Read]; got < wantReads-wantReads/10 || got > wantReads+wantReads/10 {
+		t.Errorf("reads = %d, want about %d", got, wantReads)
+	}
+	// Half the single-chunk traffic on the first eighth (binomial noise
+	// allowance: well over 5 sigma on ~6k samples).
+	single := n - counts[FullStripe]
+	if frac := float64(hot) / float64(single); frac < 0.45 || frac > 0.65 {
+		t.Errorf("hot-set fraction = %.3f, want about 0.5+1/16", frac)
+	}
+}
+
+func TestFillDeterminism(t *testing.T) {
+	a := make([]byte, 4096)
+	b := make([]byte, 4096)
+	Fill(a, 12345)
+	Fill(b, 12345)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different payloads")
+	}
+	Fill(b, 12346)
+	if bytes.Equal(a, b) {
+		t.Fatal("different seeds produced identical payloads")
+	}
+	var zeros int
+	for _, v := range a {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros > len(a)/8 {
+		t.Fatalf("payload suspiciously sparse: %d/%d zero bytes", zeros, len(a))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{Chunks: 0}); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := New(Config{Lo: -1, Chunks: 10}); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, err := New(Config{Lo: 3, Chunks: 12, K: 6, StripeEvery: 64}); err == nil {
+		t.Error("misaligned full-stripe range accepted")
+	}
+	if _, err := New(Config{Chunks: 12, StripeEvery: 64}); err == nil {
+		t.Error("full-stripe ops without K accepted")
+	}
+}
