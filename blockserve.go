@@ -24,8 +24,16 @@ type BlockServeOptions struct {
 	BatchMax int
 	// QueueDepth bounds in-flight requests per connection (0 selects 128).
 	QueueDepth int
-	// ReadWorkers sizes the read/stat worker pool (0 selects 4).
+	// ReadWorkers sizes the read-batch executor pool (0 selects 4).
 	ReadWorkers int
+	// WritevMax bounds how many completed response frames one connection
+	// writer coalesces into a single vectored write (0 selects 64).
+	WritevMax int
+	// BatchAge bounds the dispatchers' adaptive batch linger: with more
+	// requests in flight than a batch holds, collection continues up to
+	// BatchAge before entering the engine (0 selects 200µs; negative
+	// disables lingering).
+	BatchAge time.Duration
 	// HighWater and LowWater set the backpressure gate thresholds on the
 	// engine's write-pressure signal (0 selects 0.85 / 0.70).
 	HighWater float64
@@ -46,6 +54,8 @@ func (a *Array) ServeBlocks(addr string, opts BlockServeOptions) (*BlockServer, 
 		BatchMax:     opts.BatchMax,
 		QueueDepth:   opts.QueueDepth,
 		ReadWorkers:  opts.ReadWorkers,
+		WritevMax:    opts.WritevMax,
+		BatchAge:     opts.BatchAge,
 		HighWater:    opts.HighWater,
 		LowWater:     opts.LowWater,
 		DrainTimeout: opts.DrainTimeout,

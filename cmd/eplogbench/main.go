@@ -68,13 +68,16 @@ type outputs struct {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run: all, table1, 1, 2, 3, 4, 5, 6, fig6, recovery, ablations, obs, conc, kernels, scaling")
+		exp        = flag.String("exp", "all", "experiment to run: all, table1, 1, 2, 3, 4, 5, 6, fig6, recovery, ablations, obs, conc, kernels, scaling, net")
 		scale      = flag.Int64("scale", experiments.DefaultScale, "scale divisor versus the paper (1 = paper scale)")
 		workers    = flag.Int("workers", 1, "worker-pool size and concurrent writers for the conc experiment")
 		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "stripe-group shard count: the scaling experiment sweeps 1/2/4/8 plus this value")
 		benchOut   = flag.String("bench-out", "BENCH_kernels.json", "JSON report path for the kernels experiment")
 		scalingOut = flag.String("scaling-out", "BENCH_scaling.json", "JSON report path for the scaling experiment")
-		force      = flag.Bool("force", false, "overwrite a scaling report measured on a machine with more CPUs than this one")
+		netOut     = flag.String("net-out", "BENCH_net.json", "JSON report path for the net experiment")
+		netConns   = flag.Int("net-conns", 256, "pipelined connections for the net experiment")
+		netOps     = flag.Int("net-ops", 200, "reads per connection for the net experiment")
+		force      = flag.Bool("force", false, "overwrite a scaling/net report measured on a machine with more CPUs than this one")
 		out        outputs
 	)
 	flag.StringVar(&out.csvPath, "csv", "", "also append machine-readable rows to this CSV file")
@@ -95,6 +98,13 @@ func main() {
 	}
 	if *exp == "scaling" {
 		if err := runScalingBench(*scale, *shards, *workers, *scalingOut, *force); err != nil {
+			fmt.Fprintln(os.Stderr, "eplogbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *exp == "net" {
+		if err := runNetBench(*netConns, *netOps, *netOut, *force); err != nil {
 			fmt.Fprintln(os.Stderr, "eplogbench:", err)
 			os.Exit(1)
 		}

@@ -43,7 +43,9 @@ func main() {
 		dirtyWindow = flag.Int("dirty-window", 128, "dirty-window bound in stripes (0 = unbounded)")
 		batchMax    = flag.Int("batch-max", 64, "max write/flush frames coalesced into one engine batch")
 		queueDepth  = flag.Int("queue-depth", 128, "max in-flight requests per connection")
-		readWorkers = flag.Int("read-workers", 4, "read/stat worker pool size")
+		readWorkers = flag.Int("read-workers", 4, "read-batch executor pool size")
+		writevMax   = flag.Int("writev-max", 64, "max response frames per vectored write")
+		batchAge    = flag.Duration("batch-age", 200*time.Microsecond, "adaptive batch linger bound for both dispatchers (negative disables)")
 		highWater   = flag.Float64("high-water", 0.85, "write-pressure level that closes the read gate")
 		lowWater    = flag.Float64("low-water", 0.70, "write-pressure level that reopens the read gate")
 		drain       = flag.Duration("drain", 5*time.Second, "graceful drain bound at shutdown")
@@ -51,7 +53,7 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*addr, *telemetry, *k, *m, *stripes, *shards, *workers, *commitEvery,
-		*writeBehind, *dirtyWindow, *batchMax, *queueDepth, *readWorkers,
+		*writeBehind, *dirtyWindow, *batchMax, *queueDepth, *readWorkers, *writevMax, *batchAge,
 		*highWater, *lowWater, *drain, *spans); err != nil {
 		fmt.Fprintln(os.Stderr, "eplogserve:", err)
 		os.Exit(1)
@@ -59,8 +61,8 @@ func main() {
 }
 
 func run(addr, telemetry string, k, m int, stripes int64, shards, workers, commitEvery int,
-	writeBehind bool, dirtyWindow, batchMax, queueDepth, readWorkers int,
-	highWater, lowWater float64, drain time.Duration, spans int) error {
+	writeBehind bool, dirtyWindow, batchMax, queueDepth, readWorkers, writevMax int,
+	batchAge time.Duration, highWater, lowWater float64, drain time.Duration, spans int) error {
 	if k < 2 || m < 1 {
 		return fmt.Errorf("need k >= 2 and m >= 1, got k=%d m=%d", k, m)
 	}
@@ -106,6 +108,8 @@ func run(addr, telemetry string, k, m int, stripes int64, shards, workers, commi
 		BatchMax:     batchMax,
 		QueueDepth:   queueDepth,
 		ReadWorkers:  readWorkers,
+		WritevMax:    writevMax,
+		BatchAge:     batchAge,
 		HighWater:    highWater,
 		LowWater:     lowWater,
 		DrainTimeout: drain,

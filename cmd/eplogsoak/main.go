@@ -32,16 +32,17 @@ func main() {
 		depth      = flag.Int("depth", 16, "pipeline depth per connection")
 		seed       = flag.Int64("seed", 1, "workload seed (connection i uses seed+i)")
 		flushEvery = flag.Int("flush-every", 113, "pipeline a FLUSH barrier every this many ops per connection (negative = never)")
+		readEvery  = flag.Int("read-every", 0, "make every Nth op a read (0 = workload default of 16; lower = read-heavier)")
 		maxPayload = flag.Int("max-payload", 0, "response payload bound in bytes (0 = protocol default)")
 	)
 	flag.Parse()
-	if err := run(*addr, *conns, *ops, *depth, *seed, *flushEvery, *maxPayload); err != nil {
+	if err := run(*addr, *conns, *ops, *depth, *seed, *flushEvery, *readEvery, *maxPayload); err != nil {
 		fmt.Fprintln(os.Stderr, "eplogsoak:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, conns, ops, depth int, seed int64, flushEvery, maxPayload int) error {
+func run(addr string, conns, ops, depth int, seed int64, flushEvery, readEvery, maxPayload int) error {
 	fmt.Printf("eplogsoak: %d conns x %d ops, depth %d, against %s\n", conns, ops, depth, addr)
 	start := time.Now()
 	rep, err := server.RunSoak(server.SoakOptions{
@@ -51,6 +52,7 @@ func run(addr string, conns, ops, depth int, seed int64, flushEvery, maxPayload 
 		Depth:      depth,
 		Seed:       seed,
 		FlushEvery: flushEvery,
+		ReadEvery:  readEvery,
 		MaxPayload: maxPayload,
 	})
 	if err != nil {

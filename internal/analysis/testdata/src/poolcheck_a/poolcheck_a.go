@@ -106,3 +106,46 @@ func CrossIterationUse(rounds, n int) {
 		bufpool.Default.Put(buf) // want `use of buf after it was returned to the pool`
 	}
 }
+
+// BatchedReleaseOK is the vectored-writer idiom: collect pooled payloads
+// into a batch, ship the whole batch in one vectored write, and only
+// then release every payload — the iovec aliases the buffers until the
+// write lands. Appending transfers ownership into the batch slice, so
+// holding across the write must not be a false positive.
+func BatchedReleaseOK(frames, n int) {
+	batch := make([][]byte, 0, frames)
+	for i := 0; i < frames; i++ {
+		buf := bufpool.Default.Get(n)
+		buf[0] = byte(i)
+		batch = append(batch, buf)
+	}
+	// ...vectored write of the whole batch lands here...
+	for _, buf := range batch {
+		bufpool.Default.Put(buf)
+	}
+}
+
+// DeferredBatchReleaseOK releases the collected batch through one defer,
+// as the soak client's per-connection free stack does on teardown.
+func DeferredBatchReleaseOK(frames, n int) {
+	batch := make([][]byte, 0, frames)
+	defer func() {
+		for _, buf := range batch {
+			bufpool.Default.Put(buf)
+		}
+	}()
+	for i := 0; i < frames; i++ {
+		batch = append(batch, bufpool.Default.Get(n))
+	}
+}
+
+// BatchUseAfterPut touches the Get'd variable after it was both handed
+// to the batch and directly released: still a use-after-Put.
+func BatchUseAfterPut(n int) byte {
+	batch := make([][]byte, 0, 1)
+	buf := bufpool.Default.Get(n)
+	batch = append(batch, buf)
+	bufpool.Default.Put(buf)
+	_ = batch
+	return buf[0] // want `use of buf after it was returned to the pool`
+}

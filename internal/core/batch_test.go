@@ -170,11 +170,11 @@ func TestWriteBatchPerOpErrors(t *testing.T) {
 	defer e.Close()
 	good := make([]byte, testChunk)
 	ops := []BatchOp{
-		{LBA: 0, Data: make([]byte, testChunk-1)},          // not a chunk multiple
-		{LBA: e.Chunks(), Data: make([]byte, testChunk)},   // out of range
-		{LBA: -1, Data: make([]byte, testChunk)},           // negative
-		{LBA: 1, Data: good},                               // fine
-		{LBA: 0, Data: nil},                                // empty
+		{LBA: 0, Data: make([]byte, testChunk-1)},        // not a chunk multiple
+		{LBA: e.Chunks(), Data: make([]byte, testChunk)}, // out of range
+		{LBA: -1, Data: make([]byte, testChunk)},         // negative
+		{LBA: 1, Data: good},                             // fine
+		{LBA: 0, Data: nil},                              // empty
 	}
 	e.WriteBatch(ops)
 	for _, i := range []int{0, 1, 2, 4} {

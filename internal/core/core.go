@@ -255,6 +255,10 @@ type EPLog struct {
 	// lockAcquired bracket — the denominator of the batching payoff
 	// (ShardLockAcquisitions).
 	lockAcqs atomic.Int64
+	// readLockAcqs counts shared shard-lock acquisitions on the read paths
+	// (ReadChunks' locked fallback and ReadBatch's group fallback) — the
+	// read-side counterpart (ReadLockAcquisitions).
+	readLockAcqs atomic.Int64
 
 	obs             *obs.Sink
 	mWriteLat       *obs.Histogram
@@ -263,6 +267,14 @@ type EPLog struct {
 	mCommitFlushLat *obs.Histogram
 	mCommitFoldLat  *obs.Histogram
 	mDegradedReads  *obs.Counter
+	// Read-batching telemetry: batches entered, ops carried, groups that
+	// fell back to (or started on) the shared-lock path, and read-path
+	// shared lock acquisitions — the scrapeable form of the batching
+	// payoff, asserted by the CI batching-regression smoke.
+	cReadBatches     *obs.Counter
+	cReadBatchOps    *obs.Counter
+	cReadBatchLocked *obs.Counter
+	cReadLocks       *obs.Counter
 	// vnowBits is the high-water completion time seen so far (float64
 	// bits, CAS-maxed). It anchors the latency metrics of commits invoked
 	// untimed (start 0) from inside the write path, whose spans would
@@ -407,6 +419,10 @@ func New(devs, logDevs []device.Dev, cfg Config) (*EPLog, error) {
 	e.mCommitFlushLat = cfg.Obs.Histogram("core.commit_flush_latency")
 	e.mCommitFoldLat = cfg.Obs.Histogram("core.commit_fold_latency")
 	e.mDegradedReads = cfg.Obs.Counter("core.degraded_reads")
+	e.cReadBatches = cfg.Obs.Counter("core.read_batches")
+	e.cReadBatchOps = cfg.Obs.Counter("core.read_batch_ops")
+	e.cReadBatchLocked = cfg.Obs.Counter("core.read_batch_locked_groups")
+	e.cReadLocks = cfg.Obs.Counter("core.read_lock_acquisitions")
 	for _, sh := range e.shards {
 		sh.initFlight(cfg.Obs)
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. Under race
+// sync.Pool deliberately drops a fraction of Puts, so zero-allocation pins
+// on pool-backed paths cannot hold and skip themselves.
+const raceEnabled = true

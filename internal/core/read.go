@@ -42,7 +42,11 @@ func (e *EPLog) ReadChunks(start float64, lba int64, p []byte) (float64, error) 
 		}
 	}
 	if shared {
-		e.forTouchedShards(lba, nChunks, func(sh *shard) { sh.mu.RLock() })
+		e.forTouchedShards(lba, nChunks, func(sh *shard) {
+			sh.mu.RLock()
+			e.readLockAcqs.Add(1)
+			e.cReadLocks.Inc()
+		})
 		defer e.forTouchedShards(lba, nChunks, func(sh *shard) { sh.mu.RUnlock() })
 	} else {
 		sh := e.shards[0]

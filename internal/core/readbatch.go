@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/eplog/eplog/internal/device"
+	"github.com/eplog/eplog/internal/obs"
+	"github.com/eplog/eplog/internal/store"
+)
+
+// Batched reads
+// -------------
+//
+// ReadBatch is the read-side twin of WriteBatch: the network server
+// coalesces READ requests from many connections into one batch before
+// entering the engine, so unrelated clients amortize the per-request
+// synchronization. Where WriteBatch amortizes exclusive lock acquisitions,
+// ReadBatch amortizes the seqlock sampling of the lock-free fast path —
+// one epoch sample and one validation per shard group instead of one per
+// request — and, when buffers or degraded state force the slow path, one
+// shared lock acquisition per shard group instead of one per request.
+//
+// Within a group the ops are sorted by LBA and LBA-adjacent ops merge into
+// contiguous chunk scans, so a batch of sequential single-chunk reads
+// walks the address space in one ascending pass. Per-op observability is
+// preserved exactly: each op still gets its own SpanRead root, read
+// latency observation, and trace event, so span-vs-counter reconciliation
+// holds whether a read entered through ReadChunks or ReadBatch.
+//
+// Ordering: a batch takes each group's snapshot at one instant (one epoch
+// validation or one lock hold), so ops in one group see a consistent
+// cross-op snapshot; across groups there is no ordering guarantee — the
+// same contract the wire protocol gives pipelined requests.
+
+// ReadOp is one read in a batch. Buf is the caller-owned destination (a
+// positive chunk multiple); Start is the op's virtual start time; End and
+// Err carry the per-op result back, matching ReadChunks.
+type ReadOp struct {
+	LBA   int64
+	Buf   []byte
+	Start float64
+
+	End float64
+	Err error
+}
+
+// readBatchScratch holds a ReadBatch invocation's grouping tables and
+// per-op device spans. Pooled so a warmed-up engine's batched read steady
+// state allocates nothing; ReadBatch may run concurrently (the server's
+// read executors), so the pool — not a per-engine field — owns the frames.
+type readBatchScratch struct {
+	groups   [][]int
+	spanning []int
+	spans    []device.Span
+}
+
+var readScratchPool = sync.Pool{New: func() any { return new(readBatchScratch) }}
+
+// ReadBatch applies every op, filling each op's End and Err in place.
+// Shard-local ops (all chunks in one stripe, or a single-shard engine) are
+// grouped per shard; each group runs as one epoch-validated lock-free pass
+// when the fast path is available, falling back to a single shared lock
+// hold for the whole group when validation fails or buffers/degraded state
+// force the slow path. Ops spanning several stripes of a multi-shard
+// engine, and every op on the fully serial engine (whose devices are
+// unwrapped and need the exclusive lock for virtual-time determinism),
+// fall back to the one-at-a-time ReadChunks path. Failures are per-op: a
+// bad or failed op never prevents the rest of the batch from running.
+func (e *EPLog) ReadBatch(ops []ReadOp) {
+	if len(ops) == 0 {
+		return
+	}
+	e.cReadBatches.Inc()
+	e.cReadBatchOps.Add(int64(len(ops)))
+	if e.nShards == 1 && e.workers == 1 {
+		// Serial engine: ReadChunks serializes on the exclusive lock and
+		// stays bit-identical to the unsharded engine.
+		for i := range ops {
+			op := &ops[i]
+			op.End, op.Err = e.ReadChunks(op.Start, op.LBA, op.Buf)
+		}
+		return
+	}
+
+	sc := readScratchPool.Get().(*readBatchScratch)
+	if cap(sc.groups) < e.nShards {
+		sc.groups = make([][]int, e.nShards)
+	}
+	groups := sc.groups[:e.nShards]
+	for i := range groups {
+		groups[i] = groups[i][:0]
+	}
+	if cap(sc.spans) < len(ops) {
+		sc.spans = make([]device.Span, len(ops))
+	}
+	spans := sc.spans[:len(ops)]
+	spanning := sc.spanning[:0]
+
+	// Validate up front and classify, exactly as WriteBatch does.
+	for i := range ops {
+		op := &ops[i]
+		op.End = op.Start
+		op.Err = nil
+		nChunks := int64(len(op.Buf) / e.csize)
+		if int(nChunks)*e.csize != len(op.Buf) || nChunks == 0 {
+			op.Err = fmt.Errorf("core: buffer length %d not a positive chunk multiple", len(op.Buf))
+			continue
+		}
+		if op.LBA < 0 || op.LBA+nChunks > e.geo.Chunks() {
+			op.Err = fmt.Errorf("%w: [%d,%d) of %d", store.ErrWriteTooLarge, op.LBA, op.LBA+nChunks, e.geo.Chunks())
+			continue
+		}
+		if e.nShards == 1 {
+			groups[0] = append(groups[0], i)
+			continue
+		}
+		first, _ := e.geo.Stripe(op.LBA)
+		last, _ := e.geo.Stripe(op.LBA + nChunks - 1)
+		if first == last {
+			si := int(first % int64(e.nShards))
+			groups[si] = append(groups[si], i)
+		} else {
+			// Consecutive stripes always land on different shards, so a
+			// multi-stripe op can never be shard-local here.
+			spanning = append(spanning, i)
+		}
+	}
+
+	nGroups := 0
+	for si := range groups {
+		if len(groups[si]) == 0 {
+			continue
+		}
+		nGroups++
+		// Ascending-LBA order inside the group turns adjacent ops into one
+		// contiguous scan; insertion sort keeps the grouping allocation-free.
+		sortByLBA(ops, groups[si])
+	}
+	if nGroups == 1 {
+		for si, g := range groups {
+			if len(g) > 0 {
+				e.runReadGroup(e.shards[si], ops, g, spans)
+			}
+		}
+	} else if nGroups > 1 {
+		done := make(chan struct{}, nGroups)
+		for si, g := range groups {
+			if len(g) == 0 {
+				continue
+			}
+			sh, idxs := e.shards[si], g
+			go func() {
+				e.runReadGroup(sh, ops, idxs, spans)
+				done <- struct{}{}
+			}()
+		}
+		for i := 0; i < nGroups; i++ {
+			<-done
+		}
+	}
+	for _, i := range spanning {
+		op := &ops[i]
+		op.End, op.Err = e.ReadChunks(op.Start, op.LBA, op.Buf)
+	}
+
+	sc.spanning = spanning[:0]
+	readScratchPool.Put(sc)
+}
+
+// sortByLBA insertion-sorts the op indices in idxs by their op's LBA.
+// Batches are small (the server bounds them at BatchMax), so insertion
+// sort wins over sort.Slice and allocates nothing.
+func sortByLBA(ops []ReadOp, idxs []int) {
+	for i := 1; i < len(idxs); i++ {
+		x := idxs[i]
+		j := i - 1
+		for j >= 0 && ops[idxs[j]].LBA > ops[x].LBA {
+			idxs[j+1] = idxs[j]
+			j--
+		}
+		idxs[j+1] = x
+	}
+}
+
+// runReadGroup executes one shard's ops: an epoch-validated lock-free pass
+// covering the whole group when available, else one shared lock hold for
+// the whole group. spans is the batch-wide per-op span table; the group
+// touches only its own ops' entries, so concurrent groups share it safely.
+func (e *EPLog) runReadGroup(sh *shard, ops []ReadOp, idxs []int, spans []device.Span) {
+	if e.fastReads && e.readGroupFast(sh, ops, idxs, spans) {
+		return
+	}
+	// One shared acquisition covers every op in the group — the read-side
+	// batching payoff (ReadLockAcquisitions is the numerator).
+	sh.mu.RLock()
+	e.readLockAcqs.Add(1)
+	e.cReadLocks.Inc()
+	e.cReadBatchLocked.Inc()
+	for _, i := range idxs {
+		op := &ops[i]
+		sp := &spans[i]
+		sp.Reset(op.Start)
+		nChunks := int64(len(op.Buf) / e.csize)
+		for off := int64(0); off < nChunks; off++ {
+			buf := op.Buf[off*int64(e.csize) : (off+1)*int64(e.csize)]
+			if err := e.readLBA(sp, op.LBA+off, buf); err != nil {
+				op.Err = err
+				break
+			}
+		}
+		if op.Err == nil && sp.Err() != nil {
+			op.Err = sp.Err()
+		}
+		op.End = sp.End()
+	}
+	sh.mu.RUnlock()
+	for _, i := range idxs {
+		if ops[i].Err == nil {
+			e.finishBatchRead(&ops[i])
+		}
+	}
+}
+
+// readGroupFast is the group-wide optimistic pass: one epoch sample, one
+// contiguous scan over the sorted ops, one validation. Any odd or moved
+// epoch, or any device error (including ErrFailed — degraded reads keep
+// their locked reconstruction path), abandons the whole group and reports
+// false; the caller redoes it under the shared lock. Only called when
+// e.fastReads (no RAM buffers to consult).
+//
+//eplog:hotpath
+func (e *EPLog) readGroupFast(sh *shard, ops []ReadOp, idxs []int, spans []device.Span) bool {
+	ep := sh.epoch.Load()
+	if ep&1 != 0 {
+		return false
+	}
+	// The group is sorted by LBA, so this loop is the coalesced scan:
+	// LBA-adjacent ops walk the packed location words and devices in one
+	// ascending pass, each chunk landing on its owning op's span.
+	for _, i := range idxs {
+		op := &ops[i]
+		sp := &spans[i]
+		sp.Reset(op.Start)
+		nChunks := int64(len(op.Buf) / e.csize)
+		for off := int64(0); off < nChunks; off++ {
+			buf := op.Buf[off*int64(e.csize) : (off+1)*int64(e.csize)]
+			loc := e.loadLatest(op.LBA + off)
+			if sp.Read(e.devs[loc.Dev], loc.Chunk, buf) != nil {
+				return false
+			}
+		}
+	}
+	if sh.epoch.Load() != ep {
+		return false
+	}
+	for _, i := range idxs {
+		op := &ops[i]
+		op.End = spans[i].End()
+		e.finishBatchRead(op)
+	}
+	return true
+}
+
+// finishBatchRead records one successfully completed batched read: the
+// same envelope ReadChunks emits (latency observation, SpanRead root,
+// trace event), so batched and per-request reads are indistinguishable to
+// the flight recorder. The recorder is internally locked, so recording
+// after completion — outside any shard lock — yields the same tree.
+func (e *EPLog) finishBatchRead(op *ReadOp) {
+	nChunks := int64(len(op.Buf) / e.csize)
+	e.bumpVnow(op.End)
+	e.mReadLat.Observe(op.End - op.Start)
+	rsh := e.shardOfLBA(op.LBA)
+	sp := rsh.rec.Start(obs.SpanRead, rsh.idx, op.Start, op.LBA, nChunks)
+	rsh.rec.Finish(sp, op.End)
+	e.obs.Emit(obs.Event{Kind: obs.KindRead, T: op.Start, Dur: op.End - op.Start,
+		Dev: -1, LBA: op.LBA, N: nChunks})
+}
+
+// ReadLockAcquisitions returns the cumulative number of shared shard-lock
+// acquisitions taken on the read paths (the per-request fallback and the
+// batched group fallback). It is the read-side batching payoff metric:
+// coalescing N slow-path reads into one batch takes one acquisition per
+// touched shard group instead of one per op, and fast-path reads take
+// none at all.
+func (e *EPLog) ReadLockAcquisitions() int64 { return e.readLockAcqs.Load() }

@@ -76,21 +76,26 @@ const (
 	// SpanNet is one network request inside a batch (LBA/N = request
 	// range; Cause = frame type name).
 	SpanNet
+	// SpanNetReadBatch is one cross-connection read batch entering the
+	// engine (root; N = ops in the batch). Wall-clock timestamps, like
+	// SpanNetBatch.
+	SpanNetReadBatch
 )
 
 var spanKindNames = map[SpanKind]string{
-	SpanWrite:       "write",
-	SpanRead:        "read",
-	SpanCommit:      "commit",
-	SpanRebuild:     "rebuild",
-	SpanDirect:      "direct-stripe",
-	SpanLogAppend:   "log-append",
-	SpanCommitFlush: "commit-flush",
-	SpanCommitFold:  "commit-fold",
-	SpanIORead:      "io-read",
-	SpanIOWrite:     "io-write",
-	SpanNetBatch:    "net-batch",
-	SpanNet:         "net",
+	SpanWrite:        "write",
+	SpanRead:         "read",
+	SpanCommit:       "commit",
+	SpanRebuild:      "rebuild",
+	SpanDirect:       "direct-stripe",
+	SpanLogAppend:    "log-append",
+	SpanCommitFlush:  "commit-flush",
+	SpanCommitFold:   "commit-fold",
+	SpanIORead:       "io-read",
+	SpanIOWrite:      "io-write",
+	SpanNetBatch:     "net-batch",
+	SpanNet:          "net",
+	SpanNetReadBatch: "net-read-batch",
 }
 
 // String implements fmt.Stringer.

@@ -22,6 +22,13 @@ type Call struct {
 	Resp wire.Frame
 	Err  error
 	Done chan *Call
+	// Dst, when non-nil on a READ call, receives the response payload
+	// directly: the decoder lands the bytes in Dst instead of a fresh pool
+	// buffer, Resp.Payload aliases Dst, and the caller must NOT
+	// wire.PutPayload the response — ownership of the memory never left the
+	// caller. Dst must be at least Count chunks long; a short Dst falls
+	// back to pool allocation (and then PutPayload applies as usual).
+	Dst []byte
 }
 
 // Client is a pipelined wire-protocol client: Go issues a request without
@@ -72,7 +79,11 @@ func (c *Client) Go(req wire.Frame, done chan *Call) *Call {
 	if done == nil {
 		done = make(chan *Call, 1)
 	}
-	call := &Call{Req: req, Done: done}
+	return c.start(&Call{Req: req, Done: done})
+}
+
+// start assigns the request ID, registers the call, and ships its frame.
+func (c *Client) start(call *Call) *Call {
 	call.Req.ReqID = c.nextID.Add(1)
 
 	c.mu.Lock()
@@ -103,6 +114,21 @@ func (c *Client) Go(req wire.Frame, done chan *Call) *Call {
 func (c *Client) receive(maxPayload int) {
 	defer close(c.recvDone)
 	dec := wire.NewDecoder(bufio.NewReaderSize(c.nc, 64<<10), maxPayload)
+	// Successful READ responses land straight in the caller's Dst buffer
+	// when one was supplied (GoRead/ReadInto) — no per-read pool traffic,
+	// no copy. Anything else keeps the pool-backed default.
+	dec.SetPayloadAlloc(func(f *wire.Frame, n int) []byte {
+		if f.Type != wire.TRead|wire.RespFlag || f.Status != wire.StatusOK {
+			return nil
+		}
+		c.mu.Lock()
+		call := c.pending[f.ReqID]
+		c.mu.Unlock()
+		if call == nil || len(call.Dst) < n {
+			return nil
+		}
+		return call.Dst[:n]
+	})
 	for {
 		var f wire.Frame
 		if err := dec.ReadFrame(&f); err != nil {
@@ -160,6 +186,24 @@ func (c *Client) Write(lba int64, p []byte) error {
 func (c *Client) Read(lba int64, count uint32) (wire.Frame, error) {
 	call := <-c.Go(wire.Frame{Type: wire.TRead, Arg: lba, Count: count}, nil).Done
 	return call.Resp, call.Err
+}
+
+// GoRead issues a READ whose response payload lands directly in dst (which
+// must hold at least count chunks). On success Resp.Payload aliases dst —
+// do not PutPayload it; the memory is the caller's. See Call.Dst.
+func (c *Client) GoRead(lba int64, count uint32, dst []byte, done chan *Call) *Call {
+	if done == nil {
+		done = make(chan *Call, 1)
+	}
+	call := &Call{Req: wire.Frame{Type: wire.TRead, Arg: lba, Count: count}, Done: done, Dst: dst}
+	return c.start(call)
+}
+
+// ReadInto reads count chunks at lba into dst and waits. The payload is
+// written in place; nothing to recycle.
+func (c *Client) ReadInto(lba int64, count uint32, dst []byte) error {
+	call := <-c.GoRead(lba, count, dst, nil).Done
+	return call.Err
 }
 
 // Flush issues a flush barrier and waits.

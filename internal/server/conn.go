@@ -94,6 +94,13 @@ func (c *conn) reader() {
 		c.ops++
 		c.sem <- struct{}{}
 		c.wg.Add(1)
+		// Occupancy gauges drive the adaptive batch linger; every admitted
+		// request ticks one up here and down in server.respond.
+		if t := f.ReqType(); t == wire.TWrite || t == wire.TFlush {
+			c.s.gWriteInflight.Add(1)
+		} else {
+			c.s.gReadInflight.Add(1)
+		}
 		r := &request{c: c, f: f}
 		if msg := c.s.validate(&r.f); msg != "" {
 			wire.PutPayload(&r.f)
@@ -109,30 +116,76 @@ func (c *conn) reader() {
 	}
 }
 
-// writer encodes responses in completion order and recycles their
-// payloads. On a write error it keeps draining out — recycling frames and
-// freeing sem slots — so in-flight executors never block on a dead
-// connection. Flushes the encoder whenever the queue goes idle.
+// writer ships responses in completion order with vectored zero-copy
+// writes: completed frames are drained off the queue up to WritevMax,
+// their headers appended into one preallocated header arena, and headers
+// plus payloads handed to the kernel as a single net.Buffers writev —
+// payload bytes are never copied into an intermediate buffer, and one
+// syscall carries many frames. Payloads are recycled only after the
+// write lands, so the kernel never reads from a reused pool buffer. On a
+// write error it keeps draining out — recycling frames and freeing sem
+// slots — so in-flight executors never block on a dead connection.
 func (c *conn) writer() {
-	bw := bufio.NewWriterSize(c.nc, 64<<10)
-	enc := wire.NewEncoder(bw)
+	max := c.s.opts.WritevMax
+	frames := make([]*wire.Frame, 0, max)
+	// hdrs is sized so appending max headers never reallocates: the iov
+	// entries alias into it, and a mid-batch reallocation would orphan the
+	// segments already queued.
+	hdrs := make([]byte, 0, max*wire.HeaderSize)
+	iov := make(net.Buffers, 0, 2*max)
 	var werr error
 	for f := range c.out {
-		if werr == nil {
-			werr = enc.WriteFrame(f)
-			if werr == nil {
-				c.s.cFramesOut.Add(1)
-				c.s.cBytesOut.Add(int64(wire.HeaderSize + len(f.Payload)))
+		frames = append(frames[:0], f)
+	drain:
+		for len(frames) < max {
+			select {
+			case f2, ok := <-c.out:
+				if !ok {
+					break drain
+				}
+				frames = append(frames, f2)
+			default:
+				break drain
 			}
 		}
-		wire.PutPayload(f)
-		<-c.sem
-		if werr == nil && len(c.out) == 0 {
-			werr = bw.Flush()
+		if werr == nil {
+			hdrs = hdrs[:0]
+			iov = iov[:0]
+			for _, fr := range frames {
+				off := len(hdrs)
+				hdrs, werr = wire.AppendFrameHeader(hdrs, fr)
+				if werr != nil {
+					break
+				}
+				iov = append(iov, hdrs[off:])
+				if len(fr.Payload) > 0 {
+					iov = append(iov, fr.Payload)
+				}
+			}
+			if werr == nil {
+				// WriteTo consumes the slice it is given; hand it a copy of
+				// the header so iov's backing array (and capacity) survive
+				// for the next batch.
+				bufs := iov
+				var nb int64
+				nb, werr = (&bufs).WriteTo(c.nc)
+				c.s.cBytesOut.Add(nb)
+				c.s.cWritev.Add(1)
+				if werr == nil {
+					c.s.cFramesOut.Add(int64(len(frames)))
+				}
+			}
+			for i := range iov {
+				iov[i] = nil // don't pin payloads past their release below
+			}
 		}
-	}
-	if werr == nil {
-		bw.Flush()
+		// The batch is on the wire (or the connection is dead): only now do
+		// payloads go back to the pool and sem slots free up.
+		for i, fr := range frames {
+			wire.PutPayload(fr)
+			frames[i] = nil
+			<-c.sem
+		}
 	}
 	c.nc.Close()
 }

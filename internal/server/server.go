@@ -39,6 +39,7 @@ import (
 // Engine is the server's view of the array. *core.EPLog satisfies it.
 type Engine interface {
 	WriteBatch(ops []core.BatchOp)
+	ReadBatch(ops []core.ReadOp)
 	ReadChunks(start float64, lba int64, p []byte) (float64, error)
 	Flush() error
 	Commit() error
@@ -64,8 +65,20 @@ type Options struct {
 	// pipelining deeper stops being read until responses drain (<= 0
 	// selects 128).
 	QueueDepth int
-	// ReadWorkers sizes the read/stat executor pool (<= 0 selects 4).
+	// ReadWorkers sizes the read-batch executor pool (<= 0 selects 4).
 	ReadWorkers int
+	// WritevMax bounds how many completed response frames one connection
+	// writer coalesces into a single vectored write (net.Buffers/writev);
+	// <= 0 selects 64. 1 degenerates to one write per frame.
+	WritevMax int
+	// BatchAge is the adaptive flush policy's linger bound for both
+	// dispatchers: once a batch has its first op and the queue goes empty,
+	// the dispatcher keeps collecting up to BatchAge — but only while the
+	// occupancy gauges say more requests are in flight than it holds;
+	// an idle server flushes immediately. 0 selects 200µs; negative
+	// disables lingering (flush as soon as the queue is empty, the
+	// pre-adaptive behavior).
+	BatchAge time.Duration
 	// HighWater and LowWater are the WritePressure gate thresholds: at or
 	// above HighWater the server stops reading from sockets, and resumes
 	// below LowWater (defaults 0.85 / 0.70).
@@ -96,6 +109,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ReadWorkers <= 0 {
 		o.ReadWorkers = 4
+	}
+	if o.WritevMax <= 0 {
+		o.WritevMax = 64
+	}
+	if o.BatchAge == 0 {
+		o.BatchAge = 200 * time.Microsecond
 	}
 	if o.HighWater <= 0 {
 		o.HighWater = 0.85
@@ -128,11 +147,15 @@ type Server struct {
 	acceptDone chan struct{}
 
 	// writeQ carries writes and flushes in socket-arrival order to the
-	// single dispatcher; readQ carries reads and stats to the worker pool.
-	writeQ       chan *request
-	readQ        chan *request
-	dispatchDone chan struct{}
-	workersWG    sync.WaitGroup
+	// write dispatcher; readQ carries reads and stats to the read
+	// dispatcher, which answers stats inline and ships read batches to the
+	// executor pool over rbatchQ.
+	writeQ           chan *request
+	readQ            chan *request
+	rbatchQ          chan []*request
+	dispatchDone     chan struct{}
+	readDispatchDone chan struct{}
+	workersWG        sync.WaitGroup
 
 	gate       gate
 	refreshing atomic.Bool
@@ -165,6 +188,15 @@ type Server struct {
 	gGate      *obs.Gauge
 	cForced    *obs.Counter
 	hConnOps   *obs.Histogram
+	// Read-batching and vectored-writer telemetry: read batches entering
+	// the engine, their op counts, vectored writes issued, and the two
+	// occupancy gauges (requests admitted but not yet responded, split by
+	// dispatcher) that drive the adaptive flush policy.
+	cReadBatches   *obs.Counter
+	hReadBatchOps  *obs.Histogram
+	cWritev        *obs.Counter
+	gWriteInflight *obs.Gauge
+	gReadInflight  *obs.Gauge
 }
 
 // Listen starts a server on addr (host:port; ":0" picks a free port).
@@ -181,17 +213,19 @@ func Listen(addr string, eng Engine, opts Options) (*Server, error) {
 func Serve(ln net.Listener, eng Engine, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:         opts,
-		eng:          eng,
-		csize:        eng.ChunkSize(),
-		chunks:       eng.Chunks(),
-		ln:           ln,
-		quit:         make(chan struct{}),
-		acceptDone:   make(chan struct{}),
-		writeQ:       make(chan *request, 1024),
-		readQ:        make(chan *request, 1024),
-		dispatchDone: make(chan struct{}),
-		conns:        make(map[*conn]struct{}),
+		opts:             opts,
+		eng:              eng,
+		csize:            eng.ChunkSize(),
+		chunks:           eng.Chunks(),
+		ln:               ln,
+		quit:             make(chan struct{}),
+		acceptDone:       make(chan struct{}),
+		writeQ:           make(chan *request, 1024),
+		readQ:            make(chan *request, 1024),
+		rbatchQ:          make(chan []*request, opts.ReadWorkers),
+		dispatchDone:     make(chan struct{}),
+		readDispatchDone: make(chan struct{}),
+		conns:            make(map[*conn]struct{}),
 	}
 	s.gate.init()
 	sink := opts.Sink
@@ -214,11 +248,17 @@ func Serve(ln net.Listener, eng Engine, opts Options) *Server {
 	s.gGate = sink.Gauge("net.gate_closed")
 	s.cForced = sink.Counter("net.forced_folds")
 	s.hConnOps = sink.Histogram("net.conn_ops")
+	s.cReadBatches = sink.Counter("net.read_batches")
+	s.hReadBatchOps = sink.Histogram("net.read_batch_ops")
+	s.cWritev = sink.Counter("net.writev_calls")
+	s.gWriteInflight = sink.Gauge("net.write_inflight")
+	s.gReadInflight = sink.Gauge("net.read_inflight")
 
 	go s.dispatch()
+	go s.readDispatch()
 	s.workersWG.Add(opts.ReadWorkers)
 	for i := 0; i < opts.ReadWorkers; i++ {
-		go s.readWorker()
+		go s.readExec()
 	}
 	go s.acceptLoop()
 	return s
@@ -269,10 +309,11 @@ func (s *Server) Close() error {
 		}
 
 		// All producers are gone; draining the queues shuts the
-		// dispatcher and workers down.
+		// dispatchers and executors down in dependency order.
 		close(s.writeQ)
 		<-s.dispatchDone
 		close(s.readQ)
+		<-s.readDispatchDone // closes rbatchQ after the last batch ships
 		s.workersWG.Wait()
 		if s.opts.CloseStore {
 			s.closeErr = s.eng.Close()
@@ -303,30 +344,70 @@ func (s *Server) acceptLoop() {
 
 // dispatch is the single write dispatcher: it drains the cross-connection
 // write queue into batches of up to BatchMax frames (blocking only for the
-// first), splits each batch at FLUSH barriers, and runs the write runs
-// through core.WriteBatch — one shard lock acquisition per touched shard
-// for the whole run, however many connections contributed. After each
-// batch it re-evaluates the backpressure gate.
+// first, then filling adaptively), splits each batch at FLUSH barriers,
+// and runs the write runs through core.WriteBatch — one shard lock
+// acquisition per touched shard for the whole run, however many
+// connections contributed. After each batch it re-evaluates the
+// backpressure gate.
 func (s *Server) dispatch() {
 	defer close(s.dispatchDone)
 	batch := make([]*request, 0, s.opts.BatchMax)
 	for r := range s.writeQ {
 		batch = append(batch[:0], r)
-	fill:
-		for len(batch) < s.opts.BatchMax {
-			select {
-			case r2, ok := <-s.writeQ:
-				if !ok {
-					break fill
-				}
-				batch = append(batch, r2)
-			default:
-				break fill
-			}
-		}
+		batch = s.fillAdaptive(s.writeQ, batch, s.gWriteInflight)
 		s.runBatch(batch)
 		s.updateGate()
 	}
+}
+
+// fillAdaptive grows a batch whose first op the caller already holds,
+// implementing the adaptive flush policy shared by both dispatchers. A
+// batch flushes on the first of: batch-size (BatchMax reached), first-op
+// age (BatchAge since filling began), or idle — the queue is empty and the
+// dispatcher's occupancy gauge says nothing beyond the batch in hand is in
+// flight, so there is nothing to linger for. Whatever is immediately
+// available is always taken without waiting; the linger only ever trades
+// bounded latency on a *busy* server for larger batches.
+//
+//eplog:wallclock the first-op age bound is a real-time linger
+func (s *Server) fillAdaptive(q <-chan *request, batch []*request, occ *obs.Gauge) []*request {
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for len(batch) < s.opts.BatchMax {
+		select {
+		case r, ok := <-q:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, r)
+			continue
+		default:
+		}
+		// Queue empty: flush when lingering is disabled, the age budget is
+		// already ticking down to zero, or the server is idle (the gauge
+		// counts admitted-but-unresponded requests, including the batch in
+		// hand — nothing beyond it means nothing left to wait for).
+		if s.opts.BatchAge <= 0 || int(occ.Value()) <= len(batch) {
+			return batch
+		}
+		if timer == nil {
+			timer = time.NewTimer(s.opts.BatchAge)
+		}
+		select {
+		case r, ok := <-q:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
 }
 
 // runBatch executes one dispatcher batch: contiguous WRITE runs become one
@@ -392,51 +473,108 @@ func (s *Server) runWrites(run []*request, root *obs.Span) {
 	}
 }
 
-// readWorker executes READ and STAT requests from the shared pool, so
-// reads from any connection overtake queued writes — out-of-order
-// completion is the point of pipelining.
-func (s *Server) readWorker() {
-	defer s.workersWG.Done()
+// readDispatch is the single read dispatcher: it drains the
+// cross-connection read queue into batches with the same adaptive flush
+// policy as the write dispatcher, answers STAT frames inline (cheap
+// metadata snapshots that must not wait on the engine), and ships each
+// READ batch to the executor pool — so concurrent connections share one
+// core.ReadBatch, and reads still overtake queued writes.
+func (s *Server) readDispatch() {
+	defer close(s.readDispatchDone)
+	defer close(s.rbatchQ)
+	batch := make([]*request, 0, s.opts.BatchMax)
 	for r := range s.readQ {
-		switch r.f.ReqType() {
-		case wire.TRead:
-			s.cReads.Add(1)
-			n := int(r.f.Count) * s.csize
-			buf := bufpool.Default.Get(n)
-			sp := s.rec.Start(obs.SpanNet, s.opts.SpanShard, s.now(), r.f.Arg, int64(r.f.Count))
-			sp.SetCause("read")
-			_, err := s.eng.ReadChunks(0, r.f.Arg, buf)
-			s.rec.Finish(sp, s.now())
-			if err != nil {
-				bufpool.Default.Put(buf)
-				s.respondErr(r, wire.StatusErr, err.Error())
-				continue
+		batch = append(batch[:0], r)
+		batch = s.fillAdaptive(s.readQ, batch, s.gReadInflight)
+		n := 0
+		for _, r2 := range batch {
+			if r2.f.ReqType() == wire.TStat {
+				s.runStat(r2)
+			} else {
+				batch[n] = r2
+				n++
 			}
-			s.respond(r, &wire.Frame{Type: wire.TRead | wire.RespFlag, ReqID: r.f.ReqID,
-				Arg: r.f.Arg, Count: uint32(len(buf)), Payload: buf})
-		case wire.TStat:
-			s.cStats.Add(1)
-			geo := s.eng.Geometry()
-			st := wire.Stat{
-				K:                 uint32(geo.K),
-				M:                 uint32(geo.M()),
-				Shards:            uint32(s.eng.NumShards()),
-				ChunkSize:         uint32(s.csize),
-				Stripes:           geo.Stripes,
-				Chunks:            s.chunks,
-				PendingLogStripes: int64(s.eng.PendingLogStripes()),
-				WritePressure:     s.eng.WritePressure(),
-			}
-			p := wire.AppendStat(nil, &st)
-			s.respond(r, &wire.Frame{Type: wire.TStat | wire.RespFlag, ReqID: r.f.ReqID,
-				Count: uint32(len(p)), Payload: p})
+		}
+		if n > 0 {
+			rb := make([]*request, n)
+			copy(rb, batch[:n])
+			s.rbatchQ <- rb
 		}
 	}
 }
 
+// readExec runs read batches from the dispatcher. Several executors keep
+// batches from distinct fills in flight at once, preserving the
+// out-of-order completion pipelining promises.
+func (s *Server) readExec() {
+	defer s.workersWG.Done()
+	for rb := range s.rbatchQ {
+		s.runReadBatch(rb)
+	}
+}
+
+// runReadBatch pushes one batch of READ frames through the engine as a
+// single core.ReadBatch and responds per op. Response payloads come from
+// the arena here and are released by the connection writer once the
+// vectored write lands (or recycled immediately on a per-op error).
+func (s *Server) runReadBatch(batch []*request) {
+	s.cReadBatches.Add(1)
+	s.hReadBatchOps.Observe(float64(len(batch)))
+	start := s.now()
+	root := s.rec.Start(obs.SpanNetReadBatch, s.opts.SpanShard, start, 0, int64(len(batch)))
+	ops := make([]core.ReadOp, len(batch))
+	spans := make([]*obs.Span, len(batch))
+	for i, r := range batch {
+		ops[i] = core.ReadOp{LBA: r.f.Arg, Buf: bufpool.Default.Get(int(r.f.Count) * s.csize)}
+		sp := root.Child(obs.SpanNet, s.opts.SpanShard, s.now(), r.f.Arg, int64(r.f.Count))
+		sp.SetCause("read")
+		spans[i] = sp
+	}
+	s.eng.ReadBatch(ops)
+	end := s.now()
+	for i, r := range batch {
+		spans[i].Close(end)
+		s.cReads.Add(1)
+		if err := ops[i].Err; err != nil {
+			bufpool.Default.Put(ops[i].Buf)
+			s.respondErr(r, wire.StatusErr, err.Error())
+			continue
+		}
+		s.respond(r, &wire.Frame{Type: wire.TRead | wire.RespFlag, ReqID: r.f.ReqID,
+			Arg: r.f.Arg, Count: uint32(len(ops[i].Buf)), Payload: ops[i].Buf})
+	}
+	s.rec.Finish(root, end)
+}
+
+// runStat answers one STAT frame from live engine metadata.
+func (s *Server) runStat(r *request) {
+	s.cStats.Add(1)
+	geo := s.eng.Geometry()
+	st := wire.Stat{
+		K:                 uint32(geo.K),
+		M:                 uint32(geo.M()),
+		Shards:            uint32(s.eng.NumShards()),
+		ChunkSize:         uint32(s.csize),
+		Stripes:           geo.Stripes,
+		Chunks:            s.chunks,
+		PendingLogStripes: int64(s.eng.PendingLogStripes()),
+		WritePressure:     s.eng.WritePressure(),
+	}
+	p := wire.AppendStat(nil, &st)
+	s.respond(r, &wire.Frame{Type: wire.TStat | wire.RespFlag, ReqID: r.f.ReqID,
+		Count: uint32(len(p)), Payload: p})
+}
+
 // respond enqueues a response on the request's connection. Never blocks
 // indefinitely: the per-conn in-flight bound guarantees buffer space.
+// Every admitted request passes through here exactly once, so this is
+// where the dispatcher occupancy gauges tick down.
 func (s *Server) respond(r *request, f *wire.Frame) {
+	if t := r.f.ReqType(); t == wire.TWrite || t == wire.TFlush {
+		s.gWriteInflight.Add(-1)
+	} else {
+		s.gReadInflight.Add(-1)
+	}
 	r.c.out <- f
 	r.c.wg.Done()
 }

@@ -130,11 +130,11 @@ func TestBadRequests(t *testing.T) {
 
 	bad := []wire.Frame{
 		{Type: wire.TWrite, Arg: 0, Count: testChunk - 1, Payload: make([]byte, testChunk-1)}, // not a chunk multiple
-		{Type: wire.TWrite, Arg: 64 * 4, Count: testChunk, Payload: make([]byte, testChunk)}, // out of range
-		{Type: wire.TRead, Arg: 0, Count: 0},                                         // zero-chunk read
-		{Type: wire.TRead, Arg: -1, Count: 1},                                        // negative LBA
-		{Type: wire.TFlush, Arg: 5},                                                  // flush with arguments
-		{Type: wire.TStat, Count: 1},                                                 // stat with arguments
+		{Type: wire.TWrite, Arg: 64 * 4, Count: testChunk, Payload: make([]byte, testChunk)},  // out of range
+		{Type: wire.TRead, Arg: 0, Count: 0},                                                  // zero-chunk read
+		{Type: wire.TRead, Arg: -1, Count: 1},                                                 // negative LBA
+		{Type: wire.TFlush, Arg: 5},                                                           // flush with arguments
+		{Type: wire.TStat, Count: 1},                                                          // stat with arguments
 	}
 	for i, f := range bad {
 		call := <-c.Go(f, nil).Done
@@ -253,27 +253,41 @@ func TestGracefulDrain(t *testing.T) {
 	}
 }
 
-// stubEngine gives the gate tests a controllable pressure signal.
+// stubEngine gives the gate tests a controllable pressure signal and the
+// batching tests visibility into how reads arrive (batch count + sizes).
 type stubEngine struct {
-	pressure atomic.Uint64 // float64 bits
-	writes   atomic.Int64
+	pressure   atomic.Uint64 // float64 bits
+	writes     atomic.Int64
+	readOps    atomic.Int64
+	readCalls  atomic.Int64
+	readStall  chan struct{} // non-nil: ReadBatch blocks until closed
+	stallOnce  sync.Once
+	stallEntry chan struct{} // signaled when the first ReadBatch parks
 }
 
 func (s *stubEngine) setPressure(p float64) { s.pressure.Store(math.Float64bits(p)) }
 
 func (s *stubEngine) WriteBatch(ops []core.BatchOp) { s.writes.Add(int64(len(ops))) }
+func (s *stubEngine) ReadBatch(ops []core.ReadOp) {
+	s.readCalls.Add(1)
+	s.readOps.Add(int64(len(ops)))
+	if s.readStall != nil {
+		s.stallOnce.Do(func() { close(s.stallEntry) })
+		<-s.readStall
+	}
+}
 func (s *stubEngine) ReadChunks(start float64, lba int64, p []byte) (float64, error) {
 	return start, nil
 }
-func (s *stubEngine) Flush() error                { return nil }
-func (s *stubEngine) Commit() error               { return nil }
-func (s *stubEngine) Chunks() int64               { return 1 << 20 }
-func (s *stubEngine) ChunkSize() int              { return testChunk }
-func (s *stubEngine) Geometry() store.Geometry    { return store.Geometry{K: 4, N: 6, Stripes: 1 << 18} }
-func (s *stubEngine) WritePressure() float64      { return math.Float64frombits(s.pressure.Load()) }
-func (s *stubEngine) PendingLogStripes() int      { return 0 }
-func (s *stubEngine) NumShards() int              { return 1 }
-func (s *stubEngine) Close() error                { return nil }
+func (s *stubEngine) Flush() error             { return nil }
+func (s *stubEngine) Commit() error            { return nil }
+func (s *stubEngine) Chunks() int64            { return 1 << 20 }
+func (s *stubEngine) ChunkSize() int           { return testChunk }
+func (s *stubEngine) Geometry() store.Geometry { return store.Geometry{K: 4, N: 6, Stripes: 1 << 18} }
+func (s *stubEngine) WritePressure() float64   { return math.Float64frombits(s.pressure.Load()) }
+func (s *stubEngine) PendingLogStripes() int   { return 0 }
+func (s *stubEngine) NumShards() int           { return 1 }
+func (s *stubEngine) Close() error             { return nil }
 
 // TestBackpressureGate drives pressure over the high-water mark and checks
 // the server stops reading new frames, then resumes once pressure decays

@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"sync"
 
+	"github.com/eplog/eplog/internal/bufpool"
 	"github.com/eplog/eplog/internal/core"
 	"github.com/eplog/eplog/internal/device"
 	"github.com/eplog/eplog/internal/wire"
@@ -30,6 +31,11 @@ type SoakOptions struct {
 	// FlushEvery pipelines a FLUSH barrier every FlushEvery ops per
 	// connection (0 selects 113; negative disables).
 	FlushEvery int
+	// ReadEvery overrides the workload mix's read cadence when nonzero
+	// (every Nth op is a read; the default mix selects 16). Lower values
+	// make the soak read-heavy — useful for exercising the server's read
+	// batching under load.
+	ReadEvery int
 }
 
 // SoakOp is one logged workload operation, recorded in issue order. Write
@@ -145,7 +151,11 @@ func soakConn(opts SoakOptions, st wire.Stat, cl *ConnLog) error {
 		return err
 	}
 	defer c.Close()
-	gen, err := workload.New(workload.Config{Lo: cl.Lo, Chunks: cl.Chunks, K: k, Seed: cl.Seed}.DefaultMix())
+	cfg := workload.Config{Lo: cl.Lo, Chunks: cl.Chunks, K: k, Seed: cl.Seed}.DefaultMix()
+	if opts.ReadEvery != 0 {
+		cfg.ReadEvery = opts.ReadEvery
+	}
+	gen, err := workload.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -159,12 +169,33 @@ func soakConn(opts SoakOptions, st wire.Stat, cl *ConnLog) error {
 	done := make(chan *Call, opts.Depth)
 	buf := make([]byte, k*csize)
 
+	// Read responses land in a small free-stack of pool-backed destination
+	// buffers (Call.Dst), so a soak issues zero per-read allocations and
+	// never touches the shared payload pool on the response path.
+	free := make([][]byte, 0, opts.Depth)
+	defer func() {
+		for _, d := range free {
+			bufpool.Default.Put(d)
+		}
+	}()
+	getDst := func() []byte {
+		if n := len(free); n > 0 {
+			d := free[n-1]
+			free = free[:n-1]
+			return d
+		}
+		return bufpool.Default.Get(k * csize)
+	}
+
 	complete := func(call *Call) error {
 		fr, ok := inflight[call]
 		if !ok {
 			return fmt.Errorf("completion for unknown call %d", call.Req.ReqID)
 		}
 		delete(inflight, call)
+		if call.Dst != nil {
+			free = append(free, call.Dst[:cap(call.Dst)])
+		}
 		if call.Err != nil {
 			return fmt.Errorf("type %#x req %d: %w", call.Req.ReqType(), call.Req.ReqID, call.Err)
 		}
@@ -172,11 +203,12 @@ func soakConn(opts SoakOptions, st wire.Stat, cl *ConnLog) error {
 		case wire.TWrite:
 			cl.BytesWritten += int64(call.Resp.Count)
 		case wire.TRead:
+			// Payload aliases call.Dst (just pushed back above); no
+			// PutPayload — the memory never left this connection.
 			h := fnv.New64a()
 			h.Write(call.Resp.Payload)
 			cl.Ops[fr.op].Sum = h.Sum64()
 			cl.BytesRead += int64(len(call.Resp.Payload))
-			wire.PutPayload(&call.Resp)
 		}
 		return nil
 	}
@@ -198,7 +230,7 @@ func soakConn(opts SoakOptions, st wire.Stat, cl *ConnLog) error {
 		}
 		var call *Call
 		if op.Kind == workload.Read {
-			call = c.Go(wire.Frame{Type: wire.TRead, Arg: op.LBA, Count: uint32(op.Chunks)}, done)
+			call = c.GoRead(op.LBA, uint32(op.Chunks), getDst(), done)
 		} else {
 			p := buf[:op.Chunks*csize]
 			workload.Fill(p, op.Seed)

@@ -178,6 +178,31 @@ func (e *Encoder) WriteFrame(f *Frame) error {
 // Flush pushes buffered frames to the underlying stream.
 func (e *Encoder) Flush() error { return e.w.Flush() }
 
+// AppendFrameHeader appends f's encoded header — the fixed HeaderSize
+// bytes covering the size word through the count field — to dst and
+// returns the extended slice. It is the frame-segments half of the
+// encoder: a vectored writer (net.Buffers/writev) emits the header and
+// f.Payload as separate segments, so payloads cross to the socket
+// zero-copy straight from their pool buffers. The byte layout is exactly
+// WriteFrame's; no format change.
+//
+//eplog:hotpath
+func AppendFrameHeader(dst []byte, f *Frame) ([]byte, error) {
+	if len(f.Payload) > math.MaxUint32-headerRest {
+		return dst, fmt.Errorf("wire: payload of %d bytes unencodable", len(f.Payload))
+	}
+	var hdr [HeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(headerRest+len(f.Payload)))
+	binary.BigEndian.PutUint16(hdr[4:], Magic)
+	hdr[6] = f.Type
+	hdr[7] = f.Status
+	binary.BigEndian.PutUint64(hdr[8:], f.ReqID)
+	binary.BigEndian.PutUint64(hdr[16:], uint64(f.Arg))
+	binary.BigEndian.PutUint32(hdr[24:], f.Count)
+	dst = append(dst, hdr[:]...)
+	return dst, nil
+}
+
 // Decoder reads frames from a byte stream, enforcing the framing bounds.
 // Not safe for concurrent use.
 type Decoder struct {
@@ -185,6 +210,7 @@ type Decoder struct {
 	maxPayload int
 	hdr        [HeaderSize]byte
 	err        error // latched fatal stream error
+	alloc      func(f *Frame, n int) []byte
 }
 
 // NewDecoder returns a decoder over r accepting payloads up to maxPayload
@@ -204,6 +230,17 @@ func (d *Decoder) fail(err error) error {
 	d.err = err
 	return err
 }
+
+// SetPayloadAlloc installs fn as the decoder's payload-buffer source:
+// before reading a frame's payload, ReadFrame offers fn the fully decoded
+// header (f) and the payload length n. Returning a slice with len >= n
+// makes the payload land directly in that caller-owned memory — f.Payload
+// aliases it, ownership stays with the caller, and PutPayload must NOT be
+// called on the frame. Returning nil falls back to the bufpool arena with
+// the usual ownership rules. A pipelined client uses this to decode READ
+// responses straight into per-call destination buffers, eliminating the
+// per-response pool round-trip.
+func (d *Decoder) SetPayloadAlloc(fn func(f *Frame, n int) []byte) { d.alloc = fn }
 
 // ReadFrame decodes the next frame into f. A non-nil f.Payload comes from
 // the bufpool arena; the caller owns it and recycles it with PutPayload.
@@ -255,9 +292,23 @@ func (d *Decoder) ReadFrame(f *Frame) error {
 	if n == 0 {
 		return nil
 	}
-	p := bufpool.Default.Get(n)
+	// A caller-provided destination (SetPayloadAlloc) bypasses the arena;
+	// the caller keeps ownership, so the error path must not recycle it.
+	var p []byte
+	pooled := true
+	if d.alloc != nil {
+		if dst := d.alloc(f, n); len(dst) >= n {
+			p = dst[:n]
+			pooled = false
+		}
+	}
+	if pooled {
+		p = bufpool.Default.Get(n)
+	}
 	if _, err := io.ReadFull(d.r, p); err != nil {
-		bufpool.Default.Put(p)
+		if pooled {
+			bufpool.Default.Put(p)
+		}
 		return d.fail(fmt.Errorf("wire: reading %d-byte payload: %w", n, noEOF(err)))
 	}
 	f.Payload = p

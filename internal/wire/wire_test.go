@@ -158,3 +158,91 @@ func TestStatRoundTrip(t *testing.T) {
 		t.Fatal("short stat payload parsed")
 	}
 }
+
+// TestAppendFrameHeaderMatchesWriteFrame checks the vectored-writer header
+// encoder produces byte-identical headers to WriteFrame for every frame
+// shape, and rejects the same oversized payloads.
+func TestAppendFrameHeaderMatchesWriteFrame(t *testing.T) {
+	payload := []byte("some payload bytes for the header to describe")
+	frames := []*Frame{
+		{Type: TRead, ReqID: 1, Arg: 42, Count: 8},
+		{Type: TWrite, ReqID: 2, Arg: 7, Count: uint32(len(payload)), Payload: payload},
+		{Type: TRead | RespFlag, ReqID: 9, Status: StatusOK, Arg: 3, Count: uint32(len(payload)), Payload: payload},
+		{Type: TFlush | RespFlag, ReqID: 3, Status: StatusErr, Payload: []byte("boom")},
+		{Type: TStat | RespFlag, ReqID: 4, Status: StatusBadRequest},
+	}
+	for i, f := range frames {
+		want := encodeAll(t, f)[:HeaderSize]
+		got, err := AppendFrameHeader(nil, f)
+		if err != nil {
+			t.Fatalf("frame %d: AppendFrameHeader: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: header diverges from WriteFrame:\n got %x\nwant %x", i, got, want)
+		}
+	}
+	// Appending onto an existing prefix preserves it.
+	pre := []byte{0xAA, 0xBB}
+	out, err := AppendFrameHeader(pre, frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[:2], pre[:2]) || len(out) != 2+HeaderSize {
+		t.Fatalf("prefix not preserved: %x", out)
+	}
+}
+
+// TestDecoderPayloadAlloc checks the caller-owned payload hook: a hook
+// that claims a frame makes the payload land in the returned buffer
+// (aliasing it, no pool involvement) while declined frames keep the
+// pool-backed default.
+func TestDecoderPayloadAlloc(t *testing.T) {
+	p1 := []byte("first frame payload")
+	p2 := []byte("second frame payload")
+	stream := encodeAll(t,
+		&Frame{Type: TRead | RespFlag, ReqID: 1, Status: StatusOK, Count: uint32(len(p1)), Payload: p1},
+		&Frame{Type: TRead | RespFlag, ReqID: 2, Status: StatusOK, Count: uint32(len(p2)), Payload: p2},
+	)
+	dst := make([]byte, 64)
+	dec := NewDecoder(bytes.NewReader(stream), 0)
+	dec.SetPayloadAlloc(func(f *Frame, n int) []byte {
+		if f.ReqID == 1 {
+			return dst
+		}
+		return nil // too short or not ours: decline
+	})
+	var f1, f2 Frame
+	if err := dec.ReadFrame(&f1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f1.Payload, p1) {
+		t.Fatalf("claimed payload = %q, want %q", f1.Payload, p1)
+	}
+	if &f1.Payload[0] != &dst[0] {
+		t.Fatal("claimed payload does not alias the hook's buffer")
+	}
+	if err := dec.ReadFrame(&f2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f2.Payload, p2) {
+		t.Fatalf("declined payload = %q, want %q", f2.Payload, p2)
+	}
+	if &f2.Payload[0] == &dst[0] {
+		t.Fatal("declined frame landed in the hook's buffer")
+	}
+	PutPayload(&f2)
+
+	// A short return falls back to the pool too.
+	dec = NewDecoder(bytes.NewReader(encodeAll(t,
+		&Frame{Type: TRead | RespFlag, ReqID: 3, Status: StatusOK, Count: uint32(len(p1)), Payload: p1})), 0)
+	short := make([]byte, 4)
+	dec.SetPayloadAlloc(func(f *Frame, n int) []byte { return short })
+	var f3 Frame
+	if err := dec.ReadFrame(&f3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f3.Payload, p1) {
+		t.Fatal("short-hook frame corrupted")
+	}
+	PutPayload(&f3)
+}
