@@ -26,6 +26,16 @@ type BlockServeOptions struct {
 	QueueDepth int
 	// ReadWorkers sizes the read-batch executor pool (0 selects 4).
 	ReadWorkers int
+	// WriteQueue is the capacity of the write/flush dispatch queue
+	// between connection readers and the write dispatcher (0 selects
+	// 1024).
+	WriteQueue int
+	// ReadQueue is the capacity of the read/stats dispatch queue between
+	// connection readers and the read dispatcher (0 selects 1024).
+	ReadQueue int
+	// ReadBatchQueue is the capacity of the batch hand-off queue between
+	// the read dispatcher and the executor pool (0 selects ReadWorkers).
+	ReadBatchQueue int
 	// WritevMax bounds how many completed response frames one connection
 	// writer coalesces into a single vectored write (0 selects 64).
 	WritevMax int
@@ -50,16 +60,19 @@ type BlockServeOptions struct {
 // server never closes the store itself.
 func (a *Array) ServeBlocks(addr string, opts BlockServeOptions) (*BlockServer, error) {
 	return server.Listen(addr, a.e, server.Options{
-		MaxPayload:   opts.MaxPayload,
-		BatchMax:     opts.BatchMax,
-		QueueDepth:   opts.QueueDepth,
-		ReadWorkers:  opts.ReadWorkers,
-		WritevMax:    opts.WritevMax,
-		BatchAge:     opts.BatchAge,
-		HighWater:    opts.HighWater,
-		LowWater:     opts.LowWater,
-		DrainTimeout: opts.DrainTimeout,
-		Sink:         a.sink,
-		SpanShard:    a.e.NumShards(),
+		MaxPayload:     opts.MaxPayload,
+		BatchMax:       opts.BatchMax,
+		QueueDepth:     opts.QueueDepth,
+		ReadWorkers:    opts.ReadWorkers,
+		WriteQueue:     opts.WriteQueue,
+		ReadQueue:      opts.ReadQueue,
+		ReadBatchQueue: opts.ReadBatchQueue,
+		WritevMax:      opts.WritevMax,
+		BatchAge:       opts.BatchAge,
+		HighWater:      opts.HighWater,
+		LowWater:       opts.LowWater,
+		DrainTimeout:   opts.DrainTimeout,
+		Sink:           a.sink,
+		SpanShard:      a.e.NumShards(),
 	})
 }

@@ -1,16 +1,25 @@
 // Command eplint mechanically enforces EPLog's concurrency, ownership and
-// hot-path invariants (see DESIGN.md §10):
+// hot-path invariants (see DESIGN.md §10 and §14):
 //
-//	lockorder    shard locks: ascending order, lockAll is the only
-//	             whole-array entry
-//	poolcheck    every bufpool Get is paired with a Put on all paths;
-//	             no use after Put
-//	virtualtime  no wall-clock calls in the virtual-time simulators
-//	hotpath      //eplog:hotpath functions must not allocate
+//	lockorder     shard locks: ascending order, lockAll is the only
+//	              whole-array entry
+//	poolcheck     every bufpool Get is paired with a Put on all paths;
+//	              no use after Put
+//	virtualtime   no wall-clock calls in the virtual-time simulators
+//	hotpath       //eplog:hotpath functions must not allocate
+//	seqlock       epoch/location words mutate only in //eplog:seqlock-write
+//	              brackets; //eplog:seqlock-read functions follow the
+//	              sample → odd-check → load → re-validate protocol
+//	spanpair      every obs span begun is finished or handed off
+//	              (//eplog:span-handoff) on all paths
+//	blockinglock  no blocking operations while holding a //eplog:shardlock
+//	              mutex
+//	errlatch      wire codec errors checked before frames are trusted
 //
 // Usage:
 //
 //	eplint ./...                          # standalone
+//	eplint -json ./...                    # machine-readable diagnostics
 //	go vet -vettool=$(which eplint) ./... # as a vet tool (covers tests)
 package main
 

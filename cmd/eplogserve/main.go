@@ -44,6 +44,9 @@ func main() {
 		batchMax    = flag.Int("batch-max", 64, "max write/flush frames coalesced into one engine batch")
 		queueDepth  = flag.Int("queue-depth", 128, "max in-flight requests per connection")
 		readWorkers = flag.Int("read-workers", 4, "read-batch executor pool size")
+		writeQueue  = flag.Int("write-queue", 1024, "write/flush dispatch queue capacity")
+		readQueue   = flag.Int("read-queue", 1024, "read/stats dispatch queue capacity")
+		rbatchQueue = flag.Int("read-batch-queue", 0, "read batch hand-off queue capacity (0 = read-workers)")
 		writevMax   = flag.Int("writev-max", 64, "max response frames per vectored write")
 		batchAge    = flag.Duration("batch-age", 200*time.Microsecond, "adaptive batch linger bound for both dispatchers (negative disables)")
 		highWater   = flag.Float64("high-water", 0.85, "write-pressure level that closes the read gate")
@@ -53,7 +56,8 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*addr, *telemetry, *k, *m, *stripes, *shards, *workers, *commitEvery,
-		*writeBehind, *dirtyWindow, *batchMax, *queueDepth, *readWorkers, *writevMax, *batchAge,
+		*writeBehind, *dirtyWindow, *batchMax, *queueDepth, *readWorkers, *writeQueue, *readQueue,
+		*rbatchQueue, *writevMax, *batchAge,
 		*highWater, *lowWater, *drain, *spans); err != nil {
 		fmt.Fprintln(os.Stderr, "eplogserve:", err)
 		os.Exit(1)
@@ -61,7 +65,7 @@ func main() {
 }
 
 func run(addr, telemetry string, k, m int, stripes int64, shards, workers, commitEvery int,
-	writeBehind bool, dirtyWindow, batchMax, queueDepth, readWorkers, writevMax int,
+	writeBehind bool, dirtyWindow, batchMax, queueDepth, readWorkers, writeQueue, readQueue, rbatchQueue, writevMax int,
 	batchAge time.Duration, highWater, lowWater float64, drain time.Duration, spans int) error {
 	if k < 2 || m < 1 {
 		return fmt.Errorf("need k >= 2 and m >= 1, got k=%d m=%d", k, m)
@@ -105,14 +109,17 @@ func run(addr, telemetry string, k, m int, stripes int64, shards, workers, commi
 	defer a.Close()
 
 	srv, err := a.ServeBlocks(addr, eplog.BlockServeOptions{
-		BatchMax:     batchMax,
-		QueueDepth:   queueDepth,
-		ReadWorkers:  readWorkers,
-		WritevMax:    writevMax,
-		BatchAge:     batchAge,
-		HighWater:    highWater,
-		LowWater:     lowWater,
-		DrainTimeout: drain,
+		BatchMax:       batchMax,
+		QueueDepth:     queueDepth,
+		ReadWorkers:    readWorkers,
+		WriteQueue:     writeQueue,
+		ReadQueue:      readQueue,
+		ReadBatchQueue: rbatchQueue,
+		WritevMax:      writevMax,
+		BatchAge:       batchAge,
+		HighWater:      highWater,
+		LowWater:       lowWater,
+		DrainTimeout:   drain,
 	})
 	if err != nil {
 		return err

@@ -27,6 +27,26 @@ import (
 //	                   simulator packages are on the built-in list).
 //	//eplog:pool-ok    on a line: suppresses one poolcheck diagnostic.
 //
+//	//eplog:seqlock       on an atomic struct field: marks it as a seqlock
+//	                      word (the epoch itself, or epoch-protected
+//	                      packed location words), enabling seqlock.
+//	//eplog:seqlock-write on a function: sanctions direct mutation of
+//	                      seqlock words — the lockAcquired/lockReleasing
+//	                      brackets and their peers only.
+//	//eplog:seqlock-read  on a function: declares a lock-free reader that
+//	                      must follow sample → odd-check → load →
+//	                      re-validate before returning success.
+//	//eplog:seqlock-ok    on a line: suppresses one seqlock diagnostic.
+//	//eplog:span-handoff  on a line: declares that storing an obs span
+//	                      into a field/slice/channel transfers ownership
+//	                      (the new holder finishes it).
+//	//eplog:span-ok       on a line: suppresses one spanpair diagnostic.
+//	//eplog:blocking-ok   on a line: suppresses one blockinglock
+//	                      diagnostic (a bounded or harness-only park
+//	                      under a shard lock).
+//	//eplog:errlatch-ok   on a line: suppresses one errlatch diagnostic
+//	                      (e.g. a best-effort flush on a shutdown path).
+//
 // Line-level directives apply to the line they trail, or — when written as
 // a standalone comment line — to the line immediately below, mirroring
 // //nolint conventions.

@@ -1,0 +1,346 @@
+// Package blockinglock forbids blocking operations under a shard lock.
+//
+// The dispatcher/refresher deadlock class: a goroutine holding a shard's
+// //eplog:shardlock mutex parks on a channel whose consumer needs that
+// same shard lock to make progress, and the array wedges. The race
+// detector cannot see it — the interleaving is legal — so it is enforced
+// statically. While any shard lock is held, the following are flagged:
+//
+//   - channel sends and receives, including range-over-channel — except
+//     inside a `select` that has a `default` clause, which cannot park
+//     (the dispatcher's try-enqueue idiom);
+//   - sync.Cond Wait outside an enclosing loop — loop-Wait is the one
+//     sanctioned park under the lock (Wait atomically releases it, and
+//     the loop re-checks against spurious wakeups);
+//   - net.* I/O — a remote peer must never hold a shard hostage;
+//   - time.Sleep — an unbounded stall under the lock;
+//   - calls to package functions that (transitively) do any of the above,
+//     via the shared flow call-edge summaries.
+//
+// The held set is threaded through the flow walker, so branch-local
+// acquisitions merge correctly at joins (a lock held on only one path is
+// not held after it). Deferred Unlocks keep the lock held for the rest
+// of the function, matching lockorder. Sanction a deliberate violation
+// with //eplog:blocking-ok on the offending line. Test files are exempt.
+package blockinglock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/eplog/eplog/internal/analysis"
+	"github.com/eplog/eplog/internal/analysis/flow"
+	"github.com/eplog/eplog/internal/analysis/locks"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "blockinglock",
+	Doc: "no blocking operations while holding a //eplog:shardlock mutex\n\n" +
+		"Channel sends/receives (outside select-with-default), Cond.Wait\n" +
+		"outside a loop, net.* I/O, time.Sleep, and calls into functions\n" +
+		"that can block are flagged while a marked shard lock is held.\n" +
+		"Opt out per line with //eplog:blocking-ok.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	lockFields := locks.MarkedFields(pass, "shardlock")
+	if len(lockFields) == 0 {
+		return nil
+	}
+	c := &checker{pass: pass, lockFields: lockFields}
+	// Which package functions can (transitively) park the goroutine.
+	// Loop-Wait and select-with-default are excluded here too: calling
+	// waitDirtyWindow under the lock is the sanctioned idiom.
+	c.blockers = flow.Summaries(pass, func(fd *ast.FuncDecl, fn *types.Func) bool {
+		ex := c.computeExempts(fd.Body)
+		direct := false
+		inspectNoFuncLit(fd.Body, func(n ast.Node) {
+			if !direct && c.eventDesc(n, ex) != "" {
+				direct = true
+			}
+		})
+		return direct
+	})
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ann := analysis.NewAnnotations(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd.Body, ann)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					// A closure's held set starts empty: what it does
+					// with locks is its own story.
+					c.checkFunc(lit.Body, ann)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass       *analysis.Pass
+	lockFields map[types.Object]bool
+	blockers   map[*types.Func]bool
+	reported   map[token.Pos]bool
+}
+
+// held maps receiver keys ("sh", "e.shards[i]") to the Lock position.
+type held = map[string]token.Pos
+
+// exempts carries the lexically precomputed sanctioned positions for one
+// function body.
+type exempts struct {
+	// sel holds [Pos,End) intervals of comm statements belonging to
+	// selects that have a default clause: those cannot park.
+	sel [][2]token.Pos
+	// loopWait marks Cond.Wait calls lexically inside a loop.
+	loopWait map[token.Pos]bool
+	// rangeChan marks range operands of channel type.
+	rangeChan map[token.Pos]bool
+}
+
+func (ex *exempts) inSelect(p token.Pos) bool {
+	for _, iv := range ex.sel {
+		if p >= iv[0] && p < iv[1] {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) computeExempts(body *ast.BlockStmt) *exempts {
+	ex := &exempts{
+		loopWait:  make(map[token.Pos]bool),
+		rangeChan: make(map[token.Pos]bool),
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, cl := range n.Body.List {
+				if comm, ok := cl.(*ast.CommClause); ok && comm.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				return true
+			}
+			for _, cl := range n.Body.List {
+				if comm, ok := cl.(*ast.CommClause); ok && comm.Comm != nil {
+					ex.sel = append(ex.sel, [2]token.Pos{comm.Comm.Pos(), comm.Comm.End()})
+				}
+			}
+		case *ast.ForStmt:
+			c.markLoopWaits(n.Body, ex)
+		case *ast.RangeStmt:
+			c.markLoopWaits(n.Body, ex)
+			if t := c.pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					ex.rangeChan[n.X.Pos()] = true
+				}
+			}
+		}
+		return true
+	})
+	return ex
+}
+
+// markLoopWaits records Cond.Wait calls directly inside a loop body (not
+// behind a nested function literal: a closure's Wait parks per call, so
+// the enclosing loop does not protect it from spurious wakeups).
+func (c *checker) markLoopWaits(body *ast.BlockStmt, ex *exempts) {
+	inspectNoFuncLit(body, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok && c.isCondWait(call) {
+			ex.loopWait[call.Pos()] = true
+		}
+	})
+}
+
+func (c *checker) isCondWait(call *ast.CallExpr) bool {
+	fn := calleeFunc(c.pass, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Wait"
+}
+
+// eventDesc classifies one AST node as a blocking event, honoring the
+// precomputed exemptions. Empty string means not blocking. Calls into
+// package-local blockers are handled separately (they need the summary).
+func (c *checker) eventDesc(n ast.Node, ex *exempts) string {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		if !ex.inSelect(n.Pos()) {
+			return "channel send"
+		}
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW && !ex.inSelect(n.Pos()) {
+			return "channel receive"
+		}
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.CallExpr:
+		if e, ok := n.(ast.Expr); ok && ex.rangeChan[e.Pos()] {
+			return "range over a channel"
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return ""
+		}
+		fn := calleeFunc(c.pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return ""
+		}
+		path := fn.Pkg().Path()
+		switch {
+		case path == "sync" && fn.Name() == "Wait" && !ex.loopWait[call.Pos()]:
+			return "Cond.Wait outside a loop"
+		case path == "time" && fn.Name() == "Sleep":
+			return "time.Sleep"
+		case path == "net" || strings.HasPrefix(path, "net/"):
+			return "net." + fn.Name() + " I/O"
+		}
+	}
+	return ""
+}
+
+func (c *checker) checkFunc(body *ast.BlockStmt, ann *analysis.Annotations) {
+	ex := c.computeExempts(body)
+	c.reported = make(map[token.Pos]bool)
+	w := flow.NewWalker(flow.Hooks[held]{
+		Clone: cloneHeld,
+		Merge: intersectHeld,
+		Exec: func(s ast.Stmt, h held) held {
+			c.execStmt(s, h, ann, ex)
+			return h
+		},
+		Eval: func(e ast.Expr, h held) held {
+			c.scan(e, h, ann, ex, true)
+			return h
+		},
+	})
+	w.Walk(body, make(held))
+}
+
+func (c *checker) execStmt(s ast.Stmt, h held, ann *analysis.Annotations, ex *exempts) {
+	switch s := s.(type) {
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held until return; a deferred
+		// blocking call runs outside the window we can reason about.
+		if op, ok := locks.AsFieldOp(c.pass, c.lockFields, s.Call, locks.MutexOps...); ok && locks.IsAcquire(op.Name) {
+			h[op.RecvKey] = s.Call.Pos()
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine blocks on its own time, not under our
+		// held set.
+	default:
+		c.scan(s, h, ann, ex, true)
+	}
+}
+
+// scan visits one simple statement or expression in source order,
+// applying lock transitions and reporting blocking events while held.
+func (c *checker) scan(n ast.Node, h held, ann *analysis.Annotations, ex *exempts, events bool) {
+	if n == nil {
+		return
+	}
+	inspectNoFuncLit(n, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, ok := locks.AsFieldOp(c.pass, c.lockFields, call, locks.MutexOps...); ok {
+				if locks.IsAcquire(op.Name) {
+					h[op.RecvKey] = call.Pos()
+				} else {
+					delete(h, op.RecvKey)
+				}
+				return
+			}
+		}
+		if !events || len(h) == 0 {
+			return
+		}
+		if desc := c.eventDesc(n, ex); desc != "" {
+			c.report(n.Pos(), desc, h, ann)
+			return
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			callee := flow.StaticCallee(c.pass, call)
+			if callee != nil && c.blockers[callee] {
+				c.report(call.Pos(), "call to "+callee.Name()+", which can block", h, ann)
+			}
+		}
+	})
+}
+
+func (c *checker) report(pos token.Pos, desc string, h held, ann *analysis.Annotations) {
+	if c.reported[pos] || ann.At(pos, "blocking-ok") {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, "%s while holding shard lock %s: a consumer needing that lock deadlocks the array (sanction with //eplog:blocking-ok)",
+		desc, heldKeys(h))
+}
+
+func cloneHeld(h held) held {
+	out := make(held, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// intersectHeld keeps only locks held on every merged path.
+func intersectHeld(dst, src held) held {
+	for k := range dst {
+		if _, ok := src[k]; !ok {
+			delete(dst, k)
+		}
+	}
+	return dst
+}
+
+func heldKeys(h held) string {
+	out := ""
+	for k := range h {
+		if out != "" {
+			out += ", "
+		}
+		out += k + ".mu"
+	}
+	return out
+}
+
+// calleeFunc resolves a call to its *types.Func across packages (methods
+// via Selections, package-qualified and local functions via Uses).
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func inspectNoFuncLit(n ast.Node, f func(ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			f(n)
+		}
+		return true
+	})
+}

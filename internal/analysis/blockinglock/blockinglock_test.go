@@ -1,0 +1,12 @@
+package blockinglock_test
+
+import (
+	"testing"
+
+	"github.com/eplog/eplog/internal/analysis/analysistest"
+	"github.com/eplog/eplog/internal/analysis/blockinglock"
+)
+
+func TestBlockinglock(t *testing.T) {
+	analysistest.Run(t, "../testdata", blockinglock.Analyzer, "blockinglock_a")
+}

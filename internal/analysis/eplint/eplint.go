@@ -12,6 +12,7 @@
 package eplint
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -19,16 +20,20 @@ import (
 	"strings"
 
 	"github.com/eplog/eplog/internal/analysis"
+	"github.com/eplog/eplog/internal/analysis/blockinglock"
+	"github.com/eplog/eplog/internal/analysis/errlatch"
 	"github.com/eplog/eplog/internal/analysis/hotpath"
 	"github.com/eplog/eplog/internal/analysis/load"
 	"github.com/eplog/eplog/internal/analysis/lockorder"
 	"github.com/eplog/eplog/internal/analysis/poolcheck"
+	"github.com/eplog/eplog/internal/analysis/seqlock"
+	"github.com/eplog/eplog/internal/analysis/spanpair"
 	"github.com/eplog/eplog/internal/analysis/virtualtime"
 )
 
 // version feeds the go command's tool-ID cache key; bump it when analyzer
 // behaviour changes so cached vet verdicts are invalidated.
-const version = "eplint version v1.0.0 buildID=eplint-v1.0.0"
+const version = "eplint version v2.0.0 buildID=eplint-v2.0.0"
 
 // Analyzers returns the EPLog suite in reporting order.
 func Analyzers() []*analysis.Analyzer {
@@ -37,6 +42,10 @@ func Analyzers() []*analysis.Analyzer {
 		poolcheck.Analyzer,
 		virtualtime.Analyzer,
 		hotpath.Analyzer,
+		seqlock.Analyzer,
+		spanpair.Analyzer,
+		blockinglock.Analyzer,
+		errlatch.Analyzer,
 	}
 }
 
@@ -59,11 +68,23 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		return vetUnitMode(args[0], stderr)
 	}
-	return standaloneMode(args, stdout, stderr)
+	jsonOut := false
+	rest := args[:0:0]
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			jsonOut = true
+			continue
+		}
+		rest = append(rest, a)
+	}
+	return standaloneMode(rest, jsonOut, stdout, stderr)
 }
 
 type diag struct {
 	pos      string
+	file     string
+	line     int
+	col      int
 	offset   int
 	analyzer string
 	message  string
@@ -85,6 +106,9 @@ func runAnalyzers(pkg *load.Package, stderr io.Writer) []diag {
 			p := pkg.Fset.Position(d.Pos)
 			diags = append(diags, diag{
 				pos:      p.String(),
+				file:     p.Filename,
+				line:     p.Line,
+				col:      p.Column,
 				offset:   p.Offset + p.Line<<24,
 				analyzer: name,
 				message:  d.Message,
@@ -103,7 +127,17 @@ func runAnalyzers(pkg *load.Package, stderr io.Writer) []diag {
 	return diags
 }
 
-func standaloneMode(patterns []string, stdout, stderr io.Writer) int {
+// jsonDiag is the machine-readable diagnostic shape emitted by -json;
+// CI turns each entry into a GitHub Actions ::error annotation.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func standaloneMode(patterns []string, jsonOut bool, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -112,11 +146,35 @@ func standaloneMode(patterns []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "eplint: %v\n", err)
 		return 1
 	}
+	var all []jsonDiag
 	total := 0
 	for _, pkg := range pkgs {
 		for _, d := range runAnalyzers(pkg, stderr) {
-			fmt.Fprintf(stdout, "%s: %s: %s\n", d.pos, d.analyzer, d.message)
+			if jsonOut {
+				all = append(all, jsonDiag{
+					File:     d.file,
+					Line:     d.line,
+					Col:      d.col,
+					Analyzer: d.analyzer,
+					Message:  d.message,
+				})
+			} else {
+				fmt.Fprintf(stdout, "%s: %s: %s\n", d.pos, d.analyzer, d.message)
+			}
 			total++
+		}
+	}
+	if jsonOut {
+		// Always emit a well-formed array, even when clean, so CI can
+		// pipe the output straight into a JSON parser.
+		if all == nil {
+			all = []jsonDiag{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintf(stderr, "eplint: %v\n", err)
+			return 1
 		}
 	}
 	if total > 0 {

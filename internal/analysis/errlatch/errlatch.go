@@ -1,0 +1,468 @@
+// Package errlatch enforces the wire codec's latched-error contract.
+//
+// wire.Decoder and wire.Encoder latch their first error: after a failed
+// ReadFrame the frame's fields are garbage (and any pool-backed payload
+// it references must not escape), and after a failed WriteFrame/Flush
+// every subsequent call returns the same latched error. Callers must
+// therefore consult the returned error before trusting anything:
+//
+//   - the error result of ReadFrame/WriteFrame/Flush must not be
+//     discarded (bare call or assignment to _);
+//   - a frame filled by ReadFrame must not be read before the error is
+//     checked, and never on a path where the error is known non-nil;
+//   - the error must be checked (err != nil / err == nil), returned, or
+//     passed on before the function exits — a path that drops it
+//     silently is flagged.
+//
+// The states are threaded through the flow walker with branch
+// refinement: `if err != nil` marks the error checked (Failed on the
+// then path, OK on the else path), and merge-at-join keeps a dropped
+// check visible on the path that skipped it. The wire package itself is
+// exempt, as are test files. Sanction a deliberate violation with
+// //eplog:errlatch-ok on the offending line.
+package errlatch
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/eplog/eplog/internal/analysis"
+	"github.com/eplog/eplog/internal/analysis/flow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errlatch",
+	Doc: "wire codec errors are checked before frames are trusted\n\n" +
+		"Error results of wire.Decoder.ReadFrame and wire.Encoder\n" +
+		"WriteFrame/Flush must be checked, returned or propagated on\n" +
+		"every path; frames from an unchecked or failed ReadFrame must\n" +
+		"not be used. Opt out per line with //eplog:errlatch-ok.",
+	Run: run,
+}
+
+// Error states. stOff is the zero value so untracked objects read as Off.
+const (
+	stOff       = iota // consumed, overwritten, or merged away
+	stUnchecked        // holds a latch error nobody has looked at
+	stOK               // checked: nil on this path
+	stFailed           // checked: non-nil on this path
+)
+
+var latchMethods = map[string]bool{
+	"ReadFrame":  true,
+	"WriteFrame": true,
+	"Flush":      true,
+}
+
+func run(pass *analysis.Pass) error {
+	// The wire package implements the latch; its internals are exempt.
+	if pass.Pkg.Name() == "wire" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ann := analysis.NewAnnotations(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, ann, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkFunc(pass, ann, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+type state = map[types.Object]int
+
+// origin remembers where a tracked error came from, for messages.
+type origin struct {
+	method string
+	pos    token.Pos
+}
+
+type checker struct {
+	pass *analysis.Pass
+	ann  *analysis.Annotations
+	// orig maps tracked error vars to their producing call.
+	orig map[types.Object]origin
+	// frameOf links a ReadFrame target frame var to its error var.
+	frameOf  map[types.Object]types.Object
+	reported map[token.Pos]bool
+}
+
+func checkFunc(pass *analysis.Pass, ann *analysis.Annotations, body *ast.BlockStmt) {
+	c := &checker{
+		pass:     pass,
+		ann:      ann,
+		orig:     make(map[types.Object]origin),
+		frameOf:  make(map[types.Object]types.Object),
+		reported: make(map[token.Pos]bool),
+	}
+	// Fast path: nothing to do without a latch call in this body.
+	found := false
+	inspectNoFuncLit(body, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := c.latchCall(call); ok {
+				found = true
+			}
+		}
+	})
+	if !found {
+		return
+	}
+	w := flow.NewWalker(flow.Hooks[state]{
+		Clone:  cloneState,
+		Merge:  mergeStates,
+		Exec:   c.exec,
+		Eval:   c.eval,
+		Refine: c.refine,
+		Return: c.ret,
+	})
+	out, terminated := w.Walk(body, make(state))
+	if w.Bailed {
+		return
+	}
+	if !terminated {
+		c.checkExit(body.Rbrace, out)
+	}
+}
+
+// latchCall matches method calls on wire.Decoder/Encoder values.
+func (c *checker) latchCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	selection, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok {
+		return "", false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "wire" || !latchMethods[fn.Name()] {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+func cloneState(st state) state {
+	out := make(state, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeStates: an unchecked latch error on either path stays unchecked —
+// that is the whole point — otherwise agreement survives and conflict
+// turns tracking off.
+func mergeStates(dst, src state) state {
+	for k, v := range src {
+		cur := dst[k]
+		switch {
+		case cur == v:
+		case cur == stUnchecked || v == stUnchecked:
+			dst[k] = stUnchecked
+		default:
+			dst[k] = stOff
+		}
+	}
+	for k, cur := range dst {
+		if _, ok := src[k]; !ok && cur != stUnchecked {
+			dst[k] = stOff
+		}
+	}
+	return dst
+}
+
+// --- hooks ------------------------------------------------------------
+
+func (c *checker) exec(s ast.Stmt, st state) state {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if name, ok := c.latchCall(call); ok {
+				c.reportAt(call.Pos(), "error result of wire %s discarded: the codec latches its first error and every later call returns it (sanction with //eplog:errlatch-ok)", name)
+				return st
+			}
+		}
+		st = c.eval(s.X, st)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			st = c.eval(rhs, st)
+		}
+		c.applyAssign(s, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						st = c.eval(v, st)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		st = c.eval(s.Call, st)
+	case *ast.GoStmt:
+		st = c.eval(s.Call, st)
+	case *ast.SendStmt:
+		st = c.eval(s.Chan, st)
+		st = c.eval(s.Value, st)
+	case *ast.IncDecStmt:
+		st = c.eval(s.X, st)
+	}
+	return st
+}
+
+func (c *checker) applyAssign(s *ast.AssignStmt, st state) {
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if name, ok := c.latchCall(call); ok {
+				id, isIdent := s.Lhs[0].(*ast.Ident)
+				if !isIdent || id.Name == "_" {
+					c.reportAt(call.Pos(), "error result of wire %s discarded: the codec latches its first error and every later call returns it (sanction with //eplog:errlatch-ok)", name)
+					return
+				}
+				obj := identObj(c.pass, id)
+				if obj == nil {
+					return
+				}
+				if cur := st[obj]; cur == stUnchecked {
+					c.reportAt(call.Pos(), "error from wire %s at %s overwritten before being checked", c.orig[obj].method, c.pass.Fset.Position(c.orig[obj].pos))
+				}
+				st[obj] = stUnchecked
+				c.orig[obj] = origin{method: name, pos: call.Pos()}
+				if name == "ReadFrame" && len(call.Args) > 0 {
+					if fobj := frameArgObj(c.pass, call.Args[0]); fobj != nil {
+						c.frameOf[fobj] = obj
+					}
+				}
+				return
+			}
+		}
+	}
+	// Any other assignment to a tracked error var ends its tracking.
+	for _, lhs := range s.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if obj := identObj(c.pass, id); obj != nil {
+				if _, tracked := c.orig[obj]; tracked {
+					st[obj] = stOff
+				}
+			}
+		}
+	}
+}
+
+func (c *checker) eval(e ast.Expr, st state) state {
+	if e == nil {
+		return st
+	}
+	c.checkFrameUses(e, st)
+	c.consumeErrs(e, st)
+	return st
+}
+
+// refine narrows error states on `err != nil` / `err == nil` branches,
+// including through && and || decompositions.
+func (c *checker) refine(cond ast.Expr, truth bool, st state) state {
+	cond = ast.Unparen(cond)
+	switch e := cond.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			if truth {
+				st = c.refine(e.X, true, st)
+				st = c.refine(e.Y, true, st)
+			}
+			return st
+		case token.LOR:
+			if !truth {
+				st = c.refine(e.X, false, st)
+				st = c.refine(e.Y, false, st)
+			}
+			return st
+		case token.NEQ, token.EQL:
+			obj, ok := errNilComparison(c.pass, e)
+			if !ok {
+				return st
+			}
+			if _, tracked := c.orig[obj]; !tracked {
+				return st
+			}
+			nonNil := (e.Op == token.NEQ) == truth
+			if nonNil {
+				st[obj] = stFailed
+			} else {
+				st[obj] = stOK
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			return c.refine(e.X, !truth, st)
+		}
+	}
+	return st
+}
+
+func (c *checker) ret(ret *ast.ReturnStmt, st state) {
+	// Returning the error propagates it: consume before the exit check.
+	for _, res := range ret.Results {
+		c.consumeErrs(res, st)
+		if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+			if obj := identObj(c.pass, id); obj != nil {
+				if _, tracked := c.orig[obj]; tracked {
+					st[obj] = stOff
+				}
+			}
+		}
+	}
+	c.checkExit(ret.Pos(), st)
+}
+
+// checkExit flags latch errors leaving scope without ever being looked at.
+func (c *checker) checkExit(pos token.Pos, st state) {
+	for obj, o := range c.orig {
+		if st[obj] != stUnchecked {
+			continue
+		}
+		key := pos + token.Pos(obj.Pos())
+		if c.reported[key] || c.ann.At(pos, "errlatch-ok") || c.ann.At(o.pos, "errlatch-ok") {
+			continue
+		}
+		c.reported[key] = true
+		c.pass.Reportf(pos, "error from wire %s at %s is never checked on this path: the codec is latched and later calls will fail too (sanction with //eplog:errlatch-ok)",
+			o.method, c.pass.Fset.Position(o.pos))
+	}
+}
+
+// checkFrameUses flags reads of a ReadFrame target while its error is
+// unchecked or known non-nil.
+func (c *checker) checkFrameUses(e ast.Expr, st state) {
+	inspectNoFuncLit(e, func(n ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return
+		}
+		fobj := c.pass.TypesInfo.Uses[id]
+		eobj, linked := c.frameOf[fobj]
+		if !linked {
+			return
+		}
+		var what string
+		switch st[eobj] {
+		case stUnchecked:
+			what = "before its ReadFrame error is checked: the fields may be garbage"
+		case stFailed:
+			what = "after a failed ReadFrame: the fields are untrusted and pool payloads must not escape"
+		default:
+			return
+		}
+		if c.reported[id.Pos()] || c.ann.At(id.Pos(), "errlatch-ok") {
+			return
+		}
+		c.reported[id.Pos()] = true
+		c.pass.Reportf(id.Pos(), "use of frame %s %s (sanction with //eplog:errlatch-ok)", id.Name, what)
+	})
+}
+
+// consumeErrs turns tracked errors passed to calls into Off: the callee
+// owns the check now (c.fail(err), fmt.Errorf, log calls, ...).
+func (c *checker) consumeErrs(e ast.Expr, st state) {
+	inspectNoFuncLit(e, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		for _, arg := range call.Args {
+			id, ok := ast.Unparen(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := c.pass.TypesInfo.Uses[id]
+			if obj == nil {
+				continue
+			}
+			if _, tracked := c.orig[obj]; tracked {
+				st[obj] = stOff
+			}
+		}
+	})
+}
+
+func (c *checker) reportAt(pos token.Pos, format string, args ...any) {
+	if c.reported[pos] || c.ann.At(pos, "errlatch-ok") {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, format, args...)
+}
+
+// errNilComparison matches `x != nil` / `x == nil` with x an identifier,
+// returning x's object.
+func errNilComparison(pass *analysis.Pass, e *ast.BinaryExpr) (types.Object, bool) {
+	x, y := ast.Unparen(e.X), ast.Unparen(e.Y)
+	if isNil(pass, y) {
+		if id, ok := x.(*ast.Ident); ok {
+			return pass.TypesInfo.Uses[id], true
+		}
+	}
+	if isNil(pass, x) {
+		if id, ok := y.(*ast.Ident); ok {
+			return pass.TypesInfo.Uses[id], true
+		}
+	}
+	return nil, false
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNilObj
+}
+
+// frameArgObj resolves ReadFrame's frame argument (&f or a *Frame ident).
+func frameArgObj(pass *analysis.Pass, arg ast.Expr) types.Object {
+	arg = ast.Unparen(arg)
+	if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		arg = ast.Unparen(ue.X)
+	}
+	if id, ok := arg.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Defs[id]
+	}
+	return nil
+}
+
+func identObj(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+func inspectNoFuncLit(n ast.Node, f func(ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			f(n)
+		}
+		return true
+	})
+}

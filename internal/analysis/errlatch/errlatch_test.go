@@ -1,0 +1,12 @@
+package errlatch_test
+
+import (
+	"testing"
+
+	"github.com/eplog/eplog/internal/analysis/analysistest"
+	"github.com/eplog/eplog/internal/analysis/errlatch"
+)
+
+func TestErrlatch(t *testing.T) {
+	analysistest.Run(t, "../testdata", errlatch.Analyzer, "errlatch_a")
+}

@@ -1,0 +1,439 @@
+package flow
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Graph is the control-flow graph of one function body: basic blocks
+// joined by labeled edges, with one distinguished entry and one
+// distinguished exit. Deferred calls do not get edges of their own (they
+// run during every exit, normal or panicking); they are recorded on the
+// graph so analyzers can fold them into the exit state.
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+	// Defers lists the deferred calls in source order. The defer
+	// statements themselves also appear in their blocks.
+	Defers []*ast.CallExpr
+}
+
+// Block is one basic block: a maximal run of nodes with a single entry
+// and a single exit. Nodes are statements in execution order; for
+// compound statements only the evaluated head lands in the block — an
+// if or switch contributes its Init statement and condition/tag
+// expression, a range its operand — while the branches become successor
+// blocks. Terminated blocks (return, or a branch out of a loop) have
+// their terminator as the last node.
+type Block struct {
+	Index int
+	// What describes the block's role for dumps and debugging: "entry",
+	// "exit", "if.then", "for.body", "select.case 1", ...
+	What  string
+	Nodes []ast.Node
+	Succs []Edge
+}
+
+// Edge is one directed control-flow edge with a human-readable label
+// ("then", "else", "body", "done", "case 0", "default", ...). Unlabeled
+// fall-through edges have an empty label.
+type Edge struct {
+	To    *Block
+	Label string
+}
+
+// New builds the control-flow graph of body. Labeled statements,
+// labeled break/continue and goto are resolved to real edges — the CFG
+// layer, unlike the structured Walker, models unstructured flow.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock("entry")
+	b.g.Exit = b.newBlock("exit")
+	b.cur = b.g.Entry
+	b.collectLabels(body)
+	b.stmts(body.List)
+	// Normal fall-through off the end of the body returns.
+	b.edge(b.g.Exit, "")
+	return b.g
+}
+
+type loopTargets struct {
+	label          string // enclosing label, if any
+	breakTo        *Block
+	continueTo     *Block // nil for switch/select (break-only targets)
+	isBreakTarget  bool
+	isSwitchTarget bool
+}
+
+type builder struct {
+	g   *Graph
+	cur *Block // nil when the current path has terminated
+	// stack of enclosing break/continue targets, innermost last
+	targets []loopTargets
+	// labels maps label names to their (pre-created) first blocks, so
+	// forward gotos and labeled branches resolve in one pass.
+	labels map[string]*Block
+}
+
+func (b *builder) newBlock(what string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), What: what}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge adds an edge from the current block; a terminated path adds none.
+func (b *builder) edge(to *Block, label string) {
+	if b.cur == nil {
+		return
+	}
+	b.cur.Succs = append(b.cur.Succs, Edge{To: to, Label: label})
+}
+
+// startBlock makes blk current, linking it from the previous block when
+// the previous path had not terminated.
+func (b *builder) startBlock(blk *Block, label string) {
+	b.edge(blk, label)
+	b.cur = blk
+}
+
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		// Unreachable code still gets a block so its nodes are dumped
+		// and analyzable (matching go/ssa, which keeps dead blocks).
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// collectLabels pre-creates one block per labeled statement so gotos and
+// labeled branches can point at statements not yet visited.
+func (b *builder) collectLabels(body *ast.BlockStmt) {
+	b.labels = make(map[string]*Block)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ls, ok := n.(*ast.LabeledStmt); ok {
+			b.labels[ls.Label.Name] = b.newBlock("label." + ls.Label.Name)
+		}
+		return true
+	})
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt translates one statement. label carries the name of an
+// immediately enclosing LabeledStmt, so `L: for ...` binds break/continue
+// targets to L.
+func (b *builder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		blk := b.labels[s.Label.Name]
+		b.startBlock(blk, "")
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.g.Exit, "return")
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.GOTO:
+			if to := b.labels[s.Label.Name]; to != nil {
+				b.edge(to, "goto "+s.Label.Name)
+			}
+			b.cur = nil
+		case token.BREAK:
+			if to := b.findBreak(s.Label); to != nil {
+				b.edge(to, "break")
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if to := b.findContinue(s.Label); to != nil {
+				b.edge(to, "continue")
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Resolved by the switch translation: the clause block falls
+			// through to the next clause body, which the caller links.
+		}
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s.Call)
+
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		thenBlk := b.newBlock("if.then")
+		var elseBlk *Block
+		if s.Else != nil {
+			elseBlk = b.newBlock("if.else")
+		}
+		join := b.newBlock("if.join")
+		b.startBlock(thenBlk, "then")
+		b.stmts(s.Body.List)
+		b.edge(join, "")
+		if s.Else != nil {
+			b.cur = condBlk
+			b.startBlock(elseBlk, "else")
+			b.stmt(s.Else, "")
+			b.edge(join, "")
+		} else {
+			b.cur = condBlk
+			b.edge(join, "else")
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock("for.head")
+		body := b.newBlock("for.body")
+		join := b.newBlock("for.done")
+		var post *Block
+		continueTo := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			continueTo = post
+		}
+		b.startBlock(head, "")
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.edge(body, "true")
+			b.edge(join, "false")
+		} else {
+			b.edge(body, "")
+		}
+		b.cur = body
+		b.pushTargets(loopTargets{label: label, breakTo: join, continueTo: continueTo, isBreakTarget: true})
+		b.stmts(s.Body.List)
+		b.popTargets()
+		if post != nil {
+			b.startBlock(post, "")
+			b.stmt(s.Post, "")
+			b.edge(head, "loop")
+		} else {
+			b.edge(head, "loop")
+		}
+		b.cur = join
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.newBlock("range.head")
+		body := b.newBlock("range.body")
+		join := b.newBlock("range.done")
+		b.startBlock(head, "")
+		b.edge(body, "next")
+		b.edge(join, "done")
+		b.cur = body
+		b.pushTargets(loopTargets{label: label, breakTo: join, continueTo: head, isBreakTarget: true})
+		b.stmts(s.Body.List)
+		b.popTargets()
+		b.edge(head, "loop")
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(s.Body, label, func(cl *ast.CaseClause) []ast.Node {
+			nodes := make([]ast.Node, len(cl.List))
+			for i, e := range cl.List {
+				nodes[i] = e
+			}
+			return nodes
+		})
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(s.Body, label, func(cl *ast.CaseClause) []ast.Node {
+			return nil // the type list carries no evaluated expressions
+		})
+
+	case *ast.SelectStmt:
+		head := b.cur
+		join := b.newBlock("select.done")
+		hasDefault := false
+		for i, clause := range s.Body.List {
+			cl := clause.(*ast.CommClause)
+			what := fmt.Sprintf("select.case %d", i)
+			if cl.Comm == nil {
+				what = "select.default"
+				hasDefault = true
+			}
+			blk := b.newBlock(what)
+			b.cur = head
+			b.startBlock(blk, caseLabel(cl.Comm == nil, i))
+			if cl.Comm != nil {
+				b.add(cl.Comm)
+			}
+			b.pushTargets(loopTargets{label: label, breakTo: join, isSwitchTarget: true})
+			b.stmts(cl.Body)
+			b.popTargets()
+			b.edge(join, "")
+		}
+		// A select without a default blocks until some case runs: every
+		// successor of the head is a clause, so nothing more to add.
+		_ = hasDefault
+		b.cur = join
+
+	default:
+		// Simple statements: expression, assign, inc/dec, send, go,
+		// decl, empty.
+		b.add(s)
+	}
+}
+
+// switchClauses translates the shared clause structure of switch and
+// type-switch statements. caseNodes extracts the evaluated expressions
+// of one clause (empty for type switches).
+func (b *builder) switchClauses(body *ast.BlockStmt, label string, caseNodes func(*ast.CaseClause) []ast.Node) {
+	head := b.cur
+	join := b.newBlock("switch.done")
+	hasDefault := false
+	// Pre-create clause blocks so fallthrough can link clause i to i+1.
+	blocks := make([]*Block, len(body.List))
+	for i, clause := range body.List {
+		cl := clause.(*ast.CaseClause)
+		what := fmt.Sprintf("switch.case %d", i)
+		if cl.List == nil {
+			what = "switch.default"
+			hasDefault = true
+		}
+		blocks[i] = b.newBlock(what)
+	}
+	for i, clause := range body.List {
+		cl := clause.(*ast.CaseClause)
+		b.cur = head
+		b.startBlock(blocks[i], caseLabel(cl.List == nil, i))
+		for _, n := range caseNodes(cl) {
+			b.add(n)
+		}
+		b.pushTargets(loopTargets{label: label, breakTo: join, isSwitchTarget: true})
+		b.stmts(cl.Body)
+		b.popTargets()
+		if fallsThrough(cl.Body) && i+1 < len(blocks) {
+			b.edge(blocks[i+1], "fallthrough")
+			b.cur = nil
+		} else {
+			b.edge(join, "")
+		}
+	}
+	b.cur = head
+	if !hasDefault {
+		b.edge(join, "no match")
+	}
+	b.cur = join
+}
+
+func caseLabel(isDefault bool, i int) string {
+	if isDefault {
+		return "default"
+	}
+	return fmt.Sprintf("case %d", i)
+}
+
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (b *builder) pushTargets(t loopTargets) { b.targets = append(b.targets, t) }
+func (b *builder) popTargets()               { b.targets = b.targets[:len(b.targets)-1] }
+
+// findBreak resolves the target of a (possibly labeled) break.
+func (b *builder) findBreak(label *ast.Ident) *Block {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := b.targets[i]
+		if label == nil {
+			return t.breakTo
+		}
+		if t.label == label.Name {
+			return t.breakTo
+		}
+	}
+	return nil
+}
+
+// findContinue resolves the target of a (possibly labeled) continue:
+// only loops (not switch/select) can be continued.
+func (b *builder) findContinue(label *ast.Ident) *Block {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := b.targets[i]
+		if t.continueTo == nil {
+			continue
+		}
+		if label == nil || t.label == label.Name {
+			return t.continueTo
+		}
+	}
+	return nil
+}
+
+// Dump renders the graph deterministically for golden tests: one block
+// per paragraph, nodes printed as single-line Go source, successors with
+// their edge labels.
+func (g *Graph) Dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s:\n", blk.Index, blk.What)
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&sb, "\t%s\n", printNode(fset, n))
+		}
+		if len(blk.Succs) > 0 {
+			parts := make([]string, len(blk.Succs))
+			for i, e := range blk.Succs {
+				parts[i] = fmt.Sprintf("b%d", e.To.Index)
+				if e.Label != "" {
+					parts[i] += fmt.Sprintf(" [%s]", e.Label)
+				}
+			}
+			fmt.Fprintf(&sb, "\t-> %s\n", strings.Join(parts, ", "))
+		}
+	}
+	return sb.String()
+}
+
+// printNode renders one node as compact single-line source.
+func printNode(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	s := buf.String()
+	s = strings.ReplaceAll(s, "\n", " ")
+	s = strings.ReplaceAll(s, "\t", "")
+	for strings.Contains(s, "  ") {
+		s = strings.ReplaceAll(s, "  ", " ")
+	}
+	return s
+}

@@ -1,0 +1,360 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildCFG parses one function body and returns its graph and fset.
+func buildCFG(t *testing.T, body string) (*Graph, *token.FileSet) {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body), fset
+}
+
+// golden asserts the dump matches want exactly; want is written with
+// leading tabs stripped per line for readability.
+func golden(t *testing.T, body, want string) {
+	t.Helper()
+	g, fset := buildCFG(t, body)
+	got := g.Dump(fset)
+	want = strings.TrimLeft(want, "\n")
+	if got != want {
+		t.Errorf("CFG mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	golden(t, `
+	x := 1
+	if x > 0 {
+		x = 2
+	} else {
+		x = 3
+	}
+	return
+`, `
+b0 entry:
+	x := 1
+	x > 0
+	-> b2 [then], b3 [else]
+b1 exit:
+b2 if.then:
+	x = 2
+	-> b4
+b3 if.else:
+	x = 3
+	-> b4
+b4 if.join:
+	return
+	-> b1 [return]
+`)
+}
+
+func TestCFGIfNoElse(t *testing.T) {
+	golden(t, `
+	x := 1
+	if x > 0 {
+		x = 2
+	}
+	x = 4
+`, `
+b0 entry:
+	x := 1
+	x > 0
+	-> b2 [then], b3 [else]
+b1 exit:
+b2 if.then:
+	x = 2
+	-> b3
+b3 if.join:
+	x = 4
+	-> b1
+`)
+}
+
+func TestCFGFor(t *testing.T) {
+	golden(t, `
+	s := 0
+	for i := 0; i < 10; i++ {
+		s += i
+	}
+	return
+`, `
+b0 entry:
+	s := 0
+	i := 0
+	-> b2
+b1 exit:
+b2 for.head:
+	i < 10
+	-> b3 [true], b4 [false]
+b3 for.body:
+	s += i
+	-> b5
+b4 for.done:
+	return
+	-> b1 [return]
+b5 for.post:
+	i++
+	-> b2 [loop]
+`)
+}
+
+func TestCFGForInfiniteWithBreak(t *testing.T) {
+	golden(t, `
+	for {
+		if done() {
+			break
+		}
+		step()
+	}
+`, `
+b0 entry:
+	-> b2
+b1 exit:
+b2 for.head:
+	-> b3
+b3 for.body:
+	done()
+	-> b5 [then], b6 [else]
+b4 for.done:
+	-> b1
+b5 if.then:
+	break
+	-> b4 [break]
+b6 if.join:
+	step()
+	-> b2 [loop]
+`)
+}
+
+func TestCFGRange(t *testing.T) {
+	golden(t, `
+	for _, v := range xs {
+		use(v)
+	}
+`, `
+b0 entry:
+	xs
+	-> b2
+b1 exit:
+b2 range.head:
+	-> b3 [next], b4 [done]
+b3 range.body:
+	use(v)
+	-> b2 [loop]
+b4 range.done:
+	-> b1
+`)
+}
+
+func TestCFGSwitch(t *testing.T) {
+	golden(t, `
+	switch x {
+	case 1:
+		a()
+	case 2:
+		b()
+	default:
+		c()
+	}
+	return
+`, `
+b0 entry:
+	x
+	-> b3 [case 0], b4 [case 1], b5 [default]
+b1 exit:
+b2 switch.done:
+	return
+	-> b1 [return]
+b3 switch.case 0:
+	1
+	a()
+	-> b2
+b4 switch.case 1:
+	2
+	b()
+	-> b2
+b5 switch.default:
+	c()
+	-> b2
+`)
+}
+
+func TestCFGSwitchNoDefaultFallthrough(t *testing.T) {
+	golden(t, `
+	switch x {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	}
+`, `
+b0 entry:
+	x
+	-> b3 [case 0], b4 [case 1], b2 [no match]
+b1 exit:
+b2 switch.done:
+	-> b1
+b3 switch.case 0:
+	1
+	a()
+	fallthrough
+	-> b4 [fallthrough]
+b4 switch.case 1:
+	2
+	b()
+	-> b2
+`)
+}
+
+func TestCFGDefer(t *testing.T) {
+	body := `
+	mu.Lock()
+	defer mu.Unlock()
+	if x {
+		return
+	}
+	work()
+`
+	golden(t, body, `
+b0 entry:
+	mu.Lock()
+	defer mu.Unlock()
+	x
+	-> b2 [then], b3 [else]
+b1 exit:
+b2 if.then:
+	return
+	-> b1 [return]
+b3 if.join:
+	work()
+	-> b1
+`)
+	// The deferred call is also recorded on the graph, so analyzers can
+	// fold it into every exit.
+	g, fset := buildCFG(t, body)
+	if len(g.Defers) != 1 {
+		t.Fatalf("Defers = %d, want 1", len(g.Defers))
+	}
+	if got := printNode(fset, g.Defers[0]); got != "mu.Unlock()" {
+		t.Errorf("deferred call = %q, want mu.Unlock()", got)
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	golden(t, `
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if bad(i, j) {
+				break outer
+			}
+		}
+	}
+	done()
+`, `
+b0 entry:
+	-> b2
+b1 exit:
+b2 label.outer:
+	i := 0
+	-> b3
+b3 for.head:
+	i < n
+	-> b4 [true], b5 [false]
+b4 for.body:
+	j := 0
+	-> b7
+b5 for.done:
+	done()
+	-> b1
+b6 for.post:
+	i++
+	-> b3 [loop]
+b7 for.head:
+	j < n
+	-> b8 [true], b9 [false]
+b8 for.body:
+	bad(i, j)
+	-> b11 [then], b12 [else]
+b9 for.done:
+	-> b6
+b10 for.post:
+	j++
+	-> b7 [loop]
+b11 if.then:
+	break outer
+	-> b5 [break]
+b12 if.join:
+	-> b10
+`)
+}
+
+func TestCFGSelect(t *testing.T) {
+	golden(t, `
+	select {
+	case v := <-in:
+		use(v)
+	case out <- x:
+		sent()
+	default:
+		idle()
+	}
+`, `
+b0 entry:
+	-> b3 [case 0], b4 [case 1], b5 [default]
+b1 exit:
+b2 select.done:
+	-> b1
+b3 select.case 0:
+	v := <-in
+	use(v)
+	-> b2
+b4 select.case 1:
+	out <- x
+	sent()
+	-> b2
+b5 select.default:
+	idle()
+	-> b2
+`)
+}
+
+func TestCFGGoto(t *testing.T) {
+	golden(t, `
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	return
+`, `
+b0 entry:
+	i := 0
+	-> b2
+b1 exit:
+b2 label.loop:
+	i < n
+	-> b3 [then], b4 [else]
+b3 if.then:
+	i++
+	goto loop
+	-> b2 [goto loop]
+b4 if.join:
+	return
+	-> b1 [return]
+`)
+}

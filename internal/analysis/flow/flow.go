@@ -1,0 +1,34 @@
+// Package flow is the shared control-flow and dataflow engine under the
+// eplint analyzers.
+//
+// The first generation of analyzers each carried a private, partial copy
+// of the same machinery: poolcheck grew a branch-aware state machine
+// (merge-at-join lattice states, loop bodies walked twice so iteration
+// i+1 sees iteration i's effects), lockorder grew a package-internal call
+// graph with a fixed-point property propagation, and both re-implemented
+// clause handling for switch/select. This package hoists those pieces
+// into three reusable layers:
+//
+//   - Graph / New / Dump (cfg.go): basic blocks built from go/ast with
+//     labeled edges, an explicit exit block, and recorded deferred calls.
+//     The printable Dump form is golden-tested independently of any
+//     analyzer, and analyzers that want a fixed-point iteration (seqlock's
+//     read-protocol phases) run it over these blocks.
+//
+//   - Walker / Hooks[S] (walk.go): the structured, path-sensitive lattice
+//     walk generalized from poolcheck. The domain supplies a state type S
+//     and a handful of hooks (clone, merge, statement/expression transfer,
+//     optional condition refinement); the walker owns all control-flow
+//     shape: branch cloning, merge at joins, two-pass loop bodies seeded
+//     from end-of-iteration and continue states, break/continue
+//     collection, switch/select clauses, and bail-out on unstructured
+//     flow (goto, labeled branches).
+//
+//   - Summaries / StaticCallee (summary.go): call-edge summaries — the
+//     fixed-point "may (transitively) do X through package-internal
+//     calls" computation generalized from lockorder's lockingFuncs, used
+//     for lock acquisition, blocking operations, and seqlock-word loads.
+//
+// Analyzers stay small: they define a lattice and the calls that move it,
+// and inherit identical, already-debugged control-flow semantics.
+package flow

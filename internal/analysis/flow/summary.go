@@ -1,0 +1,84 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/eplog/eplog/internal/analysis"
+)
+
+// Summaries computes call-edge summaries: the set of package functions
+// for which a property may hold, transitively through package-internal
+// calls. direct reports whether one function declaration establishes the
+// property by itself (its body acquires a lock, performs a blocking
+// operation, touches a seqlock word, ...); the result adds every
+// function that can reach a direct one through calls resolvable with
+// StaticCallee. Dynamic calls (function values, interface methods) are
+// not edges — summaries are deliberately package-local and
+// under-approximate, matching the first-generation lockorder behavior.
+func Summaries(pass *analysis.Pass, direct func(fd *ast.FuncDecl, fn *types.Func) bool) map[*types.Func]bool {
+	has := make(map[*types.Func]bool)
+	callees := make(map[*types.Func]map[*types.Func]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if direct(fd, fn) {
+				has[fn] = true
+			}
+			callees[fn] = make(map[*types.Func]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if callee := StaticCallee(pass, call); callee != nil {
+						callees[fn][callee] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, cs := range callees {
+			if has[fn] {
+				continue
+			}
+			for callee := range cs {
+				if has[callee] {
+					has[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return has
+}
+
+// StaticCallee resolves a call to a function or method declared in the
+// package under analysis, or nil for anything else (other packages,
+// builtins, function values, interface dispatch).
+func StaticCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = pass.TypesInfo.Uses[fun.Sel]
+		}
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() != pass.Pkg {
+		return nil
+	}
+	return fn
+}

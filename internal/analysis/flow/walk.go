@@ -1,0 +1,386 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Hooks supplies the dataflow domain for a Walker. S is the lattice
+// state threaded along every path; the walker owns control flow, the
+// hooks own meaning. Clone, Merge and Exec are required; the rest
+// default to no-ops.
+type Hooks[S any] struct {
+	// Clone returns an independent copy of st. Called wherever control
+	// flow forks (branches, clauses, loop passes, break/continue exits).
+	Clone func(st S) S
+
+	// Merge folds src into dst at a control-flow join and returns the
+	// merged state. It may mutate and return dst. The domain decides how
+	// facts absent on one side combine (poolcheck demotes them to
+	// "maybe"; held-set domains intersect).
+	Merge func(dst, src S) S
+
+	// Exec applies one simple statement's transfer function:
+	// expression/assign/decl/inc-dec/send/defer/go statements, and the
+	// Init statements of if/for/switch. Compound statements never reach
+	// Exec; the walker decomposes them.
+	Exec func(s ast.Stmt, st S) S
+
+	// Eval applies an expression evaluated for control flow: if/for
+	// conditions, switch tags, range and case-list operands, and return
+	// results. Optional.
+	Eval func(e ast.Expr, st S) S
+
+	// Refine specializes the state for the branch where cond evaluated
+	// to truth. Called with the branch's already-cloned state after Eval
+	// of the condition; the path-sensitive analyzers (errlatch's
+	// err != nil latch) live here. Optional.
+	Refine func(cond ast.Expr, truth bool, st S) S
+
+	// Return observes an explicit return after its results were Eval'd;
+	// domains report must-hold-at-exit violations here. Optional.
+	Return func(ret *ast.ReturnStmt, st S)
+
+	// BlockEnd observes normal fall-through past a block's closing brace
+	// and may update the state (poolcheck retires variables whose scope
+	// ends and reports still-held buffers). Optional.
+	BlockEnd func(b *ast.BlockStmt, st S) S
+
+	// NoReturn reports calls that never return (beyond the builtin
+	// panic, which the walker always terminates on — but only when
+	// NoReturn is non-nil, since recognizing the builtin requires type
+	// information the walker does not hold). Optional.
+	NoReturn func(call *ast.CallExpr) bool
+}
+
+// Walker runs one Hooks domain over function bodies. A Walker is
+// single-use per body only in the sense that Bailed latches: reuse
+// across bodies is fine if the caller checks and resets Bailed.
+type Walker[S any] struct {
+	h Hooks[S]
+
+	// Bailed reports that the walk met unstructured control flow (goto,
+	// labeled break/continue) it cannot model. States produced after a
+	// bail are unreliable; callers should discard the function. Callers
+	// that must not report partial results before giving up can pre-check
+	// with HasUnstructuredFlow.
+	Bailed bool
+}
+
+// NewWalker validates the hooks and returns a walker over them.
+func NewWalker[S any](h Hooks[S]) *Walker[S] {
+	if h.Clone == nil || h.Merge == nil || h.Exec == nil {
+		panic("flow.NewWalker: Clone, Merge and Exec hooks are required")
+	}
+	return &Walker[S]{h: h}
+}
+
+// Walk threads init through body and returns the fall-through state and
+// whether every path left the function before the closing brace (so the
+// caller knows whether an implicit-return check applies).
+func (w *Walker[S]) Walk(body *ast.BlockStmt, init S) (out S, terminated bool) {
+	return w.walkBlock(body, init, nil)
+}
+
+// loopCtx accumulates the states flowing out of the innermost loop via
+// break and continue, so the post-loop merge is sound.
+type loopCtx[S any] struct {
+	breaks    []S
+	continues []S
+}
+
+func (w *Walker[S]) walkStmts(list []ast.Stmt, st S, loop *loopCtx[S]) (S, bool) {
+	for _, s := range list {
+		if w.Bailed {
+			return st, true
+		}
+		var terminated bool
+		st, terminated = w.walkStmt(s, st, loop)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *Walker[S]) walkStmt(s ast.Stmt, st S, loop *loopCtx[S]) (S, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		st = w.h.Exec(s, st)
+		if call, ok := s.X.(*ast.CallExpr); ok && w.h.NoReturn != nil && w.h.NoReturn(call) {
+			return st, true
+		}
+		return st, false
+
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.DeferStmt, *ast.GoStmt, *ast.EmptyStmt:
+		return w.h.Exec(s, st), false
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			st = w.eval(r, st)
+		}
+		if w.h.Return != nil {
+			w.h.Return(s, st)
+		}
+		return st, true
+
+	case *ast.BranchStmt:
+		switch {
+		case s.Label != nil || s.Tok == token.GOTO:
+			w.Bailed = true
+			return st, true
+		case s.Tok == token.BREAK:
+			if loop != nil {
+				loop.breaks = append(loop.breaks, w.h.Clone(st))
+			}
+			return st, true
+		case s.Tok == token.CONTINUE:
+			if loop != nil {
+				loop.continues = append(loop.continues, w.h.Clone(st))
+			}
+			return st, true
+		default: // bare fallthrough: the clause walk already merges siblings
+			return st, true
+		}
+
+	case *ast.BlockStmt:
+		return w.walkBlock(s, st, loop)
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st, loop)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = w.h.Exec(s.Init, st)
+		}
+		st = w.eval(s.Cond, st)
+		thenIn := w.h.Clone(st)
+		if w.h.Refine != nil {
+			thenIn = w.h.Refine(s.Cond, true, thenIn)
+		}
+		thenSt, thenTerm := w.walkBlock(s.Body, thenIn, loop)
+		var out S
+		outSet := false
+		if !thenTerm {
+			out, outSet = thenSt, true
+		}
+		elseIn := w.h.Clone(st)
+		if w.h.Refine != nil {
+			elseIn = w.h.Refine(s.Cond, false, elseIn)
+		}
+		if s.Else != nil {
+			elseSt, elseTerm := w.walkStmt(s.Else, elseIn, loop)
+			if !elseTerm {
+				if outSet {
+					out = w.h.Merge(out, elseSt)
+				} else {
+					out, outSet = elseSt, true
+				}
+			}
+		} else {
+			if outSet {
+				out = w.h.Merge(out, elseIn)
+			} else {
+				out, outSet = elseIn, true
+			}
+		}
+		if !outSet {
+			return st, true // both branches terminated
+		}
+		return out, false
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = w.h.Exec(s.Init, st)
+		}
+		if s.Cond != nil {
+			st = w.eval(s.Cond, st)
+		}
+		return w.walkLoopBody(s.Body, s.Post, st, s.Cond == nil)
+
+	case *ast.RangeStmt:
+		st = w.eval(s.X, st)
+		return w.walkLoopBody(s.Body, nil, st, false)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = w.h.Exec(s.Init, st)
+		}
+		if s.Tag != nil {
+			st = w.eval(s.Tag, st)
+		}
+		return w.walkClauses(s.Body, st, loop)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st = w.h.Exec(s.Init, st)
+		}
+		return w.walkClauses(s.Body, st, loop)
+
+	case *ast.SelectStmt:
+		return w.walkClauses(s.Body, st, loop)
+
+	default:
+		return st, false
+	}
+}
+
+func (w *Walker[S]) eval(e ast.Expr, st S) S {
+	if e == nil || w.h.Eval == nil {
+		return st
+	}
+	return w.h.Eval(e, st)
+}
+
+// walkBlock walks one block and runs the BlockEnd hook on normal
+// fall-through, so scope-sensitive domains see the closing brace.
+func (w *Walker[S]) walkBlock(b *ast.BlockStmt, st S, loop *loopCtx[S]) (S, bool) {
+	out, term := w.walkStmts(b.List, st, loop)
+	if term || w.Bailed {
+		return out, term
+	}
+	if w.h.BlockEnd != nil {
+		out = w.h.BlockEnd(b, out)
+	}
+	return out, false
+}
+
+// walkLoopBody analyzes a loop body twice so an effect in iteration i is
+// seen by iteration i+1, then merges the zero-iteration, fall-out, break
+// and continue states. The second pass starts from the end-of-iteration
+// states (fall-through and continue), not from the loop entry: a definite
+// transition at the bottom of the body must be visible as definite to the
+// next iteration.
+func (w *Walker[S]) walkLoopBody(body *ast.BlockStmt, post ast.Stmt, in S, infinite bool) (S, bool) {
+	run := func(start S) (*loopCtx[S], S, bool) {
+		lc := &loopCtx[S]{}
+		out, term := w.walkBlock(body, w.h.Clone(start), lc)
+		if !term && post != nil {
+			out, _ = w.walkStmt(post, out, lc)
+		}
+		return lc, out, term
+	}
+	lc1, out1, term1 := run(in)
+	next := w.h.Clone(in)
+	nextSet := false
+	if !term1 {
+		next, nextSet = w.h.Clone(out1), true
+	}
+	for _, cs := range lc1.continues {
+		if nextSet {
+			next = w.h.Merge(next, cs)
+		} else {
+			next, nextSet = w.h.Clone(cs), true
+		}
+	}
+	lc2, out2, term2 := run(next)
+
+	// Post-loop state: the loop may run zero times (unless infinite),
+	// fall out of its condition, or break.
+	var exit S
+	exitSet := false
+	if !infinite {
+		exit, exitSet = w.h.Clone(in), true
+	}
+	if !term2 {
+		if exitSet {
+			exit = w.h.Merge(exit, out2)
+		} else {
+			exit, exitSet = w.h.Clone(out2), true
+		}
+	}
+	for _, lc := range []*loopCtx[S]{lc1, lc2} {
+		for _, bs := range lc.breaks {
+			if exitSet {
+				exit = w.h.Merge(exit, bs)
+			} else {
+				exit, exitSet = w.h.Clone(bs), true
+			}
+		}
+	}
+	if !exitSet {
+		return in, true // infinite loop, no break: nothing runs after
+	}
+	return exit, false
+}
+
+// walkClauses handles switch, type-switch and select bodies: each clause
+// starts from a clone of the incoming state, non-terminated clause exits
+// merge, and without a default clause the incoming state joins too (the
+// no-case-matched path).
+func (w *Walker[S]) walkClauses(body *ast.BlockStmt, st S, loop *loopCtx[S]) (S, bool) {
+	var out S
+	outSet := false
+	hasDefault := false
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				st = w.eval(e, st)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				// The comm op runs only on the path into this clause:
+				// walk it on a discarded clone of the shared state so
+				// its effects stay clause-local.
+				clSt := w.h.Clone(st)
+				clSt, _ = w.walkStmt(cl.Comm, clSt, loop)
+				clSt, term := w.walkStmts(cl.Body, clSt, loop)
+				if !term {
+					if outSet {
+						out = w.h.Merge(out, clSt)
+					} else {
+						out, outSet = clSt, true
+					}
+				}
+				continue
+			}
+			stmts = cl.Body
+		}
+		clSt, term := w.walkStmts(stmts, w.h.Clone(st), loop)
+		if !term {
+			if outSet {
+				out = w.h.Merge(out, clSt)
+			} else {
+				out, outSet = clSt, true
+			}
+		}
+	}
+	if !hasDefault {
+		if outSet {
+			out = w.h.Merge(out, st)
+		} else {
+			out, outSet = st, true
+		}
+	}
+	if !outSet {
+		return st, true
+	}
+	return out, false
+}
+
+// HasUnstructuredFlow reports whether body (excluding nested function
+// literals) contains goto or labeled branch statements, which defeat the
+// structured walk. Analyzers that report as they walk should pre-check
+// so a later bail cannot leave half a function's diagnostics behind.
+func HasUnstructuredFlow(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if br, ok := n.(*ast.BranchStmt); ok && (br.Label != nil || br.Tok == token.GOTO) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -32,6 +32,8 @@ import (
 	"go/types"
 
 	"github.com/eplog/eplog/internal/analysis"
+	"github.com/eplog/eplog/internal/analysis/flow"
+	"github.com/eplog/eplog/internal/analysis/locks"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -45,12 +47,26 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	lockFields := markedLockFields(pass)
+	lockFields := locks.MarkedFields(pass, "shardlock")
 	if len(lockFields) == 0 {
 		return nil
 	}
 	c := &checker{pass: pass, lockFields: lockFields}
-	c.lockers = c.lockingFuncs()
+	// Call-edge summaries: which package functions may (transitively)
+	// acquire a shard lock. Release-only functions (unlockAll) cannot
+	// cause an out-of-order acquisition, so only acquires count.
+	c.lockers = flow.Summaries(pass, func(fd *ast.FuncDecl, fn *types.Func) bool {
+		direct := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if acq, ok := c.asAcquisition(call); ok && isAcquire(acq.op) {
+					direct = true
+				}
+			}
+			return !direct
+		})
+		return direct
+	})
 	for _, file := range pass.Files {
 		ann := analysis.NewAnnotations(pass.Fset, file)
 		for _, decl := range file.Decls {
@@ -73,32 +89,6 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// markedLockFields collects the *types.Var of every struct field carrying
-// the //eplog:shardlock directive.
-func markedLockFields(pass *analysis.Pass) map[types.Object]bool {
-	fields := make(map[types.Object]bool)
-	for _, file := range pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			st, ok := n.(*ast.StructType)
-			if !ok {
-				return true
-			}
-			for _, f := range st.Fields.List {
-				if !analysis.FieldDirective(f, "shardlock") {
-					continue
-				}
-				for _, name := range f.Names {
-					if obj := pass.TypesInfo.Defs[name]; obj != nil {
-						fields[obj] = true
-					}
-				}
-			}
-			return true
-		})
-	}
-	return fields
-}
-
 type checker struct {
 	pass       *analysis.Pass
 	lockFields map[types.Object]bool
@@ -118,110 +108,14 @@ type acquisition struct {
 // asAcquisition matches calls of the form <recv>.<field>.<op>() where
 // <field> is a marked shard-lock field.
 func (c *checker) asAcquisition(call *ast.CallExpr) (acquisition, bool) {
-	outer, ok := call.Fun.(*ast.SelectorExpr)
+	op, ok := locks.AsFieldOp(c.pass, c.lockFields, call, locks.MutexOps...)
 	if !ok {
 		return acquisition{}, false
 	}
-	op := outer.Sel.Name
-	switch op {
-	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
-	default:
-		return acquisition{}, false
-	}
-	inner, ok := outer.X.(*ast.SelectorExpr)
-	if !ok {
-		return acquisition{}, false
-	}
-	sel, ok := c.pass.TypesInfo.Selections[inner]
-	if !ok || !c.lockFields[sel.Obj()] {
-		return acquisition{}, false
-	}
-	return acquisition{call: call, recvKey: types.ExprString(inner.X), op: op}, true
+	return acquisition{call: call, recvKey: op.RecvKey, op: op.Name}, true
 }
 
-func isAcquire(op string) bool {
-	return op == "Lock" || op == "RLock" || op == "TryLock" || op == "TryRLock"
-}
-
-// lockingFuncs computes the set of package functions that may acquire a
-// shard lock, transitively through package-internal calls.
-func (c *checker) lockingFuncs() map[*types.Func]bool {
-	direct := make(map[*types.Func]bool)
-	callees := make(map[*types.Func]map[*types.Func]bool)
-	for _, file := range c.pass.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			fn, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			callees[fn] = make(map[*types.Func]bool)
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				if acq, ok := c.asAcquisition(call); ok {
-					// Release-only functions (unlockAll) cannot cause an
-					// out-of-order acquisition.
-					if isAcquire(acq.op) {
-						direct[fn] = true
-					}
-					return true
-				}
-				if callee := c.staticCallee(call); callee != nil {
-					callees[fn][callee] = true
-				}
-				return true
-			})
-		}
-	}
-	// Propagate to a fixed point.
-	lockers := make(map[*types.Func]bool, len(direct))
-	for fn := range direct {
-		lockers[fn] = true
-	}
-	for changed := true; changed; {
-		changed = false
-		for fn, cs := range callees {
-			if lockers[fn] {
-				continue
-			}
-			for callee := range cs {
-				if lockers[callee] {
-					lockers[fn] = true
-					changed = true
-					break
-				}
-			}
-		}
-	}
-	return lockers
-}
-
-// staticCallee resolves a call to a function or method declared in this
-// package, or nil.
-func (c *checker) staticCallee(call *ast.CallExpr) *types.Func {
-	var obj types.Object
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		obj = c.pass.TypesInfo.Uses[fun]
-	case *ast.SelectorExpr:
-		if sel, ok := c.pass.TypesInfo.Selections[fun]; ok {
-			obj = sel.Obj()
-		} else {
-			obj = c.pass.TypesInfo.Uses[fun.Sel]
-		}
-	}
-	fn, ok := obj.(*types.Func)
-	if !ok || fn.Pkg() != c.pass.Pkg {
-		return nil
-	}
-	return fn
-}
+func isAcquire(op string) bool { return locks.IsAcquire(op) }
 
 // checkFunc applies both rules to one function body. FuncLit bodies are
 // visited separately, so the statement walk does not descend into them.
@@ -416,7 +310,7 @@ func (c *checker) handleCall(call *ast.CallExpr, held map[string]token.Pos, ann 
 	if len(held) == 0 {
 		return
 	}
-	callee := c.staticCallee(call)
+	callee := flow.StaticCallee(c.pass, call)
 	if callee == nil || !c.lockers[callee] {
 		return
 	}

@@ -1,0 +1,95 @@
+// Package locks holds the lock-field matching shared by the concurrency
+// analyzers (lockorder, blockinglock, seqlock): finding struct fields
+// marked with an //eplog: directive and matching `recv.field.Op()` calls
+// against them. The analyzers differ in what they enforce once a lock
+// operation is identified; the identification itself is identical.
+package locks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/eplog/eplog/internal/analysis"
+)
+
+// MarkedFields collects the *types.Var of every struct field in the
+// package carrying the named //eplog: directive (on the field's doc or
+// trailing comment).
+func MarkedFields(pass *analysis.Pass, directive string) map[types.Object]bool {
+	fields := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				if !analysis.FieldDirective(f, directive) {
+					continue
+				}
+				for _, name := range f.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						fields[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+// Op describes one `recv.field.Op()`-shaped call on a marked field.
+type Op struct {
+	Call *ast.CallExpr
+	// RecvKey is the printed receiver expression, e.g. "sh" or
+	// "e.shards[i]" — a syntactic identity for held-set tracking.
+	RecvKey string
+	// Name is the method: Lock, RLock, Unlock, RUnlock, Load, Add, ...
+	Name string
+}
+
+// AsFieldOp matches calls of the form <recv>.<field>.<op>() — or, for
+// slice/array fields of atomics, <recv>.<field>[i].<op>() — where
+// <field> is in fields and <op> is listed in ops. An empty ops list
+// matches any method name.
+func AsFieldOp(pass *analysis.Pass, fields map[types.Object]bool, call *ast.CallExpr, ops ...string) (Op, bool) {
+	outer, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return Op{}, false
+	}
+	name := outer.Sel.Name
+	if len(ops) > 0 {
+		found := false
+		for _, op := range ops {
+			if op == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return Op{}, false
+		}
+	}
+	inner := outer.X
+	if ix, ok := inner.(*ast.IndexExpr); ok {
+		inner = ix.X // e.latest[lba].Store(...) selects through the element
+	}
+	sel, ok := inner.(*ast.SelectorExpr)
+	if !ok {
+		return Op{}, false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || !fields[selection.Obj()] {
+		return Op{}, false
+	}
+	return Op{Call: call, RecvKey: types.ExprString(sel.X), Name: name}, true
+}
+
+// MutexOps are the method names that acquire or release a mutex.
+var MutexOps = []string{"Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock"}
+
+// IsAcquire reports whether a mutex op name takes the lock.
+func IsAcquire(op string) bool {
+	return op == "Lock" || op == "RLock" || op == "TryLock" || op == "TryRLock"
+}

@@ -20,11 +20,13 @@
 //   - No use after release: once the buffer has definitely been Put on
 //     the current path, any further use of the variable is flagged.
 //
-// The flow analysis is branch-aware (if/for/range/switch/select, with
-// loop bodies iterated twice to expose cross-iteration misuse) and only
-// reports on *definite* states, so a conditional release followed by a
-// merged use is never a false positive. Sanction a deliberate violation
-// with //eplog:pool-ok on the offending line.
+// The path-sensitive walk itself — branch cloning, merge at joins, loop
+// bodies iterated twice to expose cross-iteration misuse — is the shared
+// flow.Walker engine; this package supplies only the ownership lattice
+// and the bufpool call classification, and only reports on *definite*
+// states, so a conditional release followed by a merged use is never a
+// false positive. Sanction a deliberate violation with //eplog:pool-ok
+// on the offending line.
 package poolcheck
 
 import (
@@ -33,6 +35,7 @@ import (
 	"go/types"
 
 	"github.com/eplog/eplog/internal/analysis"
+	"github.com/eplog/eplog/internal/analysis/flow"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -133,19 +136,14 @@ type tracked struct {
 	deferred bool
 }
 
+type state = map[types.Object]int
+
 type checker struct {
 	pass     *analysis.Pass
 	ann      *analysis.Annotations
 	vars     map[types.Object]*tracked
 	reported map[token.Pos]bool
 	bailed   bool // goto / labeled branch: give up on this function
-}
-
-// loopCtx accumulates the states flowing out of a loop via break and
-// continue so the post-loop merge is sound.
-type loopCtx struct {
-	breaks    []map[types.Object]int
-	continues []map[types.Object]int
 }
 
 func checkFunc(pass *analysis.Pass, ann *analysis.Annotations, body *ast.BlockStmt) {
@@ -159,14 +157,93 @@ func checkFunc(pass *analysis.Pass, ann *analysis.Annotations, body *ast.BlockSt
 	if len(c.vars) == 0 || c.bailed {
 		return
 	}
-	st := make(map[types.Object]int)
-	out, terminated := c.walkStmts(body.List, st, nil)
-	if c.bailed {
+	w := flow.NewWalker(flow.Hooks[state]{
+		Clone:    cloneState,
+		Merge:    mergeStates,
+		Exec:     c.exec,
+		Eval:     c.eval,
+		Return:   func(ret *ast.ReturnStmt, st state) { c.checkExit(ret.Pos(), st) },
+		BlockEnd: c.blockEnd,
+		NoReturn: c.isPanic,
+	})
+	out, terminated := w.Walk(body, make(state))
+	if w.Bailed {
 		return
 	}
 	if !terminated {
 		c.checkExit(body.Rbrace, out)
 	}
+}
+
+// exec applies one simple statement: report definite uses-after-release
+// in its expressions, then apply release calls and (re)assignments.
+func (c *checker) exec(s ast.Stmt, st state) state {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		st = c.eval(s.X, st)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			st = c.eval(rhs, st)
+		}
+		for _, lhs := range s.Lhs {
+			// Writing *through* the buffer (v[i] = x) is a use of v.
+			if _, ok := lhs.(*ast.Ident); !ok {
+				c.checkUses(lhs, st)
+			}
+		}
+		c.applyAssign(s, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						st = c.eval(v, st)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		c.checkUses(s.X, st)
+	case *ast.SendStmt:
+		c.checkUses(s.Chan, st)
+		c.checkUses(s.Value, st)
+	case *ast.DeferStmt:
+		// Deferred releases were registered in collect; a deferred
+		// non-release call is an escape, also handled there.
+		c.checkUses(s.Call, st)
+	case *ast.GoStmt:
+		c.checkUses(s.Call, st)
+	}
+	return st
+}
+
+// eval applies one evaluated expression: uses, then release transitions.
+func (c *checker) eval(e ast.Expr, st state) state {
+	c.checkUses(e, st)
+	c.applyCalls(e, st)
+	return st
+}
+
+// blockEnd reports buffers whose variable goes out of scope at a closing
+// brace while definitely still held: nothing can release them after.
+func (c *checker) blockEnd(b *ast.BlockStmt, out state) state {
+	for obj, t := range c.vars {
+		if t.escaped || t.deferred || out[obj] != stHeld {
+			continue
+		}
+		scope := obj.Parent()
+		if scope == nil || scope.Pos() < b.Pos() || scope.End() > b.End() {
+			continue
+		}
+		out[obj] = stOff
+		if c.reported[b.Rbrace] || c.ann.At(t.getPos, "pool-ok") {
+			continue
+		}
+		c.reported[b.Rbrace] = true
+		c.pass.Reportf(b.Rbrace, "%s goes out of scope still holding a pool buffer: acquired at %s but not released with bufpool.%s (sanction with //eplog:pool-ok)",
+			obj.Name(), c.pass.Fset.Position(t.getPos), t.putName)
+	}
+	return out
 }
 
 // collect finds tracked variables, escapes and deferred releases in one
@@ -339,17 +416,17 @@ func isNonOwningBuiltin(pass *analysis.Pass, call *ast.CallExpr) bool {
 	return false
 }
 
-// --- path-sensitive walk ---------------------------------------------
+// --- lattice plumbing -------------------------------------------------
 
-func cloneState(st map[types.Object]int) map[types.Object]int {
-	out := make(map[types.Object]int, len(st))
+func cloneState(st state) state {
+	out := make(state, len(st))
 	for k, v := range st {
 		out[k] = v
 	}
 	return out
 }
 
-func mergeStates(dst, src map[types.Object]int) {
+func mergeStates(dst, src state) state {
 	for k, v := range src {
 		if cur, ok := dst[k]; ok {
 			dst[k] = mergeState(cur, v)
@@ -364,317 +441,12 @@ func mergeStates(dst, src map[types.Object]int) {
 			dst[k] = mergeState(cur, stMaybe)
 		}
 	}
-}
-
-// walkStmts walks one statement list, threading st through it. It returns
-// the out-state and whether control definitely left the enclosing
-// function (or loop, via the loop context) before the end of the list.
-func (c *checker) walkStmts(list []ast.Stmt, st map[types.Object]int, loop *loopCtx) (map[types.Object]int, bool) {
-	for _, s := range list {
-		if c.bailed {
-			return st, true
-		}
-		var terminated bool
-		st, terminated = c.walkStmt(s, st, loop)
-		if terminated {
-			return st, true
-		}
-	}
-	return st, false
-}
-
-func (c *checker) walkStmt(s ast.Stmt, st map[types.Object]int, loop *loopCtx) (map[types.Object]int, bool) {
-	switch s := s.(type) {
-	case *ast.ExprStmt:
-		c.checkUses(s.X, st)
-		c.applyCalls(s.X, st)
-		if isPanic(c.pass, s.X) {
-			return st, true
-		}
-		return st, false
-
-	case *ast.AssignStmt:
-		for _, rhs := range s.Rhs {
-			c.checkUses(rhs, st)
-			c.applyCalls(rhs, st)
-		}
-		for _, lhs := range s.Lhs {
-			// Writing *through* the buffer (v[i] = x) is a use of v.
-			if _, ok := lhs.(*ast.Ident); !ok {
-				c.checkUses(lhs, st)
-			}
-		}
-		c.applyAssign(s, st)
-		return st, false
-
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, v := range vs.Values {
-						c.checkUses(v, st)
-						c.applyCalls(v, st)
-					}
-				}
-			}
-		}
-		return st, false
-
-	case *ast.IncDecStmt:
-		c.checkUses(s.X, st)
-		return st, false
-
-	case *ast.SendStmt:
-		c.checkUses(s.Chan, st)
-		c.checkUses(s.Value, st)
-		return st, false
-
-	case *ast.DeferStmt:
-		c.checkUses(s.Call, st)
-		// Deferred releases were registered in collect; a deferred
-		// non-release call is an escape, also handled there.
-		return st, false
-
-	case *ast.GoStmt:
-		c.checkUses(s.Call, st)
-		return st, false
-
-	case *ast.ReturnStmt:
-		for _, r := range s.Results {
-			c.checkUses(r, st)
-			c.applyCalls(r, st)
-		}
-		c.checkExit(s.Pos(), st)
-		return st, true
-
-	case *ast.BranchStmt:
-		switch s.Tok {
-		case token.BREAK:
-			if loop != nil {
-				loop.breaks = append(loop.breaks, cloneState(st))
-			}
-			return st, true
-		case token.CONTINUE:
-			if loop != nil {
-				loop.continues = append(loop.continues, cloneState(st))
-			}
-			return st, true
-		default: // goto / fallthrough with label: collect() already bailed
-			c.bailed = true
-			return st, true
-		}
-
-	case *ast.BlockStmt:
-		return c.walkBlock(s, st, loop)
-
-	case *ast.LabeledStmt:
-		return c.walkStmt(s.Stmt, st, loop)
-
-	case *ast.IfStmt:
-		if s.Init != nil {
-			st, _ = c.walkStmt(s.Init, st, loop)
-		}
-		c.checkUses(s.Cond, st)
-		c.applyCalls(s.Cond, st)
-		thenSt, thenTerm := c.walkBlock(s.Body, cloneState(st), loop)
-		var out map[types.Object]int
-		var outSet bool
-		if !thenTerm {
-			out, outSet = thenSt, true
-		}
-		if s.Else != nil {
-			elseSt, elseTerm := c.walkStmt(s.Else, cloneState(st), loop)
-			if !elseTerm {
-				if outSet {
-					mergeStates(out, elseSt)
-				} else {
-					out, outSet = elseSt, true
-				}
-			}
-		} else {
-			if outSet {
-				mergeStates(out, st)
-			} else {
-				out, outSet = st, true
-			}
-		}
-		if !outSet {
-			return st, true // both branches terminated
-		}
-		return out, false
-
-	case *ast.ForStmt:
-		if s.Init != nil {
-			st, _ = c.walkStmt(s.Init, st, loop)
-		}
-		if s.Cond != nil {
-			c.checkUses(s.Cond, st)
-		}
-		return c.walkLoopBody(s.Body, s.Post, st, s.Cond == nil)
-
-	case *ast.RangeStmt:
-		c.checkUses(s.X, st)
-		return c.walkLoopBody(s.Body, nil, st, false)
-
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			st, _ = c.walkStmt(s.Init, st, loop)
-		}
-		if s.Tag != nil {
-			c.checkUses(s.Tag, st)
-		}
-		return c.walkClauses(s.Body, st, loop)
-
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			st, _ = c.walkStmt(s.Init, st, loop)
-		}
-		return c.walkClauses(s.Body, st, loop)
-
-	case *ast.SelectStmt:
-		return c.walkClauses(s.Body, st, loop)
-
-	default:
-		return st, false
-	}
-}
-
-// walkBlock walks a block and, on normal fall-through, reports buffers
-// whose variable goes out of scope at the closing brace while definitely
-// still held: nothing can ever release them after that point.
-func (c *checker) walkBlock(b *ast.BlockStmt, st map[types.Object]int, loop *loopCtx) (map[types.Object]int, bool) {
-	out, term := c.walkStmts(b.List, st, loop)
-	if term || c.bailed {
-		return out, term
-	}
-	for obj, t := range c.vars {
-		if t.escaped || t.deferred || out[obj] != stHeld {
-			continue
-		}
-		scope := obj.Parent()
-		if scope == nil || scope.Pos() < b.Pos() || scope.End() > b.End() {
-			continue
-		}
-		out[obj] = stOff
-		if c.reported[b.Rbrace] || c.ann.At(t.getPos, "pool-ok") {
-			continue
-		}
-		c.reported[b.Rbrace] = true
-		c.pass.Reportf(b.Rbrace, "%s goes out of scope still holding a pool buffer: acquired at %s but not released with bufpool.%s (sanction with //eplog:pool-ok)",
-			obj.Name(), c.pass.Fset.Position(t.getPos), t.putName)
-	}
-	return out, term
-}
-
-// walkLoopBody analyzes a loop body twice so a release in iteration i is
-// seen by the uses of iteration i+1, then merges the zero-iteration,
-// fall-out, break and continue states.
-func (c *checker) walkLoopBody(body *ast.BlockStmt, post ast.Stmt, in map[types.Object]int, infinite bool) (map[types.Object]int, bool) {
-	run := func(start map[types.Object]int) (*loopCtx, map[types.Object]int, bool) {
-		lc := &loopCtx{}
-		out, term := c.walkBlock(body, cloneState(start), lc)
-		if !term && post != nil {
-			out, _ = c.walkStmt(post, out, lc)
-		}
-		return lc, out, term
-	}
-	lc1, out1, term1 := run(in)
-	// The second pass models iteration i+1 after iteration i, so it starts
-	// from the end-of-iteration states (fall-through and continue), not
-	// from the loop entry: a definite release at the bottom of the body
-	// must be visible as definite to the next iteration's uses.
-	next := cloneState(in)
-	nextSet := false
-	if !term1 {
-		next, nextSet = cloneState(out1), true
-	}
-	for _, cs := range lc1.continues {
-		if nextSet {
-			mergeStates(next, cs)
-		} else {
-			next, nextSet = cloneState(cs), true
-		}
-	}
-	lc2, out2, term2 := run(next)
-
-	// Post-loop state: the loop may run zero times (unless infinite),
-	// fall out of its condition, or break.
-	var exit map[types.Object]int
-	exitSet := false
-	if !infinite {
-		exit, exitSet = cloneState(in), true
-	}
-	if !term2 {
-		if exitSet {
-			mergeStates(exit, out2)
-		} else {
-			exit, exitSet = cloneState(out2), true
-		}
-	}
-	for _, lc := range []*loopCtx{lc1, lc2} {
-		for _, bs := range lc.breaks {
-			if exitSet {
-				mergeStates(exit, bs)
-			} else {
-				exit, exitSet = cloneState(bs), true
-			}
-		}
-	}
-	if !exitSet {
-		return in, true // infinite loop, no break: nothing runs after
-	}
-	return exit, false
-}
-
-func (c *checker) walkClauses(body *ast.BlockStmt, st map[types.Object]int, loop *loopCtx) (map[types.Object]int, bool) {
-	var out map[types.Object]int
-	outSet := false
-	hasDefault := false
-	for _, clause := range body.List {
-		var stmts []ast.Stmt
-		switch cl := clause.(type) {
-		case *ast.CaseClause:
-			if cl.List == nil {
-				hasDefault = true
-			}
-			for _, e := range cl.List {
-				c.checkUses(e, st)
-			}
-			stmts = cl.Body
-		case *ast.CommClause:
-			if cl.Comm == nil {
-				hasDefault = true
-			} else {
-				var ignore map[types.Object]int = cloneState(st)
-				_, _ = c.walkStmt(cl.Comm, ignore, loop)
-			}
-			stmts = cl.Body
-		}
-		clSt, term := c.walkStmts(stmts, cloneState(st), loop)
-		if !term {
-			if outSet {
-				mergeStates(out, clSt)
-			} else {
-				out, outSet = clSt, true
-			}
-		}
-	}
-	if !hasDefault {
-		if outSet {
-			mergeStates(out, st)
-		} else {
-			out, outSet = st, true
-		}
-	}
-	if !outSet {
-		return st, true
-	}
-	return out, false
+	return dst
 }
 
 // applyAssign updates states for `v := Get(...)`, `v = Get(...)` and
 // plain reassignments that end tracking.
-func (c *checker) applyAssign(s *ast.AssignStmt, st map[types.Object]int) {
+func (c *checker) applyAssign(s *ast.AssignStmt, st state) {
 	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
 		// Multi-assign involving a tracked var: stop tracking it.
 		for _, lhs := range s.Lhs {
@@ -705,7 +477,7 @@ func (c *checker) applyAssign(s *ast.AssignStmt, st map[types.Object]int) {
 
 // applyCalls transitions states for release calls found anywhere in expr
 // (excluding nested function literals).
-func (c *checker) applyCalls(expr ast.Expr, st map[types.Object]int) {
+func (c *checker) applyCalls(expr ast.Expr, st state) {
 	inspectNoFuncLit(expr, func(n ast.Node) {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -740,7 +512,7 @@ func (c *checker) applyCalls(expr ast.Expr, st map[types.Object]int) {
 }
 
 // checkUses reports definite uses-after-release inside expr.
-func (c *checker) checkUses(expr ast.Expr, st map[types.Object]int) {
+func (c *checker) checkUses(expr ast.Expr, st state) {
 	if expr == nil {
 		return
 	}
@@ -765,7 +537,7 @@ func (c *checker) checkUses(expr ast.Expr, st map[types.Object]int) {
 
 // checkExit reports buffers that are definitely still held when control
 // leaves the function at pos.
-func (c *checker) checkExit(pos token.Pos, st map[types.Object]int) {
+func (c *checker) checkExit(pos token.Pos, st state) {
 	for obj, t := range c.vars {
 		if t.escaped || t.deferred {
 			continue
@@ -789,16 +561,12 @@ func identObj(pass *analysis.Pass, id *ast.Ident) types.Object {
 	return pass.TypesInfo.Defs[id]
 }
 
-func isPanic(pass *analysis.Pass, expr ast.Expr) bool {
-	call, ok := expr.(*ast.CallExpr)
-	if !ok {
-		return false
-	}
+func (c *checker) isPanic(call *ast.CallExpr) bool {
 	id, ok := call.Fun.(*ast.Ident)
 	if !ok {
 		return false
 	}
-	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin)
 	return ok && b.Name() == "panic"
 }
 

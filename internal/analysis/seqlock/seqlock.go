@@ -1,0 +1,341 @@
+// Package seqlock enforces the shard seqlock protocol.
+//
+// The engine's lock-free read fast path (DESIGN.md §13) rests on two
+// per-shard words: the seqlock epoch (odd while a writer is inside its
+// critical section) and the packed atomic location words published
+// through it. The protocol is invisible to the race detector — a torn
+// read needs an unlucky writer overlap — so it is enforced statically:
+//
+//   - Writers: fields marked //eplog:seqlock may only be mutated
+//     (Add/Store/Swap/CompareAndSwap) inside functions marked
+//     //eplog:seqlock-write — the lockAcquired/lockReleasing bracket
+//     edges and the bracket-protected publishers. Anything else is a
+//     writer outside the bracket: optimistic readers would trust state
+//     it is mutating.
+//
+//   - Readers: functions marked //eplog:seqlock-read are the optimistic
+//     read passes. They must not take a shard lock, must not write any
+//     seqlock word, and must follow the protocol in order: sample the
+//     epoch(s), bail out on an odd epoch (a writer is inside), read the
+//     protected words, and re-validate the sampled epochs before
+//     trusting anything. The check runs a forward fixpoint over the
+//     function's flow.Graph with a phase lattice (sampled → checked →
+//     validated, merge = min), so a success return (`return ..., true`)
+//     reachable on any path that skipped a step is flagged. Function
+//     literals are treated as executing at their use site — the fast
+//     paths sample and validate through closures handed to shard
+//     iterators.
+//
+// Sanction a deliberate exception with //eplog:seqlock-ok on the line.
+package seqlock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/eplog/eplog/internal/analysis"
+	"github.com/eplog/eplog/internal/analysis/flow"
+	"github.com/eplog/eplog/internal/analysis/locks"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seqlock",
+	Doc: "seqlock words are written only by sanctioned writers; lock-free readers sample, check odd, then re-validate\n\n" +
+		"Fields marked //eplog:seqlock may be mutated only inside\n" +
+		"//eplog:seqlock-write functions. //eplog:seqlock-read functions\n" +
+		"must not lock or write, and must sample epochs, bail out on odd,\n" +
+		"and re-validate before returning success. Opt out per line with\n" +
+		"//eplog:seqlock-ok.",
+	Run: run,
+}
+
+// Reader-protocol phases, a totally ordered lattice merged with min.
+const (
+	phNone      = iota // nothing established
+	phSampled          // epoch(s) loaded into locals
+	phChecked          // odd-epoch bailout taken
+	phValidated        // epochs re-validated after the protected loads
+)
+
+func phaseMissing(ph int) string {
+	switch ph {
+	case phNone:
+		return "sampling the seqlock epochs"
+	case phSampled:
+		return "the odd-epoch bailout check"
+	default:
+		return "re-validating the sampled epochs"
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	words := locks.MarkedFields(pass, "seqlock")
+	if len(words) == 0 {
+		return nil
+	}
+	c := &checker{
+		pass:      pass,
+		words:     words,
+		shardlock: locks.MarkedFields(pass, "shardlock"),
+	}
+	// Call-edge summaries over the package: which functions read or
+	// write seqlock words, transitively. Readers may call loaders only
+	// after the odd-epoch check; they may never call writers.
+	c.loaders = flow.Summaries(pass, func(fd *ast.FuncDecl, fn *types.Func) bool {
+		return c.touchesWord(fd.Body, "Load")
+	})
+	c.writers = flow.Summaries(pass, func(fd *ast.FuncDecl, fn *types.Func) bool {
+		return c.touchesWord(fd.Body, mutators...)
+	})
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ann := analysis.NewAnnotations(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			isWriter := analysis.FuncDirective(fd, "seqlock-write")
+			isReader := analysis.FuncDirective(fd, "seqlock-read")
+			if !isWriter && !isReader {
+				c.checkMutations(fd.Body, ann)
+			}
+			if isReader {
+				// The reader walk reports mutations with its own
+				// message, so checkMutations is skipped above.
+				c.checkReader(fd, ann)
+			}
+		}
+	}
+	return nil
+}
+
+// mutators are the atomic methods that change a word's value.
+var mutators = []string{"Add", "Store", "Swap", "CompareAndSwap", "Or", "And"}
+
+type checker struct {
+	pass      *analysis.Pass
+	words     map[types.Object]bool // //eplog:seqlock fields
+	shardlock map[types.Object]bool // //eplog:shardlock fields
+	loaders   map[*types.Func]bool  // may (transitively) Load a seqlock word
+	writers   map[*types.Func]bool  // may (transitively) mutate a seqlock word
+}
+
+// touchesWord reports whether body contains a marked-field call with one
+// of the given method names.
+func (c *checker) touchesWord(body *ast.BlockStmt, ops ...string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := locks.AsFieldOp(c.pass, c.words, call, ops...); ok {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkMutations flags seqlock-word mutations in a function that is not
+// a sanctioned writer. Closure bodies are included: a closure defined in
+// an unsanctioned function is an unsanctioned writer.
+func (c *checker) checkMutations(body *ast.BlockStmt, ann *analysis.Annotations) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op, ok := locks.AsFieldOp(c.pass, c.words, call, mutators...)
+		if !ok || ann.At(call.Pos(), "seqlock-ok") {
+			return true
+		}
+		c.pass.Reportf(call.Pos(), "%s on a seqlock word outside a //eplog:seqlock-write function: writers must run inside the lockAcquired/lockReleasing bracket (sanction with //eplog:seqlock-ok)",
+			op.Name)
+		return true
+	})
+}
+
+// checkReader verifies the optimistic-read protocol over the function's
+// CFG: a forward fixpoint threading the phase lattice through the basic
+// blocks, merging with min at joins, then a reporting pass at the fixed
+// point.
+func (c *checker) checkReader(fd *ast.FuncDecl, ann *analysis.Annotations) {
+	g := flow.New(fd.Body)
+	wantBool := lastResultIsBool(fd)
+
+	// in[b] = min over predecessors' out; entry starts at phNone,
+	// unreached blocks sit above everything until visited.
+	const top = phValidated + 1
+	in := make([]int, len(g.Blocks))
+	out := make([]int, len(g.Blocks))
+	for i := range in {
+		in[i], out[i] = top, top
+	}
+	in[g.Entry.Index] = phNone
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			if in[b.Index] == top {
+				continue
+			}
+			ph := c.transferBlock(b, in[b.Index], nil, false)
+			if ph != out[b.Index] {
+				out[b.Index] = ph
+				changed = true
+			}
+			for _, e := range b.Succs {
+				if out[b.Index] < in[e.To.Index] {
+					in[e.To.Index] = out[b.Index]
+					changed = true
+				}
+			}
+		}
+	}
+	// Reporting pass at the fixed point.
+	for _, b := range g.Blocks {
+		if in[b.Index] == top {
+			continue
+		}
+		c.transferBlock(b, in[b.Index], ann, wantBool)
+	}
+}
+
+// transferBlock folds one block's events over the incoming phase and
+// returns the outgoing phase. With a non-nil ann it also reports
+// violations (the fixpoint pass runs with ann == nil and stays silent).
+func (c *checker) transferBlock(b *flow.Block, ph int, ann *analysis.Annotations, wantBool bool) int {
+	for _, n := range b.Nodes {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			ph = c.scanEvents(ret, ph, ann)
+			if ann != nil && wantBool && returnsLiteralTrue(ret) && ph != phValidated && !ann.At(ret.Pos(), "seqlock-ok") {
+				c.pass.Reportf(ret.Pos(), "success return in a //eplog:seqlock-read function without %s (sanction with //eplog:seqlock-ok)",
+					phaseMissing(ph))
+			}
+			continue
+		}
+		ph = c.scanEvents(n, ph, ann)
+	}
+	return ph
+}
+
+// scanEvents walks one node — descending into function literals, which
+// the fast paths use for per-shard sampling and validation — and applies
+// its seqlock events to the phase in source order.
+func (c *checker) scanEvents(root ast.Node, ph int, ann *analysis.Annotations) int {
+	consumed := make(map[ast.Node]bool)
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			// Re-validation: an epoch load compared against the sample.
+			if load := c.findWordLoad(n); load != nil {
+				consumed[load] = true
+				if ph >= phChecked {
+					ph = phValidated
+				}
+				return true
+			}
+			// Odd-epoch bailout: a parity test on a sampled epoch.
+			if hasParityMask(n) && ph >= phSampled && ph < phChecked {
+				ph = phChecked
+			}
+		case *ast.CallExpr:
+			if _, ok := locks.AsFieldOp(c.pass, c.words, n, "Load"); ok {
+				if !consumed[n] && ph < phSampled {
+					ph = phSampled
+				}
+				return true
+			}
+			if op, ok := locks.AsFieldOp(c.pass, c.words, n, mutators...); ok {
+				if ann != nil && !ann.At(n.Pos(), "seqlock-ok") {
+					c.pass.Reportf(n.Pos(), "//eplog:seqlock-read function performs %s on a seqlock word: the optimistic read pass must not write (sanction with //eplog:seqlock-ok)",
+						op.Name)
+				}
+				return true
+			}
+			if op, ok := locks.AsFieldOp(c.pass, c.shardlock, n, locks.MutexOps...); ok {
+				if ann != nil && locks.IsAcquire(op.Name) && !ann.At(n.Pos(), "seqlock-ok") {
+					c.pass.Reportf(n.Pos(), "//eplog:seqlock-read function acquires %s.mu with %s: the lock-free pass must not lock (sanction with //eplog:seqlock-ok)",
+						op.RecvKey, op.Name)
+				}
+				return true
+			}
+			if callee := flow.StaticCallee(c.pass, n); callee != nil {
+				if ann != nil && c.writers[callee] && !ann.At(n.Pos(), "seqlock-ok") {
+					c.pass.Reportf(n.Pos(), "//eplog:seqlock-read function calls %s, which writes seqlock words (sanction with //eplog:seqlock-ok)",
+						callee.Name())
+				}
+				if ann != nil && c.loaders[callee] && !c.writers[callee] && ph < phChecked && !ann.At(n.Pos(), "seqlock-ok") {
+					c.pass.Reportf(n.Pos(), "call to %s reads seqlock-protected words before the epoch sample and odd-epoch check (sanction with //eplog:seqlock-ok)",
+						callee.Name())
+				}
+			}
+		}
+		return true
+	})
+	return ph
+}
+
+// findWordLoad returns a marked-field Load call appearing as (part of)
+// one of cmp's operands, or nil.
+func (c *checker) findWordLoad(cmp *ast.BinaryExpr) *ast.CallExpr {
+	var found *ast.CallExpr
+	for _, operand := range []ast.Expr{cmp.X, cmp.Y} {
+		ast.Inspect(operand, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && found == nil {
+				if _, ok := locks.AsFieldOp(c.pass, c.words, call, "Load"); ok {
+					found = call
+				}
+			}
+			return found == nil
+		})
+	}
+	return found
+}
+
+// hasParityMask reports whether one of cmp's operands is an `x & 1`
+// parity mask (possibly parenthesized).
+func hasParityMask(cmp *ast.BinaryExpr) bool {
+	for _, operand := range []ast.Expr{cmp.X, cmp.Y} {
+		e := ast.Unparen(operand)
+		b, ok := e.(*ast.BinaryExpr)
+		if !ok || b.Op != token.AND {
+			continue
+		}
+		if isIntLit(b.X, "1") || isIntLit(b.Y, "1") {
+			return true
+		}
+	}
+	return false
+}
+
+func isIntLit(e ast.Expr, val string) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == val
+}
+
+// returnsLiteralTrue reports whether the return's last result is the
+// literal `true` — the fast paths' success convention.
+func returnsLiteralTrue(ret *ast.ReturnStmt) bool {
+	if len(ret.Results) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(ret.Results[len(ret.Results)-1]).(*ast.Ident)
+	return ok && id.Name == "true"
+}
+
+// lastResultIsBool reports whether fd's final result is a bool — the
+// shape of the optimistic passes (`(end, true)` / bare `true`).
+func lastResultIsBool(fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil || len(fd.Type.Results.List) == 0 {
+		return false
+	}
+	last := fd.Type.Results.List[len(fd.Type.Results.List)-1]
+	id, ok := last.Type.(*ast.Ident)
+	return ok && id.Name == "bool"
+}

@@ -1,0 +1,12 @@
+package seqlock_test
+
+import (
+	"testing"
+
+	"github.com/eplog/eplog/internal/analysis/analysistest"
+	"github.com/eplog/eplog/internal/analysis/seqlock"
+)
+
+func TestSeqlock(t *testing.T) {
+	analysistest.Run(t, "../testdata", seqlock.Analyzer, "seqlock_a")
+}

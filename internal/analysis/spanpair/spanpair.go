@@ -1,0 +1,627 @@
+// Package spanpair enforces the obs span lifecycle.
+//
+// Every span begun with SpanRecorder.Start or Span.Child must be ended —
+// Finish, Drop, or Close — on every path, or explicitly handed to a new
+// owner. Span nodes are pooled: a begun-but-never-finished span pins its
+// subtree out of the recorder's freelist forever (the runtime cannot
+// tell a leak from a long operation), and a span used after Finish races
+// the pool's next owner. Both are invisible to tests, so they are
+// enforced statically on the shared flow engine:
+//
+//   - Balanced on all paths: the flow.Walker threads an ownership
+//     lattice through every branch; a path that leaves the function with
+//     a span definitely un-ended is flagged (a deferred Finish/Drop/
+//     Close — directly or inside a deferred closure — covers all paths).
+//   - Hand-offs are declared: storing a span into a field, slice, map or
+//     channel (the sh.curOp hand-off, the dispatchers' spans tables)
+//     transfers ownership to code this analyzer cannot see, so the store
+//     line must carry //eplog:span-handoff; an unannotated store is
+//     flagged. Passing a span to a call or returning it is an ordinary
+//     ownership transfer and needs no annotation.
+//   - No use after end: a span definitely ended on the current path must
+//     not be touched again.
+//
+// The obs package itself (recognized by declaring SpanRecorder) is the
+// pool implementation and is exempt, as are test files. Sanction a
+// deliberate violation with //eplog:span-ok on the offending line.
+package spanpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/eplog/eplog/internal/analysis"
+	"github.com/eplog/eplog/internal/analysis/flow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "spanpair",
+	Doc: "every obs span begun is finished, dropped, closed, or handed off on all paths\n\n" +
+		"Spans from SpanRecorder.Start / Span.Child are owned by their\n" +
+		"creator until Finish/Drop/Close or a declared hand-off. Stores\n" +
+		"into fields, slices, maps or channels must carry\n" +
+		"//eplog:span-handoff; paths that drop a span and uses after its\n" +
+		"end are flagged. Opt out per line with //eplog:span-ok.",
+	Run: run,
+}
+
+// Ownership states, identical in shape to poolcheck's lattice.
+const (
+	stLive  = iota // definitely owns an un-ended span
+	stEnded        // definitely finished/dropped/closed
+	stMaybe        // differs across merged paths: stay silent
+	stOff          // reassigned: stop tracking
+)
+
+func cloneState(st state) state {
+	out := make(state, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+func mergeState(a, b int) int {
+	switch {
+	case a == b:
+		return a
+	case a == stOff || b == stOff:
+		return stOff
+	default:
+		return stMaybe
+	}
+}
+
+func mergeStates(dst, src state) state {
+	for k, v := range src {
+		if cur, ok := dst[k]; ok {
+			dst[k] = mergeState(cur, v)
+		} else {
+			// Absent on the other path: indefinite.
+			dst[k] = mergeState(stMaybe, v)
+		}
+	}
+	for k, cur := range dst {
+		if _, ok := src[k]; !ok {
+			dst[k] = mergeState(cur, stMaybe)
+		}
+	}
+	return dst
+}
+
+// spanCall classifies a call against the obs span API.
+type spanCall struct {
+	acquire bool // Start / Child: returns a new live span
+	release bool // Finish / Drop (arg 0) or Close (receiver)
+	// arg0 reports whether the released span is the first argument
+	// (Finish/Drop) rather than the receiver (Close).
+	arg0 bool
+	name string
+}
+
+func classify(pass *analysis.Pass, call *ast.CallExpr) (spanCall, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return spanCall{}, false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return spanCall{}, false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
+		return spanCall{}, false
+	}
+	switch fn.Name() {
+	case "Start", "Child":
+		return spanCall{acquire: true, name: fn.Name()}, true
+	case "Finish", "Drop":
+		return spanCall{release: true, arg0: true, name: fn.Name()}, true
+	case "Close":
+		return spanCall{release: true, name: fn.Name()}, true
+	}
+	return spanCall{}, false
+}
+
+// releasedObj resolves which tracked object a release call ends: the
+// first argument for Finish/Drop, the receiver for Close.
+func releasedObj(pass *analysis.Pass, call *ast.CallExpr, sc spanCall) types.Object {
+	var e ast.Expr
+	if sc.arg0 {
+		if len(call.Args) == 0 {
+			return nil
+		}
+		e = call.Args[0]
+	} else {
+		sel := call.Fun.(*ast.SelectorExpr) // classify established the shape
+		e = sel.X
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return identObj(pass, id)
+}
+
+func run(pass *analysis.Pass) error {
+	// The obs package implements the pool: beginning and ending spans
+	// through internal fields is its job, not a protocol violation.
+	if pass.Pkg.Scope().Lookup("SpanRecorder") != nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ann := analysis.NewAnnotations(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, ann, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					// A span begun inside a closure balances inside it.
+					checkFunc(pass, ann, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// tracked describes one span-owning variable within a function.
+type tracked struct {
+	obj      types.Object
+	beginPos token.Pos
+	name     string // Start or Child
+	escaped  bool   // ownership transferred: waive the leak check
+	deferred bool   // a deferred release covers all exits
+}
+
+type state = map[types.Object]int
+
+type checker struct {
+	pass     *analysis.Pass
+	ann      *analysis.Annotations
+	vars     map[types.Object]*tracked
+	reported map[token.Pos]bool
+	bailed   bool
+}
+
+func checkFunc(pass *analysis.Pass, ann *analysis.Annotations, body *ast.BlockStmt) {
+	c := &checker{
+		pass:     pass,
+		ann:      ann,
+		vars:     make(map[types.Object]*tracked),
+		reported: make(map[token.Pos]bool),
+	}
+	c.collect(body)
+	if len(c.vars) == 0 || c.bailed {
+		return
+	}
+	w := flow.NewWalker(flow.Hooks[state]{
+		Clone:    cloneState,
+		Merge:    mergeStates,
+		Exec:     c.exec,
+		Eval:     c.eval,
+		Return:   func(ret *ast.ReturnStmt, st state) { c.checkExit(ret.Pos(), st) },
+		BlockEnd: c.blockEnd,
+		NoReturn: c.isPanic,
+	})
+	// Seed every tracked var as untracked until its acquire site runs, so
+	// exits before the Start/Child are silent.
+	init := make(state, len(c.vars))
+	for obj := range c.vars {
+		init[obj] = stOff
+	}
+	out, terminated := w.Walk(body, init)
+	if w.Bailed {
+		return
+	}
+	if !terminated {
+		c.checkExit(body.Rbrace, out)
+	}
+}
+
+// collect finds tracked spans, classifies their escapes (reporting
+// undeclared container stores), and registers deferred releases.
+func (c *checker) collect(body *ast.BlockStmt) {
+	inspectNoFuncLit(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			sc, ok := classify(c.pass, call)
+			if !ok || !sc.acquire {
+				return
+			}
+			obj := c.pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = c.pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				return
+			}
+			c.vars[obj] = &tracked{obj: obj, beginPos: call.Pos(), name: sc.name}
+		case *ast.BranchStmt:
+			if n.Label != nil || n.Tok == token.GOTO {
+				c.bailed = true
+			}
+		}
+	})
+	if len(c.vars) == 0 {
+		return
+	}
+	// Deferred releases: `defer rec.Finish(op, ...)` directly, or any
+	// release of a tracked span inside a deferred closure (the
+	// restore-and-finish idiom around sh.curOp).
+	inspectNoFuncLit(body, func(n ast.Node) {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return
+		}
+		if t := c.releaseTarget(d.Call); t != nil {
+			t.deferred = true
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if t := c.releaseTarget(call); t != nil {
+						t.deferred = true
+					}
+				}
+				return true
+			})
+		}
+	})
+	// Escapes and undeclared hand-offs.
+	parents := parentMap(body)
+	inspectAll(body, func(n ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := c.pass.TypesInfo.Uses[id]
+		t := c.vars[obj]
+		if t == nil {
+			return
+		}
+		switch classifyUse(c.pass, parents, id) {
+		case useEscape:
+			t.escaped = true
+		case useStore:
+			t.escaped = true
+			if c.ann.At(id.Pos(), "span-handoff") || c.ann.At(id.Pos(), "span-ok") {
+				return
+			}
+			if c.reported[id.Pos()] {
+				return
+			}
+			c.reported[id.Pos()] = true
+			c.pass.Reportf(id.Pos(), "span %s stored without a //eplog:span-handoff annotation: declare the hand-off so the new holder is known to Finish/Drop/Close it",
+				id.Name)
+		}
+	})
+}
+
+// releaseTarget returns the tracked span a call releases, or nil.
+func (c *checker) releaseTarget(call *ast.CallExpr) *tracked {
+	sc, ok := classify(c.pass, call)
+	if !ok || !sc.release {
+		return nil
+	}
+	return c.vars[releasedObj(c.pass, call, sc)]
+}
+
+type useKind int
+
+const (
+	useRead   useKind = iota // local use: fine
+	useEscape                // ownership transfer needing no annotation
+	useStore                 // container store: must be annotated
+)
+
+// classifyUse climbs from an identifier use to the construct consuming
+// its value. Container stores (fields, slices, maps, channel sends) are
+// the declared-hand-off class; call arguments, returns and plain
+// aliasing transfer ownership silently.
+func classifyUse(pass *analysis.Pass, parents map[ast.Node]ast.Node, id *ast.Ident) useKind {
+	for p := parents[id]; p != nil; p = parents[p] {
+		if _, ok := p.(*ast.FuncLit); ok {
+			return useEscape // captured: the closure owns or borrows it
+		}
+	}
+	var child ast.Node = id
+	for {
+		parent := parents[child]
+		if parent == nil {
+			return useRead
+		}
+		switch p := parent.(type) {
+		case *ast.ParenExpr:
+			child = p
+			continue
+		case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr:
+			return useEscape
+		case *ast.SendStmt:
+			if p.Value == child {
+				return useStore
+			}
+			return useRead
+		case *ast.CallExpr:
+			for _, arg := range p.Args {
+				if arg == child {
+					if sc, ok := classify(pass, p); ok && sc.release {
+						return useRead // the walk transitions the release
+					}
+					return useEscape
+				}
+			}
+			return useRead // receiver or Fun position
+		case *ast.AssignStmt:
+			for i, rhs := range p.Rhs {
+				if rhs != child {
+					continue
+				}
+				// 1:1 assignment to a plain ident is aliasing (blank is
+				// a discard); any other shape stores the span into a
+				// container.
+				if len(p.Lhs) == len(p.Rhs) {
+					if id, ok := p.Lhs[i].(*ast.Ident); ok {
+						if id.Name == "_" {
+							return useRead
+						}
+						return useEscape
+					}
+				}
+				return useStore
+			}
+			return useRead
+		case *ast.ValueSpec:
+			for _, v := range p.Values {
+				if v == child {
+					return useEscape
+				}
+			}
+			return useRead
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				return useEscape // address taken: owner unclear
+			}
+			return useRead
+		case *ast.BinaryExpr, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+			*ast.SwitchStmt, *ast.CaseClause, *ast.ExprStmt, *ast.IncDecStmt,
+			*ast.BlockStmt, *ast.SelectorExpr, *ast.TypeAssertExpr,
+			*ast.IndexExpr, *ast.SliceExpr, *ast.StarExpr:
+			return useRead
+		case *ast.FuncLit:
+			return useEscape
+		default:
+			child = parent
+		}
+	}
+}
+
+// --- walk hooks -------------------------------------------------------
+
+func (c *checker) exec(s ast.Stmt, st state) state {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		st = c.eval(s.X, st)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			st = c.eval(rhs, st)
+		}
+		for _, lhs := range s.Lhs {
+			if _, ok := lhs.(*ast.Ident); !ok {
+				c.checkUses(lhs, st)
+			}
+		}
+		c.applyAssign(s, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						st = c.eval(v, st)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		c.checkUses(s.X, st)
+	case *ast.SendStmt:
+		c.checkUses(s.Chan, st)
+		c.checkUses(s.Value, st)
+	case *ast.DeferStmt:
+		c.checkUses(s.Call, st)
+	case *ast.GoStmt:
+		c.checkUses(s.Call, st)
+	}
+	return st
+}
+
+func (c *checker) eval(e ast.Expr, st state) state {
+	c.checkUses(e, st)
+	c.applyCalls(e, st)
+	return st
+}
+
+// blockEnd reports spans whose variable goes out of scope definitely
+// un-ended: nothing can end them after the brace.
+func (c *checker) blockEnd(b *ast.BlockStmt, out state) state {
+	for obj, t := range c.vars {
+		if t.escaped || t.deferred || out[obj] != stLive {
+			continue
+		}
+		scope := obj.Parent()
+		if scope == nil || scope.Pos() < b.Pos() || scope.End() > b.End() {
+			continue
+		}
+		out[obj] = stOff
+		if c.reported[b.Rbrace] || c.ann.At(t.beginPos, "span-ok") {
+			continue
+		}
+		c.reported[b.Rbrace] = true
+		c.pass.Reportf(b.Rbrace, "%s goes out of scope with its span never ended: begun with %s at %s but not Finish/Drop/Close'd (sanction with //eplog:span-ok)",
+			obj.Name(), t.name, c.pass.Fset.Position(t.beginPos))
+	}
+	return out
+}
+
+func (c *checker) applyAssign(s *ast.AssignStmt, st state) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := identObj(c.pass, id); obj != nil && c.vars[obj] != nil {
+					st[obj] = stOff
+				}
+			}
+		}
+		return
+	}
+	id, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := identObj(c.pass, id)
+	if obj == nil || c.vars[obj] == nil {
+		return
+	}
+	if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+		if sc, ok := classify(c.pass, call); ok && sc.acquire {
+			st[obj] = stLive
+			return
+		}
+	}
+	st[obj] = stOff
+}
+
+// applyCalls transitions states for release calls found anywhere in expr
+// (excluding nested function literals).
+func (c *checker) applyCalls(expr ast.Expr, st state) {
+	inspectNoFuncLit(expr, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sc, ok := classify(c.pass, call)
+		if !ok || !sc.release {
+			return
+		}
+		obj := releasedObj(c.pass, call, sc)
+		if obj == nil || c.vars[obj] == nil {
+			return
+		}
+		st[obj] = stEnded
+	})
+}
+
+// checkUses reports definite uses after the span ended.
+func (c *checker) checkUses(expr ast.Expr, st state) {
+	if expr == nil {
+		return
+	}
+	inspectNoFuncLit(expr, func(n ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := c.pass.TypesInfo.Uses[id]
+		t := c.vars[obj]
+		if t == nil || st[obj] != stEnded {
+			return
+		}
+		if c.reported[id.Pos()] || c.ann.At(id.Pos(), "span-ok") {
+			return
+		}
+		c.reported[id.Pos()] = true
+		c.pass.Reportf(id.Pos(), "use of %s after its span was ended: the node may already be recycled by the recorder pool (sanction with //eplog:span-ok)",
+			id.Name)
+	})
+}
+
+// checkExit reports spans definitely un-ended when control leaves at pos.
+func (c *checker) checkExit(pos token.Pos, st state) {
+	for obj, t := range c.vars {
+		if t.escaped || t.deferred {
+			continue
+		}
+		if st[obj] != stLive {
+			continue
+		}
+		if c.reported[pos+token.Pos(obj.Pos())] || c.ann.At(pos, "span-ok") || c.ann.At(t.beginPos, "span-ok") {
+			continue
+		}
+		c.reported[pos+token.Pos(obj.Pos())] = true
+		c.pass.Reportf(pos, "%s leaks its span on this path: begun with %s at %s but not Finish/Drop/Close'd or handed off (sanction with //eplog:span-ok)",
+			obj.Name(), t.name, c.pass.Fset.Position(t.beginPos))
+	}
+}
+
+func identObj(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+func (c *checker) isPanic(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+func inspectNoFuncLit(n ast.Node, f func(ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			f(n)
+		}
+		return true
+	})
+}
+
+func inspectAll(n ast.Node, f func(ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n != nil {
+			f(n)
+		}
+		return true
+	})
+}
+
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,12 @@
+package spanpair_test
+
+import (
+	"testing"
+
+	"github.com/eplog/eplog/internal/analysis/analysistest"
+	"github.com/eplog/eplog/internal/analysis/spanpair"
+)
+
+func TestSpanpair(t *testing.T) {
+	analysistest.Run(t, "../testdata", spanpair.Analyzer, "spanpair_a")
+}

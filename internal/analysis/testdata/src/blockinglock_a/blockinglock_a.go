@@ -1,0 +1,143 @@
+// Package blockinglock_a exercises the blockinglock analyzer: parking
+// operations under the shard lock, the select-with-default and loop-Wait
+// exemptions, branch merges, and the //eplog:blocking-ok sanction.
+package blockinglock_a
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type shard struct {
+	//eplog:shardlock
+	mu    sync.Mutex
+	cond  *sync.Cond
+	dirty int
+}
+
+// SendAfterUnlock parks only after the lock is gone.
+func SendAfterUnlock(sh *shard, ch chan int) {
+	sh.mu.Lock()
+	v := sh.dirty
+	sh.mu.Unlock()
+	ch <- v
+}
+
+// TryEnqueue uses the non-parking select-with-default idiom under the
+// lock: legal.
+func TryEnqueue(sh *shard, ch chan int) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	select {
+	case ch <- sh.dirty:
+		return true
+	default:
+		return false
+	}
+}
+
+// WaitDirty is the sanctioned loop-Wait park under the lock.
+func WaitDirty(sh *shard) {
+	sh.mu.Lock()
+	for sh.dirty == 0 {
+		sh.cond.Wait()
+	}
+	sh.mu.Unlock()
+}
+
+// BranchLocal only holds the lock on one path: not held at the send.
+func BranchLocal(sh *shard, ch chan int, lock bool) {
+	if lock {
+		sh.mu.Lock()
+		sh.mu.Unlock()
+	}
+	ch <- 1
+}
+
+// SendHeld parks the dispatcher behind the shard lock.
+func SendHeld(sh *shard, ch chan int) {
+	sh.mu.Lock()
+	ch <- sh.dirty // want `channel send while holding shard lock sh.mu`
+	sh.mu.Unlock()
+}
+
+// SendHeldDeferred: a deferred Unlock keeps the lock held at the send.
+func SendHeldDeferred(sh *shard, ch chan int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ch <- sh.dirty // want `channel send while holding shard lock sh.mu`
+}
+
+// RecvHeld parks waiting on a producer.
+func RecvHeld(sh *shard, ch chan int) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return <-ch // want `channel receive while holding shard lock sh.mu`
+}
+
+// SelectNoDefaultHeld can park: no default clause.
+func SelectNoDefaultHeld(sh *shard, ch chan int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	select {
+	case ch <- sh.dirty: // want `channel send while holding shard lock sh.mu`
+	}
+}
+
+// RangeChanHeld drains a channel under the lock.
+func RangeChanHeld(sh *shard, ch chan int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for v := range ch { // want `range over a channel while holding shard lock sh.mu`
+		sh.dirty += v
+	}
+}
+
+// WaitNoLoop misses the spurious-wakeup loop.
+func WaitNoLoop(sh *shard) {
+	sh.mu.Lock()
+	sh.cond.Wait() // want `Cond.Wait outside a loop while holding shard lock sh.mu`
+	sh.mu.Unlock()
+}
+
+// SleepHeld stalls every caller of this shard.
+func SleepHeld(sh *shard) {
+	sh.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding shard lock sh.mu`
+	sh.mu.Unlock()
+}
+
+// DialHeld lets a remote peer hold the shard hostage.
+func DialHeld(sh *shard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	conn, err := net.Dial("tcp", "localhost:0") // want `net.Dial I/O while holding shard lock sh.mu`
+	if err == nil {
+		conn.Close() // want `net.Close I/O while holding shard lock sh.mu`
+	}
+}
+
+// sendsOut is a direct blocker the summary must surface.
+func sendsOut(ch chan int, v int) {
+	ch <- v
+}
+
+// relays is a transitive blocker: it only calls sendsOut.
+func relays(ch chan int, v int) {
+	sendsOut(ch, v)
+}
+
+// TransitiveHeld reaches a channel send two calls deep.
+func TransitiveHeld(sh *shard, ch chan int) {
+	sh.mu.Lock()
+	relays(ch, sh.dirty) // want `call to relays, which can block while holding shard lock sh.mu`
+	sh.mu.Unlock()
+}
+
+// Sanctioned shows the per-line escape hatch.
+func Sanctioned(sh *shard, ch chan int) {
+	sh.mu.Lock()
+	ch <- sh.dirty //eplog:blocking-ok bounded by test harness
+	sh.mu.Unlock()
+}

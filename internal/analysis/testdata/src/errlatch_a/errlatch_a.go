@@ -1,0 +1,107 @@
+// Package errlatch_a exercises the errlatch analyzer: discarded codec
+// errors, frames trusted before or after a failed decode, checks skipped
+// on one path, and the //eplog:errlatch-ok sanction.
+package errlatch_a
+
+import (
+	"wire"
+)
+
+// GoodRead is the canonical reader loop shape.
+func GoodRead(dec *wire.Decoder) uint64 {
+	var f wire.Frame
+	if err := dec.ReadFrame(&f); err != nil {
+		return 0
+	}
+	return f.ReqID
+}
+
+// GoodWriteChain is the write-then-flush latch chain.
+func GoodWriteChain(enc *wire.Encoder, f *wire.Frame) {
+	err := enc.WriteFrame(f)
+	if err == nil {
+		err = enc.Flush()
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+// GoodReturned propagates the error to the caller.
+func GoodReturned(enc *wire.Encoder, f *wire.Frame) error {
+	err := enc.WriteFrame(f)
+	return err
+}
+
+// GoodPassed hands the error to a consumer.
+func GoodPassed(enc *wire.Encoder, f *wire.Frame) {
+	err := enc.Flush()
+	fail(err)
+	_ = f
+}
+
+// UseBeforeCheck trusts the frame while the error sits unexamined.
+func UseBeforeCheck(dec *wire.Decoder) uint64 {
+	var f wire.Frame
+	err := dec.ReadFrame(&f)
+	id := f.ReqID // want `use of frame f before its ReadFrame error is checked`
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// UseAfterFailed reads fields on the known-failed path.
+func UseAfterFailed(dec *wire.Decoder) []byte {
+	var f wire.Frame
+	if err := dec.ReadFrame(&f); err != nil {
+		return f.Payload // want `use of frame f after a failed ReadFrame`
+	}
+	return nil
+}
+
+// DiscardedBare drops the latched error on the floor.
+func DiscardedBare(dec *wire.Decoder) {
+	var f wire.Frame
+	dec.ReadFrame(&f) // want `error result of wire ReadFrame discarded`
+}
+
+// DiscardedBlank is the same latch leak through the blank identifier.
+func DiscardedBlank(enc *wire.Encoder, f *wire.Frame) {
+	_ = enc.WriteFrame(f) // want `error result of wire WriteFrame discarded`
+}
+
+// SkippedPathCheck forgets the error on the early-out path.
+func SkippedPathCheck(enc *wire.Encoder, f *wire.Frame, fast bool) error {
+	err := enc.WriteFrame(f)
+	if fast {
+		return nil // want `error from wire WriteFrame .* is never checked on this path`
+	}
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// NeverChecked drops the error at the end of the function.
+func NeverChecked(enc *wire.Encoder) {
+	err := enc.Flush()
+	_ = err
+} // want `error from wire Flush .* is never checked on this path`
+
+// Overwritten clobbers one latched error with the next.
+func Overwritten(enc *wire.Encoder, f *wire.Frame) {
+	err := enc.WriteFrame(f)
+	err = enc.Flush() // want `error from wire WriteFrame .* overwritten before being checked`
+	if err != nil {
+		fail(err)
+	}
+}
+
+// Sanctioned shows the per-line escape hatch.
+func Sanctioned(enc *wire.Encoder) {
+	enc.Flush() //eplog:errlatch-ok best-effort flush on shutdown
+}
+
+func fail(err error) {}
+func use(err error)  {}

@@ -1,0 +1,18 @@
+// Package obs is a fixture stand-in for the real span recorder: spanpair
+// classifies Start/Child/Finish/Drop/Close by method name and defining
+// package name, so this shape is all the analyzer needs.
+package obs
+
+type SpanRecorder struct{}
+
+type Span struct {
+	End int64
+}
+
+func (r *SpanRecorder) Start(kind string, shard int) *Span { return &Span{} }
+func (r *SpanRecorder) Finish(s *Span, end int64)          {}
+func (r *SpanRecorder) Drop(s *Span)                       {}
+
+func (s *Span) Child(kind string) *Span { return &Span{} }
+func (s *Span) Close(end int64)         {}
+func (s *Span) SetCause(err error)      {}

@@ -1,0 +1,215 @@
+// Package seqlock_a exercises the seqlock analyzer: sanctioned writers,
+// unsanctioned epoch mutations, and the sample → odd-check → load →
+// re-validate reader protocol with each step missing in turn.
+package seqlock_a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type shard struct {
+	//eplog:shardlock
+	mu sync.RWMutex
+	// epoch is the seqlock counter: odd inside exclusive sections.
+	//eplog:seqlock
+	epoch atomic.Uint64
+	data  int64
+}
+
+type engine struct {
+	shards []*shard
+	//eplog:seqlock
+	latest []atomic.Uint64
+}
+
+// lockAcquired is the sanctioned bracket edge.
+//
+//eplog:seqlock-write
+func (sh *shard) lockAcquired() {
+	sh.epoch.Add(1) // odd: writer inside
+}
+
+// lockReleasing mirrors lockAcquired.
+//
+//eplog:seqlock-write
+func (sh *shard) lockReleasing() {
+	sh.epoch.Add(1) // even: consistent again
+}
+
+// storeLatest publishes one packed location word under the bracket.
+//
+//eplog:seqlock-write
+func (e *engine) storeLatest(i int, w uint64) {
+	e.latest[i].Store(w)
+}
+
+// loadLatest reads one packed word; safe anywhere, protocol-checked in
+// readers.
+func (e *engine) loadLatest(i int) uint64 {
+	return e.latest[i].Load()
+}
+
+// rogueBump mutates the epoch outside any sanctioned writer.
+func (sh *shard) rogueBump() {
+	sh.epoch.Add(1) // want `Add on a seqlock word outside a //eplog:seqlock-write function`
+}
+
+// roguePublish stores a location word outside any sanctioned writer.
+func (e *engine) roguePublish(i int, w uint64) {
+	e.latest[i].Store(w) // want `Store on a seqlock word outside a //eplog:seqlock-write function`
+}
+
+// sanctionedBump shows the per-line escape hatch.
+func (sh *shard) sanctionedBump() {
+	sh.epoch.Store(0) //eplog:seqlock-ok recovery path, engine quiesced
+}
+
+// goodRead follows the full protocol: sample, odd-check, load, validate.
+//
+//eplog:seqlock-read
+func (e *engine) goodRead(sh *shard, i int) (uint64, bool) {
+	ep := sh.epoch.Load()
+	if ep&1 != 0 {
+		return 0, false
+	}
+	w := e.loadLatest(i)
+	if sh.epoch.Load() != ep {
+		return 0, false
+	}
+	return w, true
+}
+
+// goodReadClosure samples and validates through closures, the shape the
+// multi-shard fast path uses.
+//
+//eplog:seqlock-read
+func (e *engine) goodReadClosure(i int) (uint64, bool) {
+	var eps [4]uint64
+	valid := true
+	forEach(e.shards, func(k int, sh *shard) {
+		ep := sh.epoch.Load()
+		if ep&1 != 0 {
+			valid = false
+		}
+		eps[k] = ep
+	})
+	if !valid {
+		return 0, false
+	}
+	w := e.loadLatest(i)
+	forEach(e.shards, func(k int, sh *shard) {
+		if sh.epoch.Load() != eps[k] {
+			valid = false
+		}
+	})
+	if !valid {
+		return 0, false
+	}
+	return w, true
+}
+
+func forEach(shards []*shard, fn func(int, *shard)) {
+	for k, sh := range shards {
+		fn(k, sh)
+	}
+}
+
+// noSample never reads the epoch at all.
+//
+//eplog:seqlock-read
+func (e *engine) noSample(i int) (uint64, bool) {
+	w := e.loadLatest(i) // want `call to loadLatest reads seqlock-protected words before the epoch sample and odd-epoch check`
+	return w, true       // want `success return in a //eplog:seqlock-read function without sampling the seqlock epochs`
+}
+
+// noOddCheck samples but trusts an epoch that may be odd.
+//
+//eplog:seqlock-read
+func (e *engine) noOddCheck(sh *shard, i int) (uint64, bool) {
+	ep := sh.epoch.Load()
+	w := e.loadLatest(i) // want `call to loadLatest reads seqlock-protected words before the epoch sample and odd-epoch check`
+	if sh.epoch.Load() != ep {
+		return 0, false
+	}
+	return w, true // want `success return in a //eplog:seqlock-read function without the odd-epoch bailout check`
+}
+
+// noValidate samples and checks but never re-validates after the loads.
+//
+//eplog:seqlock-read
+func (e *engine) noValidate(sh *shard, i int) (uint64, bool) {
+	ep := sh.epoch.Load()
+	if ep&1 != 0 {
+		return 0, false
+	}
+	w := e.loadLatest(i)
+	return w, true // want `success return in a //eplog:seqlock-read function without re-validating the sampled epochs`
+}
+
+// skippedPath validates on one branch only: the other reaches the
+// success return unvalidated, and the merge-at-join (min) catches it.
+//
+//eplog:seqlock-read
+func (e *engine) skippedPath(sh *shard, i int, deep bool) (uint64, bool) {
+	ep := sh.epoch.Load()
+	if ep&1 != 0 {
+		return 0, false
+	}
+	w := e.loadLatest(i)
+	if deep {
+		if sh.epoch.Load() != ep {
+			return 0, false
+		}
+	}
+	return w, true // want `success return in a //eplog:seqlock-read function without re-validating the sampled epochs`
+}
+
+// lockingReader defeats the point of the lock-free pass.
+//
+//eplog:seqlock-read
+func (e *engine) lockingReader(sh *shard, i int) (uint64, bool) {
+	ep := sh.epoch.Load()
+	if ep&1 != 0 {
+		return 0, false
+	}
+	sh.mu.RLock() // want `//eplog:seqlock-read function acquires sh.mu with RLock`
+	w := e.loadLatest(i)
+	sh.mu.RUnlock()
+	if sh.epoch.Load() != ep {
+		return 0, false
+	}
+	return w, true
+}
+
+// writingReader mutates the word it is supposed to be validating.
+//
+//eplog:seqlock-read
+func (sh *shard) writingReader() (int64, bool) {
+	ep := sh.epoch.Load()
+	if ep&1 != 0 {
+		return 0, false
+	}
+	sh.epoch.Add(2) // want `//eplog:seqlock-read function performs Add on a seqlock word`
+	v := sh.data
+	if sh.epoch.Load() != ep {
+		return 0, false
+	}
+	return v, true
+}
+
+// callsWriter reaches a sanctioned writer from the read path.
+//
+//eplog:seqlock-read
+func (e *engine) callsWriter(sh *shard, i int) (uint64, bool) {
+	ep := sh.epoch.Load()
+	if ep&1 != 0 {
+		return 0, false
+	}
+	sh.lockAcquired() // want `//eplog:seqlock-read function calls lockAcquired, which writes seqlock words`
+	w := e.loadLatest(i)
+	if sh.epoch.Load() != ep {
+		return 0, false
+	}
+	return w, true
+}

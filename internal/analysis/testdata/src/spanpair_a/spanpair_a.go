@@ -1,0 +1,129 @@
+// Package spanpair_a exercises the spanpair analyzer: leaks on early
+// returns, undeclared container stores, use-after-finish, deferred
+// closure releases, and the //eplog:span-handoff / //eplog:span-ok
+// sanctions.
+package spanpair_a
+
+import (
+	"errors"
+
+	"obs"
+)
+
+type shard struct {
+	rec   *obs.SpanRecorder
+	curOp *obs.Span
+}
+
+// Balanced finishes on every path.
+func Balanced(rec *obs.SpanRecorder, ok bool) {
+	op := rec.Start("write", 0)
+	if !ok {
+		rec.Drop(op)
+		return
+	}
+	rec.Finish(op, 1)
+}
+
+// DeferredFinish relies on a direct deferred release.
+func DeferredFinish(rec *obs.SpanRecorder) error {
+	op := rec.Start("commit", 0)
+	defer rec.Finish(op, 1)
+	if bad() {
+		return errors.New("bad")
+	}
+	return nil
+}
+
+// DeferredClosure is the restore-and-finish idiom around sh.curOp.
+func DeferredClosure(sh *shard) {
+	op := sh.rec.Start("write", 0)
+	prevOp := sh.curOp
+	sh.curOp = op //eplog:span-handoff
+	defer func() {
+		sh.curOp = prevOp
+		sh.rec.Finish(op, 2)
+	}()
+	work()
+}
+
+// ChildClosed balances a child span with Close on the span itself.
+func ChildClosed(sh *shard) {
+	cs := sh.curOp.Child("flush")
+	work()
+	cs.Close(3)
+}
+
+// HandoffStore declares the ownership transfer into the table.
+func HandoffStore(sh *shard, spans []*obs.Span, i int) {
+	sp := sh.rec.Start("batch", i)
+	spans[i] = sp //eplog:span-handoff
+}
+
+// ReturnedSpan transfers ownership to the caller; no annotation needed.
+func ReturnedSpan(rec *obs.SpanRecorder) *obs.Span {
+	op := rec.Start("read", 0)
+	return op
+}
+
+// PassedSpan hands the span to a callee; no annotation needed.
+func PassedSpan(rec *obs.SpanRecorder) {
+	op := rec.Start("read", 0)
+	consume(op)
+}
+
+// LeakOnErrorPath drops the span when it bails early.
+func LeakOnErrorPath(rec *obs.SpanRecorder, n int) error {
+	op := rec.Start("write", 0)
+	if n > 4096 {
+		return errors.New("too big") // want `op leaks its span on this path`
+	}
+	rec.Finish(op, 1)
+	return nil
+}
+
+// NeverEnded holds the span all the way to the end.
+func NeverEnded(rec *obs.SpanRecorder) {
+	op := rec.Start("write", 0)
+	work()
+	op.SetCause(nil)
+} // want `op leaks its span on this path`
+
+// ScopeLeak lets the variable die inside a branch while still live.
+func ScopeLeak(rec *obs.SpanRecorder, ok bool) {
+	if ok {
+		op := rec.Start("write", 0)
+		op.SetCause(nil)
+	} // want `op goes out of scope with its span never ended`
+	work()
+}
+
+// UseAfterFinish touches the span after it was ended.
+func UseAfterFinish(rec *obs.SpanRecorder) int64 {
+	op := rec.Start("read", 0)
+	rec.Finish(op, 1)
+	return op.End // want `use of op after its span was ended`
+}
+
+// UndeclaredStore stashes the span without announcing the hand-off.
+func UndeclaredStore(sh *shard) {
+	op := sh.rec.Start("write", 0)
+	sh.curOp = op // want `span op stored without a //eplog:span-handoff annotation`
+}
+
+// UndeclaredTableStore stashes into a slice without the annotation.
+func UndeclaredTableStore(sh *shard, spans []*obs.Span, i int) {
+	sp := sh.rec.Start("batch", i)
+	spans[i] = sp // want `span sp stored without a //eplog:span-handoff annotation`
+}
+
+// SanctionedLeak shows the per-line escape hatch.
+func SanctionedLeak(rec *obs.SpanRecorder) {
+	op := rec.Start("probe", 0) //eplog:span-ok fire-and-forget probe span
+	work()
+	_ = op
+}
+
+func bad() bool           { return false }
+func work()               {}
+func consume(s *obs.Span) {}

@@ -1,0 +1,22 @@
+// Package wire is a fixture stand-in for the real codec: errlatch
+// matches ReadFrame/WriteFrame/Flush by method name and defining package
+// name, so this shape is all the analyzer needs.
+package wire
+
+type Frame struct {
+	Type    uint8
+	Status  uint8
+	ReqID   uint64
+	Payload []byte
+}
+
+type Encoder struct{ err error }
+
+func NewEncoder() *Encoder                { return &Encoder{} }
+func (e *Encoder) WriteFrame(f *Frame) error { return e.err }
+func (e *Encoder) Flush() error              { return e.err }
+
+type Decoder struct{ err error }
+
+func NewDecoder() *Decoder                  { return &Decoder{} }
+func (d *Decoder) ReadFrame(f *Frame) error { return d.err }

@@ -99,11 +99,11 @@ func (sh *shard) commitAt(start float64) (float64, error) {
 	// data, so its span starts when the flush completes. Log-stripe
 	// flushes forced by the drain nest under the commit's flush phase.
 	fl := op.Child(obs.SpanCommitFlush, sh.idx, spanStart, 0, 0)
-	sh.curOp = fl
+	sh.curOp = fl //eplog:span-handoff child closed after the flush below
 	flushSpan := sh.newSpan(start)
 	flushErr := sh.flush(flushSpan)
 	fl.Close(max(flushSpan.End(), spanStart))
-	sh.curOp = op
+	sh.curOp = op //eplog:span-handoff root restored; finished by the deferred closure
 	if flushErr != nil {
 		opEnd = flushSpan.End()
 		return flushSpan.End(), flushErr

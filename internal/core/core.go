@@ -64,6 +64,7 @@ func (e *EPLog) loadLatest(lba int64) Loc {
 // owning shard's lock must be held exclusively.
 //
 //eplog:hotpath
+//eplog:seqlock-write
 func (e *EPLog) storeLatest(lba int64, l Loc) {
 	e.latest[lba].Store(uint64(l.Dev)<<locChunkBits | uint64(l.Chunk))
 }
@@ -240,6 +241,7 @@ type EPLog struct {
 	// side: each entry is one packed atomic word (loadLatest/storeLatest)
 	// so the lock-free read fast path can look locations up without any
 	// shard lock, validated by the owning shard's seqlock epoch.
+	//eplog:seqlock
 	latest     []atomic.Uint64 // per-LBA latest version location, packed
 	latestProt []int64         // per-LBA protector: committed or a log stripe id
 	commLoc    []Loc           // per-LBA committed version location

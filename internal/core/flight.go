@@ -97,6 +97,7 @@ func (sh *shard) lockClock() time.Time {
 // fence.
 //
 //eplog:wallclock lock wait/hold measure real scheduler contention, which has no virtual-time representation
+//eplog:seqlock-write
 func (sh *shard) lockAcquired(t0 time.Time) {
 	sh.epoch.Add(1) // odd: writer in critical section
 	sh.e.lockAcqs.Add(1)
@@ -114,6 +115,7 @@ func (sh *shard) lockAcquired(t0 time.Time) {
 // Call immediately before sh.mu.Unlock(), with the lock still held.
 //
 //eplog:wallclock lock wait/hold measure real scheduler contention, which has no virtual-time representation
+//eplog:seqlock-write
 func (sh *shard) lockReleasing() {
 	sh.epoch.Add(1) // even: state consistent again
 	if sh.mLockHold == nil || sh.lockedAt.IsZero() {

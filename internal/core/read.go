@@ -122,6 +122,8 @@ func (e *EPLog) ReadChunks(start float64, lba int64, p []byte) (float64, error) 
 // keep their locked reconstruction path. The span of an abandoned pass is
 // discarded; its device-clock advance is the same class of nondeterminism
 // the shared engine already accepts for lock contention.
+//
+//eplog:seqlock-read
 func (e *EPLog) readChunksFast(start float64, lba, nChunks int64, p []byte) (float64, bool) {
 	var stack [8]uint64
 	epochs := stack[:0]

@@ -230,6 +230,7 @@ func (e *EPLog) runReadGroup(sh *shard, ops []ReadOp, idxs []int, spans []device
 // e.fastReads (no RAM buffers to consult).
 //
 //eplog:hotpath
+//eplog:seqlock-read
 func (e *EPLog) readGroupFast(sh *shard, ops []ReadOp, idxs []int, spans []device.Span) bool {
 	ep := sh.epoch.Load()
 	if ep&1 != 0 {

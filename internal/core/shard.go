@@ -57,6 +57,7 @@ type shard struct {
 	// to the shared-lock path. Writers bump it in lockAcquired /
 	// lockReleasing (and lockAll/unlockAll), so every exclusive critical
 	// section is bracketed.
+	//eplog:seqlock
 	epoch atomic.Uint64
 	// commitWake signals log-stripe drains (parity folds) to writers
 	// blocked on the write-behind dirty window; it shares mu so the
@@ -149,6 +150,8 @@ func (sh *shard) takeAsyncErr() error {
 // so the fold can run. The loop also exits when the scheduler has stopped
 // or a background commit failed (the caller surfaces asyncErr), so a dying
 // engine never strands a writer.
+//
+//eplog:seqlock-write
 func (sh *shard) waitDirtyWindow() {
 	w := sh.e.cfg.DirtyWindowStripes
 	if w <= 0 || sh.e.gc == nil {
@@ -172,6 +175,7 @@ func (sh *shard) waitDirtyWindow() {
 // verify, rebuild, recovery). unlockAll releases them.
 //
 //eplog:lockall
+//eplog:seqlock-write
 func (e *EPLog) lockAll() {
 	for _, sh := range e.shards {
 		sh.mu.Lock()
@@ -180,6 +184,7 @@ func (e *EPLog) lockAll() {
 }
 
 //eplog:lockall
+//eplog:seqlock-write
 func (e *EPLog) unlockAll() {
 	for _, sh := range e.shards {
 		sh.epoch.Add(1) // even: consistent again

@@ -68,7 +68,7 @@ func (sh *shard) writeSerial(start float64, lba, nChunks int64, data []byte) (fl
 	// tree with whatever progress the device span made.
 	op := sh.rec.Start(obs.SpanWrite, sh.idx, start, lba, nChunks)
 	prevOp := sh.curOp
-	sh.curOp = op
+	sh.curOp = op //eplog:span-handoff finished by the deferred closure below
 	defer func() {
 		sh.curOp = prevOp
 		sh.rec.Finish(op, span.End())
@@ -206,7 +206,7 @@ func (e *EPLog) writeSharded(start float64, lba, nChunks int64, data []byte) (fl
 		}
 		touched[sh.idx] = true
 		prevOp := sh.curOp
-		sh.curOp = op
+		sh.curOp = op //eplog:span-handoff finished once by the final Finish below
 		deferred, err := sh.writeSegment(span, s, seg)
 		sh.curOp = prevOp
 		if err != nil {
@@ -227,7 +227,7 @@ func (e *EPLog) writeSharded(start float64, lba, nChunks int64, data []byte) (fl
 		sh.lockAcquired(t0)
 		if u := updates[i]; len(u) > 0 {
 			prevOp := sh.curOp
-			sh.curOp = op
+			sh.curOp = op //eplog:span-handoff finished once by the final Finish below
 			err := sh.updatePath(span, u)
 			sh.curOp = prevOp
 			if err != nil {

@@ -67,6 +67,18 @@ type Options struct {
 	QueueDepth int
 	// ReadWorkers sizes the read-batch executor pool (<= 0 selects 4).
 	ReadWorkers int
+	// WriteQueue is the capacity of the write/flush dispatch queue
+	// between connection readers and the write dispatcher (<= 0 selects
+	// 1024). Soak and bench sweep it to trade arrival buffering against
+	// memory and gate responsiveness.
+	WriteQueue int
+	// ReadQueue is the capacity of the read/stats dispatch queue between
+	// connection readers and the read dispatcher (<= 0 selects 1024).
+	ReadQueue int
+	// ReadBatchQueue is the capacity of the batch hand-off queue between
+	// the read dispatcher and the executor pool (<= 0 selects
+	// ReadWorkers, one batch buffered per worker).
+	ReadBatchQueue int
 	// WritevMax bounds how many completed response frames one connection
 	// writer coalesces into a single vectored write (net.Buffers/writev);
 	// <= 0 selects 64. 1 degenerates to one write per frame.
@@ -109,6 +121,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ReadWorkers <= 0 {
 		o.ReadWorkers = 4
+	}
+	if o.WriteQueue <= 0 {
+		o.WriteQueue = 1024
+	}
+	if o.ReadQueue <= 0 {
+		o.ReadQueue = 1024
+	}
+	if o.ReadBatchQueue <= 0 {
+		o.ReadBatchQueue = o.ReadWorkers
 	}
 	if o.WritevMax <= 0 {
 		o.WritevMax = 64
@@ -220,9 +241,9 @@ func Serve(ln net.Listener, eng Engine, opts Options) *Server {
 		ln:               ln,
 		quit:             make(chan struct{}),
 		acceptDone:       make(chan struct{}),
-		writeQ:           make(chan *request, 1024),
-		readQ:            make(chan *request, 1024),
-		rbatchQ:          make(chan []*request, opts.ReadWorkers),
+		writeQ:           make(chan *request, opts.WriteQueue),
+		readQ:            make(chan *request, opts.ReadQueue),
+		rbatchQ:          make(chan []*request, opts.ReadBatchQueue),
 		dispatchDone:     make(chan struct{}),
 		readDispatchDone: make(chan struct{}),
 		conns:            make(map[*conn]struct{}),
@@ -455,7 +476,7 @@ func (s *Server) runWrites(run []*request, root *obs.Span) {
 		ops[i] = core.BatchOp{LBA: r.f.Arg, Data: r.f.Payload}
 		sp := root.Child(obs.SpanNet, s.opts.SpanShard, s.now(), r.f.Arg, n)
 		sp.SetCause("write")
-		spans[i] = sp
+		spans[i] = sp //eplog:span-handoff closed in the response loop below
 	}
 	s.eng.WriteBatch(ops)
 	end := s.now()
@@ -528,7 +549,7 @@ func (s *Server) runReadBatch(batch []*request) {
 		ops[i] = core.ReadOp{LBA: r.f.Arg, Buf: bufpool.Default.Get(int(r.f.Count) * s.csize)}
 		sp := root.Child(obs.SpanNet, s.opts.SpanShard, s.now(), r.f.Arg, int64(r.f.Count))
 		sp.SetCause("read")
-		spans[i] = sp
+		spans[i] = sp //eplog:span-handoff closed in the response loop below
 	}
 	s.eng.ReadBatch(ops)
 	end := s.now()

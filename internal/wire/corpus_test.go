@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestGenerateFuzzCorpus regenerates the checked-in seed corpus under
+// testdata/fuzz/FuzzDecoder from encoder-produced frames, so fuzz smoke
+// runs start from real wire traffic rather than only the in-code f.Add
+// seeds. It is a generator, not a check: it only runs when
+// WIRE_GEN_CORPUS=1 is set, and otherwise skips.
+//
+//	WIRE_GEN_CORPUS=1 go test -run TestGenerateFuzzCorpus ./internal/wire/
+//
+// The corpus files use the `go test fuzz v1` encoding with a single
+// []byte argument, matching FuzzDecoder's fuzz target signature.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("WIRE_GEN_CORPUS") == "" {
+		t.Skip("set WIRE_GEN_CORPUS=1 to regenerate the seed corpus")
+	}
+	encode := func(frames ...*Frame) []byte {
+		var buf bytes.Buffer
+		enc := NewEncoder(bufio.NewWriter(&buf))
+		for _, fr := range frames {
+			if err := enc.WriteFrame(fr); err != nil {
+				t.Fatalf("seed encode: %v", err)
+			}
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatalf("seed flush: %v", err)
+		}
+		return buf.Bytes()
+	}
+	seeds := map[string][]byte{
+		"read":  encode(&Frame{Type: TRead, ReqID: 1, Arg: 8, Count: 4}),
+		"write": encode(&Frame{Type: TWrite, ReqID: 2, Arg: 0, Count: 5, Payload: []byte("hello")}),
+		"flush": encode(&Frame{Type: TFlush, ReqID: 3}),
+		"stat":  encode(&Frame{Type: TStat, ReqID: 4}),
+		"pipelined": encode(
+			&Frame{Type: TWrite, ReqID: 5, Count: 3, Payload: []byte("abc")},
+			&Frame{Type: TRead | RespFlag, ReqID: 5, Status: StatusOK, Count: 3, Payload: []byte("xyz")},
+			&Frame{Type: TFlush | RespFlag, ReqID: 6, Status: StatusErr, Payload: []byte("err")},
+		),
+		"resp-err":  encode(&Frame{Type: TWrite | RespFlag, ReqID: 7, Status: StatusErr, Payload: []byte("shard 2: log full")}),
+		"empty":     {},
+		"short-hdr": {0x00, 0x00, 0x00, 0x18},
+		"junk":      bytes.Repeat([]byte{0xFF}, 64),
+	}
+	// A valid frame followed by a truncated second frame: the decoder
+	// must yield the first and then error, with the error latching.
+	good := encode(&Frame{Type: TRead, ReqID: 9, Arg: 16, Count: 8})
+	seeds["good-then-truncated"] = append(append([]byte{}, good...), good[:len(good)-3]...)
+
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecoder")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		if err := os.WriteFile(filepath.Join(dir, "seed-"+name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
